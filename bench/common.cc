@@ -1,0 +1,114 @@
+#include "common.hh"
+
+#include <cstdio>
+
+#include "autograd/loss.hh"
+#include "autograd/optim.hh"
+#include "data/loader.hh"
+#include "core/logging.hh"
+#include "core/string_utils.hh"
+
+namespace mmbench {
+namespace benchutil {
+
+void
+printTitle(const std::string &experiment_id, const std::string &description)
+{
+    std::printf("\n=== %s ===\n%s\n\n", experiment_id.c_str(),
+                description.c_str());
+}
+
+void
+note(const std::string &text)
+{
+    std::printf("# %s\n", text.c_str());
+}
+
+std::string
+f1(double v)
+{
+    return strfmt("%.1f", v);
+}
+
+std::string
+f2(double v)
+{
+    return strfmt("%.2f", v);
+}
+
+std::string
+f3(double v)
+{
+    return strfmt("%.3f", v);
+}
+
+std::string
+pct(double fraction)
+{
+    return strfmt("%.1f%%", 100.0 * fraction);
+}
+
+std::string
+us(double micros)
+{
+    return formatMicros(micros);
+}
+
+std::string
+mb(uint64_t bytes)
+{
+    return strfmt("%.2f MB", static_cast<double>(bytes) / (1024.0 * 1024.0));
+}
+
+TrainResult
+quickTrain(models::MultiModalWorkload &workload,
+           const TrainOptions &options)
+{
+    auto task = workload.makeTask(options.dataSeed);
+    data::InMemoryDataset train_set(task, options.trainSize);
+    data::Batch test = task.sample(options.testSize);
+
+    const int64_t mb = std::min<int64_t>(16, options.trainSize);
+    data::DataLoader loader(train_set, mb, /*shuffle=*/true,
+                            options.dataSeed + 1);
+
+    autograd::Adam opt(workload.parameters(), options.lr);
+    workload.train(true);
+    for (int epoch = 0; epoch < options.epochs; ++epoch) {
+        for (int64_t b = 0; b < loader.batchesPerEpoch(); ++b) {
+            data::Batch batch = loader.batch(b);
+            opt.zeroGrad();
+            autograd::Var out =
+                options.uniModality < 0
+                    ? workload.forward(batch)
+                    : workload.forwardUniModal(
+                          batch,
+                          static_cast<size_t>(options.uniModality));
+            autograd::Var loss = workload.loss(out, batch.targets);
+            autograd::backward(loss);
+            opt.clipGradNorm(5.0f);
+            opt.step();
+        }
+        loader.nextEpoch();
+    }
+
+    workload.train(false);
+    autograd::NoGradGuard no_grad;
+    autograd::Var out =
+        options.uniModality < 0
+            ? workload.forward(test)
+            : workload.forwardUniModal(
+                  test, static_cast<size_t>(options.uniModality));
+
+    TrainResult result;
+    result.metric = workload.metric(out.value(), test.targets);
+    if (options.wantCorrectMask &&
+        workload.dataSpec().task == data::TaskKind::Classification) {
+        result.testCorrect = workload.correctMask(out.value(),
+                                                  test.targets);
+    }
+    return result;
+}
+
+} // namespace benchutil
+} // namespace mmbench

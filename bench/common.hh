@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared helpers for the per-figure bench binaries: uniform titles,
+ * number formatting, quick training loops for the accuracy figures.
+ */
+
+#ifndef MMBENCH_BENCH_COMMON_HH
+#define MMBENCH_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hh"
+#include "models/workload.hh"
+#include "profile/profiler.hh"
+
+namespace mmbench {
+namespace benchutil {
+
+/** Print the standard bench banner (experiment id + description). */
+void printTitle(const std::string &experiment_id,
+                const std::string &description);
+
+/** Print a trailing commentary line ("# ..."). */
+void note(const std::string &text);
+
+/** Format helpers. @{ */
+std::string f1(double v); ///< one decimal
+std::string f2(double v); ///< two decimals
+std::string f3(double v); ///< three decimals
+std::string pct(double fraction);   ///< 0.42 -> "42.0%"
+std::string us(double micros);      ///< adaptive time unit
+std::string mb(uint64_t bytes);     ///< bytes -> "x.xx MB"
+/** @} */
+
+/** Result of one train/eval run. */
+struct TrainResult
+{
+    double metric = 0.0;          ///< workload metric on the test set
+    std::vector<bool> testCorrect;///< per-sample (classification only)
+};
+
+/** Options for quickTrain. */
+struct TrainOptions
+{
+    int epochs = 40;
+    int64_t trainSize = 96;
+    int64_t testSize = 64;
+    float lr = 0.01f;
+    uint64_t dataSeed = 1;
+    /** < 0: train the full multi-modal model; else that modality. */
+    int uniModality = -1;
+    bool wantCorrectMask = false;
+};
+
+/**
+ * Full-batch Adam training of a workload on its synthetic task,
+ * returning the test metric (and optionally the per-sample
+ * correctness mask for Fig. 5).
+ */
+TrainResult quickTrain(models::MultiModalWorkload &workload,
+                       const TrainOptions &options);
+
+} // namespace benchutil
+} // namespace mmbench
+
+#endif // MMBENCH_BENCH_COMMON_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Figure 4 — performance of the applications in MMBench: uni-modal
+ * baselines vs multi-modal implementations with different fusion
+ * methods, trained on the synthetic tasks.
+ *
+ * Expected shape (paper): the best multi-modal implementation beats
+ * the best uni-modal baseline on every workload; fusion choice moves
+ * the result by several points; degenerate fusion (zero) falls back
+ * to chance.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "core/logging.hh"
+#include "core/table.hh"
+#include "models/zoo.hh"
+
+using namespace mmbench;
+using benchutil::f2;
+using benchutil::TrainOptions;
+using fusion::FusionKind;
+
+namespace {
+
+struct WorkloadPlan
+{
+    const char *name;
+    std::vector<FusionKind> fusions;
+    int epochs;
+    int64_t trainSize;
+};
+
+/** Small fusion sweeps per workload; heavy ones get fewer epochs. */
+const WorkloadPlan kPlans[] = {
+    {"av-mnist",
+     {FusionKind::Concat, FusionKind::Tensor, FusionKind::LateLstm,
+      FusionKind::Zero},
+     50, 160},
+    {"mm-imdb", {FusionKind::Concat, FusionKind::Tensor}, 40, 320},
+    {"cmu-mosei", {FusionKind::Transformer, FusionKind::Concat}, 25, 160},
+    {"mustard", {FusionKind::Transformer, FusionKind::Concat}, 25, 160},
+    {"medical-vqa", {FusionKind::Concat, FusionKind::Transformer}, 45,
+     320},
+    {"medical-seg", {FusionKind::Transformer}, 15, 96},
+    {"mujoco-push",
+     {FusionKind::LateLstm, FusionKind::Concat, FusionKind::Tensor,
+      FusionKind::Transformer},
+     40, 160},
+    {"vision-touch", {FusionKind::Concat, FusionKind::Tensor}, 40, 160},
+    {"transfuser", {FusionKind::Concat, FusionKind::Transformer}, 40,
+     160},
+};
+
+} // namespace
+
+int
+main()
+{
+    benchutil::printTitle(
+        "Figure 4: Performance of the applications in MMBench",
+        "Lower-case rows are uni-modal baselines; upper-case rows are "
+        "multi-modal\nimplementations. Trained on the synthetic tasks "
+        "at sizeScale 0.35.");
+
+    TextTable table({"Workload", "Implementation", "Metric", "Value"});
+    for (const WorkloadPlan &plan : kPlans) {
+        double best_uni = 0.0, best_multi = 0.0;
+        bool higher_better = true;
+        bool first = true;
+        // Uni-modal baselines.
+        {
+            auto probe = models::zoo::createDefault(plan.name, 0.35f, 31);
+            higher_better = probe->metricHigherIsBetter();
+            best_uni = higher_better ? -1e18 : 1e18;
+            best_multi = best_uni;
+            for (size_t m = 0; m < probe->numModalities(); ++m) {
+                auto w = models::zoo::createDefault(plan.name, 0.35f,
+                                                    101 + m);
+                TrainOptions opt;
+                opt.epochs = plan.epochs;
+                opt.trainSize = plan.trainSize;
+                opt.testSize = 96;
+                opt.uniModality = static_cast<int>(m);
+                opt.dataSeed = 9;
+                auto r = benchutil::quickTrain(*w, opt);
+                table.addRow({first ? plan.name : "",
+                              w->dataSpec().modalities[m].name,
+                              w->metricName(), f2(r.metric)});
+                first = false;
+                best_uni = higher_better
+                               ? std::max(best_uni, r.metric)
+                               : std::min(best_uni, r.metric);
+            }
+        }
+        // Multi-modal fusion variants.
+        for (FusionKind kind : plan.fusions) {
+            models::WorkloadConfig config;
+            config.fusionKind = kind;
+            config.sizeScale = 0.35f;
+            config.seed = 211 + static_cast<uint64_t>(kind);
+            auto w = models::zoo::create(plan.name, config);
+            TrainOptions opt;
+            opt.epochs = plan.epochs;
+            opt.trainSize = plan.trainSize;
+            opt.testSize = 96;
+            opt.dataSeed = 9;
+            auto r = benchutil::quickTrain(*w, opt);
+            std::string label = std::string("MULTI:") +
+                                fusion::fusionKindName(kind);
+            table.addRow({"", label, w->metricName(), f2(r.metric)});
+            best_multi = higher_better ? std::max(best_multi, r.metric)
+                                       : std::min(best_multi, r.metric);
+        }
+        const bool multi_wins = higher_better ? best_multi > best_uni
+                                              : best_multi < best_uni;
+        table.addRow({"", "-> multi beats best uni?", "",
+                      multi_wins ? "yes" : "no"});
+        table.addSeparator();
+    }
+    table.print(std::cout);
+
+    benchutil::note("paper shape: multi-modal > best uni-modal; fusion "
+                    "choice shifts results by several points; zero "
+                    "fusion collapses toward chance.");
+    benchutil::note("known partial reproduction: mm-imdb and "
+                    "medical-vqa pit from-scratch encoders against a "
+                    "dominant image modality; without the pretrained "
+                    "backbones the paper uses (ALBERT/DenseNet/RoBERTa) "
+                    "their fusion variants exhibit the paper's own "
+                    "'ineffective fusion' caveat; see EXPERIMENTS.md.");
+    return 0;
+}

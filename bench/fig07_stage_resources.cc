@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 7 — resource usage of the three stages for every MMBench
+ * application: DRAM utilization, achieved occupancy, gld/gst
+ * efficiency and IPC (time-weighted means over the stage's kernels).
+ *
+ * Expected shape (paper): encoder stages show higher DRAM
+ * utilization, occupancy and IPC than fusion/head; gld/gst efficiency
+ * is roughly flat across stages.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "core/logging.hh"
+#include "core/table.hh"
+#include "models/zoo.hh"
+#include "profile/profiler.hh"
+
+using namespace mmbench;
+using benchutil::f2;
+
+int
+main()
+{
+    benchutil::printTitle(
+        "Figure 7: Per-stage resource usage (batch of 8, 2080Ti model)",
+        "DRAM_UTI / GPU_OCU / GLD_EFF / GST_EFF in [0,1]; IPC in "
+        "instructions/cycle.");
+
+    profile::Profiler profiler(sim::DeviceModel::rtx2080ti());
+
+    TextTable table({"Workload", "Stage", "DRAM_UTI", "GPU_OCU",
+                     "GLD_EFF", "GST_EFF", "IPC"});
+    for (const std::string &name : models::zoo::workloadNames()) {
+        auto w = models::zoo::createDefault(name);
+        auto task = w->makeTask(19);
+        data::Batch batch = task.sample(8);
+        profile::ProfileResult result = profiler.profile(*w, batch);
+
+        bool first = true;
+        for (trace::Stage stage :
+             {trace::Stage::Encoder, trace::Stage::Fusion,
+              trace::Stage::Head}) {
+            const profile::MetricAgg agg =
+                profile::aggregateStage(result.timeline, stage);
+            table.addRow({first ? name : "", trace::stageName(stage),
+                          f2(agg.dramUtil), f2(agg.occupancy),
+                          f2(agg.gldEff), f2(agg.gstEff), f2(agg.ipc)});
+            first = false;
+        }
+        table.addSeparator();
+    }
+    table.print(std::cout);
+
+    benchutil::note("paper shape: encoder rows have the highest "
+                    "DRAM_UTI/GPU_OCU/IPC; GLD/GST stay nearly flat "
+                    "across stages.");
+    return 0;
+}

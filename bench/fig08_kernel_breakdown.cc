@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 8 — GPU kernel class breakdown (share of stage device time)
+ * for encoder / fusion / head of every MMBench application, using the
+ * eight-way taxonomy Conv / BNorm / Elewise / Pooling / Relu / Gemm /
+ * Reduce / Other.
+ *
+ * Expected shape (paper): stages within one application are dominated
+ * by different operation types; encoder mixes differ strongly across
+ * applications (conv-heavy image encoders vs GEMM/Relu-heavy
+ * transformers vs Gemm+Elewise LSTMs).
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "core/logging.hh"
+#include "core/table.hh"
+#include "models/zoo.hh"
+#include "profile/profiler.hh"
+
+using namespace mmbench;
+
+int
+main()
+{
+    benchutil::printTitle(
+        "Figure 8: Kernel class breakdown per stage (batch 8, 2080Ti)",
+        "Share of each stage's simulated device time per kernel "
+        "class.");
+
+    profile::Profiler profiler(sim::DeviceModel::rtx2080ti());
+
+    const trace::KernelClass classes[] = {
+        trace::KernelClass::Conv,    trace::KernelClass::BNorm,
+        trace::KernelClass::Elewise, trace::KernelClass::Pooling,
+        trace::KernelClass::Relu,    trace::KernelClass::Gemm,
+        trace::KernelClass::Reduce,  trace::KernelClass::Other,
+    };
+
+    TextTable table({"Workload", "Stage", "Conv", "BNorm", "Elewise",
+                     "Pooling", "Relu", "Gemm", "Reduce", "Other"});
+    for (const std::string &name : models::zoo::workloadNames()) {
+        auto w = models::zoo::createDefault(name);
+        auto task = w->makeTask(23);
+        data::Batch batch = task.sample(8);
+        profile::ProfileResult result = profiler.profile(*w, batch);
+
+        bool first = true;
+        for (trace::Stage stage :
+             {trace::Stage::Encoder, trace::Stage::Fusion,
+              trace::Stage::Head}) {
+            const profile::MetricAgg agg =
+                profile::aggregateStage(result.timeline, stage);
+            std::vector<std::string> row = {first ? name : "",
+                                            trace::stageName(stage)};
+            for (trace::KernelClass kc : classes) {
+                const auto it = agg.classTimeUs.find(kc);
+                const double t =
+                    it == agg.classTimeUs.end() ? 0.0 : it->second;
+                row.push_back(strfmt(
+                    "%.0f%%", 100.0 * t / std::max(agg.gpuTimeUs, 1e-9)));
+            }
+            table.addRow(std::move(row));
+            first = false;
+        }
+        table.addSeparator();
+    }
+    table.print(std::cout);
+
+    benchutil::note("paper shape: VGG/LeNet/ResNet encoders are "
+                    "Conv/Gemm-dominated, transformer encoders "
+                    "Gemm/Relu/Elewise-heavy, LSTM encoders Gemm+"
+                    "Elewise; no two stages share a dominant class "
+                    "profile.");
+    return 0;
+}

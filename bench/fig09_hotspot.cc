@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Figure 9 — fine-grained comparison of dedicated hotspot kernels on
+ * AV-MNIST across stages and across fusion methods, normalized as in
+ * the paper.
+ *
+ * Kernel-choice substitution: the paper profiles a Reduce hotspot
+ * across stages and an Elewise hotspot across fusion methods. In this
+ * reproduction's inference traces the kernel family present in all
+ * three AV-MNIST stages is Relu, and the kernel family whose
+ * footprint the fusion-method swap moves is Gemm (the tensor-fusion
+ * fold reads the outer-product intermediate), so those are the
+ * hotspots compared. The paper's observation — stage changes swing
+ * the same kernel's resource usage by orders of magnitude, fusion
+ * changes mostly move DRAM read bytes — is checked unchanged.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "core/logging.hh"
+#include "core/table.hh"
+#include "models/zoo.hh"
+#include "profile/profiler.hh"
+
+using namespace mmbench;
+using benchutil::f2;
+
+namespace {
+
+profile::MetricAgg
+classInStage(const profile::ProfileResult &result, trace::KernelClass kc,
+             trace::Stage stage)
+{
+    return profile::aggregate(
+        result.timeline, [kc, stage](const sim::SimKernel &k) {
+            return k.ev.kclass == kc && k.ev.stage == stage;
+        });
+}
+
+std::string
+ratio(double value, double base)
+{
+    if (base <= 0.0)
+        return "-";
+    return strfmt("%.2fx", value / base);
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::printTitle(
+        "Figure 9: Hotspot kernel comparison on AV-MNIST (batch 8)",
+        "(a) Relu hotspot per stage, normalized to the encoder "
+        "stage.\n(b) Gemm hotspot per fusion method, normalized to "
+        "concat.");
+
+    profile::Profiler profiler(sim::DeviceModel::rtx2080ti());
+
+    // (a) The cross-stage hotspot (Relu) with concat fusion.
+    auto w = models::zoo::createDefault("av-mnist");
+    auto task = w->makeTask(29);
+    data::Batch batch = task.sample(8);
+    profile::ProfileResult result = profiler.profile(*w, batch);
+
+    const profile::MetricAgg enc =
+        classInStage(result, trace::KernelClass::Relu,
+                     trace::Stage::Encoder);
+    const profile::MetricAgg fus =
+        classInStage(result, trace::KernelClass::Relu,
+                     trace::Stage::Fusion);
+    const profile::MetricAgg head =
+        classInStage(result, trace::KernelClass::Relu,
+                     trace::Stage::Head);
+
+    TextTable ta({"Metric (Relu kernel)", "encoder", "fusion", "head"});
+    auto add_stage_row = [&](const char *label, double e, double f,
+                             double h) {
+        ta.addRow({label, "1.00x", ratio(f, e), ratio(h, e)});
+        (void)e;
+    };
+    add_stage_row("fp32 ops", static_cast<double>(enc.flops),
+                  static_cast<double>(fus.flops),
+                  static_cast<double>(head.flops));
+    add_stage_row("DRAM read bytes", static_cast<double>(enc.bytesRead),
+                  static_cast<double>(fus.bytesRead),
+                  static_cast<double>(head.bytesRead));
+    add_stage_row("device time", enc.gpuTimeUs, fus.gpuTimeUs,
+                  head.gpuTimeUs);
+    ta.addRow({"L2 hit rate", f2(enc.l2Hit), f2(fus.l2Hit),
+               f2(head.l2Hit)});
+    ta.print(std::cout);
+
+    // (b) The fusion-sensitive hotspot (Gemm) across fusion methods.
+    models::WorkloadConfig tensor_cfg;
+    tensor_cfg.fusionKind = fusion::FusionKind::Tensor;
+    auto wt = models::zoo::create("av-mnist", tensor_cfg);
+    profile::ProfileResult rt = profiler.profile(*wt, batch);
+
+    auto ew = [](const profile::ProfileResult &r) {
+        return profile::aggregate(r.timeline, [](const sim::SimKernel &k) {
+            return k.ev.kclass == trace::KernelClass::Gemm &&
+                   k.ev.stage == trace::Stage::Fusion;
+        });
+    };
+    const profile::MetricAgg concat_ew = ew(result);
+    const profile::MetricAgg tensor_ew = ew(rt);
+
+    TextTable tb({"Metric (Gemm kernel, fusion stage)", "concat",
+                  "tensor"});
+    tb.addRow({"fp32 ops", "1.00x",
+               ratio(static_cast<double>(tensor_ew.flops),
+                     static_cast<double>(concat_ew.flops))});
+    tb.addRow({"DRAM read bytes", "1.00x",
+               ratio(static_cast<double>(tensor_ew.bytesRead),
+                     static_cast<double>(concat_ew.bytesRead))});
+    tb.addRow({"device time", "1.00x",
+               ratio(tensor_ew.gpuTimeUs, concat_ew.gpuTimeUs)});
+    tb.addRow({"L2 hit rate", f2(concat_ew.l2Hit), f2(tensor_ew.l2Hit)});
+    tb.print(std::cout);
+
+    benchutil::note("paper shape: stage changes swing the same "
+                    "kernel's ops/bytes by 15-80x (the encoder handles "
+                    "raw-size tensors, fusion/head only learned "
+                    "features); the fusion-method change mainly raises "
+                    "DRAM read bytes.");
+    return 0;
+}

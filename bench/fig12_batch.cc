@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Figure 12 — effect of batch size on AV-MNIST: kernel-size
+ * distribution, total GPU time and inference time for the multi-modal
+ * implementation ("slfs" in the paper) vs its image-only uni-modal
+ * counterpart, at batch sizes 40 and 400.
+ *
+ * Expected shape (paper): larger batches shift the kernel-size
+ * distribution toward large (>100 us) kernels; a 10x batch increase
+ * reduces neither GPU time nor inference time by 10x; the multi-modal
+ * network benefits less than the uni-modal one.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "core/logging.hh"
+#include "core/table.hh"
+#include "models/zoo.hh"
+#include "profile/profiler.hh"
+
+using namespace mmbench;
+using benchutil::pct;
+using benchutil::us;
+
+int
+main()
+{
+    benchutil::printTitle(
+        "Figure 12: Batch size effects on AV-MNIST (2080Ti model)",
+        "10000 inference tasks scheduled at batch 40 vs 400; slfs = "
+        "multi-modal\nimplementation, image = uni-modal counterpart.");
+
+    profile::Profiler profiler(sim::DeviceModel::rtx2080ti());
+    // "slfs" in the paper is a late-fusion multi-modal implementation
+    // with ~31x the uni-modal parameter count; modeled here as the
+    // late-LSTM fusion variant at 1.5x width (~7x parameters).
+    models::WorkloadConfig slfs_cfg;
+    slfs_cfg.fusionKind = fusion::FusionKind::LateLstm;
+    slfs_cfg.sizeScale = 1.5f;
+    auto slfs = models::zoo::create("av-mnist", slfs_cfg);
+    auto w = models::zoo::createDefault("av-mnist");
+    auto task = w->makeTask(41);
+    auto slfs_task = slfs->makeTask(41);
+
+    struct Case
+    {
+        const char *impl;
+        int64_t batch;
+        profile::ProfileResult result;
+        double inference_ms; ///< for all 10000 tasks
+    };
+    std::vector<Case> cases;
+    const int64_t total_tasks = 10000;
+    for (const char *impl : {"slfs", "image"}) {
+        for (int64_t b : {40L, 400L}) {
+            const bool is_slfs = std::string(impl) == "slfs";
+            data::Batch batch = is_slfs ? slfs_task.sample(b)
+                                        : task.sample(b);
+            profile::ProfileResult r =
+                is_slfs ? profiler.profile(*slfs, batch)
+                        : profiler.profileUniModal(*w, batch, 0);
+            const double batches =
+                static_cast<double>(total_tasks) /
+                static_cast<double>(b);
+            cases.push_back(
+                {impl, b, r, r.timeline.totalUs * batches / 1e3});
+        }
+    }
+
+    TextTable dist({"Impl", "Batch", "0-10us", "10-50us", "50-100us",
+                    ">100us"});
+    for (const Case &c : cases) {
+        auto hist = profile::kernelSizeHistogram(c.result.timeline);
+        const double total = static_cast<double>(hist[0] + hist[1] +
+                                                 hist[2] + hist[3]);
+        dist.addRow({c.impl, strfmt("b%lld",
+                                    static_cast<long long>(c.batch)),
+                     pct(hist[0] / total), pct(hist[1] / total),
+                     pct(hist[2] / total), pct(hist[3] / total)});
+    }
+    dist.print(std::cout);
+
+    TextTable times({"Impl", "Batch", "GPU time (10k tasks)",
+                     "Inference time (10k tasks)"});
+    for (const Case &c : cases) {
+        const double batches = static_cast<double>(total_tasks) /
+                               static_cast<double>(c.batch);
+        times.addRow({c.impl,
+                      strfmt("b%lld", static_cast<long long>(c.batch)),
+                      us(c.result.timeline.gpuBusyUs * batches),
+                      us(c.inference_ms * 1e3)});
+    }
+    times.print(std::cout);
+
+    // Speedup summary: 10x batch -> how much faster?
+    const double slfs_speedup = cases[0].inference_ms / cases[1].inference_ms;
+    const double uni_speedup = cases[2].inference_ms / cases[3].inference_ms;
+    benchutil::note(strfmt("10x batch speedup: slfs %.2fx, image %.2fx "
+                           "(both << 10x, the paper's headline "
+                           "observation).",
+                           slfs_speedup, uni_speedup));
+    benchutil::note("paper sub-observation not reproduced: our "
+                    "simulator amortizes launch/ramp overhead more for "
+                    "the kernel-richer multi-modal variant, so its GPU "
+                    "time shrinks slightly faster; see "
+                    "EXPERIMENTS.md.");
+    return 0;
+}

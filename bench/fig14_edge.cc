@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Figure 14 — migration to edge devices: AV-MNIST inference time on
+ * Jetson Nano, Jetson Orin and the 2080Ti server across batch sizes
+ * 40..320, for the uni-modal and multi-modal ("slfs") variants.
+ *
+ * Expected shape (paper): nano is ~6.5x slower than the server; on
+ * nano the latency stops improving (resource exhaustion) at large
+ * batch; orin behaves like a small server; the multi/uni ratio is
+ * higher on the edge devices than on the server.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "core/logging.hh"
+#include "core/table.hh"
+#include "models/zoo.hh"
+#include "profile/profiler.hh"
+
+using namespace mmbench;
+using benchutil::us;
+
+int
+main()
+{
+    benchutil::printTitle(
+        "Figure 14: AV-MNIST inference on server and edge devices",
+        "Simulated inference time per batch; ratio = slfs (multi) / "
+        "uni time.");
+
+    auto w = models::zoo::createDefault("av-mnist");
+    auto task = w->makeTask(47);
+
+    const sim::DeviceModel devices[] = {sim::DeviceModel::jetsonNano(),
+                                        sim::DeviceModel::jetsonOrin(),
+                                        sim::DeviceModel::rtx2080ti()};
+
+    TextTable table({"Device", "Batch", "uni", "slfs",
+                     "ratio slfs/uni"});
+    double nano_total = 0.0, server_total = 0.0;
+    for (const sim::DeviceModel &dev : devices) {
+        profile::Profiler profiler(dev);
+        bool first = true;
+        for (int64_t b : {40L, 80L, 160L, 320L}) {
+            data::Batch batch = task.sample(b);
+            // Memory-capacity pressure: on devices whose (shared)
+            // DRAM is nearly exhausted, oversized batches thrash.
+            profile::ProfileResult uni =
+                profiler.profileUniModal(*w, batch, 0);
+            profile::ProfileResult multi = profiler.profile(*w, batch);
+            auto pressured = [&dev](const profile::ProfileResult &r,
+                                    double t) {
+                const auto inter = static_cast<size_t>(
+                    trace::MemCategory::Intermediate);
+                const uint64_t footprint =
+                    r.timeline.memory.peakBytes[inter] + r.modelBytes +
+                    r.datasetBytes;
+                return t * dev.memoryPressureFactor(footprint);
+            };
+            const double uni_t =
+                pressured(uni, uni.timeline.totalUs);
+            const double multi_t =
+                pressured(multi, multi.timeline.totalUs);
+            table.addRow({first ? dev.name : "",
+                          strfmt("%lld", static_cast<long long>(b)),
+                          us(uni_t), us(multi_t),
+                          strfmt("%.2f", multi_t / uni_t)});
+            first = false;
+            // Summary ratio uses the pre-thrash batches (the paper's
+            // 6.5x figure is quoted before the nano memory knee).
+            if (b <= 160) {
+                if (dev.name == "nano")
+                    nano_total += multi_t;
+                if (dev.name == "2080ti")
+                    server_total += multi_t;
+            }
+        }
+        table.addSeparator();
+    }
+    table.print(std::cout);
+
+    benchutil::note(strfmt("nano / server multi-modal time ratio "
+                           "(pre-knee): %.1fx (paper: ~6.5x).",
+                           nano_total / server_total));
+    benchutil::note("paper shape: nano latency degrades again at batch "
+                    "320 (resources exhausted) while the server keeps "
+                    "improving; orin tracks the server. The paper's "
+                    "higher slfs/uni ratio on edge devices reproduces "
+                    "only partially (orin > server at small batch); see "
+                    "EXPERIMENTS.md.");
+    return 0;
+}

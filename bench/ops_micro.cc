@@ -1,0 +1,133 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the tensor operator library —
+ * the CPU reference backend's own performance (not the simulated
+ * device), useful for keeping the functional layer fast enough to
+ * drive the characterization experiments.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/rng.hh"
+#include "tensor/ops.hh"
+
+using namespace mmbench;
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+void
+BM_Gemm(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(1);
+    Tensor a = Tensor::randn(Shape{n, n}, rng);
+    Tensor b = Tensor::randn(Shape{n, n}, rng);
+    for (auto _ : state) {
+        Tensor c = tensor::matmul(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_Conv2d(benchmark::State &state)
+{
+    const int64_t hw = state.range(0);
+    Rng rng(2);
+    Tensor x = Tensor::randn(Shape{4, 8, hw, hw}, rng);
+    Tensor w = Tensor::randn(Shape{16, 8, 3, 3}, rng);
+    Tensor b = Tensor::zeros(Shape{16});
+    for (auto _ : state) {
+        Tensor y = tensor::conv2d(x, w, b, 1, 1);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_Conv2d)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_ElementwiseAdd(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(3);
+    Tensor a = Tensor::randn(Shape{n}, rng);
+    Tensor b = Tensor::randn(Shape{n}, rng);
+    for (auto _ : state) {
+        Tensor c = tensor::add(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetBytesProcessed(state.iterations() * n * 12);
+}
+BENCHMARK(BM_ElementwiseAdd)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void
+BM_BroadcastBiasAdd(benchmark::State &state)
+{
+    const int64_t rows = state.range(0);
+    Rng rng(4);
+    Tensor a = Tensor::randn(Shape{rows, 256}, rng);
+    Tensor b = Tensor::randn(Shape{256}, rng);
+    for (auto _ : state) {
+        Tensor c = tensor::add(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+}
+BENCHMARK(BM_BroadcastBiasAdd)->Arg(16)->Arg(256);
+
+void
+BM_Softmax(benchmark::State &state)
+{
+    const int64_t cols = state.range(0);
+    Rng rng(5);
+    Tensor a = Tensor::randn(Shape{64, cols}, rng);
+    for (auto _ : state) {
+        Tensor s = tensor::softmaxLast(a);
+        benchmark::DoNotOptimize(s.data());
+    }
+}
+BENCHMARK(BM_Softmax)->Arg(64)->Arg(1024);
+
+void
+BM_Maxpool(benchmark::State &state)
+{
+    Rng rng(6);
+    Tensor x = Tensor::randn(Shape{8, 16, 32, 32}, rng);
+    for (auto _ : state) {
+        Tensor y = tensor::maxpool2d(x, 2, 2);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_Maxpool);
+
+void
+BM_LayerNorm(benchmark::State &state)
+{
+    Rng rng(7);
+    Tensor x = Tensor::randn(Shape{64, 256}, rng);
+    Tensor g = Tensor::ones(Shape{256});
+    Tensor b = Tensor::zeros(Shape{256});
+    for (auto _ : state) {
+        Tensor y = tensor::layernorm(x, g, b, 1e-5f);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_LayerNorm);
+
+void
+BM_Concat(benchmark::State &state)
+{
+    Rng rng(8);
+    Tensor a = Tensor::randn(Shape{64, 128}, rng);
+    Tensor b = Tensor::randn(Shape{64, 128}, rng);
+    for (auto _ : state) {
+        Tensor c = tensor::concat({a, b}, 1);
+        benchmark::DoNotOptimize(c.data());
+    }
+}
+BENCHMARK(BM_Concat);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Table 1 — the fusion operator catalogue. For every operator F(x, y)
+ * we report its formulation, parameter count and simulated kernel
+ * footprint at a fixed feature geometry, validating that the six
+ * operators span a wide cost range.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.hh"
+#include "core/logging.hh"
+#include "core/table.hh"
+#include "fusion/fusion.hh"
+#include "fusion/strategies.hh"
+#include "nn/init.hh"
+#include "sim/timeline.hh"
+#include "trace/sink.hh"
+
+using namespace mmbench;
+using benchutil::f2;
+using fusion::FusionKind;
+
+namespace {
+
+struct Row
+{
+    FusionKind kind;
+    const char *formulation;
+    const char *meaning;
+};
+
+const Row kRows[] = {
+    {FusionKind::Zero, "0", "Discards these features"},
+    {FusionKind::Sum, "x + y", "Sum features"},
+    {FusionKind::Concat, "ReLU(Concat(x,y)W + b)", "Concat features"},
+    {FusionKind::Tensor, "x (x) y", "Outer product interaction"},
+    {FusionKind::Attention, "Softmax(xy^T/sqrt(Cy))",
+     "Attention mechanism"},
+    {FusionKind::LinearGLU, "xW1 . Sigmoid(yW2)", "Linear layer + GLU"},
+};
+
+} // namespace
+
+int
+main()
+{
+    benchutil::printTitle(
+        "Table 1: Commonly used fusion operators",
+        "Formulation, trainable parameters and simulated device-time "
+        "per call\nfor each Table-1 operator at B=32, Dx=Dy=Dout=128 "
+        "on the 2080Ti model.");
+
+    const int64_t batch = 32, dim = 128;
+    sim::Timeline timeline(sim::DeviceModel::rtx2080ti());
+
+    TextTable table({"Fusion type", "Formulation F(x, y)", "Meaning",
+                     "Params", "Kernels", "Sim time"});
+    for (const Row &row : kRows) {
+        nn::seedAll(7);
+        auto op = fusion::createFusion(row.kind, {dim, dim}, dim);
+        Rng rng(11);
+        std::vector<autograd::Var> features = {
+            autograd::Var(tensor::Tensor::randn(
+                tensor::Shape{batch, dim}, rng)),
+            autograd::Var(tensor::Tensor::randn(
+                tensor::Shape{batch, dim}, rng)),
+        };
+        trace::RecordingSink sink;
+        {
+            trace::ScopedSink guard(sink);
+            autograd::NoGradGuard no_grad;
+            op->fuse(features);
+        }
+        sim::TimelineResult result = timeline.replay(sink);
+        table.addRow({fusion::fusionKindName(row.kind), row.formulation,
+                      row.meaning,
+                      strfmt("%lld", static_cast<long long>(
+                                         op->parameterCount())),
+                      strfmt("%zu", result.kernels.size()),
+                      benchutil::us(result.gpuBusyUs)});
+    }
+    table.print(std::cout);
+
+    benchutil::note("tensor fusion is the most expensive operator (outer "
+                    "product blows up the intermediate); zero fusion is "
+                    "free.");
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Autonomous-driving scenario: run the TransFuser workload (camera +
+ * LiDAR BEV, cross-modal transformer, auto-regressive waypoint head)
+ * on simulated sensor frames and compare the server against both
+ * Jetson edge boards — the deployment question the paper's edge case
+ * study asks.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "autograd/var.hh"
+#include "core/logging.hh"
+#include "core/string_utils.hh"
+#include "core/table.hh"
+#include "models/zoo.hh"
+#include "profile/profiler.hh"
+
+using namespace mmbench;
+
+int
+main()
+{
+    auto car = models::zoo::createDefault("transfuser");
+    car->train(false);
+    std::printf("TransFuser: %lld parameters, modalities:",
+                static_cast<long long>(car->parameterCount()));
+    for (const auto &m : car->dataSpec().modalities)
+        std::printf(" %s%s", m.name.c_str(), m.sampleShape.toString().c_str());
+    std::printf("\n\n");
+
+    // One simulated sensor frame (camera RGB + LiDAR bird's-eye grid).
+    auto road = car->makeTask(/*seed=*/2026);
+    data::Batch frame = road.sample(1);
+
+    // Predicted waypoints for this frame.
+    {
+        autograd::NoGradGuard no_grad;
+        autograd::Var waypoints = car->forward(frame);
+        std::printf("predicted waypoints (x, y):");
+        for (int64_t i = 0; i < waypoints.value().numel(); i += 2) {
+            std::printf(" (%.2f, %.2f)", waypoints.value().at(i),
+                        waypoints.value().at(i + 1));
+        }
+        std::printf("\n\n");
+    }
+
+    // Deployment study: can the pipeline hold a sensor rate on edge
+    // silicon? Profile the same frame on all three device models.
+    TextTable table({"Device", "Latency", "GPU busy", "CPU+runtime",
+                     "Max frame rate"});
+    for (const sim::DeviceModel &dev :
+         {sim::DeviceModel::rtx2080ti(), sim::DeviceModel::jetsonOrin(),
+          sim::DeviceModel::jetsonNano()}) {
+        profile::Profiler profiler(dev);
+        profile::ProfileResult r = profiler.profile(*car, frame);
+        table.addRow({dev.name, formatMicros(r.timeline.totalUs),
+                      formatMicros(r.timeline.gpuBusyUs),
+                      formatMicros(r.timeline.cpuRuntimeUs),
+                      strfmt("%.0f fps", 1e6 / r.timeline.totalUs)});
+    }
+    table.print(std::cout);
+
+    // Where does the time go on the weakest board?
+    profile::Profiler nano(sim::DeviceModel::jetsonNano());
+    profile::ProfileResult r = nano.profile(*car, frame);
+    std::printf("\nper-stage device time on the nano:\n");
+    for (trace::Stage stage :
+         {trace::Stage::Encoder, trace::Stage::Fusion,
+          trace::Stage::Head}) {
+        profile::MetricAgg agg =
+            profile::aggregateStage(r.timeline, stage);
+        std::printf("  %-8s %s\n", trace::stageName(stage),
+                    formatMicros(agg.gpuTimeUs).c_str());
+    }
+    return 0;
+}

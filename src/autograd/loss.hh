@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Loss functions returning scalar Vars ready for backward().
+ */
+
+#ifndef MMBENCH_AUTOGRAD_LOSS_HH
+#define MMBENCH_AUTOGRAD_LOSS_HH
+
+#include "autograd/var.hh"
+
+namespace mmbench {
+namespace autograd {
+
+/**
+ * Mean cross-entropy between logits (B, C) and integer class labels
+ * (B) stored as floats.
+ */
+Var crossEntropyLoss(const Var &logits, const Tensor &labels);
+
+/**
+ * Mean binary cross-entropy with logits, for multi-label targets of
+ * the same shape as logits (entries in {0, 1}).
+ */
+Var bceWithLogitsLoss(const Var &logits, const Tensor &targets);
+
+/** Mean squared error between pred and target (same shape). */
+Var mseLoss(const Var &pred, const Tensor &target);
+
+/**
+ * Mean per-pixel cross-entropy for dense segmentation: logits
+ * (B, C, H, W) vs integer label map (B, H, W).
+ */
+Var pixelCrossEntropyLoss(const Var &logits, const Tensor &labels);
+
+} // namespace autograd
+} // namespace mmbench
+
+#endif // MMBENCH_AUTOGRAD_LOSS_HH

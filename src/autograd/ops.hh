@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Differentiable operators over Var.
+ *
+ * Forward computation delegates to the tensor library (which emits
+ * kernel events); when grad recording is enabled each operator also
+ * registers a backward closure on the output node.
+ */
+
+#ifndef MMBENCH_AUTOGRAD_OPS_HH
+#define MMBENCH_AUTOGRAD_OPS_HH
+
+#include <vector>
+
+#include "autograd/var.hh"
+#include "core/rng.hh"
+
+namespace mmbench {
+namespace autograd {
+
+/** @name Pointwise arithmetic (broadcasting like tensor::add etc.) @{ */
+Var add(const Var &a, const Var &b);
+Var sub(const Var &a, const Var &b);
+Var mul(const Var &a, const Var &b);
+Var addScalar(const Var &a, float s);
+Var mulScalar(const Var &a, float s);
+Var neg(const Var &a);
+/** @} */
+
+/** @name Activations @{ */
+Var relu(const Var &a);
+Var sigmoid(const Var &a);
+Var tanhV(const Var &a);
+Var gelu(const Var &a);
+/** @} */
+
+/** @name Linear algebra @{ */
+Var matmul(const Var &a, const Var &b);
+/** x (..., in) @ w (in, out) + b (out): fully connected layer. */
+Var linear(const Var &x, const Var &w, const Var &b);
+/** Batched outer product (B,m) x (B,n) -> (B,m,n). */
+Var outerBatch(const Var &a, const Var &b);
+/** @} */
+
+/** @name Softmax and friends @{ */
+Var softmaxLast(const Var &a);
+Var logSoftmaxLast(const Var &a);
+/** @} */
+
+/** @name Shape @{ */
+Var reshape(const Var &a, const Shape &shape);
+Var concat(const std::vector<Var> &parts, int axis);
+Var narrow(const Var &a, int axis, int64_t start, int64_t len);
+Var transpose2d(const Var &a);
+Var swapDims(const Var &a, int d0, int d1);
+/** @} */
+
+/** @name Reductions @{ */
+Var sumAll(const Var &a);
+Var meanAll(const Var &a);
+Var meanAxis(const Var &a, int axis);
+Var sumAxis(const Var &a, int axis);
+/** @} */
+
+/** @name Convolution / pooling (NCHW) @{ */
+Var conv2d(const Var &x, const Var &w, const Var &b, int stride, int pad);
+Var maxpool2d(const Var &x, int kernel, int stride);
+Var avgpool2d(const Var &x, int kernel, int stride);
+Var globalAvgPool(const Var &x);
+Var upsampleNearest2x(const Var &x);
+/** @} */
+
+/** @name Normalization @{ */
+/**
+ * Batchnorm2d. running_mean/running_var are owned by the calling
+ * module and updated in training mode.
+ */
+Var batchnorm2d(const Var &x, const Var &gamma, const Var &beta,
+                Tensor &running_mean, Tensor &running_var, bool training,
+                float momentum = 0.1f, float eps = 1e-5f);
+Var layernorm(const Var &x, const Var &gamma, const Var &beta,
+              float eps = 1e-5f);
+/** @} */
+
+/** @name Lookup / stochastic @{ */
+/** ids hold integer token indices (as floats); weight is (V, D). */
+Var embedding(const Var &weight, const Tensor &ids);
+/** Inverted dropout; identity when !training or p == 0. */
+Var dropout(const Var &x, float p, bool training, Rng &rng);
+/** @} */
+
+} // namespace autograd
+} // namespace mmbench
+
+#endif // MMBENCH_AUTOGRAD_OPS_HH

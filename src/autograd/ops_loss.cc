@@ -1,0 +1,213 @@
+#include "autograd/loss.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+#include "trace/sink.hh"
+
+namespace mmbench {
+namespace autograd {
+
+namespace ts = mmbench::tensor;
+
+Var
+crossEntropyLoss(const Var &logits, const Tensor &labels)
+{
+    MM_ASSERT(logits.value().ndim() == 2, "crossEntropyLoss needs (B, C)");
+    const int64_t batch = logits.value().size(0);
+    const int64_t classes = logits.value().size(1);
+    MM_ASSERT(labels.numel() == batch, "label count != batch size");
+
+    Tensor probs = ts::softmaxLast(logits.value());
+    double loss_acc = 0.0;
+    const float *pp = probs.data();
+    const float *pl = labels.data();
+    for (int64_t i = 0; i < batch; ++i) {
+        const int64_t label = static_cast<int64_t>(pl[i]);
+        MM_ASSERT(label >= 0 && label < classes, "label %lld out of range",
+                  static_cast<long long>(label));
+        loss_acc += -std::log(
+            std::max(pp[i * classes + label], 1e-12f));
+    }
+    Tensor loss = Tensor::scalar(
+        static_cast<float>(loss_acc / static_cast<double>(batch)));
+    trace::emitKernel(trace::KernelClass::Reduce, "nll_loss",
+                      static_cast<uint64_t>(batch), probs.bytes(),
+                      sizeof(float));
+
+    return Var::makeNode(std::move(loss), {logits},
+                         [logits, probs, labels, batch,
+                          classes](const Tensor &g) {
+        // d/dlogits = (softmax - onehot) / B, scaled by upstream g.
+        const float scale = g.item() / static_cast<float>(batch);
+        Tensor gx = probs.clone();
+        float *pg = gx.data();
+        const float *pl = labels.data();
+        for (int64_t i = 0; i < batch; ++i) {
+            pg[i * classes + static_cast<int64_t>(pl[i])] -= 1.0f;
+        }
+        for (int64_t i = 0; i < gx.numel(); ++i)
+            pg[i] *= scale;
+        trace::emitKernel(trace::KernelClass::Elewise, "nll_loss_backward",
+                          static_cast<uint64_t>(gx.numel()), probs.bytes(),
+                          gx.bytes());
+        Var lm = logits;
+        lm.accumulateGrad(gx);
+    });
+}
+
+Var
+bceWithLogitsLoss(const Var &logits, const Tensor &targets)
+{
+    MM_ASSERT(logits.value().shape() == targets.shape(),
+              "bce: logits %s vs targets %s",
+              logits.value().shape().toString().c_str(),
+              targets.shape().toString().c_str());
+    const int64_t n = logits.value().numel();
+    const float *px = logits.value().data();
+    const float *pt = targets.data();
+    double acc = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+        // Numerically stable: max(x,0) - x*t + log(1 + exp(-|x|)).
+        const float x = px[i];
+        acc += std::max(x, 0.0f) - x * pt[i] +
+               std::log1p(std::exp(-std::fabs(x)));
+    }
+    Tensor loss = Tensor::scalar(
+        static_cast<float>(acc / static_cast<double>(n)));
+    trace::emitKernel(trace::KernelClass::Reduce, "bce_loss",
+                      static_cast<uint64_t>(n) * 4,
+                      logits.value().bytes() + targets.bytes(),
+                      sizeof(float));
+
+    return Var::makeNode(std::move(loss), {logits},
+                         [logits, targets, n](const Tensor &g) {
+        const float scale = g.item() / static_cast<float>(n);
+        Tensor gx(logits.value().shape());
+        const float *px = logits.value().data();
+        const float *pt = targets.data();
+        float *pg = gx.data();
+        for (int64_t i = 0; i < n; ++i) {
+            const float s = 1.0f / (1.0f + std::exp(-px[i]));
+            pg[i] = (s - pt[i]) * scale;
+        }
+        trace::emitKernel(trace::KernelClass::Elewise, "bce_loss_backward",
+                          static_cast<uint64_t>(n) * 4,
+                          logits.value().bytes(), gx.bytes());
+        Var lm = logits;
+        lm.accumulateGrad(gx);
+    });
+}
+
+Var
+mseLoss(const Var &pred, const Tensor &target)
+{
+    MM_ASSERT(pred.value().shape() == target.shape(),
+              "mse: pred %s vs target %s",
+              pred.value().shape().toString().c_str(),
+              target.shape().toString().c_str());
+    const int64_t n = pred.value().numel();
+    const float *pp = pred.value().data();
+    const float *pt = target.data();
+    double acc = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+        const double d = pp[i] - pt[i];
+        acc += d * d;
+    }
+    Tensor loss = Tensor::scalar(
+        static_cast<float>(acc / static_cast<double>(n)));
+    trace::emitKernel(trace::KernelClass::Reduce, "mse_loss",
+                      static_cast<uint64_t>(n) * 2,
+                      pred.value().bytes() + target.bytes(), sizeof(float));
+
+    return Var::makeNode(std::move(loss), {pred},
+                         [pred, target, n](const Tensor &g) {
+        const float scale = 2.0f * g.item() / static_cast<float>(n);
+        Tensor gx(pred.value().shape());
+        const float *pp = pred.value().data();
+        const float *pt = target.data();
+        float *pg = gx.data();
+        for (int64_t i = 0; i < n; ++i)
+            pg[i] = (pp[i] - pt[i]) * scale;
+        trace::emitKernel(trace::KernelClass::Elewise, "mse_loss_backward",
+                          static_cast<uint64_t>(n) * 2,
+                          pred.value().bytes(), gx.bytes());
+        Var pm = pred;
+        pm.accumulateGrad(gx);
+    });
+}
+
+Var
+pixelCrossEntropyLoss(const Var &logits, const Tensor &labels)
+{
+    MM_ASSERT(logits.value().ndim() == 4,
+              "pixelCrossEntropyLoss needs (B, C, H, W)");
+    const int64_t b = logits.value().size(0);
+    const int64_t c = logits.value().size(1);
+    const int64_t hw = logits.value().size(2) * logits.value().size(3);
+    MM_ASSERT(labels.numel() == b * hw, "label map size mismatch");
+
+    // Softmax over the channel axis per pixel.
+    const float *px = logits.value().data();
+    const float *pl = labels.data();
+    Tensor probs(logits.value().shape());
+    float *pp = probs.data();
+    double loss_acc = 0.0;
+    for (int64_t bi = 0; bi < b; ++bi) {
+        for (int64_t pix = 0; pix < hw; ++pix) {
+            float mx = px[(bi * c) * hw + pix];
+            for (int64_t ci = 1; ci < c; ++ci)
+                mx = std::max(mx, px[(bi * c + ci) * hw + pix]);
+            double denom = 0.0;
+            for (int64_t ci = 0; ci < c; ++ci) {
+                const float e =
+                    std::exp(px[(bi * c + ci) * hw + pix] - mx);
+                pp[(bi * c + ci) * hw + pix] = e;
+                denom += e;
+            }
+            const float inv = static_cast<float>(1.0 / denom);
+            for (int64_t ci = 0; ci < c; ++ci)
+                pp[(bi * c + ci) * hw + pix] *= inv;
+            const int64_t label =
+                static_cast<int64_t>(pl[bi * hw + pix]);
+            MM_ASSERT(label >= 0 && label < c,
+                      "pixel label %lld out of range",
+                      static_cast<long long>(label));
+            loss_acc += -std::log(std::max(
+                pp[(bi * c + label) * hw + pix], 1e-12f));
+        }
+    }
+    const int64_t total = b * hw;
+    Tensor loss = Tensor::scalar(
+        static_cast<float>(loss_acc / static_cast<double>(total)));
+    trace::emitKernel(trace::KernelClass::Reduce, "pixel_ce_loss",
+                      static_cast<uint64_t>(logits.value().numel()) * 5,
+                      logits.value().bytes(), sizeof(float));
+
+    return Var::makeNode(std::move(loss), {logits},
+                         [logits, probs, labels, b, c,
+                          hw](const Tensor &g) {
+        const float scale = g.item() / static_cast<float>(b * hw);
+        Tensor gx = probs.clone();
+        float *pg = gx.data();
+        const float *pl = labels.data();
+        for (int64_t bi = 0; bi < b; ++bi) {
+            for (int64_t pix = 0; pix < hw; ++pix) {
+                const int64_t label =
+                    static_cast<int64_t>(pl[bi * hw + pix]);
+                pg[(bi * c + label) * hw + pix] -= 1.0f;
+            }
+        }
+        for (int64_t i = 0; i < gx.numel(); ++i)
+            pg[i] *= scale;
+        trace::emitKernel(trace::KernelClass::Elewise,
+                          "pixel_ce_loss_backward",
+                          static_cast<uint64_t>(gx.numel()), probs.bytes(),
+                          gx.bytes());
+        Var lm = logits;
+        lm.accumulateGrad(gx);
+    });
+}
+
+} // namespace autograd
+} // namespace mmbench

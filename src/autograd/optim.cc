@@ -1,0 +1,124 @@
+#include "autograd/optim.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace mmbench {
+namespace autograd {
+
+Optimizer::Optimizer(std::vector<Var> params) : params_(std::move(params))
+{
+    for (const Var &p : params_)
+        MM_ASSERT(p.requiresGrad(), "optimizer given a non-leaf parameter");
+}
+
+void
+Optimizer::zeroGrad()
+{
+    for (Var &p : params_)
+        p.zeroGrad();
+}
+
+void
+Optimizer::clipGradNorm(float max_norm)
+{
+    double sq = 0.0;
+    for (const Var &p : params_) {
+        if (!p.hasGrad())
+            continue;
+        const float *g = p.grad().data();
+        for (int64_t i = 0; i < p.grad().numel(); ++i)
+            sq += static_cast<double>(g[i]) * g[i];
+    }
+    const double norm = std::sqrt(sq);
+    if (norm <= max_norm || norm == 0.0)
+        return;
+    const float scale = static_cast<float>(max_norm / norm);
+    for (Var &p : params_) {
+        if (!p.hasGrad())
+            continue;
+        Tensor &g = p.mutableGrad();
+        float *pg = g.data();
+        for (int64_t i = 0; i < g.numel(); ++i)
+            pg[i] *= scale;
+    }
+}
+
+Sgd::Sgd(std::vector<Var> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum),
+      weightDecay_(weight_decay)
+{
+    if (momentum_ > 0.0f) {
+        velocity_.reserve(params_.size());
+        for (const Var &p : params_)
+            velocity_.push_back(Tensor::zeros(p.value().shape()));
+    }
+}
+
+void
+Sgd::step()
+{
+    for (size_t i = 0; i < params_.size(); ++i) {
+        Var &p = params_[i];
+        if (!p.hasGrad())
+            continue;
+        float *w = p.value().data();
+        const float *g = p.grad().data();
+        const int64_t n = p.value().numel();
+        if (momentum_ > 0.0f) {
+            float *v = velocity_[i].data();
+            for (int64_t j = 0; j < n; ++j) {
+                const float grad = g[j] + weightDecay_ * w[j];
+                v[j] = momentum_ * v[j] + grad;
+                w[j] -= lr_ * v[j];
+            }
+        } else {
+            for (int64_t j = 0; j < n; ++j)
+                w[j] -= lr_ * (g[j] + weightDecay_ * w[j]);
+        }
+    }
+}
+
+Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps), weightDecay_(weight_decay)
+{
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (const Var &p : params_) {
+        m_.push_back(Tensor::zeros(p.value().shape()));
+        v_.push_back(Tensor::zeros(p.value().shape()));
+    }
+}
+
+void
+Adam::step()
+{
+    ++t_;
+    const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+    const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+    for (size_t i = 0; i < params_.size(); ++i) {
+        Var &p = params_[i];
+        if (!p.hasGrad())
+            continue;
+        float *w = p.value().data();
+        const float *g = p.grad().data();
+        float *m = m_[i].data();
+        float *v = v_[i].data();
+        const int64_t n = p.value().numel();
+        for (int64_t j = 0; j < n; ++j) {
+            const float grad = g[j] + weightDecay_ * w[j];
+            m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad;
+            v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad * grad;
+            const float mhat = m[j] / bc1;
+            const float vhat = v[j] / bc2;
+            w[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+        }
+    }
+}
+
+} // namespace autograd
+} // namespace mmbench

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * First-order optimizers over sets of leaf Vars.
+ */
+
+#ifndef MMBENCH_AUTOGRAD_OPTIM_HH
+#define MMBENCH_AUTOGRAD_OPTIM_HH
+
+#include <vector>
+
+#include "autograd/var.hh"
+
+namespace mmbench {
+namespace autograd {
+
+/** Common optimizer interface. */
+class Optimizer
+{
+  public:
+    explicit Optimizer(std::vector<Var> params);
+    virtual ~Optimizer() = default;
+
+    /** Apply one update from the accumulated gradients. */
+    virtual void step() = 0;
+
+    /** Clear gradients on all managed parameters. */
+    void zeroGrad();
+
+    /** Global L2 gradient-norm clipping (no-op if norm below max). */
+    void clipGradNorm(float max_norm);
+
+    const std::vector<Var> &params() const { return params_; }
+
+  protected:
+    std::vector<Var> params_;
+};
+
+/** Stochastic gradient descent with optional momentum + weight decay. */
+class Sgd : public Optimizer
+{
+  public:
+    Sgd(std::vector<Var> params, float lr, float momentum = 0.0f,
+        float weight_decay = 0.0f);
+
+    void step() override;
+
+  private:
+    float lr_;
+    float momentum_;
+    float weightDecay_;
+    std::vector<Tensor> velocity_;
+};
+
+/** Adam with bias correction. */
+class Adam : public Optimizer
+{
+  public:
+    Adam(std::vector<Var> params, float lr, float beta1 = 0.9f,
+         float beta2 = 0.999f, float eps = 1e-8f,
+         float weight_decay = 0.0f);
+
+    void step() override;
+
+  private:
+    float lr_, beta1_, beta2_, eps_, weightDecay_;
+    int64_t t_ = 0;
+    std::vector<Tensor> m_, v_;
+};
+
+} // namespace autograd
+} // namespace mmbench
+
+#endif // MMBENCH_AUTOGRAD_OPTIM_HH

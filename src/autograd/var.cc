@@ -1,0 +1,200 @@
+#include "autograd/var.hh"
+
+#include <atomic>
+#include <unordered_set>
+
+#include "core/logging.hh"
+
+namespace mmbench {
+namespace autograd {
+
+namespace {
+
+thread_local bool tlsGradEnabled = true;
+std::atomic<uint64_t> nextNodeId{1};
+
+} // namespace
+
+bool
+GradMode::enabled()
+{
+    return tlsGradEnabled;
+}
+
+void
+GradMode::set(bool on)
+{
+    tlsGradEnabled = on;
+}
+
+NoGradGuard::NoGradGuard() : prev_(GradMode::enabled())
+{
+    GradMode::set(false);
+}
+
+NoGradGuard::~NoGradGuard()
+{
+    GradMode::set(prev_);
+}
+
+Var::Var(Tensor value, bool requires_grad)
+    : node_(std::make_shared<Node>())
+{
+    node_->value = std::move(value);
+    node_->requiresGrad = requires_grad;
+    node_->needsGrad = requires_grad;
+    node_->id = nextNodeId.fetch_add(1, std::memory_order_relaxed);
+}
+
+Var
+Var::makeNode(Tensor value, std::vector<Var> parents, BackwardFn backward_fn)
+{
+    bool needs = false;
+    if (GradMode::enabled()) {
+        for (const Var &p : parents)
+            needs = needs || p.needsGrad();
+    }
+    Var out(std::move(value), false);
+    if (needs) {
+        out.node_->needsGrad = true;
+        out.node_->backward = std::move(backward_fn);
+        out.node_->parents.reserve(parents.size());
+        for (Var &p : parents)
+            out.node_->parents.push_back(p.node_);
+    }
+    return out;
+}
+
+const Tensor &
+Var::value() const
+{
+    MM_ASSERT(defined(), "value() on undefined Var");
+    return node_->value;
+}
+
+Tensor &
+Var::value()
+{
+    MM_ASSERT(defined(), "value() on undefined Var");
+    return node_->value;
+}
+
+const Tensor &
+Var::grad() const
+{
+    MM_ASSERT(hasGrad(), "grad() before any backward() accumulation");
+    return node_->grad;
+}
+
+Tensor &
+Var::mutableGrad()
+{
+    MM_ASSERT(hasGrad(), "mutableGrad() before any backward() accumulation");
+    return node_->grad;
+}
+
+void
+Var::zeroGrad()
+{
+    if (node_)
+        node_->grad = Tensor();
+}
+
+void
+Var::accumulateGrad(const Tensor &g)
+{
+    MM_ASSERT(defined(), "accumulateGrad on undefined Var");
+    MM_ASSERT(g.numel() == node_->value.numel(),
+              "gradient numel %lld != value numel %lld",
+              static_cast<long long>(g.numel()),
+              static_cast<long long>(node_->value.numel()));
+    if (!node_->grad.defined()) {
+        node_->grad = g.clone();
+        return;
+    }
+    float *pa = node_->grad.data();
+    const float *pb = g.data();
+    const int64_t n = node_->grad.numel();
+    for (int64_t i = 0; i < n; ++i)
+        pa[i] += pb[i];
+}
+
+Var
+Var::detach() const
+{
+    MM_ASSERT(defined(), "detach() on undefined Var");
+    return Var(node_->value, false);
+}
+
+void
+backward(const Var &root)
+{
+    MM_ASSERT(root.defined(), "backward() on undefined Var");
+    MM_ASSERT(root.value().numel() == 1,
+              "backward() root must be scalar, got %s",
+              root.value().shape().toString().c_str());
+    MM_ASSERT(root.needsGrad(),
+              "backward() root does not require gradients");
+
+    // Post-order DFS (iterative) for reverse topological order.
+    std::vector<Var::Node *> order;
+    std::unordered_set<Var::Node *> visited;
+    std::vector<std::pair<Var::Node *, size_t>> stack;
+    stack.emplace_back(root.node().get(), 0);
+    visited.insert(root.node().get());
+    while (!stack.empty()) {
+        auto &[node, next_child] = stack.back();
+        bool descended = false;
+        while (next_child < node->parents.size()) {
+            Var::Node *child = node->parents[next_child++].get();
+            if (child->needsGrad && !visited.count(child)) {
+                visited.insert(child);
+                stack.emplace_back(child, 0);
+                descended = true;
+                break;
+            }
+        }
+        if (!descended && (stack.back().second >=
+                           stack.back().first->parents.size())) {
+            order.push_back(stack.back().first);
+            stack.pop_back();
+        }
+    }
+
+    // Seed the root and sweep in reverse topological order.
+    root.node()->grad = Tensor::ones(root.value().shape());
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        Var::Node *node = *it;
+        if (!node->backward)
+            continue; // leaf
+        MM_ASSERT(node->grad.defined(),
+                  "interior node reached without gradient");
+        node->backward(node->grad);
+        // Free interior gradient memory eagerly; leaves keep theirs.
+        if (!node->requiresGrad)
+            node->grad = Tensor();
+    }
+}
+
+Tensor
+reduceGradTo(const Tensor &grad, const Shape &target)
+{
+    if (grad.shape() == target)
+        return grad;
+    // Sum over extra leading axes first.
+    Tensor g = grad;
+    while (g.ndim() > target.ndim())
+        g = tensor::sumAxis(g, 0);
+    // Then over axes where the target extent is 1.
+    for (size_t i = 0; i < target.ndim(); ++i) {
+        if (target[i] == 1 && g.shape()[i] != 1)
+            g = tensor::sumAxis(g, static_cast<int>(i), true);
+    }
+    MM_ASSERT(g.shape() == target,
+              "cannot reduce gradient %s to %s",
+              grad.shape().toString().c_str(), target.toString().c_str());
+    return g;
+}
+
+} // namespace autograd
+} // namespace mmbench

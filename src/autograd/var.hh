@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tape-based reverse-mode automatic differentiation.
+ *
+ * Var wraps a Tensor value plus (lazily allocated) gradient storage
+ * and a node in the dynamically built computation graph. Operators in
+ * autograd/ops.hh record backward closures; backward() runs a reverse
+ * topological sweep from a scalar root.
+ *
+ * Graph recording can be suspended with NoGradGuard (inference and
+ * profiling runs pay nothing for autograd).
+ */
+
+#ifndef MMBENCH_AUTOGRAD_VAR_HH
+#define MMBENCH_AUTOGRAD_VAR_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/ops.hh"
+#include "tensor/tensor.hh"
+
+namespace mmbench {
+namespace autograd {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+/** Thread-local switch controlling graph recording. */
+class GradMode
+{
+  public:
+    /** True if operators should record backward closures. */
+    static bool enabled();
+
+  private:
+    friend class NoGradGuard;
+    static void set(bool on);
+};
+
+/** RAII guard disabling graph recording (inference mode). */
+class NoGradGuard
+{
+  public:
+    NoGradGuard();
+    ~NoGradGuard();
+
+    NoGradGuard(const NoGradGuard &) = delete;
+    NoGradGuard &operator=(const NoGradGuard &) = delete;
+
+  private:
+    bool prev_;
+};
+
+/**
+ * A differentiable value. Copies share the underlying node (like
+ * torch.Tensor). Leaf Vars created with requires_grad=true accumulate
+ * gradients across backward() calls until zeroGrad().
+ */
+class Var
+{
+  public:
+    struct Node;
+    using NodePtr = std::shared_ptr<Node>;
+
+    /** Backward closure: receives the node's output gradient. */
+    using BackwardFn = std::function<void(const Tensor &grad)>;
+
+    /** Graph node shared by all copies of a Var. */
+    struct Node
+    {
+        Tensor value;
+        Tensor grad;            ///< undefined until first accumulation
+        bool requiresGrad = false; ///< leaf flag: accumulate grads here
+        bool needsGrad = false; ///< this or some ancestor requires grad
+        std::vector<NodePtr> parents;
+        BackwardFn backward;    ///< empty for leaves
+        uint64_t id = 0;        ///< creation order (debug)
+    };
+
+    Var() = default;
+
+    /** Wrap a tensor as a leaf node. */
+    explicit Var(Tensor value, bool requires_grad = false);
+
+    /** Build an interior node (used by operator implementations). */
+    static Var makeNode(Tensor value, std::vector<Var> parents,
+                        BackwardFn backward);
+
+    bool defined() const { return node_ != nullptr; }
+
+    const Tensor &value() const;
+    Tensor &value();
+
+    /** Shape of the wrapped value. */
+    const Shape &shape() const { return value().shape(); }
+
+    /** True if gradients should flow to/through this node. */
+    bool needsGrad() const { return node_ && node_->needsGrad; }
+    bool requiresGrad() const { return node_ && node_->requiresGrad; }
+
+    /** Gradient tensor; fatal if never accumulated. */
+    const Tensor &grad() const;
+
+    /** Mutable gradient access (optimizers scale grads in place). */
+    Tensor &mutableGrad();
+
+    /** True once a gradient has been accumulated. */
+    bool hasGrad() const { return node_ && node_->grad.defined(); }
+
+    /** Drop the accumulated gradient. */
+    void zeroGrad();
+
+    /** Accumulate g into this node's gradient (init if absent). */
+    void accumulateGrad(const Tensor &g);
+
+    /** The underlying graph node (used by backward()). */
+    const NodePtr &node() const { return node_; }
+
+    /** Detach: same value, no graph history. */
+    Var detach() const;
+
+  private:
+    NodePtr node_;
+};
+
+/**
+ * Reverse-mode sweep from a scalar root (root grad seeded with 1).
+ * Gradients accumulate into every reachable node with requiresGrad.
+ */
+void backward(const Var &root);
+
+/**
+ * Reduce a gradient produced under broadcasting back to the original
+ * operand shape (sums over broadcast axes). Public for tests.
+ */
+Tensor reduceGradTo(const Tensor &grad, const Shape &target);
+
+} // namespace autograd
+} // namespace mmbench
+
+#endif // MMBENCH_AUTOGRAD_VAR_HH

@@ -1,0 +1,69 @@
+#include "core/csv.hh"
+
+#include <fstream>
+#include <ostream>
+
+#include "core/logging.hh"
+
+namespace mmbench {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    MM_ASSERT(!header_.empty(), "csv needs at least one column");
+}
+
+void
+CsvWriter::addRow(std::vector<std::string> row)
+{
+    MM_ASSERT(row.size() == header_.size(),
+              "csv row width %zu != header width %zu",
+              row.size(), header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+CsvWriter::escape(const std::string &field)
+{
+    bool needs_quote = field.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quote)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::write(std::ostream &os) const
+{
+    auto write_row = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                os << ',';
+            os << escape(row[i]);
+        }
+        os << '\n';
+    };
+    write_row(header_);
+    for (const auto &row : rows_)
+        write_row(row);
+}
+
+bool
+CsvWriter::writeFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("could not open '%s' for writing", path.c_str());
+        return false;
+    }
+    write(os);
+    return static_cast<bool>(os);
+}
+
+} // namespace mmbench

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Minimal CSV emission so bench results can be post-processed/plotted.
+ */
+
+#ifndef MMBENCH_CORE_CSV_HH
+#define MMBENCH_CORE_CSV_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mmbench {
+
+/**
+ * Accumulates rows and writes RFC-4180-ish CSV (quotes fields that
+ * contain commas, quotes or newlines).
+ */
+class CsvWriter
+{
+  public:
+    /** Construct with a header row. */
+    explicit CsvWriter(std::vector<std::string> header);
+
+    /** Append one row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Write header plus all rows to the stream. */
+    void write(std::ostream &os) const;
+
+    /** Write to a file; returns false (with a warning) on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+    /** Number of data rows. */
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    static std::string escape(const std::string &field);
+
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace mmbench
+
+#endif // MMBENCH_CORE_CSV_HH

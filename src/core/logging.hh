@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Status and error reporting helpers for the mmbench stack.
+ *
+ * Follows the gem5 convention: panic() marks internal invariant
+ * violations (bugs in mmbench itself) and aborts; fatal() marks user
+ * errors (bad configuration, invalid arguments) and exits cleanly with
+ * an error code; warn()/inform() report conditions without stopping.
+ */
+
+#ifndef MMBENCH_CORE_LOGGING_HH
+#define MMBENCH_CORE_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace mmbench {
+
+/** Render a printf-style format string into a std::string. */
+std::string vstrfmt(const char *fmt, va_list ap);
+
+/** Render a printf-style format string into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Abort with a message; something happened that should never happen
+ * regardless of user input (an mmbench bug).
+ */
+[[noreturn]] void panicAt(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/**
+ * Exit with an error; the run cannot continue due to a condition that
+ * is the user's fault (bad configuration, invalid arguments).
+ */
+[[noreturn]] void fatalAt(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Report a suspicious-but-survivable condition to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace mmbench
+
+#define MM_PANIC(...) ::mmbench::panicAt(__FILE__, __LINE__, __VA_ARGS__)
+#define MM_FATAL(...) ::mmbench::fatalAt(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Check an internal invariant; violation is an mmbench bug. */
+#define MM_ASSERT(cond, ...)                                               \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::mmbench::detail::panicImpl(                                  \
+                __FILE__, __LINE__,                                        \
+                std::string("assertion '") + #cond + "' failed: " +        \
+                    ::mmbench::strfmt(__VA_ARGS__));                       \
+        }                                                                  \
+    } while (0)
+
+#endif // MMBENCH_CORE_LOGGING_HH

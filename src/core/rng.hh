@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in mmbench (weight init, synthetic data,
+ * dropout masks) flows through Rng so that experiments are exactly
+ * reproducible from a seed. The core generator is xoshiro256++.
+ */
+
+#ifndef MMBENCH_CORE_RNG_HH
+#define MMBENCH_CORE_RNG_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mmbench {
+
+/**
+ * A small, fast, seedable random number generator (xoshiro256++).
+ *
+ * Not cryptographically secure; statistical quality is more than
+ * sufficient for synthetic workloads and initialization.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform float in [lo, hi). */
+    float uniformF(float lo, float hi);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t randint(int64_t lo, int64_t hi);
+
+    /** Standard normal sample (Box-Muller, cached pair). */
+    double gaussian();
+
+    /** Normal sample with the given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool bernoulli(double p);
+
+    /** Sample an index in [0, weights.size()) proportionally to weights. */
+    size_t categorical(const std::vector<double> &weights);
+
+    /** Fisher-Yates shuffle of an index-addressable container. */
+    template <typename Container>
+    void
+    shuffle(Container &c)
+    {
+        if (c.size() < 2)
+            return;
+        for (size_t i = c.size() - 1; i > 0; --i) {
+            size_t j = static_cast<size_t>(randint(0, static_cast<int64_t>(i)));
+            std::swap(c[i], c[j]);
+        }
+    }
+
+    /** A random permutation of [0, n). */
+    std::vector<size_t> permutation(size_t n);
+
+  private:
+    uint64_t state_[4];
+    bool hasCachedGaussian_ = false;
+    double cachedGaussian_ = 0.0;
+};
+
+} // namespace mmbench
+
+#endif // MMBENCH_CORE_RNG_HH

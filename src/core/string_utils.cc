@@ -1,0 +1,103 @@
+#include "core/string_utils.hh"
+
+#include <cctype>
+#include <sstream>
+
+#include "core/logging.hh"
+
+namespace mmbench {
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::vector<std::string>
+split(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    std::string field;
+    std::istringstream is(s);
+    while (std::getline(is, field, delim))
+        out.push_back(field);
+    if (!s.empty() && s.back() == delim)
+        out.push_back("");
+    return out;
+}
+
+std::string
+formatBytes(uint64_t bytes)
+{
+    static const char *units[] = {"B", "KB", "MB", "GB", "TB"};
+    double value = static_cast<double>(bytes);
+    size_t unit = 0;
+    while (value >= 1024.0 && unit + 1 < 5) {
+        value /= 1024.0;
+        ++unit;
+    }
+    if (unit == 0)
+        return strfmt("%llu B", static_cast<unsigned long long>(bytes));
+    return strfmt("%.2f %s", value, units[unit]);
+}
+
+std::string
+formatMicros(double us)
+{
+    if (us < 1e3)
+        return strfmt("%.2f us", us);
+    if (us < 1e6)
+        return strfmt("%.2f ms", us / 1e3);
+    return strfmt("%.3f s", us / 1e6);
+}
+
+std::string
+formatCount(double count)
+{
+    if (count < 1e3)
+        return strfmt("%.0f", count);
+    if (count < 1e6)
+        return strfmt("%.1f K", count / 1e3);
+    if (count < 1e9)
+        return strfmt("%.1f M", count / 1e6);
+    return strfmt("%.2f G", count / 1e9);
+}
+
+std::string
+padLeft(const std::string &s, size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return std::string(width - s.size(), ' ') + s;
+}
+
+std::string
+padRight(const std::string &s, size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return s + std::string(width - s.size(), ' ');
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string
+toLower(std::string s)
+{
+    for (auto &c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+} // namespace mmbench

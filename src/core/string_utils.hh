@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Small string helpers shared across the mmbench stack.
+ */
+
+#ifndef MMBENCH_CORE_STRING_UTILS_HH
+#define MMBENCH_CORE_STRING_UTILS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mmbench {
+
+/** Join the elements of parts with sep between them. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Split s on the given delimiter; empty fields are preserved. */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** Render a byte count as a human-readable string ("1.50 MB"). */
+std::string formatBytes(uint64_t bytes);
+
+/** Render a duration in microseconds with an adaptive unit. */
+std::string formatMicros(double us);
+
+/** Render a count as a human-readable string ("3.2 G", "12.0 K"). */
+std::string formatCount(double count);
+
+/** Left/right pad s with spaces to the given width. */
+std::string padLeft(const std::string &s, size_t width);
+std::string padRight(const std::string &s, size_t width);
+
+/** True if s starts with the given prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Lower-case a copy of s (ASCII). */
+std::string toLower(std::string s);
+
+} // namespace mmbench
+
+#endif // MMBENCH_CORE_STRING_UTILS_HH

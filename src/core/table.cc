@@ -1,0 +1,104 @@
+#include "core/table.hh"
+
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+#include "core/logging.hh"
+#include "core/string_utils.hh"
+
+namespace mmbench {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    MM_ASSERT(!header_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    MM_ASSERT(row.size() == header_.size(),
+              "row width %zu != header width %zu",
+              row.size(), header_.size());
+    rows_.push_back(std::move(row));
+    ++dataRows_;
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+bool
+TextTable::looksNumeric(const std::string &cell)
+{
+    if (cell.empty())
+        return false;
+    size_t i = (cell[0] == '-' || cell[0] == '+') ? 1 : 0;
+    if (i >= cell.size())
+        return false;
+    bool any_digit = false;
+    for (; i < cell.size(); ++i) {
+        char c = cell[i];
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            any_digit = true;
+        } else if (c != '.' && c != '%' && c != 'x' && c != 'e' &&
+                   c != '-' && c != '+') {
+            return false;
+        }
+    }
+    return any_digit;
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_sep = [&]() {
+        os << '+';
+        for (size_t w : widths)
+            os << std::string(w + 2, '-') << '+';
+        os << '\n';
+    };
+
+    auto print_cells = [&](const std::vector<std::string> &cells) {
+        os << '|';
+        for (size_t c = 0; c < cells.size(); ++c) {
+            const std::string &cell = cells[c];
+            std::string padded = looksNumeric(cell)
+                ? padLeft(cell, widths[c]) : padRight(cell, widths[c]);
+            os << ' ' << padded << " |";
+        }
+        os << '\n';
+    };
+
+    print_sep();
+    print_cells(header_);
+    print_sep();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            print_sep();
+        else
+            print_cells(row);
+    }
+    print_sep();
+}
+
+std::string
+TextTable::toString() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+} // namespace mmbench

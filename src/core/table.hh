@@ -1,0 +1,55 @@
+/**
+ * @file
+ * ASCII table rendering for benchmark and report output.
+ *
+ * Every bench binary prints paper-style rows through TextTable so the
+ * output format is uniform across the suite.
+ */
+
+#ifndef MMBENCH_CORE_TABLE_HH
+#define MMBENCH_CORE_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mmbench {
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Numeric cells are right-aligned, text cells left-aligned. The table
+ * owns its data; render with print().
+ */
+class TextTable
+{
+  public:
+    /** Construct with a header row. */
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append one row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Number of data rows added so far (separators excluded). */
+    size_t rowCount() const { return dataRows_; }
+
+    /** Render the table to the stream. */
+    void print(std::ostream &os) const;
+
+    /** Render the table to a string. */
+    std::string toString() const;
+
+  private:
+    static bool looksNumeric(const std::string &cell);
+
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_; // empty row == separator
+    size_t dataRows_ = 0;
+};
+
+} // namespace mmbench
+
+#endif // MMBENCH_CORE_TABLE_HH

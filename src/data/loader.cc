@@ -1,0 +1,101 @@
+#include "data/loader.hh"
+
+#include <cstring>
+#include <numeric>
+
+#include "core/logging.hh"
+
+namespace mmbench {
+namespace data {
+
+Tensor
+indexSelect0(const Tensor &t, const std::vector<size_t> &idx)
+{
+    MM_ASSERT(t.ndim() >= 1, "indexSelect0 needs rank >= 1");
+    const int64_t rows = t.size(0);
+    const int64_t row_elems = t.numel() / rows;
+    std::vector<int64_t> dims = t.shape().dims();
+    dims[0] = static_cast<int64_t>(idx.size());
+    Tensor out{tensor::Shape(dims)};
+    const float *src = t.data();
+    float *dst = out.data();
+    for (size_t i = 0; i < idx.size(); ++i) {
+        MM_ASSERT(idx[i] < static_cast<size_t>(rows),
+                  "row index %zu out of range", idx[i]);
+        std::memcpy(dst + static_cast<int64_t>(i) * row_elems,
+                    src + static_cast<int64_t>(idx[i]) * row_elems,
+                    static_cast<size_t>(row_elems) * sizeof(float));
+    }
+    return out;
+}
+
+InMemoryDataset::InMemoryDataset(SyntheticTask &task, int64_t size)
+    : all_(task.sample(size))
+{
+}
+
+Batch
+InMemoryDataset::slice(int64_t start, int64_t count) const
+{
+    MM_ASSERT(start >= 0 && count > 0 && start + count <= all_.size,
+              "slice [%lld, %lld) out of dataset of %lld",
+              static_cast<long long>(start),
+              static_cast<long long>(start + count),
+              static_cast<long long>(all_.size));
+    std::vector<size_t> idx(static_cast<size_t>(count));
+    std::iota(idx.begin(), idx.end(), static_cast<size_t>(start));
+    return gather(idx);
+}
+
+Batch
+InMemoryDataset::gather(const std::vector<size_t> &idx) const
+{
+    Batch out;
+    out.size = static_cast<int64_t>(idx.size());
+    out.modalities.reserve(all_.modalities.size());
+    for (const Tensor &m : all_.modalities)
+        out.modalities.push_back(indexSelect0(m, idx));
+    out.targets = indexSelect0(all_.targets, idx);
+    return out;
+}
+
+DataLoader::DataLoader(const InMemoryDataset &dataset, int64_t batch_size,
+                       bool shuffle, uint64_t seed)
+    : dataset_(dataset), batchSize_(batch_size), shuffle_(shuffle),
+      rng_(seed)
+{
+    MM_ASSERT(batch_size > 0 && batch_size <= dataset.size(),
+              "batch size %lld invalid for dataset of %lld",
+              static_cast<long long>(batch_size),
+              static_cast<long long>(dataset.size()));
+    order_.resize(static_cast<size_t>(dataset_.size()));
+    std::iota(order_.begin(), order_.end(), size_t{0});
+    if (shuffle_)
+        rng_.shuffle(order_);
+}
+
+int64_t
+DataLoader::batchesPerEpoch() const
+{
+    return dataset_.size() / batchSize_;
+}
+
+Batch
+DataLoader::batch(int64_t i) const
+{
+    MM_ASSERT(i >= 0 && i < batchesPerEpoch(), "batch index out of range");
+    std::vector<size_t> idx(
+        order_.begin() + static_cast<size_t>(i * batchSize_),
+        order_.begin() + static_cast<size_t>((i + 1) * batchSize_));
+    return dataset_.gather(idx);
+}
+
+void
+DataLoader::nextEpoch()
+{
+    if (shuffle_)
+        rng_.shuffle(order_);
+}
+
+} // namespace data
+} // namespace mmbench

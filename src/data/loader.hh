@@ -1,0 +1,67 @@
+/**
+ * @file
+ * In-memory dataset and mini-batch loader.
+ */
+
+#ifndef MMBENCH_DATA_LOADER_HH
+#define MMBENCH_DATA_LOADER_HH
+
+#include "data/synthetic.hh"
+
+namespace mmbench {
+namespace data {
+
+/** Copy rows (dim 0) of t selected by idx. */
+Tensor indexSelect0(const Tensor &t, const std::vector<size_t> &idx);
+
+/**
+ * Materialized dataset: one Batch holding all samples, sliced into
+ * mini-batches (optionally shuffled per epoch).
+ */
+class InMemoryDataset
+{
+  public:
+    /** Draw `size` samples from the task and hold them. */
+    InMemoryDataset(SyntheticTask &task, int64_t size);
+
+    /** Take a contiguous slice [start, start+count). */
+    Batch slice(int64_t start, int64_t count) const;
+
+    /** Gather an arbitrary row subset. */
+    Batch gather(const std::vector<size_t> &idx) const;
+
+    int64_t size() const { return all_.size; }
+    const Batch &all() const { return all_; }
+
+  private:
+    Batch all_;
+};
+
+/** Iterates shuffled mini-batches over an InMemoryDataset. */
+class DataLoader
+{
+  public:
+    DataLoader(const InMemoryDataset &dataset, int64_t batch_size,
+               bool shuffle, uint64_t seed = 7);
+
+    /** Number of batches per epoch (last partial batch dropped). */
+    int64_t batchesPerEpoch() const;
+
+    /** Fetch batch i of the current epoch. */
+    Batch batch(int64_t i) const;
+
+    /** Reshuffle for a new epoch (no-op if shuffle is off). */
+    void nextEpoch();
+
+  private:
+    const InMemoryDataset &dataset_;
+    int64_t batchSize_;
+    bool shuffle_;
+    Rng rng_;
+    std::vector<size_t> order_;
+};
+
+} // namespace data
+} // namespace mmbench
+
+#endif // MMBENCH_DATA_LOADER_HH

@@ -1,0 +1,385 @@
+#include "data/synthetic.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace mmbench {
+namespace data {
+
+uint64_t
+Batch::inputBytes() const
+{
+    uint64_t total = 0;
+    for (const Tensor &t : modalities)
+        total += t.bytes();
+    return total;
+}
+
+SyntheticTask::SyntheticTask(SyntheticSpec spec)
+    : spec_(std::move(spec)), rng_(spec_.seed)
+{
+    MM_ASSERT(!spec_.modalities.empty(), "task needs at least one modality");
+    MM_ASSERT(spec_.numClasses >= 2, "task needs at least two classes");
+    for (const ModalitySpec &m : spec_.modalities) {
+        if (m.encoding == ModalityEncoding::Tokens) {
+            MM_ASSERT(m.vocab >= spec_.numClasses,
+                      "modality '%s' vocab %lld < classes %lld",
+                      m.name.c_str(), static_cast<long long>(m.vocab),
+                      static_cast<long long>(spec_.numClasses));
+        }
+    }
+
+    // Fixed class templates for dense modalities (seeded).
+    templates_.resize(spec_.modalities.size());
+    for (size_t m = 0; m < spec_.modalities.size(); ++m) {
+        const ModalitySpec &ms = spec_.modalities[m];
+        if (ms.encoding != ModalityEncoding::Dense)
+            continue;
+        templates_[m].reserve(static_cast<size_t>(spec_.numClasses));
+        for (int64_t k = 0; k < spec_.numClasses; ++k)
+            templates_[m].push_back(Tensor::randn(ms.sampleShape, rng_));
+    }
+
+    // Fixed latent projections for regression tasks.
+    if (spec_.task == TaskKind::Regression) {
+        regTarget_ = Tensor::randn(Shape{spec_.targetDim, kLatentDim}, rng_);
+        regProjections_.reserve(spec_.modalities.size());
+        const size_t m_count = spec_.modalities.size();
+        for (size_t m = 0; m < m_count; ++m) {
+            const int64_t obs = spec_.modalities[m].sampleShape.numel();
+            Tensor a = Tensor::randn(Shape{obs, kLatentDim}, rng_);
+            // Latent dims 0..1 are shared; dim j >= 2 is visible only
+            // to modality j % M. Zero the invisible columns.
+            for (int64_t j = 2; j < kLatentDim; ++j) {
+                if (static_cast<size_t>(j) % m_count != m) {
+                    for (int64_t r = 0; r < obs; ++r)
+                        a.at(r * kLatentDim + j) = 0.0f;
+                }
+            }
+            regProjections_.push_back(std::move(a));
+        }
+    }
+}
+
+void
+SyntheticTask::fillDense(float *dst, size_t modality, int64_t k,
+                         bool informative)
+{
+    const Tensor &tpl = templates_[modality][static_cast<size_t>(k)];
+    const float *src = tpl.data();
+    const int64_t n = tpl.numel();
+    const float strength = informative ? 1.0f : 0.45f;
+    const double noise = spec_.noiseStddev * (informative ? 1.0 : 1.3);
+    for (int64_t i = 0; i < n; ++i) {
+        dst[i] = strength * src[i] +
+                 static_cast<float>(rng_.gaussian(0.0, noise));
+    }
+}
+
+void
+SyntheticTask::fillTokens(float *dst, size_t modality, int64_t k,
+                          bool informative)
+{
+    const ModalitySpec &ms = spec_.modalities[modality];
+    const int64_t n = ms.sampleShape.numel();
+    const int64_t span = ms.vocab / spec_.numClasses;
+    const int64_t base = k * span;
+    const double rate = informative ? 0.7 : 0.4;
+    for (int64_t i = 0; i < n; ++i) {
+        if (rng_.bernoulli(rate)) {
+            dst[i] = static_cast<float>(
+                base + rng_.randint(0, std::max<int64_t>(span - 1, 0)));
+        } else {
+            dst[i] = static_cast<float>(rng_.randint(0, ms.vocab - 1));
+        }
+    }
+}
+
+void
+SyntheticTask::fillNoise(float *dst, size_t modality)
+{
+    const ModalitySpec &ms = spec_.modalities[modality];
+    const int64_t n = ms.sampleShape.numel();
+    if (ms.encoding == ModalityEncoding::Tokens) {
+        for (int64_t i = 0; i < n; ++i)
+            dst[i] = static_cast<float>(rng_.randint(0, ms.vocab - 1));
+    } else {
+        for (int64_t i = 0; i < n; ++i)
+            dst[i] = static_cast<float>(rng_.gaussian(0.0, 1.0));
+    }
+}
+
+namespace {
+
+/** Allocate the per-modality batch tensors for a spec. */
+std::vector<Tensor>
+allocateModalities(const SyntheticSpec &spec, int64_t batch_size)
+{
+    std::vector<Tensor> out;
+    out.reserve(spec.modalities.size());
+    for (const ModalitySpec &m : spec.modalities) {
+        std::vector<int64_t> dims;
+        dims.push_back(batch_size);
+        for (int64_t d : m.sampleShape.dims())
+            dims.push_back(d);
+        out.emplace_back(Shape(std::move(dims)));
+    }
+    return out;
+}
+
+} // namespace
+
+Batch
+SyntheticTask::sample(int64_t batch_size)
+{
+    MM_ASSERT(batch_size > 0, "empty batch requested");
+    switch (spec_.task) {
+      case TaskKind::Classification:
+        return sampleClassification(batch_size);
+      case TaskKind::MultiLabel:
+        return sampleMultiLabel(batch_size);
+      case TaskKind::Regression:
+        return sampleRegression(batch_size);
+      case TaskKind::Segmentation:
+        return sampleSegmentation(batch_size);
+      default:
+        MM_PANIC("invalid task kind %d", static_cast<int>(spec_.task));
+    }
+}
+
+Batch
+SyntheticTask::sampleClassification(int64_t batch_size)
+{
+    Batch batch;
+    batch.size = batch_size;
+    batch.modalities = allocateModalities(spec_, batch_size);
+    batch.targets = Tensor(Shape{batch_size});
+
+    const size_t m_count = spec_.modalities.size();
+    const int64_t classes = spec_.numClasses;
+    for (int64_t i = 0; i < batch_size; ++i) {
+        const int64_t k = rng_.randint(0, classes - 1);
+        batch.targets.at(i) = static_cast<float>(k);
+
+        const bool cross_modal =
+            m_count >= 2 && rng_.bernoulli(spec_.crossModalFraction);
+        for (size_t m = 0; m < m_count; ++m) {
+            const ModalitySpec &ms = spec_.modalities[m];
+            float *dst = batch.modalities[m].data() +
+                         i * ms.sampleShape.numel();
+            int64_t encoded;
+            bool informative = true;
+            if (cross_modal) {
+                // Modalities 0 and 1 jointly encode k = (k1 + k2) mod K;
+                // remaining modalities observe noise only.
+                if (m == 0) {
+                    encoded = rng_.randint(0, classes - 1);
+                    // Stash k1 so modality 1 can complete the pair.
+                    crossK1_ = encoded;
+                } else if (m == 1) {
+                    encoded = ((k - crossK1_) % classes + classes) % classes;
+                } else {
+                    fillNoise(dst, m);
+                    continue;
+                }
+            } else if (rng_.bernoulli(ms.informativeness)) {
+                encoded = k;
+            } else {
+                encoded = rng_.randint(0, classes - 1); // weak distractor
+                informative = false;
+            }
+            if (ms.encoding == ModalityEncoding::Tokens)
+                fillTokens(dst, m, encoded, informative);
+            else
+                fillDense(dst, m, encoded, informative);
+        }
+    }
+    return batch;
+}
+
+Batch
+SyntheticTask::sampleMultiLabel(int64_t batch_size)
+{
+    Batch batch;
+    batch.size = batch_size;
+    batch.modalities = allocateModalities(spec_, batch_size);
+    batch.targets = Tensor::zeros(Shape{batch_size, spec_.numClasses});
+
+    const size_t m_count = spec_.modalities.size();
+    for (int64_t i = 0; i < batch_size; ++i) {
+        std::vector<int64_t> active;
+        for (int64_t j = 0; j < spec_.numClasses; ++j) {
+            if (rng_.bernoulli(0.3)) {
+                active.push_back(j);
+                batch.targets.at(i * spec_.numClasses + j) = 1.0f;
+            }
+        }
+        for (size_t m = 0; m < m_count; ++m) {
+            const ModalitySpec &ms = spec_.modalities[m];
+            float *dst = batch.modalities[m].data() +
+                         i * ms.sampleShape.numel();
+            const int64_t n = ms.sampleShape.numel();
+            // Sample-level quality: with prob (1 - informativeness)
+            // this observation is degraded, and the task falls back
+            // to the other modalities.
+            const bool informative = rng_.bernoulli(ms.informativeness);
+            if (ms.encoding == ModalityEncoding::Tokens) {
+                // Tokens drawn from classes this modality sees strongly.
+                std::vector<int64_t> visible;
+                for (int64_t j : active) {
+                    if (static_cast<size_t>(j) % m_count == m)
+                        visible.push_back(j);
+                }
+                const double rate = informative ? 0.7 : 0.25;
+                for (int64_t p = 0; p < n; ++p) {
+                    if (!visible.empty() && rng_.bernoulli(rate)) {
+                        const int64_t j = visible[static_cast<size_t>(
+                            rng_.randint(0,
+                                         static_cast<int64_t>(
+                                             visible.size()) - 1))];
+                        const int64_t span = ms.vocab / spec_.numClasses;
+                        dst[p] = static_cast<float>(
+                            j * span +
+                            rng_.randint(0, std::max<int64_t>(span - 1,
+                                                              0)));
+                    } else {
+                        dst[p] = static_cast<float>(
+                            rng_.randint(0, ms.vocab - 1));
+                    }
+                }
+            } else {
+                // Class j appears at full strength in modality j % M
+                // and only as a faint trace elsewhere: every modality
+                // covers its own class subset, so only fusion covers
+                // the full label space.
+                for (int64_t p = 0; p < n; ++p) {
+                    dst[p] = static_cast<float>(
+                        rng_.gaussian(0.0, spec_.noiseStddev));
+                }
+                const float quality = informative ? 1.0f : 0.3f;
+                for (int64_t j : active) {
+                    const float strength =
+                        quality *
+                        ((static_cast<size_t>(j) % m_count == m) ? 1.0f
+                                                                 : 0.15f);
+                    const Tensor &tpl =
+                        templates_[m][static_cast<size_t>(j)];
+                    for (int64_t p = 0; p < n; ++p)
+                        dst[p] += strength * tpl.at(p);
+                }
+            }
+        }
+    }
+    return batch;
+}
+
+Batch
+SyntheticTask::sampleRegression(int64_t batch_size)
+{
+    Batch batch;
+    batch.size = batch_size;
+    batch.modalities = allocateModalities(spec_, batch_size);
+    batch.targets = Tensor(Shape{batch_size, spec_.targetDim});
+
+    std::vector<float> z(static_cast<size_t>(kLatentDim));
+    for (int64_t i = 0; i < batch_size; ++i) {
+        for (auto &v : z)
+            v = static_cast<float>(rng_.gaussian(0.0, 1.0));
+        // Target = W z.
+        for (int64_t t = 0; t < spec_.targetDim; ++t) {
+            float acc = 0.0f;
+            for (int64_t j = 0; j < kLatentDim; ++j)
+                acc += regTarget_.at(t * kLatentDim + j) *
+                       z[static_cast<size_t>(j)];
+            batch.targets.at(i * spec_.targetDim + t) = acc;
+        }
+        // Observation = A_m z + noise, reshaped to the sample shape.
+        for (size_t m = 0; m < spec_.modalities.size(); ++m) {
+            const ModalitySpec &ms = spec_.modalities[m];
+            const int64_t obs = ms.sampleShape.numel();
+            float *dst = batch.modalities[m].data() + i * obs;
+            const Tensor &a = regProjections_[m];
+            const float scale = 1.0f / std::sqrt(
+                static_cast<float>(kLatentDim));
+            for (int64_t r = 0; r < obs; ++r) {
+                float acc = 0.0f;
+                for (int64_t j = 0; j < kLatentDim; ++j)
+                    acc += a.at(r * kLatentDim + j) *
+                           z[static_cast<size_t>(j)];
+                dst[r] = acc * scale +
+                         static_cast<float>(
+                             rng_.gaussian(0.0, spec_.noiseStddev));
+            }
+        }
+    }
+    return batch;
+}
+
+Batch
+SyntheticTask::sampleSegmentation(int64_t batch_size)
+{
+    // All modalities must share the spatial extent (C, H, W).
+    const Shape &s0 = spec_.modalities[0].sampleShape;
+    MM_ASSERT(s0.ndim() == 3, "segmentation modalities must be (C, H, W)");
+    const int64_t h = s0[1], w = s0[2];
+
+    Batch batch;
+    batch.size = batch_size;
+    batch.modalities = allocateModalities(spec_, batch_size);
+    batch.targets = Tensor::zeros(Shape{batch_size, h, w});
+
+    for (int64_t i = 0; i < batch_size; ++i) {
+        // One elliptical "tumor" blob per sample.
+        const double cx = rng_.uniform(0.25, 0.75) * static_cast<double>(w);
+        const double cy = rng_.uniform(0.25, 0.75) * static_cast<double>(h);
+        const double rx = rng_.uniform(0.12, 0.3) * static_cast<double>(w);
+        const double ry = rng_.uniform(0.12, 0.3) * static_cast<double>(h);
+        for (int64_t y = 0; y < h; ++y) {
+            for (int64_t x = 0; x < w; ++x) {
+                const double dx = (static_cast<double>(x) - cx) / rx;
+                const double dy = (static_cast<double>(y) - cy) / ry;
+                if (dx * dx + dy * dy <= 1.0)
+                    batch.targets.at(i * h * w + y * w + x) = 1.0f;
+            }
+        }
+        for (size_t m = 0; m < spec_.modalities.size(); ++m) {
+            const ModalitySpec &ms = spec_.modalities[m];
+            MM_ASSERT(ms.sampleShape[1] == h && ms.sampleShape[2] == w,
+                      "segmentation modalities must share spatial dims");
+            const int64_t c = ms.sampleShape[0];
+            const bool visible = rng_.bernoulli(ms.informativeness);
+            const float contrast =
+                0.8f + 0.2f * static_cast<float>(m % 4);
+            float *dst = batch.modalities[m].data() + i * c * h * w;
+            for (int64_t ch = 0; ch < c; ++ch) {
+                for (int64_t p = 0; p < h * w; ++p) {
+                    float v = static_cast<float>(
+                        rng_.gaussian(0.0, spec_.noiseStddev));
+                    if (visible && batch.targets.at(i * h * w + p) > 0.5f)
+                        v += contrast;
+                    dst[ch * h * w + p] = v;
+                }
+            }
+        }
+    }
+    return batch;
+}
+
+Batch
+SyntheticTask::sampleWithMissingModality(int64_t batch_size,
+                                         size_t missing_modality)
+{
+    MM_ASSERT(missing_modality < spec_.modalities.size(),
+              "missing modality index %zu out of range", missing_modality);
+    Batch batch = sample(batch_size);
+    const int64_t per_sample =
+        spec_.modalities[missing_modality].sampleShape.numel();
+    float *base = batch.modalities[missing_modality].data();
+    for (int64_t i = 0; i < batch_size; ++i)
+        fillNoise(base + i * per_sample, missing_modality);
+    return batch;
+}
+
+} // namespace data
+} // namespace mmbench

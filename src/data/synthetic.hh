@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Synthetic multi-modal data generation.
+ *
+ * The MMBench paper's own "dataset-free computation abstraction"
+ * generates random inputs with dataset-matching shapes so that
+ * architecture studies need no real data. This module goes one step
+ * further: it implements a class-conditional generative model whose
+ * statistical structure preserves the two properties the paper's
+ * accuracy experiments (Figs. 4-5) depend on:
+ *
+ *  1. every modality carries partial label information (with a
+ *     per-modality informativeness level, so a dominant modality
+ *     exists), and
+ *  2. a configurable fraction of samples encode the label only in the
+ *     *combination* of modalities, so multi-modal fusion strictly
+ *     dominates the best uni-modal model.
+ *
+ * Modalities are either dense (images, sensor traces: class-template
+ * patterns plus Gaussian noise) or token sequences (texts: class-
+ * dependent token ranges), matching the encoder families the real
+ * workloads use.
+ */
+
+#ifndef MMBENCH_DATA_SYNTHETIC_HH
+#define MMBENCH_DATA_SYNTHETIC_HH
+
+#include <string>
+#include <vector>
+
+#include "core/rng.hh"
+#include "tensor/tensor.hh"
+
+namespace mmbench {
+namespace data {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+/** How a modality's raw observation is represented. */
+enum class ModalityEncoding
+{
+    Dense,  ///< real-valued pattern (image / spectrogram / sensors)
+    Tokens, ///< integer token sequence (text)
+};
+
+/** Description of one input modality. */
+struct ModalitySpec
+{
+    std::string name;          ///< e.g. "image", "audio", "text"
+    Shape sampleShape;         ///< per-sample shape (no batch dim)
+    ModalityEncoding encoding = ModalityEncoding::Dense;
+    int64_t vocab = 0;         ///< token modalities only
+    /** Probability that a sample's observation encodes the label. */
+    double informativeness = 0.9;
+};
+
+/** Task family of a workload. */
+enum class TaskKind
+{
+    Classification, ///< single label out of numClasses
+    MultiLabel,     ///< numClasses independent binary labels
+    Regression,     ///< real vector target of targetDim
+    Segmentation,   ///< per-pixel binary mask (H, W)
+};
+
+/** Full generator configuration. */
+struct SyntheticSpec
+{
+    std::vector<ModalitySpec> modalities;
+    TaskKind task = TaskKind::Classification;
+    int64_t numClasses = 10;
+    int64_t targetDim = 1;     ///< regression target width
+    /** Fraction of samples solvable only through modality interaction. */
+    double crossModalFraction = 0.15;
+    float noiseStddev = 0.35f;
+    uint64_t seed = 1;
+};
+
+/** A batch of multi-modal inputs plus targets. */
+struct Batch
+{
+    std::vector<Tensor> modalities; ///< each (B, ...sampleShape)
+    Tensor targets; ///< (B) classes, (B, K) multilabel/regression,
+                    ///< (B, H, W) segmentation
+    int64_t size = 0;
+
+    /** Total input bytes across modalities (dataset memory model). */
+    uint64_t inputBytes() const;
+};
+
+/**
+ * Deterministic synthetic multi-modal task. The class templates and
+ * latent projections are fixed by the spec seed; sample() draws fresh
+ * observations from them.
+ */
+class SyntheticTask
+{
+  public:
+    explicit SyntheticTask(SyntheticSpec spec);
+
+    /** Draw a batch of the given size. */
+    Batch sample(int64_t batch_size);
+
+    /**
+     * Draw a batch where every observation is pure noise in the given
+     * modality (missing-modality robustness / failure injection).
+     */
+    Batch sampleWithMissingModality(int64_t batch_size,
+                                    size_t missing_modality);
+
+    const SyntheticSpec &spec() const { return spec_; }
+    size_t numModalities() const { return spec_.modalities.size(); }
+
+  private:
+    /**
+     * Fill one dense observation with template k plus noise.
+     * Informative observations carry the template at full strength;
+     * distractors are weak and noisy, giving fusion models a
+     * per-sample reliability signal (the complementarity that lets
+     * multi-modal models beat the best uni-modal one, Fig. 4).
+     */
+    void fillDense(float *dst, size_t modality, int64_t k,
+                   bool informative);
+    /** Fill one token observation from class-k token ranges. */
+    void fillTokens(float *dst, size_t modality, int64_t k,
+                    bool informative);
+    /** Fill one observation with pure noise (uninformative). */
+    void fillNoise(float *dst, size_t modality);
+
+    Batch sampleClassification(int64_t batch_size);
+    Batch sampleMultiLabel(int64_t batch_size);
+    Batch sampleRegression(int64_t batch_size);
+    Batch sampleSegmentation(int64_t batch_size);
+
+    SyntheticSpec spec_;
+    Rng rng_;
+    /** Scratch: k1 of the current cross-modal pair during sampling. */
+    int64_t crossK1_ = 0;
+    /** templates_[m][k]: class-k pattern for dense modality m. */
+    std::vector<std::vector<Tensor>> templates_;
+    /** Regression: per-modality observation matrices A_m (obs x dlat). */
+    std::vector<Tensor> regProjections_;
+    /** Regression: target projection W (targetDim x dlat). */
+    Tensor regTarget_;
+    static constexpr int64_t kLatentDim = 8;
+};
+
+} // namespace data
+} // namespace mmbench
+
+#endif // MMBENCH_DATA_SYNTHETIC_HH

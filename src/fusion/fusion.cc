@@ -1,0 +1,268 @@
+#include "fusion/fusion.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+#include "core/string_utils.hh"
+
+namespace mmbench {
+namespace fusion {
+
+namespace ag = mmbench::autograd;
+
+using tensor::Shape;
+using tensor::Tensor;
+
+const char *
+fusionKindName(FusionKind kind)
+{
+    switch (kind) {
+      case FusionKind::Zero:        return "zero";
+      case FusionKind::Sum:         return "sum";
+      case FusionKind::Concat:      return "concat";
+      case FusionKind::Tensor:      return "tensor";
+      case FusionKind::Attention:   return "attention";
+      case FusionKind::LinearGLU:   return "linearglu";
+      case FusionKind::Transformer: return "transformer";
+      case FusionKind::LateLstm:    return "late_lstm";
+      default: MM_PANIC("invalid fusion kind %d", static_cast<int>(kind));
+    }
+}
+
+FusionKind
+parseFusionKind(const std::string &name)
+{
+    const std::string n = toLower(name);
+    if (n == "zero")
+        return FusionKind::Zero;
+    if (n == "sum")
+        return FusionKind::Sum;
+    if (n == "concat")
+        return FusionKind::Concat;
+    if (n == "tensor")
+        return FusionKind::Tensor;
+    if (n == "attention")
+        return FusionKind::Attention;
+    if (n == "lineargru" || n == "linearglu" || n == "glu")
+        return FusionKind::LinearGLU;
+    if (n == "transformer")
+        return FusionKind::Transformer;
+    if (n == "late_lstm" || n == "latelstm" || n == "lf-lstm")
+        return FusionKind::LateLstm;
+    MM_FATAL("unknown fusion kind '%s'", name.c_str());
+}
+
+Fusion::Fusion(std::string name, std::vector<int64_t> input_dims,
+               int64_t fused_dim)
+    : Module(std::move(name)), inputDims_(std::move(input_dims)),
+      fusedDim_(fused_dim)
+{
+    MM_ASSERT(!inputDims_.empty(), "fusion needs at least one modality");
+    MM_ASSERT(fusedDim_ > 0, "fused dimension must be positive");
+}
+
+void
+Fusion::checkInputs(const std::vector<Var> &features) const
+{
+    MM_ASSERT(features.size() == inputDims_.size(),
+              "fusion %s fed %zu features, expected %zu", name().c_str(),
+              features.size(), inputDims_.size());
+    for (size_t i = 0; i < features.size(); ++i) {
+        MM_ASSERT(features[i].value().ndim() == 2 &&
+                      features[i].value().size(1) == inputDims_[i],
+                  "fusion %s modality %zu has shape %s, expected (B, %lld)",
+                  name().c_str(), i,
+                  features[i].value().shape().toString().c_str(),
+                  static_cast<long long>(inputDims_[i]));
+    }
+}
+
+std::unique_ptr<Fusion>
+createFusion(FusionKind kind, std::vector<int64_t> input_dims,
+             int64_t fused_dim)
+{
+    switch (kind) {
+      case FusionKind::Zero:
+        return std::make_unique<ZeroFusion>(std::move(input_dims),
+                                            fused_dim);
+      case FusionKind::Sum:
+        return std::make_unique<SumFusion>(std::move(input_dims),
+                                           fused_dim);
+      case FusionKind::Concat:
+        return std::make_unique<ConcatFusion>(std::move(input_dims),
+                                              fused_dim);
+      case FusionKind::Tensor:
+        return std::make_unique<TensorFusion>(std::move(input_dims),
+                                              fused_dim);
+      case FusionKind::Attention:
+        return std::make_unique<AttentionFusion>(std::move(input_dims),
+                                                 fused_dim);
+      case FusionKind::LinearGLU:
+        return std::make_unique<LinearGluFusion>(std::move(input_dims),
+                                                 fused_dim);
+      default:
+        MM_FATAL("fusion kind '%s' is sequence-level; use the strategies "
+                 "in fusion/strategies.hh",
+                 fusionKindName(kind));
+    }
+}
+
+ZeroFusion::ZeroFusion(std::vector<int64_t> input_dims, int64_t fused_dim)
+    : Fusion("zero_fusion", std::move(input_dims), fused_dim)
+{
+}
+
+Var
+ZeroFusion::fuse(const std::vector<Var> &features)
+{
+    checkInputs(features);
+    const int64_t batch = features[0].value().size(0);
+    return Var(Tensor::zeros(Shape{batch, fusedDim_}));
+}
+
+SumFusion::SumFusion(std::vector<int64_t> input_dims, int64_t fused_dim)
+    : Fusion("sum_fusion", std::move(input_dims), fused_dim)
+{
+    projections_.reserve(inputDims_.size());
+    for (int64_t dim : inputDims_) {
+        projections_.push_back(std::make_unique<nn::Linear>(dim, fusedDim_));
+        registerChild(*projections_.back());
+    }
+}
+
+Var
+SumFusion::fuse(const std::vector<Var> &features)
+{
+    checkInputs(features);
+    Var acc = projections_[0]->forward(features[0]);
+    for (size_t i = 1; i < features.size(); ++i)
+        acc = ag::add(acc, projections_[i]->forward(features[i]));
+    return acc;
+}
+
+ConcatFusion::ConcatFusion(std::vector<int64_t> input_dims,
+                           int64_t fused_dim)
+    : Fusion("concat_fusion", input_dims, fused_dim),
+      proj_([&input_dims]() {
+          int64_t total = 0;
+          for (int64_t d : input_dims)
+              total += d;
+          return total;
+      }(), fused_dim)
+{
+    registerChild(proj_);
+}
+
+Var
+ConcatFusion::fuse(const std::vector<Var> &features)
+{
+    checkInputs(features);
+    Var cat = ag::concat(features, 1);
+    return ag::relu(proj_.forward(cat));
+}
+
+TensorFusion::TensorFusion(std::vector<int64_t> input_dims,
+                           int64_t fused_dim)
+    : Fusion("tensor_fusion", std::move(input_dims), fused_dim)
+{
+    // Fold left to right: out_0 = proj(d0 (x) d1), out_i = proj(out (x) d_i).
+    MM_ASSERT(inputDims_.size() >= 2,
+              "tensor fusion needs at least two modalities");
+    int64_t acc_dim = inputDims_[0];
+    for (size_t i = 1; i < inputDims_.size(); ++i) {
+        folds_.push_back(std::make_unique<nn::Linear>(
+            acc_dim * inputDims_[i], fusedDim_));
+        registerChild(*folds_.back());
+        acc_dim = fusedDim_;
+    }
+}
+
+Var
+TensorFusion::fuse(const std::vector<Var> &features)
+{
+    checkInputs(features);
+    Var acc = features[0];
+    for (size_t i = 1; i < features.size(); ++i) {
+        const int64_t batch = acc.value().size(0);
+        Var outer = ag::outerBatch(acc, features[i]);
+        Var flat = ag::reshape(outer,
+                               Shape{batch, outer.value().numel() / batch});
+        acc = ag::relu(folds_[i - 1]->forward(flat));
+    }
+    return acc;
+}
+
+AttentionFusion::AttentionFusion(std::vector<int64_t> input_dims,
+                                 int64_t fused_dim)
+    : Fusion("attention_fusion", input_dims, fused_dim),
+      qProj_(fused_dim, fused_dim), kProj_(fused_dim, fused_dim),
+      vProj_(fused_dim, fused_dim)
+{
+    projections_.reserve(inputDims_.size());
+    for (int64_t dim : inputDims_) {
+        projections_.push_back(std::make_unique<nn::Linear>(dim, fusedDim_));
+        registerChild(*projections_.back());
+    }
+    registerChild(qProj_);
+    registerChild(kProj_);
+    registerChild(vProj_);
+}
+
+Var
+AttentionFusion::fuse(const std::vector<Var> &features)
+{
+    checkInputs(features);
+    const int64_t batch = features[0].value().size(0);
+    const int64_t m = static_cast<int64_t>(features.size());
+
+    // Stack modalities as tokens: (B, M, D).
+    std::vector<Var> tokens;
+    tokens.reserve(features.size());
+    for (size_t i = 0; i < features.size(); ++i) {
+        tokens.push_back(ag::reshape(projections_[i]->forward(features[i]),
+                                     Shape{batch, 1, fusedDim_}));
+    }
+    Var x = ag::concat(tokens, 1);
+
+    // softmax(Q K^T / sqrt(C)) V over the modality-token axis.
+    Var q = qProj_.forward(x);
+    Var k = kProj_.forward(x);
+    Var v = vProj_.forward(x);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(fusedDim_));
+    Var scores = ag::mulScalar(ag::matmul(q, ag::swapDims(k, 1, 2)), scale);
+    Var ctx = ag::matmul(ag::softmaxLast(scores), v); // (B, M, D)
+    // Mean-pool the attended modality tokens.
+    return ag::mulScalar(ag::sumAxis(ctx, 1), 1.0f / static_cast<float>(m));
+}
+
+LinearGluFusion::LinearGluFusion(std::vector<int64_t> input_dims,
+                                 int64_t fused_dim)
+    : Fusion("linear_glu_fusion", std::move(input_dims), fused_dim)
+{
+    MM_ASSERT(inputDims_.size() >= 2,
+              "GLU fusion needs at least two modalities");
+    // value path from modality 0; gates folded from the rest.
+    valueProjs_.push_back(std::make_unique<nn::Linear>(inputDims_[0],
+                                                       fusedDim_));
+    registerChild(*valueProjs_.back());
+    for (size_t i = 1; i < inputDims_.size(); ++i) {
+        gateProjs_.push_back(std::make_unique<nn::Linear>(inputDims_[i],
+                                                          fusedDim_));
+        registerChild(*gateProjs_.back());
+    }
+}
+
+Var
+LinearGluFusion::fuse(const std::vector<Var> &features)
+{
+    checkInputs(features);
+    Var value = valueProjs_[0]->forward(features[0]);
+    for (size_t i = 1; i < features.size(); ++i) {
+        Var gate = ag::sigmoid(gateProjs_[i - 1]->forward(features[i]));
+        value = ag::mul(value, gate);
+    }
+    return value;
+}
+
+} // namespace fusion
+} // namespace mmbench

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Multi-modal fusion operators (Table 1 of the MMBench paper).
+ *
+ * A Fusion consumes one feature vector (B, D_i) per modality and
+ * produces a fused representation (B, fused_dim):
+ *
+ *   Zero      — discards the features (floor baseline)
+ *   Sum       — projects each modality to fused_dim and adds
+ *   Concat    — ReLU(Concat(x, y) W + b)
+ *   Tensor    — outer-product interaction x (x) y, projected
+ *   Attention — softmax(x y^T / sqrt(C)) token attention pooling
+ *   LinearGLU — x W1 (.) sigmoid(y W2), folded over modalities
+ *
+ * Sequence-level strategies (MULT-style cross-modal transformer, late
+ * LSTM fusion) live in fusion/strategies.hh.
+ */
+
+#ifndef MMBENCH_FUSION_FUSION_HH
+#define MMBENCH_FUSION_FUSION_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/linear.hh"
+#include "nn/module.hh"
+
+namespace mmbench {
+namespace fusion {
+
+using autograd::Var;
+using nn::Module;
+
+/** Selector for the fusion operator family. */
+enum class FusionKind
+{
+    Zero,
+    Sum,
+    Concat,
+    Tensor,
+    Attention,
+    LinearGLU,
+    Transformer, ///< sequence-level; see strategies.hh
+    LateLstm,    ///< sequence-of-modalities LSTM; see strategies.hh
+};
+
+/** Short name ("concat", "tensor", ...). */
+const char *fusionKindName(FusionKind kind);
+
+/** Parse a fusion name; fatal on unknown names. */
+FusionKind parseFusionKind(const std::string &name);
+
+/** Base class for vector-feature fusion operators. */
+class Fusion : public Module
+{
+  public:
+    Fusion(std::string name, std::vector<int64_t> input_dims,
+           int64_t fused_dim);
+
+    /** Fuse one (B, D_i) feature per modality into (B, fused_dim). */
+    virtual Var fuse(const std::vector<Var> &features) = 0;
+
+    int64_t fusedDim() const { return fusedDim_; }
+    size_t arity() const { return inputDims_.size(); }
+    const std::vector<int64_t> &inputDims() const { return inputDims_; }
+
+  protected:
+    /** Validate feature count and shapes against input_dims. */
+    void checkInputs(const std::vector<Var> &features) const;
+
+    std::vector<int64_t> inputDims_;
+    int64_t fusedDim_;
+};
+
+/** Factory for the vector-feature fusion operators. */
+std::unique_ptr<Fusion> createFusion(FusionKind kind,
+                                     std::vector<int64_t> input_dims,
+                                     int64_t fused_dim);
+
+/** Table-1 operator: discard features, emit zeros. */
+class ZeroFusion : public Fusion
+{
+  public:
+    ZeroFusion(std::vector<int64_t> input_dims, int64_t fused_dim);
+    Var fuse(const std::vector<Var> &features) override;
+};
+
+/** Table-1 operator: per-modality projection followed by addition. */
+class SumFusion : public Fusion
+{
+  public:
+    SumFusion(std::vector<int64_t> input_dims, int64_t fused_dim);
+    Var fuse(const std::vector<Var> &features) override;
+
+  private:
+    std::vector<std::unique_ptr<nn::Linear>> projections_;
+};
+
+/** Table-1 operator: ReLU(Concat(features) W + b). */
+class ConcatFusion : public Fusion
+{
+  public:
+    ConcatFusion(std::vector<int64_t> input_dims, int64_t fused_dim);
+    Var fuse(const std::vector<Var> &features) override;
+
+  private:
+    nn::Linear proj_;
+};
+
+/**
+ * Table-1 operator: outer-product interaction tensor, flattened and
+ * projected back to fused_dim (tensor-fusion-network style). For more
+ * than two modalities the fold is applied pairwise left to right.
+ */
+class TensorFusion : public Fusion
+{
+  public:
+    TensorFusion(std::vector<int64_t> input_dims, int64_t fused_dim);
+    Var fuse(const std::vector<Var> &features) override;
+
+  private:
+    std::vector<std::unique_ptr<nn::Linear>> folds_;
+};
+
+/**
+ * Table-1 operator: modalities as tokens with softmax(Q K^T / sqrt(C))
+ * attention pooling across them.
+ */
+class AttentionFusion : public Fusion
+{
+  public:
+    AttentionFusion(std::vector<int64_t> input_dims, int64_t fused_dim);
+    Var fuse(const std::vector<Var> &features) override;
+
+  private:
+    std::vector<std::unique_ptr<nn::Linear>> projections_;
+    nn::Linear qProj_;
+    nn::Linear kProj_;
+    nn::Linear vProj_;
+};
+
+/** Table-1 operator: GLU gating x W1 (.) sigmoid(y W2), folded. */
+class LinearGluFusion : public Fusion
+{
+  public:
+    LinearGluFusion(std::vector<int64_t> input_dims, int64_t fused_dim);
+    Var fuse(const std::vector<Var> &features) override;
+
+  private:
+    std::vector<std::unique_ptr<nn::Linear>> valueProjs_;
+    std::vector<std::unique_ptr<nn::Linear>> gateProjs_;
+};
+
+} // namespace fusion
+} // namespace mmbench
+
+#endif // MMBENCH_FUSION_FUSION_HH

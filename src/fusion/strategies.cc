@@ -1,0 +1,100 @@
+#include "fusion/strategies.hh"
+
+#include "core/logging.hh"
+
+namespace mmbench {
+namespace fusion {
+
+namespace ag = mmbench::autograd;
+
+using tensor::Shape;
+
+TransformerFusion::TransformerFusion(std::vector<int64_t> input_dims,
+                                     int64_t model_dim, int64_t heads,
+                                     int64_t fused_dim)
+    : Module("transformer_fusion"), inputDims_(std::move(input_dims)),
+      modelDim_(model_dim), fusedDim_(fused_dim),
+      outProj_(model_dim * static_cast<int64_t>(inputDims_.size()),
+               fused_dim)
+{
+    MM_ASSERT(inputDims_.size() >= 2,
+              "transformer fusion needs at least two modalities");
+    projections_.reserve(inputDims_.size());
+    crossLayers_.reserve(inputDims_.size());
+    for (int64_t dim : inputDims_) {
+        projections_.push_back(std::make_unique<nn::Linear>(dim,
+                                                            modelDim_));
+        registerChild(*projections_.back());
+        crossLayers_.push_back(std::make_unique<nn::CrossModalLayer>(
+            modelDim_, heads, 2 * modelDim_));
+        registerChild(*crossLayers_.back());
+    }
+    registerChild(outProj_);
+}
+
+Var
+TransformerFusion::fuse(const std::vector<Var> &sequences)
+{
+    MM_ASSERT(sequences.size() == inputDims_.size(),
+              "transformer fusion fed %zu sequences, expected %zu",
+              sequences.size(), inputDims_.size());
+
+    // Project every modality sequence to the common width.
+    std::vector<Var> proj;
+    proj.reserve(sequences.size());
+    for (size_t i = 0; i < sequences.size(); ++i) {
+        MM_ASSERT(sequences[i].value().ndim() == 3 &&
+                      sequences[i].value().size(2) == inputDims_[i],
+                  "transformer fusion modality %zu has shape %s", i,
+                  sequences[i].value().shape().toString().c_str());
+        proj.push_back(projections_[i]->forward(sequences[i]));
+    }
+
+    // Each target modality attends over the other modalities' tokens.
+    std::vector<Var> pooled;
+    pooled.reserve(proj.size());
+    for (size_t i = 0; i < proj.size(); ++i) {
+        std::vector<Var> others;
+        for (size_t j = 0; j < proj.size(); ++j) {
+            if (j != i)
+                others.push_back(proj[j]);
+        }
+        Var source = others.size() == 1 ? others[0] : ag::concat(others, 1);
+        Var attended = crossLayers_[i]->forward(proj[i], source);
+        pooled.push_back(ag::meanAxis(attended, 1)); // (B, model_dim)
+    }
+
+    return outProj_.forward(ag::concat(pooled, 1));
+}
+
+LateLstmFusion::LateLstmFusion(std::vector<int64_t> input_dims,
+                               int64_t fused_dim)
+    : Fusion("late_lstm_fusion", std::move(input_dims), fused_dim),
+      lstm_(fused_dim, fused_dim)
+{
+    projections_.reserve(inputDims_.size());
+    for (int64_t dim : inputDims_) {
+        projections_.push_back(std::make_unique<nn::Linear>(dim,
+                                                            fusedDim_));
+        registerChild(*projections_.back());
+    }
+    registerChild(lstm_);
+}
+
+Var
+LateLstmFusion::fuse(const std::vector<Var> &features)
+{
+    checkInputs(features);
+    const int64_t batch = features[0].value().size(0);
+    std::vector<Var> tokens;
+    tokens.reserve(features.size());
+    for (size_t i = 0; i < features.size(); ++i) {
+        tokens.push_back(ag::reshape(projections_[i]->forward(features[i]),
+                                     Shape{batch, 1, fusedDim_}));
+    }
+    Var seq = ag::concat(tokens, 1); // (B, M, fused_dim)
+    return lstm_.forward(seq).lastHidden;
+}
+
+} // namespace fusion
+} // namespace mmbench

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Sequence-level fusion strategies.
+ *
+ * These consume per-modality token sequences (B, T_i, D) rather than
+ * pooled vectors: the MULT-style cross-modal transformer (used by the
+ * paper's CMU-MOSEI, MUStARD, Medical and TransFuser workloads) and a
+ * late-fusion LSTM that treats modalities as a sequence (the paper's
+ * LF-LSTM variant of MuJoCo Push).
+ */
+
+#ifndef MMBENCH_FUSION_STRATEGIES_HH
+#define MMBENCH_FUSION_STRATEGIES_HH
+
+#include <memory>
+#include <vector>
+
+#include "fusion/fusion.hh"
+#include "nn/rnn.hh"
+#include "nn/transformer.hh"
+
+namespace mmbench {
+namespace fusion {
+
+/**
+ * MULT-style cross-modal transformer fusion. Every modality's sequence
+ * (projected to a common width) attends over the concatenation of the
+ * other modalities, is mean-pooled, and the pooled vectors are
+ * concatenated and projected to fused_dim.
+ */
+class TransformerFusion : public Module
+{
+  public:
+    /**
+     * @param input_dims per-modality feature width
+     * @param model_dim  common transformer width
+     * @param heads      attention heads
+     * @param fused_dim  output width
+     */
+    TransformerFusion(std::vector<int64_t> input_dims, int64_t model_dim,
+                      int64_t heads, int64_t fused_dim);
+
+    /** sequences[i]: (B, T_i, input_dims[i]) -> (B, fused_dim). */
+    Var fuse(const std::vector<Var> &sequences);
+
+    int64_t fusedDim() const { return fusedDim_; }
+
+  private:
+    std::vector<int64_t> inputDims_;
+    int64_t modelDim_;
+    int64_t fusedDim_;
+    std::vector<std::unique_ptr<nn::Linear>> projections_;
+    std::vector<std::unique_ptr<nn::CrossModalLayer>> crossLayers_;
+    nn::Linear outProj_;
+};
+
+/**
+ * Late fusion via an LSTM over the modality axis: pooled modality
+ * features form a length-M sequence fed to an LSTM whose last hidden
+ * state is the fused representation.
+ */
+class LateLstmFusion : public Fusion
+{
+  public:
+    LateLstmFusion(std::vector<int64_t> input_dims, int64_t fused_dim);
+
+    Var fuse(const std::vector<Var> &features) override;
+
+  private:
+    std::vector<std::unique_ptr<nn::Linear>> projections_;
+    nn::Lstm lstm_;
+};
+
+} // namespace fusion
+} // namespace mmbench
+
+#endif // MMBENCH_FUSION_STRATEGIES_HH

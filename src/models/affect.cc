@@ -1,0 +1,111 @@
+#include "models/affect.hh"
+
+#include "core/logging.hh"
+
+namespace mmbench {
+namespace models {
+
+namespace ag = mmbench::autograd;
+using fusion::FusionKind;
+
+AffectWorkload::AffectWorkload(const std::string &variant,
+                               WorkloadConfig config)
+    : MultiModalWorkload(variant, config),
+      useTransformerFusion_(config.fusionKind == FusionKind::Transformer)
+{
+    const int64_t seq = scaled(24, 6);
+    featDim_ = scaledFeat(32, 8);
+    fusedDim_ = scaledFeat(64, 16);
+    const bool mosei = variant == "cmu-mosei";
+
+    info_.name = variant;
+    info_.domain = "Affective Computing";
+    info_.modelSize = "Large";
+    info_.taskName = "Class.";
+    info_.encoderNames = {"BERT", "OpenFace", "Librosa"};
+    info_.supportedFusions = {FusionKind::Concat, FusionKind::Tensor,
+                              FusionKind::Transformer};
+
+    dataSpec_.task = data::TaskKind::Classification;
+    dataSpec_.numClasses = 2;
+    dataSpec_.crossModalFraction = mosei ? 0.04 : 0.04;
+    dataSpec_.modalities = {
+        {"language", Shape{seq}, data::ModalityEncoding::Tokens, kVocab,
+         mosei ? 0.85 : 0.80},
+        {"vision", Shape{seq, kVisionFeat}, data::ModalityEncoding::Dense,
+         0, 0.55},
+        {"audio", Shape{seq, kAudioFeat}, data::ModalityEncoding::Dense,
+         0, 0.50},
+    };
+
+    textEncoder_ = std::make_unique<TextTransformerEncoder>(
+        kVocab, featDim_, 4, 2 * featDim_, 2, 2 * seq);
+    visionEncoder_ = std::make_unique<SeqLstmEncoder>(kVisionFeat,
+                                                      featDim_);
+    audioEncoder_ = std::make_unique<SeqLstmEncoder>(kAudioFeat, featDim_);
+    registerChild(*textEncoder_);
+    registerChild(*visionEncoder_);
+    registerChild(*audioEncoder_);
+
+    if (useTransformerFusion_) {
+        seqFusion_ = std::make_unique<fusion::TransformerFusion>(
+            std::vector<int64_t>{featDim_, featDim_, featDim_}, featDim_,
+            4, fusedDim_);
+        registerChild(*seqFusion_);
+    } else {
+        vectorFusion_ = fusion::createFusion(
+            config.fusionKind, {featDim_, featDim_, featDim_}, fusedDim_);
+        registerChild(*vectorFusion_);
+    }
+
+    head_.emplace<nn::Linear>(fusedDim_, fusedDim_ / 2)
+         .emplace<nn::ReLU>()
+         .emplace<nn::Linear>(fusedDim_ / 2, 2);
+    registerChild(head_);
+
+    for (int m = 0; m < 3; ++m) {
+        uniHeads_.push_back(std::make_unique<nn::Linear>(featDim_, 2));
+        registerChild(*uniHeads_.back());
+    }
+}
+
+Var
+AffectWorkload::encodeModality(size_t m, const Var &input)
+{
+    // Transformer fusion consumes sequences; vector fusion consumes
+    // pooled features.
+    if (m == 0) {
+        Var seq = textEncoder_->forwardSeq(input.value());
+        return useTransformerFusion_ ? seq : textEncoder_->pool(seq);
+    }
+    SeqLstmEncoder &enc = (m == 1) ? *visionEncoder_ : *audioEncoder_;
+    return useTransformerFusion_ ? enc.forwardSeq(input)
+                                 : enc.forward(input);
+}
+
+Var
+AffectWorkload::fuseFeatures(const std::vector<Var> &features)
+{
+    if (useTransformerFusion_)
+        return seqFusion_->fuse(features);
+    return vectorFusion_->fuse(features);
+}
+
+Var
+AffectWorkload::headForward(const Var &fused)
+{
+    return head_.forward(fused);
+}
+
+Var
+AffectWorkload::uniHeadForward(size_t m, const Var &feature)
+{
+    // Sequence features (transformer-fusion mode) are mean-pooled.
+    Var f = feature;
+    if (f.value().ndim() == 3)
+        f = ag::meanAxis(f, 1);
+    return uniHeads_[m]->forward(f);
+}
+
+} // namespace models
+} // namespace mmbench

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Affective-computing workloads: CMU-MOSEI (sentiment) and MUStARD
+ * (sarcasm). Three modalities — spoken words (BERT-tiny), facial
+ * features (LSTM over OpenFace-style vectors) and acoustic features
+ * (LSTM over Librosa-style vectors) — with concat/tensor/transformer
+ * (MULT) fusion options.
+ */
+
+#ifndef MMBENCH_MODELS_AFFECT_HH
+#define MMBENCH_MODELS_AFFECT_HH
+
+#include "fusion/strategies.hh"
+#include "models/encoders.hh"
+#include "models/workload.hh"
+
+namespace mmbench {
+namespace models {
+
+/** Common base for the two affect workloads. */
+class AffectWorkload : public MultiModalWorkload
+{
+  public:
+    /** variant: "cmu-mosei" or "mustard". */
+    AffectWorkload(const std::string &variant, WorkloadConfig config);
+
+  protected:
+    Var encodeModality(size_t m, const Var &input) override;
+    Var fuseFeatures(const std::vector<Var> &features) override;
+    Var headForward(const Var &fused) override;
+    Var uniHeadForward(size_t m, const Var &feature) override;
+
+  private:
+    static constexpr int64_t kVocab = 500;
+    static constexpr int64_t kVisionFeat = 35; ///< OpenFace width
+    static constexpr int64_t kAudioFeat = 74;  ///< Librosa width
+    bool useTransformerFusion_;
+    int64_t featDim_;
+    int64_t fusedDim_;
+    std::unique_ptr<TextTransformerEncoder> textEncoder_;
+    std::unique_ptr<SeqLstmEncoder> visionEncoder_;
+    std::unique_ptr<SeqLstmEncoder> audioEncoder_;
+    std::unique_ptr<fusion::Fusion> vectorFusion_;
+    std::unique_ptr<fusion::TransformerFusion> seqFusion_;
+    nn::Sequential head_;
+    std::vector<std::unique_ptr<nn::Linear>> uniHeads_;
+};
+
+/** CMU-MOSEI: sentence-level sentiment (binary accuracy proxy). */
+class CmuMosei : public AffectWorkload
+{
+  public:
+    explicit CmuMosei(WorkloadConfig config)
+        : AffectWorkload("cmu-mosei", config)
+    {
+    }
+};
+
+/** MUStARD: sarcasm detection (binary). */
+class Mustard : public AffectWorkload
+{
+  public:
+    explicit Mustard(WorkloadConfig config)
+        : AffectWorkload("mustard", config)
+    {
+    }
+};
+
+} // namespace models
+} // namespace mmbench
+
+#endif // MMBENCH_MODELS_AFFECT_HH

@@ -1,0 +1,93 @@
+#include "models/avmnist.hh"
+
+#include "core/logging.hh"
+
+namespace mmbench {
+namespace models {
+
+using fusion::FusionKind;
+
+AvMnist::AvMnist(WorkloadConfig config)
+    : MultiModalWorkload("av-mnist", config)
+{
+    const int64_t img = scaled(28, 8);
+    const int64_t aud = scaled(20, 8);
+    featDim_ = scaledFeat(64, 16);
+    fusedDim_ = scaledFeat(64, 16);
+
+    info_.name = "av-mnist";
+    info_.domain = "Multimedia";
+    info_.modelSize = "Small";
+    info_.taskName = "Class.";
+    info_.encoderNames = {"LeNet", "LeNet"};
+    info_.supportedFusions = {FusionKind::Zero,      FusionKind::Sum,
+                              FusionKind::Concat,    FusionKind::Tensor,
+                              FusionKind::Attention, FusionKind::LinearGLU,
+                              FusionKind::LateLstm};
+
+    dataSpec_.task = data::TaskKind::Classification;
+    dataSpec_.numClasses = kClasses;
+    dataSpec_.crossModalFraction = 0.04;
+    dataSpec_.modalities = {
+        {"image", Shape{1, img, img}, data::ModalityEncoding::Dense, 0,
+         0.85},
+        {"audio", Shape{1, aud, aud}, data::ModalityEncoding::Dense, 0,
+         0.60},
+    };
+
+    imageEncoder_ = std::make_unique<LeNetEncoder>(1, img, img, featDim_);
+    audioEncoder_ = std::make_unique<LeNetEncoder>(1, aud, aud, featDim_);
+    registerChild(*imageEncoder_);
+    registerChild(*audioEncoder_);
+
+    if (config.fusionKind == FusionKind::LateLstm) {
+        fusion_ = std::make_unique<fusion::LateLstmFusion>(
+            std::vector<int64_t>{featDim_, featDim_}, fusedDim_);
+    } else {
+        fusion_ = fusion::createFusion(config.fusionKind,
+                                       {featDim_, featDim_}, fusedDim_);
+    }
+    registerChild(*fusion_);
+
+    head_.emplace<nn::Linear>(fusedDim_, fusedDim_ / 2)
+         .emplace<nn::ReLU>()
+         .emplace<nn::Linear>(fusedDim_ / 2, kClasses);
+    registerChild(head_);
+
+    for (int m = 0; m < 2; ++m) {
+        auto uni = std::make_unique<nn::Sequential>("uni_head");
+        uni->emplace<nn::Linear>(featDim_, fusedDim_ / 2)
+           .emplace<nn::ReLU>()
+           .emplace<nn::Linear>(fusedDim_ / 2, kClasses);
+        registerChild(*uni);
+        uniHeads_.push_back(std::move(uni));
+    }
+}
+
+Var
+AvMnist::encodeModality(size_t m, const Var &input)
+{
+    return m == 0 ? imageEncoder_->forward(input)
+                  : audioEncoder_->forward(input);
+}
+
+Var
+AvMnist::fuseFeatures(const std::vector<Var> &features)
+{
+    return fusion_->fuse(features);
+}
+
+Var
+AvMnist::headForward(const Var &fused)
+{
+    return head_.forward(fused);
+}
+
+Var
+AvMnist::uniHeadForward(size_t m, const Var &feature)
+{
+    return uniHeads_[m]->forward(feature);
+}
+
+} // namespace models
+} // namespace mmbench

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * AV-MNIST: image (handwritten digit) + audio (spoken digit
+ * spectrogram), LeNet encoders, 10-way classification. The paper's
+ * "Small" multimedia workload and the subject of its case studies.
+ */
+
+#ifndef MMBENCH_MODELS_AVMNIST_HH
+#define MMBENCH_MODELS_AVMNIST_HH
+
+#include "fusion/strategies.hh"
+#include "models/encoders.hh"
+#include "models/workload.hh"
+
+namespace mmbench {
+namespace models {
+
+class AvMnist : public MultiModalWorkload
+{
+  public:
+    explicit AvMnist(WorkloadConfig config);
+
+  protected:
+    Var encodeModality(size_t m, const Var &input) override;
+    Var fuseFeatures(const std::vector<Var> &features) override;
+    Var headForward(const Var &fused) override;
+    Var uniHeadForward(size_t m, const Var &feature) override;
+
+  private:
+    static constexpr int64_t kClasses = 10;
+    int64_t featDim_;
+    int64_t fusedDim_;
+    std::unique_ptr<LeNetEncoder> imageEncoder_;
+    std::unique_ptr<LeNetEncoder> audioEncoder_;
+    std::unique_ptr<fusion::Fusion> fusion_;
+    nn::Sequential head_;
+    std::vector<std::unique_ptr<nn::Sequential>> uniHeads_;
+};
+
+} // namespace models
+} // namespace mmbench
+
+#endif // MMBENCH_MODELS_AVMNIST_HH

@@ -1,0 +1,347 @@
+#include "models/encoders.hh"
+
+#include "core/logging.hh"
+#include "core/string_utils.hh"
+
+namespace mmbench {
+namespace models {
+
+namespace ag = mmbench::autograd;
+
+int64_t
+convOut(int64_t in, int kernel, int stride, int pad)
+{
+    return (in + 2 * pad - kernel) / stride + 1;
+}
+
+LeNetEncoder::LeNetEncoder(int64_t in_ch, int64_t h, int64_t w,
+                           int64_t feature_dim)
+    : Module(strfmt("lenet_%lldx%lld", static_cast<long long>(h),
+                    static_cast<long long>(w))),
+      featureDim_(feature_dim),
+      flatDim_([h, w]() {
+          // Both convs are 5x5 pad-2 (extent-preserving), each
+          // followed by a 2x2 pool, so the spatial extent quarters.
+          const int64_t h2 = (h / 2) / 2;
+          const int64_t w2 = (w / 2) / 2;
+          return 16 * h2 * w2;
+      }()),
+      conv1_(in_ch, 6, 5, 1, 2), conv2_(6, 16, 5, 1, 2), pool_(2),
+      fc_(flatDim_, feature_dim)
+{
+    registerChild(conv1_);
+    registerChild(conv2_);
+    registerChild(pool_);
+    registerChild(fc_);
+}
+
+Var
+LeNetEncoder::forward(const Var &x)
+{
+    Var h = pool_.forward(ag::relu(conv1_.forward(x)));
+    h = pool_.forward(ag::relu(conv2_.forward(h)));
+    const int64_t batch = h.value().size(0);
+    h = ag::reshape(h, Shape{batch, flatDim_});
+    return ag::relu(fc_.forward(h));
+}
+
+VggSmall::VggSmall(int64_t in_ch, int64_t h, int64_t w,
+                   int64_t feature_dim, int64_t base_channels)
+    : Module("vgg_small"), featureDim_(feature_dim),
+      body_("vgg_body"),
+      fc1_([&]() {
+          // Three stages of 2x conv3(p1) + pool2 halving.
+          const int64_t hs = h / 8, ws = w / 8;
+          return 4 * base_channels * hs * ws;
+      }(), 4 * feature_dim),
+      fc2_(4 * feature_dim, feature_dim)
+{
+    const int64_t c1 = base_channels, c2 = 2 * base_channels,
+                  c3 = 4 * base_channels;
+    body_.emplace<nn::Conv2d>(in_ch, c1, 3, 1, 1)
+         .emplace<nn::BatchNorm2d>(c1)
+         .emplace<nn::ReLU>()
+         .emplace<nn::Conv2d>(c1, c1, 3, 1, 1)
+         .emplace<nn::BatchNorm2d>(c1)
+         .emplace<nn::ReLU>()
+         .emplace<nn::MaxPool2d>(2)
+         .emplace<nn::Conv2d>(c1, c2, 3, 1, 1)
+         .emplace<nn::BatchNorm2d>(c2)
+         .emplace<nn::ReLU>()
+         .emplace<nn::Conv2d>(c2, c2, 3, 1, 1)
+         .emplace<nn::BatchNorm2d>(c2)
+         .emplace<nn::ReLU>()
+         .emplace<nn::MaxPool2d>(2)
+         .emplace<nn::Conv2d>(c2, c3, 3, 1, 1)
+         .emplace<nn::BatchNorm2d>(c3)
+         .emplace<nn::ReLU>()
+         .emplace<nn::MaxPool2d>(2)
+         .emplace<nn::Flatten>();
+    registerChild(body_);
+    registerChild(fc1_);
+    registerChild(fc2_);
+}
+
+Var
+VggSmall::forward(const Var &x)
+{
+    Var h = body_.forward(x);
+    return ag::relu(fc2_.forward(ag::relu(fc1_.forward(h))));
+}
+
+TextTransformerEncoder::TextTransformerEncoder(int64_t vocab, int64_t dim,
+                                               int64_t heads,
+                                               int64_t ff_dim,
+                                               int64_t layers,
+                                               int64_t max_len)
+    : Module("text_transformer"), dim_(dim), embedding_(vocab, dim),
+      encoder_(dim, heads, ff_dim, layers, max_len, 0.1f)
+{
+    registerChild(embedding_);
+    registerChild(encoder_);
+}
+
+Var
+TextTransformerEncoder::forwardSeq(const Tensor &ids)
+{
+    MM_ASSERT(ids.ndim() == 2, "token ids must be (B, T)");
+    Var tokens = embedding_.forward(ids);
+    return encoder_.forward(tokens);
+}
+
+Var
+TextTransformerEncoder::pool(const Var &seq)
+{
+    return ag::meanAxis(seq, 1);
+}
+
+SeqLstmEncoder::SeqLstmEncoder(int64_t in_dim, int64_t hidden)
+    : Module("seq_lstm"), lstm_(in_dim, hidden)
+{
+    registerChild(lstm_);
+}
+
+Var
+SeqLstmEncoder::forwardSeq(const Var &x)
+{
+    return lstm_.forward(x).outputs;
+}
+
+Var
+SeqLstmEncoder::forward(const Var &x)
+{
+    return lstm_.forward(x).lastHidden;
+}
+
+SmallCnn::SmallCnn(int64_t in_ch, int64_t h, int64_t w,
+                   int64_t feature_dim, int64_t base_channels)
+    : Module("small_cnn"), featureDim_(feature_dim), body_("cnn_body"),
+      fc_(2 * base_channels * (h / 4) * (w / 4), feature_dim)
+{
+    MM_ASSERT(h >= 4 && w >= 4, "SmallCnn needs at least 4x4 input");
+    const int64_t c1 = base_channels, c2 = 2 * base_channels;
+    body_.emplace<nn::Conv2d>(in_ch, c1, 3, 1, 1)
+         .emplace<nn::BatchNorm2d>(c1)
+         .emplace<nn::ReLU>()
+         .emplace<nn::MaxPool2d>(2)
+         .emplace<nn::Conv2d>(c1, c2, 3, 1, 1)
+         .emplace<nn::BatchNorm2d>(c2)
+         .emplace<nn::ReLU>()
+         .emplace<nn::MaxPool2d>(2)
+         .emplace<nn::Flatten>();
+    registerChild(body_);
+    registerChild(fc_);
+}
+
+Var
+SmallCnn::forward(const Var &x)
+{
+    return ag::relu(fc_.forward(body_.forward(x)));
+}
+
+MlpEncoder::MlpEncoder(int64_t in_dim, int64_t hidden, int64_t feature_dim)
+    : Module("mlp_encoder"), inDim_(in_dim), featureDim_(feature_dim),
+      fc1_(in_dim, hidden), fc2_(hidden, feature_dim)
+{
+    registerChild(fc1_);
+    registerChild(fc2_);
+}
+
+Var
+MlpEncoder::forward(const Var &x)
+{
+    const int64_t batch = x.value().size(0);
+    Var flat = ag::reshape(x, Shape{batch, x.value().numel() / batch});
+    MM_ASSERT(flat.value().size(1) == inDim_,
+              "MlpEncoder fed %s, expected flat dim %lld",
+              x.value().shape().toString().c_str(),
+              static_cast<long long>(inDim_));
+    return ag::relu(fc2_.forward(ag::relu(fc1_.forward(flat))));
+}
+
+ResidualBlock::ResidualBlock(int64_t in_ch, int64_t out_ch, int stride)
+    : Module("res_block"), conv1_(in_ch, out_ch, 3, stride, 1), bn1_(out_ch),
+      conv2_(out_ch, out_ch, 3, 1, 1), bn2_(out_ch)
+{
+    registerChild(conv1_);
+    registerChild(bn1_);
+    registerChild(conv2_);
+    registerChild(bn2_);
+    if (in_ch != out_ch || stride != 1) {
+        proj_ = std::make_unique<nn::Conv2d>(in_ch, out_ch, 1, stride, 0,
+                                             false);
+        registerChild(*proj_);
+    }
+}
+
+Var
+ResidualBlock::forward(const Var &x)
+{
+    Var h = ag::relu(bn1_.forward(conv1_.forward(x)));
+    h = bn2_.forward(conv2_.forward(h));
+    Var skip = proj_ ? proj_->forward(x) : x;
+    return ag::relu(ag::add(h, skip));
+}
+
+ResNetSmall::ResNetSmall(int64_t in_ch, int64_t h, int64_t w,
+                         int64_t feature_dim, int64_t base_channels)
+    : Module("resnet_small"), featureDim_(feature_dim),
+      tokenDim_(4 * base_channels),
+      stem_(in_ch, base_channels, 3, 1, 1), stemBn_(base_channels),
+      block1_(base_channels, base_channels, 1),
+      block2_(base_channels, 2 * base_channels, 2),
+      block3_(2 * base_channels, 4 * base_channels, 2),
+      fc_(4 * base_channels, feature_dim)
+{
+    MM_ASSERT(h % 4 == 0 && w % 4 == 0,
+              "ResNetSmall needs input divisible by 4");
+    registerChild(stem_);
+    registerChild(stemBn_);
+    registerChild(block1_);
+    registerChild(block2_);
+    registerChild(block3_);
+    registerChild(fc_);
+}
+
+Var
+ResNetSmall::backbone(const Var &x)
+{
+    Var h = ag::relu(stemBn_.forward(stem_.forward(x)));
+    h = block1_.forward(h);
+    h = block2_.forward(h);
+    return block3_.forward(h);
+}
+
+Var
+ResNetSmall::forward(const Var &x)
+{
+    Var h = backbone(x);
+    return ag::relu(fc_.forward(ag::globalAvgPool(h)));
+}
+
+Var
+ResNetSmall::forwardTokens(const Var &x)
+{
+    Var h = backbone(x); // (B, C, H', W')
+    const int64_t batch = h.value().size(0);
+    const int64_t c = h.value().size(1);
+    const int64_t hw = h.value().size(2) * h.value().size(3);
+    // (B, C, H'W') -> (B, H'W', C): spatial positions become tokens.
+    Var flat = ag::reshape(h, Shape{batch, c, hw});
+    return ag::swapDims(flat, 1, 2);
+}
+
+DenseNetSmall::DenseNetSmall(int64_t in_ch, int64_t h, int64_t w,
+                             int64_t feature_dim, int64_t growth,
+                             int64_t layers_per_block)
+    : Module("densenet_small"), featureDim_(feature_dim), growth_(growth),
+      layersPerBlock_(layers_per_block),
+      stem_(in_ch, 2 * growth, 3, 2, 1),
+      fc_(2 * growth + layers_per_block * growth, feature_dim)
+{
+    MM_ASSERT(h >= 8 && w >= 8, "DenseNetSmall needs at least 8x8 input");
+    registerChild(stem_);
+    registerChild(fc_);
+    // One dense block after the stem, then a 1x1 transition. Each
+    // dense layer consumes the concatenation of all previous outputs.
+    int64_t channels = 2 * growth;
+    for (int64_t i = 0; i < layers_per_block; ++i) {
+        denseBns_.push_back(std::make_unique<nn::BatchNorm2d>(channels));
+        registerChild(*denseBns_.back());
+        denseConvs_.push_back(
+            std::make_unique<nn::Conv2d>(channels, growth, 3, 1, 1));
+        registerChild(*denseConvs_.back());
+        channels += growth;
+    }
+    transition_ = std::make_unique<nn::Conv2d>(channels, channels, 1, 1, 0);
+    registerChild(*transition_);
+}
+
+Var
+DenseNetSmall::forward(const Var &x)
+{
+    Var h = stem_.forward(x);
+    for (int64_t i = 0; i < layersPerBlock_; ++i) {
+        Var grown = denseConvs_[static_cast<size_t>(i)]->forward(ag::relu(
+            denseBns_[static_cast<size_t>(i)]->forward(h)));
+        h = ag::concat({h, grown}, 1); // channel-wise concatenation
+    }
+    h = transition_->forward(h);
+    return ag::relu(fc_.forward(ag::globalAvgPool(h)));
+}
+
+UNetEncoder::UNetEncoder(int64_t in_ch, int64_t base_channels)
+    : Module("unet_encoder"), c1_(base_channels), c2_(2 * base_channels),
+      c3_(4 * base_channels),
+      enc1_(in_ch, c1_, 3, 1, 1), bn1_(c1_),
+      enc2_(c1_, c2_, 3, 1, 1), bn2_(c2_),
+      enc3_(c2_, c3_, 3, 1, 1), bn3_(c3_), pool_(2)
+{
+    registerChild(enc1_);
+    registerChild(bn1_);
+    registerChild(enc2_);
+    registerChild(bn2_);
+    registerChild(enc3_);
+    registerChild(bn3_);
+    registerChild(pool_);
+}
+
+UNetEncoder::Output
+UNetEncoder::forward(const Var &x)
+{
+    Output out;
+    out.skip1 = ag::relu(bn1_.forward(enc1_.forward(x)));
+    Var h = pool_.forward(out.skip1);
+    out.skip2 = ag::relu(bn2_.forward(enc2_.forward(h)));
+    h = pool_.forward(out.skip2);
+    out.bottleneck = ag::relu(bn3_.forward(enc3_.forward(h)));
+    return out;
+}
+
+UNetDecoder::UNetDecoder(int64_t bottleneck_ch, int64_t skip2_ch,
+                         int64_t skip1_ch, int64_t classes)
+    : Module("unet_decoder"),
+      dec2_(bottleneck_ch + skip2_ch, skip2_ch, 3, 1, 1), bn2_(skip2_ch),
+      dec1_(skip2_ch + skip1_ch, skip1_ch, 3, 1, 1), bn1_(skip1_ch),
+      outConv_(skip1_ch, classes, 1, 1, 0)
+{
+    registerChild(dec2_);
+    registerChild(bn2_);
+    registerChild(dec1_);
+    registerChild(bn1_);
+    registerChild(outConv_);
+}
+
+Var
+UNetDecoder::forward(const Var &bottleneck, const Var &skip2,
+                     const Var &skip1)
+{
+    Var h = ag::upsampleNearest2x(bottleneck);
+    h = ag::relu(bn2_.forward(dec2_.forward(ag::concat({h, skip2}, 1))));
+    h = ag::upsampleNearest2x(h);
+    h = ag::relu(bn1_.forward(dec1_.forward(ag::concat({h, skip1}, 1))));
+    return outConv_.forward(h);
+}
+
+} // namespace models
+} // namespace mmbench

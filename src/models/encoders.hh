@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Encoder building blocks for the MMBench workloads.
+ *
+ * Each class is a scaled-down but architecturally faithful stand-in
+ * for the backbone the paper uses (LeNet, VGG, ALBERT/BERT, ResNet,
+ * DenseNet, U-Net, sensor MLP/CNN/LSTM): the operator mix per encoder
+ * — which drives the paper's heterogeneity analysis — is preserved.
+ */
+
+#ifndef MMBENCH_MODELS_ENCODERS_HH
+#define MMBENCH_MODELS_ENCODERS_HH
+
+#include <memory>
+
+#include "nn/activation.hh"
+#include "nn/conv.hh"
+#include "nn/embedding.hh"
+#include "nn/linear.hh"
+#include "nn/norm.hh"
+#include "nn/rnn.hh"
+#include "nn/transformer.hh"
+
+namespace mmbench {
+namespace models {
+
+using autograd::Var;
+using tensor::Shape;
+using tensor::Tensor;
+
+/** Spatial extent after a square conv/pool sweep. */
+int64_t convOut(int64_t in, int kernel, int stride, int pad);
+
+/** LeNet-5 style image encoder: 2x (conv5 + pool) + FC. */
+class LeNetEncoder : public nn::Module
+{
+  public:
+    LeNetEncoder(int64_t in_ch, int64_t h, int64_t w, int64_t feature_dim);
+
+    /** (B, C, H, W) -> (B, feature_dim). */
+    Var forward(const Var &x);
+
+    int64_t featureDim() const { return featureDim_; }
+
+  private:
+    int64_t featureDim_;
+    int64_t flatDim_;
+    nn::Conv2d conv1_;
+    nn::Conv2d conv2_;
+    nn::MaxPool2d pool_;
+    nn::Linear fc_;
+};
+
+/** VGG-style conv stack with batch normalization. */
+class VggSmall : public nn::Module
+{
+  public:
+    VggSmall(int64_t in_ch, int64_t h, int64_t w, int64_t feature_dim,
+             int64_t base_channels = 16);
+
+    /** (B, C, H, W) -> (B, feature_dim). */
+    Var forward(const Var &x);
+
+    int64_t featureDim() const { return featureDim_; }
+
+  private:
+    int64_t featureDim_;
+    nn::Sequential body_;
+    nn::Linear fc1_;
+    nn::Linear fc2_;
+};
+
+/**
+ * Token transformer encoder (ALBERT/BERT/RoBERTa-tiny stand-in):
+ * embedding + positional embedding + encoder stack.
+ */
+class TextTransformerEncoder : public nn::Module
+{
+  public:
+    TextTransformerEncoder(int64_t vocab, int64_t dim, int64_t heads,
+                           int64_t ff_dim, int64_t layers,
+                           int64_t max_len);
+
+    /** ids (B, T) -> token features (B, T, dim). */
+    Var forwardSeq(const Tensor &ids);
+
+    /** Mean-pooled sequence feature (B, dim). */
+    Var pool(const Var &seq);
+
+    int64_t dim() const { return dim_; }
+
+  private:
+    int64_t dim_;
+    nn::Embedding embedding_;
+    nn::TransformerEncoder encoder_;
+};
+
+/** LSTM encoder over dense feature sequences (B, T, D). */
+class SeqLstmEncoder : public nn::Module
+{
+  public:
+    SeqLstmEncoder(int64_t in_dim, int64_t hidden);
+
+    /** (B, T, D) -> all hidden states (B, T, H). */
+    Var forwardSeq(const Var &x);
+
+    /** (B, T, D) -> last hidden state (B, H). */
+    Var forward(const Var &x);
+
+    int64_t featureDim() const { return lstm_.hiddenSize(); }
+
+  private:
+    nn::Lstm lstm_;
+};
+
+/** Compact conv encoder: 2x (conv3 + BN + ReLU + pool) + FC. */
+class SmallCnn : public nn::Module
+{
+  public:
+    SmallCnn(int64_t in_ch, int64_t h, int64_t w, int64_t feature_dim,
+             int64_t base_channels = 8);
+
+    /** (B, C, H, W) -> (B, feature_dim). */
+    Var forward(const Var &x);
+
+    int64_t featureDim() const { return featureDim_; }
+
+  private:
+    int64_t featureDim_;
+    nn::Sequential body_;
+    nn::Linear fc_;
+};
+
+/** Plain MLP encoder over flattened inputs. */
+class MlpEncoder : public nn::Module
+{
+  public:
+    MlpEncoder(int64_t in_dim, int64_t hidden, int64_t feature_dim);
+
+    /** (B, ...) -> (B, feature_dim); input is flattened. */
+    Var forward(const Var &x);
+
+    int64_t featureDim() const { return featureDim_; }
+
+  private:
+    int64_t inDim_;
+    int64_t featureDim_;
+    nn::Linear fc1_;
+    nn::Linear fc2_;
+};
+
+/** Basic residual block (two 3x3 convs + identity/projection skip). */
+class ResidualBlock : public nn::Module
+{
+  public:
+    ResidualBlock(int64_t in_ch, int64_t out_ch, int stride);
+
+    Var forward(const Var &x);
+
+  private:
+    nn::Conv2d conv1_;
+    nn::BatchNorm2d bn1_;
+    nn::Conv2d conv2_;
+    nn::BatchNorm2d bn2_;
+    std::unique_ptr<nn::Conv2d> proj_; ///< 1x1 when geometry changes
+};
+
+/** ResNet-style encoder exposing both pooled and spatial features. */
+class ResNetSmall : public nn::Module
+{
+  public:
+    ResNetSmall(int64_t in_ch, int64_t h, int64_t w, int64_t feature_dim,
+                int64_t base_channels = 16);
+
+    /** (B, C, H, W) -> pooled feature (B, feature_dim). */
+    Var forward(const Var &x);
+
+    /** (B, C, H, W) -> spatial tokens (B, T, channels). */
+    Var forwardTokens(const Var &x);
+
+    int64_t featureDim() const { return featureDim_; }
+    int64_t tokenDim() const { return tokenDim_; }
+
+  private:
+    Var backbone(const Var &x);
+
+    int64_t featureDim_;
+    int64_t tokenDim_;
+    nn::Conv2d stem_;
+    nn::BatchNorm2d stemBn_;
+    ResidualBlock block1_;
+    ResidualBlock block2_;
+    ResidualBlock block3_;
+    nn::Linear fc_;
+};
+
+/** DenseNet-style encoder: concatenative growth + transition. */
+class DenseNetSmall : public nn::Module
+{
+  public:
+    DenseNetSmall(int64_t in_ch, int64_t h, int64_t w,
+                  int64_t feature_dim, int64_t growth = 8,
+                  int64_t layers_per_block = 3);
+
+    /** (B, C, H, W) -> (B, feature_dim). */
+    Var forward(const Var &x);
+
+    int64_t featureDim() const { return featureDim_; }
+
+  private:
+    int64_t featureDim_;
+    int64_t growth_;
+    int64_t layersPerBlock_;
+    nn::Conv2d stem_;
+    std::vector<std::unique_ptr<nn::Conv2d>> denseConvs_;
+    std::vector<std::unique_ptr<nn::BatchNorm2d>> denseBns_;
+    std::unique_ptr<nn::Conv2d> transition_;
+    nn::Linear fc_;
+};
+
+/** U-Net encoder half: returns skip activations and the bottleneck. */
+class UNetEncoder : public nn::Module
+{
+  public:
+    struct Output
+    {
+        Var skip1; ///< (B, C1, H, W)
+        Var skip2; ///< (B, C2, H/2, W/2)
+        Var bottleneck; ///< (B, C3, H/4, W/4)
+    };
+
+    UNetEncoder(int64_t in_ch, int64_t base_channels = 8);
+
+    Output forward(const Var &x);
+
+    int64_t bottleneckChannels() const { return c3_; }
+    int64_t skip1Channels() const { return c1_; }
+    int64_t skip2Channels() const { return c2_; }
+
+  private:
+    int64_t c1_, c2_, c3_;
+    nn::Conv2d enc1_;
+    nn::BatchNorm2d bn1_;
+    nn::Conv2d enc2_;
+    nn::BatchNorm2d bn2_;
+    nn::Conv2d enc3_;
+    nn::BatchNorm2d bn3_;
+    nn::MaxPool2d pool_;
+};
+
+/** U-Net decoder half: upsample + skip concat, per-pixel logits. */
+class UNetDecoder : public nn::Module
+{
+  public:
+    UNetDecoder(int64_t bottleneck_ch, int64_t skip2_ch, int64_t skip1_ch,
+                int64_t classes);
+
+    /** Produces (B, classes, H, W) at the skip1 resolution. */
+    Var forward(const Var &bottleneck, const Var &skip2, const Var &skip1);
+
+  private:
+    nn::Conv2d dec2_;
+    nn::BatchNorm2d bn2_;
+    nn::Conv2d dec1_;
+    nn::BatchNorm2d bn1_;
+    nn::Conv2d outConv_;
+};
+
+} // namespace models
+} // namespace mmbench
+
+#endif // MMBENCH_MODELS_ENCODERS_HH

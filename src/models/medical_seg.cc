@@ -1,0 +1,137 @@
+#include "models/medical_seg.hh"
+
+#include "core/logging.hh"
+
+namespace mmbench {
+namespace models {
+
+namespace ag = mmbench::autograd;
+using fusion::FusionKind;
+
+MedicalSeg::MedicalSeg(WorkloadConfig config)
+    : MultiModalWorkload("medical-seg", config)
+{
+    hw_ = std::max<int64_t>(16, (scaled(32, 16) / 8) * 8);
+    // Fusion happens one level below the U-Net bottleneck (mmFormer
+    // fuses at the deepest resolution), so fusion tokens live at 1/8
+    // of the input extent.
+    bottleneckHw_ = hw_ / 8;
+    const int64_t base = scaled(8, 4);
+
+    info_.name = "medical-seg";
+    info_.domain = "Intelligent Medicine";
+    info_.modelSize = "Medium";
+    info_.taskName = "Seg.";
+    info_.encoderNames = {"U-Net", "U-Net", "U-Net", "U-Net"};
+    info_.supportedFusions = {FusionKind::Transformer};
+
+    dataSpec_.task = data::TaskKind::Segmentation;
+    dataSpec_.numClasses = kClasses;
+    const char *mri_names[kModalities] = {"T1", "T1c", "T2", "Flair"};
+    const double informativeness[kModalities] = {0.9, 0.7, 0.6, 0.5};
+    for (int64_t m = 0; m < kModalities; ++m) {
+        dataSpec_.modalities.push_back(
+            {mri_names[m], Shape{1, hw_, hw_},
+             data::ModalityEncoding::Dense, 0, informativeness[m]});
+    }
+
+    encoders_.reserve(kModalities);
+    for (int64_t m = 0; m < kModalities; ++m) {
+        encoders_.push_back(std::make_unique<UNetEncoder>(1, base));
+        registerChild(*encoders_.back());
+    }
+    const int64_t c3 = encoders_[0]->bottleneckChannels();
+    bottleneckFusion_ = std::make_unique<nn::TransformerEncoderLayer>(
+        c3, 4, 2 * c3, 0.0f);
+    registerChild(*bottleneckFusion_);
+    // Learned channel-wise selection over the concatenated modality
+    // skips (a noisy modality can be gated out, unlike plain
+    // averaging).
+    skip1Select_ = std::make_unique<nn::Conv2d>(
+        kModalities * encoders_[0]->skip1Channels(),
+        encoders_[0]->skip1Channels(), 1, 1, 0);
+    skip2Select_ = std::make_unique<nn::Conv2d>(
+        kModalities * encoders_[0]->skip2Channels(),
+        encoders_[0]->skip2Channels(), 1, 1, 0);
+    registerChild(*skip1Select_);
+    registerChild(*skip2Select_);
+    decoder_ = std::make_unique<UNetDecoder>(
+        c3, encoders_[0]->skip2Channels(), encoders_[0]->skip1Channels(),
+        kClasses);
+    uniDecoder_ = std::make_unique<UNetDecoder>(
+        c3, encoders_[0]->skip2Channels(), encoders_[0]->skip1Channels(),
+        kClasses);
+    registerChild(*decoder_);
+    registerChild(*uniDecoder_);
+
+    lastEncodings_.resize(kModalities);
+}
+
+Var
+MedicalSeg::encodeModality(size_t m, const Var &input)
+{
+    UNetEncoder::Output enc = encoders_[m]->forward(input);
+    lastEncodings_[m] = enc;
+    // Downsample once more so fusion runs at the deepest resolution,
+    // then bottleneck spatial positions become tokens: (B, T, C3).
+    Var deep = ag::avgpool2d(enc.bottleneck, 2, 2);
+    const int64_t batch = deep.value().size(0);
+    const int64_t c = deep.value().size(1);
+    const int64_t t = bottleneckHw_ * bottleneckHw_;
+    Var flat = ag::reshape(deep, Shape{batch, c, t});
+    return ag::swapDims(flat, 1, 2);
+}
+
+Var
+MedicalSeg::fuseFeatures(const std::vector<Var> &features)
+{
+    // mmFormer-style: self-attention over the concatenation of every
+    // modality's bottleneck tokens, then a per-position average across
+    // modalities to restore the spatial bottleneck.
+    Var all = ag::concat(features, 1); // (B, 4T, C3)
+    Var attended = bottleneckFusion_->forward(all);
+    const int64_t t = bottleneckHw_ * bottleneckHw_;
+    Var acc = ag::narrow(attended, 1, 0, t);
+    for (int64_t m = 1; m < kModalities; ++m)
+        acc = ag::add(acc, ag::narrow(attended, 1, m * t, t));
+    acc = ag::mulScalar(acc, 1.0f / static_cast<float>(kModalities));
+    const int64_t batch = acc.value().size(0);
+    const int64_t c = acc.value().size(2);
+    Var spatial = ag::reshape(ag::swapDims(acc, 1, 2),
+                              Shape{batch, c, bottleneckHw_,
+                                    bottleneckHw_});
+    // Back up to the decoder's expected bottleneck resolution.
+    return ag::upsampleNearest2x(spatial);
+}
+
+Var
+MedicalSeg::headForward(const Var &fused)
+{
+    // Concatenate per-modality skips channel-wise and let a 1x1 conv
+    // select informative channels for the shared decoder.
+    std::vector<Var> skips1, skips2;
+    for (int64_t m = 0; m < kModalities; ++m) {
+        skips1.push_back(lastEncodings_[static_cast<size_t>(m)].skip1);
+        skips2.push_back(lastEncodings_[static_cast<size_t>(m)].skip2);
+    }
+    Var skip1 = ag::relu(skip1Select_->forward(ag::concat(skips1, 1)));
+    Var skip2 = ag::relu(skip2Select_->forward(ag::concat(skips2, 1)));
+    return decoder_->forward(fused, skip2, skip1);
+}
+
+Var
+MedicalSeg::uniHeadForward(size_t m, const Var &feature)
+{
+    // feature: (B, T, C3) tokens of this modality's deep bottleneck.
+    const int64_t batch = feature.value().size(0);
+    const int64_t c = feature.value().size(2);
+    Var spatial = ag::reshape(ag::swapDims(feature, 1, 2),
+                              Shape{batch, c, bottleneckHw_,
+                                    bottleneckHw_});
+    const UNetEncoder::Output &enc = lastEncodings_[m];
+    return uniDecoder_->forward(ag::upsampleNearest2x(spatial), enc.skip2,
+                                enc.skip1);
+}
+
+} // namespace models
+} // namespace mmbench

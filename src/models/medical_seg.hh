@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Medical Segmentation: four MRI sequences (T1, T1c, T2, Flair)
+ * through per-modality U-Net encoders, transformer fusion at the
+ * bottleneck (mmFormer-style), and a shared U-Net decoder producing a
+ * per-pixel tumor mask.
+ */
+
+#ifndef MMBENCH_MODELS_MEDICAL_SEG_HH
+#define MMBENCH_MODELS_MEDICAL_SEG_HH
+
+#include "models/encoders.hh"
+#include "models/workload.hh"
+#include "nn/conv.hh"
+#include "nn/transformer.hh"
+
+namespace mmbench {
+namespace models {
+
+class MedicalSeg : public MultiModalWorkload
+{
+  public:
+    explicit MedicalSeg(WorkloadConfig config);
+
+  protected:
+    Var encodeModality(size_t m, const Var &input) override;
+    Var fuseFeatures(const std::vector<Var> &features) override;
+    Var headForward(const Var &fused) override;
+    Var uniHeadForward(size_t m, const Var &feature) override;
+
+  private:
+    static constexpr int64_t kModalities = 4;
+    static constexpr int64_t kClasses = 2; ///< background / tumor
+    int64_t hw_;       ///< input spatial extent
+    int64_t bottleneckHw_;
+    std::vector<std::unique_ptr<UNetEncoder>> encoders_;
+    std::unique_ptr<nn::TransformerEncoderLayer> bottleneckFusion_;
+    /** 1x1 convs selecting informative skips across modalities. */
+    std::unique_ptr<nn::Conv2d> skip1Select_;
+    std::unique_ptr<nn::Conv2d> skip2Select_;
+    std::unique_ptr<UNetDecoder> decoder_;
+    std::unique_ptr<UNetDecoder> uniDecoder_; ///< shared by uni variants
+    /** Skip activations captured during the current forward pass. */
+    std::vector<UNetEncoder::Output> lastEncodings_;
+};
+
+} // namespace models
+} // namespace mmbench
+
+#endif // MMBENCH_MODELS_MEDICAL_SEG_HH

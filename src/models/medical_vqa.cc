@@ -1,0 +1,110 @@
+#include "models/medical_vqa.hh"
+
+#include "core/logging.hh"
+
+namespace mmbench {
+namespace models {
+
+namespace ag = mmbench::autograd;
+using fusion::FusionKind;
+
+MedicalVqa::MedicalVqa(WorkloadConfig config)
+    : MultiModalWorkload("medical-vqa", config),
+      useTransformerFusion_(config.fusionKind == FusionKind::Transformer)
+{
+    const int64_t img = std::max<int64_t>(16, (scaled(64, 16) / 8) * 8);
+    const int64_t seq = scaled(16, 4);
+    imgFeatDim_ = scaledFeat(96, 16);
+    txtFeatDim_ = scaledFeat(48, 8);
+    fusedDim_ = scaledFeat(96, 16);
+
+    info_.name = "medical-vqa";
+    info_.domain = "Intelligent Medicine";
+    info_.modelSize = "Medium";
+    info_.taskName = "Gen.";
+    info_.encoderNames = {"DenseNet", "Roberta"};
+    info_.supportedFusions = {FusionKind::Transformer, FusionKind::Concat,
+                              FusionKind::Tensor};
+
+    dataSpec_.task = data::TaskKind::Classification;
+    dataSpec_.numClasses = kAnswers;
+    dataSpec_.crossModalFraction = 0.08; // some answers need image AND text
+    dataSpec_.modalities = {
+        {"image", Shape{3, img, img}, data::ModalityEncoding::Dense, 0,
+         0.70},
+        {"text", Shape{seq}, data::ModalityEncoding::Tokens, kVocab,
+         0.80},
+    };
+
+    imageEncoder_ = std::make_unique<DenseNetSmall>(3, img, img,
+                                                    imgFeatDim_,
+                                                    scaled(8, 4));
+    questionEncoder_ = std::make_unique<TextTransformerEncoder>(
+        kVocab, txtFeatDim_, 4, 2 * txtFeatDim_, 2, 2 * seq);
+    registerChild(*imageEncoder_);
+    registerChild(*questionEncoder_);
+
+    if (useTransformerFusion_) {
+        seqFusion_ = std::make_unique<fusion::TransformerFusion>(
+            std::vector<int64_t>{imgFeatDim_, txtFeatDim_}, txtFeatDim_, 4,
+            fusedDim_);
+        registerChild(*seqFusion_);
+    } else {
+        vectorFusion_ = fusion::createFusion(
+            config.fusionKind, {imgFeatDim_, txtFeatDim_}, fusedDim_);
+        registerChild(*vectorFusion_);
+    }
+
+    head_.emplace<nn::Linear>(fusedDim_, fusedDim_ / 2)
+         .emplace<nn::ReLU>()
+         .emplace<nn::Linear>(fusedDim_ / 2, kAnswers);
+    registerChild(head_);
+
+    uniHeads_.push_back(std::make_unique<nn::Linear>(imgFeatDim_,
+                                                     kAnswers));
+    uniHeads_.push_back(std::make_unique<nn::Linear>(txtFeatDim_,
+                                                     kAnswers));
+    registerChild(*uniHeads_[0]);
+    registerChild(*uniHeads_[1]);
+}
+
+Var
+MedicalVqa::encodeModality(size_t m, const Var &input)
+{
+    if (m == 0) {
+        Var feat = imageEncoder_->forward(input); // (B, imgFeatDim)
+        if (!useTransformerFusion_)
+            return feat;
+        // The pooled image feature acts as a single visual token.
+        const int64_t batch = feat.value().size(0);
+        return ag::reshape(feat, Shape{batch, 1, imgFeatDim_});
+    }
+    Var seq = questionEncoder_->forwardSeq(input.value());
+    return useTransformerFusion_ ? seq : questionEncoder_->pool(seq);
+}
+
+Var
+MedicalVqa::fuseFeatures(const std::vector<Var> &features)
+{
+    if (useTransformerFusion_)
+        return seqFusion_->fuse(features);
+    return vectorFusion_->fuse(features);
+}
+
+Var
+MedicalVqa::headForward(const Var &fused)
+{
+    return head_.forward(fused);
+}
+
+Var
+MedicalVqa::uniHeadForward(size_t m, const Var &feature)
+{
+    Var f = feature;
+    if (f.value().ndim() == 3)
+        f = ag::meanAxis(f, 1);
+    return uniHeads_[m]->forward(f);
+}
+
+} // namespace models
+} // namespace mmbench

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Medical VQA: radiology image (DenseNet) + clinical question
+ * (RoBERTa-tiny) with transformer fusion, answer classification
+ * (ViLMedic-style, generation reduced to answer selection).
+ */
+
+#ifndef MMBENCH_MODELS_MEDICAL_VQA_HH
+#define MMBENCH_MODELS_MEDICAL_VQA_HH
+
+#include "fusion/strategies.hh"
+#include "models/encoders.hh"
+#include "models/workload.hh"
+
+namespace mmbench {
+namespace models {
+
+class MedicalVqa : public MultiModalWorkload
+{
+  public:
+    explicit MedicalVqa(WorkloadConfig config);
+
+  protected:
+    Var encodeModality(size_t m, const Var &input) override;
+    Var fuseFeatures(const std::vector<Var> &features) override;
+    Var headForward(const Var &fused) override;
+    Var uniHeadForward(size_t m, const Var &feature) override;
+
+  private:
+    static constexpr int64_t kAnswers = 16;
+    static constexpr int64_t kVocab = 300;
+    bool useTransformerFusion_;
+    int64_t imgFeatDim_;
+    int64_t txtFeatDim_;
+    int64_t fusedDim_;
+    std::unique_ptr<DenseNetSmall> imageEncoder_;
+    std::unique_ptr<TextTransformerEncoder> questionEncoder_;
+    std::unique_ptr<fusion::TransformerFusion> seqFusion_;
+    std::unique_ptr<fusion::Fusion> vectorFusion_;
+    nn::Sequential head_;
+    std::vector<std::unique_ptr<nn::Linear>> uniHeads_;
+};
+
+} // namespace models
+} // namespace mmbench
+
+#endif // MMBENCH_MODELS_MEDICAL_VQA_HH

@@ -1,0 +1,87 @@
+#include "models/mmimdb.hh"
+
+#include "core/logging.hh"
+
+namespace mmbench {
+namespace models {
+
+using fusion::FusionKind;
+
+MmImdb::MmImdb(WorkloadConfig config)
+    : MultiModalWorkload("mm-imdb", config)
+{
+    // Keep spatial extent divisible by 8 for the VGG stack.
+    const int64_t img = std::max<int64_t>(16, (scaled(64, 16) / 8) * 8);
+    const int64_t seq = scaled(32, 8);
+    imgFeatDim_ = scaledFeat(128, 16);
+    txtFeatDim_ = scaledFeat(64, 16);
+    fusedDim_ = scaledFeat(128, 16);
+
+    info_.name = "mm-imdb";
+    info_.domain = "Multimedia";
+    info_.modelSize = "Large";
+    info_.taskName = "Class.";
+    info_.encoderNames = {"VGG", "Albert"};
+    info_.supportedFusions = {FusionKind::Concat, FusionKind::Tensor,
+                              FusionKind::Sum, FusionKind::LinearGLU};
+
+    dataSpec_.task = data::TaskKind::MultiLabel;
+    dataSpec_.numClasses = kGenres;
+    dataSpec_.modalities = {
+        {"image", Shape{3, img, img}, data::ModalityEncoding::Dense, 0,
+         0.80},
+        {"text", Shape{seq}, data::ModalityEncoding::Tokens, kVocab,
+         0.70},
+    };
+
+    imageEncoder_ = std::make_unique<VggSmall>(3, img, img, imgFeatDim_,
+                                               scaled(16, 4));
+    textEncoder_ = std::make_unique<TextTransformerEncoder>(
+        kVocab, txtFeatDim_, 4, 2 * txtFeatDim_, 2, 2 * seq);
+    registerChild(*imageEncoder_);
+    registerChild(*textEncoder_);
+
+    fusion_ = fusion::createFusion(config.fusionKind,
+                                   {imgFeatDim_, txtFeatDim_}, fusedDim_);
+    registerChild(*fusion_);
+
+    head_.emplace<nn::Linear>(fusedDim_, fusedDim_ / 2)
+         .emplace<nn::ReLU>()
+         .emplace<nn::Linear>(fusedDim_ / 2, kGenres);
+    registerChild(head_);
+
+    uniHeads_.push_back(std::make_unique<nn::Linear>(imgFeatDim_, kGenres));
+    uniHeads_.push_back(std::make_unique<nn::Linear>(txtFeatDim_, kGenres));
+    registerChild(*uniHeads_[0]);
+    registerChild(*uniHeads_[1]);
+}
+
+Var
+MmImdb::encodeModality(size_t m, const Var &input)
+{
+    if (m == 0)
+        return imageEncoder_->forward(input);
+    Var seq = textEncoder_->forwardSeq(input.value());
+    return textEncoder_->pool(seq);
+}
+
+Var
+MmImdb::fuseFeatures(const std::vector<Var> &features)
+{
+    return fusion_->fuse(features);
+}
+
+Var
+MmImdb::headForward(const Var &fused)
+{
+    return head_.forward(fused);
+}
+
+Var
+MmImdb::uniHeadForward(size_t m, const Var &feature)
+{
+    return uniHeads_[m]->forward(feature);
+}
+
+} // namespace models
+} // namespace mmbench

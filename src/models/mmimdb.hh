@@ -1,0 +1,43 @@
+/**
+ * @file
+ * MM-IMDB: movie poster (VGG) + plot text (ALBERT-tiny), 23-genre
+ * multi-label classification. The paper's "Large" multimedia workload.
+ */
+
+#ifndef MMBENCH_MODELS_MMIMDB_HH
+#define MMBENCH_MODELS_MMIMDB_HH
+
+#include "models/encoders.hh"
+#include "models/workload.hh"
+
+namespace mmbench {
+namespace models {
+
+class MmImdb : public MultiModalWorkload
+{
+  public:
+    explicit MmImdb(WorkloadConfig config);
+
+  protected:
+    Var encodeModality(size_t m, const Var &input) override;
+    Var fuseFeatures(const std::vector<Var> &features) override;
+    Var headForward(const Var &fused) override;
+    Var uniHeadForward(size_t m, const Var &feature) override;
+
+  private:
+    static constexpr int64_t kGenres = 23;
+    static constexpr int64_t kVocab = 200;
+    int64_t imgFeatDim_;
+    int64_t txtFeatDim_;
+    int64_t fusedDim_;
+    std::unique_ptr<VggSmall> imageEncoder_;
+    std::unique_ptr<TextTransformerEncoder> textEncoder_;
+    std::unique_ptr<fusion::Fusion> fusion_;
+    nn::Sequential head_;
+    std::vector<std::unique_ptr<nn::Linear>> uniHeads_;
+};
+
+} // namespace models
+} // namespace mmbench
+
+#endif // MMBENCH_MODELS_MMIMDB_HH

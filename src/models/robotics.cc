@@ -1,0 +1,259 @@
+#include "models/robotics.hh"
+
+#include "core/logging.hh"
+
+namespace mmbench {
+namespace models {
+
+namespace ag = mmbench::autograd;
+using fusion::FusionKind;
+
+namespace {
+
+/** Per-timestep two-layer MLP over (B, T, C) -> (B, T, D). */
+std::unique_ptr<nn::Sequential>
+makeSeqMlp(int64_t in_dim, int64_t hidden, int64_t out_dim)
+{
+    auto mlp = std::make_unique<nn::Sequential>("seq_mlp");
+    mlp->emplace<nn::Linear>(in_dim, hidden)
+       .emplace<nn::ReLU>()
+       .emplace<nn::Linear>(hidden, out_dim)
+       .emplace<nn::ReLU>();
+    return mlp;
+}
+
+/** Mean-pool a token sequence (B, T, D) to (B, D). */
+Var
+poolSeq(const Var &seq)
+{
+    return ag::meanAxis(seq, 1);
+}
+
+} // namespace
+
+MujocoPush::MujocoPush(WorkloadConfig config)
+    : MultiModalWorkload("mujoco-push", config),
+      useSeqFusion_(config.fusionKind == FusionKind::Transformer)
+{
+    const int64_t img = std::max<int64_t>(16, (scaled(32, 16) / 4) * 4);
+    featDim_ = scaledFeat(32, 8);
+    fusedDim_ = scaledFeat(64, 16);
+
+    info_.name = "mujoco-push";
+    info_.domain = "Smart Robotics";
+    info_.modelSize = "Medium";
+    info_.taskName = "Reg.";
+    info_.encoderNames = {"MLP", "MLP", "CNN", "MLP"};
+    info_.supportedFusions = {FusionKind::Concat, FusionKind::Tensor,
+                              FusionKind::Transformer,
+                              FusionKind::LateLstm};
+
+    dataSpec_.task = data::TaskKind::Regression;
+    dataSpec_.targetDim = 2; // object pose (x, y)
+    dataSpec_.modalities = {
+        {"position", Shape{kSteps, 3}, data::ModalityEncoding::Dense, 0,
+         0.55},
+        {"sensor", Shape{kSteps, 7}, data::ModalityEncoding::Dense, 0,
+         0.55},
+        {"image", Shape{1, img, img}, data::ModalityEncoding::Dense, 0,
+         0.85},
+        {"control", Shape{kSteps, 2}, data::ModalityEncoding::Dense, 0,
+         0.40},
+    };
+
+    seqEncoders_.push_back(makeSeqMlp(3, 2 * featDim_, featDim_));
+    seqEncoders_.push_back(makeSeqMlp(7, 2 * featDim_, featDim_));
+    seqEncoders_.push_back(nullptr); // image slot
+    seqEncoders_.push_back(makeSeqMlp(2, 2 * featDim_, featDim_));
+    for (auto &enc : seqEncoders_) {
+        if (enc)
+            registerChild(*enc);
+    }
+    imageEncoder_ = std::make_unique<SmallCnn>(1, img, img, featDim_,
+                                               scaled(8, 4));
+    registerChild(*imageEncoder_);
+
+    const std::vector<int64_t> dims(4, featDim_);
+    if (useSeqFusion_) {
+        seqFusion_ = std::make_unique<fusion::TransformerFusion>(
+            dims, featDim_, 4, fusedDim_);
+        registerChild(*seqFusion_);
+    } else if (config.fusionKind == FusionKind::LateLstm) {
+        vectorFusion_ = std::make_unique<fusion::LateLstmFusion>(dims,
+                                                                 fusedDim_);
+        registerChild(*vectorFusion_);
+    } else {
+        vectorFusion_ = fusion::createFusion(config.fusionKind, dims,
+                                             fusedDim_);
+        registerChild(*vectorFusion_);
+    }
+
+    head_.emplace<nn::Linear>(fusedDim_, fusedDim_ / 2)
+         .emplace<nn::ReLU>()
+         .emplace<nn::Linear>(fusedDim_ / 2, dataSpec_.targetDim);
+    registerChild(head_);
+
+    for (int m = 0; m < 4; ++m) {
+        uniHeads_.push_back(
+            std::make_unique<nn::Linear>(featDim_, dataSpec_.targetDim));
+        registerChild(*uniHeads_.back());
+    }
+}
+
+Var
+MujocoPush::encodeModality(size_t m, const Var &input)
+{
+    if (m == 2) {
+        Var feat = imageEncoder_->forward(input);
+        if (!useSeqFusion_)
+            return feat;
+        const int64_t batch = feat.value().size(0);
+        return ag::reshape(feat, Shape{batch, 1, featDim_});
+    }
+    Var seq = seqEncoders_[m]->forward(input); // (B, T, featDim)
+    return useSeqFusion_ ? seq : poolSeq(seq);
+}
+
+Var
+MujocoPush::fuseFeatures(const std::vector<Var> &features)
+{
+    if (useSeqFusion_)
+        return seqFusion_->fuse(features);
+    return vectorFusion_->fuse(features);
+}
+
+Var
+MujocoPush::headForward(const Var &fused)
+{
+    return head_.forward(fused);
+}
+
+Var
+MujocoPush::uniHeadForward(size_t m, const Var &feature)
+{
+    Var f = feature;
+    if (f.value().ndim() == 3)
+        f = poolSeq(f);
+    return uniHeads_[m]->forward(f);
+}
+
+VisionTouch::VisionTouch(WorkloadConfig config)
+    : MultiModalWorkload("vision-touch", config),
+      useSeqFusion_(config.fusionKind == FusionKind::Transformer)
+{
+    const int64_t img = std::max<int64_t>(16, (scaled(32, 16) / 4) * 4);
+    featDim_ = scaledFeat(32, 8);
+    fusedDim_ = scaledFeat(64, 16);
+
+    info_.name = "vision-touch";
+    info_.domain = "Smart Robotics";
+    info_.modelSize = "Medium";
+    info_.taskName = "Class.";
+    info_.encoderNames = {"CNN", "CNN", "MLP", "CNN"};
+    info_.supportedFusions = {FusionKind::Concat, FusionKind::Tensor,
+                              FusionKind::Transformer};
+
+    dataSpec_.task = data::TaskKind::Classification;
+    dataSpec_.numClasses = 2; // contact / no contact
+    dataSpec_.crossModalFraction = 0.08;
+    dataSpec_.modalities = {
+        {"image", Shape{3, img, img}, data::ModalityEncoding::Dense, 0,
+         0.80},
+        {"force", Shape{kForceSteps, 6}, data::ModalityEncoding::Dense, 0,
+         0.60},
+        {"proprioception", Shape{8}, data::ModalityEncoding::Dense, 0,
+         0.50},
+        {"depth", Shape{1, img, img}, data::ModalityEncoding::Dense, 0,
+         0.60},
+    };
+
+    imageEncoder_ = std::make_unique<SmallCnn>(3, img, img, featDim_,
+                                               scaled(8, 4));
+    forceEncoder_ = makeSeqMlp(6, 2 * featDim_, featDim_);
+    proprioEncoder_ = std::make_unique<MlpEncoder>(8, 2 * featDim_,
+                                                   featDim_);
+    depthEncoder_ = std::make_unique<SmallCnn>(1, img, img, featDim_,
+                                               scaled(8, 4));
+    registerChild(*imageEncoder_);
+    registerChild(*forceEncoder_);
+    registerChild(*proprioEncoder_);
+    registerChild(*depthEncoder_);
+
+    const std::vector<int64_t> dims(4, featDim_);
+    if (useSeqFusion_) {
+        seqFusion_ = std::make_unique<fusion::TransformerFusion>(
+            dims, featDim_, 4, fusedDim_);
+        registerChild(*seqFusion_);
+    } else {
+        vectorFusion_ = fusion::createFusion(config.fusionKind, dims,
+                                             fusedDim_);
+        registerChild(*vectorFusion_);
+    }
+
+    head_.emplace<nn::Linear>(fusedDim_, fusedDim_ / 2)
+         .emplace<nn::ReLU>()
+         .emplace<nn::Linear>(fusedDim_ / 2, 2);
+    registerChild(head_);
+
+    for (int m = 0; m < 4; ++m) {
+        uniHeads_.push_back(std::make_unique<nn::Linear>(featDim_, 2));
+        registerChild(*uniHeads_.back());
+    }
+}
+
+Var
+VisionTouch::encodeModality(size_t m, const Var &input)
+{
+    Var feat;
+    bool is_seq = false;
+    switch (m) {
+      case 0:
+        feat = imageEncoder_->forward(input);
+        break;
+      case 1:
+        feat = forceEncoder_->forward(input); // (B, T, D)
+        is_seq = true;
+        break;
+      case 2:
+        feat = proprioEncoder_->forward(input);
+        break;
+      case 3:
+        feat = depthEncoder_->forward(input);
+        break;
+      default:
+        MM_PANIC("invalid modality %zu", m);
+    }
+    if (useSeqFusion_) {
+        if (is_seq)
+            return feat;
+        const int64_t batch = feat.value().size(0);
+        return ag::reshape(feat, Shape{batch, 1, featDim_});
+    }
+    return is_seq ? poolSeq(feat) : feat;
+}
+
+Var
+VisionTouch::fuseFeatures(const std::vector<Var> &features)
+{
+    if (useSeqFusion_)
+        return seqFusion_->fuse(features);
+    return vectorFusion_->fuse(features);
+}
+
+Var
+VisionTouch::headForward(const Var &fused)
+{
+    return head_.forward(fused);
+}
+
+Var
+VisionTouch::uniHeadForward(size_t m, const Var &feature)
+{
+    Var f = feature;
+    if (f.value().ndim() == 3)
+        f = poolSeq(f);
+    return uniHeads_[m]->forward(f);
+}
+
+} // namespace models
+} // namespace mmbench

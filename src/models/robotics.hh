@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Smart-robotics workloads: MuJoCo Push (pose regression from
+ * position/sensor/image/control streams) and Vision & Touch (contact
+ * prediction from image/force/proprioception/depth).
+ */
+
+#ifndef MMBENCH_MODELS_ROBOTICS_HH
+#define MMBENCH_MODELS_ROBOTICS_HH
+
+#include "fusion/strategies.hh"
+#include "models/encoders.hh"
+#include "models/workload.hh"
+
+namespace mmbench {
+namespace models {
+
+/**
+ * MuJoCo Push. Sequential modalities use per-timestep MLP encoders
+ * (producing token sequences); the image uses a CNN. Supports concat,
+ * tensor, transformer (MULT) and late-LSTM fusion — the paper's Fig. 6
+ * highlights that its transformer fusion outweighs the encoders.
+ */
+class MujocoPush : public MultiModalWorkload
+{
+  public:
+    explicit MujocoPush(WorkloadConfig config);
+
+  protected:
+    Var encodeModality(size_t m, const Var &input) override;
+    Var fuseFeatures(const std::vector<Var> &features) override;
+    Var headForward(const Var &fused) override;
+    Var uniHeadForward(size_t m, const Var &feature) override;
+
+  private:
+    static constexpr int64_t kSteps = 16;
+    bool useSeqFusion_;
+    int64_t featDim_;
+    int64_t fusedDim_;
+    std::vector<std::unique_ptr<nn::Sequential>> seqEncoders_;
+    std::unique_ptr<SmallCnn> imageEncoder_;
+    std::unique_ptr<fusion::TransformerFusion> seqFusion_;
+    std::unique_ptr<fusion::Fusion> vectorFusion_;
+    nn::Sequential head_;
+    std::vector<std::unique_ptr<nn::Linear>> uniHeads_;
+};
+
+/** Vision & Touch: action-conditional contact classification. */
+class VisionTouch : public MultiModalWorkload
+{
+  public:
+    explicit VisionTouch(WorkloadConfig config);
+
+  protected:
+    Var encodeModality(size_t m, const Var &input) override;
+    Var fuseFeatures(const std::vector<Var> &features) override;
+    Var headForward(const Var &fused) override;
+    Var uniHeadForward(size_t m, const Var &feature) override;
+
+  private:
+    static constexpr int64_t kForceSteps = 32;
+    bool useSeqFusion_;
+    int64_t featDim_;
+    int64_t fusedDim_;
+    std::unique_ptr<SmallCnn> imageEncoder_;
+    std::unique_ptr<nn::Sequential> forceEncoder_;
+    std::unique_ptr<MlpEncoder> proprioEncoder_;
+    std::unique_ptr<SmallCnn> depthEncoder_;
+    std::unique_ptr<fusion::TransformerFusion> seqFusion_;
+    std::unique_ptr<fusion::Fusion> vectorFusion_;
+    nn::Sequential head_;
+    std::vector<std::unique_ptr<nn::Linear>> uniHeads_;
+};
+
+} // namespace models
+} // namespace mmbench
+
+#endif // MMBENCH_MODELS_ROBOTICS_HH

@@ -1,0 +1,114 @@
+#include "models/transfuser.hh"
+
+#include "core/logging.hh"
+
+namespace mmbench {
+namespace models {
+
+namespace ag = mmbench::autograd;
+using fusion::FusionKind;
+
+TransFuser::TransFuser(WorkloadConfig config)
+    : MultiModalWorkload("transfuser", config),
+      useSeqFusion_(config.fusionKind == FusionKind::Transformer)
+{
+    const int64_t img = std::max<int64_t>(16, (scaled(64, 16) / 4) * 4);
+    const int64_t base = scaled(16, 4);
+    tokenDim_ = 4 * base; // ResNetSmall stage-3 channels
+    fusedDim_ = scaledFeat(128, 16);
+
+    info_.name = "transfuser";
+    info_.domain = "Automatic Driving";
+    info_.modelSize = "Medium";
+    info_.taskName = "Reg.";
+    info_.encoderNames = {"ResNet", "ResNet"};
+    info_.supportedFusions = {FusionKind::Transformer, FusionKind::Concat,
+                              FusionKind::Tensor};
+
+    dataSpec_.task = data::TaskKind::Regression;
+    dataSpec_.targetDim = 2 * kWaypoints;
+    dataSpec_.modalities = {
+        {"image", Shape{3, img, img}, data::ModalityEncoding::Dense, 0,
+         0.80},
+        {"lidar", Shape{2, img, img}, data::ModalityEncoding::Dense, 0,
+         0.70},
+    };
+
+    cameraEncoder_ = std::make_unique<ResNetSmall>(3, img, img, fusedDim_,
+                                                   base);
+    lidarEncoder_ = std::make_unique<ResNetSmall>(2, img, img, fusedDim_,
+                                                  base);
+    registerChild(*cameraEncoder_);
+    registerChild(*lidarEncoder_);
+
+    if (useSeqFusion_) {
+        seqFusion_ = std::make_unique<fusion::TransformerFusion>(
+            std::vector<int64_t>{tokenDim_, tokenDim_}, tokenDim_, 4,
+            fusedDim_);
+        registerChild(*seqFusion_);
+    } else {
+        vectorFusion_ = fusion::createFusion(
+            config.fusionKind, {fusedDim_, fusedDim_}, fusedDim_);
+        registerChild(*vectorFusion_);
+    }
+
+    const int64_t hidden = fusedDim_ / 2;
+    hiddenInit_ = std::make_unique<nn::Linear>(fusedDim_, hidden);
+    waypointGru_ = std::make_unique<nn::Gru>(2, hidden);
+    waypointOut_ = std::make_unique<nn::Linear>(hidden, 2);
+    registerChild(*hiddenInit_);
+    registerChild(*waypointGru_);
+    registerChild(*waypointOut_);
+
+    for (int m = 0; m < 2; ++m) {
+        uniHeads_.push_back(std::make_unique<nn::Linear>(
+            useSeqFusion_ ? tokenDim_ : fusedDim_, dataSpec_.targetDim));
+        registerChild(*uniHeads_.back());
+    }
+}
+
+Var
+TransFuser::encodeModality(size_t m, const Var &input)
+{
+    ResNetSmall &enc = (m == 0) ? *cameraEncoder_ : *lidarEncoder_;
+    return useSeqFusion_ ? enc.forwardTokens(input) : enc.forward(input);
+}
+
+Var
+TransFuser::fuseFeatures(const std::vector<Var> &features)
+{
+    if (useSeqFusion_)
+        return seqFusion_->fuse(features);
+    return vectorFusion_->fuse(features);
+}
+
+Var
+TransFuser::headForward(const Var &fused)
+{
+    // Auto-regressive waypoint prediction: GRU hidden state seeded by
+    // the fused scene representation; each step consumes the previous
+    // waypoint and emits a displacement.
+    const int64_t batch = fused.value().size(0);
+    Var h = ag::tanhV(hiddenInit_->forward(fused));
+    Var wp(Tensor::zeros(Shape{batch, 2}));
+    std::vector<Var> waypoints;
+    waypoints.reserve(kWaypoints);
+    for (int64_t s = 0; s < kWaypoints; ++s) {
+        h = waypointGru_->step(wp, h);
+        wp = ag::add(wp, waypointOut_->forward(h));
+        waypoints.push_back(wp);
+    }
+    return ag::concat(waypoints, 1); // (B, 2 * kWaypoints)
+}
+
+Var
+TransFuser::uniHeadForward(size_t m, const Var &feature)
+{
+    Var f = feature;
+    if (f.value().ndim() == 3)
+        f = ag::meanAxis(f, 1);
+    return uniHeads_[m]->forward(f);
+}
+
+} // namespace models
+} // namespace mmbench

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * TransFuser: end-to-end driving from a front camera and a LiDAR
+ * bird's-eye-view grid. Two ResNet branches exchange information via
+ * a cross-modal transformer; an auto-regressive GRU head predicts
+ * future waypoints. Decoupled from the CARLA simulator (as the paper
+ * itself does) by generating camera/LiDAR tensors synthetically.
+ */
+
+#ifndef MMBENCH_MODELS_TRANSFUSER_HH
+#define MMBENCH_MODELS_TRANSFUSER_HH
+
+#include "fusion/strategies.hh"
+#include "models/encoders.hh"
+#include "models/workload.hh"
+
+namespace mmbench {
+namespace models {
+
+class TransFuser : public MultiModalWorkload
+{
+  public:
+    explicit TransFuser(WorkloadConfig config);
+
+    static constexpr int64_t kWaypoints = 4; ///< (x, y) pairs predicted
+
+  protected:
+    Var encodeModality(size_t m, const Var &input) override;
+    Var fuseFeatures(const std::vector<Var> &features) override;
+    Var headForward(const Var &fused) override;
+    Var uniHeadForward(size_t m, const Var &feature) override;
+
+  private:
+    bool useSeqFusion_;
+    int64_t tokenDim_;
+    int64_t fusedDim_;
+    std::unique_ptr<ResNetSmall> cameraEncoder_;
+    std::unique_ptr<ResNetSmall> lidarEncoder_;
+    std::unique_ptr<fusion::TransformerFusion> seqFusion_;
+    std::unique_ptr<fusion::Fusion> vectorFusion_;
+    std::unique_ptr<nn::Linear> hiddenInit_;
+    std::unique_ptr<nn::Gru> waypointGru_;
+    std::unique_ptr<nn::Linear> waypointOut_;
+    std::vector<std::unique_ptr<nn::Linear>> uniHeads_;
+};
+
+} // namespace models
+} // namespace mmbench
+
+#endif // MMBENCH_MODELS_TRANSFUSER_HH

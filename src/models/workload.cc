@@ -1,0 +1,251 @@
+#include "models/workload.hh"
+
+#include <cmath>
+
+#include "autograd/loss.hh"
+#include "core/logging.hh"
+#include "trace/scope.hh"
+#include "trace/sink.hh"
+
+namespace mmbench {
+namespace models {
+
+namespace ts = mmbench::tensor;
+namespace tr = mmbench::trace;
+
+MultiModalWorkload::MultiModalWorkload(std::string name,
+                                       WorkloadConfig config)
+    : nn::Module(std::move(name)), config_(config)
+{
+    MM_ASSERT(config_.sizeScale > 0.0f, "sizeScale must be positive");
+}
+
+int64_t
+MultiModalWorkload::scaled(int64_t extent, int64_t floor) const
+{
+    const int64_t s = static_cast<int64_t>(
+        std::lround(static_cast<double>(extent) * config_.sizeScale));
+    return std::max(floor, s);
+}
+
+int64_t
+MultiModalWorkload::scaledFeat(int64_t extent, int64_t floor) const
+{
+    const int64_t s = scaled(extent, floor);
+    return ((s + 3) / 4) * 4;
+}
+
+Var
+MultiModalWorkload::forward(const Batch &batch)
+{
+    MM_ASSERT(batch.modalities.size() == numModalities(),
+              "workload %s fed %zu modalities, expected %zu",
+              name().c_str(), batch.modalities.size(), numModalities());
+
+    // Tag every event of this pass with the fusion implementation so
+    // reports can compare implementations (paper Fig. 9b / Fig. 15).
+    tr::TagScope tag(fusion::fusionKindName(config_.fusionKind));
+
+    std::vector<Var> features;
+    features.reserve(numModalities());
+    for (size_t m = 0; m < numModalities(); ++m) {
+        tr::ModalityScope mod_scope(static_cast<int>(m));
+        const Tensor &input = batch.modalities[m];
+        {
+            // End-to-end execution: raw-input marshalling on the host
+            // followed by the host-to-device copy of the batch.
+            tr::StageScope stage(tr::Stage::Preprocess);
+            tr::emitRuntime(tr::RuntimeEvent::Kind::DataPrep,
+                            dataSpec_.modalities[m].name.c_str(),
+                            input.bytes());
+            tr::emitRuntime(tr::RuntimeEvent::Kind::H2DCopy, "input_batch",
+                            input.bytes());
+        }
+        {
+            tr::StageScope stage(tr::Stage::Encoder);
+            features.push_back(encodeModality(m, Var(input)));
+        }
+    }
+
+    Var fused;
+    {
+        tr::StageScope stage(tr::Stage::Fusion);
+        // The fusion network waits for the completion of every
+        // modality stream: the modality synchronization barrier.
+        tr::emitRuntime(tr::RuntimeEvent::Kind::Sync, "modality_barrier",
+                        0);
+        // Host-side marshalling of the per-modality intermediate
+        // feature maps handed to the fusion network (the paper's
+        // "additional intermediate data and data preparation
+        // operations" at the fusion boundary).
+        for (size_t m = 0; m < features.size(); ++m) {
+            tr::ModalityScope mod_scope(static_cast<int>(m));
+            tr::emitRuntime(tr::RuntimeEvent::Kind::DataPrep,
+                            "feature_marshal",
+                            features[m].value().bytes());
+        }
+        fused = fuseFeatures(features);
+    }
+
+    Var out;
+    {
+        tr::StageScope stage(tr::Stage::Head);
+        out = headForward(fused);
+        tr::emitRuntime(tr::RuntimeEvent::Kind::D2HCopy, "output",
+                        out.value().bytes());
+    }
+    return out;
+}
+
+Var
+MultiModalWorkload::forwardUniModal(const Batch &batch, size_t modality)
+{
+    MM_ASSERT(modality < numModalities(),
+              "modality %zu out of range for %s", modality,
+              name().c_str());
+    tr::TagScope tag("uni");
+    const Tensor &input = batch.modalities[modality];
+
+    tr::ModalityScope mod_scope(static_cast<int>(modality));
+    {
+        tr::StageScope stage(tr::Stage::Preprocess);
+        tr::emitRuntime(tr::RuntimeEvent::Kind::DataPrep,
+                        dataSpec_.modalities[modality].name.c_str(),
+                        input.bytes());
+        tr::emitRuntime(tr::RuntimeEvent::Kind::H2DCopy, "input_batch",
+                        input.bytes());
+    }
+    Var feature;
+    {
+        tr::StageScope stage(tr::Stage::Encoder);
+        feature = encodeModality(modality, Var(input));
+    }
+    Var out;
+    {
+        tr::StageScope stage(tr::Stage::Head);
+        out = uniHeadForward(modality, feature);
+        tr::emitRuntime(tr::RuntimeEvent::Kind::D2HCopy, "output",
+                        out.value().bytes());
+    }
+    return out;
+}
+
+Var
+MultiModalWorkload::loss(const Var &output, const Tensor &targets) const
+{
+    tr::StageScope stage(tr::Stage::Loss);
+    switch (dataSpec_.task) {
+      case data::TaskKind::Classification:
+        return autograd::crossEntropyLoss(output, targets);
+      case data::TaskKind::MultiLabel:
+        return autograd::bceWithLogitsLoss(output, targets);
+      case data::TaskKind::Regression:
+        return autograd::mseLoss(output, targets);
+      case data::TaskKind::Segmentation: {
+        // Targets arrive as (B, H, W) float masks.
+        return autograd::pixelCrossEntropyLoss(output, targets);
+      }
+      default:
+        MM_PANIC("invalid task kind");
+    }
+}
+
+double
+MultiModalWorkload::metric(const Tensor &output,
+                           const Tensor &targets) const
+{
+    switch (dataSpec_.task) {
+      case data::TaskKind::Classification: {
+        Tensor pred = ts::argmaxLast(output);
+        int64_t correct = 0;
+        for (int64_t i = 0; i < pred.numel(); ++i)
+            correct += (pred.at(i) == targets.at(i));
+        return 100.0 * static_cast<double>(correct) /
+               static_cast<double>(pred.numel());
+      }
+      case data::TaskKind::MultiLabel: {
+        // Micro-F1 at threshold 0 (sigmoid 0.5).
+        int64_t tp = 0, fp = 0, fn = 0;
+        for (int64_t i = 0; i < output.numel(); ++i) {
+            const bool pred = output.at(i) > 0.0f;
+            const bool truth = targets.at(i) > 0.5f;
+            tp += (pred && truth);
+            fp += (pred && !truth);
+            fn += (!pred && truth);
+        }
+        const double denom = 2.0 * tp + fp + fn;
+        return denom == 0.0 ? 100.0 : 100.0 * 2.0 * tp / denom;
+      }
+      case data::TaskKind::Regression: {
+        double acc = 0.0;
+        for (int64_t i = 0; i < output.numel(); ++i) {
+            const double d = output.at(i) - targets.at(i);
+            acc += d * d;
+        }
+        return acc / static_cast<double>(output.numel());
+      }
+      case data::TaskKind::Segmentation: {
+        // Dice coefficient of the foreground class.
+        const int64_t b = output.size(0);
+        const int64_t hw = output.size(2) * output.size(3);
+        int64_t inter = 0, pred_fg = 0, true_fg = 0;
+        for (int64_t i = 0; i < b; ++i) {
+            for (int64_t p = 0; p < hw; ++p) {
+                const float bg = output.at((i * 2 + 0) * hw + p);
+                const float fg = output.at((i * 2 + 1) * hw + p);
+                const bool pred = fg > bg;
+                const bool truth = targets.at(i * hw + p) > 0.5f;
+                inter += (pred && truth);
+                pred_fg += pred;
+                true_fg += truth;
+            }
+        }
+        const double denom = static_cast<double>(pred_fg + true_fg);
+        return denom == 0.0 ? 100.0 : 100.0 * 2.0 * inter / denom;
+      }
+      default:
+        MM_PANIC("invalid task kind");
+    }
+}
+
+const char *
+MultiModalWorkload::metricName() const
+{
+    switch (dataSpec_.task) {
+      case data::TaskKind::Classification: return "Acc.";
+      case data::TaskKind::MultiLabel:     return "F-1";
+      case data::TaskKind::Regression:     return "MSE";
+      case data::TaskKind::Segmentation:   return "DSC";
+      default: MM_PANIC("invalid task kind");
+    }
+}
+
+bool
+MultiModalWorkload::metricHigherIsBetter() const
+{
+    return dataSpec_.task != data::TaskKind::Regression;
+}
+
+std::vector<bool>
+MultiModalWorkload::correctMask(const Tensor &output,
+                                const Tensor &targets) const
+{
+    MM_ASSERT(dataSpec_.task == data::TaskKind::Classification,
+              "correctMask only defined for classification");
+    Tensor pred = ts::argmaxLast(output);
+    std::vector<bool> mask(static_cast<size_t>(pred.numel()));
+    for (int64_t i = 0; i < pred.numel(); ++i)
+        mask[static_cast<size_t>(i)] = (pred.at(i) == targets.at(i));
+    return mask;
+}
+
+data::SyntheticTask
+MultiModalWorkload::makeTask(uint64_t seed) const
+{
+    data::SyntheticSpec spec = dataSpec_;
+    spec.seed = seed;
+    return data::SyntheticTask(spec);
+}
+
+} // namespace models
+} // namespace mmbench

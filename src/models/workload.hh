@@ -1,0 +1,140 @@
+/**
+ * @file
+ * MultiModalWorkload: the common skeleton of every MMBench
+ * application.
+ *
+ * A workload is an encoder/fusion/head pipeline. The base class owns
+ * the three-stage orchestration — including the trace scopes and
+ * runtime events (data preparation, H2D/D2H copies, the modality
+ * barrier before fusion) that the simulator consumes — and provides
+ * task-generic loss and metric implementations. Subclasses provide
+ * the networks.
+ */
+
+#ifndef MMBENCH_MODELS_WORKLOAD_HH
+#define MMBENCH_MODELS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hh"
+#include "fusion/fusion.hh"
+#include "nn/module.hh"
+
+namespace mmbench {
+namespace models {
+
+using autograd::Var;
+using data::Batch;
+using tensor::Shape;
+using tensor::Tensor;
+
+/** Construction-time options common to all workloads. */
+struct WorkloadConfig
+{
+    fusion::FusionKind fusionKind = fusion::FusionKind::Concat;
+    /**
+     * Scales network widths and input extents. 1.0 is the default
+     * (profiling) geometry; accuracy studies use smaller scales so
+     * training stays fast on the CPU reference backend.
+     */
+    float sizeScale = 1.0f;
+    uint64_t seed = 42;
+};
+
+/** Static description of a workload (Table 3 of the paper). */
+struct WorkloadInfo
+{
+    std::string name;
+    std::string domain;
+    std::string modelSize; ///< "Small" / "Medium" / "Large"
+    std::string taskName;  ///< "Class." / "Reg." / "Seg." / ...
+    std::vector<std::string> encoderNames;
+    std::vector<fusion::FusionKind> supportedFusions;
+};
+
+/** Base class of the nine MMBench applications. */
+class MultiModalWorkload : public nn::Module
+{
+  public:
+    MultiModalWorkload(std::string name, WorkloadConfig config);
+    ~MultiModalWorkload() override = default;
+
+    /**
+     * Full multi-modal forward pass with stage/modality scoping:
+     * preprocess -> per-modality encoders -> modality barrier ->
+     * fusion -> head.
+     */
+    Var forward(const Batch &batch);
+
+    /**
+     * Uni-modal variant: one encoder plus a modality-specific head,
+     * skipping fusion entirely (the paper's uni baselines).
+     */
+    Var forwardUniModal(const Batch &batch, size_t modality);
+
+    /** Task-appropriate training loss. */
+    Var loss(const Var &output, const Tensor &targets) const;
+
+    /**
+     * Task metric on a full output/target pair: accuracy (%) for
+     * classification, micro-F1 (%) for multi-label, MSE for
+     * regression, Dice (%) for segmentation.
+     */
+    double metric(const Tensor &output, const Tensor &targets) const;
+
+    /** Name of the metric ("Acc.", "F-1", "MSE", "DSC"). */
+    const char *metricName() const;
+
+    /** True if larger metric values are better. */
+    bool metricHigherIsBetter() const;
+
+    /** Per-sample correctness vector (classification tasks only). */
+    std::vector<bool> correctMask(const Tensor &output,
+                                  const Tensor &targets) const;
+
+    /** Static description for Table 3. */
+    const WorkloadInfo &info() const { return info_; }
+
+    /** Input/target generator matching this workload's geometry. */
+    data::SyntheticTask makeTask(uint64_t seed) const;
+
+    /** Synthetic data spec (shapes, informativeness, task). */
+    const data::SyntheticSpec &dataSpec() const { return dataSpec_; }
+
+    size_t numModalities() const { return dataSpec_.modalities.size(); }
+
+    const WorkloadConfig &config() const { return config_; }
+
+  protected:
+    /** @name Subclass hooks @{ */
+    /** Encode modality m: (B, ...) -> feature (B, D) or (B, T, D). */
+    virtual Var encodeModality(size_t m, const Var &input) = 0;
+    /** Fuse per-modality features into one representation. */
+    virtual Var fuseFeatures(const std::vector<Var> &features) = 0;
+    /** Produce the task output from the fused representation. */
+    virtual Var headForward(const Var &fused) = 0;
+    /** Produce the task output from a single modality's feature. */
+    virtual Var uniHeadForward(size_t m, const Var &feature) = 0;
+    /** @} */
+
+    /** Subclasses fill these during construction. */
+    WorkloadInfo info_;
+    data::SyntheticSpec dataSpec_;
+    WorkloadConfig config_;
+
+    /** Scale an extent by config().sizeScale with a floor. */
+    int64_t scaled(int64_t extent, int64_t floor = 4) const;
+
+    /**
+     * Scale a feature width, rounded up to a multiple of 4 so scaled
+     * models stay compatible with 4-head attention layers.
+     */
+    int64_t scaledFeat(int64_t extent, int64_t floor = 8) const;
+};
+
+} // namespace models
+} // namespace mmbench
+
+#endif // MMBENCH_MODELS_WORKLOAD_HH

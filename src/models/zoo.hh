@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Workload registry: create any of the nine MMBench applications by
+ * name, with the paper's default fusion implementation per workload.
+ */
+
+#ifndef MMBENCH_MODELS_ZOO_HH
+#define MMBENCH_MODELS_ZOO_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/workload.hh"
+
+namespace mmbench {
+namespace models {
+namespace zoo {
+
+/** Names of all nine workloads, in Table 3 order. */
+const std::vector<std::string> &workloadNames();
+
+/** Default fusion implementation for a workload (paper defaults). */
+fusion::FusionKind defaultFusion(const std::string &name);
+
+/**
+ * Instantiate a workload by name. If config.fusionKind was left at
+ * its default (Concat) and the workload's canonical fusion differs,
+ * pass use_default_fusion = true to select the paper's default.
+ */
+std::unique_ptr<MultiModalWorkload> create(const std::string &name,
+                                           WorkloadConfig config);
+
+/** Instantiate with the workload's canonical fusion implementation. */
+std::unique_ptr<MultiModalWorkload> createDefault(
+    const std::string &name, float size_scale = 1.0f, uint64_t seed = 42);
+
+} // namespace zoo
+} // namespace models
+} // namespace mmbench
+
+#endif // MMBENCH_MODELS_ZOO_HH

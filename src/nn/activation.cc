@@ -1,0 +1,60 @@
+#include "nn/activation.hh"
+
+#include "nn/init.hh"
+
+namespace mmbench {
+namespace nn {
+
+ReLU::ReLU() : Layer("relu")
+{
+}
+
+Var
+ReLU::forward(const Var &x)
+{
+    return autograd::relu(x);
+}
+
+Sigmoid::Sigmoid() : Layer("sigmoid")
+{
+}
+
+Var
+Sigmoid::forward(const Var &x)
+{
+    return autograd::sigmoid(x);
+}
+
+Tanh::Tanh() : Layer("tanh")
+{
+}
+
+Var
+Tanh::forward(const Var &x)
+{
+    return autograd::tanhV(x);
+}
+
+GELU::GELU() : Layer("gelu")
+{
+}
+
+Var
+GELU::forward(const Var &x)
+{
+    return autograd::gelu(x);
+}
+
+Dropout::Dropout(float p)
+    : Layer("dropout"), p_(p), rng_(globalRng().next())
+{
+}
+
+Var
+Dropout::forward(const Var &x)
+{
+    return autograd::dropout(x, p_, training(), rng_);
+}
+
+} // namespace nn
+} // namespace mmbench

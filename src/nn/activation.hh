@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Stateless activation layers and dropout.
+ */
+
+#ifndef MMBENCH_NN_ACTIVATION_HH
+#define MMBENCH_NN_ACTIVATION_HH
+
+#include "core/rng.hh"
+#include "nn/module.hh"
+
+namespace mmbench {
+namespace nn {
+
+/** ReLU activation. */
+class ReLU : public Layer
+{
+  public:
+    ReLU();
+    Var forward(const Var &x) override;
+};
+
+/** Sigmoid activation. */
+class Sigmoid : public Layer
+{
+  public:
+    Sigmoid();
+    Var forward(const Var &x) override;
+};
+
+/** Tanh activation. */
+class Tanh : public Layer
+{
+  public:
+    Tanh();
+    Var forward(const Var &x) override;
+};
+
+/** GELU activation (tanh approximation). */
+class GELU : public Layer
+{
+  public:
+    GELU();
+    Var forward(const Var &x) override;
+};
+
+/**
+ * Inverted dropout; active only in training mode. Draws masks from an
+ * internal deterministic RNG seeded at construction.
+ */
+class Dropout : public Layer
+{
+  public:
+    explicit Dropout(float p);
+
+    Var forward(const Var &x) override;
+
+  private:
+    float p_;
+    Rng rng_;
+};
+
+} // namespace nn
+} // namespace mmbench
+
+#endif // MMBENCH_NN_ACTIVATION_HH

@@ -1,0 +1,72 @@
+#include "nn/attention.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+#include "core/string_utils.hh"
+
+namespace mmbench {
+namespace nn {
+
+namespace ag = mmbench::autograd;
+
+MultiheadAttention::MultiheadAttention(int64_t dim, int64_t heads)
+    : Module(strfmt("mha_d%lld_h%lld", static_cast<long long>(dim),
+                    static_cast<long long>(heads))),
+      dim_(dim), heads_(heads), headDim_(dim / heads),
+      qProj_(dim, dim), kProj_(dim, dim), vProj_(dim, dim),
+      outProj_(dim, dim)
+{
+    MM_ASSERT(dim % heads == 0, "dim %lld not divisible by heads %lld",
+              static_cast<long long>(dim), static_cast<long long>(heads));
+    registerChild(qProj_);
+    registerChild(kProj_);
+    registerChild(vProj_);
+    registerChild(outProj_);
+}
+
+Var
+MultiheadAttention::splitHeads(const Var &x) const
+{
+    const int64_t batch = x.value().size(0);
+    const int64_t steps = x.value().size(1);
+    // (B, T, D) -> (B, T, H, dh) -> (B, H, T, dh) -> (B*H, T, dh)
+    Var r = ag::reshape(x, Shape{batch, steps, heads_, headDim_});
+    Var p = ag::swapDims(r, 1, 2);
+    return ag::reshape(p, Shape{batch * heads_, steps, headDim_});
+}
+
+Var
+MultiheadAttention::mergeHeads(const Var &x, int64_t batch) const
+{
+    const int64_t steps = x.value().size(1);
+    Var r = ag::reshape(x, Shape{batch, heads_, steps, headDim_});
+    Var p = ag::swapDims(r, 1, 2);
+    return ag::reshape(p, Shape{batch, steps, dim_});
+}
+
+Var
+MultiheadAttention::forward(const Var &query, const Var &key,
+                            const Var &value)
+{
+    MM_ASSERT(query.value().ndim() == 3 && key.value().ndim() == 3 &&
+                  value.value().ndim() == 3,
+              "attention inputs must be (B, T, D)");
+    MM_ASSERT(key.value().size(1) == value.value().size(1),
+              "key/value sequence lengths differ");
+    const int64_t batch = query.value().size(0);
+
+    Var q = splitHeads(qProj_.forward(query));
+    Var k = splitHeads(kProj_.forward(key));
+    Var v = splitHeads(vProj_.forward(value));
+
+    // scores: (B*H, Tq, Tk)
+    const float scale = 1.0f / std::sqrt(static_cast<float>(headDim_));
+    Var scores = ag::mulScalar(ag::matmul(q, ag::swapDims(k, 1, 2)), scale);
+    Var attn = ag::softmaxLast(scores);
+    Var ctx = ag::matmul(attn, v); // (B*H, Tq, dh)
+    return outProj_.forward(mergeHeads(ctx, batch));
+}
+
+} // namespace nn
+} // namespace mmbench

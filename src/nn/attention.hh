@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Scaled dot-product multi-head attention.
+ */
+
+#ifndef MMBENCH_NN_ATTENTION_HH
+#define MMBENCH_NN_ATTENTION_HH
+
+#include "nn/linear.hh"
+#include "nn/module.hh"
+
+namespace mmbench {
+namespace nn {
+
+/**
+ * Multi-head attention over (B, T, D) sequences. Supports
+ * self-attention (q == k == v) and cross-attention (queries from one
+ * modality attending over another), which is the core primitive of
+ * MULT-style multi-modal transformer fusion.
+ */
+class MultiheadAttention : public Module
+{
+  public:
+    MultiheadAttention(int64_t dim, int64_t heads);
+
+    /**
+     * query: (B, Tq, D); key/value: (B, Tk, D).
+     * Returns (B, Tq, D).
+     */
+    Var forward(const Var &query, const Var &key, const Var &value);
+
+    /** Self-attention convenience wrapper. */
+    Var forward(const Var &x) { return forward(x, x, x); }
+
+    int64_t dim() const { return dim_; }
+    int64_t heads() const { return heads_; }
+
+  private:
+    /** (B, T, D) -> (B*H, T, D/H). */
+    Var splitHeads(const Var &x) const;
+    /** (B*H, T, D/H) -> (B, T, D). */
+    Var mergeHeads(const Var &x, int64_t batch) const;
+
+    int64_t dim_;
+    int64_t heads_;
+    int64_t headDim_;
+    Linear qProj_;
+    Linear kProj_;
+    Linear vProj_;
+    Linear outProj_;
+};
+
+} // namespace nn
+} // namespace mmbench
+
+#endif // MMBENCH_NN_ATTENTION_HH

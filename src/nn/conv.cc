@@ -1,0 +1,82 @@
+#include "nn/conv.hh"
+
+#include "core/logging.hh"
+#include "core/string_utils.hh"
+#include "nn/init.hh"
+
+namespace mmbench {
+namespace nn {
+
+Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int kernel,
+               int stride, int pad, bool bias)
+    : Layer(strfmt("conv2d_%lldx%lldk%d",
+                   static_cast<long long>(in_channels),
+                   static_cast<long long>(out_channels), kernel)),
+      inChannels_(in_channels), outChannels_(out_channels),
+      kernel_(kernel), stride_(stride), pad_(pad)
+{
+    MM_ASSERT(in_channels > 0 && out_channels > 0 && kernel > 0,
+              "invalid Conv2d geometry");
+    const int64_t fan_in = in_channels * kernel * kernel;
+    weight_ = registerParameter(kaimingNormal(
+        Shape{out_channels, in_channels, kernel, kernel}, fan_in));
+    if (bias)
+        bias_ = registerParameter(Tensor::zeros(Shape{out_channels}));
+}
+
+Var
+Conv2d::forward(const Var &x)
+{
+    MM_ASSERT(x.value().ndim() == 4 && x.value().size(1) == inChannels_,
+              "Conv2d %s fed input %s", name().c_str(),
+              x.value().shape().toString().c_str());
+    return autograd::conv2d(x, weight_, bias_, stride_, pad_);
+}
+
+MaxPool2d::MaxPool2d(int kernel, int stride)
+    : Layer(strfmt("maxpool%d", kernel)), kernel_(kernel),
+      stride_(stride < 0 ? kernel : stride)
+{
+}
+
+Var
+MaxPool2d::forward(const Var &x)
+{
+    return autograd::maxpool2d(x, kernel_, stride_);
+}
+
+AvgPool2d::AvgPool2d(int kernel, int stride)
+    : Layer(strfmt("avgpool%d", kernel)), kernel_(kernel),
+      stride_(stride < 0 ? kernel : stride)
+{
+}
+
+Var
+AvgPool2d::forward(const Var &x)
+{
+    return autograd::avgpool2d(x, kernel_, stride_);
+}
+
+GlobalAvgPool::GlobalAvgPool() : Layer("global_avgpool")
+{
+}
+
+Var
+GlobalAvgPool::forward(const Var &x)
+{
+    return autograd::globalAvgPool(x);
+}
+
+Flatten::Flatten() : Layer("flatten")
+{
+}
+
+Var
+Flatten::forward(const Var &x)
+{
+    const int64_t batch = x.value().size(0);
+    return autograd::reshape(x, Shape{batch, x.value().numel() / batch});
+}
+
+} // namespace nn
+} // namespace mmbench

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Convolution and pooling layers (NCHW).
+ */
+
+#ifndef MMBENCH_NN_CONV_HH
+#define MMBENCH_NN_CONV_HH
+
+#include "nn/module.hh"
+
+namespace mmbench {
+namespace nn {
+
+/** 2-D convolution with square kernels. */
+class Conv2d : public Layer
+{
+  public:
+    Conv2d(int64_t in_channels, int64_t out_channels, int kernel,
+           int stride = 1, int pad = 0, bool bias = true);
+
+    Var forward(const Var &x) override;
+
+    int64_t inChannels() const { return inChannels_; }
+    int64_t outChannels() const { return outChannels_; }
+
+  private:
+    int64_t inChannels_;
+    int64_t outChannels_;
+    int kernel_;
+    int stride_;
+    int pad_;
+    Var weight_;
+    Var bias_;
+};
+
+/** Max pooling layer. */
+class MaxPool2d : public Layer
+{
+  public:
+    explicit MaxPool2d(int kernel, int stride = -1); // stride: -1 = kernel
+
+    Var forward(const Var &x) override;
+
+  private:
+    int kernel_;
+    int stride_;
+};
+
+/** Average pooling layer. */
+class AvgPool2d : public Layer
+{
+  public:
+    explicit AvgPool2d(int kernel, int stride = -1);
+
+    Var forward(const Var &x) override;
+
+  private:
+    int kernel_;
+    int stride_;
+};
+
+/** (N,C,H,W) -> (N,C) global average pooling. */
+class GlobalAvgPool : public Layer
+{
+  public:
+    GlobalAvgPool();
+
+    Var forward(const Var &x) override;
+};
+
+/** Flatten all non-batch dimensions: (N, ...) -> (N, D). */
+class Flatten : public Layer
+{
+  public:
+    Flatten();
+
+    Var forward(const Var &x) override;
+};
+
+} // namespace nn
+} // namespace mmbench
+
+#endif // MMBENCH_NN_CONV_HH

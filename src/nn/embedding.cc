@@ -1,0 +1,27 @@
+#include "nn/embedding.hh"
+
+#include "core/logging.hh"
+#include "core/string_utils.hh"
+#include "nn/init.hh"
+
+namespace mmbench {
+namespace nn {
+
+Embedding::Embedding(int64_t vocab, int64_t dim)
+    : Module(strfmt("embedding_%lldx%lld", static_cast<long long>(vocab),
+                    static_cast<long long>(dim))),
+      vocab_(vocab), dim_(dim)
+{
+    MM_ASSERT(vocab > 0 && dim > 0, "invalid Embedding geometry");
+    weight_ = registerParameter(
+        Tensor::randn(Shape{vocab, dim}, globalRng(), 0.02f));
+}
+
+Var
+Embedding::forward(const Tensor &ids)
+{
+    return autograd::embedding(weight_, ids);
+}
+
+} // namespace nn
+} // namespace mmbench

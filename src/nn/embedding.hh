@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Token embedding table.
+ */
+
+#ifndef MMBENCH_NN_EMBEDDING_HH
+#define MMBENCH_NN_EMBEDDING_HH
+
+#include "nn/module.hh"
+
+namespace mmbench {
+namespace nn {
+
+/** Lookup table mapping integer token ids to dense vectors. */
+class Embedding : public Module
+{
+  public:
+    Embedding(int64_t vocab, int64_t dim);
+
+    /** ids: any-shape tensor of integer ids -> ids.shape x dim. */
+    Var forward(const Tensor &ids);
+
+    int64_t vocab() const { return vocab_; }
+    int64_t dim() const { return dim_; }
+
+  private:
+    int64_t vocab_;
+    int64_t dim_;
+    Var weight_;
+};
+
+} // namespace nn
+} // namespace mmbench
+
+#endif // MMBENCH_NN_EMBEDDING_HH

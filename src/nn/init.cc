@@ -1,0 +1,51 @@
+#include "nn/init.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace mmbench {
+namespace nn {
+
+namespace {
+
+Rng &
+rngSlot()
+{
+    static Rng rng(0x6d6d62656e6368ULL); // "mmbench"
+    return rng;
+}
+
+} // namespace
+
+Rng &
+globalRng()
+{
+    return rngSlot();
+}
+
+void
+seedAll(uint64_t seed)
+{
+    rngSlot() = Rng(seed);
+}
+
+tensor::Tensor
+xavierUniform(const tensor::Shape &shape, int64_t fan_in, int64_t fan_out)
+{
+    MM_ASSERT(fan_in > 0 && fan_out > 0, "invalid fan sizes");
+    const float bound =
+        std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+    return tensor::Tensor::randu(shape, globalRng(), -bound, bound);
+}
+
+tensor::Tensor
+kaimingNormal(const tensor::Shape &shape, int64_t fan_in)
+{
+    MM_ASSERT(fan_in > 0, "invalid fan_in");
+    const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+    return tensor::Tensor::randn(shape, globalRng(), stddev);
+}
+
+} // namespace nn
+} // namespace mmbench

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Weight initialization and deterministic global seeding.
+ *
+ * All layers draw their initial weights from a process-wide RNG that
+ * can be reseeded with seedAll(), making model construction exactly
+ * reproducible.
+ */
+
+#ifndef MMBENCH_NN_INIT_HH
+#define MMBENCH_NN_INIT_HH
+
+#include "core/rng.hh"
+#include "tensor/tensor.hh"
+
+namespace mmbench {
+namespace nn {
+
+/** The RNG used for weight initialization (and layer-local noise). */
+Rng &globalRng();
+
+/** Reseed the initialization RNG. */
+void seedAll(uint64_t seed);
+
+/** Xavier/Glorot uniform for a (fan_in, fan_out) matrix. */
+tensor::Tensor xavierUniform(const tensor::Shape &shape, int64_t fan_in,
+                             int64_t fan_out);
+
+/** Kaiming/He normal for conv/linear weights feeding ReLU. */
+tensor::Tensor kaimingNormal(const tensor::Shape &shape, int64_t fan_in);
+
+} // namespace nn
+} // namespace mmbench
+
+#endif // MMBENCH_NN_INIT_HH

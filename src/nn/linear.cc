@@ -1,0 +1,34 @@
+#include "nn/linear.hh"
+
+#include "core/logging.hh"
+#include "core/string_utils.hh"
+#include "nn/init.hh"
+
+namespace mmbench {
+namespace nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, bool bias)
+    : Layer(strfmt("linear_%lldx%lld", static_cast<long long>(in_features),
+                   static_cast<long long>(out_features))),
+      inFeatures_(in_features), outFeatures_(out_features)
+{
+    MM_ASSERT(in_features > 0 && out_features > 0,
+              "invalid Linear dimensions");
+    weight_ = registerParameter(
+        xavierUniform(Shape{in_features, out_features}, in_features,
+                      out_features));
+    if (bias)
+        bias_ = registerParameter(Tensor::zeros(Shape{out_features}));
+}
+
+Var
+Linear::forward(const Var &x)
+{
+    MM_ASSERT(x.value().size(-1) == inFeatures_,
+              "Linear %s fed input %s", name().c_str(),
+              x.value().shape().toString().c_str());
+    return autograd::linear(x, weight_, bias_);
+}
+
+} // namespace nn
+} // namespace mmbench

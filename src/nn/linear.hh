@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fully connected layer.
+ */
+
+#ifndef MMBENCH_NN_LINEAR_HH
+#define MMBENCH_NN_LINEAR_HH
+
+#include "nn/module.hh"
+
+namespace mmbench {
+namespace nn {
+
+/**
+ * y = x @ W + b with W stored as (in, out) so the forward pass is a
+ * single GEMM. Input may have any leading batch dimensions.
+ */
+class Linear : public Layer
+{
+  public:
+    Linear(int64_t in_features, int64_t out_features, bool bias = true);
+
+    Var forward(const Var &x) override;
+
+    int64_t inFeatures() const { return inFeatures_; }
+    int64_t outFeatures() const { return outFeatures_; }
+
+  private:
+    int64_t inFeatures_;
+    int64_t outFeatures_;
+    Var weight_;
+    Var bias_;
+};
+
+} // namespace nn
+} // namespace mmbench
+
+#endif // MMBENCH_NN_LINEAR_HH

@@ -1,0 +1,83 @@
+#include "nn/module.hh"
+
+#include "core/logging.hh"
+
+namespace mmbench {
+namespace nn {
+
+Module::Module(std::string name) : name_(std::move(name))
+{
+}
+
+std::vector<Var>
+Module::parameters() const
+{
+    std::vector<Var> out = params_;
+    for (const Module *child : children_) {
+        auto sub = child->parameters();
+        out.insert(out.end(), sub.begin(), sub.end());
+    }
+    return out;
+}
+
+int64_t
+Module::parameterCount() const
+{
+    int64_t n = 0;
+    for (const Var &p : parameters())
+        n += p.value().numel();
+    return n;
+}
+
+uint64_t
+Module::parameterBytes() const
+{
+    return static_cast<uint64_t>(parameterCount()) * sizeof(float);
+}
+
+void
+Module::train(bool on)
+{
+    training_ = on;
+    for (Module *child : children_)
+        child->train(on);
+}
+
+Var
+Module::registerParameter(Tensor value)
+{
+    Var p(std::move(value), /*requires_grad=*/true);
+    params_.push_back(p);
+    return p;
+}
+
+void
+Module::registerChild(Module &child)
+{
+    children_.push_back(&child);
+}
+
+Sequential::Sequential(std::string name) : Layer(std::move(name))
+{
+}
+
+Sequential &
+Sequential::add(std::unique_ptr<Layer> layer)
+{
+    MM_ASSERT(layer != nullptr, "null layer added to %s", name().c_str());
+    registerChild(*layer);
+    layers_.push_back(std::move(layer));
+    return *this;
+}
+
+Var
+Sequential::forward(const Var &x)
+{
+    Var h = x;
+    for (auto &layer : layers_)
+        h = layer->forward(h);
+    return h;
+}
+
+} // namespace nn
+} // namespace mmbench

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Module: base class for trainable network components.
+ *
+ * A Module owns parameters (leaf Vars) and child modules; parameters()
+ * walks the tree. Single-input/single-output components additionally
+ * derive from Layer so they can be chained in a Sequential.
+ */
+
+#ifndef MMBENCH_NN_MODULE_HH
+#define MMBENCH_NN_MODULE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/ops.hh"
+#include "autograd/var.hh"
+
+namespace mmbench {
+namespace nn {
+
+using autograd::Var;
+using tensor::Shape;
+using tensor::Tensor;
+
+/** Base class managing parameters, children and train/eval mode. */
+class Module
+{
+  public:
+    explicit Module(std::string name);
+    virtual ~Module() = default;
+
+    Module(const Module &) = delete;
+    Module &operator=(const Module &) = delete;
+
+    /** All parameters of this module and its descendants. */
+    std::vector<Var> parameters() const;
+
+    /** Total scalar parameter count. */
+    int64_t parameterCount() const;
+
+    /** Bytes of device memory the parameters occupy (fp32). */
+    uint64_t parameterBytes() const;
+
+    /** Switch this module and all descendants to train/eval mode. */
+    virtual void train(bool on = true);
+
+    bool training() const { return training_; }
+
+    const std::string &name() const { return name_; }
+
+  protected:
+    /** Register a tensor as a trainable parameter; returns its Var. */
+    Var registerParameter(Tensor value);
+
+    /** Register a child whose lifetime this module guarantees. */
+    void registerChild(Module &child);
+
+  private:
+    std::string name_;
+    bool training_ = true;
+    std::vector<Var> params_;
+    std::vector<Module *> children_;
+};
+
+/** A module with the plain x -> y calling convention. */
+class Layer : public Module
+{
+  public:
+    using Module::Module;
+
+    virtual Var forward(const Var &x) = 0;
+};
+
+/** Runs owned layers in order. */
+class Sequential : public Layer
+{
+  public:
+    explicit Sequential(std::string name = "sequential");
+
+    /** Append a layer (takes ownership); returns *this for chaining. */
+    Sequential &add(std::unique_ptr<Layer> layer);
+
+    /** Construct a layer in place. */
+    template <typename L, typename... Args>
+    Sequential &
+    emplace(Args &&...args)
+    {
+        return add(std::make_unique<L>(std::forward<Args>(args)...));
+    }
+
+    Var forward(const Var &x) override;
+
+    size_t size() const { return layers_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+} // namespace nn
+} // namespace mmbench
+
+#endif // MMBENCH_NN_MODULE_HH

@@ -1,0 +1,41 @@
+#include "nn/norm.hh"
+
+#include "core/logging.hh"
+#include "core/string_utils.hh"
+
+namespace mmbench {
+namespace nn {
+
+BatchNorm2d::BatchNorm2d(int64_t channels, float momentum, float eps)
+    : Layer(strfmt("batchnorm2d_%lld", static_cast<long long>(channels))),
+      momentum_(momentum), eps_(eps)
+{
+    gamma_ = registerParameter(Tensor::ones(Shape{channels}));
+    beta_ = registerParameter(Tensor::zeros(Shape{channels}));
+    runningMean_ = Tensor::zeros(Shape{channels});
+    runningVar_ = Tensor::ones(Shape{channels});
+}
+
+Var
+BatchNorm2d::forward(const Var &x)
+{
+    return autograd::batchnorm2d(x, gamma_, beta_, runningMean_,
+                                 runningVar_, training(), momentum_, eps_);
+}
+
+LayerNorm::LayerNorm(int64_t dim, float eps)
+    : Layer(strfmt("layernorm_%lld", static_cast<long long>(dim))),
+      eps_(eps)
+{
+    gamma_ = registerParameter(Tensor::ones(Shape{dim}));
+    beta_ = registerParameter(Tensor::zeros(Shape{dim}));
+}
+
+Var
+LayerNorm::forward(const Var &x)
+{
+    return autograd::layernorm(x, gamma_, beta_, eps_);
+}
+
+} // namespace nn
+} // namespace mmbench

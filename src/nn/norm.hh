@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Normalization layers.
+ */
+
+#ifndef MMBENCH_NN_NORM_HH
+#define MMBENCH_NN_NORM_HH
+
+#include "nn/module.hh"
+
+namespace mmbench {
+namespace nn {
+
+/** Per-channel batch normalization for NCHW activations. */
+class BatchNorm2d : public Layer
+{
+  public:
+    explicit BatchNorm2d(int64_t channels, float momentum = 0.1f,
+                         float eps = 1e-5f);
+
+    Var forward(const Var &x) override;
+
+    const Tensor &runningMean() const { return runningMean_; }
+    const Tensor &runningVar() const { return runningVar_; }
+
+  private:
+    float momentum_;
+    float eps_;
+    Var gamma_;
+    Var beta_;
+    Tensor runningMean_;
+    Tensor runningVar_;
+};
+
+/** Layer normalization over the last dimension. */
+class LayerNorm : public Layer
+{
+  public:
+    explicit LayerNorm(int64_t dim, float eps = 1e-5f);
+
+    Var forward(const Var &x) override;
+
+  private:
+    float eps_;
+    Var gamma_;
+    Var beta_;
+};
+
+} // namespace nn
+} // namespace mmbench
+
+#endif // MMBENCH_NN_NORM_HH

@@ -1,0 +1,126 @@
+#include "nn/rnn.hh"
+
+#include "core/logging.hh"
+#include "core/string_utils.hh"
+#include "nn/init.hh"
+
+namespace mmbench {
+namespace nn {
+
+namespace ag = mmbench::autograd;
+
+Lstm::Lstm(int64_t input_size, int64_t hidden_size)
+    : Module(strfmt("lstm_%lldx%lld", static_cast<long long>(input_size),
+                    static_cast<long long>(hidden_size))),
+      inputSize_(input_size), hiddenSize_(hidden_size)
+{
+    MM_ASSERT(input_size > 0 && hidden_size > 0, "invalid LSTM geometry");
+    wIh_ = registerParameter(xavierUniform(Shape{input_size,
+                                                 4 * hidden_size},
+                                           input_size, hidden_size));
+    wHh_ = registerParameter(xavierUniform(Shape{hidden_size,
+                                                 4 * hidden_size},
+                                           hidden_size, hidden_size));
+    // Forget-gate bias starts at 1 (standard trick for gradient flow).
+    Tensor b = Tensor::zeros(Shape{4 * hidden_size});
+    for (int64_t i = hidden_size; i < 2 * hidden_size; ++i)
+        b.at(i) = 1.0f;
+    bias_ = registerParameter(std::move(b));
+}
+
+RnnOutput
+Lstm::forward(const Var &x)
+{
+    MM_ASSERT(x.value().ndim() == 3 && x.value().size(2) == inputSize_,
+              "LSTM %s fed input %s", name().c_str(),
+              x.value().shape().toString().c_str());
+    const int64_t batch = x.value().size(0);
+    const int64_t steps = x.value().size(1);
+    const int64_t h = hiddenSize_;
+
+    Var h_t(Tensor::zeros(Shape{batch, h}));
+    Var c_t(Tensor::zeros(Shape{batch, h}));
+    std::vector<Var> per_step;
+    per_step.reserve(static_cast<size_t>(steps));
+
+    for (int64_t t = 0; t < steps; ++t) {
+        Var x_t = ag::reshape(ag::narrow(x, 1, t, 1),
+                              Shape{batch, inputSize_});
+        Var gates = ag::add(ag::add(ag::matmul(x_t, wIh_),
+                                    ag::matmul(h_t, wHh_)),
+                            bias_);
+        Var i_g = ag::sigmoid(ag::narrow(gates, 1, 0, h));
+        Var f_g = ag::sigmoid(ag::narrow(gates, 1, h, h));
+        Var g_g = ag::tanhV(ag::narrow(gates, 1, 2 * h, h));
+        Var o_g = ag::sigmoid(ag::narrow(gates, 1, 3 * h, h));
+        c_t = ag::add(ag::mul(f_g, c_t), ag::mul(i_g, g_g));
+        h_t = ag::mul(o_g, ag::tanhV(c_t));
+        per_step.push_back(ag::reshape(h_t, Shape{batch, 1, h}));
+    }
+
+    RnnOutput out;
+    out.outputs = ag::concat(per_step, 1);
+    out.lastHidden = h_t;
+    return out;
+}
+
+Gru::Gru(int64_t input_size, int64_t hidden_size)
+    : Module(strfmt("gru_%lldx%lld", static_cast<long long>(input_size),
+                    static_cast<long long>(hidden_size))),
+      inputSize_(input_size), hiddenSize_(hidden_size)
+{
+    MM_ASSERT(input_size > 0 && hidden_size > 0, "invalid GRU geometry");
+    wIh_ = registerParameter(xavierUniform(Shape{input_size,
+                                                 3 * hidden_size},
+                                           input_size, hidden_size));
+    wHh_ = registerParameter(xavierUniform(Shape{hidden_size,
+                                                 3 * hidden_size},
+                                           hidden_size, hidden_size));
+    bIh_ = registerParameter(Tensor::zeros(Shape{3 * hidden_size}));
+    bHh_ = registerParameter(Tensor::zeros(Shape{3 * hidden_size}));
+}
+
+Var
+Gru::step(const Var &x_t, const Var &h_prev)
+{
+    const int64_t h = hiddenSize_;
+    Var gi = ag::add(ag::matmul(x_t, wIh_), bIh_);
+    Var gh = ag::add(ag::matmul(h_prev, wHh_), bHh_);
+    Var r_g = ag::sigmoid(ag::add(ag::narrow(gi, 1, 0, h),
+                                  ag::narrow(gh, 1, 0, h)));
+    Var z_g = ag::sigmoid(ag::add(ag::narrow(gi, 1, h, h),
+                                  ag::narrow(gh, 1, h, h)));
+    Var n_g = ag::tanhV(ag::add(ag::narrow(gi, 1, 2 * h, h),
+                                ag::mul(r_g, ag::narrow(gh, 1, 2 * h, h))));
+    // h = (1 - z) * n + z * h_prev
+    Var one_minus_z = ag::addScalar(ag::neg(z_g), 1.0f);
+    return ag::add(ag::mul(one_minus_z, n_g), ag::mul(z_g, h_prev));
+}
+
+RnnOutput
+Gru::forward(const Var &x)
+{
+    MM_ASSERT(x.value().ndim() == 3 && x.value().size(2) == inputSize_,
+              "GRU %s fed input %s", name().c_str(),
+              x.value().shape().toString().c_str());
+    const int64_t batch = x.value().size(0);
+    const int64_t steps = x.value().size(1);
+
+    Var h_t(Tensor::zeros(Shape{batch, hiddenSize_}));
+    std::vector<Var> per_step;
+    per_step.reserve(static_cast<size_t>(steps));
+    for (int64_t t = 0; t < steps; ++t) {
+        Var x_t = ag::reshape(ag::narrow(x, 1, t, 1),
+                              Shape{batch, inputSize_});
+        h_t = step(x_t, h_t);
+        per_step.push_back(ag::reshape(h_t, Shape{batch, 1, hiddenSize_}));
+    }
+
+    RnnOutput out;
+    out.outputs = ag::concat(per_step, 1);
+    out.lastHidden = h_t;
+    return out;
+}
+
+} // namespace nn
+} // namespace mmbench

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Recurrent layers: LSTM and GRU.
+ *
+ * Implemented from primitive GEMM/pointwise operators, so each
+ * timestep launches several small kernels — matching the kernel-level
+ * behaviour of a non-fused (non-cuDNN) GPU RNN, which is what the
+ * MMBench heterogeneity analysis observes for sequence encoders.
+ */
+
+#ifndef MMBENCH_NN_RNN_HH
+#define MMBENCH_NN_RNN_HH
+
+#include "nn/module.hh"
+
+namespace mmbench {
+namespace nn {
+
+/** Output bundle of a recurrent layer. */
+struct RnnOutput
+{
+    Var outputs;    ///< (B, T, H): hidden state at every step
+    Var lastHidden; ///< (B, H): hidden state after the last step
+};
+
+/** Single-layer unidirectional LSTM over (B, T, D) input. */
+class Lstm : public Module
+{
+  public:
+    Lstm(int64_t input_size, int64_t hidden_size);
+
+    RnnOutput forward(const Var &x);
+
+    int64_t hiddenSize() const { return hiddenSize_; }
+
+  private:
+    int64_t inputSize_;
+    int64_t hiddenSize_;
+    Var wIh_; ///< (D, 4H) gate order: i, f, g, o
+    Var wHh_; ///< (H, 4H)
+    Var bias_; ///< (4H)
+};
+
+/** Single-layer unidirectional GRU over (B, T, D) input. */
+class Gru : public Module
+{
+  public:
+    Gru(int64_t input_size, int64_t hidden_size);
+
+    RnnOutput forward(const Var &x);
+
+    /** One explicit step given the previous hidden state (B, H). */
+    Var step(const Var &x_t, const Var &h_prev);
+
+    int64_t hiddenSize() const { return hiddenSize_; }
+
+  private:
+    int64_t inputSize_;
+    int64_t hiddenSize_;
+    Var wIh_; ///< (D, 3H) gate order: r, z, n
+    Var wHh_; ///< (H, 3H)
+    Var bIh_; ///< (3H)
+    Var bHh_; ///< (3H)
+};
+
+} // namespace nn
+} // namespace mmbench
+
+#endif // MMBENCH_NN_RNN_HH

@@ -1,0 +1,93 @@
+#include "nn/serialize.hh"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+#include "core/logging.hh"
+
+namespace mmbench {
+namespace nn {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x4d4d4257; // "MMBW"
+constexpr uint32_t kVersion = 1;
+
+} // namespace
+
+bool
+saveParameters(const Module &module, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os) {
+        warn("saveParameters: cannot open '%s'", path.c_str());
+        return false;
+    }
+    const std::vector<autograd::Var> params = module.parameters();
+    const uint64_t count = params.size();
+    os.write(reinterpret_cast<const char *>(&kMagic), sizeof(kMagic));
+    os.write(reinterpret_cast<const char *>(&kVersion), sizeof(kVersion));
+    os.write(reinterpret_cast<const char *>(&count), sizeof(count));
+    for (const autograd::Var &p : params) {
+        const uint64_t numel = static_cast<uint64_t>(p.value().numel());
+        os.write(reinterpret_cast<const char *>(&numel), sizeof(numel));
+        os.write(reinterpret_cast<const char *>(p.value().data()),
+                 static_cast<std::streamsize>(numel * sizeof(float)));
+    }
+    return static_cast<bool>(os);
+}
+
+bool
+loadParameters(Module &module, const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        warn("loadParameters: cannot open '%s'", path.c_str());
+        return false;
+    }
+    uint32_t magic = 0, version = 0;
+    uint64_t count = 0;
+    is.read(reinterpret_cast<char *>(&magic), sizeof(magic));
+    is.read(reinterpret_cast<char *>(&version), sizeof(version));
+    is.read(reinterpret_cast<char *>(&count), sizeof(count));
+    if (!is || magic != kMagic || version != kVersion) {
+        warn("loadParameters: '%s' is not an mmbench weight file",
+             path.c_str());
+        return false;
+    }
+    std::vector<autograd::Var> params = module.parameters();
+    if (count != params.size()) {
+        warn("loadParameters: '%s' holds %llu tensors, module has %zu",
+             path.c_str(), static_cast<unsigned long long>(count),
+             params.size());
+        return false;
+    }
+    // Stage everything first so the module stays untouched on error.
+    std::vector<std::vector<float>> staged(params.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+        uint64_t numel = 0;
+        is.read(reinterpret_cast<char *>(&numel), sizeof(numel));
+        if (!is ||
+            numel != static_cast<uint64_t>(params[i].value().numel())) {
+            warn("loadParameters: tensor %zu shape mismatch in '%s'", i,
+                 path.c_str());
+            return false;
+        }
+        staged[i].resize(static_cast<size_t>(numel));
+        is.read(reinterpret_cast<char *>(staged[i].data()),
+                static_cast<std::streamsize>(numel * sizeof(float)));
+        if (!is) {
+            warn("loadParameters: truncated file '%s'", path.c_str());
+            return false;
+        }
+    }
+    for (size_t i = 0; i < params.size(); ++i) {
+        std::copy(staged[i].begin(), staged[i].end(),
+                  params[i].value().data());
+    }
+    return true;
+}
+
+} // namespace nn
+} // namespace mmbench

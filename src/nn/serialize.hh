@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Parameter serialization.
+ *
+ * The paper's edge deployment flow trains on the server and runs
+ * inference on Jetson boards ("models must first be trained on
+ * servers"); save/load makes that flow concrete: parameters are
+ * written in the deterministic Module::parameters() order.
+ */
+
+#ifndef MMBENCH_NN_SERIALIZE_HH
+#define MMBENCH_NN_SERIALIZE_HH
+
+#include <string>
+
+#include "nn/module.hh"
+
+namespace mmbench {
+namespace nn {
+
+/**
+ * Write all parameters of the module tree to a binary file.
+ * @return false (with a warning) on I/O failure.
+ */
+bool saveParameters(const Module &module, const std::string &path);
+
+/**
+ * Load parameters saved by saveParameters into a structurally
+ * identical module tree.
+ * @return false (with a warning) on I/O failure, format or shape
+ *         mismatch; the module is left untouched on failure.
+ */
+bool loadParameters(Module &module, const std::string &path);
+
+} // namespace nn
+} // namespace mmbench
+
+#endif // MMBENCH_NN_SERIALIZE_HH

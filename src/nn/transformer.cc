@@ -1,0 +1,91 @@
+#include "nn/transformer.hh"
+
+#include "core/logging.hh"
+#include "core/string_utils.hh"
+#include "nn/init.hh"
+
+namespace mmbench {
+namespace nn {
+
+namespace ag = mmbench::autograd;
+
+TransformerEncoderLayer::TransformerEncoderLayer(int64_t dim, int64_t heads,
+                                                 int64_t ff_dim,
+                                                 float dropout_p)
+    : Module(strfmt("encoder_layer_d%lld", static_cast<long long>(dim))),
+      attn_(dim, heads), ff1_(dim, ff_dim), ff2_(ff_dim, dim), norm1_(dim),
+      norm2_(dim), drop_(dropout_p)
+{
+    registerChild(attn_);
+    registerChild(ff1_);
+    registerChild(ff2_);
+    registerChild(norm1_);
+    registerChild(norm2_);
+    registerChild(drop_);
+}
+
+Var
+TransformerEncoderLayer::forward(const Var &x)
+{
+    Var attended = attn_.forward(x);
+    Var h = norm1_.forward(ag::add(x, drop_.forward(attended)));
+    Var ff = ff2_.forward(ag::relu(ff1_.forward(h)));
+    return norm2_.forward(ag::add(h, drop_.forward(ff)));
+}
+
+TransformerEncoder::TransformerEncoder(int64_t dim, int64_t heads,
+                                       int64_t ff_dim, int64_t layers,
+                                       int64_t max_len, float dropout_p)
+    : Module(strfmt("transformer_d%lld_l%lld",
+                    static_cast<long long>(dim),
+                    static_cast<long long>(layers)))
+{
+    posEmbedding_ = registerParameter(
+        Tensor::randn(Shape{max_len, dim}, globalRng(), 0.02f));
+    layers_.reserve(static_cast<size_t>(layers));
+    for (int64_t i = 0; i < layers; ++i) {
+        layers_.push_back(std::make_unique<TransformerEncoderLayer>(
+            dim, heads, ff_dim, dropout_p));
+        registerChild(*layers_.back());
+    }
+}
+
+Var
+TransformerEncoder::forward(const Var &x)
+{
+    MM_ASSERT(x.value().ndim() == 3, "TransformerEncoder needs (B, T, D)");
+    const int64_t steps = x.value().size(1);
+    MM_ASSERT(steps <= posEmbedding_.value().size(0),
+              "sequence length %lld exceeds max_len %lld",
+              static_cast<long long>(steps),
+              static_cast<long long>(posEmbedding_.value().size(0)));
+    Var pos = ag::narrow(posEmbedding_, 0, 0, steps);
+    Var h = ag::add(x, pos); // broadcast over batch
+    for (auto &layer : layers_)
+        h = layer->forward(h);
+    return h;
+}
+
+CrossModalLayer::CrossModalLayer(int64_t dim, int64_t heads, int64_t ff_dim)
+    : Module(strfmt("crossmodal_d%lld", static_cast<long long>(dim))),
+      crossAttn_(dim, heads), ff1_(dim, ff_dim), ff2_(ff_dim, dim),
+      norm1_(dim), norm2_(dim)
+{
+    registerChild(crossAttn_);
+    registerChild(ff1_);
+    registerChild(ff2_);
+    registerChild(norm1_);
+    registerChild(norm2_);
+}
+
+Var
+CrossModalLayer::forward(const Var &target, const Var &source)
+{
+    Var attended = crossAttn_.forward(target, source, source);
+    Var h = norm1_.forward(ag::add(target, attended));
+    Var ff = ff2_.forward(ag::relu(ff1_.forward(h)));
+    return norm2_.forward(ag::add(h, ff));
+}
+
+} // namespace nn
+} // namespace mmbench

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Transformer encoder stack and cross-modal transformer layer.
+ */
+
+#ifndef MMBENCH_NN_TRANSFORMER_HH
+#define MMBENCH_NN_TRANSFORMER_HH
+
+#include <memory>
+
+#include "nn/activation.hh"
+#include "nn/attention.hh"
+#include "nn/linear.hh"
+#include "nn/norm.hh"
+
+namespace mmbench {
+namespace nn {
+
+/**
+ * Post-norm transformer encoder layer: self-attention + FFN with
+ * residual connections. The FFN uses ReLU (as ALBERT-style encoders
+ * appear ReLU-dominated in the paper's kernel breakdown).
+ */
+class TransformerEncoderLayer : public Module
+{
+  public:
+    TransformerEncoderLayer(int64_t dim, int64_t heads, int64_t ff_dim,
+                            float dropout_p = 0.1f);
+
+    Var forward(const Var &x);
+
+  private:
+    MultiheadAttention attn_;
+    Linear ff1_;
+    Linear ff2_;
+    LayerNorm norm1_;
+    LayerNorm norm2_;
+    Dropout drop_;
+};
+
+/** A stack of encoder layers with learned positional embeddings. */
+class TransformerEncoder : public Module
+{
+  public:
+    TransformerEncoder(int64_t dim, int64_t heads, int64_t ff_dim,
+                       int64_t layers, int64_t max_len,
+                       float dropout_p = 0.1f);
+
+    /** x: (B, T, D) with T <= max_len. */
+    Var forward(const Var &x);
+
+  private:
+    Var posEmbedding_; ///< (max_len, D)
+    std::vector<std::unique_ptr<TransformerEncoderLayer>> layers_;
+};
+
+/**
+ * Cross-modal transformer layer (MULT-style): queries from the target
+ * modality attend over the source modality, then pass through an FFN.
+ */
+class CrossModalLayer : public Module
+{
+  public:
+    CrossModalLayer(int64_t dim, int64_t heads, int64_t ff_dim);
+
+    /** target: (B, Tt, D), source: (B, Ts, D) -> (B, Tt, D). */
+    Var forward(const Var &target, const Var &source);
+
+  private:
+    MultiheadAttention crossAttn_;
+    Linear ff1_;
+    Linear ff2_;
+    LayerNorm norm1_;
+    LayerNorm norm2_;
+};
+
+} // namespace nn
+} // namespace mmbench
+
+#endif // MMBENCH_NN_TRANSFORMER_HH

@@ -1,0 +1,54 @@
+#include "profile/profiler.hh"
+
+#include "autograd/var.hh"
+#include "trace/scope.hh"
+
+namespace mmbench {
+namespace profile {
+
+Profiler::Profiler(sim::DeviceModel device) : timeline_(std::move(device))
+{
+}
+
+ProfileResult
+Profiler::profile(models::MultiModalWorkload &workload,
+                  const data::Batch &batch)
+{
+    workload.train(false);
+    trace::RecordingSink sink;
+    {
+        trace::ScopedSink guard(sink);
+        autograd::NoGradGuard no_grad;
+        workload.forward(batch);
+    }
+    ProfileResult result;
+    result.timeline = timeline_.replay(sink);
+    result.modelBytes = workload.parameterBytes();
+    result.datasetBytes = batch.inputBytes();
+    result.workload = workload.name();
+    result.device = device().name;
+    return result;
+}
+
+ProfileResult
+Profiler::profileUniModal(models::MultiModalWorkload &workload,
+                          const data::Batch &batch, size_t modality)
+{
+    workload.train(false);
+    trace::RecordingSink sink;
+    {
+        trace::ScopedSink guard(sink);
+        autograd::NoGradGuard no_grad;
+        workload.forwardUniModal(batch, modality);
+    }
+    ProfileResult result;
+    result.timeline = timeline_.replay(sink);
+    result.modelBytes = workload.parameterBytes();
+    result.datasetBytes = batch.modalities[modality].bytes();
+    result.workload = workload.name() + ":uni" + std::to_string(modality);
+    result.device = device().name;
+    return result;
+}
+
+} // namespace profile
+} // namespace mmbench

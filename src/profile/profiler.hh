@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Profiler: runs a workload's forward pass under a recording sink and
+ * replays the trace on a device model — the C++ analogue of the
+ * paper's Nsight-based profiling pipeline (its Fig. 3).
+ */
+
+#ifndef MMBENCH_PROFILE_PROFILER_HH
+#define MMBENCH_PROFILE_PROFILER_HH
+
+#include "data/synthetic.hh"
+#include "models/workload.hh"
+#include "profile/report.hh"
+#include "sim/device.hh"
+#include "sim/timeline.hh"
+
+namespace mmbench {
+namespace profile {
+
+/** Everything one profiled pass produces. */
+struct ProfileResult
+{
+    sim::TimelineResult timeline;
+    uint64_t modelBytes = 0;   ///< parameter memory of the workload
+    uint64_t datasetBytes = 0; ///< input batch bytes
+    std::string workload;
+    std::string device;
+};
+
+/** Drives recorded inference passes against one device model. */
+class Profiler
+{
+  public:
+    explicit Profiler(sim::DeviceModel device);
+
+    /** Profile one multi-modal inference pass over the batch. */
+    ProfileResult profile(models::MultiModalWorkload &workload,
+                          const data::Batch &batch);
+
+    /** Profile the uni-modal variant for one modality. */
+    ProfileResult profileUniModal(models::MultiModalWorkload &workload,
+                                  const data::Batch &batch,
+                                  size_t modality);
+
+    const sim::DeviceModel &device() const { return timeline_.device(); }
+
+  private:
+    sim::Timeline timeline_;
+};
+
+} // namespace profile
+} // namespace mmbench
+
+#endif // MMBENCH_PROFILE_PROFILER_HH

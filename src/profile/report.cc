@@ -1,0 +1,103 @@
+#include "profile/report.hh"
+
+namespace mmbench {
+namespace profile {
+
+MetricAgg
+aggregate(const TimelineResult &timeline, const KernelFilter &filter)
+{
+    MetricAgg agg;
+    for (const sim::SimKernel &k : timeline.kernels) {
+        if (!filter(k))
+            continue;
+        const double t = k.cost.timeUs;
+        agg.gpuTimeUs += t;
+        agg.kernelCount += 1;
+        agg.flops += k.ev.flops;
+        agg.bytesRead += k.ev.bytesRead;
+        agg.bytesWritten += k.ev.bytesWritten;
+        agg.dramUtil += k.cost.dramUtil * t;
+        agg.occupancy += k.cost.occupancy * t;
+        agg.gldEff += k.cost.gldEff * t;
+        agg.gstEff += k.cost.gstEff * t;
+        agg.ipc += k.cost.ipc * t;
+        agg.l2Hit += k.cost.l2Hit * t;
+        for (size_t r = 0; r < kNumStallReasons; ++r)
+            agg.stallShares[r] += k.cost.stallShares[r] * t;
+        agg.classTimeUs[k.ev.kclass] += t;
+    }
+    if (agg.gpuTimeUs > 0.0) {
+        agg.dramUtil /= agg.gpuTimeUs;
+        agg.occupancy /= agg.gpuTimeUs;
+        agg.gldEff /= agg.gpuTimeUs;
+        agg.gstEff /= agg.gpuTimeUs;
+        agg.ipc /= agg.gpuTimeUs;
+        agg.l2Hit /= agg.gpuTimeUs;
+        for (double &share : agg.stallShares)
+            share /= agg.gpuTimeUs;
+    }
+    return agg;
+}
+
+MetricAgg
+aggregateStage(const TimelineResult &timeline, trace::Stage s)
+{
+    return aggregate(timeline, [s](const sim::SimKernel &k) {
+        return k.ev.stage == s;
+    });
+}
+
+MetricAgg
+aggregateModality(const TimelineResult &timeline, int modality)
+{
+    return aggregate(timeline, [modality](const sim::SimKernel &k) {
+        return k.ev.modality == modality;
+    });
+}
+
+MetricAgg
+aggregateAll(const TimelineResult &timeline)
+{
+    return aggregate(timeline,
+                     [](const sim::SimKernel &) { return true; });
+}
+
+const char *const kKernelSizeBucketNames[4] = {"0-10", "10-50", "50-100",
+                                               ">100"};
+
+std::array<int64_t, 4>
+kernelSizeHistogram(const TimelineResult &timeline)
+{
+    std::array<int64_t, 4> buckets = {0, 0, 0, 0};
+    for (const sim::SimKernel &k : timeline.kernels) {
+        const double t = k.cost.timeUs;
+        if (t < 10.0) {
+            ++buckets[0];
+        } else if (t < 50.0) {
+            ++buckets[1];
+        } else if (t < 100.0) {
+            ++buckets[2];
+        } else {
+            ++buckets[3];
+        }
+    }
+    return buckets;
+}
+
+double
+stageCpuUs(const TimelineResult &timeline, trace::Stage s)
+{
+    double total = 0.0;
+    for (const sim::SimRuntimeOp &op : timeline.runtimeOps) {
+        if (op.ev.stage == s)
+            total += op.timeUs;
+    }
+    for (const sim::SimKernel &k : timeline.kernels) {
+        if (k.ev.stage == s)
+            total += k.cost.launchUs;
+    }
+    return total;
+}
+
+} // namespace profile
+} // namespace mmbench

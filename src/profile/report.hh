@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Aggregations over simulated timelines: everything the paper's
+ * figures need (per-stage metrics, kernel-class breakdowns, kernel
+ * size histograms, stall shares).
+ */
+
+#ifndef MMBENCH_PROFILE_REPORT_HH
+#define MMBENCH_PROFILE_REPORT_HH
+
+#include <array>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "sim/timeline.hh"
+
+namespace mmbench {
+namespace profile {
+
+using sim::kNumStallReasons;
+using sim::TimelineResult;
+
+/** Time-weighted metric aggregate over a kernel subset. */
+struct MetricAgg
+{
+    double gpuTimeUs = 0.0;
+    int kernelCount = 0;
+    uint64_t flops = 0;
+    uint64_t bytesRead = 0;
+    uint64_t bytesWritten = 0;
+    /** Time-weighted means of the per-kernel metrics. */
+    double dramUtil = 0.0;
+    double occupancy = 0.0;
+    double gldEff = 0.0;
+    double gstEff = 0.0;
+    double ipc = 0.0;
+    double l2Hit = 0.0;
+    /** Time-weighted stall shares (sum to ~1 if any kernels). */
+    std::array<double, kNumStallReasons> stallShares{};
+    /** Device time per kernel class (Fig. 8 numerators). */
+    std::map<trace::KernelClass, double> classTimeUs;
+};
+
+/** Predicate over scheduled kernels. */
+using KernelFilter = std::function<bool(const sim::SimKernel &)>;
+
+/** Aggregate the kernels matching the filter. */
+MetricAgg aggregate(const TimelineResult &timeline,
+                    const KernelFilter &filter);
+
+/** Aggregate one execution stage. */
+MetricAgg aggregateStage(const TimelineResult &timeline, trace::Stage s);
+
+/** Aggregate one modality's kernels (optionally one stage only). */
+MetricAgg aggregateModality(const TimelineResult &timeline, int modality);
+
+/** Aggregate everything. */
+MetricAgg aggregateAll(const TimelineResult &timeline);
+
+/**
+ * Kernel-duration histogram with the paper's Fig. 12 buckets:
+ * 0-10 us, 10-50 us, 50-100 us, >100 us.
+ */
+std::array<int64_t, 4> kernelSizeHistogram(const TimelineResult &timeline);
+
+/** Bucket labels matching kernelSizeHistogram. */
+extern const char *const kKernelSizeBucketNames[4];
+
+/** Host runtime time per stage (prep + copies + syncs + launches). */
+double stageCpuUs(const TimelineResult &timeline, trace::Stage s);
+
+} // namespace profile
+} // namespace mmbench
+
+#endif // MMBENCH_PROFILE_REPORT_HH

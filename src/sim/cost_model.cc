@@ -1,0 +1,146 @@
+#include "sim/cost_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace mmbench {
+namespace sim {
+
+using trace::KernelClass;
+
+const char *
+stallReasonName(StallReason r)
+{
+    switch (r) {
+      case StallReason::Cache: return "Cache";
+      case StallReason::Mem:   return "Mem";
+      case StallReason::Exec:  return "Exec";
+      case StallReason::Pipe:  return "Pipe";
+      case StallReason::Sync:  return "Sync";
+      case StallReason::Inst:  return "Inst.";
+      case StallReason::Else:  return "Else";
+      default: MM_PANIC("invalid stall reason %d", static_cast<int>(r));
+    }
+}
+
+const KernelClassProfile &
+kernelClassProfile(KernelClass kc)
+{
+    // computeEff: attainable fraction of peak FLOP/s for this kernel
+    // family (GEMM/conv run close to peak, reductions far from it).
+    // coalescing: typical global-memory access efficiency.
+    static const KernelClassProfile profiles[] = {
+        /* Conv    */ {0.65, 0.85},
+        /* BNorm   */ {0.40, 0.85},
+        /* Elewise */ {0.85, 0.95},
+        /* Pooling */ {0.45, 0.70},
+        /* Relu    */ {0.90, 0.95},
+        /* Gemm    */ {0.75, 0.90},
+        /* Reduce  */ {0.35, 0.80},
+        /* Other   */ {0.50, 0.70},
+    };
+    const auto idx = static_cast<size_t>(kc);
+    MM_ASSERT(idx < 8, "invalid kernel class %zu", idx);
+    return profiles[idx];
+}
+
+KernelCost
+simulateKernel(const trace::KernelEvent &ev, const DeviceModel &device)
+{
+    const KernelClassProfile &prof = kernelClassProfile(ev.kclass);
+    KernelCost cost;
+
+    // Achieved occupancy: one thread per output element (pointwise
+    // view), saturating at the device's resident-thread capacity.
+    const double out_elems =
+        std::max<double>(1.0, static_cast<double>(ev.bytesWritten) / 4.0);
+    cost.occupancy =
+        std::min(1.0, out_elems / device.maxResidentThreads());
+    // Low-occupancy kernels cannot saturate either pipeline.
+    const double occ_scale = 0.25 + 0.75 * cost.occupancy;
+
+    // Roofline legs.
+    const double peak_flops = device.fp32Tflops * 1e12;
+    cost.computeTimeUs = static_cast<double>(ev.flops) /
+                         (peak_flops * prof.computeEff * occ_scale) * 1e6;
+    const double bytes =
+        static_cast<double>(ev.bytesRead + ev.bytesWritten);
+    const double bw = device.dramGBs * 1e9 * prof.coalescing * occ_scale;
+    cost.memTimeUs = bytes / bw * 1e6;
+
+    cost.memoryBound = cost.memTimeUs >= cost.computeTimeUs;
+    cost.timeUs = std::max(cost.computeTimeUs, cost.memTimeUs) +
+                  device.kernelRampUs;
+    cost.launchUs = device.kernelLaunchUs;
+
+    // Derived micro-architectural metrics.
+    cost.dramUtil = std::min(1.0, cost.memTimeUs / cost.timeUs);
+    const double compute_frac = cost.computeTimeUs / cost.timeUs;
+    cost.ipc = 4.0 * prof.computeEff * compute_frac *
+               (0.3 + 0.7 * cost.occupancy);
+    cost.gldEff = prof.coalescing * (0.90 + 0.10 * cost.occupancy);
+    cost.gstEff =
+        std::min(1.0, prof.coalescing * (0.95 + 0.05 * cost.occupancy));
+
+    // Stall-share model. Cache fit: how much of the working set the
+    // L2 covers; misses escalate Cache stalls to Mem stalls.
+    const double working_set =
+        std::max(1.0, static_cast<double>(ev.bytesRead));
+    const double l2_fit =
+        std::min(1.0, device.l2CacheMB * 1e6 / working_set);
+    cost.l2Hit = l2_fit;
+    const double mem_frac = std::min(1.0, cost.memTimeUs / cost.timeUs);
+
+    double cache = mem_frac * (0.30 + 0.35 * l2_fit);
+    double mem = mem_frac * (0.70 - 0.35 * l2_fit);
+    double exec = compute_frac * 0.65;
+    double pipe = compute_frac * 0.20;
+    double inst =
+        device.frontendStallFactor * (0.5 + 0.5 * (1.0 - cost.occupancy));
+    double sync = 0.03;
+    double rest = 0.05;
+    const double total = cache + mem + exec + pipe + inst + sync + rest;
+    cost.stallShares[static_cast<size_t>(StallReason::Cache)] =
+        cache / total;
+    cost.stallShares[static_cast<size_t>(StallReason::Mem)] = mem / total;
+    cost.stallShares[static_cast<size_t>(StallReason::Exec)] =
+        exec / total;
+    cost.stallShares[static_cast<size_t>(StallReason::Pipe)] =
+        pipe / total;
+    cost.stallShares[static_cast<size_t>(StallReason::Sync)] =
+        sync / total;
+    cost.stallShares[static_cast<size_t>(StallReason::Inst)] =
+        inst / total;
+    cost.stallShares[static_cast<size_t>(StallReason::Else)] =
+        rest / total;
+    return cost;
+}
+
+double
+runtimeEventUs(const trace::RuntimeEvent &ev, const DeviceModel &device)
+{
+    using Kind = trace::RuntimeEvent::Kind;
+    switch (ev.kind) {
+      case Kind::DataPrep:
+        // Fixed framework dispatch cost plus throughput-bound work.
+        return 2.0 + static_cast<double>(ev.bytes) /
+                         (device.cpuPrepGBs * 1e9) * 1e6;
+      case Kind::H2DCopy:
+      case Kind::D2HCopy: {
+        // Unified-memory parts avoid the PCIe hop but still pay a
+        // staging pass at (higher) local bandwidth.
+        const double bw = device.hostTransferGBs * 1e9;
+        const double fixed = device.unifiedMemory ? 2.0 : 8.0;
+        return fixed + static_cast<double>(ev.bytes) / bw * 1e6;
+      }
+      case Kind::Sync:
+        return device.syncOverheadUs;
+      default:
+        MM_PANIC("invalid runtime kind %d", static_cast<int>(ev.kind));
+    }
+}
+
+} // namespace sim
+} // namespace mmbench

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Kernel cost model: converts a KernelEvent into time and the
+ * micro-architectural metrics the paper reports (Figs. 7, 9, 15).
+ *
+ * The model is a roofline with occupancy-dependent efficiency:
+ *
+ *   compute_time = flops / (peak * class_eff * occupancy_scaling)
+ *   memory_time  = bytes / (bandwidth * coalescing * occupancy_scaling)
+ *   time         = max(compute_time, memory_time) + ramp
+ *
+ * Occupancy follows from the kernel's output parallelism vs the
+ * device's resident-thread capacity; stall-cycle shares follow from
+ * the roofline balance, the cache-fit ratio and the device frontend
+ * factor.
+ */
+
+#ifndef MMBENCH_SIM_COST_MODEL_HH
+#define MMBENCH_SIM_COST_MODEL_HH
+
+#include <array>
+
+#include "sim/device.hh"
+#include "trace/event.hh"
+
+namespace mmbench {
+namespace sim {
+
+/** Stall-cycle taxonomy of Fig. 15. */
+enum class StallReason : uint8_t {
+    Cache, ///< cache-miss dependency
+    Mem,   ///< memory (DRAM) dependency
+    Exec,  ///< execution dependency
+    Pipe,  ///< pipeline busy
+    Sync,  ///< synchronization blocked
+    Inst,  ///< instruction not fetched
+    Else,  ///< everything else
+    NumReasons,
+};
+
+/** Short display name of a stall reason. */
+const char *stallReasonName(StallReason r);
+
+constexpr size_t kNumStallReasons =
+    static_cast<size_t>(StallReason::NumReasons);
+
+/** Simulated execution profile of one kernel launch. */
+struct KernelCost
+{
+    double timeUs = 0.0;        ///< device busy time
+    double computeTimeUs = 0.0; ///< roofline compute leg
+    double memTimeUs = 0.0;     ///< roofline memory leg
+    double launchUs = 0.0;      ///< host-side launch overhead
+    double occupancy = 0.0;     ///< achieved occupancy, 0..1
+    double ipc = 0.0;           ///< per-SM instructions per cycle
+    double dramUtil = 0.0;      ///< DRAM busy fraction, 0..1
+    double gldEff = 0.0;        ///< global load efficiency, 0..1
+    double gstEff = 0.0;        ///< global store efficiency, 0..1
+    double l2Hit = 0.0;         ///< L2 hit rate proxy, 0..1
+    bool memoryBound = false;
+    /** Shares per StallReason, summing to 1. */
+    std::array<double, kNumStallReasons> stallShares{};
+};
+
+/** Class-level efficiency profile (how well a kernel family runs). */
+struct KernelClassProfile
+{
+    double computeEff;  ///< fraction of peak FLOP/s attainable
+    double coalescing;  ///< global-memory access efficiency
+};
+
+/** The per-class profile used by the model (exposed for tests). */
+const KernelClassProfile &kernelClassProfile(trace::KernelClass kc);
+
+/** Simulate one kernel launch on a device. */
+KernelCost simulateKernel(const trace::KernelEvent &ev,
+                          const DeviceModel &device);
+
+/** Host-side cost (us) of a runtime event on a device. */
+double runtimeEventUs(const trace::RuntimeEvent &ev,
+                      const DeviceModel &device);
+
+} // namespace sim
+} // namespace mmbench
+
+#endif // MMBENCH_SIM_COST_MODEL_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Analytical device models.
+ *
+ * Substitution note (see DESIGN.md): the paper measures real hardware
+ * (an RTX 2080Ti server, Jetson Nano and Jetson Orin boards) with
+ * Nsight. Without GPUs, mmbench replays the kernel-event trace against
+ * these parameterized device models. Headline numbers (peak FP32,
+ * DRAM bandwidth, SM counts, memory capacity) come from the public
+ * data sheets; the softer parameters (launch overhead, host transfer
+ * and preprocessing throughput, frontend stall factor) are order-of-
+ * magnitude engineering estimates chosen once and never tuned per
+ * experiment.
+ */
+
+#ifndef MMBENCH_SIM_DEVICE_HH
+#define MMBENCH_SIM_DEVICE_HH
+
+#include <string>
+
+namespace mmbench {
+namespace sim {
+
+/** Performance-model parameters of one accelerator platform. */
+struct DeviceModel
+{
+    std::string name;
+
+    /** @name Data-sheet parameters @{ */
+    double fp32Tflops = 1.0;    ///< peak FP32 throughput
+    double dramGBs = 100.0;     ///< DRAM bandwidth
+    double l2CacheMB = 1.0;     ///< last-level cache size
+    int smCount = 1;            ///< streaming multiprocessors
+    double clockGHz = 1.0;      ///< SM clock
+    double memoryCapacityGB = 4.0;
+    bool unifiedMemory = false; ///< CPU/GPU share physical DRAM
+    /** @} */
+
+    /** @name Software/system parameters @{ */
+    double kernelLaunchUs = 5.0;   ///< host CPU cost per kernel launch
+    double kernelRampUs = 1.5;     ///< device-side fixed cost per kernel
+    double hostTransferGBs = 12.0; ///< H2D/D2H copy bandwidth
+    double cpuPrepGBs = 4.0;       ///< host preprocessing throughput
+    double syncOverheadUs = 10.0;  ///< cost of an explicit device sync
+    /**
+     * How prone the SM frontend is to instruction-fetch stalls; edge
+     * parts with few, narrow SMs suffer more (paper Fig. 15).
+     */
+    double frontendStallFactor = 0.05;
+    /**
+     * Tensor memory (MB) usable before the allocator starts
+     * thrashing. On unified-memory edge boards the OS, framework and
+     * CUDA context leave only a small pool free (the paper observes
+     * nano latency degrading again at batch 320); calibrated once to
+     * this reproduction's tensor scale, see DESIGN.md.
+     */
+    double usableMemoryMB = 8192.0;
+    /** @} */
+
+    /**
+     * Latency multiplier once a footprint exceeds the usable pool
+     * (quadratic thrashing penalty; 1.0 while the footprint fits).
+     */
+    double memoryPressureFactor(uint64_t footprint_bytes) const;
+
+    /** Maximum resident threads across the device (occupancy base). */
+    double maxResidentThreads() const { return smCount * 2048.0; }
+
+    /** @name Platform presets @{ */
+    /** Desktop/server GPU: the paper's 4x RTX 2080Ti server (1 GPU). */
+    static DeviceModel rtx2080ti();
+    /** Entry edge board: 128-core Maxwell, 4 GB LPDDR4. */
+    static DeviceModel jetsonNano();
+    /** High-end edge board: 2048-core Ampere, 32 GB LPDDR5. */
+    static DeviceModel jetsonOrin();
+    /** @} */
+};
+
+} // namespace sim
+} // namespace mmbench
+
+#endif // MMBENCH_SIM_DEVICE_HH

@@ -1,0 +1,82 @@
+#include "sim/timeline.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+
+namespace mmbench {
+namespace sim {
+
+Timeline::Timeline(DeviceModel device) : device_(std::move(device))
+{
+}
+
+TimelineResult
+Timeline::replay(const trace::RecordingSink &trace) const
+{
+    TimelineResult result;
+    result.kernels.reserve(trace.kernels.size());
+    result.runtimeOps.reserve(trace.runtimes.size());
+
+    double cpu_cursor = 0.0; // host thread position
+    double gpu_cursor = 0.0; // device stream position
+    double gpu_last_end = 0.0;
+
+    using EntryKind = trace::RecordingSink::EntryKind;
+    using RtKind = trace::RuntimeEvent::Kind;
+
+    for (const auto &entry : trace.unified) {
+        if (entry.kind == EntryKind::Kernel) {
+            const trace::KernelEvent &ev = trace.kernels[entry.index];
+            SimKernel k;
+            k.ev = ev;
+            k.cost = simulateKernel(ev, device_);
+            // The host enqueues the launch, then the device runs the
+            // kernel after both the launch and its predecessor finish.
+            cpu_cursor += k.cost.launchUs;
+            result.cpuRuntimeUs += k.cost.launchUs;
+            k.startUs = std::max(cpu_cursor, gpu_cursor);
+            k.endUs = k.startUs + k.cost.timeUs;
+            result.gpuIdleUs += k.startUs - gpu_last_end;
+            gpu_cursor = k.endUs;
+            gpu_last_end = k.endUs;
+            result.gpuBusyUs += k.cost.timeUs;
+            result.kernels.push_back(std::move(k));
+        } else {
+            const trace::RuntimeEvent &ev = trace.runtimes[entry.index];
+            SimRuntimeOp op;
+            op.ev = ev;
+            op.timeUs = runtimeEventUs(ev, device_);
+            // Syncs and D2H copies drain the device first.
+            if (ev.kind == RtKind::Sync || ev.kind == RtKind::D2HCopy)
+                cpu_cursor = std::max(cpu_cursor, gpu_cursor);
+            op.startUs = cpu_cursor;
+            op.endUs = op.startUs + op.timeUs;
+            cpu_cursor = op.endUs;
+            result.cpuRuntimeUs += op.timeUs;
+            if (ev.kind == RtKind::H2DCopy)
+                result.memory.h2dBytes += ev.bytes;
+            if (ev.kind == RtKind::D2HCopy)
+                result.memory.d2hBytes += ev.bytes;
+            result.runtimeOps.push_back(std::move(op));
+        }
+    }
+    result.totalUs = std::max(cpu_cursor, gpu_cursor);
+
+    // Memory watermarks from the allocation stream.
+    int64_t current[3] = {0, 0, 0};
+    for (const auto &alloc : trace.allocs) {
+        const auto cat = static_cast<size_t>(alloc.category);
+        MM_ASSERT(cat < 3, "invalid memory category");
+        current[cat] += alloc.bytes;
+        if (current[cat] > 0) {
+            result.memory.peakBytes[cat] =
+                std::max(result.memory.peakBytes[cat],
+                         static_cast<uint64_t>(current[cat]));
+        }
+    }
+    return result;
+}
+
+} // namespace sim
+} // namespace mmbench

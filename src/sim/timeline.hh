@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Trace replay: schedules a recorded event stream onto a device model
+ * and produces the simulated execution timeline.
+ *
+ * The execution model mirrors an eager framework on a single CUDA
+ * stream: the host thread pays a launch overhead per kernel and runs
+ * ahead of the device; kernels execute in order; explicit syncs and
+ * D2H copies drain the device. Host-side work (data preparation,
+ * copies, synchronization) accumulates into the CPU+Runtime account
+ * that the paper's Fig. 11 contrasts with GPU busy time.
+ */
+
+#ifndef MMBENCH_SIM_TIMELINE_HH
+#define MMBENCH_SIM_TIMELINE_HH
+
+#include <vector>
+
+#include "sim/cost_model.hh"
+#include "trace/sink.hh"
+
+namespace mmbench {
+namespace sim {
+
+/** One scheduled kernel instance. */
+struct SimKernel
+{
+    trace::KernelEvent ev;
+    KernelCost cost;
+    double startUs = 0.0;
+    double endUs = 0.0;
+};
+
+/** One scheduled host-side runtime operation. */
+struct SimRuntimeOp
+{
+    trace::RuntimeEvent ev;
+    double timeUs = 0.0;
+    double startUs = 0.0;
+    double endUs = 0.0;
+};
+
+/** Device-memory accounting over the replayed window. */
+struct MemoryStats
+{
+    /** Peak bytes per trace::MemCategory (model/dataset/intermediate). */
+    uint64_t peakBytes[3] = {0, 0, 0};
+    /** Total H2D payload (the batch the device received). */
+    uint64_t h2dBytes = 0;
+    /** Total D2H payload. */
+    uint64_t d2hBytes = 0;
+};
+
+/** Full simulated schedule. */
+struct TimelineResult
+{
+    std::vector<SimKernel> kernels;
+    std::vector<SimRuntimeOp> runtimeOps;
+    double totalUs = 0.0;      ///< wall-clock makespan
+    double gpuBusyUs = 0.0;    ///< sum of kernel device times
+    double cpuRuntimeUs = 0.0; ///< launches + prep + copies + syncs
+    double gpuIdleUs = 0.0;    ///< device gaps waiting on the host
+    MemoryStats memory;
+};
+
+/** Replays recorded traces against one device model. */
+class Timeline
+{
+  public:
+    explicit Timeline(DeviceModel device);
+
+    /** Schedule every event of the trace in emission order. */
+    TimelineResult replay(const trace::RecordingSink &trace) const;
+
+    const DeviceModel &device() const { return device_; }
+
+  private:
+    DeviceModel device_;
+};
+
+} // namespace sim
+} // namespace mmbench
+
+#endif // MMBENCH_SIM_TIMELINE_HH

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * The tensor operator library.
+ *
+ * Every operator performs the functional computation on the CPU and
+ * emits one KernelEvent describing the equivalent GPU kernel launch
+ * (kernel class per the Fig. 8 taxonomy, FLOPs, bytes moved). The
+ * mapping of operators to kernel classes is:
+ *
+ *   Conv    — conv2d (forward and the two backward kernels)
+ *   BNorm   — batchnorm2d, layernorm
+ *   Elewise — binary/unary pointwise math, dropout, sigmoid/tanh/gelu
+ *   Pooling — max/avg pooling, nearest-neighbour upsampling
+ *   Relu    — relu forward/backward (its own class in the paper)
+ *   Gemm    — matmul / batched matmul / outer products
+ *   Reduce  — sums, means, maxima, argmax, softmax
+ *   Other   — data movement: transpose, concat, slice, pad, gather
+ */
+
+#ifndef MMBENCH_TENSOR_OPS_HH
+#define MMBENCH_TENSOR_OPS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace mmbench {
+namespace tensor {
+
+/** @name Elementwise binary (NumPy broadcasting) @{ */
+Tensor add(const Tensor &a, const Tensor &b);
+Tensor sub(const Tensor &a, const Tensor &b);
+Tensor mul(const Tensor &a, const Tensor &b);
+Tensor div(const Tensor &a, const Tensor &b);
+/** @} */
+
+/** @name Elementwise with scalar @{ */
+Tensor addScalar(const Tensor &a, float s);
+Tensor mulScalar(const Tensor &a, float s);
+/** @} */
+
+/** @name Elementwise unary @{ */
+Tensor neg(const Tensor &a);
+Tensor reluF(const Tensor &a);
+Tensor sigmoidF(const Tensor &a);
+Tensor tanhF(const Tensor &a);
+Tensor geluF(const Tensor &a);
+Tensor expF(const Tensor &a);
+Tensor logF(const Tensor &a);
+Tensor sqrtF(const Tensor &a);
+Tensor squareF(const Tensor &a);
+Tensor absF(const Tensor &a);
+Tensor clampF(const Tensor &a, float lo, float hi);
+/** Elementwise mask: 1.0 where a > 0, else 0.0 (relu backward). */
+Tensor gtZeroMask(const Tensor &a);
+/** @} */
+
+/** @name Matrix multiplication @{
+ * Supported shapes: (M,K)x(K,N); (B,M,K)x(B,K,N); (B,M,K)x(K,N);
+ * higher-rank batched forms with matching leading dimensions.
+ */
+Tensor matmul(const Tensor &a, const Tensor &b);
+/** Batched outer product: (B,m) x (B,n) -> (B,m,n). */
+Tensor outerBatch(const Tensor &a, const Tensor &b);
+/** @} */
+
+/** @name Layout @{ */
+/** 2-D transpose (copies). */
+Tensor transpose2d(const Tensor &a);
+/** General dimension permutation (copies). */
+Tensor permute(const Tensor &a, const std::vector<int> &order);
+/** Swap two dimensions (copies). */
+Tensor swapDims(const Tensor &a, int d0, int d1);
+/** @} */
+
+/** @name Reductions @{ */
+Tensor sumAll(const Tensor &a);
+Tensor meanAll(const Tensor &a);
+/** Reduce one axis; result drops the axis unless keepdim. */
+Tensor sumAxis(const Tensor &a, int axis, bool keepdim = false);
+Tensor meanAxis(const Tensor &a, int axis, bool keepdim = false);
+Tensor maxAxis(const Tensor &a, int axis, bool keepdim = false);
+/** Index of the max element along the last axis. */
+Tensor argmaxLast(const Tensor &a);
+/** Numerically stable softmax over the last axis. */
+Tensor softmaxLast(const Tensor &a);
+/** Numerically stable log-softmax over the last axis. */
+Tensor logSoftmaxLast(const Tensor &a);
+/** @} */
+
+/** @name Shape manipulation (copying) @{ */
+Tensor concat(const std::vector<Tensor> &parts, int axis);
+/** Split into n equal chunks along axis. */
+std::vector<Tensor> chunk(const Tensor &a, int n, int axis);
+/** Contiguous sub-range [start, start+len) of one axis. */
+Tensor narrow(const Tensor &a, int axis, int64_t start, int64_t len);
+/** Zero-pad the two innermost (spatial) dimensions of an NCHW tensor. */
+Tensor pad2d(const Tensor &a, int pad);
+/** Broadcast-expand a tensor to a target shape (copies). */
+Tensor expandTo(const Tensor &a, const Shape &target);
+/** @} */
+
+/** @name Convolution / pooling (NCHW) @{ */
+/**
+ * 2-D convolution. x: (N,C,H,W), w: (OC,C,KH,KW), optional bias (OC).
+ * Emitted as a single Conv-class kernel (implicit-GEMM style).
+ */
+Tensor conv2d(const Tensor &x, const Tensor &w, const Tensor &b,
+              int stride, int pad);
+/** Gradient of conv2d w.r.t. its input. */
+Tensor conv2dGradInput(const Tensor &grad_out, const Tensor &w,
+                       const Shape &x_shape, int stride, int pad);
+/** Gradient of conv2d w.r.t. its weight. */
+Tensor conv2dGradWeight(const Tensor &grad_out, const Tensor &x,
+                        const Shape &w_shape, int stride, int pad);
+
+/** Max pooling; indices receives flat argmax positions for backward. */
+Tensor maxpool2d(const Tensor &x, int kernel, int stride,
+                 Tensor *indices = nullptr);
+/** Scatter grad back through recorded maxpool indices. */
+Tensor maxpool2dBackward(const Tensor &grad_out, const Tensor &indices,
+                         const Shape &x_shape);
+Tensor avgpool2d(const Tensor &x, int kernel, int stride);
+Tensor avgpool2dBackward(const Tensor &grad_out, const Shape &x_shape,
+                         int kernel, int stride);
+/** Global average over spatial dims: (N,C,H,W) -> (N,C). */
+Tensor globalAvgPool(const Tensor &x);
+/** Nearest-neighbour 2x spatial upsampling. */
+Tensor upsampleNearest2x(const Tensor &x);
+Tensor upsampleNearest2xBackward(const Tensor &grad_out);
+/** @} */
+
+/** @name Normalization @{ */
+/**
+ * Batch normalization over (N,H,W) per channel of an NCHW tensor.
+ * In training mode computes batch statistics (returned via saved_mean
+ * / saved_invstd and folded into running stats); in inference mode
+ * uses the running statistics.
+ */
+Tensor batchnorm2d(const Tensor &x, const Tensor &gamma, const Tensor &beta,
+                   Tensor &running_mean, Tensor &running_var, bool training,
+                   float momentum, float eps, Tensor *saved_mean = nullptr,
+                   Tensor *saved_invstd = nullptr);
+/** Layer normalization over the last dimension. */
+Tensor layernorm(const Tensor &x, const Tensor &gamma, const Tensor &beta,
+                 float eps, Tensor *saved_mean = nullptr,
+                 Tensor *saved_invstd = nullptr);
+
+/**
+ * Training-mode batchnorm2d backward from saved batch statistics.
+ * Returns grad_x; accumulates parameter grads into grad_gamma/grad_beta
+ * (which must be zero-initialized (C) tensors).
+ */
+Tensor batchnorm2dBackward(const Tensor &grad_out, const Tensor &x,
+                           const Tensor &gamma, const Tensor &saved_mean,
+                           const Tensor &saved_invstd, Tensor &grad_gamma,
+                           Tensor &grad_beta);
+
+/** Layernorm backward from saved row statistics; same contract. */
+Tensor layernormBackward(const Tensor &grad_out, const Tensor &x,
+                         const Tensor &gamma, const Tensor &saved_mean,
+                         const Tensor &saved_invstd, Tensor &grad_gamma,
+                         Tensor &grad_beta);
+/** @} */
+
+/** @name Lookup @{ */
+/** Gather rows of weight (V,D) by ids (any shape) -> ids.shape x D. */
+Tensor embedding(const Tensor &weight, const Tensor &ids);
+/** Scatter-add grad rows into a (V,D) weight-gradient tensor. */
+Tensor embeddingBackward(const Tensor &grad_out, const Tensor &ids,
+                         int64_t vocab);
+/** @} */
+
+/** @name Stochastic @{ */
+/** Bernoulli keep-mask scaled by 1/(1-p) (inverted dropout). */
+Tensor dropoutMask(const Shape &shape, float p, Rng &rng);
+/** @} */
+
+/** @name Test/debug helpers (no kernel events) @{ */
+/** Max |a - b| over all elements; shapes must match. */
+float maxAbsDiff(const Tensor &a, const Tensor &b);
+/** True if max |a - b| <= tol. */
+bool allClose(const Tensor &a, const Tensor &b, float tol = 1e-5f);
+/** @} */
+
+} // namespace tensor
+} // namespace mmbench
+
+#endif // MMBENCH_TENSOR_OPS_HH

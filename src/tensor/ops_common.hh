@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Internal helpers shared by the tensor operator implementations.
+ * Not part of the public API.
+ */
+
+#ifndef MMBENCH_TENSOR_OPS_COMMON_HH
+#define MMBENCH_TENSOR_OPS_COMMON_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/shape.hh"
+
+namespace mmbench {
+namespace tensor {
+namespace detail {
+
+/** True if `small` equals the trailing dimensions of `big`. */
+bool isSuffix(const Shape &small, const Shape &big);
+
+/**
+ * Element strides for iterating tensor `in` along the axes of the
+ * broadcast output shape `out` (stride 0 on broadcast axes).
+ */
+std::vector<int64_t> broadcastStrides(const Shape &in, const Shape &out);
+
+} // namespace detail
+} // namespace tensor
+} // namespace mmbench
+
+#endif // MMBENCH_TENSOR_OPS_COMMON_HH

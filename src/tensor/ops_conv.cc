@@ -1,0 +1,435 @@
+/**
+ * @file
+ * Convolution and pooling operators (NCHW layout).
+ *
+ * Convolutions are computed with direct loops and reported as single
+ * Conv-class kernels (as a cuDNN implicit-GEMM launch would appear in
+ * an Nsight trace).
+ */
+
+#include "tensor/ops.hh"
+
+#include <limits>
+
+#include "core/logging.hh"
+#include "trace/sink.hh"
+
+namespace mmbench {
+namespace tensor {
+
+namespace {
+
+/** Output spatial extent for a conv/pool window sweep. */
+int64_t
+outExtent(int64_t in, int kernel, int stride, int pad)
+{
+    const int64_t out = (in + 2 * pad - kernel) / stride + 1;
+    MM_ASSERT(out > 0,
+              "window (k=%d, s=%d, p=%d) does not fit input extent %lld",
+              kernel, stride, pad, static_cast<long long>(in));
+    return out;
+}
+
+} // namespace
+
+Tensor
+conv2d(const Tensor &x, const Tensor &w, const Tensor &b, int stride,
+       int pad)
+{
+    MM_ASSERT(x.ndim() == 4 && w.ndim() == 4, "conv2d needs NCHW x OIHW");
+    const int64_t n = x.size(0), c = x.size(1), h = x.size(2), wd = x.size(3);
+    const int64_t oc = w.size(0), wc = w.size(1);
+    const int kh = static_cast<int>(w.size(2));
+    const int kw = static_cast<int>(w.size(3));
+    MM_ASSERT(wc == c, "conv2d channel mismatch: input %lld, weight %lld",
+              static_cast<long long>(c), static_cast<long long>(wc));
+    MM_ASSERT(stride >= 1 && pad >= 0, "invalid conv2d stride/pad");
+    const int64_t oh = outExtent(h, kh, stride, pad);
+    const int64_t ow = outExtent(wd, kw, stride, pad);
+
+    Tensor out(Shape{n, oc, oh, ow});
+    const float *px = x.data();
+    const float *pw = w.data();
+    const float *pb = b.defined() ? b.data() : nullptr;
+    float *po = out.data();
+
+    for (int64_t ni = 0; ni < n; ++ni) {
+        const float *xb = px + ni * c * h * wd;
+        float *ob = po + ni * oc * oh * ow;
+        for (int64_t o = 0; o < oc; ++o) {
+            const float *wb = pw + o * c * kh * kw;
+            const float bias = pb ? pb[o] : 0.0f;
+            float *oplane = ob + o * oh * ow;
+            for (int64_t y = 0; y < oh; ++y) {
+                for (int64_t xo = 0; xo < ow; ++xo) {
+                    float acc = bias;
+                    const int64_t iy0 = y * stride - pad;
+                    const int64_t ix0 = xo * stride - pad;
+                    for (int64_t ci = 0; ci < c; ++ci) {
+                        const float *xplane = xb + ci * h * wd;
+                        const float *wplane = wb + ci * kh * kw;
+                        for (int ky = 0; ky < kh; ++ky) {
+                            const int64_t iy = iy0 + ky;
+                            if (iy < 0 || iy >= h)
+                                continue;
+                            for (int kx = 0; kx < kw; ++kx) {
+                                const int64_t ix = ix0 + kx;
+                                if (ix < 0 || ix >= wd)
+                                    continue;
+                                acc += xplane[iy * wd + ix] *
+                                       wplane[ky * kw + kx];
+                            }
+                        }
+                    }
+                    oplane[y * ow + xo] = acc;
+                }
+            }
+        }
+    }
+
+    const uint64_t flops = 2ULL * static_cast<uint64_t>(n * oc * oh * ow) *
+                           static_cast<uint64_t>(c * kh * kw);
+    trace::emitKernel(trace::KernelClass::Conv, "conv2d", flops,
+                      x.bytes() + w.bytes() +
+                          (b.defined() ? b.bytes() : 0),
+                      out.bytes());
+    return out;
+}
+
+Tensor
+conv2dGradInput(const Tensor &grad_out, const Tensor &w,
+                const Shape &x_shape, int stride, int pad)
+{
+    const int64_t n = x_shape[0], c = x_shape[1], h = x_shape[2],
+                  wd = x_shape[3];
+    const int64_t oc = w.size(0);
+    const int kh = static_cast<int>(w.size(2));
+    const int kw = static_cast<int>(w.size(3));
+    const int64_t oh = grad_out.size(2), ow = grad_out.size(3);
+
+    Tensor gx = Tensor::zeros(x_shape);
+    const float *pg = grad_out.data();
+    const float *pw = w.data();
+    float *px = gx.data();
+
+    for (int64_t ni = 0; ni < n; ++ni) {
+        const float *gb = pg + ni * oc * oh * ow;
+        float *xb = px + ni * c * h * wd;
+        for (int64_t o = 0; o < oc; ++o) {
+            const float *gplane = gb + o * oh * ow;
+            const float *wb = pw + o * c * kh * kw;
+            for (int64_t y = 0; y < oh; ++y) {
+                for (int64_t xo = 0; xo < ow; ++xo) {
+                    const float g = gplane[y * ow + xo];
+                    if (g == 0.0f)
+                        continue;
+                    const int64_t iy0 = y * stride - pad;
+                    const int64_t ix0 = xo * stride - pad;
+                    for (int64_t ci = 0; ci < c; ++ci) {
+                        float *xplane = xb + ci * h * wd;
+                        const float *wplane = wb + ci * kh * kw;
+                        for (int ky = 0; ky < kh; ++ky) {
+                            const int64_t iy = iy0 + ky;
+                            if (iy < 0 || iy >= h)
+                                continue;
+                            for (int kx = 0; kx < kw; ++kx) {
+                                const int64_t ix = ix0 + kx;
+                                if (ix < 0 || ix >= wd)
+                                    continue;
+                                xplane[iy * wd + ix] +=
+                                    g * wplane[ky * kw + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    const uint64_t flops = 2ULL * static_cast<uint64_t>(n * oc * oh * ow) *
+                           static_cast<uint64_t>(c * kh * kw);
+    trace::emitKernel(trace::KernelClass::Conv, "conv2d_dgrad", flops,
+                      grad_out.bytes() + w.bytes(), gx.bytes());
+    return gx;
+}
+
+Tensor
+conv2dGradWeight(const Tensor &grad_out, const Tensor &x,
+                 const Shape &w_shape, int stride, int pad)
+{
+    const int64_t n = x.size(0), c = x.size(1), h = x.size(2),
+                  wd = x.size(3);
+    const int64_t oc = w_shape[0];
+    const int kh = static_cast<int>(w_shape[2]);
+    const int kw = static_cast<int>(w_shape[3]);
+    const int64_t oh = grad_out.size(2), ow = grad_out.size(3);
+
+    Tensor gw = Tensor::zeros(w_shape);
+    const float *pg = grad_out.data();
+    const float *px = x.data();
+    float *pw = gw.data();
+
+    for (int64_t ni = 0; ni < n; ++ni) {
+        const float *gb = pg + ni * oc * oh * ow;
+        const float *xb = px + ni * c * h * wd;
+        for (int64_t o = 0; o < oc; ++o) {
+            const float *gplane = gb + o * oh * ow;
+            float *wb = pw + o * c * kh * kw;
+            for (int64_t y = 0; y < oh; ++y) {
+                for (int64_t xo = 0; xo < ow; ++xo) {
+                    const float g = gplane[y * ow + xo];
+                    if (g == 0.0f)
+                        continue;
+                    const int64_t iy0 = y * stride - pad;
+                    const int64_t ix0 = xo * stride - pad;
+                    for (int64_t ci = 0; ci < c; ++ci) {
+                        const float *xplane = xb + ci * h * wd;
+                        float *wplane = wb + ci * kh * kw;
+                        for (int ky = 0; ky < kh; ++ky) {
+                            const int64_t iy = iy0 + ky;
+                            if (iy < 0 || iy >= h)
+                                continue;
+                            for (int kx = 0; kx < kw; ++kx) {
+                                const int64_t ix = ix0 + kx;
+                                if (ix < 0 || ix >= wd)
+                                    continue;
+                                wplane[ky * kw + kx] +=
+                                    g * xplane[iy * wd + ix];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    const uint64_t flops = 2ULL * static_cast<uint64_t>(n * oc * oh * ow) *
+                           static_cast<uint64_t>(c * kh * kw);
+    trace::emitKernel(trace::KernelClass::Conv, "conv2d_wgrad", flops,
+                      grad_out.bytes() + x.bytes(), gw.bytes());
+    return gw;
+}
+
+Tensor
+maxpool2d(const Tensor &x, int kernel, int stride, Tensor *indices)
+{
+    MM_ASSERT(x.ndim() == 4, "maxpool2d needs NCHW");
+    const int64_t n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
+    const int64_t oh = outExtent(h, kernel, stride, 0);
+    const int64_t ow = outExtent(w, kernel, stride, 0);
+
+    Tensor out(Shape{n, c, oh, ow});
+    if (indices)
+        *indices = Tensor(Shape{n, c, oh, ow});
+    const float *px = x.data();
+    float *po = out.data();
+    float *pi = indices ? indices->data() : nullptr;
+
+    for (int64_t p = 0; p < n * c; ++p) {
+        const float *plane = px + p * h * w;
+        float *oplane = po + p * oh * ow;
+        float *iplane = pi ? pi + p * oh * ow : nullptr;
+        for (int64_t y = 0; y < oh; ++y) {
+            for (int64_t xo = 0; xo < ow; ++xo) {
+                float best = -std::numeric_limits<float>::infinity();
+                int64_t best_idx = 0;
+                for (int ky = 0; ky < kernel; ++ky) {
+                    for (int kx = 0; kx < kernel; ++kx) {
+                        const int64_t iy = y * stride + ky;
+                        const int64_t ix = xo * stride + kx;
+                        if (iy >= h || ix >= w)
+                            continue;
+                        const int64_t flat = iy * w + ix;
+                        if (plane[flat] > best) {
+                            best = plane[flat];
+                            best_idx = flat;
+                        }
+                    }
+                }
+                oplane[y * ow + xo] = best;
+                if (iplane) {
+                    iplane[y * ow + xo] =
+                        static_cast<float>(p * h * w + best_idx);
+                }
+            }
+        }
+    }
+    trace::emitKernel(trace::KernelClass::Pooling, "maxpool2d",
+                      static_cast<uint64_t>(n * c * oh * ow) *
+                          static_cast<uint64_t>(kernel * kernel),
+                      x.bytes(), out.bytes());
+    return out;
+}
+
+Tensor
+maxpool2dBackward(const Tensor &grad_out, const Tensor &indices,
+                  const Shape &x_shape)
+{
+    Tensor gx = Tensor::zeros(x_shape);
+    const float *pg = grad_out.data();
+    const float *pi = indices.data();
+    float *px = gx.data();
+    const int64_t n = grad_out.numel();
+    for (int64_t i = 0; i < n; ++i)
+        px[static_cast<int64_t>(pi[i])] += pg[i];
+    trace::emitKernel(trace::KernelClass::Pooling, "maxpool2d_backward",
+                      static_cast<uint64_t>(n),
+                      grad_out.bytes() + indices.bytes(), gx.bytes());
+    return gx;
+}
+
+Tensor
+avgpool2d(const Tensor &x, int kernel, int stride)
+{
+    MM_ASSERT(x.ndim() == 4, "avgpool2d needs NCHW");
+    const int64_t n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
+    const int64_t oh = outExtent(h, kernel, stride, 0);
+    const int64_t ow = outExtent(w, kernel, stride, 0);
+    const float inv = 1.0f / static_cast<float>(kernel * kernel);
+
+    Tensor out(Shape{n, c, oh, ow});
+    const float *px = x.data();
+    float *po = out.data();
+    for (int64_t p = 0; p < n * c; ++p) {
+        const float *plane = px + p * h * w;
+        float *oplane = po + p * oh * ow;
+        for (int64_t y = 0; y < oh; ++y) {
+            for (int64_t xo = 0; xo < ow; ++xo) {
+                float acc = 0.0f;
+                for (int ky = 0; ky < kernel; ++ky) {
+                    for (int kx = 0; kx < kernel; ++kx) {
+                        const int64_t iy = y * stride + ky;
+                        const int64_t ix = xo * stride + kx;
+                        if (iy < h && ix < w)
+                            acc += plane[iy * w + ix];
+                    }
+                }
+                oplane[y * ow + xo] = acc * inv;
+            }
+        }
+    }
+    trace::emitKernel(trace::KernelClass::Pooling, "avgpool2d",
+                      static_cast<uint64_t>(n * c * oh * ow) *
+                          static_cast<uint64_t>(kernel * kernel),
+                      x.bytes(), out.bytes());
+    return out;
+}
+
+Tensor
+avgpool2dBackward(const Tensor &grad_out, const Shape &x_shape, int kernel,
+                  int stride)
+{
+    const int64_t h = x_shape[2], w = x_shape[3];
+    const int64_t oh = grad_out.size(2), ow = grad_out.size(3);
+    const int64_t planes = x_shape[0] * x_shape[1];
+    const float inv = 1.0f / static_cast<float>(kernel * kernel);
+
+    Tensor gx = Tensor::zeros(x_shape);
+    const float *pg = grad_out.data();
+    float *px = gx.data();
+    for (int64_t p = 0; p < planes; ++p) {
+        const float *gplane = pg + p * oh * ow;
+        float *xplane = px + p * h * w;
+        for (int64_t y = 0; y < oh; ++y) {
+            for (int64_t xo = 0; xo < ow; ++xo) {
+                const float g = gplane[y * ow + xo] * inv;
+                for (int ky = 0; ky < kernel; ++ky) {
+                    for (int kx = 0; kx < kernel; ++kx) {
+                        const int64_t iy = y * stride + ky;
+                        const int64_t ix = xo * stride + kx;
+                        if (iy < h && ix < w)
+                            xplane[iy * w + ix] += g;
+                    }
+                }
+            }
+        }
+    }
+    trace::emitKernel(trace::KernelClass::Pooling, "avgpool2d_backward",
+                      static_cast<uint64_t>(grad_out.numel()) *
+                          static_cast<uint64_t>(kernel * kernel),
+                      grad_out.bytes(), gx.bytes());
+    return gx;
+}
+
+Tensor
+globalAvgPool(const Tensor &x)
+{
+    MM_ASSERT(x.ndim() == 4, "globalAvgPool needs NCHW");
+    const int64_t n = x.size(0), c = x.size(1);
+    const int64_t spatial = x.size(2) * x.size(3);
+    Tensor out(Shape{n, c});
+    const float *px = x.data();
+    float *po = out.data();
+    for (int64_t p = 0; p < n * c; ++p) {
+        double acc = 0.0;
+        const float *plane = px + p * spatial;
+        for (int64_t i = 0; i < spatial; ++i)
+            acc += plane[i];
+        po[p] = static_cast<float>(acc / static_cast<double>(spatial));
+    }
+    trace::emitKernel(trace::KernelClass::Pooling, "global_avgpool",
+                      static_cast<uint64_t>(x.numel()), x.bytes(),
+                      out.bytes());
+    return out;
+}
+
+Tensor
+upsampleNearest2x(const Tensor &x)
+{
+    MM_ASSERT(x.ndim() == 4, "upsampleNearest2x needs NCHW");
+    const int64_t n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
+    Tensor out(Shape{n, c, h * 2, w * 2});
+    const float *px = x.data();
+    float *po = out.data();
+    const int64_t ow = w * 2;
+    for (int64_t p = 0; p < n * c; ++p) {
+        const float *plane = px + p * h * w;
+        float *oplane = po + p * h * 2 * ow;
+        for (int64_t y = 0; y < h; ++y) {
+            for (int64_t xo = 0; xo < w; ++xo) {
+                const float v = plane[y * w + xo];
+                float *dst = oplane + (y * 2) * ow + xo * 2;
+                dst[0] = v;
+                dst[1] = v;
+                dst[ow] = v;
+                dst[ow + 1] = v;
+            }
+        }
+    }
+    trace::emitKernel(trace::KernelClass::Pooling, "upsample_nearest2x", 0,
+                      x.bytes(), out.bytes());
+    return out;
+}
+
+Tensor
+upsampleNearest2xBackward(const Tensor &grad_out)
+{
+    MM_ASSERT(grad_out.ndim() == 4 && grad_out.size(2) % 2 == 0 &&
+                  grad_out.size(3) % 2 == 0,
+              "upsampleNearest2xBackward needs even NCHW spatial dims");
+    const int64_t n = grad_out.size(0), c = grad_out.size(1);
+    const int64_t h = grad_out.size(2) / 2, w = grad_out.size(3) / 2;
+    Tensor gx(Shape{n, c, h, w});
+    const float *pg = grad_out.data();
+    float *px = gx.data();
+    const int64_t ow = w * 2;
+    for (int64_t p = 0; p < n * c; ++p) {
+        const float *gplane = pg + p * h * 2 * ow;
+        float *xplane = px + p * h * w;
+        for (int64_t y = 0; y < h; ++y) {
+            for (int64_t xo = 0; xo < w; ++xo) {
+                const float *src = gplane + (y * 2) * ow + xo * 2;
+                xplane[y * w + xo] =
+                    src[0] + src[1] + src[ow] + src[ow + 1];
+            }
+        }
+    }
+    trace::emitKernel(trace::KernelClass::Pooling,
+                      "upsample_nearest2x_backward",
+                      static_cast<uint64_t>(grad_out.numel()),
+                      grad_out.bytes(), gx.bytes());
+    return gx;
+}
+
+} // namespace tensor
+} // namespace mmbench

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * GEMM-class operators: matrix multiplication and outer products.
+ */
+
+#include "tensor/ops.hh"
+
+#include "core/logging.hh"
+#include "trace/sink.hh"
+
+namespace mmbench {
+namespace tensor {
+
+namespace {
+
+/**
+ * C[M,N] += A[M,K] * B[K,N] over raw pointers. i-k-j loop order keeps
+ * B and C accesses sequential for cache friendliness.
+ */
+void
+gemmAccumulate(const float *a, const float *b, float *c,
+               int64_t m, int64_t k, int64_t n)
+{
+    for (int64_t i = 0; i < m; ++i) {
+        const float *arow = a + i * k;
+        float *crow = c + i * n;
+        for (int64_t kk = 0; kk < k; ++kk) {
+            const float aik = arow[kk];
+            if (aik == 0.0f)
+                continue;
+            const float *brow = b + kk * n;
+            for (int64_t j = 0; j < n; ++j)
+                crow[j] += aik * brow[j];
+        }
+    }
+}
+
+} // namespace
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    MM_ASSERT(a.ndim() >= 2 && b.ndim() >= 2,
+              "matmul needs rank >= 2, got %s x %s",
+              a.shape().toString().c_str(), b.shape().toString().c_str());
+
+    const int64_t m = a.size(-2);
+    const int64_t k = a.size(-1);
+    const int64_t kb = b.size(-2);
+    const int64_t n = b.size(-1);
+    MM_ASSERT(k == kb, "matmul inner dims differ: %s x %s",
+              a.shape().toString().c_str(), b.shape().toString().c_str());
+
+    // Fold leading dimensions into a batch count.
+    int64_t batch_a = a.numel() / (m * k);
+    int64_t batch_b = b.numel() / (kb * n);
+    MM_ASSERT(batch_a == batch_b || batch_b == 1 || batch_a == 1,
+              "matmul batch dims incompatible: %s x %s",
+              a.shape().toString().c_str(), b.shape().toString().c_str());
+    const int64_t batch = std::max(batch_a, batch_b);
+
+    // Output shape: batch dims come from the higher-rank operand.
+    std::vector<int64_t> out_dims;
+    const Shape &lead = (batch_a >= batch_b) ? a.shape() : b.shape();
+    for (size_t i = 0; i + 2 < lead.ndim(); ++i)
+        out_dims.push_back(lead[i]);
+    out_dims.push_back(m);
+    out_dims.push_back(n);
+    Tensor out = Tensor::zeros(Shape(std::move(out_dims)));
+
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = out.data();
+    for (int64_t bi = 0; bi < batch; ++bi) {
+        const float *abase = pa + (batch_a == 1 ? 0 : bi) * m * k;
+        const float *bbase = pb + (batch_b == 1 ? 0 : bi) * k * n;
+        gemmAccumulate(abase, bbase, pc + bi * m * n, m, k, n);
+    }
+
+    const uint64_t flops =
+        2ULL * static_cast<uint64_t>(batch) * static_cast<uint64_t>(m) *
+        static_cast<uint64_t>(k) * static_cast<uint64_t>(n);
+    trace::emitKernel(trace::KernelClass::Gemm, "gemm", flops,
+                      a.bytes() + b.bytes(), out.bytes());
+    return out;
+}
+
+Tensor
+outerBatch(const Tensor &a, const Tensor &b)
+{
+    MM_ASSERT(a.ndim() == 2 && b.ndim() == 2 && a.size(0) == b.size(0),
+              "outerBatch needs (B,m) x (B,n), got %s x %s",
+              a.shape().toString().c_str(), b.shape().toString().c_str());
+    const int64_t batch = a.size(0);
+    const int64_t m = a.size(1);
+    const int64_t n = b.size(1);
+    Tensor out(Shape{batch, m, n});
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = out.data();
+    for (int64_t bi = 0; bi < batch; ++bi) {
+        const float *av = pa + bi * m;
+        const float *bv = pb + bi * n;
+        float *cv = pc + bi * m * n;
+        for (int64_t i = 0; i < m; ++i) {
+            for (int64_t j = 0; j < n; ++j)
+                cv[i * n + j] = av[i] * bv[j];
+        }
+    }
+    trace::emitKernel(trace::KernelClass::Gemm, "outer",
+                      static_cast<uint64_t>(batch * m * n),
+                      a.bytes() + b.bytes(), out.bytes());
+    return out;
+}
+
+} // namespace tensor
+} // namespace mmbench

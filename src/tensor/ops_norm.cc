@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Normalization operators: batch normalization, layer normalization.
+ */
+
+#include "tensor/ops.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+#include "trace/sink.hh"
+
+namespace mmbench {
+namespace tensor {
+
+Tensor
+batchnorm2d(const Tensor &x, const Tensor &gamma, const Tensor &beta,
+            Tensor &running_mean, Tensor &running_var, bool training,
+            float momentum, float eps, Tensor *saved_mean,
+            Tensor *saved_invstd)
+{
+    MM_ASSERT(x.ndim() == 4, "batchnorm2d needs NCHW, got %s",
+              x.shape().toString().c_str());
+    const int64_t n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
+    MM_ASSERT(gamma.numel() == c && beta.numel() == c &&
+                  running_mean.numel() == c && running_var.numel() == c,
+              "batchnorm2d parameter size mismatch (C=%lld)",
+              static_cast<long long>(c));
+
+    Tensor mean(Shape{c});
+    Tensor invstd(Shape{c});
+    const int64_t per_channel = n * h * w;
+    const float *px = x.data();
+
+    if (training) {
+        MM_ASSERT(per_channel > 0, "batchnorm2d on empty batch");
+        for (int64_t ci = 0; ci < c; ++ci) {
+            double acc = 0.0;
+            for (int64_t ni = 0; ni < n; ++ni) {
+                const float *plane = px + (ni * c + ci) * h * w;
+                for (int64_t i = 0; i < h * w; ++i)
+                    acc += plane[i];
+            }
+            const double mu = acc / static_cast<double>(per_channel);
+            double var_acc = 0.0;
+            for (int64_t ni = 0; ni < n; ++ni) {
+                const float *plane = px + (ni * c + ci) * h * w;
+                for (int64_t i = 0; i < h * w; ++i) {
+                    const double d = plane[i] - mu;
+                    var_acc += d * d;
+                }
+            }
+            const double var = var_acc / static_cast<double>(per_channel);
+            mean.at(ci) = static_cast<float>(mu);
+            invstd.at(ci) =
+                static_cast<float>(1.0 / std::sqrt(var + eps));
+            running_mean.at(ci) =
+                (1.0f - momentum) * running_mean.at(ci) +
+                momentum * static_cast<float>(mu);
+            running_var.at(ci) =
+                (1.0f - momentum) * running_var.at(ci) +
+                momentum * static_cast<float>(var);
+        }
+    } else {
+        for (int64_t ci = 0; ci < c; ++ci) {
+            mean.at(ci) = running_mean.at(ci);
+            invstd.at(ci) = 1.0f /
+                std::sqrt(running_var.at(ci) + eps);
+        }
+    }
+
+    Tensor out(x.shape());
+    const float *pg = gamma.data();
+    const float *pbeta = beta.data();
+    float *po = out.data();
+    for (int64_t ni = 0; ni < n; ++ni) {
+        for (int64_t ci = 0; ci < c; ++ci) {
+            const float mu = mean.at(ci);
+            const float is = invstd.at(ci);
+            const float g = pg[ci];
+            const float bt = pbeta[ci];
+            const float *plane = px + (ni * c + ci) * h * w;
+            float *oplane = po + (ni * c + ci) * h * w;
+            for (int64_t i = 0; i < h * w; ++i)
+                oplane[i] = (plane[i] - mu) * is * g + bt;
+        }
+    }
+
+    if (saved_mean)
+        *saved_mean = mean;
+    if (saved_invstd)
+        *saved_invstd = invstd;
+
+    trace::emitKernel(trace::KernelClass::BNorm, "batchnorm2d",
+                      static_cast<uint64_t>(x.numel()) * 4,
+                      x.bytes() + gamma.bytes() + beta.bytes(),
+                      out.bytes());
+    return out;
+}
+
+Tensor
+layernorm(const Tensor &x, const Tensor &gamma, const Tensor &beta,
+          float eps, Tensor *saved_mean, Tensor *saved_invstd)
+{
+    MM_ASSERT(x.ndim() >= 1, "layernorm needs rank >= 1");
+    const int64_t dim = x.size(-1);
+    MM_ASSERT(gamma.numel() == dim && beta.numel() == dim,
+              "layernorm parameter size mismatch (D=%lld)",
+              static_cast<long long>(dim));
+    const int64_t rows = x.numel() / dim;
+
+    Tensor out(x.shape());
+    Tensor mean(Shape{rows});
+    Tensor invstd(Shape{rows});
+    const float *px = x.data();
+    const float *pg = gamma.data();
+    const float *pb = beta.data();
+    float *po = out.data();
+
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *row = px + r * dim;
+        float *orow = po + r * dim;
+        double acc = 0.0;
+        for (int64_t i = 0; i < dim; ++i)
+            acc += row[i];
+        const double mu = acc / static_cast<double>(dim);
+        double var_acc = 0.0;
+        for (int64_t i = 0; i < dim; ++i) {
+            const double d = row[i] - mu;
+            var_acc += d * d;
+        }
+        const double var = var_acc / static_cast<double>(dim);
+        const float is = static_cast<float>(1.0 / std::sqrt(var + eps));
+        mean.at(r) = static_cast<float>(mu);
+        invstd.at(r) = is;
+        for (int64_t i = 0; i < dim; ++i) {
+            orow[i] = (row[i] - static_cast<float>(mu)) * is * pg[i] +
+                      pb[i];
+        }
+    }
+
+    if (saved_mean)
+        *saved_mean = mean;
+    if (saved_invstd)
+        *saved_invstd = invstd;
+
+    trace::emitKernel(trace::KernelClass::BNorm, "layernorm",
+                      static_cast<uint64_t>(x.numel()) * 4,
+                      x.bytes() + gamma.bytes() + beta.bytes(),
+                      out.bytes());
+    return out;
+}
+
+Tensor
+batchnorm2dBackward(const Tensor &grad_out, const Tensor &x,
+                    const Tensor &gamma, const Tensor &saved_mean,
+                    const Tensor &saved_invstd, Tensor &grad_gamma,
+                    Tensor &grad_beta)
+{
+    const int64_t n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
+    const int64_t m = n * h * w;
+    MM_ASSERT(m > 0, "batchnorm2dBackward on empty batch");
+
+    Tensor gx(x.shape());
+    const float *pg = grad_out.data();
+    const float *px = x.data();
+    const float *pgam = gamma.data();
+    float *pgx = gx.data();
+
+    for (int64_t ci = 0; ci < c; ++ci) {
+        const float mu = saved_mean.at(ci);
+        const float is = saved_invstd.at(ci);
+        // First pass: per-channel reductions sum(g) and sum(g * x_hat).
+        double sum_g = 0.0, sum_gx = 0.0;
+        for (int64_t ni = 0; ni < n; ++ni) {
+            const int64_t base = (ni * c + ci) * h * w;
+            for (int64_t i = 0; i < h * w; ++i) {
+                const float g = pg[base + i];
+                const float x_hat = (px[base + i] - mu) * is;
+                sum_g += g;
+                sum_gx += g * x_hat;
+            }
+        }
+        grad_beta.at(ci) += static_cast<float>(sum_g);
+        grad_gamma.at(ci) += static_cast<float>(sum_gx);
+        // Second pass: input gradient.
+        const float k = pgam[ci] * is / static_cast<float>(m);
+        const float mean_g = static_cast<float>(sum_g) /
+                             static_cast<float>(m);
+        const float mean_gx = static_cast<float>(sum_gx) /
+                              static_cast<float>(m);
+        for (int64_t ni = 0; ni < n; ++ni) {
+            const int64_t base = (ni * c + ci) * h * w;
+            for (int64_t i = 0; i < h * w; ++i) {
+                const float g = pg[base + i];
+                const float x_hat = (px[base + i] - mu) * is;
+                pgx[base + i] = k * (static_cast<float>(m) * g -
+                                     static_cast<float>(m) * mean_g -
+                                     x_hat * static_cast<float>(m) *
+                                         mean_gx);
+            }
+        }
+    }
+
+    trace::emitKernel(trace::KernelClass::BNorm, "batchnorm2d_backward",
+                      static_cast<uint64_t>(x.numel()) * 8,
+                      grad_out.bytes() + x.bytes(), gx.bytes());
+    return gx;
+}
+
+Tensor
+layernormBackward(const Tensor &grad_out, const Tensor &x,
+                  const Tensor &gamma, const Tensor &saved_mean,
+                  const Tensor &saved_invstd, Tensor &grad_gamma,
+                  Tensor &grad_beta)
+{
+    const int64_t dim = x.size(-1);
+    const int64_t rows = x.numel() / dim;
+
+    Tensor gx(x.shape());
+    const float *pg = grad_out.data();
+    const float *px = x.data();
+    const float *pgam = gamma.data();
+    float *pgx = gx.data();
+    float *pgg = grad_gamma.data();
+    float *pgb = grad_beta.data();
+
+    for (int64_t r = 0; r < rows; ++r) {
+        const float mu = saved_mean.at(r);
+        const float is = saved_invstd.at(r);
+        const float *grow = pg + r * dim;
+        const float *xrow = px + r * dim;
+        float *orow = pgx + r * dim;
+        double sum_a = 0.0, sum_b = 0.0;
+        for (int64_t i = 0; i < dim; ++i) {
+            const float x_hat = (xrow[i] - mu) * is;
+            const float a = grow[i] * pgam[i];
+            sum_a += a;
+            sum_b += a * x_hat;
+            pgg[i] += grow[i] * x_hat;
+            pgb[i] += grow[i];
+        }
+        const float mean_a = static_cast<float>(sum_a) /
+                             static_cast<float>(dim);
+        const float mean_b = static_cast<float>(sum_b) /
+                             static_cast<float>(dim);
+        for (int64_t i = 0; i < dim; ++i) {
+            const float x_hat = (xrow[i] - mu) * is;
+            const float a = grow[i] * pgam[i];
+            orow[i] = is * (a - mean_a - x_hat * mean_b);
+        }
+    }
+
+    trace::emitKernel(trace::KernelClass::BNorm, "layernorm_backward",
+                      static_cast<uint64_t>(x.numel()) * 8,
+                      grad_out.bytes() + x.bytes(), gx.bytes());
+    return gx;
+}
+
+} // namespace tensor
+} // namespace mmbench

@@ -1,0 +1,97 @@
+#include "tensor/shape.hh"
+
+#include "core/logging.hh"
+#include "core/string_utils.hh"
+
+namespace mmbench {
+namespace tensor {
+
+Shape::Shape(std::initializer_list<int64_t> dims) : dims_(dims)
+{
+    for (int64_t d : dims_)
+        MM_ASSERT(d >= 0, "negative dimension extent %lld",
+                  static_cast<long long>(d));
+}
+
+Shape::Shape(std::vector<int64_t> dims) : dims_(std::move(dims))
+{
+    for (int64_t d : dims_)
+        MM_ASSERT(d >= 0, "negative dimension extent %lld",
+                  static_cast<long long>(d));
+}
+
+int64_t
+Shape::numel() const
+{
+    int64_t n = 1;
+    for (int64_t d : dims_)
+        n *= d;
+    return n;
+}
+
+int64_t
+Shape::dim(int i) const
+{
+    int n = static_cast<int>(dims_.size());
+    if (i < 0)
+        i += n;
+    MM_ASSERT(i >= 0 && i < n, "dimension index %d out of range for %s",
+              i, toString().c_str());
+    return dims_[static_cast<size_t>(i)];
+}
+
+int64_t
+Shape::operator[](size_t i) const
+{
+    MM_ASSERT(i < dims_.size(), "dimension index %zu out of range for %s",
+              i, toString().c_str());
+    return dims_[i];
+}
+
+std::vector<int64_t>
+Shape::strides() const
+{
+    std::vector<int64_t> s(dims_.size());
+    int64_t acc = 1;
+    for (size_t i = dims_.size(); i-- > 0;) {
+        s[i] = acc;
+        acc *= dims_[i];
+    }
+    return s;
+}
+
+std::string
+Shape::toString() const
+{
+    std::vector<std::string> parts;
+    parts.reserve(dims_.size());
+    for (int64_t d : dims_)
+        parts.push_back(strfmt("%lld", static_cast<long long>(d)));
+    return "[" + join(parts, ", ") + "]";
+}
+
+Shape
+broadcastShapes(const Shape &a, const Shape &b)
+{
+    size_t na = a.ndim(), nb = b.ndim();
+    size_t n = std::max(na, nb);
+    std::vector<int64_t> out(n);
+    for (size_t i = 0; i < n; ++i) {
+        int64_t da = i < na ? a[na - 1 - i] : 1;
+        int64_t db = i < nb ? b[nb - 1 - i] : 1;
+        if (da == db) {
+            out[n - 1 - i] = da;
+        } else if (da == 1) {
+            out[n - 1 - i] = db;
+        } else if (db == 1) {
+            out[n - 1 - i] = da;
+        } else {
+            MM_FATAL("cannot broadcast shapes %s and %s",
+                     a.toString().c_str(), b.toString().c_str());
+        }
+    }
+    return Shape(std::move(out));
+}
+
+} // namespace tensor
+} // namespace mmbench

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Tensor shape: an ordered list of dimension extents.
+ */
+
+#ifndef MMBENCH_TENSOR_SHAPE_HH
+#define MMBENCH_TENSOR_SHAPE_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace mmbench {
+namespace tensor {
+
+/**
+ * The extent of each tensor dimension, row-major (last dimension is
+ * contiguous). A default-constructed Shape is rank-0 with one element
+ * (a scalar).
+ */
+class Shape
+{
+  public:
+    Shape() = default;
+    Shape(std::initializer_list<int64_t> dims);
+    explicit Shape(std::vector<int64_t> dims);
+
+    /** Number of dimensions. */
+    size_t ndim() const { return dims_.size(); }
+
+    /** Total number of elements (1 for a scalar). */
+    int64_t numel() const;
+
+    /**
+     * Extent of dimension i; negative i counts from the end
+     * (dim(-1) is the innermost dimension).
+     */
+    int64_t dim(int i) const;
+
+    /** Extent of dimension i (non-negative index). */
+    int64_t operator[](size_t i) const;
+
+    /** The underlying extents. */
+    const std::vector<int64_t> &dims() const { return dims_; }
+
+    /** Row-major strides, in elements. */
+    std::vector<int64_t> strides() const;
+
+    bool operator==(const Shape &other) const { return dims_ == other.dims_; }
+    bool operator!=(const Shape &other) const { return !(*this == other); }
+
+    /** Render as "[2, 3, 4]". */
+    std::string toString() const;
+
+  private:
+    std::vector<int64_t> dims_;
+};
+
+/**
+ * NumPy-style broadcast of two shapes; fatal if incompatible.
+ * Dimensions are aligned at the innermost end; extents must match or
+ * one of them must be 1.
+ */
+Shape broadcastShapes(const Shape &a, const Shape &b);
+
+} // namespace tensor
+} // namespace mmbench
+
+#endif // MMBENCH_TENSOR_SHAPE_HH

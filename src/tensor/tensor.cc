@@ -1,0 +1,221 @@
+#include "tensor/tensor.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+#include "trace/sink.hh"
+
+namespace mmbench {
+namespace tensor {
+
+Storage::Storage(int64_t numel)
+    : data_(static_cast<size_t>(numel))
+{
+    trace::emitAlloc(numel * static_cast<int64_t>(sizeof(float)));
+}
+
+Storage::~Storage()
+{
+    trace::emitAlloc(-numel() * static_cast<int64_t>(sizeof(float)));
+}
+
+Tensor::Tensor(const Shape &shape)
+    : storage_(std::make_shared<Storage>(shape.numel())), shape_(shape)
+{
+}
+
+Tensor
+Tensor::zeros(const Shape &shape)
+{
+    Tensor t(shape);
+    t.fill(0.0f);
+    return t;
+}
+
+Tensor
+Tensor::ones(const Shape &shape)
+{
+    Tensor t(shape);
+    t.fill(1.0f);
+    return t;
+}
+
+Tensor
+Tensor::full(const Shape &shape, float value)
+{
+    Tensor t(shape);
+    t.fill(value);
+    return t;
+}
+
+Tensor
+Tensor::randn(const Shape &shape, Rng &rng, float stddev)
+{
+    Tensor t(shape);
+    float *p = t.data();
+    int64_t n = t.numel();
+    for (int64_t i = 0; i < n; ++i)
+        p[i] = static_cast<float>(rng.gaussian(0.0, stddev));
+    return t;
+}
+
+Tensor
+Tensor::randu(const Shape &shape, Rng &rng, float lo, float hi)
+{
+    Tensor t(shape);
+    float *p = t.data();
+    int64_t n = t.numel();
+    for (int64_t i = 0; i < n; ++i)
+        p[i] = rng.uniformF(lo, hi);
+    return t;
+}
+
+Tensor
+Tensor::arange(int64_t n)
+{
+    Tensor t(Shape{n});
+    float *p = t.data();
+    for (int64_t i = 0; i < n; ++i)
+        p[i] = static_cast<float>(i);
+    return t;
+}
+
+Tensor
+Tensor::fromVector(const Shape &shape, const std::vector<float> &values)
+{
+    MM_ASSERT(shape.numel() == static_cast<int64_t>(values.size()),
+              "shape %s needs %lld values, got %zu",
+              shape.toString().c_str(),
+              static_cast<long long>(shape.numel()), values.size());
+    Tensor t(shape);
+    std::copy(values.begin(), values.end(), t.data());
+    return t;
+}
+
+Tensor
+Tensor::scalar(float value)
+{
+    Tensor t((Shape()));
+    t.data()[0] = value;
+    return t;
+}
+
+float *
+Tensor::data()
+{
+    MM_ASSERT(defined(), "access to undefined tensor");
+    return storage_->data();
+}
+
+const float *
+Tensor::data() const
+{
+    MM_ASSERT(defined(), "access to undefined tensor");
+    return storage_->data();
+}
+
+float &
+Tensor::at(int64_t i)
+{
+    MM_ASSERT(i >= 0 && i < numel(), "index %lld out of range [0, %lld)",
+              static_cast<long long>(i), static_cast<long long>(numel()));
+    return data()[i];
+}
+
+float
+Tensor::at(int64_t i) const
+{
+    MM_ASSERT(i >= 0 && i < numel(), "index %lld out of range [0, %lld)",
+              static_cast<long long>(i), static_cast<long long>(numel()));
+    return data()[i];
+}
+
+float &
+Tensor::at(int64_t i, int64_t j)
+{
+    MM_ASSERT(ndim() == 2, "2-d access on %zu-d tensor", ndim());
+    int64_t cols = shape_[1];
+    return at(i * cols + j);
+}
+
+float
+Tensor::at(int64_t i, int64_t j) const
+{
+    MM_ASSERT(ndim() == 2, "2-d access on %zu-d tensor", ndim());
+    int64_t cols = shape_[1];
+    return at(i * cols + j);
+}
+
+float
+Tensor::item() const
+{
+    MM_ASSERT(numel() == 1, "item() on tensor with %lld elements",
+              static_cast<long long>(numel()));
+    return data()[0];
+}
+
+Tensor
+Tensor::reshape(const Shape &new_shape) const
+{
+    MM_ASSERT(new_shape.numel() == numel(),
+              "reshape %s -> %s changes element count",
+              shape_.toString().c_str(), new_shape.toString().c_str());
+    Tensor view;
+    view.storage_ = storage_;
+    view.shape_ = new_shape;
+    return view;
+}
+
+Tensor
+Tensor::flatten() const
+{
+    return reshape(Shape{numel()});
+}
+
+Tensor
+Tensor::clone() const
+{
+    Tensor out(shape_);
+    std::copy(data(), data() + numel(), out.data());
+    return out;
+}
+
+void
+Tensor::fill(float value)
+{
+    float *p = data();
+    int64_t n = numel();
+    for (int64_t i = 0; i < n; ++i)
+        p[i] = value;
+}
+
+void
+Tensor::copyFrom(const Tensor &src)
+{
+    MM_ASSERT(src.numel() == numel(),
+              "copyFrom size mismatch: %lld vs %lld",
+              static_cast<long long>(src.numel()),
+              static_cast<long long>(numel()));
+    std::copy(src.data(), src.data() + numel(), data());
+}
+
+std::vector<float>
+Tensor::toVector() const
+{
+    return std::vector<float>(data(), data() + numel());
+}
+
+bool
+Tensor::allFinite() const
+{
+    const float *p = data();
+    int64_t n = numel();
+    for (int64_t i = 0; i < n; ++i) {
+        if (!std::isfinite(p[i]))
+            return false;
+    }
+    return true;
+}
+
+} // namespace tensor
+} // namespace mmbench

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tensor: a contiguous, row-major float32 n-d array with shared
+ * storage. The functional backbone of the whole mmbench stack.
+ *
+ * Storage allocations and releases are reported to the trace layer so
+ * the simulator's memory model can reconstruct the device-memory
+ * watermark (model / dataset / intermediate buckets, Fig. 13).
+ */
+
+#ifndef MMBENCH_TENSOR_TENSOR_HH
+#define MMBENCH_TENSOR_TENSOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/rng.hh"
+#include "tensor/shape.hh"
+
+namespace mmbench {
+namespace tensor {
+
+/**
+ * Reference-counted flat float buffer. Reports its lifetime to the
+ * trace layer (alloc on construction, free on destruction).
+ */
+class Storage
+{
+  public:
+    explicit Storage(int64_t numel);
+    ~Storage();
+
+    Storage(const Storage &) = delete;
+    Storage &operator=(const Storage &) = delete;
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+    int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+
+  private:
+    std::vector<float> data_;
+};
+
+/**
+ * A dense float32 tensor. Copying a Tensor is cheap (shares storage);
+ * use clone() for a deep copy. reshape() returns a view over the same
+ * storage. A default-constructed Tensor is undefined; check defined().
+ */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Allocate an uninitialized tensor of the given shape. */
+    explicit Tensor(const Shape &shape);
+
+    /** @name Factory functions @{ */
+    static Tensor zeros(const Shape &shape);
+    static Tensor ones(const Shape &shape);
+    static Tensor full(const Shape &shape, float value);
+    /** Standard-normal entries scaled by stddev. */
+    static Tensor randn(const Shape &shape, Rng &rng, float stddev = 1.0f);
+    /** Uniform entries in [lo, hi). */
+    static Tensor randu(const Shape &shape, Rng &rng, float lo = 0.0f,
+                        float hi = 1.0f);
+    /** 1-D tensor [0, 1, ..., n-1]. */
+    static Tensor arange(int64_t n);
+    /** Copy values into a tensor of the given shape. */
+    static Tensor fromVector(const Shape &shape,
+                             const std::vector<float> &values);
+    /** Rank-0 scalar tensor. */
+    static Tensor scalar(float value);
+    /** @} */
+
+    bool defined() const { return storage_ != nullptr; }
+
+    const Shape &shape() const { return shape_; }
+    size_t ndim() const { return shape_.ndim(); }
+    int64_t numel() const { return shape_.numel(); }
+
+    /** Extent of dimension i (negative counts from the end). */
+    int64_t size(int i) const { return shape_.dim(i); }
+
+    /** Bytes of device memory this tensor would occupy (fp32). */
+    uint64_t bytes() const
+    {
+        return static_cast<uint64_t>(numel()) * sizeof(float);
+    }
+
+    float *data();
+    const float *data() const;
+
+    /** Linear element access (debug/test convenience). */
+    float &at(int64_t i);
+    float at(int64_t i) const;
+
+    /** 2-D element access (debug/test convenience). */
+    float &at(int64_t i, int64_t j);
+    float at(int64_t i, int64_t j) const;
+
+    /** Value of a single-element tensor. */
+    float item() const;
+
+    /** View with a new shape over the same storage (numel preserved). */
+    Tensor reshape(const Shape &new_shape) const;
+
+    /** View flattened to 1-D. */
+    Tensor flatten() const;
+
+    /** Deep copy. */
+    Tensor clone() const;
+
+    /** Overwrite all elements with the given value. */
+    void fill(float value);
+
+    /** Copy values from a same-numel tensor into this storage. */
+    void copyFrom(const Tensor &src);
+
+    /** Contents as a vector (test convenience). */
+    std::vector<float> toVector() const;
+
+    /** True if all elements are finite (no NaN/Inf). */
+    bool allFinite() const;
+
+  private:
+    std::shared_ptr<Storage> storage_;
+    Shape shape_;
+};
+
+} // namespace tensor
+} // namespace mmbench
+
+#endif // MMBENCH_TENSOR_TENSOR_HH

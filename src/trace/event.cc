@@ -1,0 +1,62 @@
+#include "trace/event.hh"
+
+#include "core/logging.hh"
+
+namespace mmbench {
+namespace trace {
+
+const char *
+kernelClassName(KernelClass kc)
+{
+    switch (kc) {
+      case KernelClass::Conv:    return "Conv";
+      case KernelClass::BNorm:   return "BNorm";
+      case KernelClass::Elewise: return "Elewise";
+      case KernelClass::Pooling: return "Pooling";
+      case KernelClass::Relu:    return "Relu";
+      case KernelClass::Gemm:    return "Gemm";
+      case KernelClass::Reduce:  return "Reduce";
+      case KernelClass::Other:   return "Other";
+      default: MM_PANIC("invalid kernel class %d", static_cast<int>(kc));
+    }
+}
+
+const char *
+stageName(Stage s)
+{
+    switch (s) {
+      case Stage::Preprocess: return "preprocess";
+      case Stage::Encoder:    return "encoder";
+      case Stage::Fusion:     return "fusion";
+      case Stage::Head:       return "head";
+      case Stage::Loss:       return "loss";
+      case Stage::Unknown:    return "unknown";
+      default: MM_PANIC("invalid stage %d", static_cast<int>(s));
+    }
+}
+
+const char *
+runtimeKindName(RuntimeEvent::Kind k)
+{
+    switch (k) {
+      case RuntimeEvent::Kind::DataPrep: return "data_prep";
+      case RuntimeEvent::Kind::H2DCopy:  return "h2d_copy";
+      case RuntimeEvent::Kind::D2HCopy:  return "d2h_copy";
+      case RuntimeEvent::Kind::Sync:     return "sync";
+      default: MM_PANIC("invalid runtime kind %d", static_cast<int>(k));
+    }
+}
+
+const char *
+memCategoryName(MemCategory c)
+{
+    switch (c) {
+      case MemCategory::Model:        return "model";
+      case MemCategory::Dataset:      return "dataset";
+      case MemCategory::Intermediate: return "intermediate";
+      default: MM_PANIC("invalid mem category %d", static_cast<int>(c));
+    }
+}
+
+} // namespace trace
+} // namespace mmbench

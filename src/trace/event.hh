@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Event vocabulary for mmbench's characterization layer.
+ *
+ * The functional computation runs on the host CPU, but every tensor
+ * operator describes the GPU kernel(s) a CUDA backend would launch for
+ * it as a KernelEvent, and every host-side runtime action (data
+ * preparation, host/device copies, synchronization) as a RuntimeEvent.
+ * The sim layer replays these event streams against a device model.
+ *
+ * KernelClass follows the eight-way taxonomy of Figure 8 in the
+ * MMBench paper (IISWC'23): Conv, BNorm, Elewise, Pooling, Relu, Gemm,
+ * Reduce, Other.
+ */
+
+#ifndef MMBENCH_TRACE_EVENT_HH
+#define MMBENCH_TRACE_EVENT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mmbench {
+namespace trace {
+
+/** GPU kernel taxonomy used for operator-mix breakdowns (Fig. 8). */
+enum class KernelClass : uint8_t {
+    Conv,
+    BNorm,
+    Elewise,
+    Pooling,
+    Relu,
+    Gemm,
+    Reduce,
+    Other,
+    NumClasses,
+};
+
+/** Short display name for a kernel class ("Conv", "Gemm", ...). */
+const char *kernelClassName(KernelClass kc);
+
+/** Execution stage of a multi-modal DNN (paper Section 2.1). */
+enum class Stage : uint8_t {
+    Preprocess, ///< raw-input preparation before any encoder
+    Encoder,    ///< per-modality representation learning
+    Fusion,     ///< federation of uni-modal representations
+    Head,       ///< task-specific output network
+    Loss,       ///< training-only loss/optimizer work
+    Unknown,
+    NumStages,
+};
+
+/** Short display name for a stage ("encoder", "fusion", ...). */
+const char *stageName(Stage s);
+
+/** Identifies no particular modality. */
+constexpr int kNoModality = -1;
+
+/**
+ * One device kernel launch: what it computes and how much data it
+ * touches, plus the ambient stage/modality context at emission time.
+ */
+struct KernelEvent
+{
+    KernelClass kclass = KernelClass::Other;
+    const char *name = "";    ///< static operator name ("gemm", "conv2d")
+    uint64_t flops = 0;       ///< floating-point operations performed
+    uint64_t bytesRead = 0;   ///< bytes loaded from device memory
+    uint64_t bytesWritten = 0;///< bytes stored to device memory
+    Stage stage = Stage::Unknown;
+    int modality = kNoModality;
+    std::string tag;          ///< free-form scope tag (fusion method etc.)
+};
+
+/** Host-side runtime activity between kernel launches. */
+struct RuntimeEvent
+{
+    enum class Kind : uint8_t {
+        DataPrep, ///< CPU-side input marshalling / preprocessing
+        H2DCopy,  ///< host-to-device transfer
+        D2HCopy,  ///< device-to-host transfer
+        Sync,     ///< explicit device synchronization point
+        NumKinds,
+    };
+
+    Kind kind = Kind::DataPrep;
+    const char *name = "";
+    uint64_t bytes = 0;       ///< payload for copies; working set for prep
+    Stage stage = Stage::Unknown;
+    int modality = kNoModality;
+    std::string tag;
+};
+
+/** Short display name for a runtime event kind. */
+const char *runtimeKindName(RuntimeEvent::Kind k);
+
+/** Memory accounting buckets for the peak-memory case study (Fig. 13). */
+enum class MemCategory : uint8_t {
+    Model,        ///< parameters and optimizer state
+    Dataset,      ///< input batches
+    Intermediate, ///< activations and other transient tensors
+    NumCategories,
+};
+
+/** Short display name for a memory category. */
+const char *memCategoryName(MemCategory c);
+
+/** A device-memory allocation (+bytes) or release (-bytes). */
+struct AllocEvent
+{
+    int64_t bytes = 0; ///< positive on alloc, negative on free
+    MemCategory category = MemCategory::Intermediate;
+    Stage stage = Stage::Unknown;
+};
+
+} // namespace trace
+} // namespace mmbench
+
+#endif // MMBENCH_TRACE_EVENT_HH

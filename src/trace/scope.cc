@@ -1,0 +1,80 @@
+#include "trace/scope.hh"
+
+namespace mmbench {
+namespace trace {
+
+namespace {
+
+thread_local Stage tlsStage = Stage::Unknown;
+thread_local int tlsModality = kNoModality;
+thread_local std::string tlsTag;
+thread_local MemCategory tlsMemCategory = MemCategory::Intermediate;
+
+} // namespace
+
+Stage
+currentStage()
+{
+    return tlsStage;
+}
+
+int
+currentModality()
+{
+    return tlsModality;
+}
+
+const std::string &
+currentTag()
+{
+    return tlsTag;
+}
+
+MemCategory
+currentMemCategory()
+{
+    return tlsMemCategory;
+}
+
+StageScope::StageScope(Stage s) : prev_(tlsStage)
+{
+    tlsStage = s;
+}
+
+StageScope::~StageScope()
+{
+    tlsStage = prev_;
+}
+
+ModalityScope::ModalityScope(int modality) : prev_(tlsModality)
+{
+    tlsModality = modality;
+}
+
+ModalityScope::~ModalityScope()
+{
+    tlsModality = prev_;
+}
+
+TagScope::TagScope(std::string tag) : prev_(std::move(tlsTag))
+{
+    tlsTag = std::move(tag);
+}
+
+TagScope::~TagScope()
+{
+    tlsTag = std::move(prev_);
+}
+
+MemScope::MemScope(MemCategory c) : prev_(tlsMemCategory)
+{
+    tlsMemCategory = c;
+}
+
+MemScope::~MemScope()
+{
+    tlsMemCategory = prev_;
+}
+
+} // namespace trace
+} // namespace mmbench

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Thread-local ambient context for event emission.
+ *
+ * Workload code pushes stage/modality/tag/memory-category context with
+ * RAII scope guards; tensor operators read the ambient context when
+ * emitting events. This keeps the tensor library free of any knowledge
+ * about multi-modal structure.
+ */
+
+#ifndef MMBENCH_TRACE_SCOPE_HH
+#define MMBENCH_TRACE_SCOPE_HH
+
+#include <string>
+
+#include "trace/event.hh"
+
+namespace mmbench {
+namespace trace {
+
+/** Current ambient stage (Stage::Unknown outside any StageScope). */
+Stage currentStage();
+
+/** Current ambient modality index (kNoModality outside any scope). */
+int currentModality();
+
+/** Current ambient free-form tag ("" outside any TagScope). */
+const std::string &currentTag();
+
+/** Current memory category (Intermediate outside any MemScope). */
+MemCategory currentMemCategory();
+
+/** RAII guard setting the ambient execution stage. */
+class StageScope
+{
+  public:
+    explicit StageScope(Stage s);
+    ~StageScope();
+
+    StageScope(const StageScope &) = delete;
+    StageScope &operator=(const StageScope &) = delete;
+
+  private:
+    Stage prev_;
+};
+
+/** RAII guard setting the ambient modality index. */
+class ModalityScope
+{
+  public:
+    explicit ModalityScope(int modality);
+    ~ModalityScope();
+
+    ModalityScope(const ModalityScope &) = delete;
+    ModalityScope &operator=(const ModalityScope &) = delete;
+
+  private:
+    int prev_;
+};
+
+/** RAII guard setting the ambient free-form tag. */
+class TagScope
+{
+  public:
+    explicit TagScope(std::string tag);
+    ~TagScope();
+
+    TagScope(const TagScope &) = delete;
+    TagScope &operator=(const TagScope &) = delete;
+
+  private:
+    std::string prev_;
+};
+
+/** RAII guard setting the ambient memory accounting category. */
+class MemScope
+{
+  public:
+    explicit MemScope(MemCategory c);
+    ~MemScope();
+
+    MemScope(const MemScope &) = delete;
+    MemScope &operator=(const MemScope &) = delete;
+
+  private:
+    MemCategory prev_;
+};
+
+} // namespace trace
+} // namespace mmbench
+
+#endif // MMBENCH_TRACE_SCOPE_HH

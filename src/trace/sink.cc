@@ -1,0 +1,116 @@
+#include "trace/sink.hh"
+
+#include "trace/scope.hh"
+
+namespace mmbench {
+namespace trace {
+
+namespace {
+
+thread_local Sink *tlsSink = nullptr;
+
+} // namespace
+
+Sink *
+currentSink()
+{
+    return tlsSink;
+}
+
+ScopedSink::ScopedSink(Sink &sink) : prev_(tlsSink)
+{
+    tlsSink = &sink;
+}
+
+ScopedSink::~ScopedSink()
+{
+    tlsSink = prev_;
+}
+
+void
+RecordingSink::onKernel(const KernelEvent &ev)
+{
+    unified.push_back({EntryKind::Kernel,
+                       static_cast<uint32_t>(kernels.size())});
+    kernels.push_back(ev);
+}
+
+void
+RecordingSink::onRuntime(const RuntimeEvent &ev)
+{
+    unified.push_back({EntryKind::Runtime,
+                       static_cast<uint32_t>(runtimes.size())});
+    runtimes.push_back(ev);
+}
+
+void
+RecordingSink::onAlloc(const AllocEvent &ev)
+{
+    allocs.push_back(ev);
+}
+
+void
+RecordingSink::clear()
+{
+    kernels.clear();
+    runtimes.clear();
+    allocs.clear();
+    unified.clear();
+}
+
+void
+emitKernel(KernelClass kclass, const char *name, uint64_t flops,
+           uint64_t bytes_read, uint64_t bytes_written)
+{
+    Sink *sink = tlsSink;
+    if (!sink)
+        return;
+    KernelEvent ev;
+    ev.kclass = kclass;
+    ev.name = name;
+    ev.flops = flops;
+    ev.bytesRead = bytes_read;
+    ev.bytesWritten = bytes_written;
+    ev.stage = currentStage();
+    ev.modality = currentModality();
+    ev.tag = currentTag();
+    sink->onKernel(ev);
+}
+
+void
+emitRuntime(RuntimeEvent::Kind kind, const char *name, uint64_t bytes)
+{
+    Sink *sink = tlsSink;
+    if (!sink)
+        return;
+    RuntimeEvent ev;
+    ev.kind = kind;
+    ev.name = name;
+    ev.bytes = bytes;
+    ev.stage = currentStage();
+    ev.modality = currentModality();
+    ev.tag = currentTag();
+    sink->onRuntime(ev);
+}
+
+void
+emitAlloc(int64_t bytes)
+{
+    Sink *sink = tlsSink;
+    if (!sink)
+        return;
+    AllocEvent ev;
+    ev.bytes = bytes;
+    ev.category = currentMemCategory();
+    ev.stage = currentStage();
+    sink->onAlloc(ev);
+}
+
+bool
+tracingActive()
+{
+    return tlsSink != nullptr;
+}
+
+} // namespace trace
+} // namespace mmbench

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Event sinks: where emitted kernel/runtime/alloc events go.
+ *
+ * At most one sink is installed per thread at a time (ScopedSink).
+ * When no sink is installed, emission is a single-branch no-op, so the
+ * functional layer pays nothing during pure training/accuracy runs.
+ */
+
+#ifndef MMBENCH_TRACE_SINK_HH
+#define MMBENCH_TRACE_SINK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/event.hh"
+
+namespace mmbench {
+namespace trace {
+
+/** Receiver interface for the characterization event stream. */
+class Sink
+{
+  public:
+    virtual ~Sink() = default;
+
+    /** A device kernel launch was described. */
+    virtual void onKernel(const KernelEvent &ev) = 0;
+
+    /** Host-side runtime activity was described. */
+    virtual void onRuntime(const RuntimeEvent &ev) = 0;
+
+    /** Device memory was allocated (+) or released (-). */
+    virtual void onAlloc(const AllocEvent &ev) = 0;
+};
+
+/** Sink currently installed on this thread, or nullptr. */
+Sink *currentSink();
+
+/** RAII installation of a sink on the current thread. */
+class ScopedSink
+{
+  public:
+    explicit ScopedSink(Sink &sink);
+    ~ScopedSink();
+
+    ScopedSink(const ScopedSink &) = delete;
+    ScopedSink &operator=(const ScopedSink &) = delete;
+
+  private:
+    Sink *prev_;
+};
+
+/**
+ * Sink that stores every event verbatim, in emission order.
+ *
+ * Kernel and runtime events are interleaved in a single sequence so
+ * the sim timeline can replay host/device ordering faithfully; the
+ * `unified` vector records that interleaving.
+ */
+class RecordingSink : public Sink
+{
+  public:
+    /** Discriminates entries of the unified event sequence. */
+    enum class EntryKind : uint8_t { Kernel, Runtime };
+
+    /** Index into kernels/runtimes, in global emission order. */
+    struct Entry
+    {
+        EntryKind kind;
+        uint32_t index;
+    };
+
+    void onKernel(const KernelEvent &ev) override;
+    void onRuntime(const RuntimeEvent &ev) override;
+    void onAlloc(const AllocEvent &ev) override;
+
+    /** Drop all recorded events. */
+    void clear();
+
+    std::vector<KernelEvent> kernels;
+    std::vector<RuntimeEvent> runtimes;
+    std::vector<AllocEvent> allocs;
+    std::vector<Entry> unified;
+};
+
+/**
+ * Emit a kernel event (no-op unless a sink is installed).
+ * Stage/modality/tag are filled from the ambient scope context.
+ */
+void emitKernel(KernelClass kclass, const char *name, uint64_t flops,
+                uint64_t bytes_read, uint64_t bytes_written);
+
+/** Emit a host runtime event (no-op unless a sink is installed). */
+void emitRuntime(RuntimeEvent::Kind kind, const char *name, uint64_t bytes);
+
+/** Emit an allocation event (no-op unless a sink is installed). */
+void emitAlloc(int64_t bytes);
+
+/** True if a sink is installed on this thread (emission is live). */
+bool tracingActive();
+
+} // namespace trace
+} // namespace mmbench
+
+#endif // MMBENCH_TRACE_SINK_HH

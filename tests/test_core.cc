@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Unit tests for the core utilities: formatting, RNG, tables, CSV.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "core/csv.hh"
+#include "core/logging.hh"
+#include "core/rng.hh"
+#include "core/string_utils.hh"
+#include "core/table.hh"
+
+namespace mmbench {
+namespace {
+
+TEST(StrFmt, BasicFormatting)
+{
+    EXPECT_EQ(strfmt("x=%d", 42), "x=42");
+    EXPECT_EQ(strfmt("%s/%s", "a", "b"), "a/b");
+    EXPECT_EQ(strfmt("%.2f", 3.14159), "3.14");
+}
+
+TEST(StrFmt, EmptyAndLong)
+{
+    EXPECT_EQ(strfmt("%s", ""), "");
+    std::string big(1000, 'x');
+    EXPECT_EQ(strfmt("%s", big.c_str()), big);
+}
+
+TEST(StringUtils, JoinAndSplit)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"solo"}, ","), "solo");
+
+    auto parts = split("a,b,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtils, SplitPreservesEmptyFields)
+{
+    auto parts = split("a,,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[1], "");
+}
+
+TEST(StringUtils, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(512), "512 B");
+    EXPECT_EQ(formatBytes(1536), "1.50 KB");
+    EXPECT_EQ(formatBytes(3ULL * 1024 * 1024), "3.00 MB");
+}
+
+TEST(StringUtils, FormatMicros)
+{
+    EXPECT_EQ(formatMicros(12.0), "12.00 us");
+    EXPECT_EQ(formatMicros(12000.0), "12.00 ms");
+    EXPECT_EQ(formatMicros(2.5e6), "2.500 s");
+}
+
+TEST(StringUtils, FormatCount)
+{
+    EXPECT_EQ(formatCount(999), "999");
+    EXPECT_EQ(formatCount(1500), "1.5 K");
+    EXPECT_EQ(formatCount(2.5e6), "2.5 M");
+    EXPECT_EQ(formatCount(3.0e9), "3.00 G");
+}
+
+TEST(StringUtils, Padding)
+{
+    EXPECT_EQ(padLeft("x", 3), "  x");
+    EXPECT_EQ(padRight("x", 3), "x  ");
+    EXPECT_EQ(padLeft("long", 2), "long");
+}
+
+TEST(StringUtils, StartsWithAndToLower)
+{
+    EXPECT_TRUE(startsWith("av-mnist", "av"));
+    EXPECT_FALSE(startsWith("av", "av-mnist"));
+    EXPECT_EQ(toLower("AV-MNIST"), "av-mnist");
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanRoughlyHalf)
+{
+    Rng rng(11);
+    double acc = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        acc += rng.uniform();
+    EXPECT_NEAR(acc / n, 0.5, 0.02);
+}
+
+TEST(Rng, RandintInclusiveBounds)
+{
+    Rng rng(5);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = rng.randint(3, 7);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 7);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u); // all 5 values hit in 1000 draws
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, GaussianShifted)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(19);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, CategoricalRespectsWeights)
+{
+    Rng rng(23);
+    std::vector<double> w = {1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        counts[rng.categorical(w)]++;
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, PermutationIsPermutation)
+{
+    Rng rng(29);
+    auto p = rng.permutation(50);
+    std::set<size_t> s(p.begin(), p.end());
+    EXPECT_EQ(s.size(), 50u);
+    EXPECT_EQ(*s.begin(), 0u);
+    EXPECT_EQ(*s.rbegin(), 49u);
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1.0"});
+    t.addRow({"b", "20.5"});
+    std::string s = t.toString();
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("20.5"), std::string::npos);
+    // Header separator lines present.
+    EXPECT_NE(s.find("+--"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TextTable, SeparatorRows)
+{
+    TextTable t({"a"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2"});
+    EXPECT_EQ(t.rowCount(), 2u);
+    // 5 separator lines total: top, under-header, mid, bottom... count '+'.
+    std::string s = t.toString();
+    size_t lines = 0;
+    for (char c : s)
+        lines += (c == '\n');
+    EXPECT_EQ(lines, 7u);
+}
+
+TEST(Csv, EscapesSpecialCharacters)
+{
+    CsvWriter w({"a", "b"});
+    w.addRow({"plain", "with,comma"});
+    w.addRow({"quote\"inside", "line\nbreak"});
+    std::ostringstream os;
+    w.write(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(s.find("\"quote\"\"inside\""), std::string::npos);
+    EXPECT_EQ(w.rowCount(), 2u);
+}
+
+TEST(Csv, HeaderFirstLine)
+{
+    CsvWriter w({"x", "y"});
+    w.addRow({"1", "2"});
+    std::ostringstream os;
+    w.write(os);
+    EXPECT_TRUE(startsWith(os.str(), "x,y\n"));
+}
+
+} // namespace
+} // namespace mmbench

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Tests for the synthetic data generators and the loader.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/loader.hh"
+#include "data/synthetic.hh"
+#include "tensor/ops.hh"
+
+namespace mmbench {
+namespace data {
+namespace {
+
+namespace ts = mmbench::tensor;
+
+SyntheticSpec
+twoModalityClassSpec(uint64_t seed = 1)
+{
+    SyntheticSpec spec;
+    spec.task = TaskKind::Classification;
+    spec.numClasses = 4;
+    spec.crossModalFraction = 0.2;
+    spec.seed = seed;
+    spec.modalities = {
+        {"image", Shape{1, 8, 8}, ModalityEncoding::Dense, 0, 0.9},
+        {"text", Shape{6}, ModalityEncoding::Tokens, 40, 0.7},
+    };
+    return spec;
+}
+
+TEST(Synthetic, BatchShapes)
+{
+    SyntheticTask task(twoModalityClassSpec());
+    Batch b = task.sample(5);
+    ASSERT_EQ(b.modalities.size(), 2u);
+    EXPECT_EQ(b.modalities[0].shape(), (Shape{5, 1, 8, 8}));
+    EXPECT_EQ(b.modalities[1].shape(), (Shape{5, 6}));
+    EXPECT_EQ(b.targets.shape(), (Shape{5}));
+    EXPECT_EQ(b.size, 5);
+    EXPECT_EQ(b.inputBytes(), 5u * (64 + 6) * 4u);
+}
+
+TEST(Synthetic, LabelsInRange)
+{
+    SyntheticTask task(twoModalityClassSpec());
+    Batch b = task.sample(100);
+    for (int64_t i = 0; i < 100; ++i) {
+        EXPECT_GE(b.targets.at(i), 0.0f);
+        EXPECT_LT(b.targets.at(i), 4.0f);
+    }
+}
+
+TEST(Synthetic, TokensWithinVocab)
+{
+    SyntheticTask task(twoModalityClassSpec());
+    Batch b = task.sample(50);
+    const Tensor &tokens = b.modalities[1];
+    for (int64_t i = 0; i < tokens.numel(); ++i) {
+        EXPECT_GE(tokens.at(i), 0.0f);
+        EXPECT_LT(tokens.at(i), 40.0f);
+        EXPECT_EQ(tokens.at(i), std::floor(tokens.at(i)));
+    }
+}
+
+TEST(Synthetic, DeterministicBySeed)
+{
+    SyntheticTask a(twoModalityClassSpec(7));
+    SyntheticTask b(twoModalityClassSpec(7));
+    Batch ba = a.sample(4);
+    Batch bb = b.sample(4);
+    EXPECT_TRUE(ts::allClose(ba.modalities[0], bb.modalities[0]));
+    EXPECT_TRUE(ts::allClose(ba.targets, bb.targets));
+    SyntheticTask c(twoModalityClassSpec(8));
+    Batch bc = c.sample(4);
+    EXPECT_GT(ts::maxAbsDiff(ba.modalities[0], bc.modalities[0]), 1e-6f);
+}
+
+TEST(Synthetic, InformativeModalityCorrelatesWithLabel)
+{
+    // With informativeness 1.0 and no cross-modal samples, identical
+    // labels must produce near-identical templates (modulo noise):
+    // the per-class mean over many samples converges to the template.
+    SyntheticSpec spec;
+    spec.task = TaskKind::Classification;
+    spec.numClasses = 2;
+    spec.crossModalFraction = 0.0;
+    spec.noiseStddev = 0.1f;
+    spec.modalities = {
+        {"m0", Shape{4}, ModalityEncoding::Dense, 0, 1.0},
+    };
+    SyntheticTask task(spec);
+    Batch b = task.sample(400);
+    // Average samples per class.
+    std::vector<double> mean0(4, 0.0), mean1(4, 0.0);
+    int64_t n0 = 0, n1 = 0;
+    for (int64_t i = 0; i < 400; ++i) {
+        for (int64_t d = 0; d < 4; ++d) {
+            if (b.targets.at(i) < 0.5f) {
+                mean0[static_cast<size_t>(d)] += b.modalities[0].at(i * 4 + d);
+            } else {
+                mean1[static_cast<size_t>(d)] += b.modalities[0].at(i * 4 + d);
+            }
+        }
+        (b.targets.at(i) < 0.5f ? n0 : n1)++;
+    }
+    double dist = 0.0;
+    for (size_t d = 0; d < 4; ++d) {
+        dist += std::fabs(mean0[d] / n0 - mean1[d] / n1);
+    }
+    // Class means must be clearly separated.
+    EXPECT_GT(dist, 0.5);
+}
+
+TEST(Synthetic, MultiLabelTargets)
+{
+    SyntheticSpec spec;
+    spec.task = TaskKind::MultiLabel;
+    spec.numClasses = 6;
+    spec.modalities = {
+        {"image", Shape{1, 4, 4}, ModalityEncoding::Dense, 0, 0.8},
+        {"text", Shape{5}, ModalityEncoding::Tokens, 60, 0.8},
+    };
+    SyntheticTask task(spec);
+    Batch b = task.sample(64);
+    EXPECT_EQ(b.targets.shape(), (Shape{64, 6}));
+    int64_t active = 0;
+    for (int64_t i = 0; i < b.targets.numel(); ++i) {
+        EXPECT_TRUE(b.targets.at(i) == 0.0f || b.targets.at(i) == 1.0f);
+        active += (b.targets.at(i) == 1.0f);
+    }
+    // Bernoulli(0.3) prior: expect around 30% active.
+    const double rate = static_cast<double>(active) /
+                        static_cast<double>(b.targets.numel());
+    EXPECT_NEAR(rate, 0.3, 0.08);
+}
+
+TEST(Synthetic, RegressionTargetsDependOnLatent)
+{
+    SyntheticSpec spec;
+    spec.task = TaskKind::Regression;
+    spec.targetDim = 3;
+    spec.modalities = {
+        {"a", Shape{10}, ModalityEncoding::Dense, 0, 0.8},
+        {"b", Shape{12}, ModalityEncoding::Dense, 0, 0.8},
+    };
+    SyntheticTask task(spec);
+    Batch b = task.sample(32);
+    EXPECT_EQ(b.targets.shape(), (Shape{32, 3}));
+    EXPECT_TRUE(b.targets.allFinite());
+    // Targets vary across samples (latent-driven).
+    float mn = b.targets.at(0), mx = b.targets.at(0);
+    for (int64_t i = 0; i < b.targets.numel(); ++i) {
+        mn = std::min(mn, b.targets.at(i));
+        mx = std::max(mx, b.targets.at(i));
+    }
+    EXPECT_GT(mx - mn, 0.5f);
+}
+
+TEST(Synthetic, SegmentationMasksAreBlobs)
+{
+    SyntheticSpec spec;
+    spec.task = TaskKind::Segmentation;
+    spec.numClasses = 2;
+    spec.modalities = {
+        {"T1", Shape{1, 16, 16}, ModalityEncoding::Dense, 0, 1.0},
+        {"T2", Shape{1, 16, 16}, ModalityEncoding::Dense, 0, 1.0},
+    };
+    SyntheticTask task(spec);
+    Batch b = task.sample(8);
+    EXPECT_EQ(b.targets.shape(), (Shape{8, 16, 16}));
+    for (int64_t i = 0; i < 8; ++i) {
+        int64_t fg = 0;
+        for (int64_t p = 0; p < 256; ++p)
+            fg += (b.targets.at(i * 256 + p) > 0.5f);
+        // Blob occupies a nontrivial but partial region.
+        EXPECT_GT(fg, 4);
+        EXPECT_LT(fg, 224);
+    }
+    // Visible modality is brighter inside the mask than outside.
+    double in_sum = 0.0, out_sum = 0.0;
+    int64_t in_n = 0, out_n = 0;
+    for (int64_t i = 0; i < 8; ++i) {
+        for (int64_t p = 0; p < 256; ++p) {
+            if (b.targets.at(i * 256 + p) > 0.5f) {
+                in_sum += b.modalities[0].at(i * 256 + p);
+                ++in_n;
+            } else {
+                out_sum += b.modalities[0].at(i * 256 + p);
+                ++out_n;
+            }
+        }
+    }
+    EXPECT_GT(in_sum / in_n, out_sum / out_n + 0.3);
+}
+
+TEST(Synthetic, MissingModalityInjection)
+{
+    SyntheticTask task(twoModalityClassSpec(5));
+    Batch b = task.sampleWithMissingModality(64, 1);
+    // Tokens of the missing modality are uniform noise; class-range
+    // structure is destroyed but values stay within vocab.
+    for (int64_t i = 0; i < b.modalities[1].numel(); ++i) {
+        EXPECT_GE(b.modalities[1].at(i), 0.0f);
+        EXPECT_LT(b.modalities[1].at(i), 40.0f);
+    }
+    EXPECT_EQ(b.targets.numel(), 64);
+}
+
+TEST(Loader, IndexSelect)
+{
+    Tensor t = Tensor::arange(12).reshape(Shape{4, 3});
+    Tensor sel = indexSelect0(t, {2, 0});
+    EXPECT_EQ(sel.shape(), (Shape{2, 3}));
+    EXPECT_EQ(sel.toVector(), (std::vector<float>{6, 7, 8, 0, 1, 2}));
+}
+
+TEST(Loader, DatasetSliceAndGather)
+{
+    SyntheticTask task(twoModalityClassSpec(9));
+    InMemoryDataset ds(task, 20);
+    EXPECT_EQ(ds.size(), 20);
+    Batch s = ds.slice(5, 4);
+    EXPECT_EQ(s.size, 4);
+    EXPECT_TRUE(ts::allClose(
+        s.modalities[0],
+        indexSelect0(ds.all().modalities[0], {5, 6, 7, 8})));
+}
+
+TEST(Loader, BatchesCoverDatasetOnce)
+{
+    SyntheticTask task(twoModalityClassSpec(10));
+    InMemoryDataset ds(task, 24);
+    DataLoader loader(ds, 6, /*shuffle=*/true, 3);
+    EXPECT_EQ(loader.batchesPerEpoch(), 4);
+    // Sum of targets across batches equals dataset total (each sample
+    // appears exactly once per epoch).
+    double total = 0.0;
+    for (int64_t i = 0; i < 4; ++i) {
+        Batch b = loader.batch(i);
+        total += ts::sumAll(b.targets).item();
+    }
+    EXPECT_NEAR(total, ts::sumAll(ds.all().targets).item(), 1e-3);
+    loader.nextEpoch(); // must not crash; order reshuffles
+}
+
+} // namespace
+} // namespace data
+} // namespace mmbench

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Unit and property tests for fusion operators and strategies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "autograd/loss.hh"
+#include "autograd/optim.hh"
+
+#include <cmath>
+#include "fusion/fusion.hh"
+#include "fusion/strategies.hh"
+#include "nn/init.hh"
+
+namespace mmbench {
+namespace fusion {
+namespace {
+
+namespace ag = mmbench::autograd;
+namespace ts = mmbench::tensor;
+
+using tensor::Shape;
+using tensor::Tensor;
+
+std::vector<Var>
+twoFeatures(int64_t batch, int64_t d0, int64_t d1, uint64_t seed)
+{
+    Rng rng(seed);
+    return {Var(Tensor::randn(Shape{batch, d0}, rng)),
+            Var(Tensor::randn(Shape{batch, d1}, rng))};
+}
+
+TEST(Names, RoundTrip)
+{
+    EXPECT_EQ(parseFusionKind("concat"), FusionKind::Concat);
+    EXPECT_EQ(parseFusionKind("TENSOR"), FusionKind::Tensor);
+    EXPECT_EQ(parseFusionKind("late_lstm"), FusionKind::LateLstm);
+    EXPECT_STREQ(fusionKindName(FusionKind::Attention), "attention");
+}
+
+// ---------------------------------------------------------------------
+// Parameterized contract tests over all vector-feature operators.
+// ---------------------------------------------------------------------
+
+class FusionContract : public ::testing::TestWithParam<FusionKind>
+{
+};
+
+TEST_P(FusionContract, OutputShapeIsBatchByFusedDim)
+{
+    nn::seedAll(1);
+    auto f = createFusion(GetParam(), {12, 7}, 16);
+    Var out = f->fuse(twoFeatures(5, 12, 7, 2));
+    EXPECT_EQ(out.value().shape(), (Shape{5, 16}));
+    EXPECT_TRUE(out.value().allFinite());
+}
+
+TEST_P(FusionContract, ThreeModalities)
+{
+    nn::seedAll(2);
+    auto f = createFusion(GetParam(), {4, 6, 5}, 8);
+    Rng rng(3);
+    std::vector<Var> feats = {Var(Tensor::randn(Shape{3, 4}, rng)),
+                              Var(Tensor::randn(Shape{3, 6}, rng)),
+                              Var(Tensor::randn(Shape{3, 5}, rng))};
+    Var out = f->fuse(feats);
+    EXPECT_EQ(out.value().shape(), (Shape{3, 8}));
+}
+
+TEST_P(FusionContract, GradientsReachEncoderFeatures)
+{
+    if (GetParam() == FusionKind::Zero)
+        GTEST_SKIP() << "zero fusion intentionally blocks gradients";
+    nn::seedAll(3);
+    auto f = createFusion(GetParam(), {6, 6}, 8);
+    Rng rng(4);
+    Var a(Tensor::randn(Shape{4, 6}, rng), true);
+    Var b(Tensor::randn(Shape{4, 6}, rng), true);
+    ag::backward(ag::sumAll(f->fuse({a, b})));
+    EXPECT_TRUE(a.hasGrad());
+    EXPECT_TRUE(b.hasGrad());
+    EXPECT_TRUE(a.grad().allFinite());
+}
+
+TEST_P(FusionContract, DeterministicGivenSeed)
+{
+    nn::seedAll(7);
+    auto f1 = createFusion(GetParam(), {5, 5}, 8);
+    Var o1 = f1->fuse(twoFeatures(2, 5, 5, 9));
+    nn::seedAll(7);
+    auto f2 = createFusion(GetParam(), {5, 5}, 8);
+    Var o2 = f2->fuse(twoFeatures(2, 5, 5, 9));
+    EXPECT_TRUE(ts::allClose(o1.value(), o2.value()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOperators, FusionContract,
+    ::testing::Values(FusionKind::Zero, FusionKind::Sum, FusionKind::Concat,
+                      FusionKind::Tensor, FusionKind::Attention,
+                      FusionKind::LinearGLU),
+    [](const ::testing::TestParamInfo<FusionKind> &info) {
+        return std::string(fusionKindName(info.param));
+    });
+
+TEST(ZeroFusionOp, OutputIsZero)
+{
+    auto f = createFusion(FusionKind::Zero, {4, 4}, 8);
+    Var out = f->fuse(twoFeatures(3, 4, 4, 5));
+    EXPECT_TRUE(ts::allClose(out.value(), Tensor::zeros(Shape{3, 8})));
+    EXPECT_EQ(f->parameterCount(), 0);
+}
+
+TEST(SumFusionOp, LinearInInputs)
+{
+    // sum fusion is linear: f(2x, 0) = 2 f(x, 0) - f(0, 0).
+    nn::seedAll(4);
+    auto f = createFusion(FusionKind::Sum, {4, 4}, 6);
+    Rng rng(6);
+    Tensor x = Tensor::randn(Shape{2, 4}, rng);
+    Tensor zero = Tensor::zeros(Shape{2, 4});
+    Var f_x = f->fuse({Var(x), Var(zero)});
+    Var f_2x = f->fuse({Var(ts::mulScalar(x, 2.0f)), Var(zero)});
+    Var f_0 = f->fuse({Var(zero), Var(zero)});
+    Tensor lhs = f_2x.value();
+    Tensor rhs = ts::sub(ts::mulScalar(f_x.value(), 2.0f), f_0.value());
+    EXPECT_TRUE(ts::allClose(lhs, rhs, 1e-4f));
+}
+
+TEST(ConcatFusionOp, OutputNonNegative)
+{
+    // Concat fusion ends in ReLU.
+    nn::seedAll(5);
+    auto f = createFusion(FusionKind::Concat, {8, 8}, 16);
+    Var out = f->fuse(twoFeatures(6, 8, 8, 7));
+    for (int64_t i = 0; i < out.value().numel(); ++i)
+        EXPECT_GE(out.value().at(i), 0.0f);
+}
+
+TEST(TensorFusionOp, CapturesMultiplicativeInteraction)
+{
+    // Scaling one modality scales the pre-activation interaction.
+    nn::seedAll(6);
+    auto f = createFusion(FusionKind::Tensor, {3, 3}, 4);
+    Rng rng(8);
+    Tensor a = Tensor::randu(Shape{2, 3}, rng, 0.5f, 1.0f);
+    Tensor b = Tensor::randu(Shape{2, 3}, rng, 0.5f, 1.0f);
+    Var out1 = f->fuse({Var(a), Var(b)});
+    Var out2 = f->fuse({Var(ts::mulScalar(a, 0.0f)), Var(b)});
+    // Zeroing a modality zeroes the outer product: output = relu(bias).
+    Var out3 = f->fuse({Var(ts::mulScalar(a, 0.0f)),
+                        Var(ts::mulScalar(b, 0.0f))});
+    EXPECT_TRUE(ts::allClose(out2.value(), out3.value(), 1e-5f));
+    EXPECT_GT(ts::maxAbsDiff(out1.value(), out2.value()), 1e-4f);
+}
+
+TEST(GluFusionOp, GateModulatesValuePath)
+{
+    nn::seedAll(7);
+    auto f = createFusion(FusionKind::LinearGLU, {4, 4}, 6);
+    Rng rng(9);
+    Tensor x = Tensor::randn(Shape{2, 4}, rng);
+    Tensor zero = Tensor::zeros(Shape{2, 4});
+    // Zero value-path input (bias is zero) -> output is exactly zero,
+    // whatever the gate does.
+    Var zero_value = f->fuse({Var(zero), Var(x)});
+    EXPECT_NEAR(ts::sumAll(ts::absF(zero_value.value())).item(), 0.0f,
+                1e-6f);
+    // Zero gate input -> sigmoid(0) = 0.5 gate exactly: changing the
+    // gate input must change the output (the gate modulates).
+    Var half_gate = f->fuse({Var(x), Var(zero)});
+    Var other_gate = f->fuse({Var(x), Var(x)});
+    EXPECT_GT(ts::maxAbsDiff(half_gate.value(), other_gate.value()),
+              1e-5f);
+    // With gate input zero the output is 0.5 * value path; doubling it
+    // recovers the fully open gate limit: |out| <= |value path|.
+    Var open_limit(ts::mulScalar(half_gate.value(), 2.0f));
+    for (int64_t i = 0; i < open_limit.value().numel(); ++i) {
+        EXPECT_GE(std::fabs(open_limit.value().at(i)) + 1e-5f,
+                  std::fabs(other_gate.value().at(i)));
+    }
+}
+
+TEST(AttentionFusionOp, RespectsModalityCount)
+{
+    nn::seedAll(8);
+    auto f2 = createFusion(FusionKind::Attention, {4, 4}, 8);
+    auto f3 = createFusion(FusionKind::Attention, {4, 4, 4}, 8);
+    Rng rng(10);
+    std::vector<Var> feats = {Var(Tensor::randn(Shape{2, 4}, rng)),
+                              Var(Tensor::randn(Shape{2, 4}, rng)),
+                              Var(Tensor::randn(Shape{2, 4}, rng))};
+    EXPECT_EQ(f3->fuse(feats).value().shape(), (Shape{2, 8}));
+    std::vector<Var> two(feats.begin(), feats.begin() + 2);
+    EXPECT_EQ(f2->fuse(two).value().shape(), (Shape{2, 8}));
+}
+
+TEST(TransformerFusionOp, SequencesToVector)
+{
+    nn::seedAll(9);
+    TransformerFusion tf({6, 10}, 8, 2, 12);
+    tf.train(false);
+    Rng rng(11);
+    std::vector<Var> seqs = {Var(Tensor::randn(Shape{3, 5, 6}, rng)),
+                             Var(Tensor::randn(Shape{3, 9, 10}, rng))};
+    Var out = tf.fuse(seqs);
+    EXPECT_EQ(out.value().shape(), (Shape{3, 12}));
+    EXPECT_TRUE(out.value().allFinite());
+}
+
+TEST(TransformerFusionOp, ThreeModalitiesAndGradients)
+{
+    nn::seedAll(10);
+    TransformerFusion tf({4, 4, 4}, 8, 2, 8);
+    Rng rng(12);
+    Var a(Tensor::randn(Shape{2, 3, 4}, rng), true);
+    Var b(Tensor::randn(Shape{2, 5, 4}, rng), true);
+    Var c(Tensor::randn(Shape{2, 4, 4}, rng), true);
+    ag::backward(ag::sumAll(tf.fuse({a, b, c})));
+    EXPECT_TRUE(a.hasGrad());
+    EXPECT_TRUE(b.hasGrad());
+    EXPECT_TRUE(c.hasGrad());
+}
+
+TEST(LateLstmFusionOp, FoldsModalitySequence)
+{
+    nn::seedAll(11);
+    LateLstmFusion lf({5, 7, 3}, 8);
+    Rng rng(13);
+    std::vector<Var> feats = {Var(Tensor::randn(Shape{2, 5}, rng)),
+                              Var(Tensor::randn(Shape{2, 7}, rng)),
+                              Var(Tensor::randn(Shape{2, 3}, rng))};
+    Var out = lf.fuse(feats);
+    EXPECT_EQ(out.value().shape(), (Shape{2, 8}));
+    // LSTM output is bounded.
+    for (int64_t i = 0; i < out.value().numel(); ++i)
+        EXPECT_LT(std::fabs(out.value().at(i)), 1.0f);
+}
+
+TEST(FusionTrainability, ConcatFusionLearnsAndGate)
+{
+    // Two 1-d modalities; label = AND of signs. Concat fusion + linear
+    // head should learn it.
+    nn::seedAll(12);
+    auto f = createFusion(FusionKind::Concat, {1, 1}, 8);
+    nn::Linear head(8, 2);
+    Rng rng(14);
+    const int64_t n = 64;
+    Tensor a(Shape{n, 1}), b(Shape{n, 1}), labels(Shape{n});
+    for (int64_t i = 0; i < n; ++i) {
+        const float av = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+        const float bv = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+        a.at(i) = av + static_cast<float>(rng.gaussian(0, 0.1));
+        b.at(i) = bv + static_cast<float>(rng.gaussian(0, 0.1));
+        labels.at(i) = (av > 0 && bv > 0) ? 1.0f : 0.0f;
+    }
+    auto params = f->parameters();
+    auto hp = head.parameters();
+    params.insert(params.end(), hp.begin(), hp.end());
+    autograd::Adam opt(params, 0.03f);
+    for (int epoch = 0; epoch < 150; ++epoch) {
+        opt.zeroGrad();
+        Var fused = f->fuse({Var(a), Var(b)});
+        Var loss = autograd::crossEntropyLoss(head.forward(fused), labels);
+        ag::backward(loss);
+        opt.step();
+    }
+    Tensor pred = ts::argmaxLast(
+        head.forward(f->fuse({Var(a), Var(b)})).value());
+    int64_t correct = 0;
+    for (int64_t i = 0; i < n; ++i)
+        correct += (pred.at(i) == labels.at(i));
+    EXPECT_GE(correct, n * 9 / 10);
+}
+
+} // namespace
+} // namespace fusion
+} // namespace mmbench

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Cross-module integration tests: the full train-on-server /
+ * profile-on-edge pipeline the paper describes, weight
+ * serialization round trips, and regression-task learning.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "autograd/loss.hh"
+#include "autograd/optim.hh"
+#include "data/loader.hh"
+#include "models/zoo.hh"
+#include "nn/serialize.hh"
+#include "profile/profiler.hh"
+
+namespace mmbench {
+namespace {
+
+namespace ag = mmbench::autograd;
+namespace ts = mmbench::tensor;
+using tensor::Tensor;
+
+double
+trainQuick(models::MultiModalWorkload &w, data::SyntheticTask &task,
+           int epochs, int64_t train_n, const data::Batch &test)
+{
+    data::InMemoryDataset train_set(task, train_n);
+    data::DataLoader loader(train_set, 16, true, 3);
+    ag::Adam opt(w.parameters(), 0.01f);
+    w.train(true);
+    for (int e = 0; e < epochs; ++e) {
+        for (int64_t b = 0; b < loader.batchesPerEpoch(); ++b) {
+            data::Batch batch = loader.batch(b);
+            opt.zeroGrad();
+            ag::backward(w.loss(w.forward(batch), batch.targets));
+            opt.clipGradNorm(5.0f);
+            opt.step();
+        }
+        loader.nextEpoch();
+    }
+    w.train(false);
+    ag::NoGradGuard ng;
+    return w.metric(w.forward(test).value(), test.targets);
+}
+
+TEST(Serialize, RoundTripPreservesOutputs)
+{
+    auto a = models::zoo::createDefault("av-mnist", 0.5f, 1);
+    auto b = models::zoo::createDefault("av-mnist", 0.5f, 2); // != weights
+    auto task = a->makeTask(4);
+    data::Batch batch = task.sample(4);
+    a->train(false);
+    b->train(false);
+    ag::NoGradGuard ng;
+
+    Tensor before_a = a->forward(batch).value();
+    Tensor before_b = b->forward(batch).value();
+    EXPECT_GT(ts::maxAbsDiff(before_a, before_b), 1e-6f);
+
+    const std::string path = "/tmp/mmbench_test_weights.bin";
+    ASSERT_TRUE(nn::saveParameters(*a, path));
+    ASSERT_TRUE(nn::loadParameters(*b, path));
+    Tensor after_b = b->forward(batch).value();
+    EXPECT_TRUE(ts::allClose(before_a, after_b, 1e-6f));
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsWrongArchitecture)
+{
+    auto a = models::zoo::createDefault("av-mnist", 0.5f, 1);
+    auto other = models::zoo::createDefault("mujoco-push", 0.5f, 1);
+    const std::string path = "/tmp/mmbench_test_weights2.bin";
+    ASSERT_TRUE(nn::saveParameters(*a, path));
+    EXPECT_FALSE(nn::loadParameters(*other, path));
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsGarbageFile)
+{
+    const std::string path = "/tmp/mmbench_test_garbage.bin";
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fputs("not a weight file", f);
+        std::fclose(f);
+    }
+    auto w = models::zoo::createDefault("av-mnist", 0.5f, 1);
+    EXPECT_FALSE(nn::loadParameters(*w, path));
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileFailsCleanly)
+{
+    auto w = models::zoo::createDefault("av-mnist", 0.5f, 1);
+    EXPECT_FALSE(nn::loadParameters(*w, "/tmp/does_not_exist.bin"));
+}
+
+TEST(Pipeline, TrainOnServerProfileOnEdge)
+{
+    // The paper's deployment flow: train, save, load into a fresh
+    // instance, profile inference on the edge device model.
+    auto server_model = models::zoo::createDefault("av-mnist", 0.35f, 11);
+    auto task = server_model->makeTask(6);
+    data::Batch test = task.sample(64);
+    const double acc =
+        trainQuick(*server_model, task, 25, 96, test);
+    EXPECT_GT(acc, 30.0);
+
+    const std::string path = "/tmp/mmbench_pipeline_weights.bin";
+    ASSERT_TRUE(nn::saveParameters(*server_model, path));
+
+    auto edge_model = models::zoo::createDefault("av-mnist", 0.35f, 99);
+    ASSERT_TRUE(nn::loadParameters(*edge_model, path));
+    std::remove(path.c_str());
+
+    // Same accuracy on the edge copy.
+    edge_model->train(false);
+    {
+        ag::NoGradGuard ng;
+        const double edge_acc = edge_model->metric(
+            edge_model->forward(test).value(), test.targets);
+        EXPECT_NEAR(edge_acc, acc, 1e-6);
+    }
+
+    // And a nano profile of the deployed model.
+    profile::Profiler profiler(sim::DeviceModel::jetsonNano());
+    profile::ProfileResult r = profiler.profile(*edge_model, test);
+    EXPECT_GT(r.timeline.totalUs, 0.0);
+    EXPECT_GT(r.timeline.kernels.size(), 10u);
+}
+
+TEST(Learning, MujocoRegressionImprovesOverUntrained)
+{
+    auto w = models::zoo::createDefault("mujoco-push", 0.35f, 13);
+    auto task = w->makeTask(8);
+    data::Batch test = task.sample(64);
+    double untrained = 0.0;
+    {
+        w->train(false);
+        ag::NoGradGuard ng;
+        untrained = w->metric(w->forward(test).value(), test.targets);
+    }
+    const double trained = trainQuick(*w, task, 20, 96, test);
+    EXPECT_LT(trained, untrained * 0.8); // MSE drops by > 20%
+}
+
+TEST(Learning, SegmentationDiceImproves)
+{
+    auto w = models::zoo::createDefault("medical-seg", 0.35f, 15);
+    auto task = w->makeTask(10);
+    data::Batch test = task.sample(24);
+    const double dice = trainQuick(*w, task, 10, 64, test);
+    EXPECT_GT(dice, 60.0); // well above the all-foreground baseline
+}
+
+TEST(Learning, FusionChoiceChangesOutcome)
+{
+    // Different Table-1 operators yield measurably different accuracy
+    // on the same data (the paper's fusion-analysis observation).
+    auto task_probe = models::zoo::createDefault("av-mnist", 0.35f, 17);
+    auto task = task_probe->makeTask(12);
+    data::Batch test = task.sample(64);
+
+    double scores[2];
+    const fusion::FusionKind kinds[2] = {fusion::FusionKind::Concat,
+                                         fusion::FusionKind::Zero};
+    for (int i = 0; i < 2; ++i) {
+        models::WorkloadConfig config;
+        config.fusionKind = kinds[i];
+        config.sizeScale = 0.35f;
+        config.seed = 17;
+        auto w = models::zoo::create("av-mnist", config);
+        auto t = w->makeTask(12);
+        scores[i] = trainQuick(*w, t, 25, 96, test);
+    }
+    EXPECT_GT(scores[0], scores[1] + 10.0); // concat >> zero
+}
+
+} // namespace
+} // namespace mmbench

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Tests for the encoder blocks and the nine workload models:
+ * construction, forward shapes, uni-modal variants, loss/metric
+ * plumbing and trace-stage coverage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "autograd/optim.hh"
+#include "models/encoders.hh"
+#include "models/zoo.hh"
+#include "nn/init.hh"
+#include "trace/scope.hh"
+#include "trace/sink.hh"
+
+namespace mmbench {
+namespace models {
+namespace {
+
+namespace ag = mmbench::autograd;
+namespace ts = mmbench::tensor;
+namespace tr = mmbench::trace;
+
+TEST(Encoders, LeNetShapes)
+{
+    nn::seedAll(1);
+    LeNetEncoder enc(1, 28, 28, 64);
+    Rng rng(1);
+    Var y = enc.forward(Var(Tensor::randn(Shape{2, 1, 28, 28}, rng)));
+    EXPECT_EQ(y.value().shape(), (Shape{2, 64}));
+    LeNetEncoder enc20(1, 20, 20, 48);
+    Var y2 = enc20.forward(Var(Tensor::randn(Shape{3, 1, 20, 20}, rng)));
+    EXPECT_EQ(y2.value().shape(), (Shape{3, 48}));
+}
+
+TEST(Encoders, VggSmallShapes)
+{
+    nn::seedAll(2);
+    VggSmall enc(3, 32, 32, 96, 8);
+    enc.train(false);
+    Rng rng(2);
+    Var y = enc.forward(Var(Tensor::randn(Shape{2, 3, 32, 32}, rng)));
+    EXPECT_EQ(y.value().shape(), (Shape{2, 96}));
+}
+
+TEST(Encoders, TextTransformerShapes)
+{
+    nn::seedAll(3);
+    TextTransformerEncoder enc(100, 32, 4, 64, 2, 64);
+    enc.train(false);
+    Tensor ids = Tensor::zeros(Shape{2, 10});
+    Var seq = enc.forwardSeq(ids);
+    EXPECT_EQ(seq.value().shape(), (Shape{2, 10, 32}));
+    EXPECT_EQ(enc.pool(seq).value().shape(), (Shape{2, 32}));
+}
+
+TEST(Encoders, SmallCnnAndMlp)
+{
+    nn::seedAll(4);
+    SmallCnn cnn(3, 32, 32, 40, 8);
+    cnn.train(false);
+    Rng rng(4);
+    EXPECT_EQ(cnn.forward(Var(Tensor::randn(Shape{2, 3, 32, 32}, rng)))
+                  .value().shape(),
+              (Shape{2, 40}));
+    MlpEncoder mlp(48, 64, 24);
+    EXPECT_EQ(mlp.forward(Var(Tensor::randn(Shape{2, 16, 3}, rng)))
+                  .value().shape(),
+              (Shape{2, 24}));
+}
+
+TEST(Encoders, ResNetSmallFeatureAndTokens)
+{
+    nn::seedAll(5);
+    ResNetSmall enc(3, 32, 32, 64, 8);
+    enc.train(false);
+    Rng rng(5);
+    Var x(Tensor::randn(Shape{2, 3, 32, 32}, rng));
+    EXPECT_EQ(enc.forward(x).value().shape(), (Shape{2, 64}));
+    // 32 / 4 = 8 -> 64 spatial tokens of dim 32.
+    Var tokens = enc.forwardTokens(x);
+    EXPECT_EQ(tokens.value().shape(), (Shape{2, 64, 32}));
+    EXPECT_EQ(enc.tokenDim(), 32);
+}
+
+TEST(Encoders, DenseNetSmall)
+{
+    nn::seedAll(6);
+    DenseNetSmall enc(3, 32, 32, 48, 8, 3);
+    enc.train(false);
+    Rng rng(6);
+    Var y = enc.forward(Var(Tensor::randn(Shape{2, 3, 32, 32}, rng)));
+    EXPECT_EQ(y.value().shape(), (Shape{2, 48}));
+}
+
+TEST(Encoders, UNetEncoderDecoderRoundTrip)
+{
+    nn::seedAll(7);
+    UNetEncoder enc(1, 8);
+    enc.train(false);
+    UNetDecoder dec(enc.bottleneckChannels(), enc.skip2Channels(),
+                    enc.skip1Channels(), 2);
+    dec.train(false);
+    Rng rng(7);
+    Var x(Tensor::randn(Shape{2, 1, 32, 32}, rng));
+    auto out = enc.forward(x);
+    EXPECT_EQ(out.skip1.value().shape(), (Shape{2, 8, 32, 32}));
+    EXPECT_EQ(out.skip2.value().shape(), (Shape{2, 16, 16, 16}));
+    EXPECT_EQ(out.bottleneck.value().shape(), (Shape{2, 32, 8, 8}));
+    Var logits = dec.forward(out.bottleneck, out.skip2, out.skip1);
+    EXPECT_EQ(logits.value().shape(), (Shape{2, 2, 32, 32}));
+}
+
+// ---------------------------------------------------------------------
+// Parameterized contract tests over all nine workloads.
+// ---------------------------------------------------------------------
+
+class WorkloadContract : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    /** Small-scale instance for fast tests. */
+    std::unique_ptr<MultiModalWorkload>
+    makeSmall() const
+    {
+        return zoo::createDefault(GetParam(), 0.5f, 11);
+    }
+};
+
+TEST_P(WorkloadContract, ConstructsAndReportsInfo)
+{
+    auto w = makeSmall();
+    EXPECT_EQ(w->info().name, GetParam());
+    EXPECT_FALSE(w->info().domain.empty());
+    EXPECT_GE(w->numModalities(), 2u);
+    EXPECT_GT(w->parameterCount(), 0);
+    EXPECT_EQ(w->info().encoderNames.size(), w->numModalities());
+}
+
+TEST_P(WorkloadContract, ForwardShapeMatchesTask)
+{
+    auto w = makeSmall();
+    w->train(false);
+    ag::NoGradGuard ng;
+    auto task = w->makeTask(3);
+    data::Batch batch = task.sample(2);
+    Var out = w->forward(batch);
+    EXPECT_EQ(out.value().size(0), 2);
+    EXPECT_TRUE(out.value().allFinite());
+    switch (w->dataSpec().task) {
+      case data::TaskKind::Classification:
+      case data::TaskKind::MultiLabel:
+        EXPECT_EQ(out.value().size(-1), w->dataSpec().numClasses);
+        break;
+      case data::TaskKind::Regression:
+        EXPECT_EQ(out.value().size(-1), w->dataSpec().targetDim);
+        break;
+      case data::TaskKind::Segmentation:
+        EXPECT_EQ(out.value().ndim(), 4u);
+        EXPECT_EQ(out.value().size(1), w->dataSpec().numClasses);
+        break;
+    }
+}
+
+TEST_P(WorkloadContract, UniModalVariantsWork)
+{
+    auto w = makeSmall();
+    w->train(false);
+    ag::NoGradGuard ng;
+    auto task = w->makeTask(4);
+    data::Batch batch = task.sample(2);
+    for (size_t m = 0; m < w->numModalities(); ++m) {
+        Var out = w->forwardUniModal(batch, m);
+        EXPECT_EQ(out.value().size(0), 2);
+        EXPECT_TRUE(out.value().allFinite());
+    }
+}
+
+TEST_P(WorkloadContract, LossIsFiniteAndBackpropagates)
+{
+    auto w = makeSmall();
+    auto task = w->makeTask(5);
+    data::Batch batch = task.sample(2);
+    Var out = w->forward(batch);
+    Var loss = w->loss(out, batch.targets);
+    EXPECT_TRUE(std::isfinite(loss.value().item()));
+    ag::backward(loss);
+    // At least one parameter received a gradient.
+    bool any = false;
+    for (const Var &p : w->parameters())
+        any = any || p.hasGrad();
+    EXPECT_TRUE(any);
+}
+
+TEST_P(WorkloadContract, MetricIsComputable)
+{
+    auto w = makeSmall();
+    w->train(false);
+    ag::NoGradGuard ng;
+    auto task = w->makeTask(6);
+    data::Batch batch = task.sample(8);
+    Var out = w->forward(batch);
+    const double metric = w->metric(out.value(), batch.targets);
+    EXPECT_TRUE(std::isfinite(metric));
+    if (w->metricHigherIsBetter()) {
+        EXPECT_GE(metric, 0.0);
+        EXPECT_LE(metric, 100.0);
+    }
+}
+
+TEST_P(WorkloadContract, EmitsAllThreeStages)
+{
+    auto w = makeSmall();
+    w->train(false);
+    auto task = w->makeTask(7);
+    data::Batch batch = task.sample(2);
+    tr::RecordingSink sink;
+    {
+        tr::ScopedSink guard(sink);
+        ag::NoGradGuard ng;
+        w->forward(batch);
+    }
+    std::set<tr::Stage> stages;
+    for (const auto &ev : sink.kernels)
+        stages.insert(ev.stage);
+    EXPECT_TRUE(stages.count(tr::Stage::Encoder));
+    EXPECT_TRUE(stages.count(tr::Stage::Fusion));
+    EXPECT_TRUE(stages.count(tr::Stage::Head));
+    // Runtime events: per-modality data prep + H2D, a modality
+    // barrier, and the output D2H.
+    size_t h2d = 0, sync = 0, d2h = 0;
+    for (const auto &ev : sink.runtimes) {
+        h2d += (ev.kind == tr::RuntimeEvent::Kind::H2DCopy);
+        sync += (ev.kind == tr::RuntimeEvent::Kind::Sync);
+        d2h += (ev.kind == tr::RuntimeEvent::Kind::D2HCopy);
+    }
+    EXPECT_EQ(h2d, w->numModalities());
+    EXPECT_EQ(sync, 1u);
+    EXPECT_EQ(d2h, 1u);
+}
+
+TEST_P(WorkloadContract, ModalityTagsCoverAllModalities)
+{
+    auto w = makeSmall();
+    w->train(false);
+    auto task = w->makeTask(8);
+    data::Batch batch = task.sample(2);
+    tr::RecordingSink sink;
+    {
+        tr::ScopedSink guard(sink);
+        ag::NoGradGuard ng;
+        w->forward(batch);
+    }
+    std::set<int> modalities;
+    for (const auto &ev : sink.kernels) {
+        if (ev.stage == tr::Stage::Encoder)
+            modalities.insert(ev.modality);
+    }
+    EXPECT_EQ(modalities.size(), w->numModalities());
+}
+
+TEST_P(WorkloadContract, TaskGenerationDeterministic)
+{
+    auto w = makeSmall();
+    auto t1 = w->makeTask(99);
+    auto t2 = w->makeTask(99);
+    data::Batch b1 = t1.sample(3);
+    data::Batch b2 = t2.sample(3);
+    for (size_t m = 0; m < b1.modalities.size(); ++m)
+        EXPECT_TRUE(ts::allClose(b1.modalities[m], b2.modalities[m]));
+    EXPECT_TRUE(ts::allClose(b1.targets, b2.targets));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadContract,
+    ::testing::ValuesIn(zoo::workloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string s = info.param;
+        for (char &c : s) {
+            if (c == '-')
+                c = '_';
+        }
+        return s;
+    });
+
+TEST(Zoo, UnknownNameIsFatal)
+{
+    WorkloadConfig config;
+    EXPECT_DEATH(
+        { auto w = zoo::create("not-a-workload", config); (void)w; }, "");
+}
+
+TEST(Zoo, DefaultFusionChoices)
+{
+    EXPECT_EQ(zoo::defaultFusion("av-mnist"), fusion::FusionKind::Concat);
+    EXPECT_EQ(zoo::defaultFusion("transfuser"),
+              fusion::FusionKind::Transformer);
+    EXPECT_EQ(zoo::workloadNames().size(), 9u);
+}
+
+TEST(Zoo, FusionVariantsOfAvMnist)
+{
+    using fusion::FusionKind;
+    for (FusionKind kind : {FusionKind::Concat, FusionKind::Tensor,
+                            FusionKind::Sum, FusionKind::Attention,
+                            FusionKind::LinearGLU, FusionKind::Zero,
+                            FusionKind::LateLstm}) {
+        WorkloadConfig config;
+        config.fusionKind = kind;
+        config.sizeScale = 0.5f;
+        auto w = zoo::create("av-mnist", config);
+        w->train(false);
+        ag::NoGradGuard ng;
+        auto task = w->makeTask(1);
+        Var out = w->forward(task.sample(2));
+        EXPECT_EQ(out.value().shape(), (Shape{2, 10}))
+            << fusion::fusionKindName(kind);
+    }
+}
+
+TEST(Zoo, SeedChangesWeights)
+{
+    ag::NoGradGuard ng;
+    auto w1 = zoo::createDefault("av-mnist", 0.5f, 1);
+    auto w2 = zoo::createDefault("av-mnist", 0.5f, 2);
+    auto task = w1->makeTask(1);
+    data::Batch batch = task.sample(2);
+    w1->train(false);
+    w2->train(false);
+    Tensor o1 = w1->forward(batch).value();
+    Tensor o2 = w2->forward(batch).value();
+    EXPECT_GT(ts::maxAbsDiff(o1, o2), 1e-6f);
+}
+
+TEST(Training, AvMnistLearnsOnSyntheticData)
+{
+    // End-to-end integration: multi-modal AV-MNIST must beat chance
+    // (10%) by a wide margin after a short training run.
+    auto w = zoo::createDefault("av-mnist", 0.35f, 21);
+    auto task = w->makeTask(2);
+    data::Batch train = task.sample(96);
+    data::Batch test = task.sample(64);
+    autograd::Adam opt(w->parameters(), 0.01f);
+    for (int epoch = 0; epoch < 50; ++epoch) {
+        opt.zeroGrad();
+        Var loss = w->loss(w->forward(train), train.targets);
+        ag::backward(loss);
+        opt.step();
+    }
+    w->train(false);
+    ag::NoGradGuard ng;
+    const double acc = w->metric(w->forward(test).value(), test.targets);
+    EXPECT_GT(acc, 35.0); // chance is 10%
+}
+
+} // namespace
+} // namespace models
+} // namespace mmbench

@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Unit tests for the nn module library: layers, shapes, training
+ * behaviour, parameter management.
+ */
+
+#include <gtest/gtest.h>
+
+#include "autograd/loss.hh"
+#include "autograd/optim.hh"
+
+#include <cmath>
+#include "nn/activation.hh"
+#include "nn/attention.hh"
+#include "nn/conv.hh"
+#include "nn/embedding.hh"
+#include "nn/init.hh"
+#include "nn/linear.hh"
+#include "nn/norm.hh"
+#include "nn/rnn.hh"
+#include "nn/transformer.hh"
+
+namespace mmbench {
+namespace nn {
+namespace {
+
+namespace ag = mmbench::autograd;
+namespace ts = mmbench::tensor;
+
+TEST(Init, SeedAllReproducible)
+{
+    seedAll(99);
+    Linear a(4, 3);
+    seedAll(99);
+    Linear b(4, 3);
+    Var x(Tensor::ones(Shape{2, 4}));
+    EXPECT_TRUE(ts::allClose(a.forward(x).value(), b.forward(x).value()));
+}
+
+TEST(Init, XavierBounds)
+{
+    seedAll(1);
+    Tensor w = xavierUniform(Shape{100, 100}, 100, 100);
+    const float bound = std::sqrt(6.0f / 200.0f);
+    for (int64_t i = 0; i < w.numel(); ++i) {
+        EXPECT_GE(w.at(i), -bound);
+        EXPECT_LE(w.at(i), bound);
+    }
+}
+
+TEST(Linear, ShapeAndBias)
+{
+    seedAll(2);
+    Linear l(8, 3);
+    Var y = l.forward(Var(Tensor::zeros(Shape{5, 8})));
+    EXPECT_EQ(y.value().shape(), (Shape{5, 3}));
+    // Zero input -> output equals bias (zero-initialized).
+    EXPECT_TRUE(ts::allClose(y.value(), Tensor::zeros(Shape{5, 3})));
+    EXPECT_EQ(l.parameterCount(), 8 * 3 + 3);
+}
+
+TEST(Linear, LeadingBatchDims)
+{
+    seedAll(3);
+    Linear l(4, 2);
+    Var y = l.forward(Var(Tensor::ones(Shape{2, 5, 4})));
+    EXPECT_EQ(y.value().shape(), (Shape{2, 5, 2}));
+}
+
+TEST(Conv2d, OutputGeometry)
+{
+    seedAll(4);
+    Conv2d c(3, 8, 3, 1, 1);
+    Var y = c.forward(Var(Tensor::zeros(Shape{2, 3, 16, 16})));
+    EXPECT_EQ(y.value().shape(), (Shape{2, 8, 16, 16}));
+    Conv2d s(3, 4, 3, 2, 1);
+    Var y2 = s.forward(Var(Tensor::zeros(Shape{1, 3, 16, 16})));
+    EXPECT_EQ(y2.value().shape(), (Shape{1, 4, 8, 8}));
+    EXPECT_EQ(c.parameterCount(), 8 * 3 * 3 * 3 + 8);
+}
+
+TEST(Pooling, LayersGeometry)
+{
+    MaxPool2d mp(2);
+    Var y = mp.forward(Var(Tensor::zeros(Shape{1, 2, 8, 8})));
+    EXPECT_EQ(y.value().shape(), (Shape{1, 2, 4, 4}));
+    AvgPool2d ap(2);
+    EXPECT_EQ(ap.forward(Var(Tensor::zeros(Shape{1, 2, 8, 8})))
+                  .value().shape(),
+              (Shape{1, 2, 4, 4}));
+    GlobalAvgPool gp;
+    EXPECT_EQ(gp.forward(Var(Tensor::zeros(Shape{3, 5, 4, 4})))
+                  .value().shape(),
+              (Shape{3, 5}));
+    Flatten fl;
+    EXPECT_EQ(fl.forward(Var(Tensor::zeros(Shape{3, 2, 4, 4})))
+                  .value().shape(),
+              (Shape{3, 32}));
+}
+
+TEST(Sequential, ChainsAndCollectsParams)
+{
+    seedAll(5);
+    Sequential net("lenet_head");
+    net.emplace<Linear>(16, 8)
+       .emplace<ReLU>()
+       .emplace<Linear>(8, 4);
+    Var y = net.forward(Var(Tensor::ones(Shape{2, 16})));
+    EXPECT_EQ(y.value().shape(), (Shape{2, 4}));
+    EXPECT_EQ(net.parameterCount(), 16 * 8 + 8 + 8 * 4 + 4);
+    EXPECT_EQ(net.size(), 3u);
+}
+
+TEST(Module, TrainEvalPropagates)
+{
+    Sequential net;
+    net.emplace<Linear>(4, 4).emplace<Dropout>(0.5f);
+    EXPECT_TRUE(net.training());
+    net.train(false);
+    EXPECT_FALSE(net.training());
+    // Dropout in eval mode is identity.
+    Var x(Tensor::ones(Shape{10, 4}));
+    Var y = net.forward(x);
+    net.train(true);
+    EXPECT_TRUE(net.training());
+}
+
+TEST(BatchNorm, TrainUpdatesRunningStats)
+{
+    seedAll(6);
+    BatchNorm2d bn(3);
+    Rng rng(7);
+    Var x(Tensor::randn(Shape{4, 3, 4, 4}, rng, 2.0f));
+    bn.forward(x);
+    // Running stats moved off init after one training batch.
+    EXPECT_NE(bn.runningVar().at(0), 1.0f);
+    bn.train(false);
+    Var y = bn.forward(x);
+    EXPECT_TRUE(y.value().allFinite());
+}
+
+TEST(LayerNormLayer, NormalizesLastDim)
+{
+    seedAll(7);
+    LayerNorm ln(16);
+    Rng rng(8);
+    Var y = ln.forward(Var(Tensor::randn(Shape{4, 16}, rng, 3.0f)));
+    Tensor mean = ts::meanAxis(y.value(), -1);
+    for (int64_t i = 0; i < mean.numel(); ++i)
+        EXPECT_NEAR(mean.at(i), 0.0f, 1e-4f);
+}
+
+TEST(EmbeddingLayer, LookupShape)
+{
+    seedAll(8);
+    Embedding emb(100, 16);
+    Tensor ids = Tensor::fromVector(Shape{2, 5}, {1, 2, 3, 4, 5,
+                                                  6, 7, 8, 9, 10});
+    Var y = emb.forward(ids);
+    EXPECT_EQ(y.value().shape(), (Shape{2, 5, 16}));
+    EXPECT_EQ(emb.parameterCount(), 100 * 16);
+}
+
+TEST(LstmLayer, ShapesAndFiniteness)
+{
+    seedAll(9);
+    Lstm lstm(10, 20);
+    Rng rng(10);
+    RnnOutput out = lstm.forward(Var(Tensor::randn(Shape{3, 7, 10}, rng)));
+    EXPECT_EQ(out.outputs.value().shape(), (Shape{3, 7, 20}));
+    EXPECT_EQ(out.lastHidden.value().shape(), (Shape{3, 20}));
+    EXPECT_TRUE(out.outputs.value().allFinite());
+    // Last timestep of outputs equals lastHidden.
+    Tensor last = ts::narrow(out.outputs.value(), 1, 6, 1)
+                      .reshape(Shape{3, 20});
+    EXPECT_TRUE(ts::allClose(last, out.lastHidden.value()));
+}
+
+TEST(LstmLayer, HiddenBounded)
+{
+    // LSTM hidden state is o * tanh(c), so |h| < 1.
+    seedAll(10);
+    Lstm lstm(4, 8);
+    Rng rng(11);
+    RnnOutput out = lstm.forward(
+        Var(Tensor::randn(Shape{2, 12, 4}, rng, 5.0f)));
+    for (int64_t i = 0; i < out.outputs.value().numel(); ++i)
+        EXPECT_LT(std::fabs(out.outputs.value().at(i)), 1.0f);
+}
+
+TEST(LstmLayer, GradientsFlowToInput)
+{
+    seedAll(11);
+    Lstm lstm(3, 5);
+    Rng rng(12);
+    Var x(Tensor::randn(Shape{2, 4, 3}, rng), true);
+    RnnOutput out = lstm.forward(x);
+    ag::backward(ag::sumAll(out.lastHidden));
+    EXPECT_TRUE(x.hasGrad());
+    EXPECT_TRUE(x.grad().allFinite());
+    EXPECT_GT(ts::sumAll(ts::absF(x.grad())).item(), 0.0f);
+}
+
+TEST(GruLayer, ShapesAndStep)
+{
+    seedAll(12);
+    Gru gru(6, 12);
+    Rng rng(13);
+    RnnOutput out = gru.forward(Var(Tensor::randn(Shape{2, 5, 6}, rng)));
+    EXPECT_EQ(out.outputs.value().shape(), (Shape{2, 5, 12}));
+    EXPECT_EQ(out.lastHidden.value().shape(), (Shape{2, 12}));
+
+    // Manual stepping matches forward.
+    Var h(Tensor::zeros(Shape{2, 12}));
+    Var x(Tensor::randn(Shape{2, 3, 6}, rng));
+    Var h1 = gru.step(
+        ag::reshape(ag::narrow(x, 1, 0, 1), Shape{2, 6}), h);
+    EXPECT_EQ(h1.value().shape(), (Shape{2, 12}));
+}
+
+TEST(Attention, SelfAttentionShape)
+{
+    seedAll(13);
+    MultiheadAttention mha(16, 4);
+    Rng rng(14);
+    Var x(Tensor::randn(Shape{2, 6, 16}, rng));
+    Var y = mha.forward(x);
+    EXPECT_EQ(y.value().shape(), (Shape{2, 6, 16}));
+    EXPECT_TRUE(y.value().allFinite());
+}
+
+TEST(Attention, CrossAttentionShape)
+{
+    seedAll(14);
+    MultiheadAttention mha(8, 2);
+    Rng rng(15);
+    Var q(Tensor::randn(Shape{3, 4, 8}, rng));
+    Var kv(Tensor::randn(Shape{3, 9, 8}, rng));
+    Var y = mha.forward(q, kv, kv);
+    EXPECT_EQ(y.value().shape(), (Shape{3, 4, 8}));
+}
+
+TEST(Attention, PermutationEquivariantValues)
+{
+    // Self-attention treats key/value tokens as a set: permuting the
+    // key/value sequence must not change the output for fixed queries.
+    seedAll(15);
+    MultiheadAttention mha(8, 2);
+    Rng rng(16);
+    Tensor kv0 = Tensor::randn(Shape{1, 3, 8}, rng);
+    // Swap tokens 0 and 2.
+    Tensor kv1(kv0.shape());
+    for (int64_t d = 0; d < 8; ++d) {
+        kv1.at(0 * 8 + d) = kv0.at(2 * 8 + d);
+        kv1.at(1 * 8 + d) = kv0.at(1 * 8 + d);
+        kv1.at(2 * 8 + d) = kv0.at(0 * 8 + d);
+    }
+    Var q(Tensor::randn(Shape{1, 2, 8}, rng));
+    Var y0 = mha.forward(q, Var(kv0), Var(kv0));
+    Var y1 = mha.forward(q, Var(kv1), Var(kv1));
+    EXPECT_TRUE(ts::allClose(y0.value(), y1.value(), 1e-4f));
+}
+
+TEST(Transformer, EncoderLayerShape)
+{
+    seedAll(16);
+    TransformerEncoderLayer layer(16, 4, 32);
+    layer.train(false);
+    Rng rng(17);
+    Var x(Tensor::randn(Shape{2, 5, 16}, rng));
+    Var y = layer.forward(x);
+    EXPECT_EQ(y.value().shape(), (Shape{2, 5, 16}));
+}
+
+TEST(Transformer, EncoderStackGradients)
+{
+    seedAll(17);
+    TransformerEncoder enc(8, 2, 16, 2, 10, 0.0f);
+    Rng rng(18);
+    Var x(Tensor::randn(Shape{2, 6, 8}, rng), true);
+    Var y = enc.forward(x);
+    ag::backward(ag::sumAll(y));
+    EXPECT_TRUE(x.hasGrad());
+    EXPECT_TRUE(x.grad().allFinite());
+    // Every encoder layer contributes parameters.
+    EXPECT_GT(enc.parameterCount(), 8 * 10);
+}
+
+TEST(Transformer, CrossModalLayerShape)
+{
+    seedAll(18);
+    CrossModalLayer cm(8, 2, 16);
+    Rng rng(19);
+    Var target(Tensor::randn(Shape{2, 4, 8}, rng));
+    Var source(Tensor::randn(Shape{2, 7, 8}, rng));
+    Var y = cm.forward(target, source);
+    EXPECT_EQ(y.value().shape(), (Shape{2, 4, 8}));
+}
+
+TEST(Training, SmallMlpLearnsXor)
+{
+    seedAll(20);
+    Sequential net("xor");
+    net.emplace<Linear>(2, 8).emplace<Tanh>().emplace<Linear>(8, 2);
+    Tensor xs = Tensor::fromVector(Shape{4, 2}, {0, 0, 0, 1, 1, 0, 1, 1});
+    Tensor labels = Tensor::fromVector(Shape{4}, {0, 1, 1, 0});
+    autograd::Adam opt(net.parameters(), 0.05f);
+    float final_loss = 1e9f;
+    for (int epoch = 0; epoch < 300; ++epoch) {
+        opt.zeroGrad();
+        Var loss = autograd::crossEntropyLoss(net.forward(Var(xs)), labels);
+        ag::backward(loss);
+        opt.step();
+        final_loss = loss.value().item();
+    }
+    EXPECT_LT(final_loss, 0.1f);
+    // All four points classified correctly.
+    Tensor pred = ts::argmaxLast(net.forward(Var(xs)).value());
+    EXPECT_TRUE(ts::allClose(pred, labels));
+}
+
+TEST(Training, ConvNetLearnsVerticalVsHorizontal)
+{
+    // Distinguish vertical from horizontal stripes: conv stack must
+    // reach > 90% train accuracy quickly.
+    seedAll(21);
+    Sequential net("stripes");
+    net.emplace<Conv2d>(1, 4, 3, 1, 1)
+       .emplace<ReLU>()
+       .emplace<MaxPool2d>(2)
+       .emplace<Flatten>()
+       .emplace<Linear>(4 * 4 * 4, 2);
+    Rng rng(22);
+    const int64_t n = 32;
+    Tensor xs = Tensor::zeros(Shape{n, 1, 8, 8});
+    Tensor labels(Shape{n});
+    for (int64_t i = 0; i < n; ++i) {
+        const bool vertical = (i % 2 == 0);
+        labels.at(i) = vertical ? 0.0f : 1.0f;
+        for (int64_t a = 0; a < 8; a += 2) {
+            for (int64_t b = 0; b < 8; ++b) {
+                const int64_t idx = vertical ? (b * 8 + a) : (a * 8 + b);
+                xs.at(i * 64 + idx) =
+                    1.0f + static_cast<float>(rng.gaussian(0.0, 0.1));
+            }
+        }
+    }
+    autograd::Adam opt(net.parameters(), 0.01f);
+    for (int epoch = 0; epoch < 60; ++epoch) {
+        opt.zeroGrad();
+        Var loss = autograd::crossEntropyLoss(net.forward(Var(xs)), labels);
+        ag::backward(loss);
+        opt.step();
+    }
+    Tensor pred = ts::argmaxLast(net.forward(Var(xs)).value());
+    int64_t correct = 0;
+    for (int64_t i = 0; i < n; ++i)
+        correct += (pred.at(i) == labels.at(i));
+    EXPECT_GE(correct, n * 9 / 10);
+}
+
+} // namespace
+} // namespace nn
+} // namespace mmbench

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for the profiler orchestration and report aggregations,
+ * including the qualitative shapes the paper's figures rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.hh"
+#include "profile/profiler.hh"
+#include "profile/report.hh"
+
+namespace mmbench {
+namespace profile {
+namespace {
+
+namespace tr = mmbench::trace;
+
+class ProfiledAvMnist : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        workload_ = models::zoo::createDefault("av-mnist", 1.0f, 3);
+        task_ = std::make_unique<data::SyntheticTask>(
+            workload_->makeTask(1));
+        batch_ = task_->sample(8);
+        Profiler profiler(sim::DeviceModel::rtx2080ti());
+        result_ = profiler.profile(*workload_, batch_);
+    }
+
+    std::unique_ptr<models::MultiModalWorkload> workload_;
+    std::unique_ptr<data::SyntheticTask> task_;
+    data::Batch batch_;
+    ProfileResult result_;
+};
+
+TEST_F(ProfiledAvMnist, TimelineNonEmpty)
+{
+    EXPECT_GT(result_.timeline.kernels.size(), 10u);
+    EXPECT_GT(result_.timeline.totalUs, 0.0);
+    EXPECT_GT(result_.modelBytes, 0u);
+    EXPECT_EQ(result_.datasetBytes, batch_.inputBytes());
+    EXPECT_EQ(result_.device, "2080ti");
+}
+
+TEST_F(ProfiledAvMnist, StageTimesCoverAllStages)
+{
+    const MetricAgg enc = aggregateStage(result_.timeline,
+                                         tr::Stage::Encoder);
+    const MetricAgg fus = aggregateStage(result_.timeline,
+                                         tr::Stage::Fusion);
+    const MetricAgg head = aggregateStage(result_.timeline,
+                                          tr::Stage::Head);
+    EXPECT_GT(enc.gpuTimeUs, 0.0);
+    EXPECT_GT(fus.gpuTimeUs, 0.0);
+    EXPECT_GT(head.gpuTimeUs, 0.0);
+    // Paper Fig. 6: encoder stage dominates for AV-MNIST.
+    EXPECT_GT(enc.gpuTimeUs, fus.gpuTimeUs);
+    EXPECT_GT(enc.gpuTimeUs, head.gpuTimeUs);
+}
+
+TEST_F(ProfiledAvMnist, EncoderHasHigherResourceUsage)
+{
+    // Paper Fig. 7: encoders show higher DRAM utilization and IPC
+    // than fusion/head (more computation, larger tensors).
+    const MetricAgg enc = aggregateStage(result_.timeline,
+                                         tr::Stage::Encoder);
+    const MetricAgg head = aggregateStage(result_.timeline,
+                                          tr::Stage::Head);
+    EXPECT_GT(enc.occupancy, head.occupancy);
+    EXPECT_GE(enc.ipc, head.ipc * 0.8);
+}
+
+TEST_F(ProfiledAvMnist, KernelClassBreakdownHasConvInEncoder)
+{
+    const MetricAgg enc = aggregateStage(result_.timeline,
+                                         tr::Stage::Encoder);
+    EXPECT_GT(enc.classTimeUs.count(tr::KernelClass::Conv), 0u);
+    EXPECT_GT(enc.classTimeUs.at(tr::KernelClass::Conv), 0.0);
+    // Head of a classifier: GEMM-dominated.
+    const MetricAgg head = aggregateStage(result_.timeline,
+                                          tr::Stage::Head);
+    EXPECT_GT(head.classTimeUs.count(tr::KernelClass::Gemm), 0u);
+}
+
+TEST_F(ProfiledAvMnist, ModalityAggregationSeparatesStreams)
+{
+    const MetricAgg image = aggregateModality(result_.timeline, 0);
+    const MetricAgg audio = aggregateModality(result_.timeline, 1);
+    EXPECT_GT(image.gpuTimeUs, 0.0);
+    EXPECT_GT(audio.gpuTimeUs, 0.0);
+    // Image (28x28) outweighs audio (20x20): the straggler modality.
+    EXPECT_GT(image.gpuTimeUs, audio.gpuTimeUs);
+}
+
+TEST_F(ProfiledAvMnist, HistogramCountsAllKernels)
+{
+    auto hist = kernelSizeHistogram(result_.timeline);
+    int64_t total = hist[0] + hist[1] + hist[2] + hist[3];
+    EXPECT_EQ(total,
+              static_cast<int64_t>(result_.timeline.kernels.size()));
+}
+
+TEST_F(ProfiledAvMnist, CpuShareRisesOnUniToMulti)
+{
+    // Paper Fig. 11: the multi-modal implementation has a larger
+    // CPU+Runtime share than the uni-modal one.
+    Profiler profiler(sim::DeviceModel::rtx2080ti());
+    ProfileResult uni = profiler.profileUniModal(*workload_, batch_, 0);
+    const double multi_cpu_share =
+        result_.timeline.cpuRuntimeUs /
+        (result_.timeline.cpuRuntimeUs + result_.timeline.gpuBusyUs);
+    const double uni_cpu_share =
+        uni.timeline.cpuRuntimeUs /
+        (uni.timeline.cpuRuntimeUs + uni.timeline.gpuBusyUs);
+    EXPECT_GT(multi_cpu_share, uni_cpu_share);
+}
+
+TEST_F(ProfiledAvMnist, StageCpuTimeIncludesPreprocess)
+{
+    EXPECT_GT(stageCpuUs(result_.timeline, tr::Stage::Preprocess), 0.0);
+    EXPECT_GT(stageCpuUs(result_.timeline, tr::Stage::Fusion), 0.0);
+}
+
+TEST(ProfilerDevices, EdgeSlowdownShape)
+{
+    // Paper Fig. 14: nano is several times slower than the server;
+    // orin sits close to the server.
+    auto w = models::zoo::createDefault("av-mnist", 0.5f, 5);
+    auto task = w->makeTask(2);
+    data::Batch batch = task.sample(8);
+
+    ProfileResult server =
+        Profiler(sim::DeviceModel::rtx2080ti()).profile(*w, batch);
+    ProfileResult nano =
+        Profiler(sim::DeviceModel::jetsonNano()).profile(*w, batch);
+    ProfileResult orin =
+        Profiler(sim::DeviceModel::jetsonOrin()).profile(*w, batch);
+
+    EXPECT_GT(nano.timeline.totalUs, 3.0 * server.timeline.totalUs);
+    EXPECT_LT(orin.timeline.totalUs, nano.timeline.totalUs);
+    EXPECT_GT(orin.timeline.totalUs, server.timeline.totalUs);
+}
+
+TEST(ProfilerBatch, LargerBatchIsSubLinear)
+{
+    // Paper Fig. 12: 10x batch size does not cut per-item latency 10x,
+    // and shifts the kernel-size distribution to bigger kernels.
+    auto w = models::zoo::createDefault("av-mnist", 0.5f, 6);
+    auto task = w->makeTask(3);
+    data::Batch b4 = task.sample(4);
+    data::Batch b40 = task.sample(40);
+
+    Profiler profiler(sim::DeviceModel::rtx2080ti());
+    ProfileResult small = profiler.profile(*w, b4);
+    ProfileResult large = profiler.profile(*w, b40);
+
+    // Total time grows, but by far less than 10x.
+    EXPECT_GT(large.timeline.totalUs, small.timeline.totalUs);
+    EXPECT_LT(large.timeline.totalUs, 10.0 * small.timeline.totalUs);
+
+    auto hist_small = kernelSizeHistogram(small.timeline);
+    auto hist_large = kernelSizeHistogram(large.timeline);
+    // Share of >=50 us kernels grows with batch size.
+    auto big_share = [](const std::array<int64_t, 4> &h) {
+        const double total =
+            static_cast<double>(h[0] + h[1] + h[2] + h[3]);
+        return (h[2] + h[3]) / total;
+    };
+    EXPECT_GE(big_share(hist_large), big_share(hist_small));
+}
+
+TEST(ProfilerMemory, IntermediatePeakGrowsWithBatch)
+{
+    // Paper Fig. 13: dataset and intermediate memory scale with batch
+    // size while model memory stays flat.
+    auto w = models::zoo::createDefault("av-mnist", 0.5f, 7);
+    auto task = w->makeTask(4);
+    data::Batch b8 = task.sample(8);
+    data::Batch b32 = task.sample(32);
+
+    Profiler profiler(sim::DeviceModel::rtx2080ti());
+    ProfileResult small = profiler.profile(*w, b8);
+    ProfileResult large = profiler.profile(*w, b32);
+
+    const auto inter = static_cast<size_t>(
+        tr::MemCategory::Intermediate);
+    EXPECT_GT(large.timeline.memory.peakBytes[inter],
+              small.timeline.memory.peakBytes[inter]);
+    EXPECT_EQ(large.modelBytes, small.modelBytes);
+    EXPECT_GT(large.datasetBytes, small.datasetBytes);
+}
+
+TEST(ProfilerFusion, TransformerFusionShiftsTimeToFusionStage)
+{
+    // Paper Fig. 6: complex (transformer) fusion can take longer than
+    // the encoder stage for sensor-dominated robotics workloads.
+    models::WorkloadConfig concat_cfg;
+    concat_cfg.fusionKind = fusion::FusionKind::Concat;
+    concat_cfg.sizeScale = 0.5f;
+    auto concat_w = models::zoo::create("mujoco-push", concat_cfg);
+
+    models::WorkloadConfig tf_cfg;
+    tf_cfg.fusionKind = fusion::FusionKind::Transformer;
+    tf_cfg.sizeScale = 0.5f;
+    auto tf_w = models::zoo::create("mujoco-push", tf_cfg);
+
+    auto task = concat_w->makeTask(5);
+    data::Batch batch = task.sample(8);
+
+    Profiler profiler(sim::DeviceModel::rtx2080ti());
+    ProfileResult concat_r = profiler.profile(*concat_w, batch);
+    ProfileResult tf_r = profiler.profile(*tf_w, batch);
+
+    const double concat_fusion =
+        aggregateStage(concat_r.timeline, tr::Stage::Fusion).gpuTimeUs;
+    const double tf_fusion =
+        aggregateStage(tf_r.timeline, tr::Stage::Fusion).gpuTimeUs;
+    EXPECT_GT(tf_fusion, concat_fusion);
+
+    const double tf_encoder =
+        aggregateStage(tf_r.timeline, tr::Stage::Encoder).gpuTimeUs;
+    EXPECT_GT(tf_fusion, tf_encoder);
+}
+
+TEST(ReportAgg, EmptyFilterYieldsZeroAgg)
+{
+    sim::TimelineResult empty;
+    MetricAgg agg = aggregateAll(empty);
+    EXPECT_EQ(agg.kernelCount, 0);
+    EXPECT_EQ(agg.gpuTimeUs, 0.0);
+    EXPECT_EQ(agg.occupancy, 0.0);
+}
+
+} // namespace
+} // namespace profile
+} // namespace mmbench

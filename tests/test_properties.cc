@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Property-based test suites: parameterized sweeps asserting
+ * invariants across shapes, devices and batch sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/zoo.hh"
+#include "profile/profiler.hh"
+#include "sim/cost_model.hh"
+#include "tensor/ops.hh"
+
+namespace mmbench {
+namespace {
+
+namespace ts = mmbench::tensor;
+namespace tr = mmbench::trace;
+using tensor::Shape;
+using tensor::Tensor;
+
+// ---------------------------------------------------------------------
+// Tensor operator invariants over a shape sweep.
+// ---------------------------------------------------------------------
+
+class ShapeSweep : public ::testing::TestWithParam<std::vector<int64_t>>
+{
+  protected:
+    Tensor
+    randomTensor(uint64_t seed) const
+    {
+        Rng rng(seed);
+        return Tensor::randn(Shape(GetParam()), rng);
+    }
+};
+
+TEST_P(ShapeSweep, AddCommutes)
+{
+    Tensor a = randomTensor(1), b = randomTensor(2);
+    EXPECT_TRUE(ts::allClose(ts::add(a, b), ts::add(b, a)));
+}
+
+TEST_P(ShapeSweep, MulWithOnesIsIdentity)
+{
+    Tensor a = randomTensor(3);
+    EXPECT_TRUE(ts::allClose(ts::mul(a, Tensor::ones(a.shape())), a));
+}
+
+TEST_P(ShapeSweep, NegIsInvolution)
+{
+    Tensor a = randomTensor(4);
+    EXPECT_TRUE(ts::allClose(ts::neg(ts::neg(a)), a));
+}
+
+TEST_P(ShapeSweep, ReluIdempotent)
+{
+    Tensor a = randomTensor(5);
+    Tensor r = ts::reluF(a);
+    EXPECT_TRUE(ts::allClose(ts::reluF(r), r));
+}
+
+TEST_P(ShapeSweep, SumAllMatchesAxisReduction)
+{
+    Tensor a = randomTensor(6);
+    Tensor reduced = a;
+    const size_t nd = a.ndim();
+    for (size_t i = 0; i < nd; ++i)
+        reduced = ts::sumAxis(reduced, 0);
+    EXPECT_NEAR(ts::sumAll(a).item(), reduced.item(), 1e-2f);
+}
+
+TEST_P(ShapeSweep, CloneEqualsOriginal)
+{
+    Tensor a = randomTensor(7);
+    EXPECT_TRUE(ts::allClose(a.clone(), a));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ShapeSweep,
+    ::testing::Values(std::vector<int64_t>{7},
+                      std::vector<int64_t>{3, 5},
+                      std::vector<int64_t>{2, 3, 4},
+                      std::vector<int64_t>{2, 3, 2, 2},
+                      std::vector<int64_t>{1, 16}),
+    [](const ::testing::TestParamInfo<std::vector<int64_t>> &info) {
+        std::string name = "d";
+        for (int64_t d : info.param)
+            name += "_" + std::to_string(d);
+        return name;
+    });
+
+TEST(SoftmaxProperty, ShiftInvariance)
+{
+    // softmax(x + c) == softmax(x) for any per-row constant c.
+    Rng rng(8);
+    Tensor a = Tensor::randn(Shape{4, 9}, rng);
+    Tensor shifted = ts::addScalar(a, 13.5f);
+    EXPECT_TRUE(ts::allClose(ts::softmaxLast(a), ts::softmaxLast(shifted),
+                             1e-5f));
+}
+
+TEST(MatmulProperty, DistributesOverAddition)
+{
+    Rng rng(9);
+    Tensor a = Tensor::randn(Shape{4, 6}, rng);
+    Tensor b = Tensor::randn(Shape{6, 3}, rng);
+    Tensor c = Tensor::randn(Shape{6, 3}, rng);
+    Tensor lhs = ts::matmul(a, ts::add(b, c));
+    Tensor rhs = ts::add(ts::matmul(a, b), ts::matmul(a, c));
+    EXPECT_TRUE(ts::allClose(lhs, rhs, 1e-4f));
+}
+
+TEST(MatmulProperty, AssociativeWithinTolerance)
+{
+    Rng rng(10);
+    Tensor a = Tensor::randn(Shape{3, 4}, rng);
+    Tensor b = Tensor::randn(Shape{4, 5}, rng);
+    Tensor c = Tensor::randn(Shape{5, 2}, rng);
+    Tensor lhs = ts::matmul(ts::matmul(a, b), c);
+    Tensor rhs = ts::matmul(a, ts::matmul(b, c));
+    EXPECT_TRUE(ts::allClose(lhs, rhs, 1e-4f));
+}
+
+class ConvGeometry
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(ConvGeometry, OutputExtentFormulaHolds)
+{
+    const auto [kernel, stride, pad] = GetParam();
+    const int64_t in = 16;
+    Rng rng(11);
+    Tensor x = Tensor::randn(Shape{1, 2, in, in}, rng);
+    Tensor w = Tensor::randn(Shape{3, 2, kernel, kernel}, rng);
+    Tensor y = ts::conv2d(x, w, Tensor(), stride, pad);
+    const int64_t expected = (in + 2 * pad - kernel) / stride + 1;
+    EXPECT_EQ(y.size(2), expected);
+    EXPECT_EQ(y.size(3), expected);
+    EXPECT_TRUE(y.allFinite());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvGeometry,
+    ::testing::Values(std::make_tuple(1, 1, 0), std::make_tuple(3, 1, 1),
+                      std::make_tuple(3, 2, 1), std::make_tuple(5, 1, 2),
+                      std::make_tuple(5, 2, 0)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int, int>> &info) {
+        return "k" + std::to_string(std::get<0>(info.param)) + "s" +
+               std::to_string(std::get<1>(info.param)) + "p" +
+               std::to_string(std::get<2>(info.param));
+    });
+
+TEST(ChunkConcatProperty, RoundTripOverAxes)
+{
+    Rng rng(12);
+    Tensor a = Tensor::randn(Shape{4, 6, 8}, rng);
+    for (int axis = 0; axis < 3; ++axis) {
+        auto parts = ts::chunk(a, 2, axis);
+        EXPECT_TRUE(ts::allClose(ts::concat(parts, axis), a))
+            << "axis " << axis;
+    }
+}
+
+TEST(PermuteProperty, InversePermutationRestores)
+{
+    Rng rng(13);
+    Tensor a = Tensor::randn(Shape{2, 3, 4, 5}, rng);
+    const std::vector<int> fwd = {2, 0, 3, 1};
+    std::vector<int> inv(4);
+    for (int i = 0; i < 4; ++i)
+        inv[static_cast<size_t>(fwd[static_cast<size_t>(i)])] = i;
+    EXPECT_TRUE(ts::allClose(ts::permute(ts::permute(a, fwd), inv), a));
+}
+
+// ---------------------------------------------------------------------
+// Cost-model invariants over devices and kernel classes.
+// ---------------------------------------------------------------------
+
+struct CostCase
+{
+    const char *deviceName;
+    sim::DeviceModel device;
+    tr::KernelClass kclass;
+};
+
+class CostModelSweep : public ::testing::TestWithParam<CostCase>
+{
+};
+
+TEST_P(CostModelSweep, TimePositiveAndStallsNormalized)
+{
+    const CostCase &c = GetParam();
+    tr::KernelEvent ev;
+    ev.kclass = c.kclass;
+    ev.flops = 1 << 20;
+    ev.bytesRead = 1 << 18;
+    ev.bytesWritten = 1 << 16;
+    sim::KernelCost cost = sim::simulateKernel(ev, c.device);
+    EXPECT_GT(cost.timeUs, 0.0);
+    EXPECT_GE(cost.occupancy, 0.0);
+    EXPECT_LE(cost.occupancy, 1.0);
+    EXPECT_GE(cost.dramUtil, 0.0);
+    EXPECT_LE(cost.dramUtil, 1.0);
+    EXPECT_GE(cost.gldEff, 0.0);
+    EXPECT_LE(cost.gldEff, 1.0);
+    double total = 0.0;
+    for (double s : cost.stallShares) {
+        EXPECT_GE(s, 0.0);
+        total += s;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_P(CostModelSweep, TimeMonotonicInBytes)
+{
+    const CostCase &c = GetParam();
+    double prev = 0.0;
+    for (uint64_t bytes = 1 << 12; bytes <= (1ULL << 24); bytes <<= 3) {
+        tr::KernelEvent ev;
+        ev.kclass = c.kclass;
+        ev.flops = 1024;
+        ev.bytesRead = bytes;
+        ev.bytesWritten = bytes / 4;
+        const double t = sim::simulateKernel(ev, c.device).timeUs;
+        EXPECT_GE(t, prev);
+        prev = t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DevicesAndClasses, CostModelSweep,
+    ::testing::Values(
+        CostCase{"server_gemm", sim::DeviceModel::rtx2080ti(),
+                 tr::KernelClass::Gemm},
+        CostCase{"server_conv", sim::DeviceModel::rtx2080ti(),
+                 tr::KernelClass::Conv},
+        CostCase{"nano_gemm", sim::DeviceModel::jetsonNano(),
+                 tr::KernelClass::Gemm},
+        CostCase{"nano_elewise", sim::DeviceModel::jetsonNano(),
+                 tr::KernelClass::Elewise},
+        CostCase{"orin_reduce", sim::DeviceModel::jetsonOrin(),
+                 tr::KernelClass::Reduce},
+        CostCase{"orin_other", sim::DeviceModel::jetsonOrin(),
+                 tr::KernelClass::Other}),
+    [](const ::testing::TestParamInfo<CostCase> &info) {
+        return std::string(info.param.deviceName);
+    });
+
+TEST(MemoryPressure, FactorIsOneBelowPoolAndQuadraticAbove)
+{
+    sim::DeviceModel nano = sim::DeviceModel::jetsonNano();
+    const uint64_t pool =
+        static_cast<uint64_t>(nano.usableMemoryMB * 1e6);
+    EXPECT_DOUBLE_EQ(nano.memoryPressureFactor(pool / 2), 1.0);
+    EXPECT_DOUBLE_EQ(nano.memoryPressureFactor(pool), 1.0);
+    EXPECT_NEAR(nano.memoryPressureFactor(2 * pool), 4.0, 1e-6);
+}
+
+// ---------------------------------------------------------------------
+// Workload invariants over batch sizes.
+// ---------------------------------------------------------------------
+
+class BatchSweep : public ::testing::TestWithParam<int64_t>
+{
+};
+
+TEST_P(BatchSweep, OutputBatchDimMatches)
+{
+    const int64_t batch = GetParam();
+    auto w = models::zoo::createDefault("av-mnist", 0.5f, 3);
+    w->train(false);
+    autograd::NoGradGuard ng;
+    auto task = w->makeTask(5);
+    autograd::Var out = w->forward(task.sample(batch));
+    EXPECT_EQ(out.value().size(0), batch);
+}
+
+TEST_P(BatchSweep, KernelCountIndependentOfBatch)
+{
+    // The launch sequence depends on the network, not the batch size;
+    // only per-kernel work scales (the Fig. 12 mechanism).
+    const int64_t batch = GetParam();
+    auto w = models::zoo::createDefault("av-mnist", 0.5f, 3);
+    auto task = w->makeTask(5);
+    profile::Profiler profiler(sim::DeviceModel::rtx2080ti());
+    profile::ProfileResult a = profiler.profile(*w, task.sample(batch));
+    profile::ProfileResult b = profiler.profile(*w, task.sample(2));
+    EXPECT_EQ(a.timeline.kernels.size(), b.timeline.kernels.size());
+}
+
+TEST_P(BatchSweep, FlopsScaleLinearlyWithBatch)
+{
+    const int64_t batch = GetParam();
+    auto w = models::zoo::createDefault("av-mnist", 0.5f, 3);
+    auto task = w->makeTask(5);
+    profile::Profiler profiler(sim::DeviceModel::rtx2080ti());
+    const uint64_t f1 =
+        profile::aggregateAll(
+            profiler.profile(*w, task.sample(1)).timeline)
+            .flops;
+    const uint64_t fb =
+        profile::aggregateAll(
+            profiler.profile(*w, task.sample(batch)).timeline)
+            .flops;
+    EXPECT_NEAR(static_cast<double>(fb) / static_cast<double>(f1),
+                static_cast<double>(batch),
+                0.05 * static_cast<double>(batch));
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, BatchSweep,
+                         ::testing::Values(1L, 4L, 16L, 64L));
+
+} // namespace
+} // namespace mmbench

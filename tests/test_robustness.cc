@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Failure-injection tests: missing/noisy modality robustness
+ * (MultiBench-style) on a trained multi-modal model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "autograd/loss.hh"
+#include "autograd/optim.hh"
+#include "data/loader.hh"
+#include "models/zoo.hh"
+
+namespace mmbench {
+namespace {
+
+namespace ag = mmbench::autograd;
+
+/** Train a small AV-MNIST multi-modal model once for all tests. */
+class TrainedAvMnist : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        workload_ =
+            models::zoo::createDefault("av-mnist", 0.35f, 77).release();
+        task_ = new data::SyntheticTask(workload_->makeTask(21));
+        data::InMemoryDataset train_set(*task_, 160);
+        data::DataLoader loader(train_set, 16, true, 3);
+        autograd::Adam opt(workload_->parameters(), 0.01f);
+        workload_->train(true);
+        for (int epoch = 0; epoch < 40; ++epoch) {
+            for (int64_t b = 0; b < loader.batchesPerEpoch(); ++b) {
+                data::Batch batch = loader.batch(b);
+                opt.zeroGrad();
+                ag::backward(workload_->loss(workload_->forward(batch),
+                                             batch.targets));
+                opt.clipGradNorm(5.0f);
+                opt.step();
+            }
+            loader.nextEpoch();
+        }
+        workload_->train(false);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete task_;
+        delete workload_;
+        task_ = nullptr;
+        workload_ = nullptr;
+    }
+
+    double
+    accuracyOn(const data::Batch &batch) const
+    {
+        ag::NoGradGuard ng;
+        return workload_->metric(workload_->forward(batch).value(),
+                                 batch.targets);
+    }
+
+    static models::MultiModalWorkload *workload_;
+    static data::SyntheticTask *task_;
+};
+
+models::MultiModalWorkload *TrainedAvMnist::workload_ = nullptr;
+data::SyntheticTask *TrainedAvMnist::task_ = nullptr;
+
+TEST_F(TrainedAvMnist, CleanAccuracyAboveChance)
+{
+    data::Batch clean = task_->sample(128);
+    EXPECT_GT(accuracyOn(clean), 50.0); // chance = 10%
+}
+
+TEST_F(TrainedAvMnist, MissingAudioDegradesGracefully)
+{
+    data::Batch clean = task_->sample(128);
+    data::Batch no_audio = task_->sampleWithMissingModality(128, 1);
+    const double clean_acc = accuracyOn(clean);
+    const double degraded = accuracyOn(no_audio);
+    // Losing the secondary modality hurts but does not collapse to
+    // chance: the image path carries most of the signal (Fig. 5).
+    EXPECT_LT(degraded, clean_acc);
+    EXPECT_GT(degraded, 25.0);
+}
+
+TEST_F(TrainedAvMnist, MissingImageHurtsMoreThanMissingAudio)
+{
+    data::Batch no_image = task_->sampleWithMissingModality(256, 0);
+    data::Batch no_audio = task_->sampleWithMissingModality(256, 1);
+    // The dominant (image) modality matters more.
+    EXPECT_LT(accuracyOn(no_image), accuracyOn(no_audio));
+}
+
+TEST_F(TrainedAvMnist, UniModalVariantIgnoresOtherModalityFailure)
+{
+    // The image-only execution path never consumes audio, so noising
+    // audio cannot change its predictions.
+    data::Batch batch = task_->sample(64);
+    data::Batch corrupted = batch;
+    corrupted.modalities[1] =
+        task_->sampleWithMissingModality(64, 1).modalities[1];
+    ag::NoGradGuard ng;
+    tensor::Tensor a =
+        workload_->forwardUniModal(batch, 0).value();
+    tensor::Tensor b =
+        workload_->forwardUniModal(corrupted, 0).value();
+    EXPECT_TRUE(tensor::allClose(a, b));
+}
+
+TEST(ZeroFusionRobustness, ImmuneToAnyModalityFailure)
+{
+    // Zero fusion discards all features; its (chance-level) output
+    // distribution cannot depend on modality corruption.
+    models::WorkloadConfig config;
+    config.fusionKind = fusion::FusionKind::Zero;
+    config.sizeScale = 0.35f;
+    auto w = models::zoo::create("av-mnist", config);
+    w->train(false);
+    auto task = w->makeTask(9);
+    data::Batch clean = task.sample(32);
+    data::Batch broken = task.sampleWithMissingModality(32, 0);
+    ag::NoGradGuard ng;
+    tensor::Tensor a = w->forward(clean).value();
+    tensor::Tensor b = w->forward(broken).value();
+    // Outputs depend only on the head bias over zero features.
+    EXPECT_TRUE(tensor::allClose(a, b));
+}
+
+} // namespace
+} // namespace mmbench

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Tests for the device models, the kernel cost model and the timeline
+ * scheduler, including cross-device property checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/cost_model.hh"
+#include "sim/device.hh"
+#include "sim/timeline.hh"
+#include "trace/scope.hh"
+
+namespace mmbench {
+namespace sim {
+namespace {
+
+namespace tr = mmbench::trace;
+
+tr::KernelEvent
+makeKernel(tr::KernelClass kc, uint64_t flops, uint64_t read,
+           uint64_t write, tr::Stage stage = tr::Stage::Encoder,
+           int modality = 0)
+{
+    tr::KernelEvent ev;
+    ev.kclass = kc;
+    ev.name = "test";
+    ev.flops = flops;
+    ev.bytesRead = read;
+    ev.bytesWritten = write;
+    ev.stage = stage;
+    ev.modality = modality;
+    return ev;
+}
+
+TEST(Device, PresetsAreOrderedByCapability)
+{
+    const DeviceModel server = DeviceModel::rtx2080ti();
+    const DeviceModel nano = DeviceModel::jetsonNano();
+    const DeviceModel orin = DeviceModel::jetsonOrin();
+    EXPECT_GT(server.fp32Tflops, orin.fp32Tflops);
+    EXPECT_GT(orin.fp32Tflops, nano.fp32Tflops);
+    EXPECT_GT(server.dramGBs, orin.dramGBs);
+    EXPECT_GT(orin.dramGBs, nano.dramGBs);
+    EXPECT_FALSE(server.unifiedMemory);
+    EXPECT_TRUE(nano.unifiedMemory);
+    EXPECT_TRUE(orin.unifiedMemory);
+    EXPECT_GT(nano.frontendStallFactor, server.frontendStallFactor);
+}
+
+TEST(CostModel, BigGemmIsComputeBound)
+{
+    // 512^3 GEMM: ~268 MFLOPs over ~3 MB -> compute bound on 2080Ti.
+    const uint64_t n = 512;
+    auto ev = makeKernel(tr::KernelClass::Gemm, 2 * n * n * n,
+                         2 * n * n * 4, n * n * 4);
+    KernelCost cost = simulateKernel(ev, DeviceModel::rtx2080ti());
+    EXPECT_FALSE(cost.memoryBound);
+    EXPECT_GT(cost.computeTimeUs, cost.memTimeUs);
+    EXPECT_GT(cost.timeUs, 0.0);
+}
+
+TEST(CostModel, ElementwiseIsMemoryBound)
+{
+    // 1 FLOP per 8 bytes moved: firmly memory bound.
+    auto ev = makeKernel(tr::KernelClass::Elewise, 1 << 20,
+                         (1 << 20) * 4, (1 << 20) * 4);
+    KernelCost cost = simulateKernel(ev, DeviceModel::rtx2080ti());
+    EXPECT_TRUE(cost.memoryBound);
+    EXPECT_GT(cost.dramUtil, 0.5);
+}
+
+TEST(CostModel, TimeIsRooflineMax)
+{
+    auto ev = makeKernel(tr::KernelClass::Gemm, 1 << 24, 1 << 22,
+                         1 << 22);
+    KernelCost cost = simulateKernel(ev, DeviceModel::rtx2080ti());
+    const double expected =
+        std::max(cost.computeTimeUs, cost.memTimeUs) + 1.5;
+    EXPECT_NEAR(cost.timeUs, expected, 1e-9);
+}
+
+TEST(CostModel, SmallKernelHasLowOccupancy)
+{
+    auto small = makeKernel(tr::KernelClass::Elewise, 256, 1024, 1024);
+    auto big = makeKernel(tr::KernelClass::Elewise, 1 << 22,
+                          (1 << 22) * 4, (1 << 22) * 4);
+    const DeviceModel dev = DeviceModel::rtx2080ti();
+    EXPECT_LT(simulateKernel(small, dev).occupancy, 0.01);
+    EXPECT_NEAR(simulateKernel(big, dev).occupancy, 1.0, 1e-6);
+}
+
+TEST(CostModel, StallSharesSumToOne)
+{
+    for (auto kc : {tr::KernelClass::Conv, tr::KernelClass::Gemm,
+                    tr::KernelClass::Elewise, tr::KernelClass::Reduce}) {
+        auto ev = makeKernel(kc, 1 << 20, 1 << 20, 1 << 18);
+        for (const DeviceModel &dev :
+             {DeviceModel::rtx2080ti(), DeviceModel::jetsonNano(),
+              DeviceModel::jetsonOrin()}) {
+            KernelCost cost = simulateKernel(ev, dev);
+            double total = 0.0;
+            for (double s : cost.stallShares)
+                total += s;
+            EXPECT_NEAR(total, 1.0, 1e-9);
+        }
+    }
+}
+
+TEST(CostModel, EdgeShiftsStallsTowardExecAndInst)
+{
+    // The same kernel on nano must show more Exec+Inst stalls and the
+    // server more Mem+Cache stalls (paper Fig. 15 shape).
+    auto ev = makeKernel(tr::KernelClass::Conv, 1 << 24, 1 << 22,
+                         1 << 21);
+    KernelCost server = simulateKernel(ev, DeviceModel::rtx2080ti());
+    KernelCost nano = simulateKernel(ev, DeviceModel::jetsonNano());
+
+    auto share = [](const KernelCost &c, StallReason r) {
+        return c.stallShares[static_cast<size_t>(r)];
+    };
+    const double nano_ei = share(nano, StallReason::Exec) +
+                           share(nano, StallReason::Inst);
+    const double server_ei = share(server, StallReason::Exec) +
+                             share(server, StallReason::Inst);
+    EXPECT_GT(nano_ei, server_ei);
+    const double server_mc = share(server, StallReason::Mem) +
+                             share(server, StallReason::Cache);
+    const double nano_mc = share(nano, StallReason::Mem) +
+                           share(nano, StallReason::Cache);
+    EXPECT_GT(server_mc, nano_mc);
+}
+
+TEST(CostModel, NanoSlowerThanOrinSlowerThanServer)
+{
+    auto ev = makeKernel(tr::KernelClass::Conv, 1 << 26, 1 << 24,
+                         1 << 22);
+    const double t_server =
+        simulateKernel(ev, DeviceModel::rtx2080ti()).timeUs;
+    const double t_orin =
+        simulateKernel(ev, DeviceModel::jetsonOrin()).timeUs;
+    const double t_nano =
+        simulateKernel(ev, DeviceModel::jetsonNano()).timeUs;
+    EXPECT_LT(t_server, t_orin);
+    EXPECT_LT(t_orin, t_nano);
+}
+
+TEST(CostModel, TimeMonotonicInFlops)
+{
+    const DeviceModel dev = DeviceModel::rtx2080ti();
+    double prev = 0.0;
+    for (uint64_t flops = 1 << 16; flops <= (1ULL << 28); flops <<= 2) {
+        auto ev = makeKernel(tr::KernelClass::Gemm, flops, 1 << 20,
+                             1 << 20);
+        const double t = simulateKernel(ev, dev).timeUs;
+        EXPECT_GE(t, prev);
+        prev = t;
+    }
+}
+
+TEST(CostModel, L2HitHigherOnServerForMidSizeWorkingSet)
+{
+    // 1 MB working set fits 2080Ti's 5.5 MB L2, not nano's 0.25 MB.
+    auto ev = makeKernel(tr::KernelClass::Gemm, 1 << 20, 1 << 20,
+                         1 << 18);
+    EXPECT_GT(simulateKernel(ev, DeviceModel::rtx2080ti()).l2Hit, 0.99);
+    EXPECT_LT(simulateKernel(ev, DeviceModel::jetsonNano()).l2Hit, 0.3);
+}
+
+TEST(CostModel, RuntimeEventCosts)
+{
+    const DeviceModel server = DeviceModel::rtx2080ti();
+    tr::RuntimeEvent copy;
+    copy.kind = tr::RuntimeEvent::Kind::H2DCopy;
+    copy.bytes = 12ULL * 1000 * 1000 * 1000; // 1 s at 12 GB/s
+    EXPECT_NEAR(runtimeEventUs(copy, server), 1e6, 1e4);
+
+    tr::RuntimeEvent sync;
+    sync.kind = tr::RuntimeEvent::Kind::Sync;
+    EXPECT_DOUBLE_EQ(runtimeEventUs(sync, server), server.syncOverheadUs);
+
+    tr::RuntimeEvent prep;
+    prep.kind = tr::RuntimeEvent::Kind::DataPrep;
+    prep.bytes = 8ULL * 1000 * 1000 * 1000;
+    EXPECT_NEAR(runtimeEventUs(prep, server), 1e6, 1e4);
+}
+
+TEST(StallNames, AllDefined)
+{
+    EXPECT_STREQ(stallReasonName(StallReason::Cache), "Cache");
+    EXPECT_STREQ(stallReasonName(StallReason::Inst), "Inst.");
+    EXPECT_STREQ(stallReasonName(StallReason::Else), "Else");
+}
+
+// ---------------------------------------------------------------------
+// Timeline scheduling.
+// ---------------------------------------------------------------------
+
+TEST(Timeline, KernelsExecuteInOrder)
+{
+    tr::RecordingSink sink;
+    {
+        tr::ScopedSink guard(sink);
+        tr::emitKernel(tr::KernelClass::Gemm, "a", 1 << 24, 1 << 22,
+                       1 << 22);
+        tr::emitKernel(tr::KernelClass::Gemm, "b", 1 << 24, 1 << 22,
+                       1 << 22);
+    }
+    Timeline tl(DeviceModel::rtx2080ti());
+    TimelineResult result = tl.replay(sink);
+    ASSERT_EQ(result.kernels.size(), 2u);
+    EXPECT_GE(result.kernels[1].startUs, result.kernels[0].endUs);
+    EXPECT_GT(result.gpuBusyUs, 0.0);
+    EXPECT_GE(result.totalUs, result.gpuBusyUs);
+}
+
+TEST(Timeline, LaunchOverheadAccumulatesOnCpu)
+{
+    tr::RecordingSink sink;
+    {
+        tr::ScopedSink guard(sink);
+        for (int i = 0; i < 10; ++i)
+            tr::emitKernel(tr::KernelClass::Elewise, "tiny", 64, 256, 256);
+    }
+    const DeviceModel dev = DeviceModel::rtx2080ti();
+    Timeline tl(dev);
+    TimelineResult result = tl.replay(sink);
+    EXPECT_NEAR(result.cpuRuntimeUs, 10 * dev.kernelLaunchUs, 1e-9);
+    // Tiny kernels: launch-bound, so the device should show idle gaps.
+    EXPECT_GT(result.gpuIdleUs, 0.0);
+}
+
+TEST(Timeline, SyncDrainsDevice)
+{
+    tr::RecordingSink sink;
+    {
+        tr::ScopedSink guard(sink);
+        tr::emitKernel(tr::KernelClass::Gemm, "big", 1 << 28, 1 << 24,
+                       1 << 24);
+        tr::emitRuntime(tr::RuntimeEvent::Kind::Sync, "barrier", 0);
+        tr::emitRuntime(tr::RuntimeEvent::Kind::DataPrep, "post", 1024);
+    }
+    Timeline tl(DeviceModel::rtx2080ti());
+    TimelineResult result = tl.replay(sink);
+    ASSERT_EQ(result.runtimeOps.size(), 2u);
+    // The sync op starts only after the kernel ends.
+    EXPECT_GE(result.runtimeOps[0].startUs, result.kernels[0].endUs);
+    // The post-sync prep starts after the sync.
+    EXPECT_GE(result.runtimeOps[1].startUs, result.runtimeOps[0].endUs);
+}
+
+TEST(Timeline, CopiesAccountedInMemoryStats)
+{
+    tr::RecordingSink sink;
+    {
+        tr::ScopedSink guard(sink);
+        tr::emitRuntime(tr::RuntimeEvent::Kind::H2DCopy, "in", 1000);
+        tr::emitRuntime(tr::RuntimeEvent::Kind::H2DCopy, "in2", 500);
+        tr::emitRuntime(tr::RuntimeEvent::Kind::D2HCopy, "out", 50);
+    }
+    Timeline tl(DeviceModel::rtx2080ti());
+    TimelineResult result = tl.replay(sink);
+    EXPECT_EQ(result.memory.h2dBytes, 1500u);
+    EXPECT_EQ(result.memory.d2hBytes, 50u);
+}
+
+TEST(Timeline, AllocWatermarkPerCategory)
+{
+    tr::RecordingSink sink;
+    {
+        tr::ScopedSink guard(sink);
+        {
+            tr::MemScope model(tr::MemCategory::Model);
+            tr::emitAlloc(1000);
+        }
+        tr::emitAlloc(400); // intermediate
+        tr::emitAlloc(600);
+        tr::emitAlloc(-400);
+        tr::emitAlloc(300);
+    }
+    Timeline tl(DeviceModel::rtx2080ti());
+    TimelineResult result = tl.replay(sink);
+    EXPECT_EQ(result.memory.peakBytes[static_cast<size_t>(
+                  tr::MemCategory::Model)],
+              1000u);
+    EXPECT_EQ(result.memory.peakBytes[static_cast<size_t>(
+                  tr::MemCategory::Intermediate)],
+              1000u); // 400 + 600 peak
+}
+
+TEST(Timeline, SameTraceSlowerOnNano)
+{
+    tr::RecordingSink sink;
+    {
+        tr::ScopedSink guard(sink);
+        for (int i = 0; i < 5; ++i)
+            tr::emitKernel(tr::KernelClass::Conv, "conv", 1 << 24,
+                           1 << 22, 1 << 21);
+    }
+    const double server =
+        Timeline(DeviceModel::rtx2080ti()).replay(sink).totalUs;
+    const double orin =
+        Timeline(DeviceModel::jetsonOrin()).replay(sink).totalUs;
+    const double nano =
+        Timeline(DeviceModel::jetsonNano()).replay(sink).totalUs;
+    EXPECT_LT(server, orin);
+    EXPECT_LT(orin, nano);
+}
+
+} // namespace
+} // namespace sim
+} // namespace mmbench

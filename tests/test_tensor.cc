@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Unit tests for Shape and Tensor fundamentals.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hh"
+#include "tensor/tensor.hh"
+#include "trace/scope.hh"
+#include "trace/sink.hh"
+
+namespace mmbench {
+namespace tensor {
+namespace {
+
+TEST(Shape, NumelAndNdim)
+{
+    Shape s{2, 3, 4};
+    EXPECT_EQ(s.ndim(), 3u);
+    EXPECT_EQ(s.numel(), 24);
+    EXPECT_EQ(Shape{}.numel(), 1); // scalar
+    EXPECT_EQ((Shape{0, 5}).numel(), 0);
+}
+
+TEST(Shape, NegativeIndexing)
+{
+    Shape s{2, 3, 4};
+    EXPECT_EQ(s.dim(-1), 4);
+    EXPECT_EQ(s.dim(-3), 2);
+    EXPECT_EQ(s.dim(1), 3);
+}
+
+TEST(Shape, Strides)
+{
+    Shape s{2, 3, 4};
+    auto st = s.strides();
+    ASSERT_EQ(st.size(), 3u);
+    EXPECT_EQ(st[0], 12);
+    EXPECT_EQ(st[1], 4);
+    EXPECT_EQ(st[2], 1);
+}
+
+TEST(Shape, Equality)
+{
+    EXPECT_EQ((Shape{2, 3}), (Shape{2, 3}));
+    EXPECT_NE((Shape{2, 3}), (Shape{3, 2}));
+}
+
+TEST(Shape, ToString)
+{
+    EXPECT_EQ((Shape{2, 3}).toString(), "[2, 3]");
+    EXPECT_EQ(Shape{}.toString(), "[]");
+}
+
+TEST(Shape, BroadcastCompatible)
+{
+    EXPECT_EQ(broadcastShapes(Shape{4, 3}, Shape{3}), (Shape{4, 3}));
+    EXPECT_EQ(broadcastShapes(Shape{4, 1}, Shape{1, 5}), (Shape{4, 5}));
+    EXPECT_EQ(broadcastShapes(Shape{}, Shape{2, 2}), (Shape{2, 2}));
+    EXPECT_EQ(broadcastShapes(Shape{2, 1, 3}, Shape{7, 3}),
+              (Shape{2, 7, 3}));
+}
+
+TEST(Tensor, FactoryBasics)
+{
+    Tensor z = Tensor::zeros(Shape{2, 2});
+    EXPECT_EQ(z.numel(), 4);
+    for (int64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(z.at(i), 0.0f);
+
+    Tensor o = Tensor::ones(Shape{3});
+    EXPECT_EQ(o.at(2), 1.0f);
+
+    Tensor f = Tensor::full(Shape{2}, 7.5f);
+    EXPECT_EQ(f.at(1), 7.5f);
+
+    Tensor a = Tensor::arange(5);
+    EXPECT_EQ(a.at(4), 4.0f);
+}
+
+TEST(Tensor, DefaultUndefined)
+{
+    Tensor t;
+    EXPECT_FALSE(t.defined());
+}
+
+TEST(Tensor, FromVectorRoundTrip)
+{
+    std::vector<float> v = {1, 2, 3, 4, 5, 6};
+    Tensor t = Tensor::fromVector(Shape{2, 3}, v);
+    EXPECT_EQ(t.toVector(), v);
+    EXPECT_EQ(t.at(1, 2), 6.0f);
+}
+
+TEST(Tensor, ScalarItem)
+{
+    Tensor s = Tensor::scalar(2.5f);
+    EXPECT_EQ(s.ndim(), 0u);
+    EXPECT_EQ(s.item(), 2.5f);
+}
+
+TEST(Tensor, ReshapeSharesStorage)
+{
+    Tensor t = Tensor::zeros(Shape{2, 3});
+    Tensor v = t.reshape(Shape{3, 2});
+    v.at(0) = 42.0f;
+    EXPECT_EQ(t.at(0), 42.0f); // same storage
+    EXPECT_EQ(v.shape(), (Shape{3, 2}));
+}
+
+TEST(Tensor, CloneIsDeep)
+{
+    Tensor t = Tensor::ones(Shape{4});
+    Tensor c = t.clone();
+    c.at(0) = 9.0f;
+    EXPECT_EQ(t.at(0), 1.0f);
+}
+
+TEST(Tensor, CopySemanticsShareStorage)
+{
+    Tensor t = Tensor::ones(Shape{4});
+    Tensor alias = t;
+    alias.at(1) = 5.0f;
+    EXPECT_EQ(t.at(1), 5.0f);
+}
+
+TEST(Tensor, FlattenPreservesData)
+{
+    Tensor t = Tensor::arange(6).reshape(Shape{2, 3});
+    Tensor f = t.flatten();
+    EXPECT_EQ(f.shape(), (Shape{6}));
+    EXPECT_EQ(f.at(5), 5.0f);
+}
+
+TEST(Tensor, RandnStatistics)
+{
+    Rng rng(3);
+    Tensor t = Tensor::randn(Shape{10000}, rng, 2.0f);
+    double sum = 0.0, sq = 0.0;
+    for (int64_t i = 0; i < t.numel(); ++i) {
+        sum += t.at(i);
+        sq += t.at(i) * t.at(i);
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.0, 0.1);
+    EXPECT_NEAR(sq / 10000.0, 4.0, 0.25);
+}
+
+TEST(Tensor, RanduRange)
+{
+    Rng rng(4);
+    Tensor t = Tensor::randu(Shape{1000}, rng, -1.0f, 1.0f);
+    for (int64_t i = 0; i < t.numel(); ++i) {
+        EXPECT_GE(t.at(i), -1.0f);
+        EXPECT_LT(t.at(i), 1.0f);
+    }
+}
+
+TEST(Tensor, AllFinite)
+{
+    Tensor t = Tensor::ones(Shape{3});
+    EXPECT_TRUE(t.allFinite());
+    t.at(1) = std::numeric_limits<float>::infinity();
+    EXPECT_FALSE(t.allFinite());
+    t.at(1) = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_FALSE(t.allFinite());
+}
+
+TEST(Tensor, BytesAccounting)
+{
+    Tensor t = Tensor::zeros(Shape{10, 10});
+    EXPECT_EQ(t.bytes(), 400u);
+}
+
+TEST(Tensor, CopyFrom)
+{
+    Tensor a = Tensor::zeros(Shape{2, 2});
+    Tensor b = Tensor::fromVector(Shape{4}, {1, 2, 3, 4});
+    a.copyFrom(b);
+    EXPECT_EQ(a.at(1, 1), 4.0f);
+}
+
+TEST(Tensor, StorageEmitsAllocEvents)
+{
+    trace::RecordingSink sink;
+    {
+        trace::ScopedSink guard(sink);
+        trace::MemScope cat(trace::MemCategory::Dataset);
+        Tensor t = Tensor::zeros(Shape{8});
+        // t destructs inside the scope
+    }
+    ASSERT_EQ(sink.allocs.size(), 2u);
+    EXPECT_EQ(sink.allocs[0].bytes, 32);
+    EXPECT_EQ(sink.allocs[0].category, trace::MemCategory::Dataset);
+    EXPECT_EQ(sink.allocs[1].bytes, -32);
+}
+
+TEST(Tensor, ReshapeDoesNotReallocate)
+{
+    trace::RecordingSink sink;
+    trace::ScopedSink guard(sink);
+    Tensor t = Tensor::zeros(Shape{8});
+    size_t allocs_before = sink.allocs.size();
+    Tensor v = t.reshape(Shape{2, 4});
+    EXPECT_EQ(sink.allocs.size(), allocs_before);
+}
+
+} // namespace
+} // namespace tensor
+} // namespace mmbench

@@ -1,0 +1,662 @@
+/**
+ * @file
+ * Unit and property tests for the tensor operator library.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hh"
+#include "trace/sink.hh"
+
+namespace mmbench {
+namespace tensor {
+namespace {
+
+Tensor
+t2(std::initializer_list<float> v, int64_t r, int64_t c)
+{
+    return Tensor::fromVector(Shape{r, c}, std::vector<float>(v));
+}
+
+TEST(Elementwise, AddSameShape)
+{
+    Tensor a = t2({1, 2, 3, 4}, 2, 2);
+    Tensor b = t2({10, 20, 30, 40}, 2, 2);
+    Tensor c = add(a, b);
+    EXPECT_EQ(c.toVector(), (std::vector<float>{11, 22, 33, 44}));
+}
+
+TEST(Elementwise, SubMulDiv)
+{
+    Tensor a = t2({4, 9, 16, 25}, 2, 2);
+    Tensor b = t2({2, 3, 4, 5}, 2, 2);
+    EXPECT_EQ(sub(a, b).toVector(), (std::vector<float>{2, 6, 12, 20}));
+    EXPECT_EQ(mul(a, b).toVector(), (std::vector<float>{8, 27, 64, 125}));
+    EXPECT_EQ(div(a, b).toVector(), (std::vector<float>{2, 3, 4, 5}));
+}
+
+TEST(Elementwise, BroadcastBiasAdd)
+{
+    // (2,3) + (3) — the classic bias add.
+    Tensor a = t2({1, 2, 3, 4, 5, 6}, 2, 3);
+    Tensor b = Tensor::fromVector(Shape{3}, {10, 20, 30});
+    Tensor c = add(a, b);
+    EXPECT_EQ(c.toVector(), (std::vector<float>{11, 22, 33, 14, 25, 36}));
+}
+
+TEST(Elementwise, BroadcastScalarTensor)
+{
+    Tensor a = t2({1, 2, 3, 4}, 2, 2);
+    Tensor s = Tensor::scalar(100.0f);
+    EXPECT_EQ(add(a, s).toVector(), (std::vector<float>{101, 102, 103, 104}));
+    EXPECT_EQ(add(s, a).toVector(), (std::vector<float>{101, 102, 103, 104}));
+}
+
+TEST(Elementwise, BroadcastGeneralMiddleAxis)
+{
+    // (2,1,2) * (1,3,1) -> (2,3,2)
+    Tensor a = Tensor::fromVector(Shape{2, 1, 2}, {1, 2, 3, 4});
+    Tensor b = Tensor::fromVector(Shape{1, 3, 1}, {1, 10, 100});
+    Tensor c = mul(a, b);
+    EXPECT_EQ(c.shape(), (Shape{2, 3, 2}));
+    EXPECT_EQ(c.toVector(),
+              (std::vector<float>{1, 2, 10, 20, 100, 200,
+                                  3, 4, 30, 40, 300, 400}));
+}
+
+TEST(Elementwise, BroadcastLeftSuffix)
+{
+    // (3) + (2,3): output takes b's shape, a is the suffix.
+    Tensor a = Tensor::fromVector(Shape{3}, {1, 2, 3});
+    Tensor b = t2({10, 20, 30, 40, 50, 60}, 2, 3);
+    EXPECT_EQ(add(a, b).toVector(),
+              (std::vector<float>{11, 22, 33, 41, 52, 63}));
+}
+
+TEST(Elementwise, ScalarOps)
+{
+    Tensor a = t2({1, 2, 3, 4}, 2, 2);
+    EXPECT_EQ(addScalar(a, 1.0f).toVector(),
+              (std::vector<float>{2, 3, 4, 5}));
+    EXPECT_EQ(mulScalar(a, 2.0f).toVector(),
+              (std::vector<float>{2, 4, 6, 8}));
+}
+
+TEST(Elementwise, UnaryMath)
+{
+    Tensor a = Tensor::fromVector(Shape{3}, {-1.0f, 0.0f, 2.0f});
+    EXPECT_EQ(reluF(a).toVector(), (std::vector<float>{0, 0, 2}));
+    EXPECT_EQ(neg(a).toVector(), (std::vector<float>{1, 0, -2}));
+    EXPECT_EQ(absF(a).toVector(), (std::vector<float>{1, 0, 2}));
+    EXPECT_EQ(squareF(a).toVector(), (std::vector<float>{1, 0, 4}));
+    EXPECT_EQ(gtZeroMask(a).toVector(), (std::vector<float>{0, 0, 1}));
+}
+
+TEST(Elementwise, SigmoidTanhValues)
+{
+    Tensor a = Tensor::fromVector(Shape{2}, {0.0f, 100.0f});
+    Tensor s = sigmoidF(a);
+    EXPECT_NEAR(s.at(0), 0.5f, 1e-6f);
+    EXPECT_NEAR(s.at(1), 1.0f, 1e-6f);
+    Tensor t = tanhF(Tensor::fromVector(Shape{2}, {0.0f, 2.0f}));
+    EXPECT_NEAR(t.at(0), 0.0f, 1e-6f);
+    EXPECT_NEAR(t.at(1), std::tanh(2.0f), 1e-6f);
+}
+
+TEST(Elementwise, GeluApproximation)
+{
+    Tensor g = geluF(Tensor::fromVector(Shape{3}, {-10.0f, 0.0f, 10.0f}));
+    EXPECT_NEAR(g.at(0), 0.0f, 1e-3f);
+    EXPECT_NEAR(g.at(1), 0.0f, 1e-6f);
+    EXPECT_NEAR(g.at(2), 10.0f, 1e-3f);
+}
+
+TEST(Elementwise, ExpLogSqrtClamp)
+{
+    Tensor a = Tensor::fromVector(Shape{2}, {1.0f, 4.0f});
+    EXPECT_NEAR(expF(a).at(1), std::exp(4.0f), 1e-2f);
+    EXPECT_NEAR(logF(a).at(1), std::log(4.0f), 1e-6f);
+    EXPECT_NEAR(sqrtF(a).at(1), 2.0f, 1e-6f);
+    Tensor c = clampF(Tensor::fromVector(Shape{3}, {-5, 0.5, 5}), 0.0f, 1.0f);
+    EXPECT_EQ(c.toVector(), (std::vector<float>{0, 0.5, 1}));
+}
+
+TEST(Elementwise, DropoutMaskStatistics)
+{
+    Rng rng(5);
+    Tensor m = dropoutMask(Shape{10000}, 0.25f, rng);
+    int64_t zeros = 0;
+    for (int64_t i = 0; i < m.numel(); ++i) {
+        if (m.at(i) == 0.0f) {
+            ++zeros;
+        } else {
+            EXPECT_NEAR(m.at(i), 1.0f / 0.75f, 1e-6f);
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.25, 0.02);
+}
+
+TEST(Matmul, Basic2D)
+{
+    Tensor a = t2({1, 2, 3, 4, 5, 6}, 2, 3);
+    Tensor b = t2({7, 8, 9, 10, 11, 12}, 3, 2);
+    Tensor c = matmul(a, b);
+    EXPECT_EQ(c.shape(), (Shape{2, 2}));
+    EXPECT_EQ(c.toVector(), (std::vector<float>{58, 64, 139, 154}));
+}
+
+TEST(Matmul, IdentityProperty)
+{
+    Rng rng(6);
+    Tensor a = Tensor::randn(Shape{5, 5}, rng);
+    Tensor eye = Tensor::zeros(Shape{5, 5});
+    for (int64_t i = 0; i < 5; ++i)
+        eye.at(i, i) = 1.0f;
+    EXPECT_TRUE(allClose(matmul(a, eye), a, 1e-5f));
+    EXPECT_TRUE(allClose(matmul(eye, a), a, 1e-5f));
+}
+
+TEST(Matmul, Batched3D)
+{
+    // Two independent 2x2 @ 2x2 products.
+    Tensor a = Tensor::fromVector(Shape{2, 2, 2}, {1, 0, 0, 1, 2, 0, 0, 2});
+    Tensor b = Tensor::fromVector(Shape{2, 2, 2}, {5, 6, 7, 8, 5, 6, 7, 8});
+    Tensor c = matmul(a, b);
+    EXPECT_EQ(c.shape(), (Shape{2, 2, 2}));
+    EXPECT_EQ(c.toVector(),
+              (std::vector<float>{5, 6, 7, 8, 10, 12, 14, 16}));
+}
+
+TEST(Matmul, BatchedSharedRhs)
+{
+    // (2,1,2) x (2,3) -> (2,1,3)
+    Tensor a = Tensor::fromVector(Shape{2, 1, 2}, {1, 2, 3, 4});
+    Tensor b = t2({1, 2, 3, 4, 5, 6}, 2, 3);
+    Tensor c = matmul(a, b);
+    EXPECT_EQ(c.shape(), (Shape{2, 1, 3}));
+    EXPECT_EQ(c.toVector(), (std::vector<float>{9, 12, 15, 19, 26, 33}));
+}
+
+TEST(Matmul, EmitsGemmEventWithCorrectFlops)
+{
+    trace::RecordingSink sink;
+    trace::ScopedSink guard(sink);
+    Rng rng(7);
+    Tensor a = Tensor::randn(Shape{4, 8}, rng);
+    Tensor b = Tensor::randn(Shape{8, 2}, rng);
+    sink.clear();
+    matmul(a, b);
+    ASSERT_EQ(sink.kernels.size(), 1u);
+    EXPECT_EQ(sink.kernels[0].kclass, trace::KernelClass::Gemm);
+    EXPECT_EQ(sink.kernels[0].flops, 2u * 4 * 8 * 2);
+}
+
+TEST(Matmul, OuterBatch)
+{
+    Tensor a = t2({1, 2, 3, 4}, 2, 2);
+    Tensor b = t2({5, 6, 7, 8, 9, 10}, 2, 3);
+    Tensor c = outerBatch(a, b);
+    EXPECT_EQ(c.shape(), (Shape{2, 2, 3}));
+    // batch 0: [1,2] outer [5,6,7]
+    EXPECT_EQ(c.at(0), 5.0f);
+    EXPECT_EQ(c.at(5), 14.0f);
+    // batch 1: [3,4] outer [8,9,10]
+    EXPECT_EQ(c.at(6), 24.0f);
+    EXPECT_EQ(c.at(11), 40.0f);
+}
+
+TEST(Layout, Transpose2D)
+{
+    Tensor a = t2({1, 2, 3, 4, 5, 6}, 2, 3);
+    Tensor t = transpose2d(a);
+    EXPECT_EQ(t.shape(), (Shape{3, 2}));
+    EXPECT_EQ(t.toVector(), (std::vector<float>{1, 4, 2, 5, 3, 6}));
+}
+
+TEST(Layout, TransposeTwiceIsIdentity)
+{
+    Rng rng(8);
+    Tensor a = Tensor::randn(Shape{5, 7}, rng);
+    EXPECT_TRUE(allClose(transpose2d(transpose2d(a)), a));
+}
+
+TEST(Layout, PermuteNCHWToNHWC)
+{
+    Tensor a = Tensor::arange(2 * 3 * 4).reshape(Shape{1, 2, 3, 4});
+    Tensor p = permute(a, {0, 2, 3, 1});
+    EXPECT_EQ(p.shape(), (Shape{1, 3, 4, 2}));
+    // p[0][h][w][c] == a[0][c][h][w]; check a couple of entries.
+    // a[0][1][2][3] = 1*12 + 2*4 + 3 = 23 -> p index h=2,w=3,c=1
+    EXPECT_EQ(p.at(2 * 8 + 3 * 2 + 1), 23.0f);
+}
+
+TEST(Layout, SwapDims)
+{
+    Tensor a = Tensor::arange(6).reshape(Shape{2, 3});
+    Tensor s = swapDims(a, 0, 1);
+    EXPECT_TRUE(allClose(s, transpose2d(a)));
+    Tensor b = Tensor::arange(24).reshape(Shape{2, 3, 4});
+    Tensor sb = swapDims(b, -2, -1);
+    EXPECT_EQ(sb.shape(), (Shape{2, 4, 3}));
+}
+
+TEST(Reduce, SumMeanAll)
+{
+    Tensor a = t2({1, 2, 3, 4}, 2, 2);
+    EXPECT_EQ(sumAll(a).item(), 10.0f);
+    EXPECT_EQ(meanAll(a).item(), 2.5f);
+}
+
+TEST(Reduce, SumAxis)
+{
+    Tensor a = t2({1, 2, 3, 4, 5, 6}, 2, 3);
+    Tensor s0 = sumAxis(a, 0);
+    EXPECT_EQ(s0.shape(), (Shape{3}));
+    EXPECT_EQ(s0.toVector(), (std::vector<float>{5, 7, 9}));
+    Tensor s1 = sumAxis(a, 1);
+    EXPECT_EQ(s1.toVector(), (std::vector<float>{6, 15}));
+    Tensor sk = sumAxis(a, 1, true);
+    EXPECT_EQ(sk.shape(), (Shape{2, 1}));
+}
+
+TEST(Reduce, SumNegativeAxis)
+{
+    Tensor a = t2({1, 2, 3, 4, 5, 6}, 2, 3);
+    EXPECT_EQ(sumAxis(a, -1).toVector(), (std::vector<float>{6, 15}));
+}
+
+TEST(Reduce, MeanMaxAxis)
+{
+    Tensor a = t2({1, 2, 3, 4, 5, 6}, 2, 3);
+    EXPECT_EQ(meanAxis(a, 1).toVector(), (std::vector<float>{2, 5}));
+    EXPECT_EQ(maxAxis(a, 0).toVector(), (std::vector<float>{4, 5, 6}));
+}
+
+TEST(Reduce, MiddleAxis)
+{
+    Tensor a = Tensor::arange(8).reshape(Shape{2, 2, 2});
+    Tensor s = sumAxis(a, 1);
+    EXPECT_EQ(s.shape(), (Shape{2, 2}));
+    EXPECT_EQ(s.toVector(), (std::vector<float>{2, 4, 10, 12}));
+}
+
+TEST(Reduce, ArgmaxLast)
+{
+    Tensor a = t2({1, 9, 3, 7, 2, 5}, 2, 3);
+    Tensor idx = argmaxLast(a);
+    EXPECT_EQ(idx.shape(), (Shape{2}));
+    EXPECT_EQ(idx.toVector(), (std::vector<float>{1, 0}));
+}
+
+TEST(Reduce, SoftmaxRowsSumToOne)
+{
+    Rng rng(9);
+    Tensor a = Tensor::randn(Shape{4, 10}, rng, 3.0f);
+    Tensor s = softmaxLast(a);
+    for (int64_t r = 0; r < 4; ++r) {
+        float acc = 0.0f;
+        for (int64_t c = 0; c < 10; ++c) {
+            acc += s.at(r, c);
+            EXPECT_GE(s.at(r, c), 0.0f);
+        }
+        EXPECT_NEAR(acc, 1.0f, 1e-5f);
+    }
+}
+
+TEST(Reduce, SoftmaxStableForLargeLogits)
+{
+    Tensor a = Tensor::fromVector(Shape{1, 3}, {1000.0f, 1001.0f, 1002.0f});
+    Tensor s = softmaxLast(a);
+    EXPECT_TRUE(s.allFinite());
+    EXPECT_GT(s.at(2), s.at(1));
+}
+
+TEST(Reduce, LogSoftmaxMatchesLogOfSoftmax)
+{
+    Rng rng(10);
+    Tensor a = Tensor::randn(Shape{3, 6}, rng);
+    Tensor ls = logSoftmaxLast(a);
+    Tensor ref = logF(softmaxLast(a));
+    EXPECT_TRUE(allClose(ls, ref, 1e-5f));
+}
+
+TEST(ShapeOps, ConcatLastAxis)
+{
+    Tensor a = t2({1, 2, 3, 4}, 2, 2);
+    Tensor b = t2({5, 6, 7, 8, 9, 10}, 2, 3);
+    Tensor c = concat({a, b}, 1);
+    EXPECT_EQ(c.shape(), (Shape{2, 5}));
+    EXPECT_EQ(c.toVector(),
+              (std::vector<float>{1, 2, 5, 6, 7, 3, 4, 8, 9, 10}));
+}
+
+TEST(ShapeOps, ConcatFirstAxis)
+{
+    Tensor a = t2({1, 2}, 1, 2);
+    Tensor b = t2({3, 4}, 1, 2);
+    Tensor c = concat({a, b}, 0);
+    EXPECT_EQ(c.shape(), (Shape{2, 2}));
+    EXPECT_EQ(c.toVector(), (std::vector<float>{1, 2, 3, 4}));
+}
+
+TEST(ShapeOps, NarrowMiddle)
+{
+    Tensor a = Tensor::arange(12).reshape(Shape{3, 4});
+    Tensor n = narrow(a, 1, 1, 2);
+    EXPECT_EQ(n.shape(), (Shape{3, 2}));
+    EXPECT_EQ(n.toVector(), (std::vector<float>{1, 2, 5, 6, 9, 10}));
+}
+
+TEST(ShapeOps, ChunkRoundTrip)
+{
+    Tensor a = Tensor::arange(12).reshape(Shape{2, 6});
+    auto parts = chunk(a, 3, 1);
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0].shape(), (Shape{2, 2}));
+    Tensor back = concat(parts, 1);
+    EXPECT_TRUE(allClose(back, a));
+}
+
+TEST(ShapeOps, Pad2dZeroBorder)
+{
+    Tensor a = Tensor::ones(Shape{1, 1, 2, 2});
+    Tensor p = pad2d(a, 1);
+    EXPECT_EQ(p.shape(), (Shape{1, 1, 4, 4}));
+    EXPECT_EQ(sumAll(p).item(), 4.0f); // interior preserved
+    EXPECT_EQ(p.at(0), 0.0f);          // corner zero
+}
+
+TEST(ShapeOps, ExpandTo)
+{
+    Tensor a = Tensor::fromVector(Shape{1, 3}, {1, 2, 3});
+    Tensor e = expandTo(a, Shape{2, 3});
+    EXPECT_EQ(e.toVector(), (std::vector<float>{1, 2, 3, 1, 2, 3}));
+}
+
+TEST(ShapeOps, EmbeddingGather)
+{
+    Tensor w = t2({0, 0, 1, 1, 2, 2}, 3, 2);
+    Tensor ids = Tensor::fromVector(Shape{2, 2}, {2, 0, 1, 1});
+    Tensor e = embedding(w, ids);
+    EXPECT_EQ(e.shape(), (Shape{2, 2, 2}));
+    EXPECT_EQ(e.toVector(), (std::vector<float>{2, 2, 0, 0, 1, 1, 1, 1}));
+}
+
+TEST(ShapeOps, EmbeddingBackwardAccumulatesDuplicates)
+{
+    Tensor ids = Tensor::fromVector(Shape{3}, {1, 1, 0});
+    Tensor g = Tensor::fromVector(Shape{3, 2}, {1, 1, 2, 2, 5, 5});
+    Tensor gw = embeddingBackward(g, ids, 4);
+    EXPECT_EQ(gw.shape(), (Shape{4, 2}));
+    EXPECT_EQ(gw.at(0, 0), 5.0f);
+    EXPECT_EQ(gw.at(1, 0), 3.0f); // 1 + 2 accumulated
+    EXPECT_EQ(gw.at(3, 1), 0.0f);
+}
+
+TEST(Conv, IdentityKernel)
+{
+    // 1x1 kernel with weight 1 reproduces the input.
+    Tensor x = Tensor::arange(16).reshape(Shape{1, 1, 4, 4});
+    Tensor w = Tensor::ones(Shape{1, 1, 1, 1});
+    Tensor y = conv2d(x, w, Tensor(), 1, 0);
+    EXPECT_TRUE(allClose(y, x));
+}
+
+TEST(Conv, KnownValues3x3)
+{
+    // All-ones 3x3 kernel on all-ones input counts window coverage.
+    Tensor x = Tensor::ones(Shape{1, 1, 3, 3});
+    Tensor w = Tensor::ones(Shape{1, 1, 3, 3});
+    Tensor y = conv2d(x, w, Tensor(), 1, 1);
+    EXPECT_EQ(y.shape(), (Shape{1, 1, 3, 3}));
+    EXPECT_EQ(y.at(4), 9.0f); // center sees full window
+    EXPECT_EQ(y.at(0), 4.0f); // corner sees 2x2
+}
+
+TEST(Conv, BiasApplied)
+{
+    Tensor x = Tensor::zeros(Shape{1, 1, 2, 2});
+    Tensor w = Tensor::ones(Shape{3, 1, 1, 1});
+    Tensor b = Tensor::fromVector(Shape{3}, {1, 2, 3});
+    Tensor y = conv2d(x, w, b, 1, 0);
+    EXPECT_EQ(y.shape(), (Shape{1, 3, 2, 2}));
+    EXPECT_EQ(y.at(0), 1.0f);
+    EXPECT_EQ(y.at(4), 2.0f);
+    EXPECT_EQ(y.at(8), 3.0f);
+}
+
+TEST(Conv, StrideReducesOutput)
+{
+    Tensor x = Tensor::ones(Shape{1, 1, 8, 8});
+    Tensor w = Tensor::ones(Shape{1, 1, 2, 2});
+    Tensor y = conv2d(x, w, Tensor(), 2, 0);
+    EXPECT_EQ(y.shape(), (Shape{1, 1, 4, 4}));
+    EXPECT_EQ(y.at(0), 4.0f);
+}
+
+TEST(Conv, MultiChannelAccumulates)
+{
+    Tensor x = Tensor::ones(Shape{1, 3, 2, 2});
+    Tensor w = Tensor::ones(Shape{1, 3, 1, 1});
+    Tensor y = conv2d(x, w, Tensor(), 1, 0);
+    EXPECT_EQ(y.at(0), 3.0f);
+}
+
+TEST(Conv, GradInputMatchesFiniteDifference)
+{
+    Rng rng(11);
+    Tensor x = Tensor::randn(Shape{1, 2, 5, 5}, rng);
+    Tensor w = Tensor::randn(Shape{3, 2, 3, 3}, rng);
+    Tensor y = conv2d(x, w, Tensor(), 1, 1);
+    // Loss = sum(y); dL/dx via analytic path with grad_out = 1.
+    Tensor gout = Tensor::ones(y.shape());
+    Tensor gx = conv2dGradInput(gout, w, x.shape(), 1, 1);
+
+    const float eps = 1e-2f;
+    for (int64_t probe : {0L, 12L, 24L, 49L}) {
+        Tensor xp = x.clone();
+        xp.at(probe) += eps;
+        Tensor xm = x.clone();
+        xm.at(probe) -= eps;
+        float fd = (sumAll(conv2d(xp, w, Tensor(), 1, 1)).item() -
+                    sumAll(conv2d(xm, w, Tensor(), 1, 1)).item()) /
+                   (2 * eps);
+        EXPECT_NEAR(gx.at(probe), fd, 0.05f);
+    }
+}
+
+TEST(Conv, GradWeightMatchesFiniteDifference)
+{
+    Rng rng(12);
+    Tensor x = Tensor::randn(Shape{2, 1, 4, 4}, rng);
+    Tensor w = Tensor::randn(Shape{2, 1, 3, 3}, rng);
+    Tensor y = conv2d(x, w, Tensor(), 1, 0);
+    Tensor gout = Tensor::ones(y.shape());
+    Tensor gw = conv2dGradWeight(gout, x, w.shape(), 1, 0);
+
+    const float eps = 1e-2f;
+    for (int64_t probe : {0L, 5L, 17L}) {
+        Tensor wp = w.clone();
+        wp.at(probe) += eps;
+        Tensor wm = w.clone();
+        wm.at(probe) -= eps;
+        float fd = (sumAll(conv2d(x, wp, Tensor(), 1, 0)).item() -
+                    sumAll(conv2d(x, wm, Tensor(), 1, 0)).item()) /
+                   (2 * eps);
+        EXPECT_NEAR(gw.at(probe), fd, 0.05f);
+    }
+}
+
+TEST(Pool, MaxPoolValuesAndIndices)
+{
+    Tensor x = Tensor::fromVector(Shape{1, 1, 2, 4},
+                                  {1, 5, 2, 3,
+                                   7, 0, 9, 4});
+    Tensor idx;
+    Tensor y = maxpool2d(x, 2, 2, &idx);
+    EXPECT_EQ(y.shape(), (Shape{1, 1, 1, 2}));
+    EXPECT_EQ(y.toVector(), (std::vector<float>{7, 9}));
+    EXPECT_EQ(idx.toVector(), (std::vector<float>{4, 6}));
+}
+
+TEST(Pool, MaxPoolBackwardScattersToArgmax)
+{
+    Tensor x = Tensor::fromVector(Shape{1, 1, 2, 2}, {1, 2, 3, 4});
+    Tensor idx;
+    Tensor y = maxpool2d(x, 2, 2, &idx);
+    Tensor g = Tensor::fromVector(y.shape(), {10});
+    Tensor gx = maxpool2dBackward(g, idx, x.shape());
+    EXPECT_EQ(gx.toVector(), (std::vector<float>{0, 0, 0, 10}));
+}
+
+TEST(Pool, AvgPool)
+{
+    Tensor x = Tensor::fromVector(Shape{1, 1, 2, 2}, {1, 2, 3, 4});
+    Tensor y = avgpool2d(x, 2, 2);
+    EXPECT_EQ(y.numel(), 1);
+    EXPECT_EQ(y.at(0), 2.5f);
+}
+
+TEST(Pool, AvgPoolBackwardSpreadsEvenly)
+{
+    Tensor g = Tensor::fromVector(Shape{1, 1, 1, 1}, {8});
+    Tensor gx = avgpool2dBackward(g, Shape{1, 1, 2, 2}, 2, 2);
+    EXPECT_EQ(gx.toVector(), (std::vector<float>{2, 2, 2, 2}));
+}
+
+TEST(Pool, GlobalAvgPool)
+{
+    Tensor x = Tensor::arange(8).reshape(Shape{1, 2, 2, 2});
+    Tensor y = globalAvgPool(x);
+    EXPECT_EQ(y.shape(), (Shape{1, 2}));
+    EXPECT_EQ(y.toVector(), (std::vector<float>{1.5f, 5.5f}));
+}
+
+TEST(Pool, UpsampleNearestRoundTrip)
+{
+    Tensor x = Tensor::fromVector(Shape{1, 1, 2, 2}, {1, 2, 3, 4});
+    Tensor up = upsampleNearest2x(x);
+    EXPECT_EQ(up.shape(), (Shape{1, 1, 4, 4}));
+    EXPECT_EQ(up.at(0), 1.0f);
+    EXPECT_EQ(up.at(1), 1.0f);
+    EXPECT_EQ(up.at(5), 1.0f);
+    EXPECT_EQ(up.at(15), 4.0f);
+    // Backward of ones gives 4 per input cell.
+    Tensor g = upsampleNearest2xBackward(Tensor::ones(up.shape()));
+    EXPECT_EQ(g.toVector(), (std::vector<float>{4, 4, 4, 4}));
+}
+
+TEST(Norm, LayernormNormalizesRows)
+{
+    Rng rng(13);
+    Tensor x = Tensor::randn(Shape{4, 16}, rng, 5.0f);
+    Tensor gamma = Tensor::ones(Shape{16});
+    Tensor beta = Tensor::zeros(Shape{16});
+    Tensor y = layernorm(x, gamma, beta, 1e-5f);
+    for (int64_t r = 0; r < 4; ++r) {
+        double mean = 0.0, var = 0.0;
+        for (int64_t c = 0; c < 16; ++c)
+            mean += y.at(r, c);
+        mean /= 16.0;
+        for (int64_t c = 0; c < 16; ++c)
+            var += (y.at(r, c) - mean) * (y.at(r, c) - mean);
+        var /= 16.0;
+        EXPECT_NEAR(mean, 0.0, 1e-4);
+        EXPECT_NEAR(var, 1.0, 1e-2);
+    }
+}
+
+TEST(Norm, LayernormGammaBetaApplied)
+{
+    Tensor x = Tensor::fromVector(Shape{1, 2}, {-1, 1});
+    Tensor gamma = Tensor::fromVector(Shape{2}, {2, 2});
+    Tensor beta = Tensor::fromVector(Shape{2}, {10, 10});
+    Tensor y = layernorm(x, gamma, beta, 1e-5f);
+    EXPECT_NEAR(y.at(0), 8.0f, 1e-2f);
+    EXPECT_NEAR(y.at(1), 12.0f, 1e-2f);
+}
+
+TEST(Norm, BatchnormTrainingNormalizes)
+{
+    Rng rng(14);
+    Tensor x = Tensor::randn(Shape{8, 3, 4, 4}, rng, 3.0f);
+    Tensor gamma = Tensor::ones(Shape{3});
+    Tensor beta = Tensor::zeros(Shape{3});
+    Tensor rm = Tensor::zeros(Shape{3});
+    Tensor rv = Tensor::ones(Shape{3});
+    Tensor y = batchnorm2d(x, gamma, beta, rm, rv, true, 0.1f, 1e-5f);
+    // Per-channel mean ~0, var ~1.
+    for (int64_t c = 0; c < 3; ++c) {
+        double mean = 0.0;
+        int64_t count = 0;
+        for (int64_t n = 0; n < 8; ++n) {
+            for (int64_t i = 0; i < 16; ++i) {
+                mean += y.at((n * 3 + c) * 16 + i);
+                ++count;
+            }
+        }
+        EXPECT_NEAR(mean / count, 0.0, 1e-4);
+    }
+    // Running stats moved away from init.
+    EXPECT_NE(rm.at(0), 0.0f);
+}
+
+TEST(Norm, BatchnormInferenceUsesRunningStats)
+{
+    Tensor x = Tensor::full(Shape{1, 1, 1, 1}, 10.0f);
+    Tensor gamma = Tensor::ones(Shape{1});
+    Tensor beta = Tensor::zeros(Shape{1});
+    Tensor rm = Tensor::full(Shape{1}, 10.0f);
+    Tensor rv = Tensor::ones(Shape{1});
+    Tensor y = batchnorm2d(x, gamma, beta, rm, rv, false, 0.1f, 1e-5f);
+    EXPECT_NEAR(y.at(0), 0.0f, 1e-3f);
+}
+
+TEST(Events, KernelClassesPerOp)
+{
+    trace::RecordingSink sink;
+    trace::ScopedSink guard(sink);
+    Rng rng(15);
+    Tensor x = Tensor::randn(Shape{1, 1, 4, 4}, rng);
+    Tensor w = Tensor::randn(Shape{1, 1, 3, 3}, rng);
+
+    sink.clear();
+    conv2d(x, w, Tensor(), 1, 1);
+    ASSERT_EQ(sink.kernels.size(), 1u);
+    EXPECT_EQ(sink.kernels[0].kclass, trace::KernelClass::Conv);
+
+    sink.clear();
+    reluF(x);
+    EXPECT_EQ(sink.kernels[0].kclass, trace::KernelClass::Relu);
+
+    sink.clear();
+    maxpool2d(x, 2, 2);
+    EXPECT_EQ(sink.kernels[0].kclass, trace::KernelClass::Pooling);
+
+    sink.clear();
+    sumAll(x);
+    EXPECT_EQ(sink.kernels[0].kclass, trace::KernelClass::Reduce);
+
+    sink.clear();
+    add(x, x);
+    EXPECT_EQ(sink.kernels[0].kclass, trace::KernelClass::Elewise);
+
+    sink.clear();
+    transpose2d(x.reshape(Shape{4, 4}));
+    EXPECT_EQ(sink.kernels[0].kclass, trace::KernelClass::Other);
+}
+
+TEST(Helpers, MaxAbsDiffAndAllClose)
+{
+    Tensor a = Tensor::fromVector(Shape{2}, {1.0f, 2.0f});
+    Tensor b = Tensor::fromVector(Shape{2}, {1.0f, 2.5f});
+    EXPECT_FLOAT_EQ(maxAbsDiff(a, b), 0.5f);
+    EXPECT_TRUE(allClose(a, b, 0.5f));
+    EXPECT_FALSE(allClose(a, b, 0.4f));
+}
+
+} // namespace
+} // namespace tensor
+} // namespace mmbench

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Unit tests for the trace layer: scopes, sinks, emission.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/event.hh"
+#include "trace/scope.hh"
+#include "trace/sink.hh"
+
+namespace mmbench {
+namespace trace {
+namespace {
+
+TEST(Scope, DefaultsWhenUnscoped)
+{
+    EXPECT_EQ(currentStage(), Stage::Unknown);
+    EXPECT_EQ(currentModality(), kNoModality);
+    EXPECT_EQ(currentTag(), "");
+    EXPECT_EQ(currentMemCategory(), MemCategory::Intermediate);
+}
+
+TEST(Scope, StageNestsAndRestores)
+{
+    {
+        StageScope outer(Stage::Encoder);
+        EXPECT_EQ(currentStage(), Stage::Encoder);
+        {
+            StageScope inner(Stage::Fusion);
+            EXPECT_EQ(currentStage(), Stage::Fusion);
+        }
+        EXPECT_EQ(currentStage(), Stage::Encoder);
+    }
+    EXPECT_EQ(currentStage(), Stage::Unknown);
+}
+
+TEST(Scope, ModalityNestsAndRestores)
+{
+    ModalityScope m0(0);
+    EXPECT_EQ(currentModality(), 0);
+    {
+        ModalityScope m1(1);
+        EXPECT_EQ(currentModality(), 1);
+    }
+    EXPECT_EQ(currentModality(), 0);
+}
+
+TEST(Scope, TagNestsAndRestores)
+{
+    TagScope t("concat");
+    EXPECT_EQ(currentTag(), "concat");
+    {
+        TagScope t2("tensor");
+        EXPECT_EQ(currentTag(), "tensor");
+    }
+    EXPECT_EQ(currentTag(), "concat");
+}
+
+TEST(Scope, MemCategoryNestsAndRestores)
+{
+    MemScope m(MemCategory::Model);
+    EXPECT_EQ(currentMemCategory(), MemCategory::Model);
+    {
+        MemScope d(MemCategory::Dataset);
+        EXPECT_EQ(currentMemCategory(), MemCategory::Dataset);
+    }
+    EXPECT_EQ(currentMemCategory(), MemCategory::Model);
+}
+
+TEST(Sink, EmissionIsNoOpWithoutSink)
+{
+    EXPECT_FALSE(tracingActive());
+    // Must not crash.
+    emitKernel(KernelClass::Gemm, "gemm", 100, 10, 10);
+    emitRuntime(RuntimeEvent::Kind::H2DCopy, "input", 64);
+    emitAlloc(128);
+}
+
+TEST(Sink, RecordsKernelWithAmbientContext)
+{
+    RecordingSink sink;
+    {
+        ScopedSink guard(sink);
+        EXPECT_TRUE(tracingActive());
+        StageScope st(Stage::Encoder);
+        ModalityScope mod(2);
+        TagScope tag("lenet");
+        emitKernel(KernelClass::Conv, "conv2d", 1000, 400, 200);
+    }
+    EXPECT_FALSE(tracingActive());
+    ASSERT_EQ(sink.kernels.size(), 1u);
+    const KernelEvent &ev = sink.kernels[0];
+    EXPECT_EQ(ev.kclass, KernelClass::Conv);
+    EXPECT_STREQ(ev.name, "conv2d");
+    EXPECT_EQ(ev.flops, 1000u);
+    EXPECT_EQ(ev.bytesRead, 400u);
+    EXPECT_EQ(ev.bytesWritten, 200u);
+    EXPECT_EQ(ev.stage, Stage::Encoder);
+    EXPECT_EQ(ev.modality, 2);
+    EXPECT_EQ(ev.tag, "lenet");
+}
+
+TEST(Sink, RecordsRuntimeEvents)
+{
+    RecordingSink sink;
+    {
+        ScopedSink guard(sink);
+        StageScope st(Stage::Preprocess);
+        emitRuntime(RuntimeEvent::Kind::DataPrep, "resize", 1024);
+        emitRuntime(RuntimeEvent::Kind::H2DCopy, "image", 2048);
+    }
+    ASSERT_EQ(sink.runtimes.size(), 2u);
+    EXPECT_EQ(sink.runtimes[0].kind, RuntimeEvent::Kind::DataPrep);
+    EXPECT_EQ(sink.runtimes[1].kind, RuntimeEvent::Kind::H2DCopy);
+    EXPECT_EQ(sink.runtimes[1].bytes, 2048u);
+    EXPECT_EQ(sink.runtimes[0].stage, Stage::Preprocess);
+}
+
+TEST(Sink, RecordsAllocWithCategory)
+{
+    RecordingSink sink;
+    {
+        ScopedSink guard(sink);
+        MemScope m(MemCategory::Model);
+        emitAlloc(4096);
+        emitAlloc(-4096);
+    }
+    ASSERT_EQ(sink.allocs.size(), 2u);
+    EXPECT_EQ(sink.allocs[0].bytes, 4096);
+    EXPECT_EQ(sink.allocs[0].category, MemCategory::Model);
+    EXPECT_EQ(sink.allocs[1].bytes, -4096);
+}
+
+TEST(Sink, UnifiedOrderingInterleavesKernelAndRuntime)
+{
+    RecordingSink sink;
+    {
+        ScopedSink guard(sink);
+        emitRuntime(RuntimeEvent::Kind::H2DCopy, "in", 8);
+        emitKernel(KernelClass::Gemm, "gemm", 1, 1, 1);
+        emitRuntime(RuntimeEvent::Kind::D2HCopy, "out", 8);
+    }
+    ASSERT_EQ(sink.unified.size(), 3u);
+    EXPECT_EQ(sink.unified[0].kind, RecordingSink::EntryKind::Runtime);
+    EXPECT_EQ(sink.unified[1].kind, RecordingSink::EntryKind::Kernel);
+    EXPECT_EQ(sink.unified[2].kind, RecordingSink::EntryKind::Runtime);
+}
+
+TEST(Sink, NestedSinksRestorePrevious)
+{
+    RecordingSink outer, inner;
+    ScopedSink g1(outer);
+    {
+        ScopedSink g2(inner);
+        emitKernel(KernelClass::Relu, "relu", 1, 1, 1);
+    }
+    emitKernel(KernelClass::Gemm, "gemm", 1, 1, 1);
+    EXPECT_EQ(inner.kernels.size(), 1u);
+    ASSERT_EQ(outer.kernels.size(), 1u);
+    EXPECT_EQ(outer.kernels[0].kclass, KernelClass::Gemm);
+}
+
+TEST(Sink, ClearEmptiesEverything)
+{
+    RecordingSink sink;
+    {
+        ScopedSink guard(sink);
+        emitKernel(KernelClass::Gemm, "gemm", 1, 1, 1);
+        emitAlloc(16);
+    }
+    sink.clear();
+    EXPECT_TRUE(sink.kernels.empty());
+    EXPECT_TRUE(sink.allocs.empty());
+    EXPECT_TRUE(sink.unified.empty());
+}
+
+TEST(Names, KernelClassNames)
+{
+    EXPECT_STREQ(kernelClassName(KernelClass::Conv), "Conv");
+    EXPECT_STREQ(kernelClassName(KernelClass::BNorm), "BNorm");
+    EXPECT_STREQ(kernelClassName(KernelClass::Elewise), "Elewise");
+    EXPECT_STREQ(kernelClassName(KernelClass::Pooling), "Pooling");
+    EXPECT_STREQ(kernelClassName(KernelClass::Relu), "Relu");
+    EXPECT_STREQ(kernelClassName(KernelClass::Gemm), "Gemm");
+    EXPECT_STREQ(kernelClassName(KernelClass::Reduce), "Reduce");
+    EXPECT_STREQ(kernelClassName(KernelClass::Other), "Other");
+}
+
+TEST(Names, StageNames)
+{
+    EXPECT_STREQ(stageName(Stage::Encoder), "encoder");
+    EXPECT_STREQ(stageName(Stage::Fusion), "fusion");
+    EXPECT_STREQ(stageName(Stage::Head), "head");
+    EXPECT_STREQ(stageName(Stage::Preprocess), "preprocess");
+}
+
+TEST(Names, MiscNames)
+{
+    EXPECT_STREQ(runtimeKindName(RuntimeEvent::Kind::Sync), "sync");
+    EXPECT_STREQ(memCategoryName(MemCategory::Dataset), "dataset");
+}
+
+} // namespace
+} // namespace trace
+} // namespace mmbench
