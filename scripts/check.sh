@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Configure + build + test, with warnings-as-errors for src/.
+# This is the tier-1 verification command; CI runs exactly this.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-check}"
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DMMBENCH_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+# CI smoke run of the kernel microbenchmarks (also exercises the
+# parallel runtime end to end and leaves a CSV artifact behind).
+"$BUILD_DIR/ops_micro" --quick --csv "$BUILD_DIR/ops_micro.csv"

@@ -141,15 +141,6 @@ gelu(const Var &a)
 
 namespace {
 
-/** Swap the two innermost dims (rank >= 2). */
-Tensor
-swapLast(const Tensor &t)
-{
-    if (t.ndim() == 2)
-        return ts::transpose2d(t);
-    return ts::swapDims(t, -2, -1);
-}
-
 /** Sum leading batch axes of grad until it matches target's numel. */
 Tensor
 foldBatchGrad(Tensor grad, const Shape &target)
@@ -166,14 +157,37 @@ matmul(const Var &a, const Var &b)
 {
     Tensor out = ts::matmul(a.value(), b.value());
     return Var::makeNode(std::move(out), {a, b}, [a, b](const Tensor &g) {
+        // The backward GEMMs read the transposed operand through
+        // strides (matmulNT/TN) instead of materializing a transpose.
         if (a.needsGrad()) {
-            Tensor ga = ts::matmul(g, swapLast(b.value()));
+            Tensor ga = ts::matmulNT(g, b.value());
             Var am = a;
             am.accumulateGrad(foldBatchGrad(std::move(ga),
                                             a.value().shape()));
         }
         if (b.needsGrad()) {
-            Tensor gb = ts::matmul(swapLast(a.value()), g);
+            Tensor gb = ts::matmulTN(a.value(), g);
+            Var bm = b;
+            bm.accumulateGrad(foldBatchGrad(std::move(gb),
+                                            b.value().shape()));
+        }
+    });
+}
+
+Var
+matmulNT(const Var &a, const Var &b)
+{
+    // a @ b^T with b stored (..., N, K): the attention-score shape.
+    Tensor out = ts::matmulNT(a.value(), b.value());
+    return Var::makeNode(std::move(out), {a, b}, [a, b](const Tensor &g) {
+        if (a.needsGrad()) {
+            Tensor ga = ts::matmul(g, b.value());
+            Var am = a;
+            am.accumulateGrad(foldBatchGrad(std::move(ga),
+                                            a.value().shape()));
+        }
+        if (b.needsGrad()) {
+            Tensor gb = ts::matmulTN(g, a.value());
             Var bm = b;
             bm.accumulateGrad(foldBatchGrad(std::move(gb),
                                             b.value().shape()));

@@ -36,6 +36,8 @@ Var gelu(const Var &a);
 
 /** @name Linear algebra @{ */
 Var matmul(const Var &a, const Var &b);
+/** a @ b^T with b stored (..., N, K); no transpose copy either way. */
+Var matmulNT(const Var &a, const Var &b);
 /** x (..., in) @ w (in, out) + b (out): fully connected layer. */
 Var linear(const Var &x, const Var &w, const Var &b);
 /** Batched outer product (B,m) x (B,n) -> (B,m,n). */

@@ -1,0 +1,228 @@
+#include "core/parallel.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mmbench {
+namespace core {
+
+namespace {
+
+thread_local bool t_in_worker = false;
+
+/**
+ * True while this thread has a parallelFor job in flight. A nested
+ * parallelFor from inside the body (e.g. batched matmul dispatching
+ * per-batch blocked GEMMs) must run inline: re-entering the pool
+ * would clobber the active job's cursor/completion state.
+ */
+thread_local bool t_job_active = false;
+
+/** Effective thread count override (0 = use pool maximum). */
+std::atomic<int> g_override{0};
+
+int
+envThreadCount()
+{
+    const char *env = std::getenv("MMBENCH_NUM_THREADS");
+    if (env && *env) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1 && v <= 1024)
+            return static_cast<int>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/**
+ * Persistent worker pool. One job runs at a time (parallelFor blocks
+ * until completion). Chunks are pulled off a shared atomic cursor so
+ * load imbalance between chunks self-levels; every worker joins every
+ * job and signals completion exactly once, so the job is done when the
+ * outstanding-worker count returns to zero and the cursor is spent.
+ * A job caps how many workers may pull chunks (the effective thread
+ * count minus the caller); workers past the cap just signal and go
+ * back to sleep, so ScopedNumThreads limits real concurrency.
+ */
+class ThreadPool
+{
+  public:
+    static ThreadPool &
+    instance()
+    {
+        static ThreadPool pool(envThreadCount());
+        return pool;
+    }
+
+    int maxThreads() const { return maxThreads_; }
+
+    void
+    run(int64_t begin, int64_t end, int64_t chunk, int worker_limit,
+        const RangeFn &fn)
+    {
+        // One job at a time; concurrent submitting threads queue here.
+        std::lock_guard<std::mutex> job_lock(jobMutex_);
+        std::unique_lock<std::mutex> lock(mutex_);
+        jobEnd_ = end;
+        jobChunk_ = chunk;
+        jobWorkerLimit_ = worker_limit;
+        jobFn_ = &fn;
+        cursor_.store(begin, std::memory_order_relaxed);
+        pending_ = static_cast<int>(workers_.size());
+        ++generation_;
+        lock.unlock();
+        wake_.notify_all();
+
+        work(); // the caller participates too
+
+        std::unique_lock<std::mutex> wait_lock(mutex_);
+        done_.wait(wait_lock, [this] { return pending_ == 0; });
+        jobFn_ = nullptr;
+    }
+
+  private:
+    explicit ThreadPool(int max_threads)
+        : maxThreads_(max_threads < 1 ? 1 : max_threads)
+    {
+        for (int i = 0; i < maxThreads_ - 1; ++i)
+            workers_.emplace_back([this, i] { workerLoop(i); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        wake_.notify_all();
+        for (auto &t : workers_)
+            t.join();
+    }
+
+    void
+    workerLoop(int id)
+    {
+        t_in_worker = true;
+        uint64_t seen = 0;
+        for (;;) {
+            bool participate = false;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                wake_.wait(lock, [&] {
+                    return stop_ || generation_ != seen;
+                });
+                if (stop_)
+                    return;
+                seen = generation_;
+                participate = id < jobWorkerLimit_;
+            }
+            if (participate)
+                work();
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (--pending_ == 0)
+                    done_.notify_one();
+            }
+        }
+    }
+
+    /** Pull chunks until the range is exhausted. */
+    void
+    work()
+    {
+        for (;;) {
+            const int64_t b =
+                cursor_.fetch_add(jobChunk_, std::memory_order_relaxed);
+            if (b >= jobEnd_)
+                return;
+            const int64_t e = std::min(b + jobChunk_, jobEnd_);
+            (*jobFn_)(b, e);
+        }
+    }
+
+    const int maxThreads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex jobMutex_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    bool stop_ = false;
+    uint64_t generation_ = 0;
+    int pending_ = 0;
+
+    int64_t jobEnd_ = 0;
+    int64_t jobChunk_ = 1;
+    int jobWorkerLimit_ = 0;
+    const RangeFn *jobFn_ = nullptr;
+    std::atomic<int64_t> cursor_{0};
+};
+
+} // namespace
+
+int
+maxThreads()
+{
+    return ThreadPool::instance().maxThreads();
+}
+
+int
+numThreads()
+{
+    const int cap = maxThreads();
+    const int ov = g_override.load(std::memory_order_relaxed);
+    if (ov >= 1)
+        return ov < cap ? ov : cap;
+    return cap;
+}
+
+bool
+inParallelRegion()
+{
+    return t_in_worker;
+}
+
+void
+parallelFor(int64_t begin, int64_t end, int64_t grain, const RangeFn &fn)
+{
+    if (begin >= end)
+        return;
+    if (grain < 1)
+        grain = 1;
+    const int64_t range = end - begin;
+    const int threads = numThreads();
+    if (threads <= 1 || range <= grain || t_in_worker || t_job_active) {
+        fn(begin, end);
+        return;
+    }
+    // Chunk so chunks stay >= grain while giving the cursor enough
+    // pieces (4 per thread) to level out imbalance between chunks.
+    const int64_t max_chunks = (range + grain - 1) / grain;
+    int64_t chunks =
+        std::min<int64_t>(max_chunks, static_cast<int64_t>(threads) * 4);
+    const int64_t chunk = (range + chunks - 1) / chunks;
+    struct JobFlagGuard
+    {
+        JobFlagGuard() { t_job_active = true; }
+        ~JobFlagGuard() { t_job_active = false; }
+    } guard;
+    ThreadPool::instance().run(begin, end, chunk, threads - 1, fn);
+}
+
+ScopedNumThreads::ScopedNumThreads(int n)
+    : prev_(g_override.exchange(n < 1 ? 1 : n))
+{
+}
+
+ScopedNumThreads::~ScopedNumThreads()
+{
+    g_override.store(prev_);
+}
+
+} // namespace core
+} // namespace mmbench

@@ -229,7 +229,7 @@ AttentionFusion::fuse(const std::vector<Var> &features)
     Var k = kProj_.forward(x);
     Var v = vProj_.forward(x);
     const float scale = 1.0f / std::sqrt(static_cast<float>(fusedDim_));
-    Var scores = ag::mulScalar(ag::matmul(q, ag::swapDims(k, 1, 2)), scale);
+    Var scores = ag::mulScalar(ag::matmulNT(q, k), scale);
     Var ctx = ag::matmul(ag::softmaxLast(scores), v); // (B, M, D)
     // Mean-pool the attended modality tokens.
     return ag::mulScalar(ag::sumAxis(ctx, 1), 1.0f / static_cast<float>(m));

@@ -60,9 +60,10 @@ MultiheadAttention::forward(const Var &query, const Var &key,
     Var k = splitHeads(kProj_.forward(key));
     Var v = splitHeads(vProj_.forward(value));
 
-    // scores: (B*H, Tq, Tk)
+    // scores: (B*H, Tq, Tk). matmulNT reads K transposed in-place, so
+    // no transpose kernel is launched (as with cuBLAS op_t).
     const float scale = 1.0f / std::sqrt(static_cast<float>(headDim_));
-    Var scores = ag::mulScalar(ag::matmul(q, ag::swapDims(k, 1, 2)), scale);
+    Var scores = ag::mulScalar(ag::matmulNT(q, k), scale);
     Var attn = ag::softmaxLast(scores);
     Var ctx = ag::matmul(attn, v); // (B*H, Tq, dh)
     return outProj_.forward(mergeHeads(ctx, batch));

@@ -61,6 +61,14 @@ Tensor gtZeroMask(const Tensor &a);
  * higher-rank batched forms with matching leading dimensions.
  */
 Tensor matmul(const Tensor &a, const Tensor &b);
+/**
+ * a @ b^T with b stored (..., N, K). Equivalent to
+ * matmul(a, swapDims(b, -2, -1)) but reads b through strides instead
+ * of materializing the transpose (cuBLAS op_t analog).
+ */
+Tensor matmulNT(const Tensor &a, const Tensor &b);
+/** a^T @ b with a stored (..., K, M); strided, no transpose copy. */
+Tensor matmulTN(const Tensor &a, const Tensor &b);
 /** Batched outer product: (B,m) x (B,n) -> (B,m,n). */
 Tensor outerBatch(const Tensor &a, const Tensor &b);
 /** @} */
@@ -182,6 +190,15 @@ Tensor dropoutMask(const Shape &shape, float p, Rng &rng);
 float maxAbsDiff(const Tensor &a, const Tensor &b);
 /** True if max |a - b| <= tol. */
 bool allClose(const Tensor &a, const Tensor &b, float tol = 1e-5f);
+/**
+ * Naive single-threaded GEMM (same shape rules as matmul). The
+ * numerical reference the blocked kernel is tested against, and the
+ * seed-era baseline bench/ops_micro measures speedups against.
+ */
+Tensor matmulReference(const Tensor &a, const Tensor &b);
+/** Naive single-threaded direct convolution (same contract as conv2d). */
+Tensor conv2dReference(const Tensor &x, const Tensor &w, const Tensor &b,
+                       int stride, int pad);
 /** @} */
 
 } // namespace tensor

@@ -20,6 +20,27 @@ namespace detail {
 bool isSuffix(const Shape &small, const Shape &big);
 
 /**
+ * One input of the blocked GEMM: base pointer plus element strides,
+ * so transposed (and im2col-style strided) operands need no copy.
+ */
+struct GemmOperand
+{
+    const float *p;
+    int64_t rs; ///< stride between rows (first logical index)
+    int64_t cs; ///< stride between columns (second logical index)
+};
+
+/**
+ * C[M,N] += A[M,K] * B[K,N] with cache blocking and packed panels;
+ * C is contiguous row-major (ldc = n). Parallelizes over row blocks
+ * unless called from inside a parallel region. Deterministic for any
+ * thread count. Implemented in ops_matmul.cc; conv2d's im2col path
+ * reuses it.
+ */
+void gemmBlocked(const GemmOperand &a, const GemmOperand &b, float *c,
+                 int64_t m, int64_t k, int64_t n);
+
+/**
  * Element strides for iterating tensor `in` along the axes of the
  * broadcast output shape `out` (stride 0 on broadcast axes).
  */

@@ -2,16 +2,22 @@
  * @file
  * Convolution and pooling operators (NCHW layout).
  *
- * Convolutions are computed with direct loops and reported as single
- * Conv-class kernels (as a cuDNN implicit-GEMM launch would appear in
- * an Nsight trace).
+ * Large convolutions are lowered to im2col + the shared blocked GEMM
+ * (the same scheme cuDNN's implicit-GEMM algorithm uses); tiny shapes
+ * keep the direct loop, which also serves as the numerical reference
+ * (conv2dReference). Either path is reported as one Conv-class kernel
+ * launch, so the trace the simulator consumes is unchanged.
  */
 
 #include "tensor/ops.hh"
 
+#include <algorithm>
 #include <limits>
+#include <vector>
 
 #include "core/logging.hh"
+#include "core/parallel.hh"
+#include "tensor/ops_common.hh"
 #include "trace/sink.hh"
 
 namespace mmbench {
@@ -28,6 +34,115 @@ outExtent(int64_t in, int kernel, int stride, int pad)
               "window (k=%d, s=%d, p=%d) does not fit input extent %lld",
               kernel, stride, pad, static_cast<long long>(in));
     return out;
+}
+
+/** Below this many MACs per image the direct loop beats im2col. */
+constexpr int64_t kDirectConvMacLimit = 1 << 14;
+
+/**
+ * Direct-loop convolution of one image: out plane (oc, oh*ow),
+ * input (c, h, wd). The tiny-shape path and the reference kernel.
+ */
+void
+convDirectImage(const float *xb, const float *pw, const float *pb,
+                float *ob, int64_t c, int64_t h, int64_t wd, int64_t oc,
+                int kh, int kw, int64_t oh, int64_t ow, int stride,
+                int pad)
+{
+    for (int64_t o = 0; o < oc; ++o) {
+        const float *wb = pw + o * c * kh * kw;
+        const float bias = pb ? pb[o] : 0.0f;
+        float *oplane = ob + o * oh * ow;
+        for (int64_t y = 0; y < oh; ++y) {
+            for (int64_t xo = 0; xo < ow; ++xo) {
+                float acc = bias;
+                const int64_t iy0 = y * stride - pad;
+                const int64_t ix0 = xo * stride - pad;
+                for (int64_t ci = 0; ci < c; ++ci) {
+                    const float *xplane = xb + ci * h * wd;
+                    const float *wplane = wb + ci * kh * kw;
+                    for (int ky = 0; ky < kh; ++ky) {
+                        const int64_t iy = iy0 + ky;
+                        if (iy < 0 || iy >= h)
+                            continue;
+                        for (int kx = 0; kx < kw; ++kx) {
+                            const int64_t ix = ix0 + kx;
+                            if (ix < 0 || ix >= wd)
+                                continue;
+                            acc += xplane[iy * wd + ix] *
+                                   wplane[ky * kw + kx];
+                        }
+                    }
+                }
+                oplane[y * ow + xo] = acc;
+            }
+        }
+    }
+}
+
+/**
+ * Lower one image to column form: col[(ci*kh+ky)*kw+kx][y*ow+xo] =
+ * x[ci][y*stride-pad+ky][xo*stride-pad+kx] (0 outside the input).
+ * col is (c*kh*kw) x (oh*ow), row-major.
+ */
+void
+im2col(const float *xb, float *col, int64_t c, int64_t h, int64_t wd,
+       int kh, int kw, int64_t oh, int64_t ow, int stride, int pad)
+{
+    core::parallelFor(0, c * kh * kw, 4, [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+            const int64_t ci = r / (kh * kw);
+            const int ky = static_cast<int>((r / kw) % kh);
+            const int kx = static_cast<int>(r % kw);
+            const float *xplane = xb + ci * h * wd;
+            float *crow = col + r * oh * ow;
+            for (int64_t y = 0; y < oh; ++y) {
+                const int64_t iy = y * stride - pad + ky;
+                float *cdst = crow + y * ow;
+                if (iy < 0 || iy >= h) {
+                    std::fill(cdst, cdst + ow, 0.0f);
+                    continue;
+                }
+                const float *xrow = xplane + iy * wd;
+                const int64_t ix0 = -pad + kx;
+                if (stride == 1 && ix0 >= 0 && ix0 + ow <= wd) {
+                    std::copy(xrow + ix0, xrow + ix0 + ow, cdst);
+                    continue;
+                }
+                for (int64_t xo = 0; xo < ow; ++xo) {
+                    const int64_t ix = xo * stride + ix0;
+                    cdst[xo] = (ix < 0 || ix >= wd) ? 0.0f : xrow[ix];
+                }
+            }
+        }
+    });
+}
+
+/** im2col + blocked GEMM for one image (bias pre-filled into out). */
+void
+convGemmImage(const float *xb, const float *pw, const float *pb,
+              float *ob, float *col, int64_t c, int64_t h, int64_t wd,
+              int64_t oc, int kh, int kw, int64_t oh, int64_t ow,
+              int stride, int pad)
+{
+    const int64_t kdim = c * kh * kw;
+    const int64_t ohw = oh * ow;
+    // 1x1/stride-1/no-pad convolution is a pure GEMM over the input.
+    const bool gemm_direct =
+        (kh == 1 && kw == 1 && stride == 1 && pad == 0);
+    if (!gemm_direct)
+        im2col(xb, col, c, h, wd, kh, kw, oh, ow, stride, pad);
+    const float *cols = gemm_direct ? xb : col;
+    if (pb) {
+        core::parallelFor(0, oc, 8, [&](int64_t o0, int64_t o1) {
+            for (int64_t o = o0; o < o1; ++o)
+                std::fill(ob + o * ohw, ob + (o + 1) * ohw, pb[o]);
+        });
+    } else {
+        std::fill(ob, ob + oc * ohw, 0.0f);
+    }
+    detail::gemmBlocked({pw, kdim, 1}, {cols, ohw, 1}, ob, oc, kdim,
+                        ohw);
 }
 
 } // namespace
@@ -53,38 +168,33 @@ conv2d(const Tensor &x, const Tensor &w, const Tensor &b, int stride,
     const float *pb = b.defined() ? b.data() : nullptr;
     float *po = out.data();
 
-    for (int64_t ni = 0; ni < n; ++ni) {
-        const float *xb = px + ni * c * h * wd;
-        float *ob = po + ni * oc * oh * ow;
-        for (int64_t o = 0; o < oc; ++o) {
-            const float *wb = pw + o * c * kh * kw;
-            const float bias = pb ? pb[o] : 0.0f;
-            float *oplane = ob + o * oh * ow;
-            for (int64_t y = 0; y < oh; ++y) {
-                for (int64_t xo = 0; xo < ow; ++xo) {
-                    float acc = bias;
-                    const int64_t iy0 = y * stride - pad;
-                    const int64_t ix0 = xo * stride - pad;
-                    for (int64_t ci = 0; ci < c; ++ci) {
-                        const float *xplane = xb + ci * h * wd;
-                        const float *wplane = wb + ci * kh * kw;
-                        for (int ky = 0; ky < kh; ++ky) {
-                            const int64_t iy = iy0 + ky;
-                            if (iy < 0 || iy >= h)
-                                continue;
-                            for (int kx = 0; kx < kw; ++kx) {
-                                const int64_t ix = ix0 + kx;
-                                if (ix < 0 || ix >= wd)
-                                    continue;
-                                acc += xplane[iy * wd + ix] *
-                                       wplane[ky * kw + kx];
-                            }
-                        }
-                    }
-                    oplane[y * ow + xo] = acc;
-                }
-            }
-        }
+    const int64_t macs_per_image = oc * oh * ow * c * kh * kw;
+    if (macs_per_image < kDirectConvMacLimit) {
+        core::parallelFor(0, n, 1, [&](int64_t n0, int64_t n1) {
+            for (int64_t ni = n0; ni < n1; ++ni)
+                convDirectImage(px + ni * c * h * wd, pw, pb,
+                                po + ni * oc * oh * ow, c, h, wd, oc,
+                                kh, kw, oh, ow, stride, pad);
+        });
+    } else if (n >= core::numThreads()) {
+        // Parallel over images; per-image lowering+GEMM runs serially
+        // inside its worker.
+        core::parallelFor(0, n, 1, [&](int64_t n0, int64_t n1) {
+            std::vector<float> col(
+                static_cast<size_t>(c * kh * kw) * oh * ow);
+            for (int64_t ni = n0; ni < n1; ++ni)
+                convGemmImage(px + ni * c * h * wd, pw, pb,
+                              po + ni * oc * oh * ow, col.data(), c, h,
+                              wd, oc, kh, kw, oh, ow, stride, pad);
+        });
+    } else {
+        // Few images: parallelize inside im2col and the GEMM instead.
+        std::vector<float> col(static_cast<size_t>(c * kh * kw) * oh *
+                               ow);
+        for (int64_t ni = 0; ni < n; ++ni)
+            convGemmImage(px + ni * c * h * wd, pw, pb,
+                          po + ni * oc * oh * ow, col.data(), c, h, wd,
+                          oc, kh, kw, oh, ow, stride, pad);
     }
 
     const uint64_t flops = 2ULL * static_cast<uint64_t>(n * oc * oh * ow) *
@@ -93,6 +203,32 @@ conv2d(const Tensor &x, const Tensor &w, const Tensor &b, int stride,
                       x.bytes() + w.bytes() +
                           (b.defined() ? b.bytes() : 0),
                       out.bytes());
+    return out;
+}
+
+Tensor
+conv2dReference(const Tensor &x, const Tensor &w, const Tensor &b,
+                int stride, int pad)
+{
+    MM_ASSERT(x.ndim() == 4 && w.ndim() == 4,
+              "conv2dReference needs NCHW x OIHW");
+    const int64_t n = x.size(0), c = x.size(1), h = x.size(2),
+                  wd = x.size(3);
+    const int64_t oc = w.size(0);
+    const int kh = static_cast<int>(w.size(2));
+    const int kw = static_cast<int>(w.size(3));
+    const int64_t oh = outExtent(h, kh, stride, pad);
+    const int64_t ow = outExtent(wd, kw, stride, pad);
+
+    Tensor out(Shape{n, oc, oh, ow});
+    const float *px = x.data();
+    const float *pw = w.data();
+    const float *pb = b.defined() ? b.data() : nullptr;
+    float *po = out.data();
+    for (int64_t ni = 0; ni < n; ++ni)
+        convDirectImage(px + ni * c * h * wd, pw, pb,
+                        po + ni * oc * oh * ow, c, h, wd, oc, kh, kw,
+                        oh, ow, stride, pad);
     return out;
 }
 
@@ -112,7 +248,9 @@ conv2dGradInput(const Tensor &grad_out, const Tensor &w,
     const float *pw = w.data();
     float *px = gx.data();
 
-    for (int64_t ni = 0; ni < n; ++ni) {
+    // Parallel over images: each image owns a disjoint gx slab.
+    core::parallelFor(0, n, 1, [&](int64_t n0, int64_t n1) {
+    for (int64_t ni = n0; ni < n1; ++ni) {
         const float *gb = pg + ni * oc * oh * ow;
         float *xb = px + ni * c * h * wd;
         for (int64_t o = 0; o < oc; ++o) {
@@ -121,8 +259,6 @@ conv2dGradInput(const Tensor &grad_out, const Tensor &w,
             for (int64_t y = 0; y < oh; ++y) {
                 for (int64_t xo = 0; xo < ow; ++xo) {
                     const float g = gplane[y * ow + xo];
-                    if (g == 0.0f)
-                        continue;
                     const int64_t iy0 = y * stride - pad;
                     const int64_t ix0 = xo * stride - pad;
                     for (int64_t ci = 0; ci < c; ++ci) {
@@ -145,6 +281,7 @@ conv2dGradInput(const Tensor &grad_out, const Tensor &w,
             }
         }
     }
+    });
 
     const uint64_t flops = 2ULL * static_cast<uint64_t>(n * oc * oh * ow) *
                            static_cast<uint64_t>(c * kh * kw);
@@ -169,17 +306,18 @@ conv2dGradWeight(const Tensor &grad_out, const Tensor &x,
     const float *px = x.data();
     float *pw = gw.data();
 
-    for (int64_t ni = 0; ni < n; ++ni) {
-        const float *gb = pg + ni * oc * oh * ow;
-        const float *xb = px + ni * c * h * wd;
-        for (int64_t o = 0; o < oc; ++o) {
-            const float *gplane = gb + o * oh * ow;
-            float *wb = pw + o * c * kh * kw;
+    // Parallel over output channels: each owns a disjoint gw slab.
+    // The image loop stays innermost (and sequential) so accumulation
+    // order per weight is fixed for any thread count.
+    core::parallelFor(0, oc, 1, [&](int64_t o0, int64_t o1) {
+    for (int64_t o = o0; o < o1; ++o) {
+        float *wb = pw + o * c * kh * kw;
+        for (int64_t ni = 0; ni < n; ++ni) {
+            const float *gplane = pg + (ni * oc + o) * oh * ow;
+            const float *xb = px + ni * c * h * wd;
             for (int64_t y = 0; y < oh; ++y) {
                 for (int64_t xo = 0; xo < ow; ++xo) {
                     const float g = gplane[y * ow + xo];
-                    if (g == 0.0f)
-                        continue;
                     const int64_t iy0 = y * stride - pad;
                     const int64_t ix0 = xo * stride - pad;
                     for (int64_t ci = 0; ci < c; ++ci) {
@@ -202,6 +340,7 @@ conv2dGradWeight(const Tensor &grad_out, const Tensor &x,
             }
         }
     }
+    });
 
     const uint64_t flops = 2ULL * static_cast<uint64_t>(n * oc * oh * ow) *
                            static_cast<uint64_t>(c * kh * kw);
@@ -225,7 +364,8 @@ maxpool2d(const Tensor &x, int kernel, int stride, Tensor *indices)
     float *po = out.data();
     float *pi = indices ? indices->data() : nullptr;
 
-    for (int64_t p = 0; p < n * c; ++p) {
+    core::parallelFor(0, n * c, 4, [&](int64_t p0, int64_t p1) {
+    for (int64_t p = p0; p < p1; ++p) {
         const float *plane = px + p * h * w;
         float *oplane = po + p * oh * ow;
         float *iplane = pi ? pi + p * oh * ow : nullptr;
@@ -254,6 +394,7 @@ maxpool2d(const Tensor &x, int kernel, int stride, Tensor *indices)
             }
         }
     }
+    });
     trace::emitKernel(trace::KernelClass::Pooling, "maxpool2d",
                       static_cast<uint64_t>(n * c * oh * ow) *
                           static_cast<uint64_t>(kernel * kernel),
@@ -290,7 +431,8 @@ avgpool2d(const Tensor &x, int kernel, int stride)
     Tensor out(Shape{n, c, oh, ow});
     const float *px = x.data();
     float *po = out.data();
-    for (int64_t p = 0; p < n * c; ++p) {
+    core::parallelFor(0, n * c, 4, [&](int64_t p0, int64_t p1) {
+    for (int64_t p = p0; p < p1; ++p) {
         const float *plane = px + p * h * w;
         float *oplane = po + p * oh * ow;
         for (int64_t y = 0; y < oh; ++y) {
@@ -308,6 +450,7 @@ avgpool2d(const Tensor &x, int kernel, int stride)
             }
         }
     }
+    });
     trace::emitKernel(trace::KernelClass::Pooling, "avgpool2d",
                       static_cast<uint64_t>(n * c * oh * ow) *
                           static_cast<uint64_t>(kernel * kernel),
@@ -360,13 +503,16 @@ globalAvgPool(const Tensor &x)
     Tensor out(Shape{n, c});
     const float *px = x.data();
     float *po = out.data();
-    for (int64_t p = 0; p < n * c; ++p) {
-        double acc = 0.0;
-        const float *plane = px + p * spatial;
-        for (int64_t i = 0; i < spatial; ++i)
-            acc += plane[i];
-        po[p] = static_cast<float>(acc / static_cast<double>(spatial));
-    }
+    core::parallelFor(0, n * c, 4, [&](int64_t p0, int64_t p1) {
+        for (int64_t p = p0; p < p1; ++p) {
+            double acc = 0.0;
+            const float *plane = px + p * spatial;
+            for (int64_t i = 0; i < spatial; ++i)
+                acc += plane[i];
+            po[p] =
+                static_cast<float>(acc / static_cast<double>(spatial));
+        }
+    });
     trace::emitKernel(trace::KernelClass::Pooling, "global_avgpool",
                       static_cast<uint64_t>(x.numel()), x.bytes(),
                       out.bytes());
@@ -382,7 +528,8 @@ upsampleNearest2x(const Tensor &x)
     const float *px = x.data();
     float *po = out.data();
     const int64_t ow = w * 2;
-    for (int64_t p = 0; p < n * c; ++p) {
+    core::parallelFor(0, n * c, 4, [&](int64_t p0, int64_t p1) {
+    for (int64_t p = p0; p < p1; ++p) {
         const float *plane = px + p * h * w;
         float *oplane = po + p * h * 2 * ow;
         for (int64_t y = 0; y < h; ++y) {
@@ -396,6 +543,7 @@ upsampleNearest2x(const Tensor &x)
             }
         }
     }
+    });
     trace::emitKernel(trace::KernelClass::Pooling, "upsample_nearest2x", 0,
                       x.bytes(), out.bytes());
     return out;

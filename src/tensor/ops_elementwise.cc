@@ -5,10 +5,12 @@
 
 #include "tensor/ops.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 
 #include "core/logging.hh"
+#include "core/parallel.hh"
 #include "tensor/ops_common.hh"
 #include "trace/sink.hh"
 
@@ -48,10 +50,15 @@ using detail::isSuffix;
 
 namespace {
 
+/** Pointwise work per parallelFor chunk; amortizes dispatch cost. */
+constexpr int64_t kPointwiseGrain = 1 << 14;
+
 /**
  * Apply a binary functor with NumPy broadcasting semantics.
  * Fast paths: identical shapes; b broadcast over leading dims of a
- * (classic bias add). Falls back to a generic strided walk.
+ * (classic bias add). These run on the parallel runtime (disjoint
+ * output chunks; deterministic for any thread count). Falls back to a
+ * serial generic strided walk.
  */
 template <typename F>
 Tensor
@@ -66,18 +73,33 @@ binaryOp(const Tensor &a, const Tensor &b, F f, const char *name,
     float *po = out.data();
 
     if (a.shape() == b.shape()) {
-        for (int64_t i = 0; i < n; ++i)
-            po[i] = f(pa[i], pb[i]);
+        core::parallelFor(0, n, kPointwiseGrain,
+                          [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; ++i)
+                po[i] = f(pa[i], pb[i]);
+        });
     } else if (out_shape == a.shape() && b.numel() >= 1 &&
                n % b.numel() == 0 && isSuffix(b.shape(), a.shape())) {
         const int64_t nb = b.numel();
-        for (int64_t i = 0; i < n; ++i)
-            po[i] = f(pa[i], pb[i % nb]);
+        core::parallelFor(0, n / nb, std::max<int64_t>(
+                              1, kPointwiseGrain / nb),
+                          [&](int64_t r0, int64_t r1) {
+            for (int64_t r = r0; r < r1; ++r) {
+                for (int64_t j = 0; j < nb; ++j)
+                    po[r * nb + j] = f(pa[r * nb + j], pb[j]);
+            }
+        });
     } else if (out_shape == b.shape() && a.numel() >= 1 &&
                n % a.numel() == 0 && isSuffix(a.shape(), b.shape())) {
         const int64_t na = a.numel();
-        for (int64_t i = 0; i < n; ++i)
-            po[i] = f(pa[i % na], pb[i]);
+        core::parallelFor(0, n / na, std::max<int64_t>(
+                              1, kPointwiseGrain / na),
+                          [&](int64_t r0, int64_t r1) {
+            for (int64_t r = r0; r < r1; ++r) {
+                for (int64_t j = 0; j < na; ++j)
+                    po[r * na + j] = f(pa[j], pb[r * na + j]);
+            }
+        });
     } else {
         // Generic strided broadcast walk.
         const size_t nd = out_shape.ndim();
@@ -118,8 +140,10 @@ unaryOp(const Tensor &a, F f, const char *name,
     const int64_t n = a.numel();
     const float *pa = a.data();
     float *po = out.data();
-    for (int64_t i = 0; i < n; ++i)
-        po[i] = f(pa[i]);
+    core::parallelFor(0, n, kPointwiseGrain, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i)
+            po[i] = f(pa[i]);
+    });
     trace::emitKernel(kclass, name,
                       static_cast<uint64_t>(n) * flops_per_elem,
                       a.bytes(), out.bytes());

@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "core/logging.hh"
+#include "core/parallel.hh"
 #include "trace/sink.hh"
 
 namespace mmbench {
@@ -34,7 +35,10 @@ batchnorm2d(const Tensor &x, const Tensor &gamma, const Tensor &beta,
 
     if (training) {
         MM_ASSERT(per_channel > 0, "batchnorm2d on empty batch");
-        for (int64_t ci = 0; ci < c; ++ci) {
+        // Each channel reduces its own planes sequentially, so the
+        // statistics are identical for any thread count.
+        core::parallelFor(0, c, 1, [&](int64_t c0, int64_t c1) {
+        for (int64_t ci = c0; ci < c1; ++ci) {
             double acc = 0.0;
             for (int64_t ni = 0; ni < n; ++ni) {
                 const float *plane = px + (ni * c + ci) * h * w;
@@ -61,6 +65,7 @@ batchnorm2d(const Tensor &x, const Tensor &gamma, const Tensor &beta,
                 (1.0f - momentum) * running_var.at(ci) +
                 momentum * static_cast<float>(var);
         }
+        });
     } else {
         for (int64_t ci = 0; ci < c; ++ci) {
             mean.at(ci) = running_mean.at(ci);
@@ -73,18 +78,21 @@ batchnorm2d(const Tensor &x, const Tensor &gamma, const Tensor &beta,
     const float *pg = gamma.data();
     const float *pbeta = beta.data();
     float *po = out.data();
-    for (int64_t ni = 0; ni < n; ++ni) {
-        for (int64_t ci = 0; ci < c; ++ci) {
-            const float mu = mean.at(ci);
-            const float is = invstd.at(ci);
+    const float *pmean = mean.data();
+    const float *pinv = invstd.data();
+    core::parallelFor(0, n * c, 4, [&](int64_t p0, int64_t p1) {
+        for (int64_t p = p0; p < p1; ++p) {
+            const int64_t ci = p % c;
+            const float mu = pmean[ci];
+            const float is = pinv[ci];
             const float g = pg[ci];
             const float bt = pbeta[ci];
-            const float *plane = px + (ni * c + ci) * h * w;
-            float *oplane = po + (ni * c + ci) * h * w;
+            const float *plane = px + p * h * w;
+            float *oplane = po + p * h * w;
             for (int64_t i = 0; i < h * w; ++i)
                 oplane[i] = (plane[i] - mu) * is * g + bt;
         }
-    }
+    });
 
     if (saved_mean)
         *saved_mean = mean;
@@ -117,27 +125,32 @@ layernorm(const Tensor &x, const Tensor &gamma, const Tensor &beta,
     const float *pb = beta.data();
     float *po = out.data();
 
-    for (int64_t r = 0; r < rows; ++r) {
-        const float *row = px + r * dim;
-        float *orow = po + r * dim;
-        double acc = 0.0;
-        for (int64_t i = 0; i < dim; ++i)
-            acc += row[i];
-        const double mu = acc / static_cast<double>(dim);
-        double var_acc = 0.0;
-        for (int64_t i = 0; i < dim; ++i) {
-            const double d = row[i] - mu;
-            var_acc += d * d;
+    float *pmean = mean.data();
+    float *pinv = invstd.data();
+    core::parallelFor(0, rows, 4, [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+            const float *row = px + r * dim;
+            float *orow = po + r * dim;
+            double acc = 0.0;
+            for (int64_t i = 0; i < dim; ++i)
+                acc += row[i];
+            const double mu = acc / static_cast<double>(dim);
+            double var_acc = 0.0;
+            for (int64_t i = 0; i < dim; ++i) {
+                const double d = row[i] - mu;
+                var_acc += d * d;
+            }
+            const double var = var_acc / static_cast<double>(dim);
+            const float is =
+                static_cast<float>(1.0 / std::sqrt(var + eps));
+            pmean[r] = static_cast<float>(mu);
+            pinv[r] = is;
+            for (int64_t i = 0; i < dim; ++i) {
+                orow[i] = (row[i] - static_cast<float>(mu)) * is * pg[i] +
+                          pb[i];
+            }
         }
-        const double var = var_acc / static_cast<double>(dim);
-        const float is = static_cast<float>(1.0 / std::sqrt(var + eps));
-        mean.at(r) = static_cast<float>(mu);
-        invstd.at(r) = is;
-        for (int64_t i = 0; i < dim; ++i) {
-            orow[i] = (row[i] - static_cast<float>(mu)) * is * pg[i] +
-                      pb[i];
-        }
-    }
+    });
 
     if (saved_mean)
         *saved_mean = mean;
@@ -167,7 +180,8 @@ batchnorm2dBackward(const Tensor &grad_out, const Tensor &x,
     const float *pgam = gamma.data();
     float *pgx = gx.data();
 
-    for (int64_t ci = 0; ci < c; ++ci) {
+    core::parallelFor(0, c, 1, [&](int64_t c0, int64_t c1) {
+    for (int64_t ci = c0; ci < c1; ++ci) {
         const float mu = saved_mean.at(ci);
         const float is = saved_invstd.at(ci);
         // First pass: per-channel reductions sum(g) and sum(g * x_hat).
@@ -201,6 +215,7 @@ batchnorm2dBackward(const Tensor &grad_out, const Tensor &x,
             }
         }
     }
+    });
 
     trace::emitKernel(trace::KernelClass::BNorm, "batchnorm2d_backward",
                       static_cast<uint64_t>(x.numel()) * 8,
@@ -225,6 +240,8 @@ layernormBackward(const Tensor &grad_out, const Tensor &x,
     float *pgg = grad_gamma.data();
     float *pgb = grad_beta.data();
 
+    // Serial: grad_gamma/grad_beta accumulate across rows, and the
+    // accumulation order must not depend on the thread count.
     for (int64_t r = 0; r < rows; ++r) {
         const float mu = saved_mean.at(r);
         const float is = saved_invstd.at(r);

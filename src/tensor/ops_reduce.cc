@@ -5,10 +5,12 @@
 
 #include "tensor/ops.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
 #include "core/logging.hh"
+#include "core/parallel.hh"
 #include "trace/sink.hh"
 
 namespace mmbench {
@@ -65,15 +67,19 @@ reduceAxis(const Tensor &a, int axis, bool keepdim, float init, F f,
     Tensor out = Tensor::full(reducedShape(in, axis, keepdim), init);
     const float *pa = a.data();
     float *po = out.data();
-    for (int64_t o = 0; o < outer; ++o) {
-        const float *base = pa + o * extent * inner;
-        float *obase = po + o * inner;
-        for (int64_t e = 0; e < extent; ++e) {
-            const float *row = base + e * inner;
-            for (int64_t i = 0; i < inner; ++i)
-                obase[i] = f(obase[i], row[i]);
+    const int64_t grain =
+        std::max<int64_t>(1, (1 << 14) / std::max<int64_t>(1, extent * inner));
+    core::parallelFor(0, outer, grain, [&](int64_t o0, int64_t o1) {
+        for (int64_t o = o0; o < o1; ++o) {
+            const float *base = pa + o * extent * inner;
+            float *obase = po + o * inner;
+            for (int64_t e = 0; e < extent; ++e) {
+                const float *row = base + e * inner;
+                for (int64_t i = 0; i < inner; ++i)
+                    obase[i] = f(obase[i], row[i]);
+            }
         }
-    }
+    });
     trace::emitKernel(trace::KernelClass::Reduce, name,
                       static_cast<uint64_t>(a.numel()), a.bytes(),
                       out.bytes());
@@ -85,6 +91,8 @@ reduceAxis(const Tensor &a, int axis, bool keepdim, float init, F f,
 Tensor
 sumAll(const Tensor &a)
 {
+    // Serial: a single ordered accumulation keeps the result identical
+    // for any thread count (and the op is memory-bound anyway).
     double acc = 0.0;
     const float *pa = a.data();
     for (int64_t i = 0; i < a.numel(); ++i)
@@ -143,15 +151,18 @@ argmaxLast(const Tensor &a)
     Tensor out(Shape(std::move(dims)));
     const float *pa = a.data();
     float *po = out.data();
-    for (int64_t r = 0; r < rows; ++r) {
-        const float *row = pa + r * cols;
-        int64_t best = 0;
-        for (int64_t c = 1; c < cols; ++c) {
-            if (row[c] > row[best])
-                best = c;
+    const int64_t grain = std::max<int64_t>(1, (1 << 14) / cols);
+    core::parallelFor(0, rows, grain, [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+            const float *row = pa + r * cols;
+            int64_t best = 0;
+            for (int64_t c = 1; c < cols; ++c) {
+                if (row[c] > row[best])
+                    best = c;
+            }
+            po[r] = static_cast<float>(best);
         }
-        po[r] = static_cast<float>(best);
-    }
+    });
     trace::emitKernel(trace::KernelClass::Reduce, "argmax",
                       static_cast<uint64_t>(a.numel()), a.bytes(),
                       out.bytes());
@@ -166,21 +177,24 @@ softmaxLast(const Tensor &a)
     Tensor out(a.shape());
     const float *pa = a.data();
     float *po = out.data();
-    for (int64_t r = 0; r < rows; ++r) {
-        const float *row = pa + r * cols;
-        float *orow = po + r * cols;
-        float mx = row[0];
-        for (int64_t c = 1; c < cols; ++c)
-            mx = std::max(mx, row[c]);
-        double denom = 0.0;
-        for (int64_t c = 0; c < cols; ++c) {
-            orow[c] = std::exp(row[c] - mx);
-            denom += orow[c];
+    const int64_t grain = std::max<int64_t>(1, (1 << 12) / cols);
+    core::parallelFor(0, rows, grain, [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+            const float *row = pa + r * cols;
+            float *orow = po + r * cols;
+            float mx = row[0];
+            for (int64_t c = 1; c < cols; ++c)
+                mx = std::max(mx, row[c]);
+            double denom = 0.0;
+            for (int64_t c = 0; c < cols; ++c) {
+                orow[c] = std::exp(row[c] - mx);
+                denom += orow[c];
+            }
+            const float inv = static_cast<float>(1.0 / denom);
+            for (int64_t c = 0; c < cols; ++c)
+                orow[c] *= inv;
         }
-        const float inv = static_cast<float>(1.0 / denom);
-        for (int64_t c = 0; c < cols; ++c)
-            orow[c] *= inv;
-    }
+    });
     trace::emitKernel(trace::KernelClass::Reduce, "softmax",
                       static_cast<uint64_t>(a.numel()) * 5, a.bytes(),
                       out.bytes());
@@ -195,19 +209,22 @@ logSoftmaxLast(const Tensor &a)
     Tensor out(a.shape());
     const float *pa = a.data();
     float *po = out.data();
-    for (int64_t r = 0; r < rows; ++r) {
-        const float *row = pa + r * cols;
-        float *orow = po + r * cols;
-        float mx = row[0];
-        for (int64_t c = 1; c < cols; ++c)
-            mx = std::max(mx, row[c]);
-        double denom = 0.0;
-        for (int64_t c = 0; c < cols; ++c)
-            denom += std::exp(row[c] - mx);
-        const float log_denom = static_cast<float>(std::log(denom)) + mx;
-        for (int64_t c = 0; c < cols; ++c)
-            orow[c] = row[c] - log_denom;
-    }
+    const int64_t grain = std::max<int64_t>(1, (1 << 12) / cols);
+    core::parallelFor(0, rows, grain, [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+            const float *row = pa + r * cols;
+            float *orow = po + r * cols;
+            float mx = row[0];
+            for (int64_t c = 1; c < cols; ++c)
+                mx = std::max(mx, row[c]);
+            double denom = 0.0;
+            for (int64_t c = 0; c < cols; ++c)
+                denom += std::exp(row[c] - mx);
+            const float log_denom = static_cast<float>(std::log(denom)) + mx;
+            for (int64_t c = 0; c < cols; ++c)
+                orow[c] = row[c] - log_denom;
+        }
+    });
     trace::emitKernel(trace::KernelClass::Reduce, "log_softmax",
                       static_cast<uint64_t>(a.numel()) * 5, a.bytes(),
                       out.bytes());

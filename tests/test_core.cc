@@ -9,8 +9,12 @@
 #include <set>
 #include <sstream>
 
+#include <atomic>
+#include <vector>
+
 #include "core/csv.hh"
 #include "core/logging.hh"
+#include "core/parallel.hh"
 #include "core/rng.hh"
 #include "core/string_utils.hh"
 #include "core/table.hh"
@@ -240,6 +244,64 @@ TEST(Csv, HeaderFirstLine)
     std::ostringstream os;
     w.write(os);
     EXPECT_TRUE(startsWith(os.str(), "x,y\n"));
+}
+
+TEST(Parallel, CoversRangeExactlyOnce)
+{
+    // Chunks are disjoint, so per-index writes cannot race.
+    std::vector<int> hits(1000, 0);
+    core::parallelFor(0, 1000, 16, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i)
+            ++hits[static_cast<size_t>(i)];
+    });
+    for (int h : hits)
+        EXPECT_EQ(h, 1);
+}
+
+TEST(Parallel, EmptyAndSingleElementRanges)
+{
+    std::atomic<int> calls{0};
+    core::parallelFor(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+    core::parallelFor(7, 8, 64, [&](int64_t b, int64_t e) {
+        ++calls;
+        EXPECT_EQ(b, 7);
+        EXPECT_EQ(e, 8);
+    });
+    EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(Parallel, ScopedOverrideForcesSerial)
+{
+    core::ScopedNumThreads guard(1);
+    EXPECT_EQ(core::numThreads(), 1);
+    std::atomic<int> chunks{0};
+    core::parallelFor(0, 100000, 1, [&](int64_t, int64_t) { ++chunks; });
+    EXPECT_EQ(chunks.load(), 1); // serial fallback runs one inline call
+}
+
+TEST(Parallel, NestedCallsDegradeToSerial)
+{
+    std::atomic<int> inner_chunks{0};
+    core::parallelFor(0, 4, 1, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) {
+            if (core::inParallelRegion()) {
+                // From a worker, a nested parallelFor must run inline.
+                core::parallelFor(0, 1000, 1,
+                                  [&](int64_t, int64_t) { ++inner_chunks; });
+            }
+        }
+    });
+    // Either no workers exist (serial host) or every nested call was
+    // exactly one inline chunk per outer index handled by a worker.
+    EXPECT_LE(inner_chunks.load(), 4);
+}
+
+TEST(Parallel, ThreadCountBounds)
+{
+    EXPECT_GE(core::maxThreads(), 1);
+    EXPECT_GE(core::numThreads(), 1);
+    EXPECT_LE(core::numThreads(), core::maxThreads());
 }
 
 } // namespace

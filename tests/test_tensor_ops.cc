@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "core/parallel.hh"
 #include "tensor/ops.hh"
 #include "trace/sink.hh"
 
@@ -646,6 +647,133 @@ TEST(Events, KernelClassesPerOp)
     sink.clear();
     transpose2d(x.reshape(Shape{4, 4}));
     EXPECT_EQ(sink.kernels[0].kclass, trace::KernelClass::Other);
+}
+
+// ------------------------------------------------------------------
+// Equivalence of the optimized kernels against the naive references,
+// over odd (non-tile-aligned) shapes, strides and padding.
+
+TEST(Matmul, BlockedMatchesReferenceOddShapes)
+{
+    Rng rng(21);
+    const struct { int64_t m, k, n; } shapes[] = {
+        {1, 1, 1},   {13, 7, 17},   {6, 16, 16},  {3, 129, 65},
+        {61, 33, 1}, {130, 70, 150}, {257, 31, 129},
+    };
+    for (const auto &s : shapes) {
+        Tensor a = Tensor::randn(Shape{s.m, s.k}, rng);
+        Tensor b = Tensor::randn(Shape{s.k, s.n}, rng);
+        Tensor fast = matmul(a, b);
+        Tensor ref = matmulReference(a, b);
+        EXPECT_LE(maxAbsDiff(fast, ref), 1e-4f)
+            << "m=" << s.m << " k=" << s.k << " n=" << s.n;
+    }
+}
+
+TEST(Matmul, BlockedMatchesReferenceBatched)
+{
+    Rng rng(22);
+    {
+        Tensor a = Tensor::randn(Shape{3, 33, 47}, rng);
+        Tensor b = Tensor::randn(Shape{3, 47, 29}, rng);
+        EXPECT_LE(maxAbsDiff(matmul(a, b), matmulReference(a, b)), 1e-4f);
+    }
+    {
+        // Shared rhs: (4, 9, 33) x (33, 17).
+        Tensor a = Tensor::randn(Shape{4, 9, 33}, rng);
+        Tensor b = Tensor::randn(Shape{33, 17}, rng);
+        EXPECT_LE(maxAbsDiff(matmul(a, b), matmulReference(a, b)), 1e-4f);
+    }
+}
+
+TEST(Matmul, TransposedVariantsMatchExplicitTranspose)
+{
+    Rng rng(23);
+    {
+        Tensor a = Tensor::randn(Shape{37, 129}, rng);
+        Tensor b = Tensor::randn(Shape{53, 129}, rng); // (N, K)
+        Tensor nt = matmulNT(a, b);
+        Tensor ref = matmulReference(a, transpose2d(b));
+        EXPECT_EQ(nt.shape(), (Shape{37, 53}));
+        EXPECT_LE(maxAbsDiff(nt, ref), 1e-4f);
+    }
+    {
+        Tensor a = Tensor::randn(Shape{129, 37}, rng); // (K, M)
+        Tensor b = Tensor::randn(Shape{129, 53}, rng);
+        Tensor tn = matmulTN(a, b);
+        Tensor ref = matmulReference(transpose2d(a), b);
+        EXPECT_EQ(tn.shape(), (Shape{37, 53}));
+        EXPECT_LE(maxAbsDiff(tn, ref), 1e-4f);
+    }
+    {
+        // Batched NT: the attention-score shape.
+        Tensor a = Tensor::randn(Shape{6, 21, 33}, rng);
+        Tensor b = Tensor::randn(Shape{6, 19, 33}, rng);
+        Tensor nt = matmulNT(a, b);
+        Tensor ref = matmul(a, swapDims(b, -2, -1));
+        EXPECT_EQ(nt.shape(), (Shape{6, 21, 19}));
+        EXPECT_LE(maxAbsDiff(nt, ref), 1e-4f);
+    }
+}
+
+TEST(Conv, Im2colMatchesDirectOddShapes)
+{
+    Rng rng(24);
+    const struct { int64_t n, c, h, w, oc; int k, s, p; } shapes[] = {
+        {2, 3, 19, 23, 8, 5, 2, 2},  // odd spatial, stride 2, pad 2
+        {1, 16, 17, 13, 12, 3, 1, 1}, // classic 3x3 same-pad
+        {1, 32, 20, 20, 16, 1, 1, 0}, // 1x1: direct-GEMM fast path
+        {3, 8, 15, 15, 24, 3, 2, 0},  // stride 2, no pad
+        {2, 6, 9, 31, 10, 7, 3, 3},   // wide kernel, stride 3
+    };
+    for (const auto &s : shapes) {
+        Tensor x = Tensor::randn(Shape{s.n, s.c, s.h, s.w}, rng);
+        Tensor w = Tensor::randn(Shape{s.oc, s.c, s.k, s.k}, rng);
+        Tensor b = Tensor::randn(Shape{s.oc}, rng);
+        Tensor fast = conv2d(x, w, b, s.s, s.p);
+        Tensor ref = conv2dReference(x, w, b, s.s, s.p);
+        EXPECT_LE(maxAbsDiff(fast, ref), 1e-4f)
+            << "c=" << s.c << " k=" << s.k << " s=" << s.s
+            << " p=" << s.p;
+        // And without bias.
+        EXPECT_LE(maxAbsDiff(conv2d(x, w, Tensor(), s.s, s.p),
+                             conv2dReference(x, w, Tensor(), s.s, s.p)),
+                  1e-4f);
+    }
+}
+
+// ------------------------------------------------------------------
+// Results must be bitwise identical for any thread count (the trace /
+// sim layers and the paper figures depend on runs being reproducible).
+
+TEST(Parallel, KernelsDeterministicAcrossThreadCounts)
+{
+    Rng rng(25);
+    Tensor a = Tensor::randn(Shape{67, 129}, rng);
+    Tensor b = Tensor::randn(Shape{129, 71}, rng);
+    Tensor x = Tensor::randn(Shape{2, 9, 21, 21}, rng);
+    Tensor w = Tensor::randn(Shape{12, 9, 3, 3}, rng);
+    Tensor gamma = Tensor::ones(Shape{129});
+    Tensor beta = Tensor::zeros(Shape{129});
+
+    Tensor mm1, conv1, ln1, sm1, add1;
+    {
+        core::ScopedNumThreads serial(1);
+        mm1 = matmul(a, b);
+        conv1 = conv2d(x, w, Tensor(), 1, 1);
+        ln1 = layernorm(a, gamma, beta, 1e-5f);
+        sm1 = softmaxLast(a);
+        add1 = add(a, a);
+    }
+    {
+        core::ScopedNumThreads parallel(4);
+        EXPECT_EQ(maxAbsDiff(matmul(a, b), mm1), 0.0f);
+        EXPECT_EQ(maxAbsDiff(conv2d(x, w, Tensor(), 1, 1), conv1), 0.0f);
+        EXPECT_EQ(maxAbsDiff(layernorm(a, gamma, beta, 1e-5f), ln1),
+                  0.0f);
+        EXPECT_EQ(maxAbsDiff(softmaxLast(a), sm1), 0.0f);
+        EXPECT_EQ(maxAbsDiff(add(a, a), add1), 0.0f);
+    }
 }
 
 TEST(Helpers, MaxAbsDiffAndAllClose)
