@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "common.hh"
+#include "runner/experiment.hh"
 #include "core/logging.hh"
 #include "core/table.hh"
 #include "models/zoo.hh"
@@ -19,8 +20,10 @@
 using namespace mmbench;
 using benchutil::us;
 
+namespace {
+
 int
-main()
+run()
 {
     benchutil::printTitle(
         "Ablation: cost-model sensitivity (AV-MNIST, batch 8)",
@@ -104,3 +107,9 @@ main()
                     "paper's argument against naive concurrency.");
     return 0;
 }
+
+} // namespace
+
+MMBENCH_REGISTER_EXPERIMENT(ablation_cost_model,
+    "Ablation: cost-model sensitivity (AV-MNIST, batch 8)",
+    run);

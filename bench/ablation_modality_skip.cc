@@ -17,6 +17,7 @@
 #include "autograd/loss.hh"
 #include "autograd/optim.hh"
 #include "common.hh"
+#include "runner/experiment.hh"
 #include "core/logging.hh"
 #include "core/table.hh"
 #include "data/loader.hh"
@@ -28,8 +29,10 @@ using namespace mmbench;
 namespace ag = mmbench::autograd;
 namespace ts = mmbench::tensor;
 
+namespace {
+
 int
-main()
+run()
 {
     benchutil::printTitle(
         "Ablation: adaptive modality skipping on AV-MNIST",
@@ -113,3 +116,9 @@ main()
                     "paper points to.");
     return 0;
 }
+
+} // namespace
+
+MMBENCH_REGISTER_EXPERIMENT(ablation_modality_skip,
+    "Ablation: adaptive modality skipping on AV-MNIST",
+    run);

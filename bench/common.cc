@@ -24,42 +24,6 @@ note(const std::string &text)
     std::printf("# %s\n", text.c_str());
 }
 
-std::string
-f1(double v)
-{
-    return strfmt("%.1f", v);
-}
-
-std::string
-f2(double v)
-{
-    return strfmt("%.2f", v);
-}
-
-std::string
-f3(double v)
-{
-    return strfmt("%.3f", v);
-}
-
-std::string
-pct(double fraction)
-{
-    return strfmt("%.1f%%", 100.0 * fraction);
-}
-
-std::string
-us(double micros)
-{
-    return formatMicros(micros);
-}
-
-std::string
-mb(uint64_t bytes)
-{
-    return strfmt("%.2f MB", static_cast<double>(bytes) / (1024.0 * 1024.0));
-}
-
 TrainResult
 quickTrain(models::MultiModalWorkload &workload,
            const TrainOptions &options)

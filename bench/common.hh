@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "core/format.hh"
 #include "data/synthetic.hh"
 #include "models/workload.hh"
 #include "profile/profiler.hh"
@@ -24,13 +25,16 @@ void printTitle(const std::string &experiment_id,
 /** Print a trailing commentary line ("# ..."). */
 void note(const std::string &text);
 
-/** Format helpers. @{ */
-std::string f1(double v); ///< one decimal
-std::string f2(double v); ///< two decimals
-std::string f3(double v); ///< three decimals
-std::string pct(double fraction);   ///< 0.42 -> "42.0%"
-std::string us(double micros);      ///< adaptive time unit
-std::string mb(uint64_t bytes);     ///< bytes -> "x.xx MB"
+/**
+ * Format helpers: the shared src/core/format.hh implementations,
+ * re-exported under their historical benchutil names. @{
+ */
+using numfmt::f1;  ///< one decimal
+using numfmt::f2;  ///< two decimals
+using numfmt::f3;  ///< three decimals
+using numfmt::pct; ///< 0.42 -> "42.0%"
+using numfmt::us;  ///< adaptive time unit
+using numfmt::mb;  ///< bytes -> "x.xx MB"
 /** @} */
 
 /** Result of one train/eval run. */

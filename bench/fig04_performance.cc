@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "common.hh"
+#include "runner/experiment.hh"
 #include "core/logging.hh"
 #include "core/table.hh"
 #include "models/zoo.hh"
@@ -55,8 +56,10 @@ const WorkloadPlan kPlans[] = {
 
 } // namespace
 
+namespace {
+
 int
-main()
+run()
 {
     benchutil::printTitle(
         "Figure 4: Performance of the applications in MMBench",
@@ -132,3 +135,9 @@ main()
                     "'ineffective fusion' caveat; see EXPERIMENTS.md.");
     return 0;
 }
+
+} // namespace
+
+MMBENCH_REGISTER_EXPERIMENT(fig04,
+    "Figure 4: performance of the applications (uni vs multi-modal fusion sweep)",
+    run);

@@ -16,6 +16,7 @@
 #include <iostream>
 
 #include "common.hh"
+#include "runner/experiment.hh"
 #include "core/logging.hh"
 #include "core/table.hh"
 #include "models/zoo.hh"
@@ -24,8 +25,10 @@ using namespace mmbench;
 using benchutil::pct;
 using benchutil::TrainOptions;
 
+namespace {
+
 int
-main()
+run()
 {
     benchutil::printTitle(
         "Figure 5: Mutually exclusive correct sample sets per modality",
@@ -112,3 +115,9 @@ main()
                     "the dominant modality differs per task.");
     return 0;
 }
+
+} // namespace
+
+MMBENCH_REGISTER_EXPERIMENT(fig05,
+    "Figure 5: mutually exclusive correct sample sets per modality",
+    run);

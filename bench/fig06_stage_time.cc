@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "common.hh"
+#include "runner/experiment.hh"
 #include "core/logging.hh"
 #include "core/table.hh"
 #include "models/zoo.hh"
@@ -20,8 +21,10 @@
 using namespace mmbench;
 using benchutil::us;
 
+namespace {
+
 int
-main()
+run()
 {
     benchutil::printTitle(
         "Figure 6: Per-stage execution time (batch of 8, 2080Ti model)",
@@ -58,3 +61,9 @@ main()
                     "vision-touch (ratio > 1).");
     return 0;
 }
+
+} // namespace
+
+MMBENCH_REGISTER_EXPERIMENT(fig06,
+    "Figure 6: per-stage execution time (batch 8, 2080Ti model)",
+    run);

@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "common.hh"
+#include "runner/experiment.hh"
 #include "core/logging.hh"
 #include "core/table.hh"
 #include "models/zoo.hh"
@@ -20,8 +21,10 @@
 using namespace mmbench;
 using benchutil::f2;
 
+namespace {
+
 int
-main()
+run()
 {
     benchutil::printTitle(
         "Figure 7: Per-stage resource usage (batch of 8, 2080Ti model)",
@@ -58,3 +61,9 @@ main()
                     "across stages.");
     return 0;
 }
+
+} // namespace
+
+MMBENCH_REGISTER_EXPERIMENT(fig07,
+    "Figure 7: per-stage resource usage (batch 8, 2080Ti model)",
+    run);

@@ -14,6 +14,7 @@
 #include <iostream>
 
 #include "common.hh"
+#include "runner/experiment.hh"
 #include "core/logging.hh"
 #include "core/table.hh"
 #include "models/zoo.hh"
@@ -21,8 +22,10 @@
 
 using namespace mmbench;
 
+namespace {
+
 int
-main()
+run()
 {
     benchutil::printTitle(
         "Figure 8: Kernel class breakdown per stage (batch 8, 2080Ti)",
@@ -75,3 +78,9 @@ main()
                     "profile.");
     return 0;
 }
+
+} // namespace
+
+MMBENCH_REGISTER_EXPERIMENT(fig08,
+    "Figure 8: kernel class breakdown per stage (batch 8, 2080Ti)",
+    run);

@@ -18,6 +18,7 @@
 #include <iostream>
 
 #include "common.hh"
+#include "runner/experiment.hh"
 #include "core/logging.hh"
 #include "core/table.hh"
 #include "models/zoo.hh"
@@ -48,8 +49,10 @@ ratio(double value, double base)
 
 } // namespace
 
+namespace {
+
 int
-main()
+run()
 {
     benchutil::printTitle(
         "Figure 9: Hotspot kernel comparison on AV-MNIST (batch 8)",
@@ -128,3 +131,9 @@ main()
                     "DRAM read bytes.");
     return 0;
 }
+
+} // namespace
+
+MMBENCH_REGISTER_EXPERIMENT(fig09,
+    "Figure 9: hotspot kernel comparison on AV-MNIST (batch 8)",
+    run);

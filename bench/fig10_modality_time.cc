@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "common.hh"
+#include "runner/experiment.hh"
 #include "core/logging.hh"
 #include "core/table.hh"
 #include "models/zoo.hh"
@@ -20,8 +21,10 @@
 using namespace mmbench;
 using benchutil::pct;
 
+namespace {
+
 int
-main()
+run()
 {
     benchutil::printTitle(
         "Figure 10: Per-modality encoder time (batch 8, 2080Ti model)",
@@ -41,11 +44,8 @@ main()
         std::vector<double> times;
         double fastest = 1e18, slowest = 0.0, total = 0.0;
         for (size_t m = 0; m < w->numModalities(); ++m) {
-            const double t = profile::aggregate(
-                result.timeline, [m](const sim::SimKernel &k) {
-                    return k.ev.stage == trace::Stage::Encoder &&
-                           k.ev.modality == static_cast<int>(m);
-                }).gpuTimeUs;
+            const double t = profile::encoderModalityGpuUs(
+                result.timeline, static_cast<int>(m));
             times.push_back(t);
             fastest = std::min(fastest, t);
             slowest = std::max(slowest, t);
@@ -75,3 +75,9 @@ main()
                     "it.");
     return 0;
 }
+
+} // namespace
+
+MMBENCH_REGISTER_EXPERIMENT(fig10,
+    "Figure 10: per-modality encoder time (batch 8, 2080Ti model)",
+    run);

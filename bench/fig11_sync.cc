@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "common.hh"
+#include "runner/experiment.hh"
 #include "core/logging.hh"
 #include "core/table.hh"
 #include "models/zoo.hh"
@@ -21,8 +22,10 @@
 using namespace mmbench;
 using benchutil::pct;
 
+namespace {
+
 int
-main()
+run()
 {
     benchutil::printTitle(
         "Figure 11: CPU+Runtime vs GPU time share (batch 8, 2080Ti)",
@@ -72,3 +75,9 @@ main()
                     "(mujoco-push) shows the largest increase.");
     return 0;
 }
+
+} // namespace
+
+MMBENCH_REGISTER_EXPERIMENT(fig11,
+    "Figure 11: CPU+Runtime vs GPU time share (batch 8, 2080Ti)",
+    run);

@@ -14,6 +14,7 @@
 #include <iostream>
 
 #include "common.hh"
+#include "runner/experiment.hh"
 #include "core/logging.hh"
 #include "core/table.hh"
 #include "models/zoo.hh"
@@ -23,8 +24,10 @@ using namespace mmbench;
 using benchutil::pct;
 using benchutil::us;
 
+namespace {
+
 int
-main()
+run()
 {
     benchutil::printTitle(
         "Figure 12: Batch size effects on AV-MNIST (2080Ti model)",
@@ -107,3 +110,9 @@ main()
                     "EXPERIMENTS.md.");
     return 0;
 }
+
+} // namespace
+
+MMBENCH_REGISTER_EXPERIMENT(fig12,
+    "Figure 12: batch size effects on AV-MNIST (2080Ti model)",
+    run);

@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "common.hh"
+#include "runner/experiment.hh"
 #include "core/logging.hh"
 #include "core/table.hh"
 #include "models/zoo.hh"
@@ -19,8 +20,10 @@
 using namespace mmbench;
 using benchutil::mb;
 
+namespace {
+
 int
-main()
+run()
 {
     benchutil::printTitle(
         "Figure 13: Peak memory vs batch size on AV-MNIST",
@@ -74,3 +77,9 @@ main()
                     "modality features + fusion buffers).");
     return 0;
 }
+
+} // namespace
+
+MMBENCH_REGISTER_EXPERIMENT(fig13,
+    "Figure 13: peak memory vs batch size on AV-MNIST",
+    run);

@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "common.hh"
+#include "runner/experiment.hh"
 #include "core/logging.hh"
 #include "core/table.hh"
 #include "models/zoo.hh"
@@ -21,8 +22,10 @@
 using namespace mmbench;
 using benchutil::us;
 
+namespace {
+
 int
-main()
+run()
 {
     benchutil::printTitle(
         "Figure 14: AV-MNIST inference on server and edge devices",
@@ -91,3 +94,9 @@ main()
                     "EXPERIMENTS.md.");
     return 0;
 }
+
+} // namespace
+
+MMBENCH_REGISTER_EXPERIMENT(fig14,
+    "Figure 14: AV-MNIST inference on server and edge devices",
+    run);

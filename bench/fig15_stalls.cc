@@ -15,6 +15,7 @@
 #include <iostream>
 
 #include "common.hh"
+#include "runner/experiment.hh"
 #include "core/logging.hh"
 #include "core/table.hh"
 #include "models/zoo.hh"
@@ -47,8 +48,10 @@ stallHeader()
 
 } // namespace
 
+namespace {
+
 int
-main()
+run()
 {
     benchutil::printTitle(
         "Figure 15: Stall breakdown and resource usage, edge vs server",
@@ -132,3 +135,9 @@ main()
                     "server.");
     return 0;
 }
+
+} // namespace
+
+MMBENCH_REGISTER_EXPERIMENT(fig15,
+    "Figure 15: stall breakdown and resource usage, edge vs server",
+    run);

@@ -7,8 +7,12 @@
  * kernels, and emits a CSV so the perf trajectory can be tracked
  * across PRs.
  *
- * Usage: ops_micro [--csv <path>] [--quick]
+ * Usage: ops_micro [--csv <path>] [--json <path>] [--quick]
  *   --csv    output CSV path (default: ops_micro.csv)
+ *   --json   also emit JSON Lines in the runner's
+ *            "mmbench-result-v1" schema (kind "micro"), so kernel
+ *            microbenchmarks land in the same trajectory file as
+ *            `mmbench run --json` workload results
  *   --quick  fewer repetitions (CI smoke mode)
  */
 
@@ -18,12 +22,18 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+
 #include "common.hh"
 #include "core/csv.hh"
+#include "core/json.hh"
 #include "core/logging.hh"
 #include "core/parallel.hh"
 #include "core/rng.hh"
 #include "core/table.hh"
+#include "runner/experiment.hh"
+#include "runner/runresult.hh"
+#include "runner/sink.hh"
 #include "tensor/ops.hh"
 
 using namespace mmbench;
@@ -47,28 +57,31 @@ struct Result
     double ms = 0.0;      ///< best-of-reps wall time
     double gflops = 0.0;  ///< 0 when the kernel is bandwidth-bound
     double gbps = 0.0;    ///< 0 when the kernel is compute-bound
+    /** All repetition wall times (us) for the JSON percentiles. */
+    runner::LatencyStats latencyUs;
 };
 
 /**
  * Time fn (already warmed up once) for up to `budget_s` seconds or
- * `max_reps` repetitions and keep the best run — the least-disturbed
- * sample on a shared machine.
+ * `max_reps` repetitions; returns every per-rep wall time in
+ * microseconds. Throughput is still reported from the best run — the
+ * least-disturbed sample on a shared machine.
  */
 template <typename F>
-double
-bestMs(F fn, double budget_s, int max_reps)
+std::vector<double>
+sampleUs(F fn, double budget_s, int max_reps)
 {
     fn(); // warmup (page faults, pool spin-up)
-    double best = 1e30;
+    std::vector<double> samples;
     const double t_end = now() + budget_s;
     for (int rep = 0; rep < max_reps; ++rep) {
         const double t0 = now();
         fn();
-        best = std::min(best, now() - t0);
+        samples.push_back((now() - t0) * 1e6);
         if (now() > t_end && rep >= 2)
             break;
     }
-    return best * 1e3;
+    return samples;
 }
 
 class Harness
@@ -106,7 +119,10 @@ class Harness
         Result r;
         r.kernel = kernel;
         r.shape = shape;
-        r.ms = bestMs(fn, budgetS_, maxReps_);
+        r.latencyUs =
+            runner::LatencyStats::fromSamples(sampleUs(fn, budgetS_,
+                                                       maxReps_));
+        r.ms = r.latencyUs.min * 1e-3;
         const double seconds = r.ms * 1e-3;
         r.gflops = flops > 0.0 ? flops / seconds / 1e9 : 0.0;
         r.gbps = bytes > 0.0 ? bytes / seconds / 1e9 : 0.0;
@@ -149,6 +165,36 @@ class Harness
         return csv.writeFile(path);
     }
 
+    /**
+     * Emit one "mmbench-result-v1" record per kernel (kind "micro"),
+     * schema-compatible with the runner's JSON sink so workload runs
+     * and kernel microbenchmarks share one trajectory file.
+     */
+    bool
+    writeJsonl(const std::string &path) const
+    {
+        std::ofstream os(path);
+        if (!os) {
+            warn("cannot open '%s' for writing", path.c_str());
+            return false;
+        }
+        for (const auto &r : results_) {
+            core::JsonValue obj = core::JsonValue::object();
+            obj.set("schema", runner::kResultSchema);
+            obj.set("kind", "micro");
+            obj.set("name", r.kernel);
+            obj.set("device", "cpu");
+            obj.set("threads",
+                    static_cast<int64_t>(core::numThreads()));
+            obj.set("shape", r.shape);
+            obj.set("latency_us", r.latencyUs.toJson());
+            obj.set("gflops", r.gflops);
+            obj.set("gbps", r.gbps);
+            runner::JsonlSink::writeRecord(os, obj);
+        }
+        return true;
+    }
+
     bool quick_;
     double budgetS_;
     int maxReps_;
@@ -170,14 +216,20 @@ speedupNote(const Harness &h, const std::string &fast,
 
 } // namespace
 
+namespace mmbench {
+namespace benchutil {
+
 int
-main(int argc, char **argv)
+opsMicroMain(int argc, char **argv)
 {
     std::string csv_path = "ops_micro.csv";
+    std::string json_path;
     bool quick = false;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--csv") && i + 1 < argc)
             csv_path = argv[++i];
+        else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
+            json_path = argv[++i];
         else if (!std::strcmp(argv[i], "--quick"))
             quick = true;
     }
@@ -290,7 +342,30 @@ main(int argc, char **argv)
     h.print();
     speedupNote(h, "gemm_1024", "gemm_1024_seed_ref");
     speedupNote(h, "conv3x3_56", "conv3x3_56_seed_ref");
-    if (h.writeCsv(csv_path))
+    if (!csv_path.empty() && h.writeCsv(csv_path))
         benchutil::note("csv written to " + csv_path);
+    if (!json_path.empty() && h.writeJsonl(json_path))
+        benchutil::note("json written to " + json_path);
     return 0;
 }
+
+} // namespace benchutil
+} // namespace mmbench
+
+namespace {
+
+int
+runQuick()
+{
+    // Empty --csv suppresses the default ops_micro.csv so the
+    // registered experiment stays side-effect free in the cwd.
+    const char *argv[] = {"ops_micro", "--quick", "--csv", ""};
+    return mmbench::benchutil::opsMicroMain(
+        4, const_cast<char **>(argv));
+}
+
+} // namespace
+
+MMBENCH_REGISTER_EXPERIMENT(ops_micro,
+    "Kernel microbenchmarks of the CPU tensor backend (quick mode)",
+    runQuick);

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Standalone entry point for the ops_micro binary. The harness itself
+ * lives in ops_micro.cc so the mmbench CLI can also run it as the
+ * registered "ops_micro" experiment.
+ */
+
+namespace mmbench {
+namespace benchutil {
+
+int opsMicroMain(int argc, char **argv);
+
+} // namespace benchutil
+} // namespace mmbench
+
+int
+main(int argc, char **argv)
+{
+    return mmbench::benchutil::opsMicroMain(argc, argv);
+}

@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "common.hh"
+#include "runner/experiment.hh"
 #include "core/logging.hh"
 #include "core/table.hh"
 #include "fusion/fusion.hh"
@@ -43,8 +44,10 @@ const Row kRows[] = {
 
 } // namespace
 
+namespace {
+
 int
-main()
+run()
 {
     benchutil::printTitle(
         "Table 1: Commonly used fusion operators",
@@ -88,3 +91,9 @@ main()
                     "free.");
     return 0;
 }
+
+} // namespace
+
+MMBENCH_REGISTER_EXPERIMENT(tab01,
+    "Table 1: commonly used fusion operators",
+    run);

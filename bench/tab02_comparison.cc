@@ -8,12 +8,15 @@
 #include <iostream>
 
 #include "common.hh"
+#include "runner/experiment.hh"
 #include "core/table.hh"
 
 using namespace mmbench;
 
+namespace {
+
 int
-main()
+run()
 {
     benchutil::printTitle(
         "Table 2: Comparison of MMBench and other benchmarks",
@@ -36,3 +39,9 @@ main()
                     "preprocessing, and the dataset-free abstraction.");
     return 0;
 }
+
+} // namespace
+
+MMBENCH_REGISTER_EXPERIMENT(tab02,
+    "Table 2: comparison of MMBench and other benchmarks",
+    run);

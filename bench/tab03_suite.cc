@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "common.hh"
+#include "runner/experiment.hh"
 #include "core/logging.hh"
 #include "core/string_utils.hh"
 #include "core/table.hh"
@@ -15,8 +16,10 @@
 
 using namespace mmbench;
 
+namespace {
+
 int
-main()
+run()
 {
     benchutil::printTitle(
         "Table 3: Characteristics of each application in MMBench",
@@ -47,3 +50,9 @@ main()
                     "are the scaled-down CPU-tractable versions.");
     return 0;
 }
+
+} // namespace
+
+MMBENCH_REGISTER_EXPERIMENT(tab03,
+    "Table 3: characteristics of each application in MMBench",
+    run);

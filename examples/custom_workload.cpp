@@ -4,7 +4,10 @@
  * from the library's encoders and fusion operators by subclassing
  * MultiModalWorkload. Everything else — the three-stage trace
  * scoping, uni-modal baselines, task-generic loss/metric, synthetic
- * data, simulation — comes for free from the base class.
+ * data, simulation — comes for free from the base class. One
+ * MMBENCH_REGISTER_WORKLOAD line then makes it creatable by name
+ * through the registry, exactly like the nine built-in applications
+ * (no zoo.cc or CLI edits needed).
  *
  * The example is a wearable-health scenario: ECG trace (1-D CNN view)
  * + accelerometer sequence (LSTM) + patient-note tokens (transformer),
@@ -18,6 +21,7 @@
 #include "core/string_utils.hh"
 #include "core/table.hh"
 #include "models/encoders.hh"
+#include "models/registry.hh"
 #include "models/workload.hh"
 #include "nn/init.hh"
 #include "profile/profiler.hh"
@@ -121,15 +125,27 @@ class WearableHealth : public MultiModalWorkload
     std::vector<std::unique_ptr<nn::Linear>> uniHeads_;
 };
 
+// One line registers the workload under a name; the registry (and
+// therefore the mmbench CLI's `run --workload wearable-health`) can
+// now create it like any built-in application.
+MMBENCH_REGISTER_WORKLOAD(WearableHealth, "wearable-health",
+                          "Example: ECG+accelerometer+notes activity "
+                          "classification",
+                          fusion::FusionKind::Attention, 100);
+
 } // namespace
 
 int
 main()
 {
-    nn::seedAll(42);
     WorkloadConfig config;
-    config.fusionKind = fusion::FusionKind::Attention;
-    WearableHealth workload(config);
+    config.fusionKind = models::WorkloadRegistry::instance()
+                            .find("wearable-health")
+                            ->defaultFusion;
+    auto workload_ptr = models::WorkloadRegistry::instance().create(
+        "wearable-health", config);
+    WearableHealth &workload =
+        static_cast<WearableHealth &>(*workload_ptr);
 
     std::printf("custom workload '%s': %lld parameters, %zu modalities\n",
                 workload.info().name.c_str(),

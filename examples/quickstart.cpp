@@ -63,6 +63,9 @@ main()
 
     std::printf("\nTry: zoo::createDefault(\"transfuser\") or any of the "
                 "nine workloads;\nswap sim::DeviceModel::jetsonNano() in "
-                "to see the edge picture.\n");
+                "to see the edge picture.\nOr skip the code entirely: "
+                "`mmbench run --workload av-mnist --batch 8`\nand "
+                "`mmbench fig --list` drive the same pipeline from the "
+                "CLI.\n");
     return 0;
 }

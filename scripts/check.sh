@@ -15,5 +15,28 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 # CI smoke run of the kernel microbenchmarks (also exercises the
-# parallel runtime end to end and leaves a CSV artifact behind).
-"$BUILD_DIR/ops_micro" --quick --csv "$BUILD_DIR/ops_micro.csv"
+# parallel runtime end to end). The --json output shares the runner's
+# "mmbench-result-v1" schema so kernels and workloads land in one
+# per-PR perf trajectory file.
+"$BUILD_DIR/ops_micro" --quick \
+    --csv "$BUILD_DIR/ops_micro.csv" \
+    --json "$BUILD_DIR/BENCH_ops_micro.jsonl"
+
+# CI smoke run of the unified runner: one tiny RunSpec per registered
+# workload through the JSON sink, plus a registry/CLI sanity check.
+"$BUILD_DIR/mmbench" list > /dev/null
+"$BUILD_DIR/mmbench" run --smoke --quiet \
+    --json "$BUILD_DIR/BENCH_smoke.jsonl" \
+    --csv "$BUILD_DIR/BENCH_smoke.csv"
+
+# Every emitted line must be valid JSON with the shared schema tag.
+python3 - "$BUILD_DIR/BENCH_smoke.jsonl" "$BUILD_DIR/BENCH_ops_micro.jsonl" <<'EOF'
+import json, sys
+for path in sys.argv[1:]:
+    with open(path) as fh:
+        for line in fh:
+            record = json.loads(line)
+            assert record["schema"] == "mmbench-result-v1", path
+            assert "latency_us" in record and "p50" in record["latency_us"], path
+print("json trajectory files OK:", ", ".join(sys.argv[1:]))
+EOF

@@ -1,0 +1,46 @@
+#include "core/format.hh"
+
+#include "core/logging.hh"
+#include "core/string_utils.hh"
+
+namespace mmbench {
+namespace numfmt {
+
+std::string
+f1(double v)
+{
+    return strfmt("%.1f", v);
+}
+
+std::string
+f2(double v)
+{
+    return strfmt("%.2f", v);
+}
+
+std::string
+f3(double v)
+{
+    return strfmt("%.3f", v);
+}
+
+std::string
+pct(double fraction)
+{
+    return strfmt("%.1f%%", 100.0 * fraction);
+}
+
+std::string
+us(double micros)
+{
+    return formatMicros(micros);
+}
+
+std::string
+mb(uint64_t bytes)
+{
+    return strfmt("%.2f MB", static_cast<double>(bytes) / (1024.0 * 1024.0));
+}
+
+} // namespace numfmt
+} // namespace mmbench

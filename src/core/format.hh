@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Shared number/time/size formatting helpers.
+ *
+ * One implementation serves both the legacy bench tables
+ * (benchutil re-exports these under its old names) and the runner's
+ * table/CSV sinks, so every surface renders values identically.
+ */
+
+#ifndef MMBENCH_CORE_FORMAT_HH
+#define MMBENCH_CORE_FORMAT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mmbench {
+namespace numfmt {
+
+std::string f1(double v); ///< one decimal
+std::string f2(double v); ///< two decimals
+std::string f3(double v); ///< three decimals
+std::string pct(double fraction); ///< 0.42 -> "42.0%"
+std::string us(double micros);    ///< adaptive time unit
+std::string mb(uint64_t bytes);   ///< bytes -> "x.xx MB"
+
+} // namespace numfmt
+} // namespace mmbench
+
+#endif // MMBENCH_CORE_FORMAT_HH

@@ -1,0 +1,476 @@
+#include "core/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/logging.hh"
+
+namespace mmbench {
+namespace core {
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+int64_t
+JsonValue::intValue() const
+{
+    if (kind_ == Kind::Double)
+        return static_cast<int64_t>(double_);
+    return int_;
+}
+
+double
+JsonValue::numberValue() const
+{
+    if (kind_ == Kind::Int)
+        return static_cast<double>(int_);
+    return double_;
+}
+
+void
+JsonValue::push(JsonValue v)
+{
+    MM_ASSERT(kind_ == Kind::Array, "push on non-array JsonValue");
+    elements_.push_back(std::move(v));
+}
+
+size_t
+JsonValue::size() const
+{
+    return kind_ == Kind::Object ? members_.size() : elements_.size();
+}
+
+const JsonValue &
+JsonValue::at(size_t i) const
+{
+    MM_ASSERT(kind_ == Kind::Array && i < elements_.size(),
+              "JsonValue::at out of range");
+    return elements_[i];
+}
+
+void
+JsonValue::set(const std::string &key, JsonValue v)
+{
+    MM_ASSERT(kind_ == Kind::Object, "set on non-object JsonValue");
+    for (auto &member : members_) {
+        if (member.first == key) {
+            member.second = std::move(v);
+            return;
+        }
+    }
+    members_.emplace_back(key, std::move(v));
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &member : members_) {
+        if (member.first == key)
+            return &member.second;
+    }
+    return nullptr;
+}
+
+std::string
+JsonValue::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20)
+                out += strfmt("\\u%04x", c);
+            else
+                out += static_cast<char>(c);
+        }
+    }
+    return out;
+}
+
+void
+JsonValue::dumpTo(std::string &out) const
+{
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Int:
+        out += strfmt("%lld", static_cast<long long>(int_));
+        break;
+      case Kind::Double:
+        if (std::isfinite(double_)) {
+            out += strfmt("%.10g", double_);
+        } else {
+            // JSON has no inf/nan; emit null like most serializers.
+            out += "null";
+        }
+        break;
+      case Kind::String:
+        out += '"';
+        out += escape(string_);
+        out += '"';
+        break;
+      case Kind::Array: {
+        out += '[';
+        bool first = true;
+        for (const auto &e : elements_) {
+            if (!first)
+                out += ',';
+            first = false;
+            e.dumpTo(out);
+        }
+        out += ']';
+        break;
+      }
+      case Kind::Object: {
+        out += '{';
+        bool first = true;
+        for (const auto &member : members_) {
+            if (!first)
+                out += ',';
+            first = false;
+            out += '"';
+            out += escape(member.first);
+            out += "\":";
+            member.second.dumpTo(out);
+        }
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+JsonValue::dump() const
+{
+    std::string out;
+    dumpTo(out);
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent JSON parser over a raw character range. */
+class Parser
+{
+  public:
+    Parser(const char *p, const char *end) : p_(p), end_(end) {}
+
+    JsonValue
+    parseDocument(std::string *error)
+    {
+        JsonValue v = parseValue();
+        if (ok_) {
+            skipWs();
+            if (p_ != end_)
+                fail("trailing characters after JSON document");
+        }
+        if (!ok_) {
+            *error = error_;
+            return JsonValue();
+        }
+        return v;
+    }
+
+  private:
+    void
+    fail(const std::string &why)
+    {
+        if (ok_) {
+            ok_ = false;
+            error_ = why;
+        }
+    }
+
+    void
+    skipWs()
+    {
+        while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                              *p_ == '\r')) {
+            ++p_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (p_ != end_ && *p_ == c) {
+            ++p_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        const char *q = p_;
+        for (; *lit; ++lit, ++q) {
+            if (q == end_ || *q != *lit)
+                return false;
+        }
+        p_ = q;
+        return true;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipWs();
+        if (p_ == end_) {
+            fail("unexpected end of input");
+            return JsonValue();
+        }
+        switch (*p_) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return JsonValue(parseString());
+          case 't':
+            if (consumeLiteral("true"))
+                return JsonValue(true);
+            fail("invalid literal");
+            return JsonValue();
+          case 'f':
+            if (consumeLiteral("false"))
+                return JsonValue(false);
+            fail("invalid literal");
+            return JsonValue();
+          case 'n':
+            if (consumeLiteral("null"))
+                return JsonValue();
+            fail("invalid literal");
+            return JsonValue();
+          default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        consume('{');
+        JsonValue obj = JsonValue::object();
+        skipWs();
+        if (consume('}'))
+            return obj;
+        while (ok_) {
+            skipWs();
+            if (p_ == end_ || *p_ != '"') {
+                fail("expected object key");
+                break;
+            }
+            std::string key = parseString();
+            skipWs();
+            if (!consume(':')) {
+                fail("expected ':' after object key");
+                break;
+            }
+            obj.set(key, parseValue());
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                break;
+            fail("expected ',' or '}' in object");
+        }
+        return obj;
+    }
+
+    JsonValue
+    parseArray()
+    {
+        consume('[');
+        JsonValue arr = JsonValue::array();
+        skipWs();
+        if (consume(']'))
+            return arr;
+        while (ok_) {
+            arr.push(parseValue());
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                break;
+            fail("expected ',' or ']' in array");
+        }
+        return arr;
+    }
+
+    std::string
+    parseString()
+    {
+        consume('"');
+        std::string out;
+        while (p_ != end_) {
+            char c = *p_++;
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (p_ == end_)
+                break;
+            char esc = *p_++;
+            switch (esc) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (end_ - p_ < 4) {
+                    fail("truncated \\u escape");
+                    return out;
+                }
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = *p_++;
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code += static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code += static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code += static_cast<unsigned>(h - 'A' + 10);
+                    else {
+                        fail("invalid \\u escape");
+                        return out;
+                    }
+                }
+                // UTF-8 encode the BMP code point (no surrogate pairs;
+                // the sink never emits them).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                fail("invalid escape character");
+                return out;
+            }
+        }
+        fail("unterminated string");
+        return out;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const char *start = p_;
+        if (consume('-')) {
+        }
+        bool is_double = false;
+        while (p_ != end_ &&
+               (std::isdigit(static_cast<unsigned char>(*p_)) ||
+                *p_ == '.' || *p_ == 'e' || *p_ == 'E' || *p_ == '+' ||
+                *p_ == '-')) {
+            if (*p_ == '.' || *p_ == 'e' || *p_ == 'E')
+                is_double = true;
+            ++p_;
+        }
+        if (p_ == start) {
+            fail("invalid number");
+            return JsonValue();
+        }
+        std::string text(start, p_);
+        char *parse_end = nullptr;
+        if (is_double) {
+            double d = std::strtod(text.c_str(), &parse_end);
+            if (parse_end != text.c_str() + text.size()) {
+                fail("invalid number");
+                return JsonValue();
+            }
+            return JsonValue(d);
+        }
+        long long i = std::strtoll(text.c_str(), &parse_end, 10);
+        if (parse_end != text.c_str() + text.size()) {
+            fail("invalid number");
+            return JsonValue();
+        }
+        return JsonValue(static_cast<int64_t>(i));
+    }
+
+    const char *p_;
+    const char *end_;
+    bool ok_ = true;
+    std::string error_;
+};
+
+} // namespace
+
+JsonValue
+JsonValue::parse(const std::string &text, std::string *error)
+{
+    error->clear();
+    Parser parser(text.data(), text.data() + text.size());
+    return parser.parseDocument(error);
+}
+
+} // namespace core
+} // namespace mmbench

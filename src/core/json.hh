@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Minimal JSON value type: build, serialize and parse JSON without
+ * external dependencies. Used by the runner's JSON Lines result sink
+ * (and by tests that parse the sink's output back).
+ *
+ * Objects preserve insertion order so emitted records have a stable
+ * key layout across runs.
+ */
+
+#ifndef MMBENCH_CORE_JSON_HH
+#define MMBENCH_CORE_JSON_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mmbench {
+namespace core {
+
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Int,
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() : kind_(Kind::Null) {}
+    JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
+    JsonValue(int v) : kind_(Kind::Int), int_(v) {}
+    JsonValue(int64_t v) : kind_(Kind::Int), int_(v) {}
+    JsonValue(uint64_t v) : kind_(Kind::Int), int_(static_cast<int64_t>(v)) {}
+    JsonValue(double v) : kind_(Kind::Double), double_(v) {}
+    JsonValue(const char *s) : kind_(Kind::String), string_(s) {}
+    JsonValue(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
+
+    static JsonValue array();
+    static JsonValue object();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isNumber() const
+    {
+        return kind_ == Kind::Int || kind_ == Kind::Double;
+    }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool boolValue() const { return bool_; }
+    int64_t intValue() const;
+    double numberValue() const;
+    const std::string &stringValue() const { return string_; }
+
+    /** Array access. @{ */
+    void push(JsonValue v);
+    size_t size() const;
+    const JsonValue &at(size_t i) const;
+    /** @} */
+
+    /** Object access. @{ */
+    void set(const std::string &key, JsonValue v);
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+    bool has(const std::string &key) const { return find(key) != nullptr; }
+    const std::vector<std::pair<std::string, JsonValue>> &members() const
+    {
+        return members_;
+    }
+    /** @} */
+
+    /** Serialize compactly (no whitespace). */
+    std::string dump() const;
+
+    /**
+     * Parse one JSON document. Returns a Null value and sets *error
+     * on malformed input (error stays empty on success). Trailing
+     * non-whitespace after the document is an error.
+     */
+    static JsonValue parse(const std::string &text, std::string *error);
+
+    /** Escape a string for direct embedding in JSON output. */
+    static std::string escape(const std::string &s);
+
+  private:
+    void dumpTo(std::string &out) const;
+
+    Kind kind_;
+    bool bool_ = false;
+    int64_t int_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> elements_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+} // namespace core
+} // namespace mmbench
+
+#endif // MMBENCH_CORE_JSON_HH

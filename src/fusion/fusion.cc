@@ -29,27 +29,50 @@ fusionKindName(FusionKind kind)
     }
 }
 
-FusionKind
-parseFusionKind(const std::string &name)
+bool
+tryParseFusionKind(const std::string &name, FusionKind *kind)
 {
     const std::string n = toLower(name);
     if (n == "zero")
-        return FusionKind::Zero;
-    if (n == "sum")
-        return FusionKind::Sum;
-    if (n == "concat")
-        return FusionKind::Concat;
-    if (n == "tensor")
-        return FusionKind::Tensor;
-    if (n == "attention")
-        return FusionKind::Attention;
-    if (n == "lineargru" || n == "linearglu" || n == "glu")
-        return FusionKind::LinearGLU;
-    if (n == "transformer")
-        return FusionKind::Transformer;
-    if (n == "late_lstm" || n == "latelstm" || n == "lf-lstm")
-        return FusionKind::LateLstm;
-    MM_FATAL("unknown fusion kind '%s'", name.c_str());
+        *kind = FusionKind::Zero;
+    else if (n == "sum")
+        *kind = FusionKind::Sum;
+    else if (n == "concat")
+        *kind = FusionKind::Concat;
+    else if (n == "tensor")
+        *kind = FusionKind::Tensor;
+    else if (n == "attention")
+        *kind = FusionKind::Attention;
+    else if (n == "lineargru" || n == "linearglu" || n == "glu")
+        *kind = FusionKind::LinearGLU;
+    else if (n == "transformer")
+        *kind = FusionKind::Transformer;
+    else if (n == "late_lstm" || n == "latelstm" || n == "lf-lstm")
+        *kind = FusionKind::LateLstm;
+    else
+        return false;
+    return true;
+}
+
+FusionKind
+parseFusionKind(const std::string &name)
+{
+    FusionKind kind;
+    if (!tryParseFusionKind(name, &kind))
+        MM_FATAL("unknown fusion kind '%s'", name.c_str());
+    return kind;
+}
+
+const std::vector<FusionKind> &
+allFusionKinds()
+{
+    static const std::vector<FusionKind> kinds = {
+        FusionKind::Zero,      FusionKind::Sum,
+        FusionKind::Concat,    FusionKind::Tensor,
+        FusionKind::Attention, FusionKind::LinearGLU,
+        FusionKind::Transformer, FusionKind::LateLstm,
+    };
+    return kinds;
 }
 
 Fusion::Fusion(std::string name, std::vector<int64_t> input_dims,

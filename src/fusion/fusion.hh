@@ -51,6 +51,16 @@ const char *fusionKindName(FusionKind kind);
 /** Parse a fusion name; fatal on unknown names. */
 FusionKind parseFusionKind(const std::string &name);
 
+/**
+ * Non-fatal parse: returns false (leaving *kind untouched) on an
+ * unknown name. Used by CLI/RunSpec parsing, which reports errors
+ * instead of exiting.
+ */
+bool tryParseFusionKind(const std::string &name, FusionKind *kind);
+
+/** All fusion kinds in enum order (for listings and sweeps). */
+const std::vector<FusionKind> &allFusionKinds();
+
 /** Base class for vector-feature fusion operators. */
 class Fusion : public Module
 {

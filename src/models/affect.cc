@@ -1,5 +1,7 @@
 #include "models/affect.hh"
 
+#include "models/registry.hh"
+
 #include "core/logging.hh"
 
 namespace mmbench {
@@ -106,6 +108,14 @@ AffectWorkload::uniHeadForward(size_t m, const Var &feature)
         f = ag::meanAxis(f, 1);
     return uniHeads_[m]->forward(f);
 }
+
+
+MMBENCH_REGISTER_WORKLOAD(CmuMosei, "cmu-mosei",
+                          "Affective computing: sentence-level sentiment over text/vision/audio",
+                          fusion::FusionKind::Transformer, 2);
+MMBENCH_REGISTER_WORKLOAD(Mustard, "mustard",
+                          "Affective computing: sarcasm detection over text/vision/audio",
+                          fusion::FusionKind::Transformer, 3);
 
 } // namespace models
 } // namespace mmbench

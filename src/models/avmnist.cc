@@ -1,5 +1,7 @@
 #include "models/avmnist.hh"
 
+#include "models/registry.hh"
+
 #include "core/logging.hh"
 
 namespace mmbench {
@@ -88,6 +90,11 @@ AvMnist::uniHeadForward(size_t m, const Var &feature)
 {
     return uniHeads_[m]->forward(feature);
 }
+
+
+MMBENCH_REGISTER_WORKLOAD(AvMnist, "av-mnist",
+                          "Multimedia: image+audio digit pairs, LeNet encoders",
+                          fusion::FusionKind::Concat, 0);
 
 } // namespace models
 } // namespace mmbench

@@ -1,5 +1,7 @@
 #include "models/medical_seg.hh"
 
+#include "models/registry.hh"
+
 #include "core/logging.hh"
 
 namespace mmbench {
@@ -132,6 +134,11 @@ MedicalSeg::uniHeadForward(size_t m, const Var &feature)
     return uniDecoder_->forward(ag::upsampleNearest2x(spatial), enc.skip2,
                                 enc.skip1);
 }
+
+
+MMBENCH_REGISTER_WORKLOAD(MedicalSeg, "medical-seg",
+                          "Intelligent medicine: multi-sequence MRI tumor segmentation",
+                          fusion::FusionKind::Transformer, 5);
 
 } // namespace models
 } // namespace mmbench

@@ -1,5 +1,7 @@
 #include "models/medical_vqa.hh"
 
+#include "models/registry.hh"
+
 #include "core/logging.hh"
 
 namespace mmbench {
@@ -105,6 +107,11 @@ MedicalVqa::uniHeadForward(size_t m, const Var &feature)
         f = ag::meanAxis(f, 1);
     return uniHeads_[m]->forward(f);
 }
+
+
+MMBENCH_REGISTER_WORKLOAD(MedicalVqa, "medical-vqa",
+                          "Intelligent medicine: visual question answering on radiology images",
+                          fusion::FusionKind::Transformer, 4);
 
 } // namespace models
 } // namespace mmbench

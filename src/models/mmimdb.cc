@@ -1,5 +1,7 @@
 #include "models/mmimdb.hh"
 
+#include "models/registry.hh"
+
 #include "core/logging.hh"
 
 namespace mmbench {
@@ -82,6 +84,11 @@ MmImdb::uniHeadForward(size_t m, const Var &feature)
 {
     return uniHeads_[m]->forward(feature);
 }
+
+
+MMBENCH_REGISTER_WORKLOAD(MmImdb, "mm-imdb",
+                          "Multimedia: poster+plot movie-genre tagging, VGG/text encoders",
+                          fusion::FusionKind::Concat, 1);
 
 } // namespace models
 } // namespace mmbench

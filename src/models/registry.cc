@@ -1,0 +1,116 @@
+#include "models/registry.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+#include "core/string_utils.hh"
+#include "nn/init.hh"
+
+namespace mmbench {
+namespace models {
+
+WorkloadRegistry &
+WorkloadRegistry::instance()
+{
+    static WorkloadRegistry registry;
+    return registry;
+}
+
+void
+WorkloadRegistry::add(WorkloadEntry entry)
+{
+    MM_ASSERT(!entry.name.empty(), "workload registered without a name");
+    MM_ASSERT(entry.factory != nullptr, "workload '%s' has no factory",
+              entry.name.c_str());
+    entry.name = toLower(entry.name);
+    for (const WorkloadEntry &existing : entries_) {
+        MM_ASSERT(existing.name != entry.name,
+                  "workload '%s' registered twice", entry.name.c_str());
+    }
+    entries_.push_back(std::move(entry));
+}
+
+const WorkloadEntry *
+WorkloadRegistry::find(const std::string &name) const
+{
+    const std::string n = toLower(name);
+    for (const WorkloadEntry &entry : entries_) {
+        if (entry.name == n)
+            return &entry;
+    }
+    return nullptr;
+}
+
+std::vector<const WorkloadEntry *>
+WorkloadRegistry::entries() const
+{
+    std::vector<const WorkloadEntry *> sorted;
+    sorted.reserve(entries_.size());
+    for (const WorkloadEntry &entry : entries_)
+        sorted.push_back(&entry);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const WorkloadEntry *a, const WorkloadEntry *b) {
+                  if (a->tableOrder != b->tableOrder)
+                      return a->tableOrder < b->tableOrder;
+                  return a->name < b->name;
+              });
+    return sorted;
+}
+
+std::vector<std::string>
+WorkloadRegistry::names() const
+{
+    std::vector<std::string> names;
+    for (const WorkloadEntry *entry : entries())
+        names.push_back(entry->name);
+    return names;
+}
+
+std::unique_ptr<MultiModalWorkload>
+WorkloadRegistry::create(const std::string &name,
+                         WorkloadConfig config) const
+{
+    const WorkloadEntry *entry = find(name);
+    if (!entry) {
+        MM_FATAL("unknown workload '%s' (known: %s)", name.c_str(),
+                 join(names(), ", ").c_str());
+    }
+    // Reseed the global init RNG so a workload's weights depend only
+    // on (name, config.seed), not on construction order.
+    nn::seedAll(config.seed);
+    return entry->factory(std::move(config));
+}
+
+std::unique_ptr<MultiModalWorkload>
+WorkloadRegistry::createDefault(const std::string &name, float size_scale,
+                                uint64_t seed) const
+{
+    const WorkloadEntry *entry = find(name);
+    if (!entry) {
+        MM_FATAL("unknown workload '%s' (known: %s)", name.c_str(),
+                 join(names(), ", ").c_str());
+    }
+    WorkloadConfig config;
+    config.fusionKind = entry->defaultFusion;
+    config.sizeScale = size_scale;
+    config.seed = seed;
+    return create(name, std::move(config));
+}
+
+WorkloadRegistrar::WorkloadRegistrar(
+    std::string name, std::string description,
+    fusion::FusionKind default_fusion, int table_order,
+    std::function<std::unique_ptr<MultiModalWorkload>(WorkloadConfig)>
+        factory)
+{
+    WorkloadEntry entry;
+    entry.name = std::move(name);
+    entry.description = std::move(description);
+    entry.defaultFusion = default_fusion;
+    entry.tableOrder = table_order;
+    entry.factory = std::move(factory);
+    WorkloadRegistry::instance().add(std::move(entry));
+}
+
+} // namespace models
+} // namespace mmbench

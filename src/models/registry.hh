@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Self-registering workload registry.
+ *
+ * Every MMBench application registers itself at static-initialization
+ * time with MMBENCH_REGISTER_WORKLOAD, declaring its name, a one-line
+ * description, its canonical (paper-default) fusion implementation and
+ * its Table-3 row. Adding a workload therefore requires only the
+ * registration macro in the workload's own translation unit — no
+ * edits to zoo.cc, the runner or the mmbench CLI.
+ *
+ * Default-fusion rule: WorkloadConfig::fusionKind is always honored
+ * exactly as given. The *canonical* fusion of a workload is whatever
+ * its registration declares; it is applied only by the explicit
+ * default-selecting entry points (WorkloadRegistry::createDefault,
+ * zoo::createDefault, a RunSpec without --fusion). There is no
+ * implicit "config looks untouched, substitute the default" guessing.
+ */
+
+#ifndef MMBENCH_MODELS_REGISTRY_HH
+#define MMBENCH_MODELS_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/workload.hh"
+
+namespace mmbench {
+namespace models {
+
+/** One registered workload. */
+struct WorkloadEntry
+{
+    std::string name;        ///< canonical lower-case name ("av-mnist")
+    std::string description; ///< one-line summary for `mmbench list`
+    fusion::FusionKind defaultFusion = fusion::FusionKind::Concat;
+    /** Table-3 row; defines the listing order across TUs. */
+    int tableOrder = 0;
+    std::function<std::unique_ptr<MultiModalWorkload>(WorkloadConfig)>
+        factory;
+};
+
+/** Process-wide name -> workload factory map. */
+class WorkloadRegistry
+{
+  public:
+    static WorkloadRegistry &instance();
+
+    /** Register one workload; duplicate names are an mmbench bug. */
+    void add(WorkloadEntry entry);
+
+    /** Case-insensitive lookup; nullptr when unknown. */
+    const WorkloadEntry *find(const std::string &name) const;
+
+    /** Registered names sorted by Table-3 order. */
+    std::vector<std::string> names() const;
+
+    /** All entries sorted by Table-3 order. */
+    std::vector<const WorkloadEntry *> entries() const;
+
+    /**
+     * Instantiate by name with the given config (fusionKind honored
+     * as-is). Reseeds the global init RNG so a workload's weights
+     * depend only on (name, config.seed), not on construction order.
+     * Fatal on unknown names.
+     */
+    std::unique_ptr<MultiModalWorkload> create(const std::string &name,
+                                               WorkloadConfig config) const;
+
+    /** Instantiate with the workload's canonical (registered) fusion. */
+    std::unique_ptr<MultiModalWorkload>
+    createDefault(const std::string &name, float size_scale = 1.0f,
+                  uint64_t seed = 42) const;
+
+  private:
+    WorkloadRegistry() = default;
+    std::vector<WorkloadEntry> entries_;
+};
+
+/** Static-initialization helper behind MMBENCH_REGISTER_WORKLOAD. */
+struct WorkloadRegistrar
+{
+    WorkloadRegistrar(
+        std::string name, std::string description,
+        fusion::FusionKind default_fusion, int table_order,
+        std::function<std::unique_ptr<MultiModalWorkload>(WorkloadConfig)>
+            factory);
+};
+
+} // namespace models
+} // namespace mmbench
+
+/**
+ * Register a MultiModalWorkload subclass under `name`. Place one in
+ * the workload's .cc file (at namespace scope, inside
+ * mmbench::models or with qualified names).
+ */
+#define MMBENCH_REGISTER_WORKLOAD(Class, name, description,                \
+                                  default_fusion, table_order)             \
+    static const ::mmbench::models::WorkloadRegistrar                      \
+        mmbenchWorkloadRegistrar_##Class(                                  \
+            name, description, default_fusion, table_order,                \
+            [](::mmbench::models::WorkloadConfig config) {                 \
+                return std::unique_ptr<                                    \
+                    ::mmbench::models::MultiModalWorkload>(                \
+                    new Class(std::move(config)));                         \
+            })
+
+#endif // MMBENCH_MODELS_REGISTRY_HH

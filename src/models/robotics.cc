@@ -1,5 +1,7 @@
 #include "models/robotics.hh"
 
+#include "models/registry.hh"
+
 #include "core/logging.hh"
 
 namespace mmbench {
@@ -254,6 +256,14 @@ VisionTouch::uniHeadForward(size_t m, const Var &feature)
         f = poolSeq(f);
     return uniHeads_[m]->forward(f);
 }
+
+
+MMBENCH_REGISTER_WORKLOAD(MujocoPush, "mujoco-push",
+                          "Smart robotics: contact-rich pushing state estimation",
+                          fusion::FusionKind::Transformer, 6);
+MMBENCH_REGISTER_WORKLOAD(VisionTouch, "vision-touch",
+                          "Smart robotics: vision+touch+proprioception manipulation",
+                          fusion::FusionKind::Transformer, 7);
 
 } // namespace models
 } // namespace mmbench

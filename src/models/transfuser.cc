@@ -1,5 +1,7 @@
 #include "models/transfuser.hh"
 
+#include "models/registry.hh"
+
 #include "core/logging.hh"
 
 namespace mmbench {
@@ -109,6 +111,11 @@ TransFuser::uniHeadForward(size_t m, const Var &feature)
         f = ag::meanAxis(f, 1);
     return uniHeads_[m]->forward(f);
 }
+
+
+MMBENCH_REGISTER_WORKLOAD(TransFuser, "transfuser",
+                          "Automatic driving: camera+LiDAR waypoint prediction",
+                          fusion::FusionKind::Transformer, 8);
 
 } // namespace models
 } // namespace mmbench

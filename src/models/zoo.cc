@@ -2,14 +2,7 @@
 
 #include "core/logging.hh"
 #include "core/string_utils.hh"
-#include "models/affect.hh"
-#include "models/avmnist.hh"
-#include "models/medical_seg.hh"
-#include "models/medical_vqa.hh"
-#include "models/mmimdb.hh"
-#include "models/robotics.hh"
-#include "models/transfuser.hh"
-#include "nn/init.hh"
+#include "models/registry.hh"
 
 namespace mmbench {
 namespace models {
@@ -17,68 +10,36 @@ namespace zoo {
 
 using fusion::FusionKind;
 
-const std::vector<std::string> &
+std::vector<std::string>
 workloadNames()
 {
-    static const std::vector<std::string> names = {
-        "av-mnist",    "mm-imdb",     "cmu-mosei",
-        "mustard",     "medical-vqa", "medical-seg",
-        "mujoco-push", "vision-touch", "transfuser",
-    };
-    return names;
+    // By value, computed per call: a caller running during static
+    // initialization must not freeze a partial list before every
+    // workload TU's registrar has run, and a cached static would
+    // race if it were refreshed instead.
+    return WorkloadRegistry::instance().names();
 }
 
 FusionKind
 defaultFusion(const std::string &name)
 {
-    const std::string n = toLower(name);
-    if (n == "av-mnist" || n == "mm-imdb")
-        return FusionKind::Concat;
-    if (n == "cmu-mosei" || n == "mustard" || n == "medical-vqa" ||
-        n == "medical-seg" || n == "mujoco-push" || n == "vision-touch" ||
-        n == "transfuser") {
-        return FusionKind::Transformer;
-    }
-    MM_FATAL("unknown workload '%s'", name.c_str());
+    const WorkloadEntry *entry = WorkloadRegistry::instance().find(name);
+    if (!entry)
+        MM_FATAL("unknown workload '%s'", name.c_str());
+    return entry->defaultFusion;
 }
 
 std::unique_ptr<MultiModalWorkload>
 create(const std::string &name, WorkloadConfig config)
 {
-    // Reseed the global init RNG so a workload's weights depend only
-    // on (name, config.seed), not on construction order.
-    nn::seedAll(config.seed);
-    const std::string n = toLower(name);
-    if (n == "av-mnist")
-        return std::make_unique<AvMnist>(config);
-    if (n == "mm-imdb")
-        return std::make_unique<MmImdb>(config);
-    if (n == "cmu-mosei")
-        return std::make_unique<CmuMosei>(config);
-    if (n == "mustard")
-        return std::make_unique<Mustard>(config);
-    if (n == "medical-vqa")
-        return std::make_unique<MedicalVqa>(config);
-    if (n == "medical-seg")
-        return std::make_unique<MedicalSeg>(config);
-    if (n == "mujoco-push")
-        return std::make_unique<MujocoPush>(config);
-    if (n == "vision-touch")
-        return std::make_unique<VisionTouch>(config);
-    if (n == "transfuser")
-        return std::make_unique<TransFuser>(config);
-    MM_FATAL("unknown workload '%s' (known: %s)", name.c_str(),
-             join(workloadNames(), ", ").c_str());
+    return WorkloadRegistry::instance().create(name, std::move(config));
 }
 
 std::unique_ptr<MultiModalWorkload>
 createDefault(const std::string &name, float size_scale, uint64_t seed)
 {
-    WorkloadConfig config;
-    config.fusionKind = defaultFusion(name);
-    config.sizeScale = size_scale;
-    config.seed = seed;
-    return create(name, config);
+    return WorkloadRegistry::instance().createDefault(name, size_scale,
+                                                      seed);
 }
 
 } // namespace zoo

@@ -1,7 +1,9 @@
 /**
  * @file
- * Workload registry: create any of the nine MMBench applications by
- * name, with the paper's default fusion implementation per workload.
+ * Workload zoo: convenience wrappers over the self-registering
+ * WorkloadRegistry (models/registry.hh). Kept as the stable
+ * entry point for tests, examples and older callers; new code can use
+ * WorkloadRegistry::instance() directly.
  */
 
 #ifndef MMBENCH_MODELS_ZOO_HH
@@ -17,16 +19,17 @@ namespace mmbench {
 namespace models {
 namespace zoo {
 
-/** Names of all nine workloads, in Table 3 order. */
-const std::vector<std::string> &workloadNames();
+/** Names of all registered workloads, in Table 3 order. */
+std::vector<std::string> workloadNames();
 
-/** Default fusion implementation for a workload (paper defaults). */
+/** Canonical fusion implementation for a workload (paper defaults). */
 fusion::FusionKind defaultFusion(const std::string &name);
 
 /**
- * Instantiate a workload by name. If config.fusionKind was left at
- * its default (Concat) and the workload's canonical fusion differs,
- * pass use_default_fusion = true to select the paper's default.
+ * Instantiate a workload by name. config.fusionKind is honored
+ * exactly as given — no implicit substitution. Use createDefault()
+ * (or defaultFusion()) when you want the workload's canonical fusion;
+ * that rule lives in each workload's MMBENCH_REGISTER_WORKLOAD entry.
  */
 std::unique_ptr<MultiModalWorkload> create(const std::string &name,
                                            WorkloadConfig config);

@@ -99,5 +99,29 @@ stageCpuUs(const TimelineResult &timeline, trace::Stage s)
     return total;
 }
 
+double
+encoderModalityGpuUs(const TimelineResult &timeline, int modality)
+{
+    return aggregate(timeline, [modality](const sim::SimKernel &k) {
+        return k.ev.stage == trace::Stage::Encoder &&
+               k.ev.modality == modality;
+    }).gpuTimeUs;
+}
+
+std::vector<StageTimes>
+stageTimeBreakdown(const TimelineResult &timeline)
+{
+    std::vector<StageTimes> rows;
+    for (trace::Stage s : {trace::Stage::Encoder, trace::Stage::Fusion,
+                           trace::Stage::Head}) {
+        StageTimes row;
+        row.stage = trace::stageName(s);
+        row.gpuUs = aggregateStage(timeline, s).gpuTimeUs;
+        row.cpuUs = stageCpuUs(timeline, s);
+        rows.push_back(row);
+    }
+    return rows;
+}
+
 } // namespace profile
 } // namespace mmbench

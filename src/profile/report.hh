@@ -12,6 +12,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "sim/timeline.hh"
 
@@ -69,6 +70,23 @@ extern const char *const kKernelSizeBucketNames[4];
 
 /** Host runtime time per stage (prep + copies + syncs + launches). */
 double stageCpuUs(const TimelineResult &timeline, trace::Stage s);
+
+/**
+ * Device time of one modality's encoder kernels (the Fig. 10
+ * numerator; also the runner's per-modality breakdown).
+ */
+double encoderModalityGpuUs(const TimelineResult &timeline, int modality);
+
+/** Per-stage device/host time pairs for the runner's breakdowns. */
+struct StageTimes
+{
+    const char *stage = ""; ///< trace::stageName
+    double gpuUs = 0.0;
+    double cpuUs = 0.0;
+};
+
+/** Encoder/fusion/head rows in execution order. */
+std::vector<StageTimes> stageTimeBreakdown(const TimelineResult &timeline);
 
 } // namespace profile
 } // namespace mmbench

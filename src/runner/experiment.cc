@@ -1,0 +1,71 @@
+#include "runner/experiment.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+#include "core/string_utils.hh"
+
+namespace mmbench {
+namespace runner {
+
+ExperimentRegistry &
+ExperimentRegistry::instance()
+{
+    static ExperimentRegistry registry;
+    return registry;
+}
+
+void
+ExperimentRegistry::add(Experiment experiment)
+{
+    MM_ASSERT(!experiment.id.empty(),
+              "experiment registered without an id");
+    MM_ASSERT(experiment.run != nullptr,
+              "experiment '%s' has no run function",
+              experiment.id.c_str());
+    experiment.id = toLower(experiment.id);
+    for (const Experiment &existing : experiments_) {
+        MM_ASSERT(existing.id != experiment.id,
+                  "experiment '%s' registered twice",
+                  experiment.id.c_str());
+    }
+    experiments_.push_back(std::move(experiment));
+}
+
+const Experiment *
+ExperimentRegistry::find(const std::string &id) const
+{
+    const std::string n = toLower(id);
+    for (const Experiment &experiment : experiments_) {
+        if (experiment.id == n)
+            return &experiment;
+    }
+    return nullptr;
+}
+
+std::vector<const Experiment *>
+ExperimentRegistry::list() const
+{
+    std::vector<const Experiment *> sorted;
+    sorted.reserve(experiments_.size());
+    for (const Experiment &experiment : experiments_)
+        sorted.push_back(&experiment);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Experiment *a, const Experiment *b) {
+                  return a->id < b->id;
+              });
+    return sorted;
+}
+
+ExperimentRegistrar::ExperimentRegistrar(std::string id, std::string title,
+                                         int (*run)())
+{
+    Experiment experiment;
+    experiment.id = std::move(id);
+    experiment.title = std::move(title);
+    experiment.run = run;
+    ExperimentRegistry::instance().add(std::move(experiment));
+}
+
+} // namespace runner
+} // namespace mmbench

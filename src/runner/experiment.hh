@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Self-registering experiment registry: every paper figure/table is a
+ * small registered Experiment (id, title, run function) that the
+ * mmbench CLI drives via `mmbench fig --id <id>`. Experiment
+ * definitions live in the bench/ sources; adding one requires only the
+ * MMBENCH_REGISTER_EXPERIMENT macro — no edits to the CLI.
+ */
+
+#ifndef MMBENCH_RUNNER_EXPERIMENT_HH
+#define MMBENCH_RUNNER_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+namespace mmbench {
+namespace runner {
+
+/** One registered figure/table experiment. */
+struct Experiment
+{
+    std::string id;    ///< "fig06", "tab01", "ablation_cost_model", ...
+    std::string title; ///< one-line description for `mmbench list`
+    int (*run)() = nullptr; ///< body of the former bench main()
+};
+
+/** Process-wide id -> experiment map. */
+class ExperimentRegistry
+{
+  public:
+    static ExperimentRegistry &instance();
+
+    /** Register one experiment; duplicate ids are an mmbench bug. */
+    void add(Experiment experiment);
+
+    /** Case-insensitive lookup; nullptr when unknown. */
+    const Experiment *find(const std::string &id) const;
+
+    /** All experiments sorted by id. */
+    std::vector<const Experiment *> list() const;
+
+  private:
+    ExperimentRegistry() = default;
+    std::vector<Experiment> experiments_;
+};
+
+/** Static-initialization helper behind MMBENCH_REGISTER_EXPERIMENT. */
+struct ExperimentRegistrar
+{
+    ExperimentRegistrar(std::string id, std::string title, int (*run)());
+};
+
+} // namespace runner
+} // namespace mmbench
+
+/** Register an experiment; place at namespace scope in its .cc file. */
+#define MMBENCH_REGISTER_EXPERIMENT(id, title, fn)                         \
+    static const ::mmbench::runner::ExperimentRegistrar                    \
+        mmbenchExperimentRegistrar_##id(#id, title, fn)
+
+#endif // MMBENCH_RUNNER_EXPERIMENT_HH

@@ -1,0 +1,206 @@
+#include "runner/runner.hh"
+
+#include <chrono>
+
+#include "autograd/optim.hh"
+#include "core/logging.hh"
+#include "core/parallel.hh"
+#include "data/loader.hh"
+#include "models/registry.hh"
+#include "profile/profiler.hh"
+#include "trace/event.hh"
+
+namespace mmbench {
+namespace runner {
+
+namespace {
+
+double
+nowUs()
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+fillCommon(RunResult *result, const RunSpec &spec,
+           const models::MultiModalWorkload &workload)
+{
+    result->spec = spec;
+    result->fusion =
+        fusion::fusionKindName(workload.config().fusionKind);
+    result->device = spec.deviceModel().name;
+    result->threads = core::numThreads();
+    result->metricName = workload.metricName();
+}
+
+void
+runInfer(const RunSpec &spec, models::MultiModalWorkload &workload,
+         RunResult *result)
+{
+    auto task = workload.makeTask(spec.seed);
+    data::Batch batch = task.sample(spec.batch);
+
+    profile::Profiler profiler(spec.deviceModel());
+    for (int i = 0; i < spec.warmup; ++i)
+        profiler.profile(workload, batch);
+
+    std::vector<double> wall_us, sim_us;
+    profile::ProfileResult last;
+    for (int i = 0; i < spec.repeat; ++i) {
+        const double t0 = nowUs();
+        last = profiler.profile(workload, batch);
+        wall_us.push_back(nowUs() - t0);
+        sim_us.push_back(last.timeline.totalUs);
+    }
+
+    result->hostLatencyUs = LatencyStats::fromSamples(wall_us);
+    result->simLatencyUs = LatencyStats::fromSamples(sim_us);
+    const double b = static_cast<double>(spec.batch);
+    if (result->hostLatencyUs.mean > 0.0)
+        result->throughputSps = b * 1e6 / result->hostLatencyUs.mean;
+    if (result->simLatencyUs.mean > 0.0)
+        result->simThroughputSps = b * 1e6 / result->simLatencyUs.mean;
+
+    for (const profile::StageTimes &st :
+         profile::stageTimeBreakdown(last.timeline)) {
+        result->stages.push_back({st.stage, st.gpuUs, st.cpuUs});
+    }
+    for (size_t m = 0; m < workload.numModalities(); ++m) {
+        result->modalities.push_back(
+            {workload.dataSpec().modalities[m].name,
+             profile::encoderModalityGpuUs(last.timeline,
+                                           static_cast<int>(m))});
+    }
+
+    result->memory.modelBytes = last.modelBytes;
+    result->memory.datasetBytes = last.datasetBytes;
+    result->memory.peakIntermediateBytes =
+        last.timeline.memory.peakBytes[static_cast<size_t>(
+            trace::MemCategory::Intermediate)];
+
+    // Chance-floor metric of the untrained network on this batch.
+    {
+        workload.train(false);
+        autograd::NoGradGuard no_grad;
+        autograd::Var out = workload.forward(batch);
+        result->metric = workload.metric(out.value(), batch.targets);
+        result->hasMetric = true;
+    }
+}
+
+void
+runTrain(const RunSpec &spec, models::MultiModalWorkload &workload,
+         RunResult *result)
+{
+    auto task = workload.makeTask(spec.seed);
+    const int64_t train_size = std::max<int64_t>(spec.batch * 4, 64);
+    data::InMemoryDataset train_set(task, train_size);
+    data::Batch test = task.sample(64);
+    data::DataLoader loader(train_set, spec.batch, /*shuffle=*/true,
+                            spec.seed + 1);
+
+    autograd::Adam opt(workload.parameters(), 0.01f);
+    workload.train(true);
+    std::vector<double> step_us;
+    int64_t timed_samples = 0;
+    const int total_epochs = spec.warmup + spec.repeat;
+    for (int epoch = 0; epoch < total_epochs; ++epoch) {
+        const bool timed = epoch >= spec.warmup;
+        for (int64_t b = 0; b < loader.batchesPerEpoch(); ++b) {
+            data::Batch batch = loader.batch(b);
+            const double t0 = nowUs();
+            opt.zeroGrad();
+            autograd::Var loss =
+                workload.loss(workload.forward(batch), batch.targets);
+            autograd::backward(loss);
+            opt.clipGradNorm(5.0f);
+            opt.step();
+            if (timed) {
+                step_us.push_back(nowUs() - t0);
+                timed_samples += batch.size;
+            }
+        }
+        loader.nextEpoch();
+    }
+
+    result->hostLatencyUs = LatencyStats::fromSamples(step_us);
+    double total_us = 0.0;
+    for (double s : step_us)
+        total_us += s;
+    if (total_us > 0.0) {
+        result->throughputSps =
+            static_cast<double>(timed_samples) * 1e6 / total_us;
+    }
+
+    result->memory.modelBytes = workload.parameterBytes();
+    result->memory.datasetBytes = train_set.all().inputBytes();
+
+    workload.train(false);
+    autograd::NoGradGuard no_grad;
+    autograd::Var out = workload.forward(test);
+    result->metric = workload.metric(out.value(), test.targets);
+    result->hasMetric = true;
+}
+
+} // namespace
+
+RunResult
+runOne(const RunSpec &spec)
+{
+    const models::WorkloadEntry *entry =
+        models::WorkloadRegistry::instance().find(spec.workload);
+    if (!entry)
+        MM_FATAL("unknown workload '%s'", spec.workload.c_str());
+
+    std::unique_ptr<core::ScopedNumThreads> thread_guard;
+    if (spec.threads > 0)
+        thread_guard = std::make_unique<core::ScopedNumThreads>(
+            spec.threads);
+
+    models::WorkloadConfig config;
+    config.fusionKind =
+        spec.hasFusion ? spec.fusionKind : entry->defaultFusion;
+    config.sizeScale = spec.sizeScale;
+    config.seed = spec.seed;
+    auto workload = models::WorkloadRegistry::instance().create(
+        spec.workload, config);
+
+    RunResult result;
+    fillCommon(&result, spec, *workload);
+    if (spec.mode == RunMode::Infer)
+        runInfer(spec, *workload, &result);
+    else
+        runTrain(spec, *workload, &result);
+    return result;
+}
+
+RunResult
+runOne(const RunSpec &spec, const std::vector<ResultSink *> &sinks)
+{
+    RunResult result = runOne(spec);
+    for (ResultSink *sink : sinks)
+        sink->write(result);
+    return result;
+}
+
+std::vector<RunResult>
+runSmoke(const std::vector<ResultSink *> &sinks)
+{
+    std::vector<RunResult> results;
+    for (const std::string &name :
+         models::WorkloadRegistry::instance().names()) {
+        RunSpec spec;
+        spec.workload = name;
+        spec.batch = 2;
+        spec.sizeScale = 0.35f;
+        spec.warmup = 1;
+        spec.repeat = 2;
+        results.push_back(runOne(spec, sinks));
+    }
+    return results;
+}
+
+} // namespace runner
+} // namespace mmbench

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The shared experiment runner: execute one RunSpec and produce one
+ * RunResult. Infer mode drives profiled inference passes (host wall
+ * clock + simulated device timeline); train mode times optimizer
+ * steps on the synthetic task and reports the final task metric.
+ */
+
+#ifndef MMBENCH_RUNNER_RUNNER_HH
+#define MMBENCH_RUNNER_RUNNER_HH
+
+#include <vector>
+
+#include "runner/runresult.hh"
+#include "runner/runspec.hh"
+#include "runner/sink.hh"
+
+namespace mmbench {
+namespace runner {
+
+/**
+ * Execute one spec. Fatal on unknown workload/device names (callers
+ * validate through parseRunSpec first).
+ *
+ * Infer mode: `warmup` untimed + `repeat` timed profiled passes over
+ * one batch. Host latency percentiles come from the wall clock of the
+ * timed passes; simulated latency, per-stage, per-modality and memory
+ * stats come from the device-model replay. The task metric is the
+ * untrained network's metric on the batch (documents the chance
+ * floor).
+ *
+ * Train mode: `repeat` epochs of Adam on a synthetic training set
+ * (4x batch, at least 64 samples); every optimizer step is timed and
+ * feeds the latency percentiles. The metric is evaluated on a held-out
+ * test batch after training.
+ */
+RunResult runOne(const RunSpec &spec);
+
+/** Run a spec and feed every sink (flushes none). */
+RunResult runOne(const RunSpec &spec,
+                 const std::vector<ResultSink *> &sinks);
+
+/**
+ * The CLI's --smoke sweep: one tiny spec (batch 2, scale 0.35,
+ * 1 warmup + 2 repeats) per registered workload, each fed to the
+ * sinks. Returns the results in registry order.
+ */
+std::vector<RunResult> runSmoke(const std::vector<ResultSink *> &sinks);
+
+} // namespace runner
+} // namespace mmbench
+
+#endif // MMBENCH_RUNNER_RUNNER_HH

@@ -1,0 +1,128 @@
+#include "runner/runresult.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmbench {
+namespace runner {
+
+const char *const kResultSchema = "mmbench-result-v1";
+
+namespace {
+
+/** Nearest-rank-with-interpolation percentile of a sorted sample. */
+double
+percentileSorted(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    if (sorted.size() == 1)
+        return sorted[0];
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+} // namespace
+
+LatencyStats
+LatencyStats::fromSamples(std::vector<double> samples)
+{
+    LatencyStats stats;
+    if (samples.empty())
+        return stats;
+    std::sort(samples.begin(), samples.end());
+    stats.count = static_cast<int>(samples.size());
+    stats.min = samples.front();
+    stats.max = samples.back();
+    double sum = 0.0;
+    for (double s : samples)
+        sum += s;
+    stats.mean = sum / static_cast<double>(samples.size());
+    stats.p50 = percentileSorted(samples, 50.0);
+    stats.p95 = percentileSorted(samples, 95.0);
+    stats.p99 = percentileSorted(samples, 99.0);
+    return stats;
+}
+
+core::JsonValue
+LatencyStats::toJson() const
+{
+    core::JsonValue obj = core::JsonValue::object();
+    obj.set("p50", p50);
+    obj.set("p95", p95);
+    obj.set("p99", p99);
+    obj.set("mean", mean);
+    obj.set("min", min);
+    obj.set("max", max);
+    obj.set("count", static_cast<int64_t>(count));
+    return obj;
+}
+
+core::JsonValue
+RunResult::toJson() const
+{
+    core::JsonValue obj = core::JsonValue::object();
+    obj.set("schema", kResultSchema);
+    obj.set("kind", "workload");
+    obj.set("name", spec.workload);
+    obj.set("device", device);
+    obj.set("threads", static_cast<int64_t>(threads));
+
+    core::JsonValue spec_json = core::JsonValue::object();
+    spec_json.set("workload", spec.workload);
+    spec_json.set("fusion", fusion);
+    spec_json.set("fusion_explicit", spec.hasFusion);
+    spec_json.set("mode", runModeName(spec.mode));
+    spec_json.set("batch", static_cast<int64_t>(spec.batch));
+    spec_json.set("threads", static_cast<int64_t>(spec.threads));
+    spec_json.set("scale", static_cast<double>(spec.sizeScale));
+    spec_json.set("seed", static_cast<int64_t>(spec.seed));
+    spec_json.set("warmup", static_cast<int64_t>(spec.warmup));
+    spec_json.set("repeat", static_cast<int64_t>(spec.repeat));
+    spec_json.set("device", spec.device);
+    obj.set("spec", std::move(spec_json));
+
+    obj.set("latency_us", hostLatencyUs.toJson());
+    obj.set("sim_latency_us", simLatencyUs.toJson());
+    obj.set("throughput_sps", throughputSps);
+    obj.set("sim_throughput_sps", simThroughputSps);
+
+    core::JsonValue stages_json = core::JsonValue::array();
+    for (const StageTime &st : stages) {
+        core::JsonValue row = core::JsonValue::object();
+        row.set("stage", st.stage);
+        row.set("gpu_us", st.gpuUs);
+        row.set("cpu_us", st.cpuUs);
+        stages_json.push(std::move(row));
+    }
+    obj.set("stages", std::move(stages_json));
+
+    core::JsonValue modalities_json = core::JsonValue::array();
+    for (const ModalityTime &mt : modalities) {
+        core::JsonValue row = core::JsonValue::object();
+        row.set("modality", mt.modality);
+        row.set("gpu_us", mt.gpuUs);
+        modalities_json.push(std::move(row));
+    }
+    obj.set("modalities", std::move(modalities_json));
+
+    core::JsonValue mem = core::JsonValue::object();
+    mem.set("model_bytes", memory.modelBytes);
+    mem.set("dataset_bytes", memory.datasetBytes);
+    mem.set("peak_intermediate_bytes", memory.peakIntermediateBytes);
+    obj.set("memory", std::move(mem));
+
+    core::JsonValue metric_json = core::JsonValue::object();
+    if (hasMetric) {
+        metric_json.set("name", metricName);
+        metric_json.set("value", metric);
+    }
+    obj.set("metric", std::move(metric_json));
+    return obj;
+}
+
+} // namespace runner
+} // namespace mmbench

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * RunResult: everything one benchmark run produces — latency
+ * percentiles, throughput, per-stage and per-modality time, peak
+ * memory and the task metric — plus its canonical JSON encoding
+ * (schema "mmbench-result-v1", shared with bench/ops_micro so kernel
+ * microbenchmarks land in the same trajectory file).
+ */
+
+#ifndef MMBENCH_RUNNER_RUNRESULT_HH
+#define MMBENCH_RUNNER_RUNRESULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/json.hh"
+#include "runner/runspec.hh"
+
+namespace mmbench {
+namespace runner {
+
+/** Schema tag every emitted JSON record carries. */
+extern const char *const kResultSchema;
+
+/** Order statistics over a sample of latencies (microseconds). */
+struct LatencyStats
+{
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    int count = 0;
+
+    /** Compute from raw samples (copied; empty yields all-zero). */
+    static LatencyStats fromSamples(std::vector<double> samples);
+
+    /** JSON object {p50,p95,p99,mean,min,max,count}. */
+    core::JsonValue toJson() const;
+};
+
+/** One execution stage's time split. */
+struct StageTime
+{
+    std::string stage; ///< "encoder" / "fusion" / "head"
+    double gpuUs = 0.0;
+    double cpuUs = 0.0;
+};
+
+/** One modality's encoder time. */
+struct ModalityTime
+{
+    std::string modality; ///< "image", "audio", ...
+    double gpuUs = 0.0;
+};
+
+/** Peak memory accounting of the run. */
+struct MemoryUse
+{
+    uint64_t modelBytes = 0;
+    uint64_t datasetBytes = 0;
+    uint64_t peakIntermediateBytes = 0;
+};
+
+/** Everything one run produces. */
+struct RunResult
+{
+    RunSpec spec;
+    std::string fusion;  ///< resolved fusion name actually run
+    std::string device;  ///< device model name
+    int threads = 1;     ///< effective worker-thread count
+
+    /** Host wall-clock time per timed repetition (CPU backend). */
+    LatencyStats hostLatencyUs;
+    /** Simulated device makespan per repetition (infer mode only). */
+    LatencyStats simLatencyUs;
+
+    /** Samples per second from the host wall clock. */
+    double throughputSps = 0.0;
+    /** Samples per second from the simulated makespan (infer only). */
+    double simThroughputSps = 0.0;
+
+    std::vector<StageTime> stages;         ///< infer mode only
+    std::vector<ModalityTime> modalities;  ///< infer mode only
+    MemoryUse memory;
+
+    std::string metricName; ///< "Acc." / "F-1" / "MSE" / "DSC"
+    double metric = 0.0;
+    bool hasMetric = false;
+
+    /** Full "mmbench-result-v1" JSON record (kind "workload"). */
+    core::JsonValue toJson() const;
+};
+
+} // namespace runner
+} // namespace mmbench
+
+#endif // MMBENCH_RUNNER_RUNRESULT_HH

@@ -1,0 +1,225 @@
+#include "runner/runspec.hh"
+
+#include <cstdlib>
+
+#include "core/logging.hh"
+#include "core/string_utils.hh"
+#include "models/registry.hh"
+
+namespace mmbench {
+namespace runner {
+
+const char *
+runModeName(RunMode mode)
+{
+    return mode == RunMode::Infer ? "infer" : "train";
+}
+
+sim::DeviceModel
+RunSpec::deviceModel() const
+{
+    const std::string d = toLower(device);
+    if (d == "2080ti" || d == "rtx2080ti" || d == "server")
+        return sim::DeviceModel::rtx2080ti();
+    if (d == "nano" || d == "jetson-nano")
+        return sim::DeviceModel::jetsonNano();
+    if (d == "orin" || d == "jetson-orin")
+        return sim::DeviceModel::jetsonOrin();
+    MM_FATAL("unknown device '%s' (known: 2080ti, nano, orin)",
+             device.c_str());
+}
+
+bool
+isKnownDevice(const std::string &name)
+{
+    const std::string d = toLower(name);
+    return d == "2080ti" || d == "rtx2080ti" || d == "server" ||
+           d == "nano" || d == "jetson-nano" || d == "orin" ||
+           d == "jetson-orin";
+}
+
+std::vector<std::string>
+RunSpec::toArgs() const
+{
+    std::vector<std::string> args = {
+        "--workload", workload,
+    };
+    if (hasFusion) {
+        args.push_back("--fusion");
+        args.push_back(fusion::fusionKindName(fusionKind));
+    }
+    args.push_back("--mode");
+    args.push_back(runModeName(mode));
+    args.push_back("--batch");
+    args.push_back(strfmt("%lld", static_cast<long long>(batch)));
+    args.push_back("--threads");
+    args.push_back(strfmt("%d", threads));
+    args.push_back("--scale");
+    args.push_back(strfmt("%g", static_cast<double>(sizeScale)));
+    args.push_back("--seed");
+    args.push_back(strfmt("%llu", static_cast<unsigned long long>(seed)));
+    args.push_back("--warmup");
+    args.push_back(strfmt("%d", warmup));
+    args.push_back("--repeat");
+    args.push_back(strfmt("%d", repeat));
+    args.push_back("--device");
+    args.push_back(device);
+    return args;
+}
+
+std::string
+RunSpec::toString() const
+{
+    return strfmt(
+        "%s fusion=%s mode=%s batch=%lld threads=%d scale=%g seed=%llu "
+        "warmup=%d repeat=%d device=%s",
+        workload.c_str(),
+        hasFusion ? fusion::fusionKindName(fusionKind) : "default",
+        runModeName(mode), static_cast<long long>(batch), threads,
+        static_cast<double>(sizeScale),
+        static_cast<unsigned long long>(seed), warmup, repeat,
+        device.c_str());
+}
+
+namespace {
+
+bool
+parseInt64(const std::string &text, int64_t *out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 10);
+    if (end != text.c_str() + text.size())
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+parseFloat(const std::string &text, float *out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size())
+        return false;
+    *out = static_cast<float>(v);
+    return true;
+}
+
+} // namespace
+
+bool
+parseRunSpec(const std::vector<std::string> &args, RunSpec *spec,
+             std::string *error)
+{
+    error->clear();
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &flag = args[i];
+        if (i + 1 >= args.size()) {
+            *error = strfmt("flag '%s' is missing its value",
+                            flag.c_str());
+            return false;
+        }
+        const std::string &value = args[++i];
+        if (flag == "--workload") {
+            spec->workload = toLower(value);
+        } else if (flag == "--fusion") {
+            fusion::FusionKind kind;
+            if (!fusion::tryParseFusionKind(value, &kind)) {
+                *error = strfmt("unknown fusion kind '%s'",
+                                value.c_str());
+                return false;
+            }
+            spec->hasFusion = true;
+            spec->fusionKind = kind;
+        } else if (flag == "--mode") {
+            const std::string m = toLower(value);
+            if (m == "infer") {
+                spec->mode = RunMode::Infer;
+            } else if (m == "train") {
+                spec->mode = RunMode::Train;
+            } else {
+                *error = strfmt(
+                    "unknown mode '%s' (expected infer or train)",
+                    value.c_str());
+                return false;
+            }
+        } else if (flag == "--batch") {
+            int64_t v;
+            if (!parseInt64(value, &v) || v <= 0) {
+                *error = strfmt("--batch expects a positive integer, "
+                                "got '%s'", value.c_str());
+                return false;
+            }
+            spec->batch = v;
+        } else if (flag == "--threads") {
+            int64_t v;
+            if (!parseInt64(value, &v) || v < 0) {
+                *error = strfmt("--threads expects a non-negative "
+                                "integer, got '%s'", value.c_str());
+                return false;
+            }
+            spec->threads = static_cast<int>(v);
+        } else if (flag == "--scale") {
+            float v;
+            if (!parseFloat(value, &v) || !(v > 0.0f)) {
+                *error = strfmt("--scale expects a positive number, "
+                                "got '%s'", value.c_str());
+                return false;
+            }
+            spec->sizeScale = v;
+        } else if (flag == "--seed") {
+            int64_t v;
+            if (!parseInt64(value, &v) || v < 0) {
+                *error = strfmt("--seed expects a non-negative integer, "
+                                "got '%s'", value.c_str());
+                return false;
+            }
+            spec->seed = static_cast<uint64_t>(v);
+        } else if (flag == "--warmup") {
+            int64_t v;
+            if (!parseInt64(value, &v) || v < 0) {
+                *error = strfmt("--warmup expects a non-negative "
+                                "integer, got '%s'", value.c_str());
+                return false;
+            }
+            spec->warmup = static_cast<int>(v);
+        } else if (flag == "--repeat") {
+            int64_t v;
+            if (!parseInt64(value, &v) || v <= 0) {
+                *error = strfmt("--repeat expects a positive integer, "
+                                "got '%s'", value.c_str());
+                return false;
+            }
+            spec->repeat = static_cast<int>(v);
+        } else if (flag == "--device") {
+            if (!isKnownDevice(value)) {
+                *error = strfmt("unknown device '%s' (known: 2080ti, "
+                                "nano, orin)", value.c_str());
+                return false;
+            }
+            spec->device = toLower(value);
+        } else {
+            *error = strfmt("unknown flag '%s'", flag.c_str());
+            return false;
+        }
+    }
+    if (spec->workload.empty()) {
+        *error = "missing --workload";
+        return false;
+    }
+    if (!models::WorkloadRegistry::instance().find(spec->workload)) {
+        *error = strfmt(
+            "unknown workload '%s' (known: %s)", spec->workload.c_str(),
+            join(models::WorkloadRegistry::instance().names(), ", ")
+                .c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace runner
+} // namespace mmbench

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * RunSpec: the declarative description of one benchmark run —
+ * workload, fusion implementation, mode, batch size, thread count,
+ * size scale, seed and warmup/measure repetitions. One RunSpec fully
+ * determines a run; the mmbench CLI parses its flags into a RunSpec
+ * and the flags round-trip through toArgs().
+ */
+
+#ifndef MMBENCH_RUNNER_RUNSPEC_HH
+#define MMBENCH_RUNNER_RUNSPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fusion/fusion.hh"
+#include "sim/device.hh"
+
+namespace mmbench {
+namespace runner {
+
+/** What the run measures. */
+enum class RunMode
+{
+    Infer, ///< repeated profiled inference passes over one batch
+    Train, ///< timed optimizer steps on the synthetic task
+};
+
+const char *runModeName(RunMode mode);
+
+/** Declarative description of one benchmark run. */
+struct RunSpec
+{
+    /** Registered workload name ("av-mnist", ...). */
+    std::string workload;
+
+    /**
+     * Fusion implementation. When hasFusion is false the workload's
+     * canonical (registered) fusion is used — the registry's
+     * default-fusion rule.
+     */
+    bool hasFusion = false;
+    fusion::FusionKind fusionKind = fusion::FusionKind::Concat;
+
+    RunMode mode = RunMode::Infer;
+    int64_t batch = 8;     ///< samples per batch
+    int threads = 0;       ///< worker threads; 0 = pool default
+    float sizeScale = 1.0f;
+    uint64_t seed = 42;
+    int warmup = 1;        ///< untimed repetitions
+    int repeat = 5;        ///< timed repetitions (train: epochs)
+    std::string device = "2080ti"; ///< simulated device model
+
+    /** Resolve the device name ("2080ti" / "nano" / "orin"). */
+    sim::DeviceModel deviceModel() const;
+
+    /** Canonical flag list that parses back to this spec. */
+    std::vector<std::string> toArgs() const;
+
+    /** One-line human-readable summary. */
+    std::string toString() const;
+};
+
+/**
+ * Parse CLI flags ("--workload", "--fusion", "--mode", "--batch",
+ * "--threads", "--scale", "--seed", "--warmup", "--repeat",
+ * "--device") into *spec. Flags not present keep the spec's current
+ * values, so callers can pre-seed defaults. Fails with a message in
+ * *error on unknown flags, malformed values, or unknown
+ * workload/fusion/device names; the workload must name a registered
+ * workload.
+ */
+bool parseRunSpec(const std::vector<std::string> &args, RunSpec *spec,
+                  std::string *error);
+
+/** True when the name resolves to a device model preset. */
+bool isKnownDevice(const std::string &name);
+
+} // namespace runner
+} // namespace mmbench
+
+#endif // MMBENCH_RUNNER_RUNSPEC_HH

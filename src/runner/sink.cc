@@ -1,0 +1,181 @@
+#include "runner/sink.hh"
+
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+#include "core/csv.hh"
+#include "core/format.hh"
+#include "core/logging.hh"
+#include "core/table.hh"
+
+namespace mmbench {
+namespace runner {
+
+// ----------------------------------------------------------- TableSink
+
+TableSink::TableSink(std::ostream &os) : os_(os)
+{
+}
+
+void
+TableSink::write(const RunResult &result)
+{
+    results_.push_back(result);
+}
+
+void
+TableSink::flush()
+{
+    if (flushed_ || results_.empty())
+        return;
+    flushed_ = true;
+    TextTable table({"Workload", "Fusion", "Mode", "Batch", "p50", "p95",
+                     "p99", "Throughput", "Sim total", "Metric"});
+    for (const RunResult &r : results_) {
+        table.addRow(
+            {r.spec.workload, r.fusion, runModeName(r.spec.mode),
+             strfmt("%lld", static_cast<long long>(r.spec.batch)),
+             numfmt::us(r.hostLatencyUs.p50),
+             numfmt::us(r.hostLatencyUs.p95),
+             numfmt::us(r.hostLatencyUs.p99),
+             strfmt("%.1f/s", r.throughputSps),
+             r.simLatencyUs.count > 0 ? numfmt::us(r.simLatencyUs.p50)
+                                      : std::string("-"),
+             r.hasMetric ? strfmt("%s %.2f", r.metricName.c_str(),
+                                  r.metric)
+                         : std::string("-")});
+    }
+    table.print(os_);
+
+    // Per-stage breakdown, one block per result that has one.
+    for (const RunResult &r : results_) {
+        if (r.stages.empty())
+            continue;
+        TextTable stages({"Workload", "Stage", "GPU time", "CPU+Runtime"});
+        for (const StageTime &st : r.stages) {
+            stages.addRow({r.spec.workload, st.stage,
+                           numfmt::us(st.gpuUs), numfmt::us(st.cpuUs)});
+        }
+        for (const ModalityTime &mt : r.modalities) {
+            stages.addRow({r.spec.workload, "encoder:" + mt.modality,
+                           numfmt::us(mt.gpuUs), "-"});
+        }
+        stages.print(os_);
+    }
+}
+
+// ------------------------------------------------------------- CsvSink
+
+namespace {
+
+const std::vector<std::string> kCsvHeader = {
+    "workload",  "fusion",         "mode",
+    "batch",     "threads",        "scale",
+    "seed",      "device",         "p50_us",
+    "p95_us",    "p99_us",         "mean_us",
+    "min_us",    "max_us",         "throughput_sps",
+    "sim_p50_us", "sim_throughput_sps", "encoder_gpu_us",
+    "fusion_gpu_us", "head_gpu_us", "model_bytes",
+    "dataset_bytes", "peak_intermediate_bytes", "metric_name",
+    "metric",
+};
+
+} // namespace
+
+CsvSink::CsvSink(std::string path) : path_(std::move(path))
+{
+}
+
+void
+CsvSink::write(const RunResult &r)
+{
+    double stage_gpu[3] = {0.0, 0.0, 0.0};
+    for (size_t i = 0; i < r.stages.size() && i < 3; ++i)
+        stage_gpu[i] = r.stages[i].gpuUs;
+    rows_.push_back({
+        r.spec.workload,
+        r.fusion,
+        runModeName(r.spec.mode),
+        strfmt("%lld", static_cast<long long>(r.spec.batch)),
+        strfmt("%d", r.threads),
+        strfmt("%g", static_cast<double>(r.spec.sizeScale)),
+        strfmt("%llu", static_cast<unsigned long long>(r.spec.seed)),
+        r.device,
+        numfmt::f3(r.hostLatencyUs.p50),
+        numfmt::f3(r.hostLatencyUs.p95),
+        numfmt::f3(r.hostLatencyUs.p99),
+        numfmt::f3(r.hostLatencyUs.mean),
+        numfmt::f3(r.hostLatencyUs.min),
+        numfmt::f3(r.hostLatencyUs.max),
+        numfmt::f2(r.throughputSps),
+        numfmt::f3(r.simLatencyUs.p50),
+        numfmt::f2(r.simThroughputSps),
+        numfmt::f3(stage_gpu[0]),
+        numfmt::f3(stage_gpu[1]),
+        numfmt::f3(stage_gpu[2]),
+        strfmt("%llu",
+               static_cast<unsigned long long>(r.memory.modelBytes)),
+        strfmt("%llu",
+               static_cast<unsigned long long>(r.memory.datasetBytes)),
+        strfmt("%llu", static_cast<unsigned long long>(
+                           r.memory.peakIntermediateBytes)),
+        r.hasMetric ? r.metricName : "",
+        r.hasMetric ? numfmt::f3(r.metric) : "",
+    });
+}
+
+void
+CsvSink::flush()
+{
+    if (flushed_)
+        return;
+    flushed_ = true;
+    CsvWriter csv(kCsvHeader);
+    for (const auto &row : rows_)
+        csv.addRow(row);
+    csv.writeFile(path_);
+}
+
+// ----------------------------------------------------------- JsonlSink
+
+JsonlSink::JsonlSink(std::string path) : path_(std::move(path))
+{
+    if (path_ == "-") {
+        os_ = &std::cout;
+    } else {
+        // Append: trajectory files accumulate records across runs.
+        auto file =
+            std::make_unique<std::ofstream>(path_, std::ios::app);
+        if (!*file)
+            MM_FATAL("cannot open '%s' for writing", path_.c_str());
+        owned_ = std::move(file);
+        os_ = owned_.get();
+    }
+}
+
+JsonlSink::~JsonlSink()
+{
+    flush();
+}
+
+void
+JsonlSink::writeRecord(std::ostream &os, const core::JsonValue &record)
+{
+    os << record.dump() << "\n";
+}
+
+void
+JsonlSink::write(const RunResult &result)
+{
+    writeRecord(*os_, result.toJson());
+}
+
+void
+JsonlSink::flush()
+{
+    os_->flush();
+}
+
+} // namespace runner
+} // namespace mmbench

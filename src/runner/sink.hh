@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Pluggable RunResult sinks: pretty table (human terminal), CSV and
+ * JSON Lines (machine-readable trajectory files). A run can feed any
+ * combination; sinks buffer and emit on flush()/destruction.
+ */
+
+#ifndef MMBENCH_RUNNER_SINK_HH
+#define MMBENCH_RUNNER_SINK_HH
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runner/runresult.hh"
+
+namespace mmbench {
+namespace runner {
+
+/** Consumer of RunResults. */
+class ResultSink
+{
+  public:
+    virtual ~ResultSink() = default;
+
+    /** Accept one result. */
+    virtual void write(const RunResult &result) = 0;
+
+    /** Emit any buffered output. Safe to call more than once. */
+    virtual void flush() {}
+};
+
+/** Column-aligned table on an ostream (the default CLI output). */
+class TableSink : public ResultSink
+{
+  public:
+    explicit TableSink(std::ostream &os);
+    void write(const RunResult &result) override;
+    void flush() override;
+
+  private:
+    std::ostream &os_;
+    std::vector<RunResult> results_;
+    bool flushed_ = false;
+};
+
+/** CSV file with one row per result. */
+class CsvSink : public ResultSink
+{
+  public:
+    explicit CsvSink(std::string path);
+    void write(const RunResult &result) override;
+    void flush() override;
+
+  private:
+    std::string path_;
+    std::vector<std::vector<std::string>> rows_;
+    bool flushed_ = false;
+};
+
+/**
+ * JSON Lines: one "mmbench-result-v1" object per line, streamed
+ * immediately (crash-safe trajectory files). Pass "-" to write to
+ * stdout.
+ */
+class JsonlSink : public ResultSink
+{
+  public:
+    explicit JsonlSink(std::string path);
+    ~JsonlSink() override;
+    void write(const RunResult &result) override;
+    void flush() override;
+
+    /** Serialize one already-built record as a JSONL line. */
+    static void writeRecord(std::ostream &os,
+                            const core::JsonValue &record);
+
+  private:
+    std::string path_;
+    std::unique_ptr<std::ostream> owned_;
+    std::ostream *os_;
+};
+
+} // namespace runner
+} // namespace mmbench
+
+#endif // MMBENCH_RUNNER_SINK_HH

@@ -1,0 +1,407 @@
+/**
+ * @file
+ * Runner subsystem tests: RunSpec CLI parsing (bad names, flag
+ * round-trips), workload/experiment registry registration and lookup,
+ * JSON value round-trips, and the JSON sink schema (parse the JSONL
+ * output back and check every required key).
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/json.hh"
+#include "models/registry.hh"
+#include "runner/experiment.hh"
+#include "runner/runner.hh"
+#include "runner/runspec.hh"
+#include "runner/sink.hh"
+
+using namespace mmbench;
+using core::JsonValue;
+using runner::LatencyStats;
+using runner::RunMode;
+using runner::RunSpec;
+
+// ---------------------------------------------------------------- RunSpec
+
+TEST(RunSpecParse, DefaultsAndExplicitFlags)
+{
+    RunSpec spec;
+    std::string error;
+    ASSERT_TRUE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--fusion", "tensor", "--mode",
+         "train", "--batch", "32", "--threads", "2", "--scale", "0.5",
+         "--seed", "7", "--warmup", "3", "--repeat", "9", "--device",
+         "nano"},
+        &spec, &error))
+        << error;
+    EXPECT_EQ(spec.workload, "av-mnist");
+    EXPECT_TRUE(spec.hasFusion);
+    EXPECT_EQ(spec.fusionKind, fusion::FusionKind::Tensor);
+    EXPECT_EQ(spec.mode, RunMode::Train);
+    EXPECT_EQ(spec.batch, 32);
+    EXPECT_EQ(spec.threads, 2);
+    EXPECT_FLOAT_EQ(spec.sizeScale, 0.5f);
+    EXPECT_EQ(spec.seed, 7u);
+    EXPECT_EQ(spec.warmup, 3);
+    EXPECT_EQ(spec.repeat, 9);
+    EXPECT_EQ(spec.device, "nano");
+}
+
+TEST(RunSpecParse, FlagRoundTrip)
+{
+    RunSpec spec;
+    std::string error;
+    ASSERT_TRUE(runner::parseRunSpec(
+        {"--workload", "mujoco-push", "--fusion", "late_lstm", "--batch",
+         "4", "--scale", "0.35", "--repeat", "2", "--device", "orin"},
+        &spec, &error))
+        << error;
+
+    RunSpec reparsed;
+    ASSERT_TRUE(runner::parseRunSpec(spec.toArgs(), &reparsed, &error))
+        << error;
+    EXPECT_EQ(reparsed.workload, spec.workload);
+    EXPECT_EQ(reparsed.hasFusion, spec.hasFusion);
+    EXPECT_EQ(reparsed.fusionKind, spec.fusionKind);
+    EXPECT_EQ(reparsed.mode, spec.mode);
+    EXPECT_EQ(reparsed.batch, spec.batch);
+    EXPECT_EQ(reparsed.threads, spec.threads);
+    EXPECT_FLOAT_EQ(reparsed.sizeScale, spec.sizeScale);
+    EXPECT_EQ(reparsed.seed, spec.seed);
+    EXPECT_EQ(reparsed.warmup, spec.warmup);
+    EXPECT_EQ(reparsed.repeat, spec.repeat);
+    EXPECT_EQ(reparsed.device, spec.device);
+}
+
+TEST(RunSpecParse, DefaultFusionStaysUnset)
+{
+    RunSpec spec;
+    std::string error;
+    ASSERT_TRUE(runner::parseRunSpec({"--workload", "transfuser"}, &spec,
+                                     &error))
+        << error;
+    EXPECT_FALSE(spec.hasFusion);
+    // Round-trip must preserve "use the workload default".
+    RunSpec reparsed;
+    ASSERT_TRUE(runner::parseRunSpec(spec.toArgs(), &reparsed, &error));
+    EXPECT_FALSE(reparsed.hasFusion);
+}
+
+TEST(RunSpecParse, Errors)
+{
+    RunSpec spec;
+    std::string error;
+    EXPECT_FALSE(runner::parseRunSpec({}, &spec, &error));
+    EXPECT_NE(error.find("missing --workload"), std::string::npos);
+
+    EXPECT_FALSE(runner::parseRunSpec({"--workload", "not-a-workload"},
+                                      &spec, &error));
+    EXPECT_NE(error.find("unknown workload"), std::string::npos);
+    EXPECT_NE(error.find("av-mnist"), std::string::npos) << error;
+
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--fusion", "bogus"}, &spec, &error));
+    EXPECT_NE(error.find("unknown fusion"), std::string::npos);
+
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--mode", "sideways"}, &spec, &error));
+    EXPECT_NE(error.find("unknown mode"), std::string::npos);
+
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--batch", "0"}, &spec, &error));
+    EXPECT_NE(error.find("--batch"), std::string::npos);
+
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--batch", "12x"}, &spec, &error));
+    EXPECT_NE(error.find("--batch"), std::string::npos);
+
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--device", "tpu"}, &spec, &error));
+    EXPECT_NE(error.find("unknown device"), std::string::npos);
+
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--frobnicate", "1"}, &spec, &error));
+    EXPECT_NE(error.find("unknown flag"), std::string::npos);
+
+    EXPECT_FALSE(runner::parseRunSpec({"--workload"}, &spec, &error));
+    EXPECT_NE(error.find("missing its value"), std::string::npos);
+}
+
+// --------------------------------------------------------------- registry
+
+TEST(WorkloadRegistry, AllNineRegisteredInTableOrder)
+{
+    const std::vector<std::string> expected = {
+        "av-mnist",    "mm-imdb",     "cmu-mosei",
+        "mustard",     "medical-vqa", "medical-seg",
+        "mujoco-push", "vision-touch", "transfuser",
+    };
+    EXPECT_EQ(models::WorkloadRegistry::instance().names(), expected);
+}
+
+TEST(WorkloadRegistry, LookupIsCaseInsensitive)
+{
+    const auto &registry = models::WorkloadRegistry::instance();
+    const models::WorkloadEntry *entry = registry.find("AV-MNIST");
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->name, "av-mnist");
+    EXPECT_EQ(entry->defaultFusion, fusion::FusionKind::Concat);
+    EXPECT_EQ(registry.find("no-such-workload"), nullptr);
+}
+
+TEST(WorkloadRegistry, EntriesCarryDefaultFusionAndDescription)
+{
+    for (const models::WorkloadEntry *entry :
+         models::WorkloadRegistry::instance().entries()) {
+        EXPECT_FALSE(entry->description.empty()) << entry->name;
+        EXPECT_NE(entry->factory, nullptr) << entry->name;
+    }
+    EXPECT_EQ(models::WorkloadRegistry::instance()
+                  .find("transfuser")
+                  ->defaultFusion,
+              fusion::FusionKind::Transformer);
+}
+
+TEST(WorkloadRegistry, CreateHonorsConfigAndDefault)
+{
+    const auto &registry = models::WorkloadRegistry::instance();
+    models::WorkloadConfig config;
+    config.fusionKind = fusion::FusionKind::Tensor;
+    config.sizeScale = 0.35f;
+    auto w = registry.create("av-mnist", config);
+    EXPECT_EQ(w->config().fusionKind, fusion::FusionKind::Tensor);
+
+    auto d = registry.createDefault("mujoco-push", 0.35f, 3);
+    EXPECT_EQ(d->config().fusionKind, fusion::FusionKind::Transformer);
+}
+
+TEST(WorkloadRegistryDeathTest, DuplicateRegistrationPanics)
+{
+    EXPECT_DEATH(
+        {
+            models::WorkloadEntry entry;
+            entry.name = "av-mnist";
+            entry.factory = [](models::WorkloadConfig) {
+                return std::unique_ptr<models::MultiModalWorkload>();
+            };
+            models::WorkloadRegistry::instance().add(std::move(entry));
+        },
+        "registered twice");
+}
+
+// ------------------------------------------------------------ experiments
+
+namespace {
+
+int gDummyExperimentRuns = 0;
+
+int
+dummyExperiment()
+{
+    ++gDummyExperimentRuns;
+    return 0;
+}
+
+} // namespace
+
+MMBENCH_REGISTER_EXPERIMENT(test_dummy_experiment,
+                            "registry self-test experiment",
+                            dummyExperiment);
+
+TEST(ExperimentRegistry, RegisterFindRun)
+{
+    const runner::Experiment *experiment =
+        runner::ExperimentRegistry::instance().find(
+            "TEST_DUMMY_EXPERIMENT");
+    ASSERT_NE(experiment, nullptr);
+    EXPECT_EQ(experiment->id, "test_dummy_experiment");
+    EXPECT_EQ(experiment->title, "registry self-test experiment");
+    const int before = gDummyExperimentRuns;
+    EXPECT_EQ(experiment->run(), 0);
+    EXPECT_EQ(gDummyExperimentRuns, before + 1);
+
+    EXPECT_EQ(runner::ExperimentRegistry::instance().find("no-such-id"),
+              nullptr);
+
+    // list() is sorted by id.
+    const auto list = runner::ExperimentRegistry::instance().list();
+    for (size_t i = 1; i < list.size(); ++i)
+        EXPECT_LT(list[i - 1]->id, list[i]->id);
+}
+
+// ------------------------------------------------------------------- json
+
+TEST(Json, DumpParseRoundTrip)
+{
+    JsonValue obj = JsonValue::object();
+    obj.set("str", "he said \"hi\"\n");
+    obj.set("int", static_cast<int64_t>(-42));
+    obj.set("float", 2.5);
+    obj.set("flag", true);
+    JsonValue arr = JsonValue::array();
+    arr.push(JsonValue(1));
+    arr.push(JsonValue("two"));
+    obj.set("arr", std::move(arr));
+
+    std::string error;
+    JsonValue parsed = JsonValue::parse(obj.dump(), &error);
+    ASSERT_TRUE(error.empty()) << error;
+    EXPECT_EQ(parsed.find("str")->stringValue(), "he said \"hi\"\n");
+    EXPECT_EQ(parsed.find("int")->intValue(), -42);
+    EXPECT_DOUBLE_EQ(parsed.find("float")->numberValue(), 2.5);
+    EXPECT_TRUE(parsed.find("flag")->boolValue());
+    EXPECT_EQ(parsed.find("arr")->size(), 2u);
+    EXPECT_EQ(parsed.find("arr")->at(1).stringValue(), "two");
+}
+
+TEST(Json, ParseRejectsMalformedInput)
+{
+    std::string error;
+    JsonValue::parse("{\"a\": }", &error);
+    EXPECT_FALSE(error.empty());
+    JsonValue::parse("{\"a\": 1} trailing", &error);
+    EXPECT_FALSE(error.empty());
+    JsonValue::parse("[1, 2", &error);
+    EXPECT_FALSE(error.empty());
+    JsonValue::parse("\"unterminated", &error);
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(LatencyStats, PercentilesFromSamples)
+{
+    std::vector<double> samples;
+    for (int i = 100; i >= 1; --i)
+        samples.push_back(static_cast<double>(i));
+    const LatencyStats stats = LatencyStats::fromSamples(samples);
+    EXPECT_EQ(stats.count, 100);
+    EXPECT_DOUBLE_EQ(stats.min, 1.0);
+    EXPECT_DOUBLE_EQ(stats.max, 100.0);
+    EXPECT_DOUBLE_EQ(stats.mean, 50.5);
+    EXPECT_NEAR(stats.p50, 50.5, 1e-9);
+    EXPECT_NEAR(stats.p95, 95.05, 1e-9);
+    EXPECT_NEAR(stats.p99, 99.01, 1e-9);
+
+    const LatencyStats empty = LatencyStats::fromSamples({});
+    EXPECT_EQ(empty.count, 0);
+    EXPECT_DOUBLE_EQ(empty.p50, 0.0);
+}
+
+// -------------------------------------------------------- JSON sink schema
+
+namespace {
+
+/** Run one tiny spec through the JSONL sink and parse the line back. */
+JsonValue
+smokeRecord()
+{
+    RunSpec spec;
+    spec.workload = "av-mnist";
+    spec.batch = 2;
+    spec.sizeScale = 0.35f;
+    spec.warmup = 0;
+    spec.repeat = 2;
+
+    const std::string path =
+        ::testing::TempDir() + "/mmbench_test_runner.jsonl";
+    std::remove(path.c_str()); // the sink appends; start clean
+    {
+        runner::JsonlSink sink(path);
+        std::vector<runner::ResultSink *> sinks = {&sink};
+        runner::runOne(spec, sinks);
+        sink.flush();
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    std::remove(path.c_str());
+
+    std::string error;
+    JsonValue record = JsonValue::parse(line, &error);
+    EXPECT_TRUE(error.empty()) << error;
+    return record;
+}
+
+} // namespace
+
+TEST(JsonSink, SchemaHasAllRequiredKeys)
+{
+    const JsonValue record = smokeRecord();
+    ASSERT_TRUE(record.isObject());
+
+    EXPECT_EQ(record.find("schema")->stringValue(), "mmbench-result-v1");
+    EXPECT_EQ(record.find("kind")->stringValue(), "workload");
+    EXPECT_EQ(record.find("name")->stringValue(), "av-mnist");
+    EXPECT_EQ(record.find("device")->stringValue(), "2080ti");
+    ASSERT_TRUE(record.has("threads"));
+    EXPECT_GE(record.find("threads")->intValue(), 1);
+
+    const JsonValue *spec = record.find("spec");
+    ASSERT_NE(spec, nullptr);
+    for (const char *key :
+         {"workload", "fusion", "mode", "batch", "threads", "scale",
+          "seed", "warmup", "repeat", "device"}) {
+        EXPECT_TRUE(spec->has(key)) << key;
+    }
+    // Default fusion resolved from the registry (no --fusion given).
+    EXPECT_EQ(spec->find("fusion")->stringValue(), "concat");
+    EXPECT_EQ(spec->find("mode")->stringValue(), "infer");
+
+    for (const char *block : {"latency_us", "sim_latency_us"}) {
+        const JsonValue *latency = record.find(block);
+        ASSERT_NE(latency, nullptr) << block;
+        for (const char *key :
+             {"p50", "p95", "p99", "mean", "min", "max", "count"}) {
+            EXPECT_TRUE(latency->has(key)) << block << "." << key;
+        }
+        EXPECT_EQ(latency->find("count")->intValue(), 2) << block;
+    }
+    EXPECT_GT(record.find("latency_us")->find("p50")->numberValue(), 0.0);
+    EXPECT_GT(record.find("throughput_sps")->numberValue(), 0.0);
+
+    const JsonValue *stages = record.find("stages");
+    ASSERT_NE(stages, nullptr);
+    ASSERT_EQ(stages->size(), 3u);
+    EXPECT_EQ(stages->at(0).find("stage")->stringValue(), "encoder");
+    EXPECT_TRUE(stages->at(0).has("gpu_us"));
+    EXPECT_TRUE(stages->at(0).has("cpu_us"));
+
+    const JsonValue *modalities = record.find("modalities");
+    ASSERT_NE(modalities, nullptr);
+    ASSERT_EQ(modalities->size(), 2u); // av-mnist: image + audio
+    EXPECT_TRUE(modalities->at(0).has("modality"));
+    EXPECT_TRUE(modalities->at(0).has("gpu_us"));
+
+    const JsonValue *memory = record.find("memory");
+    ASSERT_NE(memory, nullptr);
+    for (const char *key :
+         {"model_bytes", "dataset_bytes", "peak_intermediate_bytes"}) {
+        EXPECT_TRUE(memory->has(key)) << key;
+        EXPECT_GE(memory->find(key)->intValue(), 0) << key;
+    }
+    EXPECT_GT(memory->find("model_bytes")->intValue(), 0);
+
+    const JsonValue *metric = record.find("metric");
+    ASSERT_NE(metric, nullptr);
+    EXPECT_TRUE(metric->has("name"));
+    EXPECT_TRUE(metric->has("value"));
+}
+
+TEST(Runner, ExplicitFusionOverridesDefault)
+{
+    RunSpec spec;
+    spec.workload = "av-mnist";
+    spec.hasFusion = true;
+    spec.fusionKind = fusion::FusionKind::Tensor;
+    spec.batch = 2;
+    spec.sizeScale = 0.35f;
+    spec.warmup = 0;
+    spec.repeat = 1;
+    const runner::RunResult result = runner::runOne(spec);
+    EXPECT_EQ(result.fusion, "tensor");
+    EXPECT_EQ(result.hostLatencyUs.count, 1);
+    EXPECT_TRUE(result.hasMetric);
+}

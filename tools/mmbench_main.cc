@@ -1,0 +1,269 @@
+/**
+ * @file
+ * The unified `mmbench` CLI: one binary that lists workloads and
+ * experiments, runs explicit RunSpecs against the shared runner with
+ * pluggable table/CSV/JSONL sinks, and reproduces every paper
+ * figure/table through the experiment registry.
+ *
+ *   mmbench list [--json]
+ *   mmbench run --workload av-mnist --fusion tensor --batch 8
+ *               [--mode infer|train] [--threads N] [--scale F]
+ *               [--seed N] [--warmup N] [--repeat N]
+ *               [--device 2080ti|nano|orin]
+ *               [--json PATH|-] [--csv PATH] [--quiet]
+ *   mmbench run --smoke [--json PATH|-] [--csv PATH] [--quiet]
+ *   mmbench fig --id fig06 | --list | --all
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/json.hh"
+#include "core/logging.hh"
+#include "core/table.hh"
+#include "models/registry.hh"
+#include "runner/experiment.hh"
+#include "runner/runner.hh"
+#include "runner/runspec.hh"
+#include "runner/sink.hh"
+
+using namespace mmbench;
+
+namespace {
+
+int
+usage(FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: mmbench <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  list [--json]           registered workloads and experiments\n"
+        "  run  [spec flags]       run one RunSpec on the shared runner\n"
+        "       --workload NAME    registered workload (required unless "
+        "--smoke)\n"
+        "       --fusion KIND      fusion implementation (default: the\n"
+        "                          workload's canonical fusion)\n"
+        "       --mode MODE        infer (default) or train\n"
+        "       --batch N          batch size (default 8)\n"
+        "       --threads N        worker threads (default: pool)\n"
+        "       --scale F          size scale (default 1.0)\n"
+        "       --seed N           weights/data seed (default 42)\n"
+        "       --warmup N         untimed repetitions (default 1)\n"
+        "       --repeat N         timed repetitions (default 5)\n"
+        "       --device NAME      2080ti (default), nano, orin\n"
+        "       --json PATH        append JSON Lines results ('-' = "
+        "stdout)\n"
+        "       --csv PATH         write CSV results\n"
+        "       --quiet            suppress the table output\n"
+        "       --smoke            one tiny spec per workload\n"
+        "  fig  --id ID            run one registered experiment\n"
+        "       --list             list experiment ids\n"
+        "       --all              run every experiment\n"
+        "  help                    this message\n");
+    return to == stdout ? 0 : 2;
+}
+
+int
+cmdList(const std::vector<std::string> &args)
+{
+    bool as_json = false;
+    for (const std::string &arg : args) {
+        if (arg == "--json") {
+            as_json = true;
+        } else {
+            std::fprintf(stderr, "mmbench list: unknown flag '%s'\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    const auto workloads = models::WorkloadRegistry::instance().entries();
+    const auto experiments = runner::ExperimentRegistry::instance().list();
+
+    if (as_json) {
+        core::JsonValue doc = core::JsonValue::object();
+        core::JsonValue wl = core::JsonValue::array();
+        for (const models::WorkloadEntry *entry : workloads) {
+            core::JsonValue row = core::JsonValue::object();
+            row.set("name", entry->name);
+            row.set("description", entry->description);
+            row.set("default_fusion",
+                    fusion::fusionKindName(entry->defaultFusion));
+            wl.push(std::move(row));
+        }
+        doc.set("workloads", std::move(wl));
+        core::JsonValue ex = core::JsonValue::array();
+        for (const runner::Experiment *experiment : experiments) {
+            core::JsonValue row = core::JsonValue::object();
+            row.set("id", experiment->id);
+            row.set("title", experiment->title);
+            ex.push(std::move(row));
+        }
+        doc.set("experiments", std::move(ex));
+        std::printf("%s\n", doc.dump().c_str());
+        return 0;
+    }
+
+    TextTable wl({"Workload", "Default fusion", "Description"});
+    for (const models::WorkloadEntry *entry : workloads) {
+        wl.addRow({entry->name,
+                   fusion::fusionKindName(entry->defaultFusion),
+                   entry->description});
+    }
+    std::printf("workloads (%zu):\n", workloads.size());
+    wl.print(std::cout);
+
+    TextTable ex({"Experiment", "Title"});
+    for (const runner::Experiment *experiment : experiments)
+        ex.addRow({experiment->id, experiment->title});
+    std::printf("\nexperiments (%zu):\n", experiments.size());
+    ex.print(std::cout);
+    return 0;
+}
+
+int
+cmdRun(const std::vector<std::string> &args)
+{
+    std::vector<std::string> spec_args;
+    std::string json_path, csv_path;
+    bool quiet = false, smoke = false;
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--json" || arg == "--csv") {
+            if (i + 1 >= args.size()) {
+                std::fprintf(stderr,
+                             "mmbench run: '%s' is missing its value\n",
+                             arg.c_str());
+                return 2;
+            }
+            (arg == "--json" ? json_path : csv_path) = args[++i];
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--smoke") {
+            smoke = true;
+        } else {
+            spec_args.push_back(arg);
+        }
+    }
+
+    std::vector<std::unique_ptr<runner::ResultSink>> owned;
+    std::vector<runner::ResultSink *> sinks;
+    if (!quiet) {
+        owned.push_back(
+            std::make_unique<runner::TableSink>(std::cout));
+        sinks.push_back(owned.back().get());
+    }
+    if (!csv_path.empty()) {
+        owned.push_back(std::make_unique<runner::CsvSink>(csv_path));
+        sinks.push_back(owned.back().get());
+    }
+    if (!json_path.empty()) {
+        owned.push_back(std::make_unique<runner::JsonlSink>(json_path));
+        sinks.push_back(owned.back().get());
+    }
+
+    if (smoke) {
+        if (!spec_args.empty()) {
+            std::fprintf(stderr,
+                         "mmbench run --smoke takes no spec flags "
+                         "(got '%s')\n", spec_args[0].c_str());
+            return 2;
+        }
+        runner::runSmoke(sinks);
+    } else {
+        runner::RunSpec spec;
+        std::string error;
+        if (!runner::parseRunSpec(spec_args, &spec, &error)) {
+            std::fprintf(stderr, "mmbench run: %s\n", error.c_str());
+            return 2;
+        }
+        runner::runOne(spec, sinks);
+    }
+    for (runner::ResultSink *sink : sinks)
+        sink->flush();
+    if (!quiet && !json_path.empty() && json_path != "-")
+        std::printf("# json written to %s\n", json_path.c_str());
+    if (!quiet && !csv_path.empty())
+        std::printf("# csv written to %s\n", csv_path.c_str());
+    return 0;
+}
+
+int
+cmdFig(const std::vector<std::string> &args)
+{
+    std::string id;
+    bool list = false, all = false;
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--id") {
+            if (i + 1 >= args.size()) {
+                std::fprintf(stderr,
+                             "mmbench fig: '--id' is missing its value\n");
+                return 2;
+            }
+            id = args[++i];
+        } else if (arg == "--list") {
+            list = true;
+        } else if (arg == "--all") {
+            all = true;
+        } else {
+            std::fprintf(stderr, "mmbench fig: unknown flag '%s'\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    const auto &registry = runner::ExperimentRegistry::instance();
+    if (list) {
+        for (const runner::Experiment *experiment : registry.list())
+            std::printf("%-24s %s\n", experiment->id.c_str(),
+                        experiment->title.c_str());
+        return 0;
+    }
+    if (all) {
+        int rc = 0;
+        for (const runner::Experiment *experiment : registry.list())
+            rc |= experiment->run();
+        return rc;
+    }
+    if (id.empty()) {
+        std::fprintf(stderr,
+                     "mmbench fig: expected --id <id>, --list or --all\n");
+        return 2;
+    }
+    const runner::Experiment *experiment = registry.find(id);
+    if (!experiment) {
+        std::fprintf(stderr, "mmbench fig: unknown experiment '%s' "
+                             "(try: mmbench fig --list)\n", id.c_str());
+        return 2;
+    }
+    return experiment->run();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(stderr);
+    const std::string command = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    if (command == "list")
+        return cmdList(args);
+    if (command == "run")
+        return cmdRun(args);
+    if (command == "fig" || command == "experiment")
+        return cmdFig(args);
+    if (command == "help" || command == "--help" || command == "-h")
+        return usage(stdout);
+    std::fprintf(stderr, "mmbench: unknown command '%s'\n",
+                 command.c_str());
+    return usage(stderr);
+}
