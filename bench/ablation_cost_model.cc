@@ -65,7 +65,7 @@ run()
                           shape ? "yes" : "NO"});
         }
     }
-    table.print(std::cout);
+    benchutil::emitTable(table, "cost_model");
 
     benchutil::note("the Fig. 6 stage ordering survives a 8x launch "
                     "sweep and a 4x bandwidth sweep: the paper's "
@@ -100,7 +100,7 @@ run()
                       strfmt("%.0f%%",
                              100.0 * (1.0 - serial / capacity))});
     }
-    sched.print(std::cout);
+    benchutil::emitTable(sched, "scheduling");
     benchutil::note("concurrent modality streams buy 1.2-2x encoder "
                     "latency but idle a large share of the allocated "
                     "resources waiting for the image straggler - the "

@@ -104,7 +104,7 @@ run()
                       benchutil::us(latency),
                       strfmt("%.2fx", latency / t_multi)});
     }
-    table.print(std::cout);
+    benchutil::emitTable(table);
 
     benchutil::note(strfmt("image-only path: %s; full multi-modal "
                            "path: %s per sample.",

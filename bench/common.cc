@@ -1,12 +1,18 @@
 #include "common.hh"
 
 #include <cstdio>
+#include <fstream>
+#include <iostream>
 
 #include "autograd/loss.hh"
 #include "autograd/optim.hh"
-#include "data/loader.hh"
+#include "core/csv.hh"
+#include "core/json.hh"
 #include "core/logging.hh"
 #include "core/string_utils.hh"
+#include "data/loader.hh"
+#include "runner/runresult.hh"
+#include "runner/sink.hh"
 
 namespace mmbench {
 namespace benchutil {
@@ -22,6 +28,105 @@ void
 note(const std::string &text)
 {
     std::printf("# %s\n", text.c_str());
+}
+
+// ------------------------------------------------- figure output routing
+
+namespace {
+
+struct FigOutput
+{
+    std::string jsonPath;
+    std::string csvPath;
+    std::string experimentId;
+};
+
+FigOutput &
+figOutput()
+{
+    static FigOutput config;
+    return config;
+}
+
+const std::vector<std::string> kFigCsvHeader = {
+    "experiment", "label", "row", "column", "value",
+};
+
+} // namespace
+
+void
+setFigOutput(const std::string &json_path, const std::string &csv_path)
+{
+    FigOutput &config = figOutput();
+    config.jsonPath = json_path;
+    config.csvPath = csv_path;
+    // Truncate at configuration time; emitTable appends so tables
+    // from every experiment of one `mmbench fig` invocation land in
+    // the same files.
+    if (!config.jsonPath.empty()) {
+        std::ofstream out(config.jsonPath, std::ios::trunc);
+        if (!out)
+            MM_FATAL("cannot open '%s' for writing",
+                     config.jsonPath.c_str());
+    }
+    if (!config.csvPath.empty()) {
+        CsvWriter csv(kFigCsvHeader);
+        csv.writeFile(config.csvPath);
+    }
+}
+
+void
+setCurrentExperiment(const std::string &id)
+{
+    figOutput().experimentId = id;
+}
+
+void
+emitTable(const TextTable &table, const std::string &label)
+{
+    table.print(std::cout);
+
+    const FigOutput &config = figOutput();
+    const std::vector<std::vector<std::string>> rows = table.dataRows();
+
+    if (!config.jsonPath.empty()) {
+        core::JsonValue record = core::JsonValue::object();
+        record.set("schema", runner::kResultSchema);
+        record.set("kind", "figure");
+        record.set("id", config.experimentId);
+        record.set("label", label);
+        core::JsonValue columns = core::JsonValue::array();
+        for (const std::string &cell : table.header())
+            columns.push(core::JsonValue(cell));
+        record.set("columns", std::move(columns));
+        core::JsonValue rows_json = core::JsonValue::array();
+        for (const auto &row : rows) {
+            core::JsonValue row_json = core::JsonValue::array();
+            for (const std::string &cell : row)
+                row_json.push(core::JsonValue(cell));
+            rows_json.push(std::move(row_json));
+        }
+        record.set("rows", std::move(rows_json));
+
+        std::ofstream out(config.jsonPath, std::ios::app);
+        if (!out)
+            MM_FATAL("cannot open '%s' for writing",
+                     config.jsonPath.c_str());
+        runner::JsonlSink::writeRecord(out, record);
+    }
+
+    if (!config.csvPath.empty()) {
+        // Long format so tables with different columns concatenate.
+        CsvWriter csv(kFigCsvHeader);
+        for (size_t r = 0; r < rows.size(); ++r) {
+            for (size_t c = 0; c < rows[r].size(); ++c) {
+                csv.addRow({config.experimentId, label,
+                            strfmt("%zu", r), table.header()[c],
+                            rows[r][c]});
+            }
+        }
+        csv.appendFile(config.csvPath);
+    }
 }
 
 TrainResult

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/format.hh"
+#include "core/table.hh"
 #include "data/synthetic.hh"
 #include "models/workload.hh"
 #include "profile/profiler.hh"
@@ -24,6 +25,30 @@ void printTitle(const std::string &experiment_id,
 
 /** Print a trailing commentary line ("# ..."). */
 void note(const std::string &text);
+
+/**
+ * @name Figure output routing
+ *
+ * `mmbench fig --json/--csv` routes every experiment table through
+ * the shared result-file formats instead of table-only stdout: each
+ * emitTable() call still prints the table, and additionally appends
+ * one "mmbench-result-v1" record of kind "figure" per table to the
+ * JSONL file (id, label, columns, rows) and long-format rows
+ * (experiment,label,row,column,value) to the CSV file.
+ * @{
+ */
+
+/** Route fig tables to these files (empty = stdout only). Truncates. */
+void setFigOutput(const std::string &json_path,
+                  const std::string &csv_path);
+
+/** Experiment id stamped on subsequent emitTable records. */
+void setCurrentExperiment(const std::string &id);
+
+/** Print the table and append it to the configured fig outputs. */
+void emitTable(const TextTable &table, const std::string &label = "");
+
+/** @} */
 
 /**
  * Format helpers: the shared src/core/format.hh implementations,

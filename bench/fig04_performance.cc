@@ -122,7 +122,7 @@ run()
                       multi_wins ? "yes" : "no"});
         table.addSeparator();
     }
-    table.print(std::cout);
+    benchutil::emitTable(table);
 
     benchutil::note("paper shape: multi-modal > best uni-modal; fusion "
                     "choice shifts results by several points; zero "

@@ -108,7 +108,7 @@ run()
              pct(by_modality[dominant] / denom),
              pct(other_single / denom), pct(fusion_only / denom)});
     }
-    table.print(std::cout);
+    benchutil::emitTable(table);
 
     benchutil::note("paper shape: >75% of correct samples explained by "
                     "one dominant modality, <5% strictly need fusion; "

@@ -53,7 +53,7 @@ run()
         table.addRow({name, us(enc), us(fus), us(head),
                       strfmt("%.2fx", fus / std::max(enc, 1e-9))});
     }
-    table.print(std::cout);
+    benchutil::emitTable(table);
 
     benchutil::note("paper shape: encoder >> fusion+head for the "
                     "multimedia/affect/medical workloads; transformer "

@@ -54,7 +54,7 @@ run()
         }
         table.addSeparator();
     }
-    table.print(std::cout);
+    benchutil::emitTable(table);
 
     benchutil::note("paper shape: encoder rows have the highest "
                     "DRAM_UTI/GPU_OCU/IPC; GLD/GST stay nearly flat "

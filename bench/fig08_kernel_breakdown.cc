@@ -69,7 +69,7 @@ run()
         }
         table.addSeparator();
     }
-    table.print(std::cout);
+    benchutil::emitTable(table);
 
     benchutil::note("paper shape: VGG/LeNet/ResNet encoders are "
                     "Conv/Gemm-dominated, transformer encoders "

@@ -94,7 +94,7 @@ run()
                   head.gpuTimeUs);
     ta.addRow({"L2 hit rate", f2(enc.l2Hit), f2(fus.l2Hit),
                f2(head.l2Hit)});
-    ta.print(std::cout);
+    benchutil::emitTable(ta, "stage_shift");
 
     // (b) The fusion-sensitive hotspot (Gemm) across fusion methods.
     models::WorkloadConfig tensor_cfg;
@@ -122,7 +122,7 @@ run()
     tb.addRow({"device time", "1.00x",
                ratio(tensor_ew.gpuTimeUs, concat_ew.gpuTimeUs)});
     tb.addRow({"L2 hit rate", f2(concat_ew.l2Hit), f2(tensor_ew.l2Hit)});
-    tb.print(std::cout);
+    benchutil::emitTable(tb, "fusion_shift");
 
     benchutil::note("paper shape: stage changes swing the same "
                     "kernel's ops/bytes by 15-80x (the encoder handles "

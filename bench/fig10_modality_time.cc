@@ -67,7 +67,7 @@ run()
                       pct(1.0 - busy / capacity)});
         table.addSeparator();
     }
-    table.print(std::cout);
+    benchutil::emitTable(table);
 
     benchutil::note("paper shape: the image modality is the straggler "
                     "(up to ~4x in mujoco-push); concurrent streams "

@@ -2,19 +2,27 @@
  * @file
  * Figure 11 — CPU+Runtime vs GPU share of inference time for
  * uni-modal vs multi-modal implementations of AV-MNIST, MuJoCo Push,
- * Medical Seg and Vision & Touch.
+ * Medical Seg and Vision & Touch, plus what the stage-graph scheduler
+ * recovers from the modality barrier.
  *
  * Expected shape (paper): every multi-modal implementation has a
  * larger CPU+Runtime share than its uni-modal counterpart (more small
  * kernels, more copies, the modality barrier); MuJoCo Push shows the
- * biggest jump.
+ * biggest jump. The scheduler columns quantify the flip side of the
+ * same observation: because the encoders are independent until the
+ * barrier, executing them concurrently (the graph's parallel policy)
+ * shortens the host critical path without changing any output bit.
  */
 
+#include <algorithm>
 #include <iostream>
+#include <vector>
 
 #include "common.hh"
 #include "runner/experiment.hh"
 #include "core/logging.hh"
+#include "core/parallel.hh"
+#include "core/string_utils.hh"
 #include "core/table.hh"
 #include "models/zoo.hh"
 #include "profile/profiler.hh"
@@ -36,6 +44,7 @@ run()
 
     TextTable table({"Workload", "Impl", "CPU+Runtime", "GPU",
                      "CPU share"});
+    TextTable sched({"Workload", "Host seq", "Host par", "Speedup"});
     for (const char *name :
          {"av-mnist", "mujoco-push", "medical-seg", "vision-touch"}) {
         auto w = models::zoo::createDefault(name);
@@ -68,11 +77,49 @@ run()
         add("", "multi", multi);
         table.addSeparator();
     }
-    table.print(std::cout);
+    benchutil::emitTable(table);
+
+    // Inter-modality parallelism: the same graph, executed with the
+    // encoder nodes running concurrently on the worker pool. Host
+    // wall time (median of 3) drops while the simulated timeline
+    // stays identical — the sync stall the paper measures is exactly
+    // the slack the scheduler exploits. The comparison runs the
+    // small-kernel (launch-bound) geometry where the barrier slack
+    // dominates; at full scale the big encoder kernels already use
+    // every worker internally and the two policies break even.
+    for (const char *name : {"av-mnist", "medical-vqa", "transfuser"}) {
+        auto w = models::zoo::createDefault(name, /*size_scale=*/0.5f);
+        auto task = w->makeTask(37);
+        data::Batch batch = task.sample(2);
+        auto median_host = [&](pipeline::SchedPolicy policy) {
+            std::vector<double> samples;
+            for (int i = 0; i < 3; ++i) {
+                profile::ProfileResult r =
+                    profiler.profileGraph(*w, batch, policy);
+                samples.push_back(r.hostTotalUs);
+            }
+            std::sort(samples.begin(), samples.end());
+            return samples[samples.size() / 2];
+        };
+        const double host_seq =
+            median_host(pipeline::SchedPolicy::Sequential);
+        const double host_par =
+            median_host(pipeline::SchedPolicy::Parallel);
+        sched.addRow({name, benchutil::us(host_seq),
+                      benchutil::us(host_par),
+                      strfmt("%.2fx", host_seq / host_par)});
+    }
+
+    std::printf("-- Stage-graph scheduler: sequential vs parallel "
+                "encoders (%d threads) --\n", core::numThreads());
+    benchutil::emitTable(sched, "scheduler");
 
     benchutil::note("paper shape: the multi-modal implementation always "
                     "carries a larger CPU+Runtime share; complex fusion "
-                    "(mujoco-push) shows the largest increase.");
+                    "(mujoco-push) shows the largest increase. The "
+                    "parallel scheduler converts that barrier slack "
+                    "into host-side speedup on multi-encoder "
+                    "workloads.");
     return 0;
 }
 

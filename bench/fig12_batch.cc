@@ -82,7 +82,7 @@ run()
                      pct(hist[0] / total), pct(hist[1] / total),
                      pct(hist[2] / total), pct(hist[3] / total)});
     }
-    dist.print(std::cout);
+    benchutil::emitTable(dist, "kernel_size_dist");
 
     TextTable times({"Impl", "Batch", "GPU time (10k tasks)",
                      "Inference time (10k tasks)"});
@@ -94,7 +94,7 @@ run()
                       us(c.result.timeline.gpuBusyUs * batches),
                       us(c.inference_ms * 1e3)});
     }
-    times.print(std::cout);
+    benchutil::emitTable(times, "amortization");
 
     // Speedup summary: 10x batch -> how much faster?
     const double slfs_speedup = cases[0].inference_ms / cases[1].inference_ms;

@@ -68,7 +68,7 @@ run()
                           benchutil::pct(share)});
         }
         std::printf("-- %s --\n", impl);
-        table.print(std::cout);
+        benchutil::emitTable(table, impl);
     }
 
     benchutil::note("paper shape: model memory flat; dataset and "

@@ -81,7 +81,7 @@ run()
         }
         table.addSeparator();
     }
-    table.print(std::cout);
+    benchutil::emitTable(table);
 
     benchutil::note(strfmt("nano / server multi-modal time ratio "
                            "(pre-knee): %.1fx (paper: ~6.5x).",

@@ -108,7 +108,7 @@ run()
                                       return k.ev.stage ==
                                              trace::Stage::Fusion;
                                   })));
-        table.print(std::cout);
+        benchutil::emitTable(table, dev.name);
     }
 
     // (c) Per-stage compute and memory usage on the Nano.
@@ -126,7 +126,7 @@ run()
                       f2(agg.occupancy), f2(agg.gldEff), f2(agg.gstEff),
                       f2(agg.ipc)});
     }
-    usage.print(std::cout);
+    benchutil::emitTable(usage, "nano_usage");
 
     benchutil::note("paper shape: Exec+Inst. stalls rise sharply on "
                     "nano, Mem+Cache dominate on the 2080Ti; nano DRAM "

@@ -84,7 +84,7 @@ run()
                       strfmt("%zu", result.kernels.size()),
                       benchutil::us(result.gpuBusyUs)});
     }
-    table.print(std::cout);
+    benchutil::emitTable(table);
 
     benchutil::note("tensor fusion is the most expensive operator (outer "
                     "product blows up the intermediate); zero fusion is "

@@ -31,7 +31,7 @@ run()
     table.addSeparator();
     table.addRow({"MMBench (ours)", "9", "H/Ar, S/Al", "yes", "yes",
                   "yes", "yes"});
-    table.print(std::cout);
+    benchutil::emitTable(table);
 
     benchutil::note("this reproduction implements all nine MMBench "
                     "applications, the cloud (2080Ti) and edge "

@@ -43,7 +43,7 @@ run()
                       formatCount(static_cast<double>(
                           w->parameterCount()))});
     }
-    table.print(std::cout);
+    benchutil::emitTable(table);
 
     benchutil::note("modalities, encoder families, fusion options and "
                     "tasks match the paper's Table 3; parameter counts "

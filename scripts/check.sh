@@ -29,8 +29,17 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
     --json "$BUILD_DIR/BENCH_smoke.jsonl" \
     --csv "$BUILD_DIR/BENCH_smoke.csv"
 
-# Every emitted line must be valid JSON with the shared schema tag.
-python3 - "$BUILD_DIR/BENCH_smoke.jsonl" "$BUILD_DIR/BENCH_ops_micro.jsonl" <<'EOF'
+# Serve-mode leg: the same per-workload smoke sweep through the
+# stage-graph serving path (4 concurrent in-flight requests), with
+# its own JSONL trajectory artifact.
+MMBENCH_NUM_THREADS=4 "$BUILD_DIR/mmbench" run --smoke \
+    --mode serve --inflight 4 --quiet \
+    --json "$BUILD_DIR/BENCH_serve.jsonl"
+
+# Every emitted line must be valid JSON with the shared schema tag;
+# serve records must carry the serve aggregates.
+python3 - "$BUILD_DIR/BENCH_smoke.jsonl" "$BUILD_DIR/BENCH_serve.jsonl" \
+    "$BUILD_DIR/BENCH_ops_micro.jsonl" <<'EOF'
 import json, sys
 for path in sys.argv[1:]:
     with open(path) as fh:
@@ -38,5 +47,9 @@ for path in sys.argv[1:]:
             record = json.loads(line)
             assert record["schema"] == "mmbench-result-v1", path
             assert "latency_us" in record and "p50" in record["latency_us"], path
+            if record.get("spec", {}).get("mode") == "serve":
+                serve = record["serve"]
+                assert serve["inflight"] >= 1 and serve["requests"] >= 1, path
+                assert serve["wall_us"] > 0, path
 print("json trajectory files OK:", ", ".join(sys.argv[1:]))
 EOF

@@ -39,19 +39,22 @@ CsvWriter::escape(const std::string &field)
 }
 
 void
+CsvWriter::writeRow(std::ostream &os, const std::vector<std::string> &row)
+{
+    for (size_t i = 0; i < row.size(); ++i) {
+        if (i)
+            os << ',';
+        os << escape(row[i]);
+    }
+    os << '\n';
+}
+
+void
 CsvWriter::write(std::ostream &os) const
 {
-    auto write_row = [&](const std::vector<std::string> &row) {
-        for (size_t i = 0; i < row.size(); ++i) {
-            if (i)
-                os << ',';
-            os << escape(row[i]);
-        }
-        os << '\n';
-    };
-    write_row(header_);
+    writeRow(os, header_);
     for (const auto &row : rows_)
-        write_row(row);
+        writeRow(os, row);
 }
 
 bool
@@ -63,6 +66,19 @@ CsvWriter::writeFile(const std::string &path) const
         return false;
     }
     write(os);
+    return static_cast<bool>(os);
+}
+
+bool
+CsvWriter::appendFile(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::app);
+    if (!os) {
+        warn("could not open '%s' for appending", path.c_str());
+        return false;
+    }
+    for (const auto &row : rows_)
+        writeRow(os, row);
     return static_cast<bool>(os);
 }
 

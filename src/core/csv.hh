@@ -31,11 +31,19 @@ class CsvWriter
     /** Write to a file; returns false (with a warning) on I/O failure. */
     bool writeFile(const std::string &path) const;
 
+    /**
+     * Append the data rows (no header) to an existing file; the file
+     * must have been created by writeFile with the same header.
+     */
+    bool appendFile(const std::string &path) const;
+
     /** Number of data rows. */
     size_t rowCount() const { return rows_.size(); }
 
   private:
     static std::string escape(const std::string &field);
+    static void writeRow(std::ostream &os,
+                         const std::vector<std::string> &row);
 
     std::vector<std::string> header_;
     std::vector<std::vector<std::string>> rows_;

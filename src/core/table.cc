@@ -31,6 +31,18 @@ TextTable::addSeparator()
     rows_.emplace_back();
 }
 
+std::vector<std::vector<std::string>>
+TextTable::dataRows() const
+{
+    std::vector<std::vector<std::string>> rows;
+    rows.reserve(dataRows_);
+    for (const auto &row : rows_) {
+        if (!row.empty())
+            rows.push_back(row);
+    }
+    return rows;
+}
+
 bool
 TextTable::looksNumeric(const std::string &cell)
 {

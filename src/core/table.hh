@@ -36,6 +36,12 @@ class TextTable
     /** Number of data rows added so far (separators excluded). */
     size_t rowCount() const { return dataRows_; }
 
+    /** Header cells, as constructed. */
+    const std::vector<std::string> &header() const { return header_; }
+
+    /** Data rows in insertion order (separators skipped). */
+    std::vector<std::vector<std::string>> dataRows() const;
+
     /** Render the table to the stream. */
     void print(std::ostream &os) const;
 

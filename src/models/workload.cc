@@ -35,45 +35,62 @@ MultiModalWorkload::scaledFeat(int64_t extent, int64_t floor) const
     return ((s + 3) / 4) * 4;
 }
 
-Var
-MultiModalWorkload::forward(const Batch &batch)
+void
+MultiModalWorkload::buildStageGraph()
 {
-    MM_ASSERT(batch.modalities.size() == numModalities(),
-              "workload %s fed %zu modalities, expected %zu",
-              name().c_str(), batch.modalities.size(), numModalities());
+    graph_ = std::make_unique<pipeline::StageGraph>();
+    const size_t num = numModalities();
+    std::vector<size_t> enc_ids;
+    enc_ids.reserve(num);
 
-    // Tag every event of this pass with the fusion implementation so
-    // reports can compare implementations (paper Fig. 9b / Fig. 15).
-    tr::TagScope tag(fusion::fusionKindName(config_.fusionKind));
+    for (size_t m = 0; m < num; ++m) {
+        const std::string &mod_name = dataSpec_.modalities[m].name;
 
-    std::vector<Var> features;
-    features.reserve(numModalities());
-    for (size_t m = 0; m < numModalities(); ++m) {
-        tr::ModalityScope mod_scope(static_cast<int>(m));
-        const Tensor &input = batch.modalities[m];
-        {
-            // End-to-end execution: raw-input marshalling on the host
-            // followed by the host-to-device copy of the batch.
-            tr::StageScope stage(tr::Stage::Preprocess);
+        // End-to-end execution: raw-input marshalling on the host
+        // followed by the host-to-device copy of the batch.
+        pipeline::StageNode pre;
+        pre.name = "preprocess:" + mod_name;
+        pre.stage = tr::Stage::Preprocess;
+        pre.modality = static_cast<int>(m);
+        const size_t pre_id = graph_->size();
+        pre.body = [this, m, pre_id](pipeline::ExecContext &ctx) {
+            const Tensor &input = ctx.batch->modalities[m];
             tr::emitRuntime(tr::RuntimeEvent::Kind::DataPrep,
                             dataSpec_.modalities[m].name.c_str(),
                             input.bytes());
-            tr::emitRuntime(tr::RuntimeEvent::Kind::H2DCopy, "input_batch",
-                            input.bytes());
-        }
-        {
-            tr::StageScope stage(tr::Stage::Encoder);
-            features.push_back(encodeModality(m, Var(input)));
-        }
+            tr::emitRuntime(tr::RuntimeEvent::Kind::H2DCopy,
+                            "input_batch", input.bytes());
+            ctx.slots[pre_id] = Var(input);
+        };
+        graph_->addNode(std::move(pre));
+
+        pipeline::StageNode enc;
+        enc.name = "encoder:" + mod_name;
+        enc.stage = tr::Stage::Encoder;
+        enc.modality = static_cast<int>(m);
+        enc.deps = {pre_id};
+        const size_t enc_id = graph_->size();
+        enc.body = [this, m, pre_id, enc_id](pipeline::ExecContext &ctx) {
+            ctx.slots[enc_id] = encodeModality(m, ctx.slots[pre_id]);
+        };
+        graph_->addNode(std::move(enc));
+        enc_ids.push_back(enc_id);
     }
 
-    Var fused;
-    {
-        tr::StageScope stage(tr::Stage::Fusion);
+    pipeline::StageNode fuse;
+    fuse.name = "fusion";
+    fuse.stage = tr::Stage::Fusion;
+    fuse.deps = enc_ids;
+    const size_t fuse_id = graph_->size();
+    fuse.body = [this, enc_ids, fuse_id](pipeline::ExecContext &ctx) {
         // The fusion network waits for the completion of every
         // modality stream: the modality synchronization barrier.
         tr::emitRuntime(tr::RuntimeEvent::Kind::Sync, "modality_barrier",
                         0);
+        std::vector<Var> features;
+        features.reserve(enc_ids.size());
+        for (size_t enc_id : enc_ids)
+            features.push_back(ctx.slots[enc_id]);
         // Host-side marshalling of the per-modality intermediate
         // feature maps handed to the fusion network (the paper's
         // "additional intermediate data and data preparation
@@ -84,17 +101,70 @@ MultiModalWorkload::forward(const Batch &batch)
                             "feature_marshal",
                             features[m].value().bytes());
         }
-        fused = fuseFeatures(features);
-    }
+        ctx.slots[fuse_id] = fuseFeatures(features);
+    };
+    graph_->addNode(std::move(fuse));
 
-    Var out;
-    {
-        tr::StageScope stage(tr::Stage::Head);
-        out = headForward(fused);
+    pipeline::StageNode head;
+    head.name = "head";
+    head.stage = tr::Stage::Head;
+    head.deps = {fuse_id};
+    const size_t head_id = graph_->size();
+    head.body = [this, fuse_id, head_id](pipeline::ExecContext &ctx) {
+        Var out = headForward(ctx.slots[fuse_id]);
         tr::emitRuntime(tr::RuntimeEvent::Kind::D2HCopy, "output",
                         out.value().bytes());
-    }
-    return out;
+        ctx.slots[head_id] = out;
+    };
+    headNodeId_ = graph_->addNode(std::move(head));
+}
+
+const pipeline::StageGraph &
+MultiModalWorkload::stageGraph()
+{
+    if (!graph_)
+        buildStageGraph();
+    return *graph_;
+}
+
+Var
+MultiModalWorkload::forward(const Batch &batch)
+{
+    return forward(batch, pipeline::SchedPolicy::Sequential);
+}
+
+Var
+MultiModalWorkload::forward(const Batch &batch,
+                            pipeline::SchedPolicy policy)
+{
+    pipeline::ScheduleOptions options;
+    options.policy = policy;
+    return forwardGraph(batch, options);
+}
+
+Var
+MultiModalWorkload::forwardGraph(const Batch &batch,
+                                 const pipeline::ScheduleOptions &options,
+                                 pipeline::GraphRun *run)
+{
+    MM_ASSERT(batch.modalities.size() == numModalities(),
+              "workload %s fed %zu modalities, expected %zu",
+              name().c_str(), batch.modalities.size(), numModalities());
+
+    const pipeline::StageGraph &graph = stageGraph();
+    pipeline::ExecContext ctx;
+    ctx.batch = &batch;
+
+    // Tag every event of this pass with the fusion implementation so
+    // reports can compare implementations (paper Fig. 9b / Fig. 15).
+    pipeline::ScheduleOptions opts = options;
+    if (opts.tag.empty())
+        opts.tag = fusion::fusionKindName(config_.fusionKind);
+
+    pipeline::GraphRun local = pipeline::runGraph(graph, ctx, opts);
+    if (run)
+        *run = std::move(local);
+    return ctx.slots[headNodeId_];
 }
 
 Var

@@ -4,11 +4,14 @@
  * application.
  *
  * A workload is an encoder/fusion/head pipeline. The base class owns
- * the three-stage orchestration — including the trace scopes and
- * runtime events (data preparation, H2D/D2H copies, the modality
- * barrier before fusion) that the simulator consumes — and provides
- * task-generic loss and metric implementations. Subclasses provide
- * the networks.
+ * the stage orchestration as an explicit StageGraph — per-modality
+ * preprocess and encoder nodes, a fusion join (the modality
+ * synchronization barrier), a head sink — including the trace scopes
+ * and runtime events (data preparation, H2D/D2H copies, the barrier)
+ * that the simulator consumes, and provides task-generic loss and
+ * metric implementations. Subclasses provide the networks through the
+ * encodeModality/fuseFeatures/headForward hooks, which become the
+ * graph's node bodies.
  */
 
 #ifndef MMBENCH_MODELS_WORKLOAD_HH
@@ -21,6 +24,7 @@
 #include "data/synthetic.hh"
 #include "fusion/fusion.hh"
 #include "nn/module.hh"
+#include "pipeline/scheduler.hh"
 
 namespace mmbench {
 namespace models {
@@ -64,9 +68,30 @@ class MultiModalWorkload : public nn::Module
     /**
      * Full multi-modal forward pass with stage/modality scoping:
      * preprocess -> per-modality encoders -> modality barrier ->
-     * fusion -> head.
+     * fusion -> head. Executes the stage graph under the sequential
+     * policy on the calling thread (events flow to the ambient trace
+     * sink, exactly like the historical monolithic forward).
      */
     Var forward(const Batch &batch);
+
+    /** Forward under an explicit scheduler policy (no capture). */
+    Var forward(const Batch &batch, pipeline::SchedPolicy policy);
+
+    /**
+     * Forward with full scheduler control. With options.captureTraces
+     * each node records its own trace segment and host start/end
+     * times into *run (the node timeline the profiler replays).
+     */
+    Var forwardGraph(const Batch &batch,
+                     const pipeline::ScheduleOptions &options,
+                     pipeline::GraphRun *run = nullptr);
+
+    /**
+     * The workload's stage graph: one preprocess + one encoder node
+     * per modality, a fusion join, a head sink. Built lazily on first
+     * use (node bodies close over the subclass hooks) and cached.
+     */
+    const pipeline::StageGraph &stageGraph();
 
     /**
      * Uni-modal variant: one encoder plus a modality-specific head,
@@ -123,6 +148,15 @@ class MultiModalWorkload : public nn::Module
     WorkloadInfo info_;
     data::SyntheticSpec dataSpec_;
     WorkloadConfig config_;
+
+  private:
+    /** Assemble the stage graph from the subclass hooks. */
+    void buildStageGraph();
+
+    std::unique_ptr<pipeline::StageGraph> graph_;
+    size_t headNodeId_ = 0;
+
+  protected:
 
     /** Scale an extent by config().sizeScale with a floor. */
     int64_t scaled(int64_t extent, int64_t floor = 4) const;

@@ -1,0 +1,58 @@
+#include "pipeline/graph.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+
+namespace mmbench {
+namespace pipeline {
+
+size_t
+StageGraph::addNode(StageNode node)
+{
+    const size_t id = nodes_.size();
+    MM_ASSERT(node.body != nullptr, "node '%s' has no body",
+              node.name.c_str());
+    int level = 0;
+    for (size_t dep : node.deps) {
+        MM_ASSERT(dep < id,
+                  "node '%s' depends on node %zu which is not yet added "
+                  "(graphs are built in topological order)",
+                  node.name.c_str(), dep);
+        level = std::max(level, levels_[dep] + 1);
+    }
+    nodes_.push_back(std::move(node));
+    levels_.push_back(level);
+    numLevels_ = std::max(numLevels_, level + 1);
+    return id;
+}
+
+std::vector<size_t>
+StageGraph::levelNodes(int level) const
+{
+    std::vector<size_t> ids;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        if (levels_[i] == level)
+            ids.push_back(i);
+    }
+    return ids;
+}
+
+std::vector<size_t>
+StageGraph::sinks() const
+{
+    std::vector<bool> has_consumer(nodes_.size(), false);
+    for (const StageNode &node : nodes_) {
+        for (size_t dep : node.deps)
+            has_consumer[dep] = true;
+    }
+    std::vector<size_t> ids;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        if (!has_consumer[i])
+            ids.push_back(i);
+    }
+    return ids;
+}
+
+} // namespace pipeline
+} // namespace mmbench

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * StageGraph: the explicit stage-level dataflow of a multi-modal
+ * workload.
+ *
+ * A workload's forward pass is a small DAG — per-modality preprocess
+ * and encoder nodes, a fusion join that waits on every encoder (the
+ * paper's modality synchronization barrier), and a head sink. This
+ * module makes that structure a first-class, schedulable object: each
+ * StageNode carries its stage/modality identity for tracing and
+ * reporting plus a body closure, and nodes communicate through
+ * per-execution Var slots (node i writes slot i, consumers read their
+ * dependencies' slots). Workloads build their graph once; the
+ * scheduler (scheduler.hh) executes it under a sequential or parallel
+ * policy.
+ */
+
+#ifndef MMBENCH_PIPELINE_GRAPH_HH
+#define MMBENCH_PIPELINE_GRAPH_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "autograd/var.hh"
+#include "data/synthetic.hh"
+#include "trace/event.hh"
+
+namespace mmbench {
+namespace pipeline {
+
+/**
+ * Per-execution state threaded through one graph run. The graph and
+ * its node bodies are built once and stay immutable; everything that
+ * varies between runs (the input batch, the inter-node values) lives
+ * here, so one graph can serve many concurrent requests.
+ */
+struct ExecContext
+{
+    /** Input batch of this execution (not owned). */
+    const data::Batch *batch = nullptr;
+
+    /** One output slot per node, indexed by node id. */
+    std::vector<autograd::Var> slots;
+};
+
+/** Body of one node: read dependency slots, write the node's slot. */
+using NodeBody = std::function<void(ExecContext &)>;
+
+/** One schedulable unit of a workload's forward pass. */
+struct StageNode
+{
+    std::string name;    ///< "preprocess:image", "encoder:audio", ...
+    trace::Stage stage = trace::Stage::Unknown;
+    int modality = trace::kNoModality;
+    /** Node ids this node waits on; all must be < this node's id. */
+    std::vector<size_t> deps;
+    NodeBody body;
+};
+
+/**
+ * An immutable stage DAG. Nodes are added in a valid topological
+ * order (every dependency id must be smaller than the new node's id),
+ * so insertion order IS a sequential schedule — the scheduler's
+ * `sequential` policy replays exactly that order.
+ */
+class StageGraph
+{
+  public:
+    /** Append a node; returns its id. Fatal on forward dependencies. */
+    size_t addNode(StageNode node);
+
+    size_t size() const { return nodes_.size(); }
+    bool empty() const { return nodes_.empty(); }
+
+    const StageNode &node(size_t id) const { return nodes_[id]; }
+    const std::vector<StageNode> &nodes() const { return nodes_; }
+
+    /**
+     * Dependency depth of each node (0 = no deps). Nodes that share a
+     * level never depend on each other, so a level is a parallel wave;
+     * the level partition is the scheduler's parallel schedule.
+     */
+    const std::vector<int> &levels() const { return levels_; }
+
+    /** Number of distinct levels (graph depth). */
+    int numLevels() const { return numLevels_; }
+
+    /** Node ids of one level, in insertion order. */
+    std::vector<size_t> levelNodes(int level) const;
+
+    /** Ids of nodes nothing depends on (the graph's outputs). */
+    std::vector<size_t> sinks() const;
+
+  private:
+    std::vector<StageNode> nodes_;
+    std::vector<int> levels_;
+    int numLevels_ = 0;
+};
+
+} // namespace pipeline
+} // namespace mmbench
+
+#endif // MMBENCH_PIPELINE_GRAPH_HH

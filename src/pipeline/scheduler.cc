@@ -1,0 +1,168 @@
+#include "pipeline/scheduler.hh"
+
+#include <chrono>
+#include <memory>
+
+#include "core/logging.hh"
+#include "core/parallel.hh"
+#include "core/string_utils.hh"
+#include "trace/scope.hh"
+
+namespace mmbench {
+namespace pipeline {
+
+namespace {
+
+double
+nowUs()
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * Run one node on the current thread with the full ambient context the
+ * monolithic forward used to set up: tag, stage, modality, and (when
+ * capturing) a node-local sink. Grad mode is re-asserted here because
+ * the node may execute on a pool worker whose thread-local grad flag
+ * is untouched by the submitting thread's NoGradGuard.
+ */
+void
+execNode(const StageNode &node, ExecContext &ctx, NodeRun &out,
+         const ScheduleOptions &options, bool grad_enabled)
+{
+    std::unique_ptr<autograd::NoGradGuard> no_grad;
+    if (!grad_enabled)
+        no_grad = std::make_unique<autograd::NoGradGuard>();
+    std::unique_ptr<trace::ScopedSink> capture;
+    if (options.captureTraces)
+        capture = std::make_unique<trace::ScopedSink>(out.trace);
+
+    trace::TagScope tag(options.tag);
+    trace::StageScope stage(node.stage);
+    std::unique_ptr<trace::ModalityScope> mod;
+    if (node.modality != trace::kNoModality)
+        mod = std::make_unique<trace::ModalityScope>(node.modality);
+
+    out.startUs = nowUs();
+    node.body(ctx);
+    out.endUs = nowUs();
+}
+
+} // namespace
+
+const char *
+schedPolicyName(SchedPolicy policy)
+{
+    return policy == SchedPolicy::Sequential ? "sequential" : "parallel";
+}
+
+bool
+tryParseSchedPolicy(const std::string &name, SchedPolicy *policy)
+{
+    const std::string n = toLower(name);
+    if (n == "sequential" || n == "seq") {
+        *policy = SchedPolicy::Sequential;
+        return true;
+    }
+    if (n == "parallel" || n == "par") {
+        *policy = SchedPolicy::Parallel;
+        return true;
+    }
+    return false;
+}
+
+GraphRun
+runGraph(const StageGraph &graph, ExecContext &ctx,
+         const ScheduleOptions &options)
+{
+    GraphRun run;
+    run.nodes.resize(graph.size());
+    ctx.slots.assign(graph.size(), autograd::Var());
+
+    const bool grad_enabled = autograd::GradMode::enabled();
+    // The tape is built single-threaded: training passes always take
+    // the sequential schedule regardless of the requested policy.
+    SchedPolicy policy = options.policy;
+    if (grad_enabled)
+        policy = SchedPolicy::Sequential;
+
+    const double t0 = nowUs();
+    if (policy == SchedPolicy::Sequential) {
+        for (size_t id = 0; id < graph.size(); ++id)
+            execNode(graph.node(id), ctx, run.nodes[id], options,
+                     grad_enabled);
+    } else {
+        for (int level = 0; level < graph.numLevels(); ++level) {
+            const std::vector<size_t> ids = graph.levelNodes(level);
+            // One wave per dependency level: members of a level never
+            // depend on each other, so they are free to overlap.
+            core::parallelFor(
+                0, static_cast<int64_t>(ids.size()), 1,
+                [&](int64_t begin, int64_t end) {
+                    for (int64_t i = begin; i < end; ++i) {
+                        const size_t id = ids[static_cast<size_t>(i)];
+                        execNode(graph.node(id), ctx, run.nodes[id],
+                                 options, grad_enabled);
+                    }
+                });
+        }
+    }
+    run.totalUs = nowUs() - t0;
+    return run;
+}
+
+trace::RecordingSink
+mergeNodeTraces(const GraphRun &run, NodeTraceIndex *index)
+{
+    trace::RecordingSink merged;
+    if (index) {
+        index->kernelStart.assign(1, 0);
+        index->runtimeStart.assign(1, 0);
+    }
+    size_t total_kernels = 0, total_runtimes = 0, total_allocs = 0,
+           total_unified = 0;
+    for (const NodeRun &node : run.nodes) {
+        total_kernels += node.trace.kernels.size();
+        total_runtimes += node.trace.runtimes.size();
+        total_allocs += node.trace.allocs.size();
+        total_unified += node.trace.unified.size();
+    }
+    merged.kernels.reserve(total_kernels);
+    merged.runtimes.reserve(total_runtimes);
+    merged.allocs.reserve(total_allocs);
+    merged.unified.reserve(total_unified);
+
+    using EntryKind = trace::RecordingSink::EntryKind;
+    for (const NodeRun &node : run.nodes) {
+        const uint32_t kernel_base =
+            static_cast<uint32_t>(merged.kernels.size());
+        const uint32_t runtime_base =
+            static_cast<uint32_t>(merged.runtimes.size());
+        merged.kernels.insert(merged.kernels.end(),
+                              node.trace.kernels.begin(),
+                              node.trace.kernels.end());
+        merged.runtimes.insert(merged.runtimes.end(),
+                               node.trace.runtimes.begin(),
+                               node.trace.runtimes.end());
+        merged.allocs.insert(merged.allocs.end(),
+                             node.trace.allocs.begin(),
+                             node.trace.allocs.end());
+        for (const auto &entry : node.trace.unified) {
+            trace::RecordingSink::Entry adjusted = entry;
+            adjusted.index += entry.kind == EntryKind::Kernel
+                                  ? kernel_base
+                                  : runtime_base;
+            merged.unified.push_back(adjusted);
+        }
+        if (index) {
+            index->kernelStart.push_back(merged.kernels.size());
+            index->runtimeStart.push_back(merged.runtimes.size());
+        }
+    }
+    return merged;
+}
+
+} // namespace pipeline
+} // namespace mmbench

@@ -14,15 +14,51 @@ ProfileResult
 Profiler::profile(models::MultiModalWorkload &workload,
                   const data::Batch &batch)
 {
+    return profileGraph(workload, batch,
+                        pipeline::SchedPolicy::Sequential);
+}
+
+ProfileResult
+Profiler::profileGraph(models::MultiModalWorkload &workload,
+                       const data::Batch &batch,
+                       pipeline::SchedPolicy policy)
+{
     workload.train(false);
-    trace::RecordingSink sink;
+
+    pipeline::ScheduleOptions options;
+    options.policy = policy;
+    options.captureTraces = true;
+    pipeline::GraphRun run;
     {
-        trace::ScopedSink guard(sink);
         autograd::NoGradGuard no_grad;
-        workload.forward(batch);
+        workload.forwardGraph(batch, options, &run);
     }
+
+    // The device replay consumes the node timeline merged in node-id
+    // (sequential-schedule) order, so the simulated schedule is the
+    // same whatever policy produced the trace.
+    pipeline::NodeTraceIndex index;
+    trace::RecordingSink merged = pipeline::mergeNodeTraces(run, &index);
+
     ProfileResult result;
-    result.timeline = timeline_.replay(sink);
+    result.timeline = timeline_.replay(merged);
+    result.hostTotalUs = run.totalUs;
+
+    const std::vector<sim::NodeTimes> node_times = sim::splitByNodes(
+        result.timeline, index.kernelStart, index.runtimeStart);
+    const pipeline::StageGraph &graph = workload.stageGraph();
+    result.nodes.reserve(graph.size());
+    for (size_t id = 0; id < graph.size(); ++id) {
+        NodeProfile np;
+        np.name = graph.node(id).name;
+        np.stage = graph.node(id).stage;
+        np.modality = graph.node(id).modality;
+        np.hostUs = run.nodes[id].hostUs();
+        np.gpuUs = node_times[id].gpuUs;
+        np.cpuUs = node_times[id].cpuUs;
+        result.nodes.push_back(std::move(np));
+    }
+
     result.modelBytes = workload.parameterBytes();
     result.datasetBytes = batch.inputBytes();
     result.workload = workload.name();

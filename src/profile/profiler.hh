@@ -3,6 +3,13 @@
  * Profiler: runs a workload's forward pass under a recording sink and
  * replays the trace on a device model — the C++ analogue of the
  * paper's Nsight-based profiling pipeline (its Fig. 3).
+ *
+ * Profiling executes through the workload's stage graph: each node
+ * captures its own trace segment and host timestamps; the segments
+ * are merged in canonical (sequential-schedule) order for the device
+ * replay, so the simulated timeline of a parallel run is identical to
+ * the sequential one, while per-node host times expose what the
+ * scheduler policy actually changed.
  */
 
 #ifndef MMBENCH_PROFILE_PROFILER_HH
@@ -10,6 +17,7 @@
 
 #include "data/synthetic.hh"
 #include "models/workload.hh"
+#include "pipeline/scheduler.hh"
 #include "profile/report.hh"
 #include "sim/device.hh"
 #include "sim/timeline.hh"
@@ -17,10 +25,25 @@
 namespace mmbench {
 namespace profile {
 
+/** Direct per-node measurement of one profiled pass. */
+struct NodeProfile
+{
+    std::string name;  ///< "encoder:image", "fusion", ...
+    trace::Stage stage = trace::Stage::Unknown;
+    int modality = trace::kNoModality;
+    double hostUs = 0.0; ///< measured host wall time of the node body
+    double gpuUs = 0.0;  ///< simulated device time of its kernels
+    double cpuUs = 0.0;  ///< simulated launches + runtime ops
+};
+
 /** Everything one profiled pass produces. */
 struct ProfileResult
 {
     sim::TimelineResult timeline;
+    /** Node timeline: one row per stage-graph node, in node-id order. */
+    std::vector<NodeProfile> nodes;
+    /** Host wall clock of the graph execution (all nodes). */
+    double hostTotalUs = 0.0;
     uint64_t modelBytes = 0;   ///< parameter memory of the workload
     uint64_t datasetBytes = 0; ///< input batch bytes
     std::string workload;
@@ -33,9 +56,22 @@ class Profiler
   public:
     explicit Profiler(sim::DeviceModel device);
 
-    /** Profile one multi-modal inference pass over the batch. */
+    /**
+     * Profile one multi-modal inference pass over the batch
+     * (sequential schedule; equivalent to the historical monolithic
+     * forward).
+     */
     ProfileResult profile(models::MultiModalWorkload &workload,
                           const data::Batch &batch);
+
+    /**
+     * Profile one pass under an explicit scheduler policy. The sim
+     * replay consumes the merged node timeline in canonical order
+     * (policy-independent); host times reflect the actual schedule.
+     */
+    ProfileResult profileGraph(models::MultiModalWorkload &workload,
+                               const data::Batch &batch,
+                               pipeline::SchedPolicy policy);
 
     /** Profile the uni-modal variant for one modality. */
     ProfileResult profileUniModal(models::MultiModalWorkload &workload,

@@ -1,5 +1,6 @@
 #include "runner/runner.hh"
 
+#include <algorithm>
 #include <chrono>
 
 #include "autograd/optim.hh"
@@ -35,6 +36,48 @@ fillCommon(RunResult *result, const RunSpec &spec,
     result->metricName = workload.metricName();
 }
 
+/** Map the profiler's node timeline into the result's breakdowns. */
+void
+fillNodeBreakdowns(RunResult *result, const profile::ProfileResult &last,
+                   const models::MultiModalWorkload &workload)
+{
+    // Stage rows (encoder/fusion/head) and per-modality encoder times
+    // come straight from the per-node measurements — no trace-scope
+    // scraping.
+    for (trace::Stage s : {trace::Stage::Encoder, trace::Stage::Fusion,
+                           trace::Stage::Head}) {
+        StageTime st;
+        st.stage = trace::stageName(s);
+        for (const profile::NodeProfile &np : last.nodes) {
+            if (np.stage != s)
+                continue;
+            st.gpuUs += np.gpuUs;
+            st.cpuUs += np.cpuUs;
+        }
+        result->stages.push_back(std::move(st));
+    }
+    for (size_t m = 0; m < workload.numModalities(); ++m) {
+        ModalityTime mt;
+        mt.modality = workload.dataSpec().modalities[m].name;
+        for (const profile::NodeProfile &np : last.nodes) {
+            if (np.stage == trace::Stage::Encoder &&
+                np.modality == static_cast<int>(m))
+                mt.gpuUs += np.gpuUs;
+        }
+        result->modalities.push_back(std::move(mt));
+    }
+    for (const profile::NodeProfile &np : last.nodes) {
+        NodeTime nt;
+        nt.name = np.name;
+        nt.stage = trace::stageName(np.stage);
+        nt.modality = np.modality;
+        nt.hostUs = np.hostUs;
+        nt.gpuUs = np.gpuUs;
+        nt.cpuUs = np.cpuUs;
+        result->nodes.push_back(std::move(nt));
+    }
+}
+
 void
 runInfer(const RunSpec &spec, models::MultiModalWorkload &workload,
          RunResult *result)
@@ -44,13 +87,13 @@ runInfer(const RunSpec &spec, models::MultiModalWorkload &workload,
 
     profile::Profiler profiler(spec.deviceModel());
     for (int i = 0; i < spec.warmup; ++i)
-        profiler.profile(workload, batch);
+        profiler.profileGraph(workload, batch, spec.sched);
 
     std::vector<double> wall_us, sim_us;
     profile::ProfileResult last;
     for (int i = 0; i < spec.repeat; ++i) {
         const double t0 = nowUs();
-        last = profiler.profile(workload, batch);
+        last = profiler.profileGraph(workload, batch, spec.sched);
         wall_us.push_back(nowUs() - t0);
         sim_us.push_back(last.timeline.totalUs);
     }
@@ -63,16 +106,7 @@ runInfer(const RunSpec &spec, models::MultiModalWorkload &workload,
     if (result->simLatencyUs.mean > 0.0)
         result->simThroughputSps = b * 1e6 / result->simLatencyUs.mean;
 
-    for (const profile::StageTimes &st :
-         profile::stageTimeBreakdown(last.timeline)) {
-        result->stages.push_back({st.stage, st.gpuUs, st.cpuUs});
-    }
-    for (size_t m = 0; m < workload.numModalities(); ++m) {
-        result->modalities.push_back(
-            {workload.dataSpec().modalities[m].name,
-             profile::encoderModalityGpuUs(last.timeline,
-                                           static_cast<int>(m))});
-    }
+    fillNodeBreakdowns(result, last, workload);
 
     result->memory.modelBytes = last.modelBytes;
     result->memory.datasetBytes = last.datasetBytes;
@@ -144,6 +178,77 @@ runTrain(const RunSpec &spec, models::MultiModalWorkload &workload,
     result->hasMetric = true;
 }
 
+void
+runServe(const RunSpec &spec, models::MultiModalWorkload &workload,
+         RunResult *result)
+{
+    auto task = workload.makeTask(spec.seed);
+    const int total = spec.serveRequests();
+    std::vector<data::Batch> batches;
+    batches.reserve(static_cast<size_t>(total));
+    for (int r = 0; r < total; ++r)
+        batches.push_back(task.sample(spec.batch));
+
+    workload.train(false);
+
+    // Warmup request: primes caches, builds the stage graph before
+    // concurrent requests race for it, and documents the chance-floor
+    // metric of the untrained network.
+    {
+        autograd::NoGradGuard no_grad;
+        autograd::Var out = workload.forward(batches[0]);
+        result->metric = workload.metric(out.value(), batches[0].targets);
+        result->hasMetric = true;
+    }
+
+    // Closed-loop serving: `inflight` request slots (the caller plus
+    // pool workers) each pull the next request as soon as their
+    // current one finishes. Per-request latency is the service time.
+    // Each request runs its graph sequentially — the pool is spent on
+    // request-level concurrency, and nested parallelFor would degrade
+    // to that anyway (parseRunSpec rejects serve + parallel up
+    // front; this keeps programmatic specs honest too).
+    pipeline::ScheduleOptions options;
+    options.policy = pipeline::SchedPolicy::Sequential;
+    std::vector<double> lat(static_cast<size_t>(total), 0.0);
+    // Clamp to the effective thread count so a --threads limit also
+    // bounds serving concurrency (a --threads sweep in serve mode
+    // must measure what it labels).
+    const int inflight =
+        std::min(std::max(1, spec.inflight), core::numThreads());
+    const double t0 = nowUs();
+    {
+        core::ScopedNumThreads limit(inflight);
+        core::parallelFor(
+            0, total, 1, [&](int64_t begin, int64_t end) {
+                for (int64_t i = begin; i < end; ++i) {
+                    autograd::NoGradGuard no_grad;
+                    const double s = nowUs();
+                    workload.forwardGraph(
+                        batches[static_cast<size_t>(i)], options);
+                    lat[static_cast<size_t>(i)] = nowUs() - s;
+                }
+            });
+    }
+    const double wall = nowUs() - t0;
+
+    result->hostLatencyUs = LatencyStats::fromSamples(lat);
+    if (wall > 0.0) {
+        result->throughputSps = static_cast<double>(total) *
+                                static_cast<double>(spec.batch) * 1e6 /
+                                wall;
+    }
+    result->serve.inflight = inflight;
+    result->serve.requests = total;
+    result->serve.wallUs = wall;
+
+    result->memory.modelBytes = workload.parameterBytes();
+    uint64_t dataset_bytes = 0;
+    for (const data::Batch &batch : batches)
+        dataset_bytes += batch.inputBytes();
+    result->memory.datasetBytes = dataset_bytes;
+}
+
 } // namespace
 
 RunResult
@@ -169,10 +274,17 @@ runOne(const RunSpec &spec)
 
     RunResult result;
     fillCommon(&result, spec, *workload);
-    if (spec.mode == RunMode::Infer)
+    switch (spec.mode) {
+      case RunMode::Infer:
         runInfer(spec, *workload, &result);
-    else
+        break;
+      case RunMode::Train:
         runTrain(spec, *workload, &result);
+        break;
+      case RunMode::Serve:
+        runServe(spec, *workload, &result);
+        break;
+    }
     return result;
 }
 
@@ -186,17 +298,23 @@ runOne(const RunSpec &spec, const std::vector<ResultSink *> &sinks)
 }
 
 std::vector<RunResult>
-runSmoke(const std::vector<ResultSink *> &sinks)
+runSmoke(const std::vector<ResultSink *> &sinks, const RunSpec *base)
 {
     std::vector<RunResult> results;
     for (const std::string &name :
          models::WorkloadRegistry::instance().names()) {
         RunSpec spec;
+        if (base)
+            spec = *base;
         spec.workload = name;
+        // Smoke always runs the tiny geometry, whatever the template
+        // says: it is a health check, not a measurement.
         spec.batch = 2;
         spec.sizeScale = 0.35f;
         spec.warmup = 1;
         spec.repeat = 2;
+        if (spec.mode == RunMode::Serve && spec.requests == 0)
+            spec.requests = spec.inflight * 2;
         results.push_back(runOne(spec, sinks));
     }
     return results;

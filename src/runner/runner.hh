@@ -23,16 +23,22 @@ namespace runner {
  * validate through parseRunSpec first).
  *
  * Infer mode: `warmup` untimed + `repeat` timed profiled passes over
- * one batch. Host latency percentiles come from the wall clock of the
- * timed passes; simulated latency, per-stage, per-modality and memory
- * stats come from the device-model replay. The task metric is the
- * untrained network's metric on the batch (documents the chance
- * floor).
+ * one batch, executed through the workload's stage graph under the
+ * spec's scheduler policy. Host latency percentiles come from the
+ * wall clock of the timed passes; simulated latency, per-stage,
+ * per-modality, per-node and memory stats come from the device-model
+ * replay of the node timeline. The task metric is the untrained
+ * network's metric on the batch (documents the chance floor).
  *
  * Train mode: `repeat` epochs of Adam on a synthetic training set
  * (4x batch, at least 64 samples); every optimizer step is timed and
  * feeds the latency percentiles. The metric is evaluated on a held-out
  * test batch after training.
+ *
+ * Serve mode: `requests` (default 8x inflight) closed-loop requests
+ * with `inflight` concurrent slots pipelined through the stage graph.
+ * Latency percentiles are per-request service times; throughput is
+ * aggregate samples per second over the serving window.
  */
 RunResult runOne(const RunSpec &spec);
 
@@ -43,9 +49,12 @@ RunResult runOne(const RunSpec &spec,
 /**
  * The CLI's --smoke sweep: one tiny spec (batch 2, scale 0.35,
  * 1 warmup + 2 repeats) per registered workload, each fed to the
- * sinks. Returns the results in registry order.
+ * sinks. `base` optionally seeds every spec (mode, scheduler policy,
+ * inflight, device, threads, fusion, seed); the tiny geometry always
+ * wins. Returns the results in registry order.
  */
-std::vector<RunResult> runSmoke(const std::vector<ResultSink *> &sinks);
+std::vector<RunResult> runSmoke(const std::vector<ResultSink *> &sinks,
+                                const RunSpec *base = nullptr);
 
 } // namespace runner
 } // namespace mmbench

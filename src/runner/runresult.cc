@@ -83,6 +83,9 @@ RunResult::toJson() const
     spec_json.set("warmup", static_cast<int64_t>(spec.warmup));
     spec_json.set("repeat", static_cast<int64_t>(spec.repeat));
     spec_json.set("device", spec.device);
+    spec_json.set("sched", pipeline::schedPolicyName(spec.sched));
+    spec_json.set("inflight", static_cast<int64_t>(spec.inflight));
+    spec_json.set("requests", static_cast<int64_t>(spec.requests));
     obj.set("spec", std::move(spec_json));
 
     obj.set("latency_us", hostLatencyUs.toJson());
@@ -108,6 +111,30 @@ RunResult::toJson() const
         modalities_json.push(std::move(row));
     }
     obj.set("modalities", std::move(modalities_json));
+
+    // Node timeline: direct per-node measurement of the stage graph
+    // (additive to the mmbench-result-v1 schema).
+    core::JsonValue nodes_json = core::JsonValue::array();
+    for (const NodeTime &nt : nodes) {
+        core::JsonValue row = core::JsonValue::object();
+        row.set("name", nt.name);
+        row.set("stage", nt.stage);
+        row.set("modality", static_cast<int64_t>(nt.modality));
+        row.set("host_us", nt.hostUs);
+        row.set("gpu_us", nt.gpuUs);
+        row.set("cpu_us", nt.cpuUs);
+        nodes_json.push(std::move(row));
+    }
+    obj.set("nodes", std::move(nodes_json));
+
+    // Serve-mode aggregates (additive; only present for mode=serve).
+    if (spec.mode == RunMode::Serve) {
+        core::JsonValue serve_json = core::JsonValue::object();
+        serve_json.set("inflight", static_cast<int64_t>(serve.inflight));
+        serve_json.set("requests", static_cast<int64_t>(serve.requests));
+        serve_json.set("wall_us", serve.wallUs);
+        obj.set("serve", std::move(serve_json));
+    }
 
     core::JsonValue mem = core::JsonValue::object();
     mem.set("model_bytes", memory.modelBytes);

@@ -56,6 +56,25 @@ struct ModalityTime
     double gpuUs = 0.0;
 };
 
+/** One stage-graph node's direct measurement (infer mode). */
+struct NodeTime
+{
+    std::string name;  ///< "preprocess:image", "encoder:audio", ...
+    std::string stage; ///< trace::stageName of the node's stage
+    int modality = -1; ///< modality index; -1 for fusion/head
+    double hostUs = 0.0; ///< measured host wall time of the node
+    double gpuUs = 0.0;  ///< simulated device time of its kernels
+    double cpuUs = 0.0;  ///< simulated launches + runtime ops
+};
+
+/** Serve-mode aggregates (mode == Serve only). */
+struct ServeStats
+{
+    int inflight = 0;    ///< concurrent in-flight requests
+    int requests = 0;    ///< total requests issued
+    double wallUs = 0.0; ///< wall clock of the whole serving window
+};
+
 /** Peak memory accounting of the run. */
 struct MemoryUse
 {
@@ -84,6 +103,10 @@ struct RunResult
 
     std::vector<StageTime> stages;         ///< infer mode only
     std::vector<ModalityTime> modalities;  ///< infer mode only
+    /** Stage-graph node timeline, node-id order (infer mode only). */
+    std::vector<NodeTime> nodes;
+    /** Serve-mode aggregates (mode == Serve only). */
+    ServeStats serve;
     MemoryUse memory;
 
     std::string metricName; ///< "Acc." / "F-1" / "MSE" / "DSC"

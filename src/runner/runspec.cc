@@ -12,30 +12,75 @@ namespace runner {
 const char *
 runModeName(RunMode mode)
 {
-    return mode == RunMode::Infer ? "infer" : "train";
+    switch (mode) {
+      case RunMode::Infer: return "infer";
+      case RunMode::Train: return "train";
+      case RunMode::Serve: return "serve";
+    }
+    MM_PANIC("invalid run mode");
+}
+
+namespace {
+
+/**
+ * The one accepted-alias table: parse, validation and the error
+ * message all read it, so adding a device model is a one-line change.
+ */
+struct DeviceAlias
+{
+    const char *alias;
+    sim::DeviceModel (*model)();
+};
+
+const DeviceAlias kDeviceAliases[] = {
+    {"2080ti", &sim::DeviceModel::rtx2080ti},
+    {"rtx2080ti", &sim::DeviceModel::rtx2080ti},
+    {"server", &sim::DeviceModel::rtx2080ti},
+    {"nano", &sim::DeviceModel::jetsonNano},
+    {"jetson-nano", &sim::DeviceModel::jetsonNano},
+    {"orin", &sim::DeviceModel::jetsonOrin},
+    {"jetson-orin", &sim::DeviceModel::jetsonOrin},
+};
+
+const DeviceAlias *
+findDevice(const std::string &name)
+{
+    const std::string d = toLower(name);
+    for (const DeviceAlias &alias : kDeviceAliases) {
+        if (d == alias.alias)
+            return &alias;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+const std::string &
+knownDeviceNames()
+{
+    static const std::string names = [] {
+        std::vector<std::string> aliases;
+        for (const DeviceAlias &alias : kDeviceAliases)
+            aliases.push_back(alias.alias);
+        return join(aliases, ", ");
+    }();
+    return names;
 }
 
 sim::DeviceModel
 RunSpec::deviceModel() const
 {
-    const std::string d = toLower(device);
-    if (d == "2080ti" || d == "rtx2080ti" || d == "server")
-        return sim::DeviceModel::rtx2080ti();
-    if (d == "nano" || d == "jetson-nano")
-        return sim::DeviceModel::jetsonNano();
-    if (d == "orin" || d == "jetson-orin")
-        return sim::DeviceModel::jetsonOrin();
-    MM_FATAL("unknown device '%s' (known: 2080ti, nano, orin)",
-             device.c_str());
+    const DeviceAlias *alias = findDevice(device);
+    if (!alias)
+        MM_FATAL("unknown device '%s' (known: %s)", device.c_str(),
+                 knownDeviceNames().c_str());
+    return alias->model();
 }
 
 bool
 isKnownDevice(const std::string &name)
 {
-    const std::string d = toLower(name);
-    return d == "2080ti" || d == "rtx2080ti" || d == "server" ||
-           d == "nano" || d == "jetson-nano" || d == "orin" ||
-           d == "jetson-orin";
+    return findDevice(name) != nullptr;
 }
 
 std::vector<std::string>
@@ -64,6 +109,12 @@ RunSpec::toArgs() const
     args.push_back(strfmt("%d", repeat));
     args.push_back("--device");
     args.push_back(device);
+    args.push_back("--sched");
+    args.push_back(pipeline::schedPolicyName(sched));
+    args.push_back("--inflight");
+    args.push_back(strfmt("%d", inflight));
+    args.push_back("--requests");
+    args.push_back(strfmt("%d", requests));
     return args;
 }
 
@@ -72,13 +123,14 @@ RunSpec::toString() const
 {
     return strfmt(
         "%s fusion=%s mode=%s batch=%lld threads=%d scale=%g seed=%llu "
-        "warmup=%d repeat=%d device=%s",
+        "warmup=%d repeat=%d device=%s sched=%s inflight=%d requests=%d",
         workload.c_str(),
         hasFusion ? fusion::fusionKindName(fusionKind) : "default",
         runModeName(mode), static_cast<long long>(batch), threads,
         static_cast<double>(sizeScale),
         static_cast<unsigned long long>(seed), warmup, repeat,
-        device.c_str());
+        device.c_str(), pipeline::schedPolicyName(sched), inflight,
+        requests);
 }
 
 namespace {
@@ -109,11 +161,10 @@ parseFloat(const std::string &text, float *out)
     return true;
 }
 
-} // namespace
-
+/** The flag grammar shared by spec and template parsing. */
 bool
-parseRunSpec(const std::vector<std::string> &args, RunSpec *spec,
-             std::string *error)
+parseSpecFlags(const std::vector<std::string> &args, RunSpec *spec,
+               std::string *error)
 {
     error->clear();
     for (size_t i = 0; i < args.size(); ++i) {
@@ -141,9 +192,11 @@ parseRunSpec(const std::vector<std::string> &args, RunSpec *spec,
                 spec->mode = RunMode::Infer;
             } else if (m == "train") {
                 spec->mode = RunMode::Train;
+            } else if (m == "serve") {
+                spec->mode = RunMode::Serve;
             } else {
                 *error = strfmt(
-                    "unknown mode '%s' (expected infer or train)",
+                    "unknown mode '%s' (expected infer, train or serve)",
                     value.c_str());
                 return false;
             }
@@ -197,26 +250,156 @@ parseRunSpec(const std::vector<std::string> &args, RunSpec *spec,
             spec->repeat = static_cast<int>(v);
         } else if (flag == "--device") {
             if (!isKnownDevice(value)) {
-                *error = strfmt("unknown device '%s' (known: 2080ti, "
-                                "nano, orin)", value.c_str());
+                *error = strfmt("unknown device '%s' (known: %s)",
+                                value.c_str(),
+                                knownDeviceNames().c_str());
                 return false;
             }
             spec->device = toLower(value);
+        } else if (flag == "--sched") {
+            pipeline::SchedPolicy policy;
+            if (!pipeline::tryParseSchedPolicy(value, &policy)) {
+                *error = strfmt("unknown scheduler policy '%s' "
+                                "(expected sequential or parallel)",
+                                value.c_str());
+                return false;
+            }
+            spec->sched = policy;
+        } else if (flag == "--inflight") {
+            int64_t v;
+            if (!parseInt64(value, &v) || v <= 0) {
+                *error = strfmt("--inflight expects a positive integer, "
+                                "got '%s'", value.c_str());
+                return false;
+            }
+            spec->inflight = static_cast<int>(v);
+        } else if (flag == "--requests") {
+            int64_t v;
+            if (!parseInt64(value, &v) || v < 0) {
+                *error = strfmt("--requests expects a non-negative "
+                                "integer, got '%s'", value.c_str());
+                return false;
+            }
+            spec->requests = static_cast<int>(v);
         } else {
             *error = strfmt("unknown flag '%s'", flag.c_str());
             return false;
         }
     }
-    if (spec->workload.empty()) {
-        *error = "missing --workload";
+    if (spec->mode == RunMode::Serve &&
+        spec->sched == pipeline::SchedPolicy::Parallel) {
+        // Serve requests already occupy the worker pool, so the
+        // intra-request parallel policy always degrades to sequential
+        // there; reject the combination instead of emitting records
+        // labeled with a policy that never ran.
+        *error = "--sched parallel has no effect in serve mode "
+                 "(in-flight requests already occupy the worker "
+                 "pool); use the default sequential";
         return false;
     }
-    if (!models::WorkloadRegistry::instance().find(spec->workload)) {
+    if (!spec->workload.empty() &&
+        !models::WorkloadRegistry::instance().find(spec->workload)) {
         *error = strfmt(
             "unknown workload '%s' (known: %s)", spec->workload.c_str(),
             join(models::WorkloadRegistry::instance().names(), ", ")
                 .c_str());
         return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+parseRunSpec(const std::vector<std::string> &args, RunSpec *spec,
+             std::string *error)
+{
+    if (!parseSpecFlags(args, spec, error))
+        return false;
+    if (spec->workload.empty()) {
+        *error = "missing --workload";
+        return false;
+    }
+    return true;
+}
+
+bool
+parseRunSpecTemplate(const std::vector<std::string> &args, RunSpec *spec,
+                     std::string *error)
+{
+    return parseSpecFlags(args, spec, error);
+}
+
+bool
+parseRunSpecs(const std::vector<std::string> &args,
+              std::vector<RunSpec> *specs, std::string *error)
+{
+    specs->clear();
+    error->clear();
+
+    // Locate sweepable flags and split their comma lists; everything
+    // else passes through untouched.
+    std::vector<std::string> batches = {""};
+    std::vector<std::string> threads = {""};
+    std::vector<std::string> scales = {""};
+    std::vector<std::string> rest;
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &flag = args[i];
+        const bool sweepable = flag == "--batch" || flag == "--threads" ||
+                               flag == "--scale";
+        if (!sweepable) {
+            rest.push_back(flag);
+            continue;
+        }
+        if (i + 1 >= args.size()) {
+            *error = strfmt("flag '%s' is missing its value",
+                            flag.c_str());
+            return false;
+        }
+        const std::vector<std::string> values = split(args[++i], ',');
+        if (values.empty()) {
+            *error = strfmt("flag '%s' has an empty value", flag.c_str());
+            return false;
+        }
+        for (const std::string &value : values) {
+            if (value.empty()) {
+                *error = strfmt("flag '%s' has an empty sweep entry",
+                                flag.c_str());
+                return false;
+            }
+        }
+        if (flag == "--batch")
+            batches = values;
+        else if (flag == "--threads")
+            threads = values;
+        else
+            scales = values;
+    }
+
+    // Cross-product, batch-major: every sink sees batches grouped
+    // together, then threads, then scales.
+    for (const std::string &b : batches) {
+        for (const std::string &t : threads) {
+            for (const std::string &s : scales) {
+                std::vector<std::string> single = rest;
+                if (!b.empty()) {
+                    single.push_back("--batch");
+                    single.push_back(b);
+                }
+                if (!t.empty()) {
+                    single.push_back("--threads");
+                    single.push_back(t);
+                }
+                if (!s.empty()) {
+                    single.push_back("--scale");
+                    single.push_back(s);
+                }
+                RunSpec spec;
+                if (!parseRunSpec(single, &spec, error))
+                    return false;
+                specs->push_back(std::move(spec));
+            }
+        }
     }
     return true;
 }

@@ -2,9 +2,12 @@
  * @file
  * RunSpec: the declarative description of one benchmark run —
  * workload, fusion implementation, mode, batch size, thread count,
- * size scale, seed and warmup/measure repetitions. One RunSpec fully
- * determines a run; the mmbench CLI parses its flags into a RunSpec
- * and the flags round-trip through toArgs().
+ * size scale, seed, warmup/measure repetitions, scheduler policy and
+ * (serve mode) concurrency. One RunSpec fully determines a run; the
+ * mmbench CLI parses its flags into a RunSpec and the flags round-trip
+ * through toArgs(). Comma-separated sweep values on --batch/--threads/
+ * --scale expand into the cross-product of RunSpecs via
+ * parseRunSpecs().
  */
 
 #ifndef MMBENCH_RUNNER_RUNSPEC_HH
@@ -15,6 +18,7 @@
 #include <vector>
 
 #include "fusion/fusion.hh"
+#include "pipeline/scheduler.hh"
 #include "sim/device.hh"
 
 namespace mmbench {
@@ -25,6 +29,7 @@ enum class RunMode
 {
     Infer, ///< repeated profiled inference passes over one batch
     Train, ///< timed optimizer steps on the synthetic task
+    Serve, ///< concurrent in-flight requests through the stage graph
 };
 
 const char *runModeName(RunMode mode);
@@ -52,6 +57,20 @@ struct RunSpec
     int repeat = 5;        ///< timed repetitions (train: epochs)
     std::string device = "2080ti"; ///< simulated device model
 
+    /** Stage-graph scheduler policy (infer and serve modes). */
+    pipeline::SchedPolicy sched = pipeline::SchedPolicy::Sequential;
+
+    /** Serve mode: concurrent in-flight requests. */
+    int inflight = 4;
+    /** Serve mode: total requests; 0 = 8x inflight. */
+    int requests = 0;
+
+    /** Total requests a serve run issues (resolves requests == 0). */
+    int serveRequests() const
+    {
+        return requests > 0 ? requests : inflight * 8;
+    }
+
     /** Resolve the device name ("2080ti" / "nano" / "orin"). */
     sim::DeviceModel deviceModel() const;
 
@@ -65,17 +84,36 @@ struct RunSpec
 /**
  * Parse CLI flags ("--workload", "--fusion", "--mode", "--batch",
  * "--threads", "--scale", "--seed", "--warmup", "--repeat",
- * "--device") into *spec. Flags not present keep the spec's current
- * values, so callers can pre-seed defaults. Fails with a message in
- * *error on unknown flags, malformed values, or unknown
- * workload/fusion/device names; the workload must name a registered
- * workload.
+ * "--device", "--sched", "--inflight", "--requests") into *spec.
+ * Flags not present keep the spec's current values, so callers can
+ * pre-seed defaults. Fails with a message in *error on unknown flags,
+ * malformed values, or unknown workload/fusion/device names; the
+ * workload must name a registered workload.
  */
 bool parseRunSpec(const std::vector<std::string> &args, RunSpec *spec,
                   std::string *error);
 
+/**
+ * Like parseRunSpec but the workload may stay unset: used for
+ * spec templates (`mmbench run --smoke --mode serve`) whose workload
+ * is filled in per run later.
+ */
+bool parseRunSpecTemplate(const std::vector<std::string> &args,
+                          RunSpec *spec, std::string *error);
+
+/**
+ * Sweep-aware parse: comma-separated lists on --batch, --threads and
+ * --scale expand into the cross-product of RunSpecs (batch-major,
+ * then threads, then scale). A plain spec yields exactly one entry.
+ */
+bool parseRunSpecs(const std::vector<std::string> &args,
+                   std::vector<RunSpec> *specs, std::string *error);
+
 /** True when the name resolves to a device model preset. */
 bool isKnownDevice(const std::string &name);
+
+/** Comma-separated list of every accepted device alias. */
+const std::string &knownDeviceNames();
 
 } // namespace runner
 } // namespace mmbench

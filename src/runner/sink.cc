@@ -78,7 +78,8 @@ const std::vector<std::string> kCsvHeader = {
     "sim_p50_us", "sim_throughput_sps", "encoder_gpu_us",
     "fusion_gpu_us", "head_gpu_us", "model_bytes",
     "dataset_bytes", "peak_intermediate_bytes", "metric_name",
-    "metric",
+    "metric",        "sched",          "inflight",
+    "requests",      "serve_wall_us",
 };
 
 } // namespace
@@ -122,6 +123,10 @@ CsvSink::write(const RunResult &r)
                            r.memory.peakIntermediateBytes)),
         r.hasMetric ? r.metricName : "",
         r.hasMetric ? numfmt::f3(r.metric) : "",
+        pipeline::schedPolicyName(r.spec.sched),
+        strfmt("%d", r.serve.inflight),
+        strfmt("%d", r.serve.requests),
+        numfmt::f3(r.serve.wallUs),
     });
 }
 

@@ -78,5 +78,29 @@ Timeline::replay(const trace::RecordingSink &trace) const
     return result;
 }
 
+std::vector<NodeTimes>
+splitByNodes(const TimelineResult &result,
+             const std::vector<size_t> &kernel_start,
+             const std::vector<size_t> &runtime_start)
+{
+    MM_ASSERT(kernel_start.size() == runtime_start.size() &&
+                  !kernel_start.empty(),
+              "malformed node boundaries");
+    MM_ASSERT(kernel_start.back() == result.kernels.size() &&
+                  runtime_start.back() == result.runtimeOps.size(),
+              "node boundaries do not cover the replayed timeline");
+    const size_t num_nodes = kernel_start.size() - 1;
+    std::vector<NodeTimes> nodes(num_nodes);
+    for (size_t n = 0; n < num_nodes; ++n) {
+        for (size_t k = kernel_start[n]; k < kernel_start[n + 1]; ++k) {
+            nodes[n].gpuUs += result.kernels[k].cost.timeUs;
+            nodes[n].cpuUs += result.kernels[k].cost.launchUs;
+        }
+        for (size_t r = runtime_start[n]; r < runtime_start[n + 1]; ++r)
+            nodes[n].cpuUs += result.runtimeOps[r].timeUs;
+    }
+    return nodes;
+}
+
 } // namespace sim
 } // namespace mmbench

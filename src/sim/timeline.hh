@@ -78,6 +78,26 @@ class Timeline
     DeviceModel device_;
 };
 
+/** One stage-graph node's share of a replayed timeline. */
+struct NodeTimes
+{
+    double gpuUs = 0.0; ///< device time of the node's kernels
+    double cpuUs = 0.0; ///< launches + prep + copies + syncs
+};
+
+/**
+ * Attribute a replayed merged node timeline back to its nodes. The
+ * boundary vectors come from pipeline::mergeNodeTraces: node i owns
+ * kernels [kernel_start[i], kernel_start[i+1]) and runtime ops
+ * [runtime_start[i], runtime_start[i+1]) of the replay, which
+ * schedules the merged stream in the same order. This is the direct
+ * per-node measurement behind the runner's stage/modality breakdowns.
+ */
+std::vector<NodeTimes>
+splitByNodes(const TimelineResult &result,
+             const std::vector<size_t> &kernel_start,
+             const std::vector<size_t> &runtime_start);
+
 } // namespace sim
 } // namespace mmbench
 

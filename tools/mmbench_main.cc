@@ -7,12 +7,17 @@
  *
  *   mmbench list [--json]
  *   mmbench run --workload av-mnist --fusion tensor --batch 8
- *               [--mode infer|train] [--threads N] [--scale F]
+ *               [--mode infer|train|serve] [--threads N] [--scale F]
  *               [--seed N] [--warmup N] [--repeat N]
  *               [--device 2080ti|nano|orin]
+ *               [--sched sequential|parallel]
+ *               [--inflight N] [--requests N]
  *               [--json PATH|-] [--csv PATH] [--quiet]
- *   mmbench run --smoke [--json PATH|-] [--csv PATH] [--quiet]
- *   mmbench fig --id fig06 | --list | --all
+ *   mmbench run --smoke [spec template flags] [--json PATH|-] ...
+ *   mmbench fig --id fig06 | --list | --all  [--json PATH] [--csv PATH]
+ *
+ * Comma-separated sweep lists on --batch/--threads/--scale expand into
+ * the cross-product of RunSpecs, all fed to the same sinks.
  */
 
 #include <cstdio>
@@ -22,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common.hh"
 #include "core/json.hh"
 #include "core/logging.hh"
 #include "core/table.hh"
@@ -44,27 +50,36 @@ usage(FILE *to)
         "\n"
         "commands:\n"
         "  list [--json]           registered workloads and experiments\n"
-        "  run  [spec flags]       run one RunSpec on the shared runner\n"
+        "  run  [spec flags]       run RunSpecs on the shared runner\n"
         "       --workload NAME    registered workload (required unless "
         "--smoke)\n"
         "       --fusion KIND      fusion implementation (default: the\n"
         "                          workload's canonical fusion)\n"
-        "       --mode MODE        infer (default) or train\n"
-        "       --batch N          batch size (default 8)\n"
-        "       --threads N        worker threads (default: pool)\n"
-        "       --scale F          size scale (default 1.0)\n"
+        "       --mode MODE        infer (default), train or serve\n"
+        "       --batch N[,N...]   batch size sweep (default 8)\n"
+        "       --threads N[,N...] worker-thread sweep (default: pool)\n"
+        "       --scale F[,F...]   size-scale sweep (default 1.0)\n"
         "       --seed N           weights/data seed (default 42)\n"
         "       --warmup N         untimed repetitions (default 1)\n"
         "       --repeat N         timed repetitions (default 5)\n"
         "       --device NAME      2080ti (default), nano, orin\n"
+        "       --sched POLICY     stage-graph scheduler: sequential\n"
+        "                          (default) or parallel\n"
+        "       --inflight N       serve mode: concurrent requests "
+        "(default 4)\n"
+        "       --requests N       serve mode: total requests "
+        "(default 8x inflight)\n"
         "       --json PATH        append JSON Lines results ('-' = "
         "stdout)\n"
         "       --csv PATH         write CSV results\n"
         "       --quiet            suppress the table output\n"
-        "       --smoke            one tiny spec per workload\n"
+        "       --smoke            one tiny spec per workload; other\n"
+        "                          spec flags act as the template\n"
         "  fig  --id ID            run one registered experiment\n"
         "       --list             list experiment ids\n"
         "       --all              run every experiment\n"
+        "       --json PATH        also write tables as JSONL records\n"
+        "       --csv PATH         also write tables as long-format CSV\n"
         "  help                    this message\n");
     return to == stdout ? 0 : 2;
 }
@@ -169,21 +184,30 @@ cmdRun(const std::vector<std::string> &args)
     }
 
     if (smoke) {
-        if (!spec_args.empty()) {
-            std::fprintf(stderr,
-                         "mmbench run --smoke takes no spec flags "
-                         "(got '%s')\n", spec_args[0].c_str());
-            return 2;
-        }
-        runner::runSmoke(sinks);
-    } else {
-        runner::RunSpec spec;
+        // Remaining spec flags become the template every smoke spec
+        // starts from (e.g. --mode serve --inflight 4).
+        runner::RunSpec base;
         std::string error;
-        if (!runner::parseRunSpec(spec_args, &spec, &error)) {
+        if (!runner::parseRunSpecTemplate(spec_args, &base, &error)) {
             std::fprintf(stderr, "mmbench run: %s\n", error.c_str());
             return 2;
         }
-        runner::runOne(spec, sinks);
+        if (!base.workload.empty()) {
+            std::fprintf(stderr,
+                         "mmbench run --smoke covers every workload; "
+                         "drop --workload\n");
+            return 2;
+        }
+        runner::runSmoke(sinks, &base);
+    } else {
+        std::vector<runner::RunSpec> specs;
+        std::string error;
+        if (!runner::parseRunSpecs(spec_args, &specs, &error)) {
+            std::fprintf(stderr, "mmbench run: %s\n", error.c_str());
+            return 2;
+        }
+        for (const runner::RunSpec &spec : specs)
+            runner::runOne(spec, sinks);
     }
     for (runner::ResultSink *sink : sinks)
         sink->flush();
@@ -197,17 +221,24 @@ cmdRun(const std::vector<std::string> &args)
 int
 cmdFig(const std::vector<std::string> &args)
 {
-    std::string id;
+    std::string id, json_path, csv_path;
     bool list = false, all = false;
     for (size_t i = 0; i < args.size(); ++i) {
         const std::string &arg = args[i];
-        if (arg == "--id") {
+        if (arg == "--id" || arg == "--json" || arg == "--csv") {
             if (i + 1 >= args.size()) {
                 std::fprintf(stderr,
-                             "mmbench fig: '--id' is missing its value\n");
+                             "mmbench fig: '%s' is missing its value\n",
+                             arg.c_str());
                 return 2;
             }
-            id = args[++i];
+            const std::string &value = args[++i];
+            if (arg == "--id")
+                id = value;
+            else if (arg == "--json")
+                json_path = value;
+            else
+                csv_path = value;
         } else if (arg == "--list") {
             list = true;
         } else if (arg == "--all") {
@@ -226,24 +257,42 @@ cmdFig(const std::vector<std::string> &args)
                         experiment->title.c_str());
         return 0;
     }
+
+    // Validate the invocation fully before touching the output
+    // files: setFigOutput truncates them, and a typo in --id must not
+    // destroy previously collected results.
+    const runner::Experiment *experiment = nullptr;
+    if (!all) {
+        if (id.empty()) {
+            std::fprintf(
+                stderr,
+                "mmbench fig: expected --id <id>, --list or --all\n");
+            return 2;
+        }
+        experiment = registry.find(id);
+        if (!experiment) {
+            std::fprintf(stderr,
+                         "mmbench fig: unknown experiment '%s' "
+                         "(try: mmbench fig --list)\n", id.c_str());
+            return 2;
+        }
+    }
+
+    // Route every table the experiments emit through the shared
+    // JSONL/CSV result formats as well as stdout.
+    benchutil::setFigOutput(json_path, csv_path);
+    auto run_experiment = [](const runner::Experiment *e) {
+        benchutil::setCurrentExperiment(e->id);
+        return e->run();
+    };
+
     if (all) {
         int rc = 0;
-        for (const runner::Experiment *experiment : registry.list())
-            rc |= experiment->run();
+        for (const runner::Experiment *e : registry.list())
+            rc |= run_experiment(e);
         return rc;
     }
-    if (id.empty()) {
-        std::fprintf(stderr,
-                     "mmbench fig: expected --id <id>, --list or --all\n");
-        return 2;
-    }
-    const runner::Experiment *experiment = registry.find(id);
-    if (!experiment) {
-        std::fprintf(stderr, "mmbench fig: unknown experiment '%s' "
-                             "(try: mmbench fig --list)\n", id.c_str());
-        return 2;
-    }
-    return experiment->run();
+    return run_experiment(experiment);
 }
 
 } // namespace
