@@ -81,6 +81,28 @@ setCurrentExperiment(const std::string &id)
     figOutput().experimentId = id;
 }
 
+const std::string &
+figJsonPath()
+{
+    return figOutput().jsonPath;
+}
+
+namespace {
+bool g_smoke_mode = false;
+} // namespace
+
+void
+setSmokeMode(bool on)
+{
+    g_smoke_mode = on;
+}
+
+bool
+smokeMode()
+{
+    return g_smoke_mode;
+}
+
 void
 emitTable(const TextTable &table, const std::string &label)
 {

@@ -48,6 +48,25 @@ void setCurrentExperiment(const std::string &id);
 /** Print the table and append it to the configured fig outputs. */
 void emitTable(const TextTable &table, const std::string &label = "");
 
+/**
+ * The configured fig JSONL path ("" = none). Experiments that also
+ * produce RunResults (e.g. latency_vs_load) append the full
+ * "mmbench-result-v1" workload records here so machine consumers get
+ * raw numbers next to the formatted figure tables.
+ */
+const std::string &figJsonPath();
+
+/** @} */
+
+/**
+ * @name Smoke mode
+ * `mmbench fig --smoke` shrinks experiments that support it to a
+ * seconds-scale CI health check (tiny geometry, few requests).
+ * Experiments read the flag via smokeMode(); most ignore it.
+ * @{
+ */
+void setSmokeMode(bool on);
+bool smokeMode();
 /** @} */
 
 /**

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Latency vs offered load — the serving measurement per-kernel numbers
+ * cannot predict (the end-to-end claim of the paper, measured the way
+ * MLPerf Inference's server scenario does).
+ *
+ * The experiment first runs a closed loop to find the serving capacity
+ * (achieved requests/second with every slot busy), then sweeps an
+ * open-loop Poisson arrival process across fractions of that capacity,
+ * from light load deep into saturation. Expected shape: p50 stays near
+ * the service time until the knee, while queueing delay sends p99
+ * through the roof as offered load crosses capacity — the classic
+ * hockey-stick latency curve. A final sweep point repeats the highest
+ * load with request coalescing to show the batched-serving trade-off:
+ * fewer, larger service batches buy back throughput at the cost of
+ * per-request latency under light load.
+ *
+ * Every sweep point also appends its full "mmbench-result-v1" workload
+ * record (queue_us / service_us / offered_rps / achieved_rps) to the
+ * `mmbench fig --json` file, so the curve is machine-readable next to
+ * the formatted table.
+ */
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common.hh"
+#include "core/logging.hh"
+#include "core/parallel.hh"
+#include "core/table.hh"
+#include "runner/experiment.hh"
+#include "runner/runner.hh"
+#include "runner/sink.hh"
+
+using namespace mmbench;
+
+namespace {
+
+void
+addRow(TextTable *table, const char *label,
+       const runner::RunResult &r)
+{
+    table->addRow({label,
+                   numfmt::f1(r.serve.offeredRps),
+                   numfmt::f1(r.serve.achievedRps),
+                   numfmt::f1(r.hostLatencyUs.p50),
+                   numfmt::f1(r.hostLatencyUs.p95),
+                   numfmt::f1(r.hostLatencyUs.p99),
+                   numfmt::f1(r.serve.queueUs.p50),
+                   numfmt::f1(r.serve.queueUs.p99),
+                   numfmt::f1(r.serve.serviceUs.p50),
+                   strfmt("%d", r.serve.batches)});
+}
+
+int
+run()
+{
+    const bool smoke = benchutil::smokeMode();
+    benchutil::printTitle(
+        "latency_vs_load",
+        "Tail latency vs offered load: closed-loop capacity anchor, "
+        "then an open-loop Poisson sweep (queue wait + service time "
+        "reported separately; all times in microseconds).");
+
+    runner::RunSpec base;
+    base.workload = "av-mnist";
+    base.mode = runner::RunMode::Serve;
+    base.batch = 2;
+    base.sizeScale = smoke ? 0.35f : 1.0f;
+    base.inflight = std::min(4, core::numThreads());
+    base.requests = smoke ? 32 : 128;
+    base.seed = 42;
+
+    // Workload records go to the fig JSONL file (when configured) so
+    // CI and notebooks read raw serve.queue_us/offered_rps fields.
+    // Scoped: the sink must flush before emitTable appends the
+    // figure record to the same file.
+    std::unique_ptr<runner::JsonlSink> jsonl;
+    std::vector<runner::ResultSink *> sinks;
+    if (!benchutil::figJsonPath().empty()) {
+        jsonl = std::make_unique<runner::JsonlSink>(
+            benchutil::figJsonPath());
+        sinks.push_back(jsonl.get());
+    }
+
+    TextTable table({"Arrival", "Offered rps", "Achieved rps",
+                     "p50", "p95", "p99", "Queue p50", "Queue p99",
+                     "Service p50", "Batches"});
+
+    // Closed loop saturates every slot: its achieved rate is the
+    // serving capacity that anchors the sweep.
+    const runner::RunResult closed = runner::runOne(base, sinks);
+    addRow(&table, "closed", closed);
+    table.addSeparator();
+    const double capacity = closed.serve.achievedRps;
+
+    // Fractions of capacity, light load to past saturation. The
+    // smoke ladder keeps three well-separated points so the p99
+    // monotonicity check in CI is robust to scheduler noise.
+    const std::vector<double> fractions =
+        smoke ? std::vector<double>{0.3, 1.5, 6.0}
+              : std::vector<double>{0.25, 0.5, 0.8, 1.2, 2.0, 4.0};
+
+    runner::RunSpec open = base;
+    open.arrival = pipeline::ArrivalKind::Poisson;
+    double top_rate = 0.0;
+    for (double f : fractions) {
+        open.rateRps = f * capacity;
+        top_rate = open.rateRps;
+        addRow(&table, strfmt("poisson %.2fx", f).c_str(),
+               runner::runOne(open, sinks));
+    }
+
+    // The same overload, with the dispatcher allowed to coalesce up
+    // to 8 queued requests into one service batch.
+    table.addSeparator();
+    open.rateRps = top_rate;
+    open.coalesce = 8;
+    addRow(&table, "poisson +coalesce8", runner::runOne(open, sinks));
+
+    if (jsonl) {
+        jsonl->flush();
+        jsonl.reset();
+    }
+    benchutil::emitTable(table, "load");
+    benchutil::note(strfmt(
+        "capacity anchor: closed loop at inflight=%d achieved %.1f "
+        "req/s; expected shape: p99 grows monotonically with offered "
+        "load (queueing delay dominates past the knee), and "
+        "coalescing trades per-request latency for fewer, larger "
+        "service batches.", closed.serve.inflight, capacity));
+    return 0;
+}
+
+} // namespace
+
+MMBENCH_REGISTER_EXPERIMENT(load,
+    "Tail latency vs offered load (open-loop Poisson serve sweep)",
+    run);

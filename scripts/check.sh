@@ -14,6 +14,15 @@ cmake -B "$BUILD_DIR" -S . \
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+# The JSONL sinks append (trajectory files accumulate across runs),
+# but the smoke legs below are a health check validated line by line:
+# start them from clean files so stale records from a previous
+# check.sh run in the same workspace can't fail (or mask) the checks.
+rm -f "$BUILD_DIR"/BENCH_smoke.jsonl "$BUILD_DIR"/BENCH_smoke.csv \
+      "$BUILD_DIR"/BENCH_serve.jsonl \
+      "$BUILD_DIR"/BENCH_serve_openloop.jsonl \
+      "$BUILD_DIR"/BENCH_ops_micro.jsonl
+
 # CI smoke run of the kernel microbenchmarks (also exercises the
 # parallel runtime end to end). The --json output shares the runner's
 # "mmbench-result-v1" schema so kernels and workloads land in one
@@ -36,20 +45,52 @@ MMBENCH_NUM_THREADS=4 "$BUILD_DIR/mmbench" run --smoke \
     --mode serve --inflight 4 --quiet \
     --json "$BUILD_DIR/BENCH_serve.jsonl"
 
+# Open-loop serving leg: the latency-vs-load experiment sweeps a
+# Poisson arrival process across fractions of the measured closed-loop
+# capacity and appends raw workload records (queue wait + service
+# time, offered vs achieved rate) next to the figure table.
+MMBENCH_NUM_THREADS=4 "$BUILD_DIR/mmbench" fig --id load --smoke \
+    --json "$BUILD_DIR/BENCH_serve_openloop.jsonl"
+
 # Every emitted line must be valid JSON with the shared schema tag;
-# serve records must carry the serve aggregates.
+# serve records must carry the serve aggregates, open-loop records
+# the queue accounting, and the open-loop sweep a p99 that grows
+# monotonically with offered load.
 python3 - "$BUILD_DIR/BENCH_smoke.jsonl" "$BUILD_DIR/BENCH_serve.jsonl" \
+    "$BUILD_DIR/BENCH_serve_openloop.jsonl" \
     "$BUILD_DIR/BENCH_ops_micro.jsonl" <<'EOF'
 import json, sys
+load_points = []
 for path in sys.argv[1:]:
     with open(path) as fh:
         for line in fh:
             record = json.loads(line)
             assert record["schema"] == "mmbench-result-v1", path
+            if record.get("kind") == "figure":
+                continue
             assert "latency_us" in record and "p50" in record["latency_us"], path
             if record.get("spec", {}).get("mode") == "serve":
                 serve = record["serve"]
                 assert serve["inflight"] >= 1 and serve["requests"] >= 1, path
                 assert serve["wall_us"] > 0, path
+                assert serve["queue_us"]["count"] == serve["requests"], path
+                assert serve["queue_us"]["min"] >= 0, path
+                assert serve["service_us"]["p50"] > 0, path
+                if serve["arrival"] == "closed":
+                    assert serve["queue_us"]["max"] == 0, path
+                    assert serve["offered_rps"] == 0, path
+                else:
+                    assert serve["offered_rps"] > 0, path
+                    assert serve["achieved_rps"] > 0, path
+                if serve["arrival"] == "poisson" and serve["coalesce"] == 1:
+                    load_points.append(
+                        (serve["offered_rps"], record["latency_us"]["p99"]))
+assert len(load_points) >= 3, "expected an open-loop rate sweep"
+load_points.sort()
+for (lo_rate, lo_p99), (hi_rate, hi_p99) in zip(load_points, load_points[1:]):
+    assert hi_p99 >= lo_p99, (
+        f"p99 not monotone in offered load: {lo_rate:.0f} rps -> {lo_p99:.0f} us "
+        f"but {hi_rate:.0f} rps -> {hi_p99:.0f} us")
 print("json trajectory files OK:", ", ".join(sys.argv[1:]))
+print("open-loop p99 monotone across", len(load_points), "rate points")
 EOF

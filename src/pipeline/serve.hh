@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Serving request queue and dispatcher.
+ *
+ * The load-generation half of serve mode: an arrival process turns
+ * `--requests` into a deterministic schedule of arrival instants, and
+ * runServeLoop() drives `inflight` request slots (the caller plus core
+ * worker-pool threads) over that schedule, accounting queueing delay
+ * (arrival -> service start) separately from service time (start ->
+ * completion).
+ *
+ * Two families of arrival process:
+ *
+ *  - Closed loop (`ArrivalKind::Closed`): every slot pulls the next
+ *    request the instant its current one finishes, through an atomic
+ *    next-request cursor that hands out exactly one request per pull —
+ *    never a block. There is no queue, so queue wait is zero by
+ *    construction and per-request latency equals service time.
+ *  - Open loop (`Poisson` / `Fixed`): requests arrive on their own
+ *    schedule regardless of server progress — the measurement MLPerf
+ *    Inference's server scenario makes. Arrived-but-unserved requests
+ *    wait in a FIFO queue; latency = queue wait + service time. The
+ *    dispatcher can optionally coalesce up to `coalesce` already-
+ *    arrived requests into one service batch (the batched-serving
+ *    throughput/latency trade-off).
+ *
+ * The schedule is generated from a seed before the clock starts, so a
+ * fixed (kind, requests, rate, seed) tuple is bit-reproducible.
+ */
+
+#ifndef MMBENCH_PIPELINE_SERVE_HH
+#define MMBENCH_PIPELINE_SERVE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mmbench {
+namespace pipeline {
+
+/** How serve-mode requests are issued. */
+enum class ArrivalKind
+{
+    Closed,  ///< next request issued when a slot frees (no queue)
+    Poisson, ///< open loop, exponential inter-arrivals at `rate`
+    Fixed,   ///< open loop, constant inter-arrival 1/rate
+};
+
+const char *arrivalKindName(ArrivalKind kind);
+bool tryParseArrivalKind(const std::string &name, ArrivalKind *kind);
+
+/** True for the open-loop kinds (Poisson / Fixed). */
+bool isOpenLoop(ArrivalKind kind);
+
+/**
+ * Arrival instants in microseconds from stream start, one per request,
+ * non-decreasing. Poisson draws exponential inter-arrival gaps with
+ * mean 1/rate_rps from a generator seeded with `seed`; Fixed places
+ * request i at exactly i/rate_rps. Deterministic: the same arguments
+ * always produce the bit-identical schedule. Closed has no schedule
+ * and returns an empty vector.
+ */
+std::vector<double> arrivalScheduleUs(ArrivalKind kind, int requests,
+                                      double rate_rps, uint64_t seed);
+
+/** When one request arrived, started service, and completed. */
+struct RequestTiming
+{
+    double arrivalUs = 0.0; ///< offset from stream start
+    double startUs = 0.0;   ///< service began (== arrival when closed)
+    double endUs = 0.0;     ///< service completed
+
+    double queueUs() const { return startUs - arrivalUs; }
+    double serviceUs() const { return endUs - startUs; }
+    double latencyUs() const { return endUs - arrivalUs; }
+};
+
+/** Load-generation parameters of one serve stream. */
+struct ServeLoopOptions
+{
+    ArrivalKind arrival = ArrivalKind::Closed;
+    double rateRps = 0.0; ///< open-loop offered rate, requests/second
+    uint64_t seed = 42;   ///< arrival-schedule seed (open loop only)
+    int inflight = 4;     ///< concurrent request slots
+    /**
+     * Open loop only: dequeue up to this many already-arrived requests
+     * into one service call. 1 = no coalescing. Closed loop always
+     * serves one request per call.
+     */
+    int coalesce = 1;
+};
+
+/** What one serve stream measured. */
+struct ServeLoopResult
+{
+    std::vector<RequestTiming> requests; ///< indexed by request id
+    int serviceCalls = 0; ///< service invocations (< requests when coalesced)
+    double wallUs = 0.0;  ///< stream start to last completion
+};
+
+/**
+ * Serve requests [first, first + count). count > 1 only when
+ * options.coalesce allows it; coalesced requests are consecutive ids
+ * in arrival (FIFO) order.
+ */
+using ServiceFn = std::function<void(int first, int count)>;
+
+/**
+ * Run one serve stream of `total` requests on the core worker pool:
+ * min(inflight, pool threads) slots execute `service` concurrently,
+ * one coalesce group at a time. Blocks until every request completed;
+ * requests are dispatched strictly in id order.
+ */
+ServeLoopResult runServeLoop(int total, const ServeLoopOptions &options,
+                             const ServiceFn &service);
+
+} // namespace pipeline
+} // namespace mmbench
+
+#endif // MMBENCH_PIPELINE_SERVE_HH

@@ -8,7 +8,9 @@
 #include "core/parallel.hh"
 #include "data/loader.hh"
 #include "models/registry.hh"
+#include "pipeline/serve.hh"
 #include "profile/profiler.hh"
+#include "tensor/ops.hh"
 #include "trace/event.hh"
 
 namespace mmbench {
@@ -178,6 +180,37 @@ runTrain(const RunSpec &spec, models::MultiModalWorkload &workload,
     result->hasMetric = true;
 }
 
+/**
+ * Concatenate the coalesced requests' pre-sampled batches into one
+ * service batch (row-wise, request order). Assembly cost is part of
+ * the coalesced request's service time, as it would be in a real
+ * batching server.
+ */
+data::Batch
+coalesceBatches(const std::vector<data::Batch> &batches, int first,
+                int count)
+{
+    data::Batch fused;
+    const size_t modalities = batches[static_cast<size_t>(first)]
+                                  .modalities.size();
+    for (size_t m = 0; m < modalities; ++m) {
+        std::vector<tensor::Tensor> parts;
+        parts.reserve(static_cast<size_t>(count));
+        for (int i = first; i < first + count; ++i)
+            parts.push_back(
+                batches[static_cast<size_t>(i)].modalities[m]);
+        fused.modalities.push_back(tensor::concat(parts, 0));
+    }
+    std::vector<tensor::Tensor> targets;
+    targets.reserve(static_cast<size_t>(count));
+    for (int i = first; i < first + count; ++i) {
+        targets.push_back(batches[static_cast<size_t>(i)].targets);
+        fused.size += batches[static_cast<size_t>(i)].size;
+    }
+    fused.targets = tensor::concat(targets, 0);
+    return fused;
+}
+
 void
 runServe(const RunSpec &spec, models::MultiModalWorkload &workload,
          RunResult *result)
@@ -188,59 +221,89 @@ runServe(const RunSpec &spec, models::MultiModalWorkload &workload,
     batches.reserve(static_cast<size_t>(total));
     for (int r = 0; r < total; ++r)
         batches.push_back(task.sample(spec.batch));
+    // The warmup request gets its own batch: it primes caches and
+    // builds the stage graph before concurrent requests race for it,
+    // but must not belong to the timed stream — reusing request 0
+    // would serve one just-warmed batch among otherwise cold ones.
+    data::Batch warmup_batch = task.sample(spec.batch);
 
     workload.train(false);
 
-    // Warmup request: primes caches, builds the stage graph before
-    // concurrent requests race for it, and documents the chance-floor
-    // metric of the untrained network.
+    // Warmup request, which also documents the chance-floor metric of
+    // the untrained network.
     {
         autograd::NoGradGuard no_grad;
-        autograd::Var out = workload.forward(batches[0]);
-        result->metric = workload.metric(out.value(), batches[0].targets);
+        autograd::Var out = workload.forward(warmup_batch);
+        result->metric =
+            workload.metric(out.value(), warmup_batch.targets);
         result->hasMetric = true;
     }
 
-    // Closed-loop serving: `inflight` request slots (the caller plus
-    // pool workers) each pull the next request as soon as their
-    // current one finishes. Per-request latency is the service time.
     // Each request runs its graph sequentially — the pool is spent on
     // request-level concurrency, and nested parallelFor would degrade
     // to that anyway (parseRunSpec rejects serve + parallel up
-    // front; this keeps programmatic specs honest too).
+    // front; this keeps programmatic specs honest too). Per-request
+    // trace capture stays off on the serve hot path: nothing consumes
+    // node traces here, and capturing would allocate a RecordingSink
+    // per node per request (test_pipeline pins this stays empty).
     pipeline::ScheduleOptions options;
     options.policy = pipeline::SchedPolicy::Sequential;
-    std::vector<double> lat(static_cast<size_t>(total), 0.0);
+    options.captureTraces = false;
+
     // Clamp to the effective thread count so a --threads limit also
     // bounds serving concurrency (a --threads sweep in serve mode
     // must measure what it labels).
     const int inflight =
         std::min(std::max(1, spec.inflight), core::numThreads());
-    const double t0 = nowUs();
-    {
-        core::ScopedNumThreads limit(inflight);
-        core::parallelFor(
-            0, total, 1, [&](int64_t begin, int64_t end) {
-                for (int64_t i = begin; i < end; ++i) {
-                    autograd::NoGradGuard no_grad;
-                    const double s = nowUs();
-                    workload.forwardGraph(
-                        batches[static_cast<size_t>(i)], options);
-                    lat[static_cast<size_t>(i)] = nowUs() - s;
-                }
-            });
-    }
-    const double wall = nowUs() - t0;
 
-    result->hostLatencyUs = LatencyStats::fromSamples(lat);
+    pipeline::ServeLoopOptions loop;
+    loop.arrival = spec.arrival;
+    loop.rateRps = spec.rateRps;
+    loop.seed = spec.seed;
+    loop.inflight = inflight;
+    loop.coalesce = spec.coalesce;
+
+    const pipeline::ServeLoopResult stream = pipeline::runServeLoop(
+        total, loop, [&](int first, int count) {
+            autograd::NoGradGuard no_grad;
+            if (count == 1) {
+                workload.forwardGraph(
+                    batches[static_cast<size_t>(first)], options);
+            } else {
+                workload.forwardGraph(
+                    coalesceBatches(batches, first, count), options);
+            }
+        });
+
+    std::vector<double> latency, queue, service;
+    latency.reserve(stream.requests.size());
+    queue.reserve(stream.requests.size());
+    service.reserve(stream.requests.size());
+    for (const pipeline::RequestTiming &t : stream.requests) {
+        latency.push_back(t.latencyUs());
+        queue.push_back(t.queueUs());
+        service.push_back(t.serviceUs());
+    }
+    result->hostLatencyUs = LatencyStats::fromSamples(latency);
+    result->serve.queueUs = LatencyStats::fromSamples(queue);
+    result->serve.serviceUs = LatencyStats::fromSamples(service);
+
+    const double wall = stream.wallUs;
     if (wall > 0.0) {
         result->throughputSps = static_cast<double>(total) *
                                 static_cast<double>(spec.batch) * 1e6 /
                                 wall;
+        result->serve.achievedRps =
+            static_cast<double>(total) * 1e6 / wall;
     }
     result->serve.inflight = inflight;
     result->serve.requests = total;
     result->serve.wallUs = wall;
+    result->serve.arrival = pipeline::arrivalKindName(spec.arrival);
+    result->serve.offeredRps =
+        pipeline::isOpenLoop(spec.arrival) ? spec.rateRps : 0.0;
+    result->serve.coalesce = spec.coalesce;
+    result->serve.batches = stream.serviceCalls;
 
     result->memory.modelBytes = workload.parameterBytes();
     uint64_t dataset_bytes = 0;

@@ -8,9 +8,6 @@ namespace runner {
 
 const char *const kResultSchema = "mmbench-result-v1";
 
-namespace {
-
-/** Nearest-rank-with-interpolation percentile of a sorted sample. */
 double
 percentileSorted(const std::vector<double> &sorted, double p)
 {
@@ -24,8 +21,6 @@ percentileSorted(const std::vector<double> &sorted, double p)
     const double frac = rank - static_cast<double>(lo);
     return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
-
-} // namespace
 
 LatencyStats
 LatencyStats::fromSamples(std::vector<double> samples)
@@ -86,6 +81,9 @@ RunResult::toJson() const
     spec_json.set("sched", pipeline::schedPolicyName(spec.sched));
     spec_json.set("inflight", static_cast<int64_t>(spec.inflight));
     spec_json.set("requests", static_cast<int64_t>(spec.requests));
+    spec_json.set("arrival", pipeline::arrivalKindName(spec.arrival));
+    spec_json.set("rate_rps", spec.rateRps);
+    spec_json.set("coalesce", static_cast<int64_t>(spec.coalesce));
     obj.set("spec", std::move(spec_json));
 
     obj.set("latency_us", hostLatencyUs.toJson());
@@ -133,6 +131,13 @@ RunResult::toJson() const
         serve_json.set("inflight", static_cast<int64_t>(serve.inflight));
         serve_json.set("requests", static_cast<int64_t>(serve.requests));
         serve_json.set("wall_us", serve.wallUs);
+        serve_json.set("arrival", serve.arrival);
+        serve_json.set("offered_rps", serve.offeredRps);
+        serve_json.set("achieved_rps", serve.achievedRps);
+        serve_json.set("coalesce", static_cast<int64_t>(serve.coalesce));
+        serve_json.set("batches", static_cast<int64_t>(serve.batches));
+        serve_json.set("queue_us", serve.queueUs.toJson());
+        serve_json.set("service_us", serve.serviceUs.toJson());
         obj.set("serve", std::move(serve_json));
     }
 

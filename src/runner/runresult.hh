@@ -23,6 +23,13 @@ namespace runner {
 /** Schema tag every emitted JSON record carries. */
 extern const char *const kResultSchema;
 
+/**
+ * Linear-interpolated percentile (p in [0, 100]) of an ascending-
+ * sorted sample: rank p/100 * (n-1), interpolated between the two
+ * straddling order statistics. Empty yields 0.
+ */
+double percentileSorted(const std::vector<double> &sorted, double p);
+
 /** Order statistics over a sample of latencies (microseconds). */
 struct LatencyStats
 {
@@ -73,6 +80,21 @@ struct ServeStats
     int inflight = 0;    ///< concurrent in-flight requests
     int requests = 0;    ///< total requests issued
     double wallUs = 0.0; ///< wall clock of the whole serving window
+
+    /** Arrival process actually run ("closed" / "poisson" / "fixed"). */
+    std::string arrival = "closed";
+    /** Open-loop offered arrival rate (requests/s); 0 when closed. */
+    double offeredRps = 0.0;
+    /** Completed requests per second of serving wall clock. */
+    double achievedRps = 0.0;
+    /** Coalesce cap the dispatcher ran with (1 = no coalescing). */
+    int coalesce = 1;
+    /** Service invocations (< requests when coalescing kicked in). */
+    int batches = 0;
+    /** Queue wait per request (arrival -> service start). */
+    LatencyStats queueUs;
+    /** Service time per request (start -> completion). */
+    LatencyStats serviceUs;
 };
 
 /** Peak memory accounting of the run. */
@@ -91,7 +113,11 @@ struct RunResult
     std::string device;  ///< device model name
     int threads = 1;     ///< effective worker-thread count
 
-    /** Host wall-clock time per timed repetition (CPU backend). */
+    /**
+     * Host wall-clock time per timed repetition (CPU backend). In
+     * serve mode this is the end-to-end request latency: queue wait +
+     * service time (identical to service time for closed loops).
+     */
     LatencyStats hostLatencyUs;
     /** Simulated device makespan per repetition (infer mode only). */
     LatencyStats simLatencyUs;

@@ -115,6 +115,12 @@ RunSpec::toArgs() const
     args.push_back(strfmt("%d", inflight));
     args.push_back("--requests");
     args.push_back(strfmt("%d", requests));
+    args.push_back("--arrival");
+    args.push_back(pipeline::arrivalKindName(arrival));
+    args.push_back("--rate");
+    args.push_back(strfmt("%.17g", rateRps));
+    args.push_back("--coalesce");
+    args.push_back(strfmt("%d", coalesce));
     return args;
 }
 
@@ -123,14 +129,16 @@ RunSpec::toString() const
 {
     return strfmt(
         "%s fusion=%s mode=%s batch=%lld threads=%d scale=%g seed=%llu "
-        "warmup=%d repeat=%d device=%s sched=%s inflight=%d requests=%d",
+        "warmup=%d repeat=%d device=%s sched=%s inflight=%d requests=%d "
+        "arrival=%s rate=%g coalesce=%d",
         workload.c_str(),
         hasFusion ? fusion::fusionKindName(fusionKind) : "default",
         runModeName(mode), static_cast<long long>(batch), threads,
         static_cast<double>(sizeScale),
         static_cast<unsigned long long>(seed), warmup, repeat,
         device.c_str(), pipeline::schedPolicyName(sched), inflight,
-        requests);
+        requests, pipeline::arrivalKindName(arrival), rateRps,
+        coalesce);
 }
 
 namespace {
@@ -158,6 +166,19 @@ parseFloat(const std::string &text, float *out)
     if (end != text.c_str() + text.size())
         return false;
     *out = static_cast<float>(v);
+    return true;
+}
+
+bool
+parseDouble(const std::string &text, double *out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size())
+        return false;
+    *out = v;
     return true;
 }
 
@@ -281,6 +302,32 @@ parseSpecFlags(const std::vector<std::string> &args, RunSpec *spec,
                 return false;
             }
             spec->requests = static_cast<int>(v);
+        } else if (flag == "--arrival") {
+            pipeline::ArrivalKind kind;
+            if (!pipeline::tryParseArrivalKind(value, &kind)) {
+                *error = strfmt(
+                    "unknown arrival process '%s' (expected closed, "
+                    "poisson or fixed)", value.c_str());
+                return false;
+            }
+            spec->arrival = kind;
+        } else if (flag == "--rate") {
+            double v;
+            if (!parseDouble(value, &v) || v < 0.0) {
+                *error = strfmt("--rate expects a non-negative number "
+                                "(requests/second), got '%s'",
+                                value.c_str());
+                return false;
+            }
+            spec->rateRps = v;
+        } else if (flag == "--coalesce") {
+            int64_t v;
+            if (!parseInt64(value, &v) || v <= 0) {
+                *error = strfmt("--coalesce expects a positive integer, "
+                                "got '%s'", value.c_str());
+                return false;
+            }
+            spec->coalesce = static_cast<int>(v);
         } else {
             *error = strfmt("unknown flag '%s'", flag.c_str());
             return false;
@@ -296,6 +343,37 @@ parseSpecFlags(const std::vector<std::string> &args, RunSpec *spec,
                  "(in-flight requests already occupy the worker "
                  "pool); use the default sequential";
         return false;
+    }
+    if (pipeline::isOpenLoop(spec->arrival)) {
+        if (spec->mode != RunMode::Serve) {
+            *error = strfmt(
+                "--arrival %s only applies to --mode serve",
+                pipeline::arrivalKindName(spec->arrival));
+            return false;
+        }
+        if (!(spec->rateRps > 0.0)) {
+            *error = strfmt(
+                "--arrival %s needs an offered rate: pass --rate R "
+                "(requests/second, > 0)",
+                pipeline::arrivalKindName(spec->arrival));
+            return false;
+        }
+    } else {
+        if (spec->coalesce > 1) {
+            *error = "--coalesce batches queued requests, which only "
+                     "exist under open-loop arrivals; add --arrival "
+                     "poisson or --arrival fixed";
+            return false;
+        }
+        if (spec->rateRps > 0.0) {
+            // A closed loop has no arrival schedule, so a rate would
+            // be silently ignored — and its record would still carry
+            // spec.rate_rps, fabricating a flat rate-vs-latency curve.
+            *error = "--rate sets the open-loop offered rate, which a "
+                     "closed loop ignores; add --arrival poisson or "
+                     "--arrival fixed";
+            return false;
+        }
     }
     if (!spec->workload.empty() &&
         !models::WorkloadRegistry::instance().find(spec->workload)) {
@@ -342,11 +420,12 @@ parseRunSpecs(const std::vector<std::string> &args,
     std::vector<std::string> batches = {""};
     std::vector<std::string> threads = {""};
     std::vector<std::string> scales = {""};
+    std::vector<std::string> rates = {""};
     std::vector<std::string> rest;
     for (size_t i = 0; i < args.size(); ++i) {
         const std::string &flag = args[i];
         const bool sweepable = flag == "--batch" || flag == "--threads" ||
-                               flag == "--scale";
+                               flag == "--scale" || flag == "--rate";
         if (!sweepable) {
             rest.push_back(flag);
             continue;
@@ -372,32 +451,40 @@ parseRunSpecs(const std::vector<std::string> &args,
             batches = values;
         else if (flag == "--threads")
             threads = values;
-        else
+        else if (flag == "--scale")
             scales = values;
+        else
+            rates = values;
     }
 
     // Cross-product, batch-major: every sink sees batches grouped
-    // together, then threads, then scales.
+    // together, then threads, then scales, then offered rates.
     for (const std::string &b : batches) {
         for (const std::string &t : threads) {
             for (const std::string &s : scales) {
-                std::vector<std::string> single = rest;
-                if (!b.empty()) {
-                    single.push_back("--batch");
-                    single.push_back(b);
+                for (const std::string &r : rates) {
+                    std::vector<std::string> single = rest;
+                    if (!b.empty()) {
+                        single.push_back("--batch");
+                        single.push_back(b);
+                    }
+                    if (!t.empty()) {
+                        single.push_back("--threads");
+                        single.push_back(t);
+                    }
+                    if (!s.empty()) {
+                        single.push_back("--scale");
+                        single.push_back(s);
+                    }
+                    if (!r.empty()) {
+                        single.push_back("--rate");
+                        single.push_back(r);
+                    }
+                    RunSpec spec;
+                    if (!parseRunSpec(single, &spec, error))
+                        return false;
+                    specs->push_back(std::move(spec));
                 }
-                if (!t.empty()) {
-                    single.push_back("--threads");
-                    single.push_back(t);
-                }
-                if (!s.empty()) {
-                    single.push_back("--scale");
-                    single.push_back(s);
-                }
-                RunSpec spec;
-                if (!parseRunSpec(single, &spec, error))
-                    return false;
-                specs->push_back(std::move(spec));
             }
         }
     }

@@ -19,6 +19,7 @@
 
 #include "fusion/fusion.hh"
 #include "pipeline/scheduler.hh"
+#include "pipeline/serve.hh"
 #include "sim/device.hh"
 
 namespace mmbench {
@@ -64,6 +65,12 @@ struct RunSpec
     int inflight = 4;
     /** Serve mode: total requests; 0 = 8x inflight. */
     int requests = 0;
+    /** Serve mode: how requests are issued (closed / poisson / fixed). */
+    pipeline::ArrivalKind arrival = pipeline::ArrivalKind::Closed;
+    /** Serve mode: open-loop offered rate, requests/second. */
+    double rateRps = 0.0;
+    /** Serve mode, open loop: coalesce up to N queued requests. */
+    int coalesce = 1;
 
     /** Total requests a serve run issues (resolves requests == 0). */
     int serveRequests() const
@@ -84,7 +91,8 @@ struct RunSpec
 /**
  * Parse CLI flags ("--workload", "--fusion", "--mode", "--batch",
  * "--threads", "--scale", "--seed", "--warmup", "--repeat",
- * "--device", "--sched", "--inflight", "--requests") into *spec.
+ * "--device", "--sched", "--inflight", "--requests", "--arrival",
+ * "--rate", "--coalesce") into *spec.
  * Flags not present keep the spec's current values, so callers can
  * pre-seed defaults. Fails with a message in *error on unknown flags,
  * malformed values, or unknown workload/fusion/device names; the
@@ -102,9 +110,10 @@ bool parseRunSpecTemplate(const std::vector<std::string> &args,
                           RunSpec *spec, std::string *error);
 
 /**
- * Sweep-aware parse: comma-separated lists on --batch, --threads and
- * --scale expand into the cross-product of RunSpecs (batch-major,
- * then threads, then scale). A plain spec yields exactly one entry.
+ * Sweep-aware parse: comma-separated lists on --batch, --threads,
+ * --scale and --rate expand into the cross-product of RunSpecs
+ * (batch-major, then threads, then scale, then rate). A plain spec
+ * yields exactly one entry.
  */
 bool parseRunSpecs(const std::vector<std::string> &args,
                    std::vector<RunSpec> *specs, std::string *error);

@@ -79,7 +79,10 @@ const std::vector<std::string> kCsvHeader = {
     "fusion_gpu_us", "head_gpu_us", "model_bytes",
     "dataset_bytes", "peak_intermediate_bytes", "metric_name",
     "metric",        "sched",          "inflight",
-    "requests",      "serve_wall_us",
+    "requests",      "serve_wall_us",  "arrival",
+    "rate_rps",      "coalesce",       "offered_rps",
+    "achieved_rps",  "queue_p50_us",   "queue_p99_us",
+    "service_p50_us",
 };
 
 } // namespace
@@ -127,6 +130,14 @@ CsvSink::write(const RunResult &r)
         strfmt("%d", r.serve.inflight),
         strfmt("%d", r.serve.requests),
         numfmt::f3(r.serve.wallUs),
+        r.serve.arrival,
+        numfmt::f3(r.spec.rateRps),
+        strfmt("%d", r.serve.coalesce),
+        numfmt::f3(r.serve.offeredRps),
+        numfmt::f3(r.serve.achievedRps),
+        numfmt::f3(r.serve.queueUs.p50),
+        numfmt::f3(r.serve.queueUs.p99),
+        numfmt::f3(r.serve.serviceUs.p50),
     });
 }
 

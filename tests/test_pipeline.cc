@@ -417,11 +417,105 @@ TEST(ServeMode, JsonSchemaCarriesServeFields)
 
     const JsonValue *serve = record.find("serve");
     ASSERT_NE(serve, nullptr);
-    for (const char *key : {"inflight", "requests", "wall_us"})
+    for (const char *key :
+         {"inflight", "requests", "wall_us", "arrival", "offered_rps",
+          "achieved_rps", "coalesce", "batches", "queue_us",
+          "service_us"})
         EXPECT_TRUE(serve->has(key)) << key;
     EXPECT_EQ(serve->find("requests")->intValue(), 4);
     EXPECT_GT(serve->find("wall_us")->numberValue(), 0.0);
     EXPECT_EQ(record.find("latency_us")->find("count")->intValue(), 4);
+
+    // Closed loop: no queue, no offered rate, one batch per request.
+    EXPECT_EQ(serve->find("arrival")->stringValue(), "closed");
+    EXPECT_DOUBLE_EQ(serve->find("offered_rps")->numberValue(), 0.0);
+    EXPECT_GT(serve->find("achieved_rps")->numberValue(), 0.0);
+    EXPECT_EQ(serve->find("batches")->intValue(), 4);
+    const JsonValue *queue = serve->find("queue_us");
+    for (const char *key :
+         {"p50", "p95", "p99", "mean", "min", "max", "count"})
+        EXPECT_TRUE(queue->has(key)) << key;
+    EXPECT_EQ(queue->find("count")->intValue(), 4);
+    EXPECT_DOUBLE_EQ(queue->find("max")->numberValue(), 0.0);
+    EXPECT_GT(serve->find("service_us")->find("p50")->numberValue(),
+              0.0);
+
+    // Spec block round-trips the arrival configuration.
+    for (const char *key : {"arrival", "rate_rps", "coalesce"})
+        EXPECT_TRUE(spec_json->has(key)) << key;
+    EXPECT_EQ(spec_json->find("arrival")->stringValue(), "closed");
+}
+
+TEST(ServeMode, OpenLoopJsonSchemaCarriesQueueFields)
+{
+    runner::RunSpec spec;
+    spec.workload = "av-mnist";
+    spec.mode = runner::RunMode::Serve;
+    spec.batch = 2;
+    spec.sizeScale = 0.35f;
+    spec.inflight = 2;
+    spec.requests = 6;
+    spec.arrival = pipeline::ArrivalKind::Poisson;
+    spec.rateRps = 400.0;
+
+    const std::string path =
+        ::testing::TempDir() + "/mmbench_test_pipeline_open.jsonl";
+    std::remove(path.c_str());
+    {
+        runner::JsonlSink sink(path);
+        std::vector<runner::ResultSink *> sinks = {&sink};
+        runner::runOne(spec, sinks);
+        sink.flush();
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    std::remove(path.c_str());
+
+    std::string error;
+    const JsonValue record = JsonValue::parse(line, &error);
+    ASSERT_TRUE(error.empty()) << error;
+    const JsonValue *spec_json = record.find("spec");
+    ASSERT_NE(spec_json, nullptr);
+    EXPECT_EQ(spec_json->find("arrival")->stringValue(), "poisson");
+    EXPECT_DOUBLE_EQ(spec_json->find("rate_rps")->numberValue(), 400.0);
+
+    const JsonValue *serve = record.find("serve");
+    ASSERT_NE(serve, nullptr);
+    EXPECT_EQ(serve->find("arrival")->stringValue(), "poisson");
+    EXPECT_DOUBLE_EQ(serve->find("offered_rps")->numberValue(), 400.0);
+    EXPECT_GT(serve->find("achieved_rps")->numberValue(), 0.0);
+    EXPECT_EQ(serve->find("queue_us")->find("count")->intValue(), 6);
+    EXPECT_GE(serve->find("queue_us")->find("min")->numberValue(), 0.0);
+    EXPECT_GT(serve->find("service_us")->find("p50")->numberValue(),
+              0.0);
+}
+
+TEST(ServeMode, DefaultScheduleOptionsCaptureNoTraces)
+{
+    // Regression pin for the serve hot path: ScheduleOptions defaults
+    // to captureTraces = false, and an uncaptured run must leave every
+    // per-node trace sink empty — serve requests allocate no trace
+    // storage.
+    EXPECT_FALSE(pipeline::ScheduleOptions().captureTraces);
+
+    auto workload = models::WorkloadRegistry::instance().createDefault(
+        "av-mnist", 0.35f);
+    auto task = workload->makeTask(5);
+    data::Batch batch = task.sample(2);
+    workload->train(false);
+
+    autograd::NoGradGuard no_grad;
+    pipeline::ScheduleOptions options; // serve-path defaults
+    pipeline::GraphRun run;
+    workload->forwardGraph(batch, options, &run);
+    ASSERT_FALSE(run.nodes.empty());
+    for (const pipeline::NodeRun &node : run.nodes) {
+        EXPECT_TRUE(node.trace.kernels.empty());
+        EXPECT_TRUE(node.trace.runtimes.empty());
+        EXPECT_TRUE(node.trace.allocs.empty());
+        EXPECT_TRUE(node.trace.unified.empty());
+    }
 }
 
 TEST(InferMode, JsonSchemaCarriesNodeTimeline)

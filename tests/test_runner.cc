@@ -131,6 +131,105 @@ TEST(RunSpecParse, Errors)
     EXPECT_NE(error.find("missing its value"), std::string::npos);
 }
 
+TEST(RunSpecParse, ArrivalFlagsParseAndRoundTrip)
+{
+    RunSpec spec;
+    std::string error;
+    ASSERT_TRUE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--mode", "serve", "--arrival",
+         "poisson", "--rate", "128.5", "--coalesce", "4", "--inflight",
+         "2", "--requests", "16"},
+        &spec, &error))
+        << error;
+    EXPECT_EQ(spec.arrival, pipeline::ArrivalKind::Poisson);
+    EXPECT_DOUBLE_EQ(spec.rateRps, 128.5);
+    EXPECT_EQ(spec.coalesce, 4);
+
+    RunSpec reparsed;
+    ASSERT_TRUE(runner::parseRunSpec(spec.toArgs(), &reparsed, &error))
+        << error;
+    EXPECT_EQ(reparsed.arrival, spec.arrival);
+    EXPECT_DOUBLE_EQ(reparsed.rateRps, spec.rateRps);
+    EXPECT_EQ(reparsed.coalesce, spec.coalesce);
+
+    // The closed-loop default also round-trips (rate 0 accepted).
+    RunSpec closed;
+    ASSERT_TRUE(runner::parseRunSpec({"--workload", "av-mnist"}, &closed,
+                                     &error))
+        << error;
+    RunSpec closed2;
+    ASSERT_TRUE(runner::parseRunSpec(closed.toArgs(), &closed2, &error))
+        << error;
+    EXPECT_EQ(closed2.arrival, pipeline::ArrivalKind::Closed);
+    EXPECT_DOUBLE_EQ(closed2.rateRps, 0.0);
+    EXPECT_EQ(closed2.coalesce, 1);
+}
+
+TEST(RunSpecParse, ArrivalFlagErrors)
+{
+    RunSpec spec;
+    std::string error;
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--mode", "serve", "--arrival",
+         "burst"},
+        &spec, &error));
+    EXPECT_NE(error.find("unknown arrival"), std::string::npos);
+
+    // Open loop without a rate.
+    spec = RunSpec();
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--mode", "serve", "--arrival",
+         "poisson"},
+        &spec, &error));
+    EXPECT_NE(error.find("--rate"), std::string::npos);
+
+    // Open loop outside serve mode.
+    spec = RunSpec();
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--arrival", "fixed", "--rate", "10"},
+        &spec, &error));
+    EXPECT_NE(error.find("serve"), std::string::npos);
+
+    // Coalescing needs a queue, i.e. open-loop arrivals.
+    spec = RunSpec();
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--mode", "serve", "--coalesce", "4"},
+        &spec, &error));
+    EXPECT_NE(error.find("--coalesce"), std::string::npos);
+
+    // A rate under the closed loop would be silently ignored: reject.
+    spec = RunSpec();
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--mode", "serve", "--rate", "100"},
+        &spec, &error));
+    EXPECT_NE(error.find("--rate"), std::string::npos);
+    EXPECT_NE(error.find("--arrival"), std::string::npos);
+
+    spec = RunSpec();
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--mode", "serve", "--arrival",
+         "poisson", "--rate", "-5"},
+        &spec, &error));
+    EXPECT_NE(error.find("--rate"), std::string::npos);
+}
+
+TEST(RunSpecParse, RateSweepExpandsAcrossSpecs)
+{
+    std::vector<RunSpec> specs;
+    std::string error;
+    ASSERT_TRUE(runner::parseRunSpecs(
+        {"--workload", "av-mnist", "--mode", "serve", "--arrival",
+         "poisson", "--rate", "10,20,40"},
+        &specs, &error))
+        << error;
+    ASSERT_EQ(specs.size(), 3u);
+    EXPECT_DOUBLE_EQ(specs[0].rateRps, 10.0);
+    EXPECT_DOUBLE_EQ(specs[1].rateRps, 20.0);
+    EXPECT_DOUBLE_EQ(specs[2].rateRps, 40.0);
+    for (const RunSpec &s : specs)
+        EXPECT_EQ(s.arrival, pipeline::ArrivalKind::Poisson);
+}
+
 // --------------------------------------------------------------- registry
 
 TEST(WorkloadRegistry, AllNineRegisteredInTableOrder)
@@ -271,6 +370,45 @@ TEST(Json, ParseRejectsMalformedInput)
     EXPECT_FALSE(error.empty());
 }
 
+TEST(PercentileSorted, InterpolatesBetweenOrderStatistics)
+{
+    const std::vector<double> sorted = {10, 20, 30, 40, 50,
+                                        60, 70, 80, 90, 100};
+    // rank = p/100 * (n-1) = p * 0.09
+    EXPECT_DOUBLE_EQ(runner::percentileSorted(sorted, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(runner::percentileSorted(sorted, 100.0), 100.0);
+    EXPECT_NEAR(runner::percentileSorted(sorted, 50.0), 55.0, 1e-9);
+    EXPECT_NEAR(runner::percentileSorted(sorted, 95.0), 95.5, 1e-9);
+    EXPECT_NEAR(runner::percentileSorted(sorted, 99.0), 99.1, 1e-9);
+
+    EXPECT_DOUBLE_EQ(runner::percentileSorted({}, 50.0), 0.0);
+    EXPECT_DOUBLE_EQ(runner::percentileSorted({7.5}, 99.0), 7.5);
+}
+
+TEST(LatencyStats, HandComputedTenSampleVector)
+{
+    // Unsorted on purpose: fromSamples sorts its copy.
+    const std::vector<double> samples = {70, 10, 100, 40, 90,
+                                         20, 80, 50, 30, 60};
+    const LatencyStats stats = LatencyStats::fromSamples(samples);
+    EXPECT_EQ(stats.count, 10);
+    EXPECT_DOUBLE_EQ(stats.min, 10.0);
+    EXPECT_DOUBLE_EQ(stats.max, 100.0);
+    EXPECT_DOUBLE_EQ(stats.mean, 55.0);
+    EXPECT_NEAR(stats.p50, 55.0, 1e-9);
+    EXPECT_NEAR(stats.p95, 95.5, 1e-9);
+    EXPECT_NEAR(stats.p99, 99.1, 1e-9);
+}
+
+TEST(LatencyStats, SingleSampleIsEveryStatistic)
+{
+    const LatencyStats stats = LatencyStats::fromSamples({123.5});
+    EXPECT_EQ(stats.count, 1);
+    for (double v : {stats.p50, stats.p95, stats.p99, stats.mean,
+                     stats.min, stats.max})
+        EXPECT_DOUBLE_EQ(v, 123.5);
+}
+
 TEST(LatencyStats, PercentilesFromSamples)
 {
     std::vector<double> samples;
@@ -404,4 +542,59 @@ TEST(Runner, ExplicitFusionOverridesDefault)
     EXPECT_EQ(result.fusion, "tensor");
     EXPECT_EQ(result.hostLatencyUs.count, 1);
     EXPECT_TRUE(result.hasMetric);
+}
+
+// ------------------------------------------------------ open-loop serve
+
+TEST(Runner, OpenLoopServeReportsQueueAndServiceSeparately)
+{
+    RunSpec spec;
+    spec.workload = "av-mnist";
+    spec.mode = RunMode::Serve;
+    spec.batch = 2;
+    spec.sizeScale = 0.35f;
+    spec.inflight = 2;
+    spec.requests = 8;
+    spec.arrival = pipeline::ArrivalKind::Poisson;
+    spec.rateRps = 500.0;
+
+    const runner::RunResult result = runner::runOne(spec);
+    EXPECT_EQ(result.serve.arrival, "poisson");
+    EXPECT_DOUBLE_EQ(result.serve.offeredRps, 500.0);
+    EXPECT_GT(result.serve.achievedRps, 0.0);
+    EXPECT_EQ(result.serve.requests, 8);
+    EXPECT_EQ(result.serve.batches, 8); // coalesce 1
+    EXPECT_EQ(result.serve.queueUs.count, 8);
+    EXPECT_EQ(result.serve.serviceUs.count, 8);
+    EXPECT_GE(result.serve.queueUs.min, 0.0);
+    EXPECT_GT(result.serve.serviceUs.p50, 0.0);
+    // latency_i = queue_i + service_i pointwise, so every combined
+    // percentile dominates the matching service-only percentile.
+    EXPECT_EQ(result.hostLatencyUs.count, 8);
+    EXPECT_GE(result.hostLatencyUs.p50, result.serve.serviceUs.p50);
+    EXPECT_GE(result.hostLatencyUs.p99, result.serve.serviceUs.p99);
+    EXPECT_TRUE(result.hasMetric);
+}
+
+TEST(Runner, ClosedLoopServeHasNoQueueDelay)
+{
+    RunSpec spec;
+    spec.workload = "av-mnist";
+    spec.mode = RunMode::Serve;
+    spec.batch = 2;
+    spec.sizeScale = 0.35f;
+    spec.inflight = 2;
+    spec.requests = 6;
+
+    const runner::RunResult result = runner::runOne(spec);
+    EXPECT_EQ(result.serve.arrival, "closed");
+    EXPECT_DOUBLE_EQ(result.serve.offeredRps, 0.0);
+    EXPECT_GT(result.serve.achievedRps, 0.0);
+    EXPECT_EQ(result.serve.queueUs.count, 6);
+    EXPECT_DOUBLE_EQ(result.serve.queueUs.max, 0.0);
+    // No queue: combined latency IS the service time.
+    EXPECT_DOUBLE_EQ(result.hostLatencyUs.p50,
+                     result.serve.serviceUs.p50);
+    EXPECT_DOUBLE_EQ(result.hostLatencyUs.p99,
+                     result.serve.serviceUs.p99);
 }

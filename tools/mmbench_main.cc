@@ -12,12 +12,16 @@
  *               [--device 2080ti|nano|orin]
  *               [--sched sequential|parallel]
  *               [--inflight N] [--requests N]
+ *               [--arrival closed|poisson|fixed] [--rate R]
+ *               [--coalesce N]
  *               [--json PATH|-] [--csv PATH] [--quiet]
  *   mmbench run --smoke [spec template flags] [--json PATH|-] ...
- *   mmbench fig --id fig06 | --list | --all  [--json PATH] [--csv PATH]
+ *   mmbench fig --id fig06 | --list | --all  [--smoke]
+ *               [--json PATH] [--csv PATH]
  *
- * Comma-separated sweep lists on --batch/--threads/--scale expand into
- * the cross-product of RunSpecs, all fed to the same sinks.
+ * Comma-separated sweep lists on --batch/--threads/--scale/--rate
+ * expand into the cross-product of RunSpecs, all fed to the same
+ * sinks.
  */
 
 #include <cstdio>
@@ -69,6 +73,13 @@ usage(FILE *to)
         "(default 4)\n"
         "       --requests N       serve mode: total requests "
         "(default 8x inflight)\n"
+        "       --arrival KIND     serve mode: closed (default) or "
+        "open-loop\n"
+        "                          poisson / fixed arrivals\n"
+        "       --rate R[,R...]    open loop: offered requests/second "
+        "sweep\n"
+        "       --coalesce N       open loop: serve up to N queued\n"
+        "                          requests as one batch (default 1)\n"
         "       --json PATH        append JSON Lines results ('-' = "
         "stdout)\n"
         "       --csv PATH         write CSV results\n"
@@ -78,6 +89,8 @@ usage(FILE *to)
         "  fig  --id ID            run one registered experiment\n"
         "       --list             list experiment ids\n"
         "       --all              run every experiment\n"
+        "       --smoke            tiny geometry for experiments that\n"
+        "                          support it (e.g. --id load)\n"
         "       --json PATH        also write tables as JSONL records\n"
         "       --csv PATH         also write tables as long-format CSV\n"
         "  help                    this message\n");
@@ -222,7 +235,7 @@ int
 cmdFig(const std::vector<std::string> &args)
 {
     std::string id, json_path, csv_path;
-    bool list = false, all = false;
+    bool list = false, all = false, smoke = false;
     for (size_t i = 0; i < args.size(); ++i) {
         const std::string &arg = args[i];
         if (arg == "--id" || arg == "--json" || arg == "--csv") {
@@ -243,6 +256,8 @@ cmdFig(const std::vector<std::string> &args)
             list = true;
         } else if (arg == "--all") {
             all = true;
+        } else if (arg == "--smoke") {
+            smoke = true;
         } else {
             std::fprintf(stderr, "mmbench fig: unknown flag '%s'\n",
                          arg.c_str());
@@ -281,6 +296,7 @@ cmdFig(const std::vector<std::string> &args)
     // Route every table the experiments emit through the shared
     // JSONL/CSV result formats as well as stdout.
     benchutil::setFigOutput(json_path, csv_path);
+    benchutil::setSmokeMode(smoke);
     auto run_experiment = [](const runner::Experiment *e) {
         benchutil::setCurrentExperiment(e->id);
         return e->run();
