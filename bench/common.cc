@@ -89,6 +89,7 @@ figJsonPath()
 
 namespace {
 bool g_smoke_mode = false;
+double g_slo_ms = 0.0;
 } // namespace
 
 void
@@ -101,6 +102,18 @@ bool
 smokeMode()
 {
     return g_smoke_mode;
+}
+
+void
+setSloMs(double slo_ms)
+{
+    g_slo_ms = slo_ms;
+}
+
+double
+sloMs()
+{
+    return g_slo_ms;
 }
 
 void

@@ -70,6 +70,18 @@ bool smokeMode();
 /** @} */
 
 /**
+ * @name Latency SLO target
+ * `mmbench fig --slo-ms X` sets a p99 latency service-level objective
+ * for experiments that sweep offered load: the load experiment
+ * reports the maximum offered rate whose measured p99 stays under X
+ * milliseconds (the MLPerf Inference server metric). 0 = unset.
+ * @{
+ */
+void setSloMs(double slo_ms);
+double sloMs();
+/** @} */
+
+/**
  * Format helpers: the shared src/core/format.hh implementations,
  * re-exported under their historical benchutil names. @{
  */

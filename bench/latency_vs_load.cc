@@ -19,6 +19,12 @@
  * record (queue_us / service_us / offered_rps / achieved_rps) to the
  * `mmbench fig --json` file, so the curve is machine-readable next to
  * the formatted table.
+ *
+ * Two companion tables ride along: a per-workload closed-loop capacity
+ * table (the measured anchor every workload's own sweep would start
+ * from), and — when `mmbench fig --slo-ms X` sets a latency SLO — the
+ * MLPerf-server metric: the maximum swept offered rate whose measured
+ * p99 stayed under X milliseconds.
  */
 
 #include <iostream>
@@ -29,6 +35,7 @@
 #include "core/logging.hh"
 #include "core/parallel.hh"
 #include "core/table.hh"
+#include "models/registry.hh"
 #include "runner/experiment.hh"
 #include "runner/runner.hh"
 #include "runner/sink.hh"
@@ -105,11 +112,12 @@ run()
     runner::RunSpec open = base;
     open.arrival = pipeline::ArrivalKind::Poisson;
     double top_rate = 0.0;
+    std::vector<runner::RunResult> sweep;
     for (double f : fractions) {
         open.rateRps = f * capacity;
         top_rate = open.rateRps;
-        addRow(&table, strfmt("poisson %.2fx", f).c_str(),
-               runner::runOne(open, sinks));
+        sweep.push_back(runner::runOne(open, sinks));
+        addRow(&table, strfmt("poisson %.2fx", f).c_str(), sweep.back());
     }
 
     // The same overload, with the dispatcher allowed to coalesce up
@@ -118,6 +126,25 @@ run()
     open.rateRps = top_rate;
     open.coalesce = 8;
     addRow(&table, "poisson +coalesce8", runner::runOne(open, sinks));
+
+    // Per-workload closed-loop capacity: the measured anchor each
+    // workload's open-loop sweep would start from (av-mnist's anchor
+    // above is re-measured here under the same geometry). Runs before
+    // the JSONL sink flushes so the raw records land in the same file.
+    TextTable cap({"Workload", "Inflight", "Capacity rps",
+                   "Service p50", "Service p99", "Samples/s"});
+    runner::RunSpec cap_spec = base;
+    cap_spec.requests = smoke ? 16 : 64;
+    for (const std::string &name :
+         models::WorkloadRegistry::instance().names()) {
+        cap_spec.workload = name;
+        const runner::RunResult r = runner::runOne(cap_spec, sinks);
+        cap.addRow({name, strfmt("%d", r.serve.inflight),
+                    numfmt::f1(r.serve.achievedRps),
+                    numfmt::f1(r.serve.serviceUs.p50),
+                    numfmt::f1(r.serve.serviceUs.p99),
+                    numfmt::f1(r.throughputSps)});
+    }
 
     if (jsonl) {
         jsonl->flush();
@@ -130,6 +157,46 @@ run()
         "load (queueing delay dominates past the knee), and "
         "coalescing trades per-request latency for fewer, larger "
         "service batches.", closed.serve.inflight, capacity));
+
+    benchutil::emitTable(cap, "load_capacity");
+    benchutil::note(
+        "per-workload closed-loop capacity at the sweep geometry: the "
+        "measured anchor an open-loop sweep of that workload is "
+        "expressed against.");
+
+    // MLPerf-server SLO metric: the highest swept offered rate whose
+    // measured end-to-end p99 stayed under the target. Reported from
+    // the sweep's Poisson points (coalescing changes the latency
+    // contract, so the coalesced point is excluded).
+    if (benchutil::sloMs() > 0.0) {
+        const double slo_us = benchutil::sloMs() * 1000.0;
+        const runner::RunResult *best = nullptr;
+        for (const runner::RunResult &r : sweep) {
+            if (r.hostLatencyUs.p99 <= slo_us &&
+                (!best || r.serve.offeredRps > best->serve.offeredRps))
+                best = &r;
+        }
+        TextTable slo({"SLO p99 (ms)", "Max offered rps",
+                       "p99 at max (us)", "Fraction of capacity"});
+        if (best) {
+            slo.addRow({numfmt::f1(benchutil::sloMs()),
+                        numfmt::f1(best->serve.offeredRps),
+                        numfmt::f1(best->hostLatencyUs.p99),
+                        numfmt::f2(capacity > 0.0
+                                       ? best->serve.offeredRps / capacity
+                                       : 0.0)});
+        } else {
+            slo.addRow({numfmt::f1(benchutil::sloMs()), "none", "-",
+                        "-"});
+        }
+        benchutil::emitTable(slo, "load_slo");
+        benchutil::note(
+            best ? strfmt("SLO: max measured rate with p99 <= %.1f ms "
+                          "is %.1f req/s.",
+                          benchutil::sloMs(), best->serve.offeredRps)
+                 : strfmt("SLO: no swept rate kept p99 under %.1f ms.",
+                          benchutil::sloMs()));
+    }
     return 0;
 }
 

@@ -1,12 +1,31 @@
 #!/usr/bin/env bash
 # Configure + build + test, with warnings-as-errors for src/.
 # This is the tier-1 verification command; CI runs exactly this.
+#
+# SANITIZE=address runs the AddressSanitizer leg instead: build + ctest
+# under -fsanitize=address (guards the pooled storage arena against
+# overflow/use-after-free), skipping the smoke legs — those measure,
+# the sanitizer leg verifies. The CI matrix runs both.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${BUILD_DIR:-build-check}"
 JOBS="${JOBS:-$(nproc)}"
+SANITIZE="${SANITIZE:-}"
+
+if [[ "$SANITIZE" == "address" ]]; then
+    BUILD_DIR="${BUILD_DIR:-build-asan}"
+    cmake -B "$BUILD_DIR" -S . \
+        -DCMAKE_BUILD_TYPE=Release \
+        -DMMBENCH_WERROR=ON \
+        -DMMBENCH_ASAN=ON
+    cmake --build "$BUILD_DIR" -j "$JOBS"
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+    echo "asan leg OK"
+    exit 0
+fi
+
+BUILD_DIR="${BUILD_DIR:-build-check}"
 
 cmake -B "$BUILD_DIR" -S . \
     -DCMAKE_BUILD_TYPE=Release \

@@ -127,6 +127,18 @@ MultiModalWorkload::stageGraph()
     return *graph_;
 }
 
+const pipeline::MemoryPlan &
+MultiModalWorkload::memoryPlan(pipeline::SchedPolicy policy)
+{
+    const size_t idx = static_cast<size_t>(policy);
+    MM_ASSERT(idx < 2, "invalid scheduler policy");
+    if (!plans_[idx]) {
+        plans_[idx] = std::make_unique<pipeline::MemoryPlan>(
+            pipeline::planMemory(stageGraph(), policy));
+    }
+    return *plans_[idx];
+}
+
 Var
 MultiModalWorkload::forward(const Batch &batch)
 {
@@ -160,6 +172,13 @@ MultiModalWorkload::forwardGraph(const Batch &batch,
     pipeline::ScheduleOptions opts = options;
     if (opts.tag.empty())
         opts.tag = fusion::fusionKindName(config_.fusionKind);
+    // Execute the cached buffer-reuse plan for the requested policy:
+    // consumed intermediates return to the arena mid-run. (Grad mode
+    // degrades the policy to sequential inside runGraph; the plan for
+    // the requested policy is conservative-safe there, and the tape's
+    // own references keep any still-needed values alive.)
+    if (opts.planMemory && !opts.plan)
+        opts.plan = &memoryPlan(opts.policy);
 
     pipeline::GraphRun local = pipeline::runGraph(graph, ctx, opts);
     if (run)

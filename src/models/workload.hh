@@ -24,6 +24,7 @@
 #include "data/synthetic.hh"
 #include "fusion/fusion.hh"
 #include "nn/module.hh"
+#include "pipeline/memplan.hh"
 #include "pipeline/scheduler.hh"
 
 namespace mmbench {
@@ -94,6 +95,19 @@ class MultiModalWorkload : public nn::Module
     const pipeline::StageGraph &stageGraph();
 
     /**
+     * The cached buffer-reuse plan for one scheduler policy (liveness
+     * analysis over stageGraph(); memplan.hh). forwardGraph executes
+     * it by default, so encoder feature maps return to the storage
+     * arena the moment fusion has consumed them.
+     *
+     * Like stageGraph(), lazy initialization is NOT thread-safe:
+     * callers that run forwardGraph concurrently (serve mode) must
+     * prime the plan for their policy from one thread first — the
+     * runner's serve path does this explicitly before dispatch.
+     */
+    const pipeline::MemoryPlan &memoryPlan(pipeline::SchedPolicy policy);
+
+    /**
      * Uni-modal variant: one encoder plus a modality-specific head,
      * skipping fusion entirely (the paper's uni baselines).
      */
@@ -154,6 +168,8 @@ class MultiModalWorkload : public nn::Module
     void buildStageGraph();
 
     std::unique_ptr<pipeline::StageGraph> graph_;
+    /** Lazily computed plans, indexed by SchedPolicy value. */
+    std::unique_ptr<pipeline::MemoryPlan> plans_[2];
     size_t headNodeId_ = 0;
 
   protected:

@@ -1,0 +1,72 @@
+#include "pipeline/memplan.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+
+namespace mmbench {
+namespace pipeline {
+
+MemoryPlan
+planMemory(const StageGraph &graph, SchedPolicy policy)
+{
+    const size_t n = graph.size();
+    MemoryPlan plan;
+    plan.releaseAfter.assign(n, {});
+    plan.bufferSlot.assign(n, -1);
+
+    // Consumers of each node's output slot.
+    std::vector<std::vector<size_t>> consumers(n);
+    for (size_t id = 0; id < n; ++id) {
+        for (size_t dep : graph.node(id).deps)
+            consumers[dep].push_back(id);
+    }
+
+    // Node ids are a topological order, so the max-id consumer is the
+    // last use under the sequential schedule.
+    const std::vector<int> &levels = graph.levels();
+    for (size_t id = 0; id < n; ++id) {
+        if (consumers[id].empty()) {
+            plan.liveAtEnd.push_back(id); // graph sink
+            continue;
+        }
+        const size_t last =
+            *std::max_element(consumers[id].begin(), consumers[id].end());
+        bool safe = true;
+        if (policy == SchedPolicy::Parallel) {
+            // Under the wave schedule, consumers in the releasing
+            // node's own level run concurrently with it; the release
+            // would race their reads.
+            for (size_t c : consumers[id]) {
+                if (c != last && levels[c] >= levels[last]) {
+                    safe = false;
+                    break;
+                }
+            }
+        }
+        if (safe)
+            plan.releaseAfter[last].push_back(id);
+        else
+            plan.liveAtEnd.push_back(id);
+    }
+
+    // Linear-scan buffer-slot coloring over the sequential schedule:
+    // a released slot's buffer is available to every later output.
+    std::vector<int> free_slots;
+    int next_slot = 0;
+    for (size_t id = 0; id < n; ++id) {
+        if (!free_slots.empty()) {
+            plan.bufferSlot[id] = free_slots.back();
+            free_slots.pop_back();
+        } else {
+            plan.bufferSlot[id] = next_slot++;
+        }
+        for (size_t dead : plan.releaseAfter[id])
+            free_slots.push_back(plan.bufferSlot[dead]);
+    }
+    plan.numBufferSlots = next_slot;
+    return plan;
+}
+
+} // namespace pipeline
+} // namespace mmbench

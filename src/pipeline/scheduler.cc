@@ -6,6 +6,7 @@
 #include "core/logging.hh"
 #include "core/parallel.hh"
 #include "core/string_utils.hh"
+#include "pipeline/memplan.hh"
 #include "trace/scope.hh"
 
 namespace mmbench {
@@ -29,8 +30,8 @@ nowUs()
  * is untouched by the submitting thread's NoGradGuard.
  */
 void
-execNode(const StageNode &node, ExecContext &ctx, NodeRun &out,
-         const ScheduleOptions &options, bool grad_enabled)
+execNode(size_t node_id, const StageNode &node, ExecContext &ctx,
+         NodeRun &out, const ScheduleOptions &options, bool grad_enabled)
 {
     std::unique_ptr<autograd::NoGradGuard> no_grad;
     if (!grad_enabled)
@@ -48,6 +49,16 @@ execNode(const StageNode &node, ExecContext &ctx, NodeRun &out,
     out.startUs = nowUs();
     node.body(ctx);
     out.endUs = nowUs();
+
+    // Planned buffer releases: drop slots whose last consumer is this
+    // node, while this node's capture (and ambient scopes) are still
+    // installed — the free events land in this node's trace segment,
+    // at the same canonical position under every policy. The planner
+    // guarantees no concurrently running node still reads these slots.
+    if (options.plan) {
+        for (size_t dead : options.plan->releaseAfter[node_id])
+            ctx.slots[dead] = autograd::Var();
+    }
 }
 
 } // namespace
@@ -88,10 +99,14 @@ runGraph(const StageGraph &graph, ExecContext &ctx,
     if (grad_enabled)
         policy = SchedPolicy::Sequential;
 
+    MM_ASSERT(!options.plan ||
+                  options.plan->releaseAfter.size() == graph.size(),
+              "memory plan built for a different graph");
+
     const double t0 = nowUs();
     if (policy == SchedPolicy::Sequential) {
         for (size_t id = 0; id < graph.size(); ++id)
-            execNode(graph.node(id), ctx, run.nodes[id], options,
+            execNode(id, graph.node(id), ctx, run.nodes[id], options,
                      grad_enabled);
     } else {
         for (int level = 0; level < graph.numLevels(); ++level) {
@@ -103,7 +118,7 @@ runGraph(const StageGraph &graph, ExecContext &ctx,
                 [&](int64_t begin, int64_t end) {
                     for (int64_t i = begin; i < end; ++i) {
                         const size_t id = ids[static_cast<size_t>(i)];
-                        execNode(graph.node(id), ctx, run.nodes[id],
+                        execNode(id, graph.node(id), ctx, run.nodes[id],
                                  options, grad_enabled);
                     }
                 });

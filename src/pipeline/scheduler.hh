@@ -31,6 +31,8 @@
 namespace mmbench {
 namespace pipeline {
 
+struct MemoryPlan; // memplan.hh
+
 /** How ready nodes are mapped onto threads. */
 enum class SchedPolicy
 {
@@ -54,6 +56,22 @@ struct ScheduleOptions
     bool captureTraces = false;
     /** Ambient tag (fusion implementation) set around every node. */
     std::string tag;
+    /**
+     * Buffer-reuse plan (memplan.hh) to execute, or nullptr for the
+     * historical keep-everything behaviour. Slot drops run inside the
+     * releasing node's trace capture, so the canonical merged stream
+     * carries the frees at the same position for every policy. The
+     * plan must have been computed for a policy at least as
+     * conservative as the one actually run (a Parallel plan is valid
+     * under Sequential; the reverse is not).
+     */
+    const MemoryPlan *plan = nullptr;
+    /**
+     * Let MultiModalWorkload::forwardGraph fill `plan` from its cached
+     * per-policy plans when none is given. Off = run without
+     * graph-level buffer reuse (tests compare both behaviours).
+     */
+    bool planMemory = true;
 };
 
 /** What executing one node produced. */

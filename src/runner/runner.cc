@@ -11,6 +11,7 @@
 #include "pipeline/serve.hh"
 #include "profile/profiler.hh"
 #include "tensor/ops.hh"
+#include "tensor/pool.hh"
 #include "trace/event.hh"
 
 namespace mmbench {
@@ -37,6 +38,39 @@ fillCommon(RunResult *result, const RunSpec &spec,
     result->threads = core::numThreads();
     result->metricName = workload.metricName();
 }
+
+/**
+ * Measure the storage arena over one timed window: construct before
+ * it (after warmup), call finish() after. Fills the additive mem.*
+ * result fields — peak physical bytes, allocation requests, free-list
+ * hits and the reuse ratio of the window.
+ */
+class PoolWindow
+{
+  public:
+    PoolWindow()
+    {
+        tensor::MemoryPool::instance().resetPeak();
+        before_ = tensor::MemoryPool::instance().stats();
+    }
+
+    void finish(MemoryUse *memory) const
+    {
+        const tensor::PoolStats after =
+            tensor::MemoryPool::instance().stats();
+        memory->peakBytes = after.peakBytes;
+        memory->allocs = after.requests - before_.requests;
+        memory->poolHits = after.poolHits - before_.poolHits;
+        memory->poolReuseRatio =
+            memory->allocs == 0
+                ? 0.0
+                : static_cast<double>(memory->poolHits) /
+                      static_cast<double>(memory->allocs);
+    }
+
+  private:
+    tensor::PoolStats before_;
+};
 
 /** Map the profiler's node timeline into the result's breakdowns. */
 void
@@ -91,6 +125,10 @@ runInfer(const RunSpec &spec, models::MultiModalWorkload &workload,
     for (int i = 0; i < spec.warmup; ++i)
         profiler.profileGraph(workload, batch, spec.sched);
 
+    // Arena accounting covers exactly the timed repetitions: warmup
+    // passes have populated the free lists, so these numbers are the
+    // steady state the mem.* fields advertise.
+    PoolWindow pool_window;
     std::vector<double> wall_us, sim_us;
     profile::ProfileResult last;
     for (int i = 0; i < spec.repeat; ++i) {
@@ -99,6 +137,7 @@ runInfer(const RunSpec &spec, models::MultiModalWorkload &workload,
         wall_us.push_back(nowUs() - t0);
         sim_us.push_back(last.timeline.totalUs);
     }
+    pool_window.finish(&result->memory);
 
     result->hostLatencyUs = LatencyStats::fromSamples(wall_us);
     result->simLatencyUs = LatencyStats::fromSamples(sim_us);
@@ -141,9 +180,12 @@ runTrain(const RunSpec &spec, models::MultiModalWorkload &workload,
     workload.train(true);
     std::vector<double> step_us;
     int64_t timed_samples = 0;
+    std::unique_ptr<PoolWindow> pool_window;
     const int total_epochs = spec.warmup + spec.repeat;
     for (int epoch = 0; epoch < total_epochs; ++epoch) {
         const bool timed = epoch >= spec.warmup;
+        if (timed && !pool_window)
+            pool_window = std::make_unique<PoolWindow>();
         for (int64_t b = 0; b < loader.batchesPerEpoch(); ++b) {
             data::Batch batch = loader.batch(b);
             const double t0 = nowUs();
@@ -170,6 +212,8 @@ runTrain(const RunSpec &spec, models::MultiModalWorkload &workload,
             static_cast<double>(timed_samples) * 1e6 / total_us;
     }
 
+    if (pool_window)
+        pool_window->finish(&result->memory);
     result->memory.modelBytes = workload.parameterBytes();
     result->memory.datasetBytes = train_set.all().inputBytes();
 
@@ -250,6 +294,11 @@ runServe(const RunSpec &spec, models::MultiModalWorkload &workload,
     options.policy = pipeline::SchedPolicy::Sequential;
     options.captureTraces = false;
 
+    // Prime the lazy per-policy memory plan (the warmup above built
+    // the stage graph) before concurrent requests race forwardGraph:
+    // lazy plan construction is single-threaded by contract.
+    workload.memoryPlan(options.policy);
+
     // Clamp to the effective thread count so a --threads limit also
     // bounds serving concurrency (a --threads sweep in serve mode
     // must measure what it labels).
@@ -263,8 +312,17 @@ runServe(const RunSpec &spec, models::MultiModalWorkload &workload,
     loop.inflight = inflight;
     loop.coalesce = spec.coalesce;
 
+    // Arena window over the serving stream: the warmup request above
+    // primed the free lists, so steady-state requests should be
+    // near-pure reuse.
+    PoolWindow pool_window;
     const pipeline::ServeLoopResult stream = pipeline::runServeLoop(
         total, loop, [&](int first, int count) {
+            // Per-request arena scoping: this slot's intermediates
+            // recycle through the serving thread's own shard, and a
+            // ballooned request hands its excess back on completion
+            // instead of fragmenting the other in-flight slots.
+            tensor::RequestArenaScope arena;
             autograd::NoGradGuard no_grad;
             if (count == 1) {
                 workload.forwardGraph(
@@ -274,6 +332,7 @@ runServe(const RunSpec &spec, models::MultiModalWorkload &workload,
                     coalesceBatches(batches, first, count), options);
             }
         });
+    pool_window.finish(&result->memory);
 
     std::vector<double> latency, queue, service;
     latency.reserve(stream.requests.size());

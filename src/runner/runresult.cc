@@ -145,6 +145,11 @@ RunResult::toJson() const
     mem.set("model_bytes", memory.modelBytes);
     mem.set("dataset_bytes", memory.datasetBytes);
     mem.set("peak_intermediate_bytes", memory.peakIntermediateBytes);
+    // Storage-arena accounting of the timed window (additive fields).
+    mem.set("peak_bytes", memory.peakBytes);
+    mem.set("allocs", memory.allocs);
+    mem.set("pool_hits", memory.poolHits);
+    mem.set("pool_reuse_ratio", memory.poolReuseRatio);
     obj.set("memory", std::move(mem));
 
     core::JsonValue metric_json = core::JsonValue::object();

@@ -103,6 +103,21 @@ struct MemoryUse
     uint64_t modelBytes = 0;
     uint64_t datasetBytes = 0;
     uint64_t peakIntermediateBytes = 0;
+
+    /**
+     * @name Storage-arena accounting (measured, all modes)
+     * Physical behaviour of the MemoryPool over the timed window:
+     * peak bytes held by live tensors, allocation requests, free-list
+     * hits, and the resulting reuse ratio (hits / allocs). Additive
+     * "mmbench-result-v1" fields: mem.peak_bytes / mem.allocs /
+     * mem.pool_hits / mem.pool_reuse_ratio.
+     * @{
+     */
+    uint64_t peakBytes = 0;
+    uint64_t allocs = 0;
+    uint64_t poolHits = 0;
+    double poolReuseRatio = 0.0;
+    /** @} */
 };
 
 /** Everything one run produces. */

@@ -82,7 +82,8 @@ const std::vector<std::string> kCsvHeader = {
     "requests",      "serve_wall_us",  "arrival",
     "rate_rps",      "coalesce",       "offered_rps",
     "achieved_rps",  "queue_p50_us",   "queue_p99_us",
-    "service_p50_us",
+    "service_p50_us", "peak_bytes",    "allocs",
+    "pool_hits",     "pool_reuse_ratio",
 };
 
 } // namespace
@@ -138,6 +139,13 @@ CsvSink::write(const RunResult &r)
         numfmt::f3(r.serve.queueUs.p50),
         numfmt::f3(r.serve.queueUs.p99),
         numfmt::f3(r.serve.serviceUs.p50),
+        strfmt("%llu",
+               static_cast<unsigned long long>(r.memory.peakBytes)),
+        strfmt("%llu",
+               static_cast<unsigned long long>(r.memory.allocs)),
+        strfmt("%llu",
+               static_cast<unsigned long long>(r.memory.poolHits)),
+        numfmt::f3(r.memory.poolReuseRatio),
     });
 }
 

@@ -63,7 +63,9 @@ Timeline::replay(const trace::RecordingSink &trace) const
     }
     result.totalUs = std::max(cpu_cursor, gpu_cursor);
 
-    // Memory watermarks from the allocation stream.
+    // Memory watermarks from the allocation stream. Logical bytes
+    // drive the watermark; the pooled flag only feeds the allocator-
+    // pressure counters.
     int64_t current[3] = {0, 0, 0};
     for (const auto &alloc : trace.allocs) {
         const auto cat = static_cast<size_t>(alloc.category);
@@ -73,6 +75,11 @@ Timeline::replay(const trace::RecordingSink &trace) const
             result.memory.peakBytes[cat] =
                 std::max(result.memory.peakBytes[cat],
                          static_cast<uint64_t>(current[cat]));
+        }
+        if (alloc.bytes > 0) {
+            ++result.memory.allocEvents;
+            if (alloc.pooled)
+                ++result.memory.pooledAllocs;
         }
     }
     return result;

@@ -49,6 +49,24 @@ struct MemoryStats
     uint64_t h2dBytes = 0;
     /** Total D2H payload. */
     uint64_t d2hBytes = 0;
+    /**
+     * Allocator pressure of the replayed window: allocation events
+     * (bytes > 0) and how many of them the storage arena served from
+     * a free list. The watermark above is reconstructed from logical
+     * bytes either way; these report what a device allocator would
+     * actually have had to do. Planner-scheduled mid-run frees lower
+     * the intermediate watermark and raise the pooled fraction.
+     */
+    uint64_t allocEvents = 0;
+    uint64_t pooledAllocs = 0;
+
+    /** Fraction of allocation events served by the arena free lists. */
+    double pooledFraction() const
+    {
+        return allocEvents == 0 ? 0.0
+                                : static_cast<double>(pooledAllocs) /
+                                      static_cast<double>(allocEvents);
+    }
 };
 
 /** Full simulated schedule. */

@@ -1,0 +1,303 @@
+#include "tensor/pool.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/logging.hh"
+
+namespace mmbench {
+namespace tensor {
+
+namespace {
+
+/** Smallest bucket, in floats (256 B): sub-bucket churn is pointless. */
+constexpr int64_t kMinBucketFloats = 64;
+
+/** Blocks one thread shard parks per bucket before spilling globally. */
+constexpr size_t kShardBucketCap = 16;
+
+/** Free-list shard. Each thread owns one; the pool owns one global. */
+struct FreeLists
+{
+    std::unordered_map<int64_t, std::vector<float *>> buckets;
+    uint64_t cachedBytes = 0;
+
+    void push(int64_t capacity, float *p)
+    {
+        buckets[capacity].push_back(p);
+        cachedBytes += static_cast<uint64_t>(capacity) * sizeof(float);
+    }
+
+    float *pop(int64_t capacity)
+    {
+        auto it = buckets.find(capacity);
+        if (it == buckets.end() || it->second.empty())
+            return nullptr;
+        float *p = it->second.back();
+        it->second.pop_back();
+        cachedBytes -= static_cast<uint64_t>(capacity) * sizeof(float);
+        return p;
+    }
+};
+
+} // namespace
+
+struct MemoryPool::Impl
+{
+    std::atomic<bool> enabled{true};
+
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> poolHits{0};
+    std::atomic<uint64_t> freshAllocs{0};
+    std::atomic<uint64_t> bytesInUse{0};
+    std::atomic<uint64_t> peakBytes{0};
+    std::atomic<uint64_t> globalCachedBytes{0};
+
+    std::mutex mu; ///< guards `global`
+    FreeLists global;
+
+    void bumpPeak(uint64_t in_use)
+    {
+        uint64_t peak = peakBytes.load(std::memory_order_relaxed);
+        while (in_use > peak &&
+               !peakBytes.compare_exchange_weak(
+                   peak, in_use, std::memory_order_relaxed)) {
+        }
+    }
+};
+
+namespace {
+
+/**
+ * The calling thread's shard. Whole-process lifetime trick: the shard
+ * only caches raw pointers that remain reachable through it, so a
+ * thread that exits without flushing keeps its blocks reachable (no
+ * leak-sanitizer report) while the global pool can't see them — the
+ * documented shard-flush contract.
+ */
+struct ThreadShard
+{
+    FreeLists lists;
+
+    ~ThreadShard()
+    {
+        // Return everything to the OS when the thread dies: the global
+        // pool must not receive pointers after its own destruction
+        // during interleaved thread/static teardown.
+        for (auto &bucket : lists.buckets) {
+            for (float *p : bucket.second)
+                ::free(p);
+        }
+    }
+};
+
+ThreadShard &
+threadShard()
+{
+    static thread_local ThreadShard shard;
+    return shard;
+}
+
+} // namespace
+
+MemoryPool::MemoryPool() : impl_(new Impl)
+{
+    const char *env = std::getenv("MMBENCH_POOL");
+    if (env && env[0] == '0' && env[1] == '\0')
+        impl_->enabled.store(false);
+}
+
+MemoryPool::~MemoryPool()
+{
+    trim();
+    delete impl_;
+}
+
+MemoryPool &
+MemoryPool::instance()
+{
+    // Intentionally leaked: Storage destructors of objects with static
+    // storage duration may run during program teardown, after a
+    // function-local static pool would already be destroyed. The
+    // static pointer keeps the arena (and its cached blocks) reachable,
+    // so leak checkers see no leak.
+    static MemoryPool *pool = new MemoryPool;
+    return *pool;
+}
+
+int64_t
+MemoryPool::bucketCapacity(int64_t numel)
+{
+    MM_ASSERT(numel >= 0, "negative allocation size");
+    if (numel == 0)
+        return 0;
+    int64_t cap = kMinBucketFloats;
+    while (cap < numel)
+        cap <<= 1;
+    return cap;
+}
+
+PoolBlock
+MemoryPool::acquire(int64_t numel)
+{
+    PoolBlock block;
+    block.capacity = bucketCapacity(numel);
+    impl_->requests.fetch_add(1, std::memory_order_relaxed);
+    if (block.capacity == 0)
+        return block;
+
+    const uint64_t bytes =
+        static_cast<uint64_t>(block.capacity) * sizeof(float);
+
+    if (enabled()) {
+        // Fast path: the calling thread's own shard, no lock.
+        block.data = threadShard().lists.pop(block.capacity);
+        if (!block.data) {
+            std::lock_guard<std::mutex> lock(impl_->mu);
+            block.data = impl_->global.pop(block.capacity);
+            if (block.data)
+                impl_->globalCachedBytes.store(
+                    impl_->global.cachedBytes,
+                    std::memory_order_relaxed);
+        }
+    }
+    if (block.data) {
+        block.pooled = true;
+        impl_->poolHits.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        block.data = static_cast<float *>(
+            std::malloc(static_cast<size_t>(bytes)));
+        MM_ASSERT(block.data != nullptr,
+                  "arena malloc of %llu bytes failed",
+                  static_cast<unsigned long long>(bytes));
+        impl_->freshAllocs.fetch_add(1, std::memory_order_relaxed);
+    }
+    const uint64_t in_use =
+        impl_->bytesInUse.fetch_add(bytes, std::memory_order_relaxed) +
+        bytes;
+    impl_->bumpPeak(in_use);
+    return block;
+}
+
+void
+MemoryPool::release(const PoolBlock &block)
+{
+    if (!block.data)
+        return;
+    const uint64_t bytes =
+        static_cast<uint64_t>(block.capacity) * sizeof(float);
+    impl_->bytesInUse.fetch_sub(bytes, std::memory_order_relaxed);
+
+    if (!enabled()) {
+        ::free(block.data);
+        return;
+    }
+    FreeLists &local = threadShard().lists;
+    auto &bucket = local.buckets[block.capacity];
+    if (bucket.size() < kShardBucketCap) {
+        bucket.push_back(block.data);
+        local.cachedBytes += bytes;
+        return;
+    }
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->global.push(block.capacity, block.data);
+    impl_->globalCachedBytes.store(impl_->global.cachedBytes,
+                                   std::memory_order_relaxed);
+}
+
+PoolStats
+MemoryPool::stats() const
+{
+    PoolStats s;
+    s.requests = impl_->requests.load(std::memory_order_relaxed);
+    s.poolHits = impl_->poolHits.load(std::memory_order_relaxed);
+    s.freshAllocs = impl_->freshAllocs.load(std::memory_order_relaxed);
+    s.bytesInUse = impl_->bytesInUse.load(std::memory_order_relaxed);
+    s.peakBytes = impl_->peakBytes.load(std::memory_order_relaxed);
+    s.cachedBytes =
+        impl_->globalCachedBytes.load(std::memory_order_relaxed) +
+        threadShard().lists.cachedBytes;
+    return s;
+}
+
+void
+MemoryPool::resetPeak()
+{
+    impl_->peakBytes.store(impl_->bytesInUse.load(),
+                           std::memory_order_relaxed);
+}
+
+void
+MemoryPool::flushThisThreadShard()
+{
+    FreeLists &local = threadShard().lists;
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (auto &bucket : local.buckets) {
+        for (float *p : bucket.second)
+            impl_->global.push(bucket.first, p);
+        bucket.second.clear();
+    }
+    local.cachedBytes = 0;
+    impl_->globalCachedBytes.store(impl_->global.cachedBytes,
+                                   std::memory_order_relaxed);
+}
+
+void
+MemoryPool::trim()
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (auto &bucket : impl_->global.buckets) {
+        for (float *p : bucket.second)
+            ::free(p);
+        bucket.second.clear();
+    }
+    impl_->global.cachedBytes = 0;
+    impl_->globalCachedBytes.store(0, std::memory_order_relaxed);
+}
+
+void
+MemoryPool::setEnabled(bool on)
+{
+    impl_->enabled.store(on, std::memory_order_relaxed);
+}
+
+bool
+MemoryPool::enabled() const
+{
+    return impl_->enabled.load(std::memory_order_relaxed);
+}
+
+PoolDisableScope::PoolDisableScope()
+    : prev_(MemoryPool::instance().enabled())
+{
+    MemoryPool::instance().setEnabled(false);
+}
+
+PoolDisableScope::~PoolDisableScope()
+{
+    MemoryPool::instance().setEnabled(prev_);
+}
+
+RequestArenaScope::RequestArenaScope(uint64_t keep_bytes)
+    : keepBytes_(keep_bytes)
+{
+    // Touch the shard so its thread_local is constructed before the
+    // request body races through the allocator fast path.
+    (void)threadShard();
+}
+
+RequestArenaScope::~RequestArenaScope()
+{
+    // A request that ballooned the slot's shard hands the whole shard
+    // back to the global lists (the next request re-warms it from
+    // there); a normally-sized steady-state request keeps its working
+    // set local for the next request on this slot.
+    if (threadShard().lists.cachedBytes > keepBytes_)
+        MemoryPool::instance().flushThisThreadShard();
+}
+
+} // namespace tensor
+} // namespace mmbench

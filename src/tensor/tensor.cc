@@ -9,14 +9,16 @@ namespace mmbench {
 namespace tensor {
 
 Storage::Storage(int64_t numel)
-    : data_(static_cast<size_t>(numel))
+    : block_(MemoryPool::instance().acquire(numel)), numel_(numel)
 {
-    trace::emitAlloc(numel * static_cast<int64_t>(sizeof(float)));
+    trace::emitAlloc(numel_ * static_cast<int64_t>(sizeof(float)),
+                     block_.pooled);
 }
 
 Storage::~Storage()
 {
-    trace::emitAlloc(-numel() * static_cast<int64_t>(sizeof(float)));
+    trace::emitAlloc(-numel_ * static_cast<int64_t>(sizeof(float)));
+    MemoryPool::instance().release(block_);
 }
 
 Tensor::Tensor(const Shape &shape)

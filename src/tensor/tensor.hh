@@ -15,14 +15,19 @@
 #include <vector>
 
 #include "core/rng.hh"
+#include "tensor/pool.hh"
 #include "tensor/shape.hh"
 
 namespace mmbench {
 namespace tensor {
 
 /**
- * Reference-counted flat float buffer. Reports its lifetime to the
- * trace layer (alloc on construction, free on destruction).
+ * Reference-counted flat float buffer, acquired from the MemoryPool
+ * arena (pool.hh). The contents are UNINITIALIZED on construction —
+ * callers that need zeroed memory go through Tensor::zeros/full.
+ * Reports its logical lifetime to the trace layer (alloc on
+ * construction, free on destruction) exactly as before pooling, so
+ * the simulator's watermark reconstruction is unchanged.
  */
 class Storage
 {
@@ -33,12 +38,16 @@ class Storage
     Storage(const Storage &) = delete;
     Storage &operator=(const Storage &) = delete;
 
-    float *data() { return data_.data(); }
-    const float *data() const { return data_.data(); }
-    int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+    float *data() { return block_.data; }
+    const float *data() const { return block_.data; }
+    int64_t numel() const { return numel_; }
+
+    /** True when the arena recycled a free-list block for this buffer. */
+    bool pooled() const { return block_.pooled; }
 
   private:
-    std::vector<float> data_;
+    PoolBlock block_;
+    int64_t numel_ = 0;
 };
 
 /**

@@ -110,6 +110,14 @@ struct AllocEvent
     int64_t bytes = 0; ///< positive on alloc, negative on free
     MemCategory category = MemCategory::Intermediate;
     Stage stage = Stage::Unknown;
+    /**
+     * True when the storage arena satisfied this allocation from a
+     * free list (always false on frees). The sim memory model keeps
+     * reconstructing the watermark from `bytes` alone — logical
+     * accounting is unchanged by pooling — but reports the pooled
+     * fraction as allocator-pressure context.
+     */
+    bool pooled = false;
 };
 
 } // namespace trace

@@ -94,13 +94,14 @@ emitRuntime(RuntimeEvent::Kind kind, const char *name, uint64_t bytes)
 }
 
 void
-emitAlloc(int64_t bytes)
+emitAlloc(int64_t bytes, bool pooled)
 {
     Sink *sink = tlsSink;
     if (!sink)
         return;
     AllocEvent ev;
     ev.bytes = bytes;
+    ev.pooled = pooled;
     ev.category = currentMemCategory();
     ev.stage = currentStage();
     sink->onAlloc(ev);

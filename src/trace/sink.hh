@@ -94,8 +94,11 @@ void emitKernel(KernelClass kclass, const char *name, uint64_t flops,
 /** Emit a host runtime event (no-op unless a sink is installed). */
 void emitRuntime(RuntimeEvent::Kind kind, const char *name, uint64_t bytes);
 
-/** Emit an allocation event (no-op unless a sink is installed). */
-void emitAlloc(int64_t bytes);
+/**
+ * Emit an allocation event (no-op unless a sink is installed).
+ * `pooled` marks arena free-list hits (meaningful for bytes > 0).
+ */
+void emitAlloc(int64_t bytes, bool pooled = false);
 
 /** True if a sink is installed on this thread (emission is live). */
 bool tracingActive();

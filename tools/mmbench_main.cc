@@ -25,6 +25,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
@@ -91,6 +92,9 @@ usage(FILE *to)
         "       --all              run every experiment\n"
         "       --smoke            tiny geometry for experiments that\n"
         "                          support it (e.g. --id load)\n"
+        "       --slo-ms X         p99 latency SLO: the load experiment\n"
+        "                          reports the max offered rate whose\n"
+        "                          measured p99 stays under X ms\n"
         "       --json PATH        also write tables as JSONL records\n"
         "       --csv PATH         also write tables as long-format CSV\n"
         "  help                    this message\n");
@@ -236,9 +240,11 @@ cmdFig(const std::vector<std::string> &args)
 {
     std::string id, json_path, csv_path;
     bool list = false, all = false, smoke = false;
+    double slo_ms = 0.0;
     for (size_t i = 0; i < args.size(); ++i) {
         const std::string &arg = args[i];
-        if (arg == "--id" || arg == "--json" || arg == "--csv") {
+        if (arg == "--id" || arg == "--json" || arg == "--csv" ||
+            arg == "--slo-ms") {
             if (i + 1 >= args.size()) {
                 std::fprintf(stderr,
                              "mmbench fig: '%s' is missing its value\n",
@@ -246,12 +252,24 @@ cmdFig(const std::vector<std::string> &args)
                 return 2;
             }
             const std::string &value = args[++i];
-            if (arg == "--id")
+            if (arg == "--id") {
                 id = value;
-            else if (arg == "--json")
+            } else if (arg == "--json") {
                 json_path = value;
-            else
+            } else if (arg == "--slo-ms") {
+                char *end = nullptr;
+                slo_ms = std::strtod(value.c_str(), &end);
+                if (end == value.c_str() || *end != '\0' ||
+                    slo_ms <= 0.0) {
+                    std::fprintf(stderr,
+                                 "mmbench fig: --slo-ms needs a "
+                                 "positive number, got '%s'\n",
+                                 value.c_str());
+                    return 2;
+                }
+            } else {
                 csv_path = value;
+            }
         } else if (arg == "--list") {
             list = true;
         } else if (arg == "--all") {
@@ -297,6 +315,7 @@ cmdFig(const std::vector<std::string> &args)
     // JSONL/CSV result formats as well as stdout.
     benchutil::setFigOutput(json_path, csv_path);
     benchutil::setSmokeMode(smoke);
+    benchutil::setSloMs(slo_ms);
     auto run_experiment = [](const runner::Experiment *e) {
         benchutil::setCurrentExperiment(e->id);
         return e->run();
