@@ -5,7 +5,14 @@
 # SANITIZE=address runs the AddressSanitizer leg instead: build + ctest
 # under -fsanitize=address (guards the pooled storage arena against
 # overflow/use-after-free), skipping the smoke legs — those measure,
-# the sanitizer leg verifies. The CI matrix runs both.
+# the sanitizer leg verifies.
+#
+# SANITIZE=thread runs the ThreadSanitizer leg: the serve dispatcher,
+# stage scheduler and fault/runner plumbing under -fsanitize=thread.
+# The subset runs serially (-j1): TSan slows execution ~10x, and the
+# open-loop dispatch tests assert wall-clock dispatch latency that an
+# oversubscribed runner would violate for reasons TSan doesn't care
+# about. The CI matrix runs all three legs.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,6 +32,19 @@ if [[ "$SANITIZE" == "address" ]]; then
     exit 0
 fi
 
+if [[ "$SANITIZE" == "thread" ]]; then
+    BUILD_DIR="${BUILD_DIR:-build-tsan}"
+    cmake -B "$BUILD_DIR" -S . \
+        -DCMAKE_BUILD_TYPE=Release \
+        -DMMBENCH_WERROR=ON \
+        -DMMBENCH_TSAN=ON
+    cmake --build "$BUILD_DIR" -j "$JOBS"
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j 1 \
+        -R '^(test_core|test_pipeline|test_serve|test_runner)$'
+    echo "tsan leg OK"
+    exit 0
+fi
+
 BUILD_DIR="${BUILD_DIR:-build-check}"
 
 cmake -B "$BUILD_DIR" -S . \
@@ -40,6 +60,7 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 rm -f "$BUILD_DIR"/BENCH_smoke.jsonl "$BUILD_DIR"/BENCH_smoke.csv \
       "$BUILD_DIR"/BENCH_serve.jsonl \
       "$BUILD_DIR"/BENCH_serve_openloop.jsonl \
+      "$BUILD_DIR"/BENCH_faults.jsonl \
       "$BUILD_DIR"/BENCH_ops_micro.jsonl
 
 # CI smoke run of the kernel microbenchmarks (also exercises the
@@ -70,6 +91,52 @@ MMBENCH_NUM_THREADS=4 "$BUILD_DIR/mmbench" run --smoke \
 # time, offered vs achieved rate) next to the figure table.
 MMBENCH_NUM_THREADS=4 "$BUILD_DIR/mmbench" fig --id load --smoke \
     --json "$BUILD_DIR/BENCH_serve_openloop.jsonl"
+
+# Fault-injection leg: the fault_tolerance experiment sweeps offered
+# load under a fixed fault cocktail, three ways per load point (clean /
+# faulted shed=on / faulted shed=off). Validated below: clean configs
+# must report identically-zero lifecycle counters (the inert path is
+# inert), and at the highest faulted load shedding must not lose
+# goodput versus servicing everything late.
+MMBENCH_NUM_THREADS=4 "$BUILD_DIR/mmbench" fig --id faults --smoke \
+    --json "$BUILD_DIR/BENCH_faults.jsonl"
+
+python3 - "$BUILD_DIR/BENCH_faults.jsonl" <<'EOF'
+import json, sys
+clean = faulted = 0
+by_rate = {}
+with open(sys.argv[1]) as fh:
+    for line in fh:
+        record = json.loads(line)
+        assert record["schema"] == "mmbench-result-v1"
+        if record.get("kind") == "figure":
+            continue
+        spec, serve = record["spec"], record["serve"]
+        outcomes = (serve["ok"] + serve["degraded"] + serve["shed"] +
+                    serve["timeouts"] + serve["failed"])
+        assert outcomes == serve["requests"], (
+            f"outcomes {outcomes} != requests {serve['requests']}")
+        if not spec["faults"]:
+            # Zero-fault config: the inert path must report every
+            # request Ok and every new counter zero.
+            clean += 1
+            for key in ("degraded", "shed", "timeouts", "failed",
+                        "retries", "faults_injected"):
+                assert serve[key] == 0, f"clean run has {key}={serve[key]}"
+            assert serve["ok"] == serve["requests"]
+        else:
+            faulted += 1
+            assert serve["faults_injected"] > 0 or serve["retries"] == 0
+            by_rate.setdefault(serve["offered_rps"], {})[
+                bool(spec["shed"])] = serve["goodput_rps"]
+assert clean >= 2 and faulted >= 4, (clean, faulted)
+top = by_rate[max(by_rate)]
+assert top[True] >= top[False], (
+    f"shedding lost goodput at the highest load: "
+    f"shed=on {top[True]:.1f} < shed=off {top[False]:.1f} req/s")
+print(f"fault-injection smoke OK: {clean} clean + {faulted} faulted runs, "
+      f"goodput shed=on {top[True]:.1f} >= shed=off {top[False]:.1f} req/s")
+EOF
 
 # Every emitted line must be valid JSON with the shared schema tag;
 # serve records must carry the serve aggregates, open-loop records

@@ -89,8 +89,15 @@ MultiModalWorkload::buildStageGraph()
                         0);
         std::vector<Var> features;
         features.reserve(enc_ids.size());
-        for (size_t enc_id : enc_ids)
-            features.push_back(ctx.slots[enc_id]);
+        for (size_t m = 0; m < enc_ids.size(); ++m) {
+            const Var &slot = ctx.slots[enc_ids[m]];
+            // Pruned modality (request-level dropout): the encoder
+            // never ran, so zero-impute its feature — the fused
+            // representation keeps its geometry.
+            features.push_back(slot.defined()
+                                   ? slot
+                                   : Var(zeroFeature(m, ctx.batch->size)));
+        }
         // Host-side marshalling of the per-modality intermediate
         // feature maps handed to the fusion network (the paper's
         // "additional intermediate data and data preparation
@@ -125,6 +132,57 @@ MultiModalWorkload::stageGraph()
     if (!graph_)
         buildStageGraph();
     return *graph_;
+}
+
+void
+MultiModalWorkload::primeDegraded()
+{
+    std::call_once(primeOnce_, [this] {
+        // One tiny zero-input pass per encoder learns its per-sample
+        // output shape; the cached shapes size every later imputation.
+        // Weights are read-only here, so racing a concurrent full
+        // forward is safe; call_once makes priming itself one-shot.
+        autograd::NoGradGuard no_grad;
+        featureShapes_.resize(numModalities());
+        for (size_t m = 0; m < numModalities(); ++m) {
+            std::vector<int64_t> dims = {1};
+            for (int64_t d : dataSpec_.modalities[m].sampleShape.dims())
+                dims.push_back(d);
+            Var feature =
+                encodeModality(m, Var(Tensor::zeros(Shape(dims))));
+            const std::vector<int64_t> &out =
+                feature.value().shape().dims();
+            MM_ASSERT(!out.empty() && out[0] == 1,
+                      "encoder output of %s lacks a batch dimension",
+                      dataSpec_.modalities[m].name.c_str());
+            featureShapes_[m] = Shape(std::vector<int64_t>(
+                out.begin() + 1, out.end()));
+        }
+        degradedReady_ = true;
+    });
+}
+
+uint32_t
+MultiModalWorkload::dropAllExcept(size_t keep) const
+{
+    uint32_t mask = 0;
+    for (size_t m = 0; m < numModalities(); ++m) {
+        if (m != keep)
+            mask |= 1u << m;
+    }
+    return mask;
+}
+
+Tensor
+MultiModalWorkload::zeroFeature(size_t modality, int64_t batch) const
+{
+    MM_ASSERT(degradedReady_,
+              "degraded execution before primeDegraded() on %s",
+              name().c_str());
+    std::vector<int64_t> dims = {batch};
+    for (int64_t d : featureShapes_[modality].dims())
+        dims.push_back(d);
+    return Tensor::zeros(Shape(dims));
 }
 
 const pipeline::MemoryPlan &
@@ -164,6 +222,10 @@ MultiModalWorkload::forwardGraph(const Batch &batch,
               name().c_str(), batch.modalities.size(), numModalities());
 
     const pipeline::StageGraph &graph = stageGraph();
+    // First degraded request primes the imputation shapes lazily;
+    // concurrent servers prime explicitly before dispatch.
+    if (options.dropMask != 0 && !degradedReady_)
+        primeDegraded();
     pipeline::ExecContext ctx;
     ctx.batch = &batch;
 

@@ -18,6 +18,7 @@
 #define MMBENCH_MODELS_WORKLOAD_HH
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -113,6 +114,33 @@ class MultiModalWorkload : public nn::Module
      */
     Var forwardUniModal(const Batch &batch, size_t modality);
 
+    /**
+     * @name Graceful degradation (modality dropout as a serving feature)
+     *
+     * A request arriving without modality m executes the graph with
+     * bit m set in ScheduleOptions::dropMask: the scheduler prunes the
+     * modality's preprocess/encoder subtree and the fusion node
+     * zero-imputes the missing feature (MultiBench-style zero
+     * imputation), so the fused representation keeps its geometry and
+     * the head runs unchanged. Degraded execution is bit-reproducible:
+     * the imputed feature is all-zeros of the encoder's output shape.
+     *
+     * primeDegraded() learns each encoder's per-sample output shape
+     * (one tiny zero-input pass per modality, cached). forwardGraph
+     * calls it automatically on the first degraded request, but
+     * concurrent servers should prime explicitly before dispatch, next
+     * to memoryPlan(). Idempotent and thread-safe (std::call_once).
+     * @{
+     */
+    void primeDegraded();
+
+    /** True once degraded execution can zero-impute every modality. */
+    bool degradedReady() const { return degradedReady_; }
+
+    /** Drop-mask with every modality except `keep` dropped. */
+    uint32_t dropAllExcept(size_t keep) const;
+    /** @} */
+
     /** Task-appropriate training loss. */
     Var loss(const Var &output, const Tensor &targets) const;
 
@@ -167,10 +195,18 @@ class MultiModalWorkload : public nn::Module
     /** Assemble the stage graph from the subclass hooks. */
     void buildStageGraph();
 
+    /** Zero feature of modality m's encoder output for `batch` rows. */
+    Tensor zeroFeature(size_t modality, int64_t batch) const;
+
     std::unique_ptr<pipeline::StageGraph> graph_;
     /** Lazily computed plans, indexed by SchedPolicy value. */
     std::unique_ptr<pipeline::MemoryPlan> plans_[2];
     size_t headNodeId_ = 0;
+
+    /** Per-modality encoder output shape minus the batch dimension. */
+    std::vector<tensor::Shape> featureShapes_;
+    std::once_flag primeOnce_;
+    bool degradedReady_ = false;
 
   protected:
 

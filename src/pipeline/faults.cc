@@ -1,0 +1,326 @@
+#include "pipeline/faults.hh"
+
+#include <cstdlib>
+
+#include "core/logging.hh"
+#include "core/string_utils.hh"
+
+namespace mmbench {
+namespace pipeline {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::Slow: return "slow";
+      case FaultKind::Fail: return "fail";
+      case FaultKind::DropModality: return "drop_modality";
+    }
+    return "?";
+}
+
+FaultError::FaultError(std::string node, int request, int attempt)
+    : node_(std::move(node)), request_(request), attempt_(attempt)
+{
+    message_ = strfmt("injected fault at node '%s' (request %d, "
+                      "attempt %d)", node_.c_str(), request_, attempt_);
+}
+
+bool
+globMatch(const std::string &pattern, const std::string &text)
+{
+    // Iterative glob with single-star backtracking: on mismatch after
+    // a '*', re-anchor the star one character further into the text.
+    size_t p = 0, t = 0;
+    size_t star = std::string::npos, mark = 0;
+    while (t < text.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == '?' || pattern[p] == text[t])) {
+            ++p;
+            ++t;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            mark = t;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            t = ++mark;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+namespace {
+
+/** splitmix64 finalizer: the avalanche step used to mix hash words. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** FNV-1a over the name so equal names hash equally on any platform. */
+uint64_t
+hashName(const std::string &name)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+FaultPlan::FaultPlan(std::vector<FaultRule> rules, uint64_t seed)
+    : rules_(std::move(rules)), seed_(seed)
+{
+}
+
+bool
+FaultPlan::fires(size_t rule_idx, int request, const std::string &name,
+                 int attempt) const
+{
+    const FaultRule &rule = rules_[rule_idx];
+    if (!(rule.p > 0.0))
+        return false;
+    if (rule.p >= 1.0)
+        return true;
+    // Pure function of (seed, rule, request, attempt, name): chain the
+    // words through the splitmix64 finalizer, then map the top 53 bits
+    // to [0, 1). No state, no stream — decisions are order-free.
+    uint64_t h = mix64(seed_ ^ mix64(static_cast<uint64_t>(rule_idx)));
+    h = mix64(h ^ static_cast<uint64_t>(static_cast<int64_t>(request)));
+    h = mix64(h ^ static_cast<uint64_t>(static_cast<int64_t>(attempt)));
+    h = mix64(h ^ hashName(name));
+    const double u =
+        static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+    return u < rule.p;
+}
+
+double
+FaultPlan::slowdownFor(int request, const std::string &node,
+                       int attempt) const
+{
+    double factor = 1.0;
+    for (size_t i = 0; i < rules_.size(); ++i) {
+        const FaultRule &rule = rules_[i];
+        if (rule.kind != FaultKind::Slow ||
+            !globMatch(rule.pattern, node))
+            continue;
+        if (fires(i, request, node, attempt))
+            factor *= rule.slowdown;
+    }
+    return factor;
+}
+
+bool
+FaultPlan::failsAt(int request, const std::string &node,
+                   int attempt) const
+{
+    for (size_t i = 0; i < rules_.size(); ++i) {
+        const FaultRule &rule = rules_[i];
+        if (rule.kind != FaultKind::Fail ||
+            !globMatch(rule.pattern, node))
+            continue;
+        if (fires(i, request, node, attempt))
+            return true;
+    }
+    return false;
+}
+
+bool
+FaultPlan::dropsModality(int request, const std::string &modality) const
+{
+    for (size_t i = 0; i < rules_.size(); ++i) {
+        const FaultRule &rule = rules_[i];
+        if (rule.kind != FaultKind::DropModality ||
+            !globMatch(rule.pattern, modality))
+            continue;
+        // Drops are decided once per request (attempt 0): a retried
+        // request keeps the same missing modalities — the input is
+        // missing, not the computation.
+        if (fires(i, request, modality, 0))
+            return true;
+    }
+    return false;
+}
+
+bool
+FaultPlan::hasKind(FaultKind kind) const
+{
+    for (const FaultRule &rule : rules_) {
+        if (rule.kind == kind)
+            return true;
+    }
+    return false;
+}
+
+namespace {
+
+bool
+parseProb(const std::string &text, double *out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size())
+        return false;
+    if (!(v >= 0.0) || !(v <= 1.0))
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+parseFactor(const std::string &text, double *out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size())
+        return false;
+    if (!(v >= 1.0))
+        return false;
+    *out = v;
+    return true;
+}
+
+/**
+ * Split one rule into `key=value` fields after the leading kind.
+ * A ':'-segment without '=' continues the previous value (re-joined
+ * with ':'), so node globs like "encoder:image" need no escaping.
+ */
+std::vector<std::string>
+splitFields(const std::vector<std::string> &segments)
+{
+    std::vector<std::string> fields;
+    for (size_t i = 1; i < segments.size(); ++i) {
+        if (segments[i].find('=') == std::string::npos &&
+            !fields.empty()) {
+            fields.back() += ":" + segments[i];
+        } else {
+            fields.push_back(segments[i]);
+        }
+    }
+    return fields;
+}
+
+bool
+parseRule(const std::string &text, FaultRule *rule, std::string *error)
+{
+    const std::vector<std::string> segments = split(text, ':');
+    if (segments.empty() || segments[0].empty()) {
+        *error = strfmt("empty fault rule in '%s'", text.c_str());
+        return false;
+    }
+    const std::string kind = toLower(segments[0]);
+    if (kind == "slow") {
+        rule->kind = FaultKind::Slow;
+    } else if (kind == "fail") {
+        rule->kind = FaultKind::Fail;
+    } else if (kind == "drop_modality" || kind == "drop") {
+        rule->kind = FaultKind::DropModality;
+    } else {
+        *error = strfmt("unknown fault kind '%s' (expected slow, fail "
+                        "or drop_modality)", segments[0].c_str());
+        return false;
+    }
+
+    bool have_p = false;
+    for (const std::string &field : splitFields(segments)) {
+        const size_t eq = field.find('=');
+        if (eq == std::string::npos) {
+            *error = strfmt("fault rule '%s': field '%s' is not "
+                            "key=value", text.c_str(), field.c_str());
+            return false;
+        }
+        const std::string key = toLower(field.substr(0, eq));
+        const std::string value = field.substr(eq + 1);
+        if (key == "node") {
+            if (rule->kind == FaultKind::DropModality) {
+                *error = strfmt("fault rule '%s': drop_modality "
+                                "matches modalities, use mod=<glob>",
+                                text.c_str());
+                return false;
+            }
+            rule->pattern = value;
+        } else if (key == "mod") {
+            if (rule->kind != FaultKind::DropModality) {
+                *error = strfmt("fault rule '%s': mod= only applies "
+                                "to drop_modality; use node=<glob>",
+                                text.c_str());
+                return false;
+            }
+            rule->pattern = value;
+        } else if (key == "p") {
+            if (!parseProb(value, &rule->p)) {
+                *error = strfmt("fault rule '%s': p must be a "
+                                "probability in [0, 1], got '%s'",
+                                text.c_str(), value.c_str());
+                return false;
+            }
+            have_p = true;
+        } else if (key == "x") {
+            if (rule->kind != FaultKind::Slow) {
+                *error = strfmt("fault rule '%s': x= (slowdown) only "
+                                "applies to slow rules", text.c_str());
+                return false;
+            }
+            if (!parseFactor(value, &rule->slowdown)) {
+                *error = strfmt("fault rule '%s': x must be a number "
+                                ">= 1, got '%s'", text.c_str(),
+                                value.c_str());
+                return false;
+            }
+        } else {
+            *error = strfmt("fault rule '%s': unknown key '%s' "
+                            "(expected node, mod, p or x)",
+                            text.c_str(), key.c_str());
+            return false;
+        }
+    }
+    if (!have_p) {
+        *error = strfmt("fault rule '%s' is missing p=<probability>",
+                        text.c_str());
+        return false;
+    }
+    if (rule->pattern.empty()) {
+        *error = strfmt("fault rule '%s' has an empty glob pattern",
+                        text.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+parseFaultPlan(const std::string &spec, uint64_t seed, FaultPlan *plan,
+               std::string *error)
+{
+    error->clear();
+    std::vector<FaultRule> rules;
+    for (const std::string &text : split(spec, ';')) {
+        if (text.empty())
+            continue; // tolerate trailing / doubled separators
+        FaultRule rule;
+        if (!parseRule(text, &rule, error))
+            return false;
+        rules.push_back(std::move(rule));
+    }
+    *plan = FaultPlan(std::move(rules), seed);
+    return true;
+}
+
+} // namespace pipeline
+} // namespace mmbench

@@ -31,8 +31,17 @@ nowUs()
  */
 void
 execNode(size_t node_id, const StageNode &node, ExecContext &ctx,
-         NodeRun &out, const ScheduleOptions &options, bool grad_enabled)
+         NodeRun &out, const ScheduleOptions &options, bool grad_enabled,
+         GraphRun *run)
 {
+    // Fault consultation happens before any work: an injected failure
+    // costs the request nothing but the dispatch (the model never ran).
+    if (options.faults && options.faults->failsAt(
+                              options.faultRequest, node.name,
+                              options.faultAttempt))
+        throw FaultError(node.name, options.faultRequest,
+                         options.faultAttempt);
+
     std::unique_ptr<autograd::NoGradGuard> no_grad;
     if (!grad_enabled)
         no_grad = std::make_unique<autograd::NoGradGuard>();
@@ -49,6 +58,24 @@ execNode(size_t node_id, const StageNode &node, ExecContext &ctx,
     out.startUs = nowUs();
     node.body(ctx);
     out.endUs = nowUs();
+
+    // Injected straggler: busy-extend until the node's measured span
+    // reaches `factor` times its real duration. Burning the slot's CPU
+    // (rather than sleeping) models a node that is genuinely slower,
+    // and keeps the span visible to every consumer of the timeline.
+    if (options.faults) {
+        const double factor = options.faults->slowdownFor(
+            options.faultRequest, node.name, options.faultAttempt);
+        if (factor > 1.0) {
+            const double target =
+                out.startUs + (out.endUs - out.startUs) * factor;
+            while (nowUs() < target) {
+            }
+            out.endUs = nowUs();
+            if (run)
+                ++run->injectedSlowdowns;
+        }
+    }
 
     // Planned buffer releases: drop slots whose last consumer is this
     // node, while this node's capture (and ambient scopes) are still
@@ -84,6 +111,24 @@ tryParseSchedPolicy(const std::string &name, SchedPolicy *policy)
     return false;
 }
 
+namespace {
+
+/**
+ * True when the node is pruned from this execution: its modality was
+ * dropped from the request, so the whole per-modality subtree
+ * (preprocess + encoder) is dead. Fusion/head nodes carry no modality
+ * and always run; the fusion body zero-imputes the missing feature.
+ */
+bool
+prunedByDropMask(const StageNode &node, uint32_t drop_mask)
+{
+    return drop_mask != 0 && node.modality != trace::kNoModality &&
+           node.modality < 32 &&
+           (drop_mask >> static_cast<unsigned>(node.modality)) & 1u;
+}
+
+} // namespace
+
 GraphRun
 runGraph(const StageGraph &graph, ExecContext &ctx,
          const ScheduleOptions &options)
@@ -102,24 +147,42 @@ runGraph(const StageGraph &graph, ExecContext &ctx,
     MM_ASSERT(!options.plan ||
                   options.plan->releaseAfter.size() == graph.size(),
               "memory plan built for a different graph");
+    // Injected failures propagate as exceptions through the scheduler;
+    // they must not be thrown across the worker pool's task boundary.
+    MM_ASSERT(!options.faults || options.faults->empty() ||
+                  policy == SchedPolicy::Sequential,
+              "fault injection requires the sequential policy");
 
     const double t0 = nowUs();
     if (policy == SchedPolicy::Sequential) {
-        for (size_t id = 0; id < graph.size(); ++id)
+        for (size_t id = 0; id < graph.size(); ++id) {
+            if (prunedByDropMask(graph.node(id), options.dropMask)) {
+                ++run.prunedNodes;
+                continue;
+            }
             execNode(id, graph.node(id), ctx, run.nodes[id], options,
-                     grad_enabled);
+                     grad_enabled, &run);
+        }
     } else {
         for (int level = 0; level < graph.numLevels(); ++level) {
             const std::vector<size_t> ids = graph.levelNodes(level);
+            std::vector<size_t> live;
+            live.reserve(ids.size());
+            for (size_t id : ids) {
+                if (prunedByDropMask(graph.node(id), options.dropMask))
+                    ++run.prunedNodes;
+                else
+                    live.push_back(id);
+            }
             // One wave per dependency level: members of a level never
             // depend on each other, so they are free to overlap.
             core::parallelFor(
-                0, static_cast<int64_t>(ids.size()), 1,
+                0, static_cast<int64_t>(live.size()), 1,
                 [&](int64_t begin, int64_t end) {
                     for (int64_t i = begin; i < end; ++i) {
-                        const size_t id = ids[static_cast<size_t>(i)];
+                        const size_t id = live[static_cast<size_t>(i)];
                         execNode(id, graph.node(id), ctx, run.nodes[id],
-                                 options, grad_enabled);
+                                 options, grad_enabled, nullptr);
                     }
                 });
         }

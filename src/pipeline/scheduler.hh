@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "pipeline/faults.hh"
 #include "pipeline/graph.hh"
 #include "trace/sink.hh"
 
@@ -72,6 +73,24 @@ struct ScheduleOptions
      * graph-level buffer reuse (tests compare both behaviours).
      */
     bool planMemory = true;
+    /**
+     * Bitmask of dropped modalities: bit m set = modality m is missing
+     * from this execution's request. The scheduler prunes (skips) every
+     * node carrying that modality id — the dead encoder subtree — and
+     * the fusion node zero-imputes the missing feature. 0 = all
+     * modalities present (the historical behaviour, zero-cost).
+     */
+    uint32_t dropMask = 0;
+    /**
+     * Fault-injection plan consulted per executed node, or nullptr for
+     * no injection. Requires the sequential policy (injected failures
+     * throw FaultError through the scheduler, which must not cross the
+     * worker pool). Decisions key on (faultRequest, node name,
+     * faultAttempt), so they are a pure function of the spec + seed.
+     */
+    const FaultPlan *faults = nullptr;
+    int faultRequest = 0; ///< request id stamped on fault decisions
+    int faultAttempt = 0; ///< retry attempt stamped on fault decisions
 };
 
 /** What executing one node produced. */
@@ -89,6 +108,10 @@ struct GraphRun
 {
     std::vector<NodeRun> nodes; ///< indexed by node id
     double totalUs = 0.0;       ///< host wall clock of the whole run
+    /** Slow faults injected into this execution (options.faults). */
+    int injectedSlowdowns = 0;
+    /** Nodes skipped because their modality was dropped. */
+    int prunedNodes = 0;
 };
 
 /**

@@ -1,8 +1,10 @@
 #include "pipeline/serve.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <mutex>
 #include <thread>
 
@@ -59,6 +61,46 @@ isOpenLoop(ArrivalKind kind)
     return kind != ArrivalKind::Closed;
 }
 
+const char *
+requestOutcomeName(RequestOutcome outcome)
+{
+    switch (outcome) {
+      case RequestOutcome::Ok: return "ok";
+      case RequestOutcome::Degraded: return "degraded";
+      case RequestOutcome::Shed: return "shed";
+      case RequestOutcome::Timeout: return "timeout";
+      case RequestOutcome::Failed: return "failed";
+    }
+    MM_PANIC("invalid request outcome");
+}
+
+std::string
+validateServeOptions(int total, const ServeLoopOptions &options)
+{
+    if (total < 0)
+        return "request count must be >= 0";
+    if (options.inflight < 1)
+        return "inflight must be >= 1";
+    if (options.coalesce < 1)
+        return "coalesce must be >= 1";
+    if (options.queueCap < 0)
+        return "queue-cap must be >= 0";
+    if (options.deadlineUs < 0.0)
+        return "deadline must be >= 0";
+    if (isOpenLoop(options.arrival)) {
+        if (!(options.rateRps > 0.0))
+            return "open-loop arrivals need a rate > 0";
+    } else {
+        if (options.coalesce != 1)
+            return "closed-loop serving cannot coalesce (no queue to "
+                   "batch from)";
+        if (options.queueCap > 0)
+            return "queue-cap applies to open-loop arrivals only "
+                   "(closed loop has no queue)";
+    }
+    return "";
+}
+
 std::vector<double>
 arrivalScheduleUs(ArrivalKind kind, int requests, double rate_rps,
                   uint64_t seed)
@@ -90,20 +132,58 @@ arrivalScheduleUs(ArrivalKind kind, int requests, double rate_rps,
 namespace {
 
 /**
+ * Terminal outcome of a serviced request (shed requests never reach
+ * here). Precedence: Failed > Timeout > Degraded > Ok — a failed
+ * request wasted its budget no matter when it finished, and a late
+ * degraded answer still missed its deadline.
+ */
+RequestOutcome
+outcomeFor(const ServiceResult &sr, double latency_us, double deadline_us)
+{
+    if (sr.failed)
+        return RequestOutcome::Failed;
+    if (deadline_us > 0.0 && latency_us > deadline_us)
+        return RequestOutcome::Timeout;
+    if (sr.degraded)
+        return RequestOutcome::Degraded;
+    return RequestOutcome::Ok;
+}
+
+/** Fold the per-request outcomes into the lifecycle counters. */
+void
+tallyOutcomes(ServeLoopResult *result)
+{
+    for (const RequestOutcome o : result->outcomes) {
+        switch (o) {
+          case RequestOutcome::Ok: ++result->ok; break;
+          case RequestOutcome::Degraded: ++result->degraded; break;
+          case RequestOutcome::Shed: ++result->shed; break;
+          case RequestOutcome::Timeout: ++result->timeouts; break;
+          case RequestOutcome::Failed: ++result->failed; break;
+        }
+    }
+}
+
+/**
  * Closed loop: an atomic next-request cursor hands out exactly one
  * request per pull. This replaces dispatching through parallelFor's
  * range chunking, which handed each slot a *block* of requests (range
  * / (4 * threads)) and serialized everything inside the block —
  * skewing per-request concurrency and the tail percentiles it feeds.
+ *
+ * No queue means nothing to shed: requests can only end ok, degraded,
+ * timed out, or failed.
  */
 void
-runClosedLoop(int total, int inflight, const ServiceFn &service,
-              ServeLoopResult *result)
+runClosedLoop(int total, const ServeLoopOptions &options,
+              const ServiceFn &service, ServeLoopResult *result)
 {
     std::atomic<int> cursor{0};
     std::atomic<int> calls{0};
+    std::atomic<int> retries{0};
+    std::atomic<int> faults{0};
     const double t0 = nowUs();
-    core::parallelFor(0, inflight, 1, [&](int64_t, int64_t) {
+    core::parallelFor(0, options.inflight, 1, [&](int64_t, int64_t) {
         // The slot body drains the cursor; the parallelFor range only
         // determines how many slots run concurrently.
         for (;;) {
@@ -111,23 +191,45 @@ runClosedLoop(int total, int inflight, const ServiceFn &service,
             if (i >= total)
                 return;
             const double start = nowUs() - t0;
-            service(i, 1);
+            const ServiceResult sr = service(ServiceCall{i, 1, false});
             const double end = nowUs() - t0;
             RequestTiming &t = result->requests[static_cast<size_t>(i)];
             t.arrivalUs = start; // no queue in a closed loop
             t.startUs = start;
             t.endUs = end;
+            result->outcomes[static_cast<size_t>(i)] =
+                outcomeFor(sr, end - start, options.deadlineUs);
             calls.fetch_add(1, std::memory_order_relaxed);
+            retries.fetch_add(sr.retries, std::memory_order_relaxed);
+            faults.fetch_add(sr.faultsInjected,
+                             std::memory_order_relaxed);
         }
     });
     result->wallUs = nowUs() - t0;
     result->serviceCalls = calls.load();
+    result->retries = retries.load();
+    result->faultsInjected = faults.load();
 }
 
 /**
  * Open loop: requests become available at their scheduled arrival
  * instants; slots pull the head of the FIFO queue (coalescing up to
- * `coalesce` arrived requests) or sleep until the next arrival.
+ * `coalesce` arrived requests) or wait for the next arrival.
+ *
+ * Waiting is handed to a single designated slot: exactly one idle slot
+ * owns the next-arrival timer (sleeping on the condition variable with
+ * a timeout, then yield-spinning the final stretch for dispatch
+ * precision) while every other idle slot parks on the condition
+ * variable at zero CPU cost. The previous design had every idle slot
+ * spin-yield toward the same arrival — a thundering herd that burned
+ * (inflight - 1) cores doing nothing and skewed service measurements
+ * at low load. Liveness: the timer owner wakes one parked slot after
+ * dequeuing, every service completion wakes one more (arrived backlog
+ * may now be visible), and stream end broadcasts.
+ *
+ * When shedding is on, dequeue is also where requests die: heads past
+ * their deadline and oldest arrivals beyond the queue cap are shed
+ * before any service time is spent on them.
  */
 void
 runOpenLoop(int total, const ServeLoopOptions &options,
@@ -135,47 +237,117 @@ runOpenLoop(int total, const ServeLoopOptions &options,
             ServeLoopResult *result)
 {
     std::mutex mu;
-    int next = 0;
+    std::condition_variable cv;
+    int next = 0;            // guarded by mu
+    bool has_waiter = false; // guarded by mu: a slot owns the timer
+    double mean_service = 0.0; // EWMA of service spans, guarded by mu
     std::atomic<int> calls{0};
-    const int coalesce = options.coalesce < 1 ? 1 : options.coalesce;
+    std::atomic<int> retries{0};
+    std::atomic<int> faults{0};
     const double t0 = nowUs();
 
+    // Caller holds mu. Shed the queue head without servicing it; its
+    // "span" collapses to the shed instant so latencyUs() reports how
+    // long it waited before being dropped.
+    const auto shedHead = [&](double now) {
+        RequestTiming &t = result->requests[static_cast<size_t>(next)];
+        t.arrivalUs = arrival[static_cast<size_t>(next)];
+        t.startUs = now;
+        t.endUs = now;
+        result->outcomes[static_cast<size_t>(next)] =
+            RequestOutcome::Shed;
+        ++next;
+    };
+
     core::parallelFor(0, options.inflight, 1, [&](int64_t, int64_t) {
+        std::unique_lock<std::mutex> lock(mu);
         for (;;) {
-            int first, count;
-            {
-                std::unique_lock<std::mutex> lock(mu);
-                if (next >= total)
-                    return;
-                const double now = nowUs() - t0;
-                const double due = arrival[static_cast<size_t>(next)];
-                if (now < due) {
-                    // Head of the queue hasn't arrived: release the
-                    // lock and wait for it. Long waits sleep, leaving
-                    // a margin that absorbs OS timer overshoot; the
-                    // final stretch yield-spins so dispatch jitter
-                    // (which lands in the measured queue wait) stays
-                    // at scheduler-yield granularity.
-                    lock.unlock();
-                    const double wait_us = due - now;
-                    if (wait_us > 2000.0) {
-                        std::this_thread::sleep_for(
-                            std::chrono::duration<double, std::micro>(
-                                wait_us - 1500.0));
-                    } else {
-                        std::this_thread::yield();
+            if (next >= total) {
+                cv.notify_all(); // release every parked slot
+                return;
+            }
+            double now = nowUs() - t0;
+            if (options.shedding) {
+                // Deadline-expired heads: servicing them is pure
+                // waste, the answer would be late regardless.
+                if (options.deadlineUs > 0.0) {
+                    while (next < total &&
+                           arrival[static_cast<size_t>(next)] +
+                                   options.deadlineUs <
+                               now)
+                        shedHead(now);
+                }
+                // Bounded admission: drop-oldest until the arrived
+                // backlog fits the cap (oldest arrivals have burned
+                // the most deadline budget already).
+                if (options.queueCap > 0) {
+                    const auto begin = arrival.begin() + next;
+                    int backlog = static_cast<int>(
+                        std::upper_bound(begin, arrival.end(), now) -
+                        begin);
+                    while (backlog > options.queueCap) {
+                        shedHead(now);
+                        --backlog;
                     }
+                }
+                if (next >= total)
+                    continue; // loop top handles termination
+            }
+            const double due = arrival[static_cast<size_t>(next)];
+            if (now < due) {
+                if (has_waiter) {
+                    // Another slot owns the timer: park. Woken by the
+                    // timer owner after its dequeue, by a completion,
+                    // or by the end-of-stream broadcast.
+                    cv.wait(lock);
                     continue;
                 }
-                first = next;
-                count = 1;
-                while (count < coalesce && first + count < total &&
-                       arrival[static_cast<size_t>(first + count)] <= now)
-                    ++count;
-                next = first + count;
+                has_waiter = true;
+                const double wait_us = due - now;
+                if (wait_us > 2000.0) {
+                    // Sleep with a margin that absorbs OS timer
+                    // overshoot; a notify (completion advancing the
+                    // queue) ends the wait early, which is harmless —
+                    // the loop re-derives the head and its due time.
+                    cv.wait_for(
+                        lock, std::chrono::duration<double, std::micro>(
+                                  wait_us - 1500.0));
+                } else {
+                    // Final stretch: yield-spin off-lock so dispatch
+                    // jitter (measured as queue wait) stays at
+                    // scheduler-yield granularity.
+                    lock.unlock();
+                    while (nowUs() - t0 < due)
+                        std::this_thread::yield();
+                    lock.lock();
+                }
+                has_waiter = false;
+                continue;
             }
+            const int first = next;
+            int count = 1;
+            while (count < options.coalesce && first + count < total &&
+                   arrival[static_cast<size_t>(first + count)] <= now)
+                ++count;
+            next = first + count;
+            // Deadline pressure: the group's remaining budget is below
+            // the running mean service time, so a full-fidelity answer
+            // would likely time out — hint the service fn to degrade.
+            bool pressure = false;
+            if (options.shedding && options.deadlineUs > 0.0 &&
+                mean_service > 0.0) {
+                const double remaining =
+                    arrival[static_cast<size_t>(first)] +
+                    options.deadlineUs - now;
+                pressure = remaining < mean_service;
+            }
+            if (next < total)
+                cv.notify_one(); // hand the queue to a parked slot
+            lock.unlock();
+
             const double start = nowUs() - t0;
-            service(first, count);
+            const ServiceResult sr =
+                service(ServiceCall{first, count, pressure});
             const double end = nowUs() - t0;
             for (int i = first; i < first + count; ++i) {
                 RequestTiming &t =
@@ -183,12 +355,28 @@ runOpenLoop(int total, const ServeLoopOptions &options,
                 t.arrivalUs = arrival[static_cast<size_t>(i)];
                 t.startUs = start;
                 t.endUs = end;
+                result->outcomes[static_cast<size_t>(i)] = outcomeFor(
+                    sr, end - arrival[static_cast<size_t>(i)],
+                    options.deadlineUs);
             }
             calls.fetch_add(1, std::memory_order_relaxed);
+            retries.fetch_add(sr.retries, std::memory_order_relaxed);
+            faults.fetch_add(sr.faultsInjected,
+                             std::memory_order_relaxed);
+
+            lock.lock();
+            mean_service = mean_service == 0.0
+                               ? end - start
+                               : 0.7 * mean_service + 0.3 * (end - start);
+            // Completion may have exposed arrived backlog to a parked
+            // slot (the timer owner sleeps toward a later arrival).
+            cv.notify_one();
         }
     });
     result->wallUs = nowUs() - t0;
     result->serviceCalls = calls.load();
+    result->retries = retries.load();
+    result->faultsInjected = faults.load();
 }
 
 } // namespace
@@ -197,21 +385,24 @@ ServeLoopResult
 runServeLoop(int total, const ServeLoopOptions &options,
              const ServiceFn &service)
 {
-    MM_ASSERT(total >= 0, "negative request count");
-    MM_ASSERT(options.inflight >= 1, "inflight must be >= 1");
+    const std::string err = validateServeOptions(total, options);
+    MM_ASSERT(err.empty(), "invalid serve options: %s", err.c_str());
 
     ServeLoopResult result;
     result.requests.resize(static_cast<size_t>(total));
+    result.outcomes.resize(static_cast<size_t>(total),
+                           RequestOutcome::Ok);
     if (total == 0)
         return result;
 
     if (!isOpenLoop(options.arrival)) {
-        runClosedLoop(total, options.inflight, service, &result);
-        return result;
+        runClosedLoop(total, options, service, &result);
+    } else {
+        const std::vector<double> arrival = arrivalScheduleUs(
+            options.arrival, total, options.rateRps, options.seed);
+        runOpenLoop(total, options, arrival, service, &result);
     }
-    const std::vector<double> arrival = arrivalScheduleUs(
-        options.arrival, total, options.rateRps, options.seed);
-    runOpenLoop(total, options, arrival, service, &result);
+    tallyOutcomes(&result);
     return result;
 }
 

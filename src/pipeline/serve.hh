@@ -26,6 +26,19 @@
  *
  * The schedule is generated from a seed before the clock starts, so a
  * fixed (kind, requests, rate, seed) tuple is bit-reproducible.
+ *
+ * Request lifecycle (fault-tolerant serving): every request ends in an
+ * explicit outcome. The dispatcher owns the queue-side half — bounded
+ * admission (`queueCap`, oldest arrivals shed when the arrived backlog
+ * exceeds the cap), per-request deadlines (`deadlineUs`, requests
+ * already expired at dequeue are shed instead of wasting service on
+ * them), and deadline-pressure detection (remaining budget below the
+ * running mean service time) that lets the service function degrade
+ * rather than shed. The service function owns the execution half —
+ * fault injection, retry/backoff, modality-dropout degradation — and
+ * reports it back through ServiceResult. With no deadline, no queue
+ * cap and a service function that never fails, every path is inert and
+ * the stream behaves exactly like the historical dispatcher.
  */
 
 #ifndef MMBENCH_PIPELINE_SERVE_HH
@@ -89,28 +102,104 @@ struct ServeLoopOptions
      * serves one request per call.
      */
     int coalesce = 1;
+    /**
+     * Open loop only: bound on the arrived-but-unserved backlog. When
+     * an arrival would leave more than `queueCap` requests waiting, the
+     * oldest waiting requests are shed (drop-oldest: they have burned
+     * the most deadline budget and are the least likely to still make
+     * it). 0 = unbounded queue (the historical behaviour).
+     */
+    int queueCap = 0;
+    /**
+     * Per-request deadline from its arrival instant, in microseconds.
+     * A request still queued past its deadline is shed at dequeue; a
+     * request that completes past it counts as a timeout (the work was
+     * wasted). 0 = no deadline.
+     */
+    double deadlineUs = 0.0;
+    /**
+     * Master switch for load shedding (queueCap + expired-at-dequeue
+     * shedding + deadline-pressure degradation hints). Off = every
+     * request is serviced no matter how late — the collapse baseline
+     * the fault_tolerance experiment compares against.
+     */
+    bool shedding = true;
+};
+
+/**
+ * Terminal state of one request. Precedence when several apply:
+ * Failed > Shed > Timeout > Degraded > Ok.
+ */
+enum class RequestOutcome : uint8_t
+{
+    Ok,       ///< served completely, within deadline (if any)
+    Degraded, ///< served with reduced fidelity (dropped modalities)
+    Shed,     ///< dropped by the dispatcher without being serviced
+    Timeout,  ///< serviced, but completed past its deadline
+    Failed,   ///< service gave up (fault persisted through all retries)
+};
+
+const char *requestOutcomeName(RequestOutcome outcome);
+
+/** What the service function did with one coalesce group. */
+struct ServiceResult
+{
+    bool failed = false;   ///< permanent failure (retries exhausted)
+    bool degraded = false; ///< served with reduced fidelity
+    int retries = 0;       ///< retry attempts consumed beyond the first
+    int faultsInjected = 0; ///< faults the group absorbed (incl. retried)
 };
 
 /** What one serve stream measured. */
 struct ServeLoopResult
 {
     std::vector<RequestTiming> requests; ///< indexed by request id
+    std::vector<RequestOutcome> outcomes; ///< indexed by request id
     int serviceCalls = 0; ///< service invocations (< requests when coalesced)
     double wallUs = 0.0;  ///< stream start to last completion
+
+    /** @name Lifecycle counters (sum = total requests) @{ */
+    int ok = 0;
+    int degraded = 0;
+    int shed = 0;
+    int timeouts = 0;
+    int failed = 0;
+    /** @} */
+    int retries = 0;        ///< total retry attempts across all requests
+    int faultsInjected = 0; ///< total faults absorbed across all requests
 };
 
 /**
- * Serve requests [first, first + count). count > 1 only when
- * options.coalesce allows it; coalesced requests are consecutive ids
- * in arrival (FIFO) order.
+ * One dispatched coalesce group: requests [first, first + count) in
+ * arrival (FIFO) order. count > 1 only when options.coalesce allows
+ * it. `underPressure` is the dispatcher's hint that the group's
+ * deadline budget is smaller than the running mean service time — the
+ * service function should degrade (serve a cheaper variant) rather
+ * than burn the full cost and time out.
  */
-using ServiceFn = std::function<void(int first, int count)>;
+struct ServiceCall
+{
+    int first = 0;
+    int count = 1;
+    bool underPressure = false;
+};
+
+using ServiceFn = std::function<ServiceResult(const ServiceCall &)>;
+
+/**
+ * Reject invalid load-generation parameters: returns an empty string
+ * when (total, options) describe a runnable stream, else a
+ * human-readable reason. runServeLoop asserts this; RunSpec parsing
+ * surfaces it as a CLI error before any model is built.
+ */
+std::string validateServeOptions(int total,
+                                 const ServeLoopOptions &options);
 
 /**
  * Run one serve stream of `total` requests on the core worker pool:
  * min(inflight, pool threads) slots execute `service` concurrently,
- * one coalesce group at a time. Blocks until every request completed;
- * requests are dispatched strictly in id order.
+ * one coalesce group at a time. Blocks until every request reached a
+ * terminal outcome; requests are dispatched strictly in id order.
  */
 ServeLoopResult runServeLoop(int total, const ServeLoopOptions &options,
                              const ServiceFn &service);

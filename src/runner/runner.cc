@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "autograd/optim.hh"
 #include "core/logging.hh"
@@ -255,6 +256,16 @@ coalesceBatches(const std::vector<data::Batch> &batches, int first,
     return fused;
 }
 
+/** Set bits in a drop mask (fault-dropped modalities per request). */
+int
+countBits(uint32_t mask)
+{
+    int n = 0;
+    for (; mask != 0; mask &= mask - 1)
+        ++n;
+    return n;
+}
+
 void
 runServe(const RunSpec &spec, models::MultiModalWorkload &workload,
          RunResult *result)
@@ -282,6 +293,42 @@ runServe(const RunSpec &spec, models::MultiModalWorkload &workload,
             workload.metric(out.value(), warmup_batch.targets);
         result->hasMetric = true;
     }
+
+    // The fault plan seeds from the run seed: decisions are a pure
+    // function of (seed, request, node, attempt), decorrelated from
+    // the arrival schedule by the plan's hash chain.
+    pipeline::FaultPlan plan;
+    {
+        std::string fault_error;
+        if (!pipeline::parseFaultPlan(spec.faults, spec.seed, &plan,
+                                      &fault_error))
+            MM_FATAL("--faults: %s", fault_error.c_str());
+    }
+
+    // Per-request modality dropout, decided up front (pure function of
+    // the plan — precomputing keeps the hot path to one array read).
+    std::vector<uint32_t> drop_masks;
+    if (plan.hasKind(pipeline::FaultKind::DropModality)) {
+        drop_masks.assign(static_cast<size_t>(total), 0);
+        for (int r = 0; r < total; ++r) {
+            for (size_t m = 0; m < workload.numModalities(); ++m) {
+                if (plan.dropsModality(
+                        r, workload.dataSpec().modalities[m].name))
+                    drop_masks[static_cast<size_t>(r)] |= 1u << m;
+            }
+        }
+    }
+
+    // Under deadline pressure a degradable workload serves only its
+    // first modality (the others zero-imputed) instead of timing out
+    // at full fidelity. Only meaningful with shedding on and a
+    // deadline set.
+    const bool pressure_degrade = spec.shed && spec.deadlineMs > 0.0 &&
+                                  workload.numModalities() > 1;
+    const uint32_t pressure_mask =
+        pressure_degrade ? workload.dropAllExcept(0) : 0;
+    if (!drop_masks.empty() || pressure_degrade)
+        workload.primeDegraded();
 
     // Each request runs its graph sequentially — the pool is spent on
     // request-level concurrency, and nested parallelFor would degrade
@@ -311,34 +358,100 @@ runServe(const RunSpec &spec, models::MultiModalWorkload &workload,
     loop.seed = spec.seed;
     loop.inflight = inflight;
     loop.coalesce = spec.coalesce;
+    loop.queueCap = spec.queueCap;
+    loop.deadlineUs = spec.deadlineMs * 1000.0;
+    loop.shedding = spec.shed;
 
     // Arena window over the serving stream: the warmup request above
     // primed the free lists, so steady-state requests should be
     // near-pure reuse.
     PoolWindow pool_window;
     const pipeline::ServeLoopResult stream = pipeline::runServeLoop(
-        total, loop, [&](int first, int count) {
+        total, loop,
+        [&](const pipeline::ServiceCall &call)
+            -> pipeline::ServiceResult {
             // Per-request arena scoping: this slot's intermediates
             // recycle through the serving thread's own shard, and a
             // ballooned request hands its excess back on completion
             // instead of fragmenting the other in-flight slots.
             tensor::RequestArenaScope arena;
             autograd::NoGradGuard no_grad;
-            if (count == 1) {
-                workload.forwardGraph(
-                    batches[static_cast<size_t>(first)], options);
-            } else {
-                workload.forwardGraph(
-                    coalesceBatches(batches, first, count), options);
+            pipeline::ServiceResult sr;
+
+            pipeline::ScheduleOptions req = options;
+            if (!plan.empty()) {
+                req.faults = &plan;
+                // Coalesced groups key fault decisions on the head
+                // request id: one dispatch, one execution, one roll.
+                req.faultRequest = call.first;
             }
+            uint32_t mask = 0;
+            if (!drop_masks.empty()) {
+                // A coalesced group adopts the union of its members'
+                // dropped modalities (the group runs as one batch, so
+                // a modality missing from any member is imputed for
+                // the whole group).
+                for (int i = call.first; i < call.first + call.count;
+                     ++i) {
+                    const uint32_t m =
+                        drop_masks[static_cast<size_t>(i)];
+                    mask |= m;
+                    sr.faultsInjected += countBits(m);
+                }
+            }
+            if (call.underPressure && pressure_degrade)
+                mask |= pressure_mask;
+            req.dropMask = mask;
+
+            // Bounded retry with exponential backoff: injected
+            // failures are transient per attempt (the plan re-rolls
+            // with attempt+1), so a retry can succeed. Exhausting the
+            // budget reports the request failed.
+            for (int attempt = 0;; ++attempt) {
+                req.faultAttempt = attempt;
+                try {
+                    pipeline::GraphRun graph_run;
+                    if (call.count == 1) {
+                        workload.forwardGraph(
+                            batches[static_cast<size_t>(call.first)],
+                            req, &graph_run);
+                    } else {
+                        workload.forwardGraph(
+                            coalesceBatches(batches, call.first,
+                                            call.count),
+                            req, &graph_run);
+                    }
+                    sr.faultsInjected += graph_run.injectedSlowdowns;
+                    break;
+                } catch (const pipeline::FaultError &) {
+                    ++sr.faultsInjected;
+                    if (attempt >= spec.retries) {
+                        sr.failed = true;
+                        break;
+                    }
+                    ++sr.retries;
+                    // 100us * 2^attempt, capped so a large --retries
+                    // cannot overflow into a multi-second stall.
+                    std::this_thread::sleep_for(std::chrono::microseconds(
+                        100LL << std::min(attempt, 10)));
+                }
+            }
+            sr.degraded = !sr.failed && mask != 0;
+            return sr;
         });
     pool_window.finish(&result->memory);
 
+    // Shed requests never ran: their timings record only how long
+    // they waited before being dropped, which would poison the
+    // latency/service percentiles of the work actually done.
     std::vector<double> latency, queue, service;
     latency.reserve(stream.requests.size());
     queue.reserve(stream.requests.size());
     service.reserve(stream.requests.size());
-    for (const pipeline::RequestTiming &t : stream.requests) {
+    for (size_t i = 0; i < stream.requests.size(); ++i) {
+        if (stream.outcomes[i] == pipeline::RequestOutcome::Shed)
+            continue;
+        const pipeline::RequestTiming &t = stream.requests[i];
         latency.push_back(t.latencyUs());
         queue.push_back(t.queueUs());
         service.push_back(t.serviceUs());
@@ -348,12 +461,18 @@ runServe(const RunSpec &spec, models::MultiModalWorkload &workload,
     result->serve.serviceUs = LatencyStats::fromSamples(service);
 
     const double wall = stream.wallUs;
+    const int serviced = total - stream.shed;
     if (wall > 0.0) {
-        result->throughputSps = static_cast<double>(total) *
+        result->throughputSps = static_cast<double>(serviced) *
                                 static_cast<double>(spec.batch) * 1e6 /
                                 wall;
         result->serve.achievedRps =
-            static_cast<double>(total) * 1e6 / wall;
+            static_cast<double>(serviced) * 1e6 / wall;
+        // Goodput counts only useful completions: full-fidelity or
+        // degraded answers delivered in time.
+        result->serve.goodputRps =
+            static_cast<double>(stream.ok + stream.degraded) * 1e6 /
+            wall;
     }
     result->serve.inflight = inflight;
     result->serve.requests = total;
@@ -363,6 +482,13 @@ runServe(const RunSpec &spec, models::MultiModalWorkload &workload,
         pipeline::isOpenLoop(spec.arrival) ? spec.rateRps : 0.0;
     result->serve.coalesce = spec.coalesce;
     result->serve.batches = stream.serviceCalls;
+    result->serve.ok = stream.ok;
+    result->serve.degraded = stream.degraded;
+    result->serve.shed = stream.shed;
+    result->serve.timeouts = stream.timeouts;
+    result->serve.failed = stream.failed;
+    result->serve.retries = stream.retries;
+    result->serve.faultsInjected = stream.faultsInjected;
 
     result->memory.modelBytes = workload.parameterBytes();
     uint64_t dataset_bytes = 0;

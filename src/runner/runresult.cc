@@ -84,6 +84,12 @@ RunResult::toJson() const
     spec_json.set("arrival", pipeline::arrivalKindName(spec.arrival));
     spec_json.set("rate_rps", spec.rateRps);
     spec_json.set("coalesce", static_cast<int64_t>(spec.coalesce));
+    // Fault-tolerance knobs (additive v1 fields).
+    spec_json.set("faults", spec.faults);
+    spec_json.set("queue_cap", static_cast<int64_t>(spec.queueCap));
+    spec_json.set("deadline_ms", spec.deadlineMs);
+    spec_json.set("retries", static_cast<int64_t>(spec.retries));
+    spec_json.set("shed", spec.shed);
     obj.set("spec", std::move(spec_json));
 
     obj.set("latency_us", hostLatencyUs.toJson());
@@ -138,6 +144,17 @@ RunResult::toJson() const
         serve_json.set("batches", static_cast<int64_t>(serve.batches));
         serve_json.set("queue_us", serve.queueUs.toJson());
         serve_json.set("service_us", serve.serviceUs.toJson());
+        // Request-lifecycle accounting (additive; on a fault-free,
+        // deadline-free run ok == requests and everything else is 0).
+        serve_json.set("ok", static_cast<int64_t>(serve.ok));
+        serve_json.set("degraded", static_cast<int64_t>(serve.degraded));
+        serve_json.set("shed", static_cast<int64_t>(serve.shed));
+        serve_json.set("timeouts", static_cast<int64_t>(serve.timeouts));
+        serve_json.set("failed", static_cast<int64_t>(serve.failed));
+        serve_json.set("retries", static_cast<int64_t>(serve.retries));
+        serve_json.set("faults_injected",
+                       static_cast<int64_t>(serve.faultsInjected));
+        serve_json.set("goodput_rps", serve.goodputRps);
         obj.set("serve", std::move(serve_json));
     }
 

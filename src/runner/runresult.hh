@@ -95,6 +95,27 @@ struct ServeStats
     LatencyStats queueUs;
     /** Service time per request (start -> completion). */
     LatencyStats serviceUs;
+
+    /**
+     * @name Fault-tolerance accounting (additive v1 fields)
+     * Request-lifecycle outcome counts (ok + degraded + shed +
+     * timeouts + failed == requests) plus the work the fault machinery
+     * did. All zero on a fault-free, deadline-free run — the inert
+     * path reports exactly the historical record plus zero-valued
+     * fields. goodputRps counts only useful completions (ok +
+     * degraded) per second of serving wall clock; achievedRps keeps
+     * its historical meaning (everything serviced, even late).
+     * @{
+     */
+    int ok = 0;
+    int degraded = 0;
+    int shed = 0;
+    int timeouts = 0;
+    int failed = 0;
+    int retries = 0;
+    int faultsInjected = 0;
+    double goodputRps = 0.0;
+    /** @} */
 };
 
 /** Peak memory accounting of the run. */

@@ -121,6 +121,18 @@ RunSpec::toArgs() const
     args.push_back(strfmt("%.17g", rateRps));
     args.push_back("--coalesce");
     args.push_back(strfmt("%d", coalesce));
+    if (!faults.empty()) {
+        args.push_back("--faults");
+        args.push_back(faults);
+    }
+    args.push_back("--queue-cap");
+    args.push_back(strfmt("%d", queueCap));
+    args.push_back("--deadline-ms");
+    args.push_back(strfmt("%.17g", deadlineMs));
+    args.push_back("--retries");
+    args.push_back(strfmt("%d", retries));
+    args.push_back("--shed");
+    args.push_back(shed ? "on" : "off");
     return args;
 }
 
@@ -130,7 +142,8 @@ RunSpec::toString() const
     return strfmt(
         "%s fusion=%s mode=%s batch=%lld threads=%d scale=%g seed=%llu "
         "warmup=%d repeat=%d device=%s sched=%s inflight=%d requests=%d "
-        "arrival=%s rate=%g coalesce=%d",
+        "arrival=%s rate=%g coalesce=%d faults=%s queue_cap=%d "
+        "deadline_ms=%g retries=%d shed=%s",
         workload.c_str(),
         hasFusion ? fusion::fusionKindName(fusionKind) : "default",
         runModeName(mode), static_cast<long long>(batch), threads,
@@ -138,7 +151,8 @@ RunSpec::toString() const
         static_cast<unsigned long long>(seed), warmup, repeat,
         device.c_str(), pipeline::schedPolicyName(sched), inflight,
         requests, pipeline::arrivalKindName(arrival), rateRps,
-        coalesce);
+        coalesce, faults.empty() ? "none" : faults.c_str(), queueCap,
+        deadlineMs, retries, shed ? "on" : "off");
 }
 
 namespace {
@@ -328,6 +342,47 @@ parseSpecFlags(const std::vector<std::string> &args, RunSpec *spec,
                 return false;
             }
             spec->coalesce = static_cast<int>(v);
+        } else if (flag == "--faults") {
+            // Grammar-checked after the loop (seed-independent), so
+            // flag order can't change whether a spec parses.
+            spec->faults = value;
+        } else if (flag == "--queue-cap") {
+            int64_t v;
+            if (!parseInt64(value, &v) || v < 0) {
+                *error = strfmt("--queue-cap expects a non-negative "
+                                "integer (0 = unbounded), got '%s'",
+                                value.c_str());
+                return false;
+            }
+            spec->queueCap = static_cast<int>(v);
+        } else if (flag == "--deadline-ms") {
+            double v;
+            if (!parseDouble(value, &v) || v < 0.0) {
+                *error = strfmt("--deadline-ms expects a non-negative "
+                                "number (0 = no deadline), got '%s'",
+                                value.c_str());
+                return false;
+            }
+            spec->deadlineMs = v;
+        } else if (flag == "--retries") {
+            int64_t v;
+            if (!parseInt64(value, &v) || v < 0) {
+                *error = strfmt("--retries expects a non-negative "
+                                "integer, got '%s'", value.c_str());
+                return false;
+            }
+            spec->retries = static_cast<int>(v);
+        } else if (flag == "--shed") {
+            const std::string s = toLower(value);
+            if (s == "on" || s == "true" || s == "1") {
+                spec->shed = true;
+            } else if (s == "off" || s == "false" || s == "0") {
+                spec->shed = false;
+            } else {
+                *error = strfmt("--shed expects on or off, got '%s'",
+                                value.c_str());
+                return false;
+            }
         } else {
             *error = strfmt("unknown flag '%s'", flag.c_str());
             return false;
@@ -372,6 +427,47 @@ parseSpecFlags(const std::vector<std::string> &args, RunSpec *spec,
             *error = "--rate sets the open-loop offered rate, which a "
                      "closed loop ignores; add --arrival poisson or "
                      "--arrival fixed";
+            return false;
+        }
+        if (spec->queueCap > 0) {
+            *error = "--queue-cap bounds the open-loop admission "
+                     "queue; a closed loop has no queue — add "
+                     "--arrival poisson or --arrival fixed";
+            return false;
+        }
+    }
+    // Fault-tolerance flags are serve-mode features; rejecting them
+    // elsewhere keeps every emitted record honest about what ran.
+    if (spec->mode != RunMode::Serve) {
+        if (!spec->faults.empty()) {
+            *error = "--faults injects into serve-mode requests; add "
+                     "--mode serve";
+            return false;
+        }
+        if (spec->deadlineMs > 0.0) {
+            *error = "--deadline-ms sets a serve-mode request "
+                     "deadline; add --mode serve";
+            return false;
+        }
+        if (spec->retries > 0) {
+            *error = "--retries is the serve-mode retry budget; add "
+                     "--mode serve";
+            return false;
+        }
+        if (!spec->shed) {
+            *error = "--shed off disables serve-mode load shedding; "
+                     "add --mode serve";
+            return false;
+        }
+    }
+    if (!spec->faults.empty()) {
+        // Grammar check at parse time: the seed doesn't affect whether
+        // a spec parses, so any seed validates the grammar.
+        pipeline::FaultPlan plan;
+        std::string fault_error;
+        if (!pipeline::parseFaultPlan(spec->faults, spec->seed, &plan,
+                                      &fault_error)) {
+            *error = strfmt("--faults: %s", fault_error.c_str());
             return false;
         }
     }

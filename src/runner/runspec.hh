@@ -71,6 +71,16 @@ struct RunSpec
     double rateRps = 0.0;
     /** Serve mode, open loop: coalesce up to N queued requests. */
     int coalesce = 1;
+    /** Serve mode: fault-injection spec (faults.hh grammar); "" = none. */
+    std::string faults;
+    /** Serve mode, open loop: admission-queue bound; 0 = unbounded. */
+    int queueCap = 0;
+    /** Serve mode: per-request deadline in milliseconds; 0 = none. */
+    double deadlineMs = 0.0;
+    /** Serve mode: retry budget per request after an injected failure. */
+    int retries = 0;
+    /** Serve mode: load shedding on (default) or off (collapse baseline). */
+    bool shed = true;
 
     /** Total requests a serve run issues (resolves requests == 0). */
     int serveRequests() const
@@ -92,7 +102,8 @@ struct RunSpec
  * Parse CLI flags ("--workload", "--fusion", "--mode", "--batch",
  * "--threads", "--scale", "--seed", "--warmup", "--repeat",
  * "--device", "--sched", "--inflight", "--requests", "--arrival",
- * "--rate", "--coalesce") into *spec.
+ * "--rate", "--coalesce", "--faults", "--queue-cap", "--deadline-ms",
+ * "--retries", "--shed") into *spec.
  * Flags not present keep the spec's current values, so callers can
  * pre-seed defaults. Fails with a message in *error on unknown flags,
  * malformed values, or unknown workload/fusion/device names; the

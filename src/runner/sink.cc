@@ -84,6 +84,10 @@ const std::vector<std::string> kCsvHeader = {
     "achieved_rps",  "queue_p50_us",   "queue_p99_us",
     "service_p50_us", "peak_bytes",    "allocs",
     "pool_hits",     "pool_reuse_ratio",
+    // Fault-tolerance columns (append-only, like every v1 addition).
+    "goodput_rps",   "ok",             "degraded",
+    "shed",          "timeouts",       "failed",
+    "retries",       "faults_injected",
 };
 
 } // namespace
@@ -146,6 +150,14 @@ CsvSink::write(const RunResult &r)
         strfmt("%llu",
                static_cast<unsigned long long>(r.memory.poolHits)),
         numfmt::f3(r.memory.poolReuseRatio),
+        numfmt::f3(r.serve.goodputRps),
+        strfmt("%d", r.serve.ok),
+        strfmt("%d", r.serve.degraded),
+        strfmt("%d", r.serve.shed),
+        strfmt("%d", r.serve.timeouts),
+        strfmt("%d", r.serve.failed),
+        strfmt("%d", r.serve.retries),
+        strfmt("%d", r.serve.faultsInjected),
     });
 }
 

@@ -213,6 +213,117 @@ TEST(RunSpecParse, ArrivalFlagErrors)
     EXPECT_NE(error.find("--rate"), std::string::npos);
 }
 
+TEST(RunSpecParse, FaultFlagsParseAndRoundTrip)
+{
+    RunSpec spec;
+    std::string error;
+    ASSERT_TRUE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--mode", "serve", "--arrival",
+         "poisson", "--rate", "200", "--faults",
+         "slow:node=encoder:*:p=0.1:x=3;fail:node=fusion:p=0.05",
+         "--queue-cap", "8", "--deadline-ms", "2.5", "--retries", "2",
+         "--shed", "off"},
+        &spec, &error))
+        << error;
+    EXPECT_EQ(spec.faults,
+              "slow:node=encoder:*:p=0.1:x=3;fail:node=fusion:p=0.05");
+    EXPECT_EQ(spec.queueCap, 8);
+    EXPECT_DOUBLE_EQ(spec.deadlineMs, 2.5);
+    EXPECT_EQ(spec.retries, 2);
+    EXPECT_FALSE(spec.shed);
+
+    RunSpec reparsed;
+    ASSERT_TRUE(runner::parseRunSpec(spec.toArgs(), &reparsed, &error))
+        << error;
+    EXPECT_EQ(reparsed.faults, spec.faults);
+    EXPECT_EQ(reparsed.queueCap, spec.queueCap);
+    EXPECT_DOUBLE_EQ(reparsed.deadlineMs, spec.deadlineMs);
+    EXPECT_EQ(reparsed.retries, spec.retries);
+    EXPECT_EQ(reparsed.shed, spec.shed);
+
+    // The inert defaults round-trip too: no fault spec, no deadline,
+    // unbounded queue, shedding notionally on.
+    RunSpec plain;
+    ASSERT_TRUE(runner::parseRunSpec({"--workload", "av-mnist"}, &plain,
+                                     &error))
+        << error;
+    RunSpec plain2;
+    ASSERT_TRUE(runner::parseRunSpec(plain.toArgs(), &plain2, &error))
+        << error;
+    EXPECT_TRUE(plain2.faults.empty());
+    EXPECT_EQ(plain2.queueCap, 0);
+    EXPECT_DOUBLE_EQ(plain2.deadlineMs, 0.0);
+    EXPECT_EQ(plain2.retries, 0);
+    EXPECT_TRUE(plain2.shed);
+}
+
+TEST(RunSpecParse, FaultFlagErrors)
+{
+    RunSpec spec;
+    std::string error;
+
+    // Malformed fault grammar is rejected at parse time.
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--mode", "serve", "--faults",
+         "explode:p=0.5"},
+        &spec, &error));
+    EXPECT_NE(error.find("--faults"), std::string::npos) << error;
+
+    // A bounded queue needs open-loop arrivals; the closed loop never
+    // queues, so the cap would be silently meaningless.
+    spec = RunSpec();
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--mode", "serve", "--queue-cap",
+         "4"},
+        &spec, &error));
+    EXPECT_NE(error.find("--queue-cap"), std::string::npos) << error;
+
+    // Lifecycle flags outside serve mode would be silently ignored.
+    spec = RunSpec();
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--deadline-ms", "5"}, &spec,
+        &error));
+    EXPECT_NE(error.find("--deadline-ms"), std::string::npos) << error;
+
+    spec = RunSpec();
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--retries", "2"}, &spec, &error));
+    EXPECT_NE(error.find("--retries"), std::string::npos) << error;
+
+    spec = RunSpec();
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--shed", "off"}, &spec, &error));
+    EXPECT_NE(error.find("--shed"), std::string::npos) << error;
+
+    spec = RunSpec();
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--faults", "fail:node=*:p=0.1"},
+        &spec, &error));
+    EXPECT_NE(error.find("--faults"), std::string::npos) << error;
+
+    // Bad values for the new flags.
+    spec = RunSpec();
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--mode", "serve", "--shed",
+         "maybe"},
+        &spec, &error));
+    EXPECT_NE(error.find("--shed"), std::string::npos) << error;
+
+    spec = RunSpec();
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--mode", "serve", "--arrival",
+         "poisson", "--rate", "10", "--deadline-ms", "-1"},
+        &spec, &error));
+    EXPECT_NE(error.find("--deadline-ms"), std::string::npos) << error;
+
+    spec = RunSpec();
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--mode", "serve", "--retries",
+         "-2"},
+        &spec, &error));
+    EXPECT_NE(error.find("--retries"), std::string::npos) << error;
+}
+
 TEST(RunSpecParse, RateSweepExpandsAcrossSpecs)
 {
     std::vector<RunSpec> specs;
@@ -481,7 +592,8 @@ TEST(JsonSink, SchemaHasAllRequiredKeys)
     ASSERT_NE(spec, nullptr);
     for (const char *key :
          {"workload", "fusion", "mode", "batch", "threads", "scale",
-          "seed", "warmup", "repeat", "device"}) {
+          "seed", "warmup", "repeat", "device", "faults", "queue_cap",
+          "deadline_ms", "retries", "shed"}) {
         EXPECT_TRUE(spec->has(key)) << key;
     }
     // Default fusion resolved from the registry (no --fusion given).
@@ -574,6 +686,18 @@ TEST(Runner, OpenLoopServeReportsQueueAndServiceSeparately)
     EXPECT_GE(result.hostLatencyUs.p50, result.serve.serviceUs.p50);
     EXPECT_GE(result.hostLatencyUs.p99, result.serve.serviceUs.p99);
     EXPECT_TRUE(result.hasMetric);
+
+    // Inert path: no faults, no deadline, unbounded queue — every
+    // request completes Ok and the lifecycle counters are all zero.
+    EXPECT_EQ(result.serve.ok, 8);
+    EXPECT_EQ(result.serve.degraded, 0);
+    EXPECT_EQ(result.serve.shed, 0);
+    EXPECT_EQ(result.serve.timeouts, 0);
+    EXPECT_EQ(result.serve.failed, 0);
+    EXPECT_EQ(result.serve.retries, 0);
+    EXPECT_EQ(result.serve.faultsInjected, 0);
+    // With nothing shed or failed, goodput IS achieved throughput.
+    EXPECT_DOUBLE_EQ(result.serve.goodputRps, result.serve.achievedRps);
 }
 
 TEST(Runner, ClosedLoopServeHasNoQueueDelay)
@@ -597,4 +721,145 @@ TEST(Runner, ClosedLoopServeHasNoQueueDelay)
                      result.serve.serviceUs.p50);
     EXPECT_DOUBLE_EQ(result.hostLatencyUs.p99,
                      result.serve.serviceUs.p99);
+    EXPECT_EQ(result.serve.ok, 6);
+    EXPECT_EQ(result.serve.ok + result.serve.degraded +
+                  result.serve.shed + result.serve.timeouts +
+                  result.serve.failed,
+              result.serve.requests);
+}
+
+// -------------------------------------------------- fault-tolerant serve
+
+TEST(Runner, ServeJsonCarriesLifecycleBlock)
+{
+    RunSpec spec;
+    spec.workload = "av-mnist";
+    spec.mode = RunMode::Serve;
+    spec.batch = 2;
+    spec.sizeScale = 0.35f;
+    spec.inflight = 1;
+    spec.requests = 4;
+
+    const std::string path =
+        ::testing::TempDir() + "/mmbench_test_runner_serve.jsonl";
+    std::remove(path.c_str());
+    {
+        runner::JsonlSink sink(path);
+        std::vector<runner::ResultSink *> sinks = {&sink};
+        runner::runOne(spec, sinks);
+        sink.flush();
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    std::remove(path.c_str());
+
+    std::string error;
+    const JsonValue record = JsonValue::parse(line, &error);
+    ASSERT_TRUE(error.empty()) << error;
+
+    const JsonValue *serve = record.find("serve");
+    ASSERT_NE(serve, nullptr);
+    for (const char *key :
+         {"ok", "degraded", "shed", "timeouts", "failed", "retries",
+          "faults_injected", "goodput_rps"}) {
+        EXPECT_TRUE(serve->has(key)) << key;
+    }
+    // Inert run: the lifecycle block reports every request Ok.
+    EXPECT_EQ(serve->find("ok")->intValue(), 4);
+    EXPECT_EQ(serve->find("shed")->intValue(), 0);
+    EXPECT_EQ(serve->find("failed")->intValue(), 0);
+    EXPECT_EQ(serve->find("faults_injected")->intValue(), 0);
+    EXPECT_GT(serve->find("goodput_rps")->numberValue(), 0.0);
+}
+
+TEST(Runner, DroppedModalitiesServeDegraded)
+{
+    // Dropping the audio modality on every request cannot fail a
+    // request: the scheduler prunes the dead encoder subtree and the
+    // fusion stage zero-imputes the missing feature.
+    RunSpec spec;
+    spec.workload = "av-mnist";
+    spec.mode = RunMode::Serve;
+    spec.batch = 2;
+    spec.sizeScale = 0.35f;
+    spec.inflight = 1;
+    spec.requests = 4;
+    spec.faults = "drop_modality:mod=audio:p=1";
+
+    const runner::RunResult result = runner::runOne(spec);
+    EXPECT_EQ(result.serve.degraded, 4);
+    EXPECT_EQ(result.serve.ok, 0);
+    EXPECT_EQ(result.serve.failed, 0);
+    EXPECT_EQ(result.serve.shed, 0);
+    EXPECT_EQ(result.serve.faultsInjected, 4); // one dropped mod each
+    // Degraded completions still count toward goodput.
+    EXPECT_DOUBLE_EQ(result.serve.goodputRps, result.serve.achievedRps);
+}
+
+TEST(Runner, ExhaustedRetriesFailTheRequest)
+{
+    // p=1 fusion failure burns the whole retry budget every time:
+    // each request rolls attempt 0 (counts as a retry) and attempt 1
+    // (budget exhausted -> Failed), injecting two faults.
+    RunSpec spec;
+    spec.workload = "av-mnist";
+    spec.mode = RunMode::Serve;
+    spec.batch = 2;
+    spec.sizeScale = 0.35f;
+    spec.inflight = 1;
+    spec.requests = 3;
+    spec.faults = "fail:node=fusion:p=1";
+    spec.retries = 1;
+
+    const runner::RunResult result = runner::runOne(spec);
+    EXPECT_EQ(result.serve.failed, 3);
+    EXPECT_EQ(result.serve.ok, 0);
+    EXPECT_EQ(result.serve.retries, 3);
+    EXPECT_EQ(result.serve.faultsInjected, 6);
+    EXPECT_DOUBLE_EQ(result.serve.goodputRps, 0.0);
+}
+
+TEST(Runner, FaultedServeIsDeterministic)
+{
+    // Same spec, same seed: the injected-fault counts and per-outcome
+    // tallies are bit-identical across runs even though wall-clock
+    // timings differ.
+    RunSpec spec;
+    spec.workload = "av-mnist";
+    spec.mode = RunMode::Serve;
+    spec.batch = 2;
+    spec.sizeScale = 0.35f;
+    spec.inflight = 2;
+    spec.requests = 24;
+    spec.seed = 1234;
+    spec.faults =
+        "slow:node=encoder:*:p=0.2:x=3;"
+        "fail:node=fusion:p=0.3;"
+        "drop_modality:mod=image:p=0.25";
+    spec.retries = 2;
+
+    const runner::RunResult a = runner::runOne(spec);
+    const runner::RunResult b = runner::runOne(spec);
+    EXPECT_EQ(a.serve.ok, b.serve.ok);
+    EXPECT_EQ(a.serve.degraded, b.serve.degraded);
+    EXPECT_EQ(a.serve.failed, b.serve.failed);
+    EXPECT_EQ(a.serve.retries, b.serve.retries);
+    EXPECT_EQ(a.serve.faultsInjected, b.serve.faultsInjected);
+    // The cocktail actually did something on 24 requests.
+    EXPECT_GT(a.serve.faultsInjected, 0);
+    EXPECT_EQ(a.serve.ok + a.serve.degraded + a.serve.failed,
+              a.serve.requests);
+
+    // A different seed re-rolls every decision; with 24 requests and
+    // these probabilities a collision of all five counters is
+    // overwhelmingly unlikely.
+    RunSpec other = spec;
+    other.seed = 99;
+    const runner::RunResult c = runner::runOne(other);
+    EXPECT_TRUE(a.serve.ok != c.serve.ok ||
+                a.serve.degraded != c.serve.degraded ||
+                a.serve.failed != c.serve.failed ||
+                a.serve.retries != c.serve.retries ||
+                a.serve.faultsInjected != c.serve.faultsInjected);
 }

@@ -3,7 +3,11 @@
  * Serving load-generation tests: arrival-schedule determinism and
  * statistics, closed-loop dispatch granularity (the chunk-of-1
  * regression the old parallelFor-based dispatch failed), open-loop
- * queueing-delay accounting, and request coalescing.
+ * queueing-delay accounting, request coalescing, the fault-injection
+ * plan (grammar, glob matching, decision determinism, transient
+ * re-rolls), and the request lifecycle (deadline shedding, bounded
+ * admission, timeout/failure accounting, the shed=off collapse
+ * baseline, and the inert fault-free path).
  *
  * Runs with MMBENCH_NUM_THREADS=4 (CMake) so the dispatcher has real
  * request slots.
@@ -19,6 +23,7 @@
 #include <gtest/gtest.h>
 
 #include "core/parallel.hh"
+#include "pipeline/faults.hh"
 #include "pipeline/serve.hh"
 
 using namespace mmbench;
@@ -128,8 +133,9 @@ TEST(ClosedLoopDispatch, PullsExactlyOneRequestPerSlot)
     options.arrival = ArrivalKind::Closed;
     options.inflight = 4;
     const ServeLoopResult result = pipeline::runServeLoop(
-        total, options, [&](int first, int count) {
-            log.add(first, count);
+        total, options, [&](const pipeline::ServiceCall &call) {
+            log.add(call.first, call.count);
+            return pipeline::ServiceResult{};
         });
 
     EXPECT_EQ(result.serviceCalls, total);
@@ -156,9 +162,11 @@ TEST(ClosedLoopDispatch, SerialSlotServesInIdOrder)
     ServiceLog log;
     ServeLoopOptions options;
     options.inflight = 1;
-    pipeline::runServeLoop(12, options, [&](int first, int count) {
-        log.add(first, count);
-    });
+    pipeline::runServeLoop(
+        12, options, [&](const pipeline::ServiceCall &call) {
+            log.add(call.first, call.count);
+            return pipeline::ServiceResult{};
+        });
     ASSERT_EQ(log.calls.size(), 12u);
     for (int i = 0; i < 12; ++i) {
         EXPECT_EQ(log.calls[static_cast<size_t>(i)].first, i);
@@ -179,9 +187,10 @@ TEST(ClosedLoopDispatch, SlotsPullNextRequestWhileOthersAreBusy)
     ServeLoopOptions options;
     options.inflight = 2;
     const ServeLoopResult result = pipeline::runServeLoop(
-        total, options, [&](int first, int) {
+        total, options, [&](const pipeline::ServiceCall &call) {
             std::this_thread::sleep_for(
-                std::chrono::milliseconds(first == 0 ? 40 : 1));
+                std::chrono::milliseconds(call.first == 0 ? 40 : 1));
+            return pipeline::ServiceResult{};
         });
     // Every other request completed while request 0 was in service.
     for (int i = 1; i < total; ++i) {
@@ -202,8 +211,9 @@ TEST(OpenLoopDispatch, AccountsQueueWaitSeparately)
     options.seed = 11;
     options.inflight = 2;
     const ServeLoopResult result = pipeline::runServeLoop(
-        total, options, [&](int, int) {
+        total, options, [&](const pipeline::ServiceCall &) {
             std::this_thread::sleep_for(std::chrono::microseconds(300));
+            return pipeline::ServiceResult{};
         });
 
     const std::vector<double> schedule = pipeline::arrivalScheduleUs(
@@ -236,9 +246,10 @@ TEST(OpenLoopDispatch, CoalescesQueuedRequestsUpToTheCap)
     options.inflight = 1;
     options.coalesce = 4;
     const ServeLoopResult result = pipeline::runServeLoop(
-        total, options, [&](int first, int count) {
-            log.add(first, count);
+        total, options, [&](const pipeline::ServiceCall &call) {
+            log.add(call.first, call.count);
             std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            return pipeline::ServiceResult{};
         });
 
     int served = 0, max_count = 0;
@@ -277,8 +288,9 @@ TEST(OpenLoopDispatch, LightLoadHasNearZeroQueueAndOnTimeDispatch)
     options.rateRps = 200.0; // 5 ms apart
     options.inflight = 2;
     const ServeLoopResult result = pipeline::runServeLoop(
-        total, options, [&](int, int) {
+        total, options, [&](const pipeline::ServiceCall &) {
             std::this_thread::sleep_for(std::chrono::microseconds(100));
+            return pipeline::ServiceResult{};
         });
     for (const pipeline::RequestTiming &t : result.requests) {
         EXPECT_GE(t.queueUs(), 0.0);
@@ -295,7 +307,415 @@ TEST(ServeLoop, ZeroRequestsIsANoop)
 {
     ServeLoopOptions options;
     const ServeLoopResult result = pipeline::runServeLoop(
-        0, options, [&](int, int) { FAIL() << "service called"; });
+        0, options, [&](const pipeline::ServiceCall &) {
+            ADD_FAILURE() << "service called";
+            return pipeline::ServiceResult{};
+        });
     EXPECT_TRUE(result.requests.empty());
     EXPECT_EQ(result.serviceCalls, 0);
+}
+
+// ----------------------------------------------------- fault plan: glob
+
+TEST(FaultGlob, StarQuestionAndLiterals)
+{
+    EXPECT_TRUE(pipeline::globMatch("*", ""));
+    EXPECT_TRUE(pipeline::globMatch("*", "encoder:image"));
+    EXPECT_TRUE(pipeline::globMatch("encoder:*", "encoder:image"));
+    EXPECT_TRUE(pipeline::globMatch("encoder:*", "encoder:"));
+    EXPECT_FALSE(pipeline::globMatch("encoder:*", "preprocess:image"));
+    EXPECT_TRUE(pipeline::globMatch("*:image", "encoder:image"));
+    EXPECT_TRUE(pipeline::globMatch("enc?der:image", "encoder:image"));
+    EXPECT_FALSE(pipeline::globMatch("enc?der:image", "encder:image"));
+    EXPECT_TRUE(pipeline::globMatch("fusion", "fusion"));
+    EXPECT_FALSE(pipeline::globMatch("fusion", "fusion2"));
+    EXPECT_TRUE(pipeline::globMatch("*sion*", "fusion"));
+}
+
+// -------------------------------------------------- fault plan: grammar
+
+TEST(FaultGrammar, ParsesTheFullCocktail)
+{
+    pipeline::FaultPlan plan;
+    std::string error;
+    ASSERT_TRUE(pipeline::parseFaultPlan(
+        "slow:node=encoder:*:p=0.25:x=8;"
+        "fail:node=fusion:p=0.5;"
+        "drop_modality:mod=image:p=0.125",
+        7, &plan, &error))
+        << error;
+    ASSERT_EQ(plan.rules().size(), 3u);
+
+    EXPECT_EQ(plan.rules()[0].kind, pipeline::FaultKind::Slow);
+    // node globs containing ':' need no escaping: '='-less segments
+    // re-join with the previous value.
+    EXPECT_EQ(plan.rules()[0].pattern, "encoder:*");
+    EXPECT_DOUBLE_EQ(plan.rules()[0].p, 0.25);
+    EXPECT_DOUBLE_EQ(plan.rules()[0].slowdown, 8.0);
+
+    EXPECT_EQ(plan.rules()[1].kind, pipeline::FaultKind::Fail);
+    EXPECT_EQ(plan.rules()[1].pattern, "fusion");
+    EXPECT_DOUBLE_EQ(plan.rules()[1].p, 0.5);
+
+    EXPECT_EQ(plan.rules()[2].kind, pipeline::FaultKind::DropModality);
+    EXPECT_EQ(plan.rules()[2].pattern, "image");
+
+    EXPECT_TRUE(plan.hasKind(pipeline::FaultKind::Slow));
+    EXPECT_TRUE(plan.hasKind(pipeline::FaultKind::Fail));
+    EXPECT_TRUE(plan.hasKind(pipeline::FaultKind::DropModality));
+    EXPECT_EQ(plan.seed(), 7u);
+}
+
+TEST(FaultGrammar, EmptySpecIsAnEmptyPlan)
+{
+    pipeline::FaultPlan plan;
+    std::string error;
+    ASSERT_TRUE(pipeline::parseFaultPlan("", 1, &plan, &error));
+    EXPECT_TRUE(plan.empty());
+    // An empty plan never injects anything.
+    EXPECT_DOUBLE_EQ(plan.slowdownFor(0, "encoder:image"), 1.0);
+    EXPECT_FALSE(plan.failsAt(0, "fusion"));
+    EXPECT_FALSE(plan.dropsModality(0, "image"));
+}
+
+TEST(FaultGrammar, RejectsMalformedSpecs)
+{
+    pipeline::FaultPlan plan;
+    std::string error;
+    // Unknown kind.
+    EXPECT_FALSE(pipeline::parseFaultPlan("explode:p=0.5", 1, &plan,
+                                          &error));
+    EXPECT_NE(error.find("explode"), std::string::npos);
+    // Missing probability.
+    EXPECT_FALSE(
+        pipeline::parseFaultPlan("fail:node=fusion", 1, &plan, &error));
+    // Probability out of range.
+    EXPECT_FALSE(
+        pipeline::parseFaultPlan("fail:p=1.5", 1, &plan, &error));
+    EXPECT_FALSE(
+        pipeline::parseFaultPlan("fail:p=-0.1", 1, &plan, &error));
+    // Slowdown below 1 (a speedup is not a fault).
+    EXPECT_FALSE(pipeline::parseFaultPlan("slow:p=0.5:x=0.5", 1, &plan,
+                                          &error));
+    // x= only applies to slow rules.
+    EXPECT_FALSE(pipeline::parseFaultPlan("fail:p=0.5:x=2", 1, &plan,
+                                          &error));
+    // mod= only applies to drop_modality; node= never does.
+    EXPECT_FALSE(pipeline::parseFaultPlan("slow:mod=image:p=0.5", 1,
+                                          &plan, &error));
+    EXPECT_FALSE(pipeline::parseFaultPlan(
+        "drop_modality:node=fusion:p=0.5", 1, &plan, &error));
+    // Unknown key.
+    EXPECT_FALSE(pipeline::parseFaultPlan("fail:p=0.5:q=1", 1, &plan,
+                                          &error));
+}
+
+// -------------------------------------------- fault plan: determinism
+
+TEST(FaultDeterminism, DecisionsArePureFunctionsOfTheirInputs)
+{
+    pipeline::FaultPlan a, b, other_seed;
+    std::string error;
+    const std::string spec = "fail:node=*:p=0.3;slow:node=*:p=0.3:x=4";
+    ASSERT_TRUE(pipeline::parseFaultPlan(spec, 42, &a, &error));
+    ASSERT_TRUE(pipeline::parseFaultPlan(spec, 42, &b, &error));
+    ASSERT_TRUE(pipeline::parseFaultPlan(spec, 43, &other_seed, &error));
+
+    int fires = 0, differs = 0;
+    for (int r = 0; r < 400; ++r) {
+        EXPECT_EQ(a.failsAt(r, "fusion"), b.failsAt(r, "fusion"));
+        EXPECT_DOUBLE_EQ(a.slowdownFor(r, "encoder:image"),
+                         b.slowdownFor(r, "encoder:image"));
+        fires += a.failsAt(r, "fusion") ? 1 : 0;
+        differs += a.failsAt(r, "fusion") !=
+                           other_seed.failsAt(r, "fusion")
+                       ? 1
+                       : 0;
+    }
+    // p=0.3 over 400 requests: comfortably away from 0 and 400.
+    EXPECT_GT(fires, 40);
+    EXPECT_LT(fires, 360);
+    // A different seed is a different (still deterministic) fault set.
+    EXPECT_GT(differs, 0);
+}
+
+TEST(FaultDeterminism, ExtremeProbabilitiesAreExact)
+{
+    pipeline::FaultPlan never, always;
+    std::string error;
+    ASSERT_TRUE(
+        pipeline::parseFaultPlan("fail:p=0", 1, &never, &error));
+    ASSERT_TRUE(
+        pipeline::parseFaultPlan("fail:p=1", 1, &always, &error));
+    for (int r = 0; r < 64; ++r) {
+        EXPECT_FALSE(never.failsAt(r, "fusion"));
+        EXPECT_TRUE(always.failsAt(r, "fusion"));
+    }
+}
+
+TEST(FaultDeterminism, RetriesRerollSoTransientFailuresCanRecover)
+{
+    pipeline::FaultPlan plan;
+    std::string error;
+    ASSERT_TRUE(
+        pipeline::parseFaultPlan("fail:p=0.5", 42, &plan, &error));
+    // The attempt number participates in the decision hash, so a
+    // request that failed at attempt 0 can succeed at attempt 1 —
+    // transient faults, recoverable by bounded retry.
+    int recovered = 0;
+    for (int r = 0; r < 200; ++r) {
+        if (plan.failsAt(r, "fusion", 0) && !plan.failsAt(r, "fusion", 1))
+            ++recovered;
+    }
+    EXPECT_GT(recovered, 0);
+    // And the re-roll itself is deterministic.
+    for (int r = 0; r < 200; ++r)
+        EXPECT_EQ(plan.failsAt(r, "fusion", 1),
+                  plan.failsAt(r, "fusion", 1));
+}
+
+TEST(FaultPlan, SlowRulesCompoundAndRespectTheGlob)
+{
+    pipeline::FaultPlan plan;
+    std::string error;
+    ASSERT_TRUE(pipeline::parseFaultPlan(
+        "slow:node=encoder:*:p=1:x=2;slow:node=*:p=1:x=3", 5, &plan,
+        &error));
+    // Both rules match an encoder node: factors multiply.
+    EXPECT_DOUBLE_EQ(plan.slowdownFor(0, "encoder:image"), 6.0);
+    // Only the catch-all matches fusion.
+    EXPECT_DOUBLE_EQ(plan.slowdownFor(0, "fusion"), 3.0);
+}
+
+// ------------------------------------------------- request lifecycle
+
+TEST(RequestOutcome, NamesAreStable)
+{
+    EXPECT_STREQ(pipeline::requestOutcomeName(
+                     pipeline::RequestOutcome::Ok), "ok");
+    EXPECT_STREQ(pipeline::requestOutcomeName(
+                     pipeline::RequestOutcome::Degraded), "degraded");
+    EXPECT_STREQ(pipeline::requestOutcomeName(
+                     pipeline::RequestOutcome::Shed), "shed");
+    EXPECT_STREQ(pipeline::requestOutcomeName(
+                     pipeline::RequestOutcome::Timeout), "timeout");
+    EXPECT_STREQ(pipeline::requestOutcomeName(
+                     pipeline::RequestOutcome::Failed), "failed");
+}
+
+TEST(ServeValidation, RejectsUnrunnableOptions)
+{
+    ServeLoopOptions options; // closed-loop defaults: valid
+    EXPECT_TRUE(pipeline::validateServeOptions(8, options).empty());
+
+    EXPECT_FALSE(pipeline::validateServeOptions(-1, options).empty());
+
+    ServeLoopOptions bad = options;
+    bad.inflight = 0;
+    EXPECT_FALSE(pipeline::validateServeOptions(8, bad).empty());
+
+    // The historical dispatcher silently clamped coalesce < 1; it is
+    // now rejected up front.
+    bad = options;
+    bad.coalesce = 0;
+    EXPECT_FALSE(pipeline::validateServeOptions(8, bad).empty());
+
+    // Closed loop has no queue: nothing to coalesce or cap.
+    bad = options;
+    bad.coalesce = 2;
+    EXPECT_FALSE(pipeline::validateServeOptions(8, bad).empty());
+    bad = options;
+    bad.queueCap = 4;
+    EXPECT_FALSE(pipeline::validateServeOptions(8, bad).empty());
+
+    // Open loop needs a rate.
+    bad = options;
+    bad.arrival = ArrivalKind::Poisson;
+    EXPECT_FALSE(pipeline::validateServeOptions(8, bad).empty());
+    bad.rateRps = 100.0;
+    EXPECT_TRUE(pipeline::validateServeOptions(8, bad).empty());
+    bad.queueCap = 4; // fine under open loop
+    EXPECT_TRUE(pipeline::validateServeOptions(8, bad).empty());
+
+    bad.deadlineUs = -1.0;
+    EXPECT_FALSE(pipeline::validateServeOptions(8, bad).empty());
+}
+
+TEST(RequestLifecycle, InertDefaultsReportEveryRequestOk)
+{
+    // No deadline, no cap, no failures: the lifecycle machinery must
+    // be invisible — every request ends Ok and every counter is zero.
+    ServeLoopOptions options;
+    options.arrival = ArrivalKind::Fixed;
+    options.rateRps = 50000.0;
+    options.inflight = 2;
+    const ServeLoopResult result = pipeline::runServeLoop(
+        16, options, [&](const pipeline::ServiceCall &) {
+            return pipeline::ServiceResult{};
+        });
+    ASSERT_EQ(result.outcomes.size(), 16u);
+    for (const pipeline::RequestOutcome o : result.outcomes)
+        EXPECT_EQ(o, pipeline::RequestOutcome::Ok);
+    EXPECT_EQ(result.ok, 16);
+    EXPECT_EQ(result.degraded, 0);
+    EXPECT_EQ(result.shed, 0);
+    EXPECT_EQ(result.timeouts, 0);
+    EXPECT_EQ(result.failed, 0);
+    EXPECT_EQ(result.retries, 0);
+    EXPECT_EQ(result.faultsInjected, 0);
+}
+
+TEST(RequestLifecycle, DeadlineShedsExpiredHeadsAtDequeue)
+{
+    // One slot, arrivals 1 us apart, 2 ms service, 4 ms deadline: the
+    // backlog expires faster than it drains, so most requests must be
+    // shed at dequeue without ever being serviced.
+    const int total = 24;
+    ServiceLog log;
+    ServeLoopOptions options;
+    options.arrival = ArrivalKind::Fixed;
+    options.rateRps = 1e6;
+    options.inflight = 1;
+    options.deadlineUs = 4000.0;
+    const ServeLoopResult result = pipeline::runServeLoop(
+        total, options, [&](const pipeline::ServiceCall &call) {
+            log.add(call.first, call.count);
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            return pipeline::ServiceResult{};
+        });
+
+    EXPECT_GT(result.shed, 0);
+    EXPECT_EQ(result.ok + result.degraded + result.shed +
+                  result.timeouts + result.failed,
+              total);
+    // Shed requests were never serviced.
+    int serviced = 0;
+    for (const auto &call : log.calls)
+        serviced += call.second;
+    EXPECT_EQ(serviced, total - result.shed);
+    for (size_t i = 0; i < result.outcomes.size(); ++i) {
+        if (result.outcomes[i] != pipeline::RequestOutcome::Shed)
+            continue;
+        // A shed request's timing records only its wait: it died at
+        // the shed instant, past its deadline.
+        EXPECT_DOUBLE_EQ(result.requests[i].serviceUs(), 0.0);
+        EXPECT_GT(result.requests[i].latencyUs(), options.deadlineUs);
+    }
+}
+
+TEST(RequestLifecycle, SheddingOffServicesEverythingAndTimesOut)
+{
+    // The collapse baseline: same overload, shedding disabled. Every
+    // request is serviced (no shed), and the ones that finished past
+    // the deadline count as timeouts.
+    const int total = 12;
+    ServiceLog log;
+    ServeLoopOptions options;
+    options.arrival = ArrivalKind::Fixed;
+    options.rateRps = 1e6;
+    options.inflight = 1;
+    options.deadlineUs = 3000.0;
+    options.shedding = false;
+    const ServeLoopResult result = pipeline::runServeLoop(
+        total, options, [&](const pipeline::ServiceCall &call) {
+            log.add(call.first, call.count);
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            return pipeline::ServiceResult{};
+        });
+    EXPECT_EQ(result.shed, 0);
+    int serviced = 0;
+    for (const auto &call : log.calls)
+        serviced += call.second;
+    EXPECT_EQ(serviced, total);
+    EXPECT_GT(result.timeouts, 0);
+    EXPECT_EQ(result.ok + result.timeouts, total);
+}
+
+TEST(RequestLifecycle, QueueCapShedsOldestArrivals)
+{
+    // Arrivals land all at once against a 1-slot, 2 ms server with a
+    // 3-deep admission queue: dequeues shed the backlog down to the
+    // cap each time, so far fewer than `total` requests are serviced.
+    const int total = 20;
+    ServiceLog log;
+    ServeLoopOptions options;
+    options.arrival = ArrivalKind::Fixed;
+    options.rateRps = 1e6;
+    options.inflight = 1;
+    options.queueCap = 3;
+    const ServeLoopResult result = pipeline::runServeLoop(
+        total, options, [&](const pipeline::ServiceCall &call) {
+            log.add(call.first, call.count);
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            return pipeline::ServiceResult{};
+        });
+    EXPECT_GT(result.shed, 0);
+    EXPECT_EQ(result.ok + result.shed, total);
+    // Drop-oldest: every serviced id after a shed run is larger than
+    // the ids shed before it — the log must still be FIFO over the
+    // surviving ids.
+    int prev = -1;
+    for (const auto &call : log.calls) {
+        EXPECT_GT(call.first, prev);
+        prev = call.first + call.second - 1;
+    }
+}
+
+TEST(RequestLifecycle, ServiceResultsAggregateIntoStreamCounters)
+{
+    // The service fn reports failures, degradation, retries and
+    // injected faults; the stream must both classify outcomes and sum
+    // the counters.
+    const int total = 10;
+    ServeLoopOptions options;
+    options.arrival = ArrivalKind::Closed;
+    options.inflight = 2;
+    const ServeLoopResult result = pipeline::runServeLoop(
+        total, options, [&](const pipeline::ServiceCall &call) {
+            pipeline::ServiceResult sr;
+            if (call.first % 5 == 0) { // requests 0, 5
+                sr.failed = true;
+                sr.retries = 2;
+                sr.faultsInjected = 3;
+            } else if (call.first % 2 == 0) { // 2, 4, 6, 8
+                sr.degraded = true;
+                sr.faultsInjected = 1;
+            }
+            return sr;
+        });
+    EXPECT_EQ(result.failed, 2);
+    EXPECT_EQ(result.degraded, 4);
+    EXPECT_EQ(result.ok, 4);
+    EXPECT_EQ(result.retries, 4);
+    EXPECT_EQ(result.faultsInjected, 10);
+    EXPECT_EQ(result.outcomes[0], pipeline::RequestOutcome::Failed);
+    EXPECT_EQ(result.outcomes[2], pipeline::RequestOutcome::Degraded);
+    EXPECT_EQ(result.outcomes[1], pipeline::RequestOutcome::Ok);
+}
+
+TEST(RequestLifecycle, DeadlinePressureHintsTheServiceFunction)
+{
+    // 1-slot server, instant arrivals, 3 ms service, 5 ms deadline:
+    // after the first call establishes the mean service time, queued
+    // heads have less remaining budget than one mean service — the
+    // dispatcher must flag them under pressure (and eventually shed
+    // the fully expired tail).
+    const int total = 10;
+    std::atomic<int> pressured{0};
+    ServeLoopOptions options;
+    options.arrival = ArrivalKind::Fixed;
+    options.rateRps = 1e6;
+    options.inflight = 1;
+    options.deadlineUs = 5000.0;
+    const ServeLoopResult result = pipeline::runServeLoop(
+        total, options, [&](const pipeline::ServiceCall &call) {
+            if (call.underPressure)
+                pressured.fetch_add(1);
+            std::this_thread::sleep_for(std::chrono::milliseconds(3));
+            return pipeline::ServiceResult{};
+        });
+    EXPECT_GT(pressured.load(), 0);
+    EXPECT_EQ(result.ok + result.degraded + result.shed +
+                  result.timeouts + result.failed,
+              total);
 }

@@ -14,6 +14,8 @@
  *               [--inflight N] [--requests N]
  *               [--arrival closed|poisson|fixed] [--rate R]
  *               [--coalesce N]
+ *               [--faults SPEC] [--queue-cap N] [--deadline-ms D]
+ *               [--retries N] [--shed on|off]
  *               [--json PATH|-] [--csv PATH] [--quiet]
  *   mmbench run --smoke [spec template flags] [--json PATH|-] ...
  *   mmbench fig --id fig06 | --list | --all  [--smoke]
@@ -81,6 +83,25 @@ usage(FILE *to)
         "sweep\n"
         "       --coalesce N       open loop: serve up to N queued\n"
         "                          requests as one batch (default 1)\n"
+        "       --faults SPEC      serve mode: deterministic fault "
+        "injection,\n"
+        "                          e.g. 'slow:node=encoder:*:p=0.05:x=4;"
+        "fail:node=fusion:p=0.01;drop_modality:mod=image:p=0.05'\n"
+        "       --queue-cap N      open loop: shed oldest arrivals "
+        "beyond N\n"
+        "                          queued (default 0 = unbounded)\n"
+        "       --deadline-ms D    serve mode: per-request deadline; "
+        "expired\n"
+        "                          requests shed at dequeue, late ones "
+        "count\n"
+        "                          as timeouts (default 0 = none)\n"
+        "       --retries N        serve mode: retry budget after an "
+        "injected\n"
+        "                          failure, exponential backoff "
+        "(default 0)\n"
+        "       --shed on|off      serve mode: load shedding + "
+        "degradation\n"
+        "                          under deadline pressure (default on)\n"
         "       --json PATH        append JSON Lines results ('-' = "
         "stdout)\n"
         "       --csv PATH         write CSV results\n"
