@@ -287,6 +287,62 @@ opsMicroMain(int argc, char **argv)
                   [&] { tensor::conv2d(x, w, Tensor(), 1, 0); });
     }
 
+    // --- Fused epilogue kernels (solver-registry candidates) --------
+    // Each fused kernel is measured against its unfused multi-pass
+    // expression: the fused variant applies bias+activation in the
+    // producer's write-back, one pass over the output instead of
+    // two or three.
+    {
+        const int64_t n = 512;
+        Tensor x = Tensor::randn(Shape{n, n}, rng);
+        Tensor w = Tensor::randn(Shape{n, n}, rng);
+        Tensor b = Tensor::randn(Shape{n}, rng);
+        const double flops = 2.0 * n * n * n + 2.0 * n * n;
+        h.compute("fused_linear_bias_relu_512", "512x512x512+b", flops,
+                  [&] {
+                      tensor::linearAct(x, w, b,
+                                        tensor::ActKind::Relu);
+                  });
+        h.compute("linear_bias_relu_512_unfused", "512x512x512+b",
+                  flops, [&] {
+                      tensor::reluF(tensor::add(tensor::matmul(x, w),
+                                                b));
+                  });
+    }
+    {
+        // Same body conv as conv3x3_56, with the bias+ReLU epilogue.
+        Tensor x = Tensor::randn(Shape{1, 64, 56, 56}, rng);
+        Tensor w = Tensor::randn(Shape{64, 64, 3, 3}, rng);
+        Tensor b = Tensor::randn(Shape{64}, rng);
+        const double flops =
+            2.0 * 64 * 56 * 56 * 64 * 9 + 64 * 56 * 56;
+        h.compute("fused_conv_bias_relu_56", "1x64x56x56 k3s1p1",
+                  flops, [&] {
+                      tensor::conv2dAct(x, w, b, 1, 1,
+                                        tensor::ActKind::Relu);
+                  });
+        h.compute("conv_bias_relu_56_unfused", "1x64x56x56 k3s1p1",
+                  flops, [&] {
+                      tensor::reluF(tensor::conv2d(x, w, b, 1, 1));
+                  });
+    }
+    {
+        Tensor x = Tensor::randn(Shape{8, 64, 28, 28}, rng);
+        Tensor g = Tensor::ones(Shape{64});
+        Tensor bt = Tensor::zeros(Shape{64});
+        Tensor rm = Tensor::zeros(Shape{64});
+        Tensor rv = Tensor::ones(Shape{64});
+        const double flops = 5.0 * 8 * 64 * 28 * 28;
+        h.compute("fused_batchnorm_relu", "8x64x28x28", flops, [&] {
+            tensor::batchnorm2dEvalAct(x, g, bt, rm, rv, 1e-5f,
+                                       tensor::ActKind::Relu);
+        });
+        h.compute("batchnorm_relu_unfused", "8x64x28x28", flops, [&] {
+            tensor::reluF(tensor::batchnorm2d(x, g, bt, rm, rv, false,
+                                              0.1f, 1e-5f));
+        });
+    }
+
     // --- Bandwidth-bound kernels ------------------------------------
     {
         const int64_t n = 1 << 20;

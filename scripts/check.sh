@@ -61,7 +61,9 @@ rm -f "$BUILD_DIR"/BENCH_smoke.jsonl "$BUILD_DIR"/BENCH_smoke.csv \
       "$BUILD_DIR"/BENCH_serve.jsonl \
       "$BUILD_DIR"/BENCH_serve_openloop.jsonl \
       "$BUILD_DIR"/BENCH_faults.jsonl \
-      "$BUILD_DIR"/BENCH_ops_micro.jsonl
+      "$BUILD_DIR"/BENCH_ops_micro.jsonl \
+      "$BUILD_DIR"/BENCH_fusion.jsonl \
+      "$BUILD_DIR"/perfdb_fusion.json
 
 # CI smoke run of the kernel microbenchmarks (also exercises the
 # parallel runtime end to end). The --json output shares the runner's
@@ -136,6 +138,65 @@ assert top[True] >= top[False], (
     f"shed=on {top[True]:.1f} < shed=off {top[False]:.1f} req/s")
 print(f"fault-injection smoke OK: {clean} clean + {faulted} faulted runs, "
       f"goodput shed=on {top[True]:.1f} >= shed=off {top[False]:.1f} req/s")
+EOF
+
+# Kernel-fusion leg: the same workload three times. Cold with the
+# solver registry on: the autotuner must search and persist the
+# perf-db. Warm with the populated perf-db: every solver choice must
+# come from the cache (zero searches, zero search time). Then fusion
+# off: the reference timing the fused path is compared against.
+MMBENCH_NUM_THREADS=4 "$BUILD_DIR/mmbench" run --workload av-mnist \
+    --batch 4 --scale 0.5 --warmup 2 --repeat 20 --quiet \
+    --fusion on --autotune on --perfdb "$BUILD_DIR/perfdb_fusion.json" \
+    --json "$BUILD_DIR/BENCH_fusion.jsonl"
+MMBENCH_NUM_THREADS=4 "$BUILD_DIR/mmbench" run --workload av-mnist \
+    --batch 4 --scale 0.5 --warmup 2 --repeat 20 --quiet \
+    --fusion on --autotune on --perfdb "$BUILD_DIR/perfdb_fusion.json" \
+    --json "$BUILD_DIR/BENCH_fusion.jsonl"
+MMBENCH_NUM_THREADS=4 "$BUILD_DIR/mmbench" run --workload av-mnist \
+    --batch 4 --scale 0.5 --warmup 2 --repeat 20 --quiet \
+    --json "$BUILD_DIR/BENCH_fusion.jsonl"
+
+python3 - "$BUILD_DIR/BENCH_fusion.jsonl" \
+    "$BUILD_DIR/BENCH_ops_micro.jsonl" <<'EOF'
+import json, sys
+records = [json.loads(line) for line in open(sys.argv[1])]
+assert len(records) == 3, f"expected cold/warm/unfused runs, got {len(records)}"
+cold, warm, unfused = records
+for record in (cold, warm):
+    assert record["spec"]["fusion_kernels"] is True
+    assert record["spec"]["autotune"] == "on"
+    assert record["solver"]["fused_ops"] > 0
+    assert record["solver"]["fused_groups"] > 0
+assert "solver" not in unfused and "fusion_kernels" not in unfused["spec"]
+assert cold["solver"]["searches"] > 0, "cold run must autotune"
+assert warm["solver"]["searches"] == 0, (
+    f"warm run searched {warm['solver']['searches']} times despite the "
+    f"populated perf-db")
+assert warm["solver"]["search_ms"] == 0, warm["solver"]["search_ms"]
+assert warm["solver"]["perfdb_hits"] > 0, "warm run must hit the perf-db"
+# The fused path exists to be faster; at this kernel scale the epilogue
+# saving is a modest fraction of total time, so guard against
+# regression with a small noise allowance rather than demanding a win.
+fused_p50, base_p50 = warm["latency_us"]["p50"], unfused["latency_us"]["p50"]
+assert fused_p50 <= base_p50 * 1.10, (
+    f"fused p50 {fused_p50:.0f} us regressed past unfused {base_p50:.0f} us")
+ops = {}
+for line in open(sys.argv[2]):
+    record = json.loads(line)
+    if record.get("kind") != "micro":
+        continue
+    ops[record["name"]] = record["latency_us"]["p50"]
+for fused_name, base_name in (
+        ("fused_linear_bias_relu_512", "linear_bias_relu_512_unfused"),
+        ("fused_conv_bias_relu_56", "conv_bias_relu_56_unfused"),
+        ("fused_batchnorm_relu", "batchnorm_relu_unfused")):
+    assert ops[fused_name] <= ops[base_name] * 1.05, (
+        f"{fused_name} p50 {ops[fused_name]:.0f} us vs "
+        f"{base_name} {ops[base_name]:.0f} us")
+print(f"kernel-fusion smoke OK: cold searches={cold['solver']['searches']}, "
+      f"warm perfdb_hits={warm['solver']['perfdb_hits']}, "
+      f"fused p50 {fused_p50:.0f} us vs unfused {base_p50:.0f} us")
 EOF
 
 # Every emitted line must be valid JSON with the shared schema tag;

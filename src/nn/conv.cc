@@ -3,6 +3,8 @@
 #include "core/logging.hh"
 #include "core/string_utils.hh"
 #include "nn/init.hh"
+#include "solver/config.hh"
+#include "solver/registry.hh"
 
 namespace mmbench {
 namespace nn {
@@ -30,6 +32,13 @@ Conv2d::forward(const Var &x)
     MM_ASSERT(x.value().ndim() == 4 && x.value().size(1) == inChannels_,
               "Conv2d %s fed input %s", name().c_str(),
               x.value().shape().toString().c_str());
+    // Inference with kernel fusion active routes through the solver
+    // registry (see Linear::forward).
+    if (solver::fusionActive() && !autograd::GradMode::enabled())
+        return Var(solver::runConv2d(
+            x.value(), weight_.value(),
+            bias_.defined() ? bias_.value() : Tensor(), stride_, pad_,
+            tensor::ActKind::None));
     return autograd::conv2d(x, weight_, bias_, stride_, pad_);
 }
 

@@ -23,6 +23,14 @@ class Conv2d : public Layer
     int64_t inChannels() const { return inChannels_; }
     int64_t outChannels() const { return outChannels_; }
 
+    /** Geometry and parameters (for the fused-solver path). @{ */
+    int kernel() const { return kernel_; }
+    int stride() const { return stride_; }
+    int pad() const { return pad_; }
+    const Var &weight() const { return weight_; }
+    const Var &bias() const { return bias_; } ///< undefined if bias=false
+    /** @} */
+
   private:
     int64_t inChannels_;
     int64_t outChannels_;

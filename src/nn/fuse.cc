@@ -1,0 +1,176 @@
+#include "nn/fuse.hh"
+
+#include "core/logging.hh"
+#include "core/string_utils.hh"
+#include "nn/activation.hh"
+#include "nn/conv.hh"
+#include "nn/linear.hh"
+#include "nn/norm.hh"
+#include "solver/registry.hh"
+
+namespace mmbench {
+namespace nn {
+
+namespace {
+
+using tensor::ActKind;
+
+/** The ActKind a layer computes, or None if it is not an activation. */
+ActKind
+actKindOf(Layer *layer)
+{
+    if (dynamic_cast<ReLU *>(layer) != nullptr)
+        return ActKind::Relu;
+    if (dynamic_cast<Sigmoid *>(layer) != nullptr)
+        return ActKind::Sigmoid;
+    if (dynamic_cast<Tanh *>(layer) != nullptr)
+        return ActKind::Tanh;
+    if (dynamic_cast<GELU *>(layer) != nullptr)
+        return ActKind::Gelu;
+    return ActKind::None;
+}
+
+std::string
+patternName(const FusedStep &step)
+{
+    const char *act = tensor::actKindName(step.actKind);
+    switch (step.pattern) {
+      case FusePattern::LinearAct:
+        return std::string(step.linear->bias().defined() ? "linear+bias+"
+                                                         : "linear+") +
+               act;
+      case FusePattern::ConvAct:
+        return std::string(step.conv->bias().defined() ? "conv+bias+"
+                                                       : "conv+") +
+               act;
+      case FusePattern::BatchNormAct:
+        return std::string("batchnorm+") + act;
+      case FusePattern::LayerNormAct:
+        return std::string("layernorm+") + act;
+      case FusePattern::None:
+        break;
+    }
+    return "none";
+}
+
+} // namespace
+
+std::shared_ptr<const FusionPlan>
+buildFusionPlan(Sequential &seq)
+{
+    auto plan = std::make_shared<FusionPlan>();
+    const size_t count = seq.size();
+    plan->report.totalLayers = static_cast<int>(count);
+
+    for (size_t i = 0; i < count; ++i) {
+        Layer *layer = &seq.layer(i);
+        Layer *next = (i + 1 < count) ? &seq.layer(i + 1) : nullptr;
+        const ActKind next_act = next ? actKindOf(next) : ActKind::None;
+
+        FusedStep step;
+        if (next_act != ActKind::None) {
+            if (auto *lin = dynamic_cast<Linear *>(layer)) {
+                step.pattern = FusePattern::LinearAct;
+                step.linear = lin;
+            } else if (auto *conv = dynamic_cast<Conv2d *>(layer)) {
+                step.pattern = FusePattern::ConvAct;
+                step.conv = conv;
+            } else if (auto *bn = dynamic_cast<BatchNorm2d *>(layer)) {
+                step.pattern = FusePattern::BatchNormAct;
+                step.bn = bn;
+            } else if (auto *ln = dynamic_cast<LayerNorm *>(layer)) {
+                step.pattern = FusePattern::LayerNormAct;
+                step.ln = ln;
+            } else {
+                // An activation follows a producer we have no fused
+                // solver for: report it explicitly, run both per-op.
+                plan->report.unsupported.push_back(
+                    strfmt("%s after %s: no fused solver for this "
+                           "producer",
+                           next->name().c_str(), layer->name().c_str()));
+            }
+        } else if (next != nullptr &&
+                   dynamic_cast<Conv2d *>(layer) != nullptr &&
+                   dynamic_cast<BatchNorm2d *>(next) != nullptr) {
+            // The classic conv+bn+act chain: MIOpen can fold the norm
+            // into the conv weights; this registry cannot (yet), so
+            // say so — the downstream bn+act pair still fuses.
+            plan->report.unsupported.push_back(
+                strfmt("%s after %s: conv+batchnorm folding not "
+                       "supported (the following norm+act pair still "
+                       "fuses)",
+                       next->name().c_str(), layer->name().c_str()));
+        }
+
+        if (step.pattern != FusePattern::None) {
+            step.act = next;
+            step.actKind = next_act;
+            plan->report.fusedGroups += 1;
+            plan->report.fusedLayers += 2;
+            plan->report.patterns.push_back(patternName(step));
+            plan->steps.push_back(step);
+            ++i; // the activation is absorbed into this step
+            continue;
+        }
+
+        step.single = layer;
+        plan->steps.push_back(step);
+    }
+    return plan;
+}
+
+Var
+runFusionPlan(const FusionPlan &plan, const Var &x)
+{
+    MM_ASSERT(!autograd::GradMode::enabled(),
+              "fusion plans execute inference only");
+    static const Tensor no_bias; // undefined sentinel
+    Var h = x;
+    for (const FusedStep &step : plan.steps) {
+        switch (step.pattern) {
+          case FusePattern::None:
+            h = step.single->forward(h);
+            break;
+          case FusePattern::LinearAct: {
+            const Var &b = step.linear->bias();
+            h = Var(solver::runLinear(h.value(),
+                                      step.linear->weight().value(),
+                                      b.defined() ? b.value() : no_bias,
+                                      step.actKind));
+            break;
+          }
+          case FusePattern::ConvAct: {
+            const Var &b = step.conv->bias();
+            h = Var(solver::runConv2d(h.value(),
+                                      step.conv->weight().value(),
+                                      b.defined() ? b.value() : no_bias,
+                                      step.conv->stride(),
+                                      step.conv->pad(), step.actKind));
+            break;
+          }
+          case FusePattern::BatchNormAct:
+            if (step.bn->training()) {
+                // Batch statistics + running-stat updates can't fuse.
+                h = step.bn->forward(h);
+                h = step.act->forward(h);
+            } else {
+                h = Var(solver::runBatchNormEval(
+                    h.value(), step.bn->gamma().value(),
+                    step.bn->beta().value(), step.bn->runningMean(),
+                    step.bn->runningVar(), step.bn->eps(),
+                    step.actKind));
+            }
+            break;
+          case FusePattern::LayerNormAct:
+            h = Var(solver::runLayerNorm(h.value(),
+                                         step.ln->gamma().value(),
+                                         step.ln->beta().value(),
+                                         step.ln->eps(), step.actKind));
+            break;
+        }
+    }
+    return h;
+}
+
+} // namespace nn
+} // namespace mmbench

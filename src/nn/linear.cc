@@ -3,6 +3,8 @@
 #include "core/logging.hh"
 #include "core/string_utils.hh"
 #include "nn/init.hh"
+#include "solver/config.hh"
+#include "solver/registry.hh"
 
 namespace mmbench {
 namespace nn {
@@ -27,6 +29,14 @@ Linear::forward(const Var &x)
     MM_ASSERT(x.value().size(-1) == inFeatures_,
               "Linear %s fed input %s", name().c_str(),
               x.value().shape().toString().c_str());
+    // Inference with kernel fusion active routes through the solver
+    // registry (single GEMM+bias pass; deterministic with autotune
+    // off, where the default candidate matches this exact dispatch).
+    if (solver::fusionActive() && !autograd::GradMode::enabled())
+        return Var(solver::runLinear(
+            x.value(), weight_.value(),
+            bias_.defined() ? bias_.value() : Tensor(),
+            tensor::ActKind::None));
     return autograd::linear(x, weight_, bias_);
 }
 

@@ -25,6 +25,11 @@ class Linear : public Layer
     int64_t inFeatures() const { return inFeatures_; }
     int64_t outFeatures() const { return outFeatures_; }
 
+    /** Parameters (for the solver registry's fused path). @{ */
+    const Var &weight() const { return weight_; }
+    const Var &bias() const { return bias_; } ///< undefined if bias=false
+    /** @} */
+
   private:
     int64_t inFeatures_;
     int64_t outFeatures_;

@@ -1,6 +1,8 @@
 #include "nn/module.hh"
 
 #include "core/logging.hh"
+#include "nn/fuse.hh"
+#include "solver/config.hh"
 
 namespace mmbench {
 namespace nn {
@@ -66,13 +68,36 @@ Sequential::add(std::unique_ptr<Layer> layer)
 {
     MM_ASSERT(layer != nullptr, "null layer added to %s", name().c_str());
     registerChild(*layer);
+    {
+        std::lock_guard<std::mutex> lock(planMu_);
+        planView_.store(nullptr, std::memory_order_release);
+        plan_.reset();
+    }
     layers_.push_back(std::move(layer));
     return *this;
+}
+
+const FusionPlan &
+Sequential::fusionPlan()
+{
+    const FusionPlan *plan = planView_.load(std::memory_order_acquire);
+    if (plan == nullptr) {
+        std::lock_guard<std::mutex> lock(planMu_);
+        plan = planView_.load(std::memory_order_relaxed);
+        if (plan == nullptr) {
+            plan_ = buildFusionPlan(*this);
+            plan = plan_.get();
+            planView_.store(plan, std::memory_order_release);
+        }
+    }
+    return *plan;
 }
 
 Var
 Sequential::forward(const Var &x)
 {
+    if (solver::fusionActive() && !autograd::GradMode::enabled())
+        return runFusionPlan(fusionPlan(), x);
     Var h = x;
     for (auto &layer : layers_)
         h = layer->forward(h);

@@ -10,7 +10,9 @@
 #ifndef MMBENCH_NN_MODULE_HH
 #define MMBENCH_NN_MODULE_HH
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -19,6 +21,8 @@
 
 namespace mmbench {
 namespace nn {
+
+struct FusionPlan; // nn/fuse.hh
 
 using autograd::Var;
 using tensor::Shape;
@@ -49,6 +53,9 @@ class Module
     bool training() const { return training_; }
 
     const std::string &name() const { return name_; }
+
+    /** Registered children (for tree walks, e.g. the fusion planner). */
+    const std::vector<Module *> &children() const { return children_; }
 
   protected:
     /** Register a tensor as a trainable parameter; returns its Var. */
@@ -90,12 +97,32 @@ class Sequential : public Layer
         return add(std::make_unique<L>(std::forward<Args>(args)...));
     }
 
+    /**
+     * Runs the layers in order. While the solver subsystem's fused
+     * path is active (solver::fusionActive() and gradients disabled)
+     * the cached fusion plan executes instead, collapsing supported
+     * adjacent layer pairs into fused-solver calls; otherwise the
+     * plain per-layer loop runs, bitwise identical to pre-fusion
+     * behavior.
+     */
     Var forward(const Var &x) override;
 
     size_t size() const { return layers_.size(); }
 
+    /** The i-th owned layer (for the fusion planner). */
+    Layer &layer(size_t i) const { return *layers_[i]; }
+
+    /**
+     * The lazily built fusion plan for this layer chain. Thread-safe
+     * (serve slots share it); invalidated by add().
+     */
+    const FusionPlan &fusionPlan();
+
   private:
     std::vector<std::unique_ptr<Layer>> layers_;
+    std::shared_ptr<const FusionPlan> plan_;      ///< owner
+    std::atomic<const FusionPlan *> planView_{nullptr};
+    std::mutex planMu_;
 };
 
 } // namespace nn

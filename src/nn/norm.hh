@@ -23,6 +23,12 @@ class BatchNorm2d : public Layer
     const Tensor &runningMean() const { return runningMean_; }
     const Tensor &runningVar() const { return runningVar_; }
 
+    /** Parameters (for the fused eval-mode solver path). @{ */
+    float eps() const { return eps_; }
+    const Var &gamma() const { return gamma_; }
+    const Var &beta() const { return beta_; }
+    /** @} */
+
   private:
     float momentum_;
     float eps_;
@@ -39,6 +45,12 @@ class LayerNorm : public Layer
     explicit LayerNorm(int64_t dim, float eps = 1e-5f);
 
     Var forward(const Var &x) override;
+
+    /** Parameters (for the fused-solver path). @{ */
+    float eps() const { return eps_; }
+    const Var &gamma() const { return gamma_; }
+    const Var &beta() const { return beta_; }
+    /** @} */
 
   private:
     float eps_;

@@ -1,0 +1,41 @@
+#include "pipeline/fuseplan.hh"
+
+#include "nn/fuse.hh"
+
+namespace mmbench {
+namespace pipeline {
+
+namespace {
+
+void
+visit(nn::Module &module, GraphFusionReport &out)
+{
+    if (auto *seq = dynamic_cast<nn::Sequential *>(&module)) {
+        const nn::FusionPlan &plan = seq->fusionPlan();
+        const nn::FusionReport &r = plan.report;
+        out.chains += 1;
+        out.totalLayers += r.totalLayers;
+        out.fusedGroups += r.fusedGroups;
+        out.fusedLayers += r.fusedLayers;
+        out.patterns.insert(out.patterns.end(), r.patterns.begin(),
+                            r.patterns.end());
+        out.unsupported.insert(out.unsupported.end(),
+                               r.unsupported.begin(),
+                               r.unsupported.end());
+    }
+    for (nn::Module *child : module.children())
+        visit(*child, out);
+}
+
+} // namespace
+
+GraphFusionReport
+collectFusionReport(nn::Module &root)
+{
+    GraphFusionReport report;
+    visit(root, report);
+    return report;
+}
+
+} // namespace pipeline
+} // namespace mmbench

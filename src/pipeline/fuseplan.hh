@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Graph-level fusion planning: walk a workload's module tree, compile
+ * the fusion plan of every Sequential chain it contains, and aggregate
+ * the per-chain reports into one summary the runner can publish.
+ *
+ * Priming plans here (from one thread, before dispatch) matters for
+ * serve mode, where concurrent slots share the workload — the same
+ * contract as MultiModalWorkload::memoryPlan().
+ */
+
+#ifndef MMBENCH_PIPELINE_FUSEPLAN_HH
+#define MMBENCH_PIPELINE_FUSEPLAN_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/module.hh"
+
+namespace mmbench {
+namespace pipeline {
+
+/** Aggregated fusion findings over every chain in a module tree. */
+struct GraphFusionReport
+{
+    int chains = 0;      ///< Sequential chains visited
+    int totalLayers = 0; ///< layers across those chains
+    int fusedGroups = 0; ///< adjacent pairs rewritten into one kernel
+    int fusedLayers = 0; ///< layers absorbed into fused groups
+    /** Canonical pattern name per fused group ("linear+bias+relu"). */
+    std::vector<std::string> patterns;
+    /** Combos that looked fusable but fall back per-op, with reasons. */
+    std::vector<std::string> unsupported;
+};
+
+/**
+ * Recursively visit `root` and its descendants, build (and cache) the
+ * fusion plan of every Sequential found, and return the merged report.
+ */
+GraphFusionReport collectFusionReport(nn::Module &root);
+
+} // namespace pipeline
+} // namespace mmbench
+
+#endif // MMBENCH_PIPELINE_FUSEPLAN_HH

@@ -9,8 +9,10 @@
 #include "core/parallel.hh"
 #include "data/loader.hh"
 #include "models/registry.hh"
+#include "pipeline/fuseplan.hh"
 #include "pipeline/serve.hh"
 #include "profile/profiler.hh"
+#include "solver/config.hh"
 #include "tensor/ops.hh"
 #include "tensor/pool.hh"
 #include "trace/event.hh"
@@ -520,8 +522,30 @@ runOne(const RunSpec &spec)
     auto workload = models::WorkloadRegistry::instance().create(
         spec.workload, config);
 
+    // Kernel fusion: install the solver configuration for the whole
+    // run. A default spec installs nothing, so every pre-existing code
+    // path (and its bitwise output) is untouched.
+    std::unique_ptr<solver::ScopedConfig> solver_guard;
+    if (spec.fuseKernels) {
+        solver::Config solver_config;
+        solver_config.fusionEnabled = true;
+        solver_config.autotune = spec.autotune;
+        solver_config.perfdbPath = solver::resolvePerfDbPath(spec.perfdb);
+        solver_guard =
+            std::make_unique<solver::ScopedConfig>(solver_config);
+    }
+
     RunResult result;
     fillCommon(&result, spec, *workload);
+    if (spec.fuseKernels) {
+        // Compile every chain's fusion plan up front (single-threaded,
+        // before serve slots race for it) and publish what the planner
+        // found — fused groups and explicitly unsupported combos.
+        const pipeline::GraphFusionReport report =
+            pipeline::collectFusionReport(*workload);
+        result.solver.fusedGroups = report.fusedGroups;
+        result.solver.unsupported = report.unsupported;
+    }
     switch (spec.mode) {
       case RunMode::Infer:
         runInfer(spec, *workload, &result);
@@ -532,6 +556,15 @@ runOne(const RunSpec &spec)
       case RunMode::Serve:
         runServe(spec, *workload, &result);
         break;
+    }
+    if (spec.fuseKernels) {
+        const solver::Counters &counters = solver::counters();
+        result.solver.active = true;
+        result.solver.fusedOps = counters.fusedOps.load();
+        result.solver.searches = counters.searches.load();
+        result.solver.perfdbHits = counters.perfdbHits.load();
+        result.solver.searchMs =
+            static_cast<double>(counters.searchNs.load()) / 1e6;
     }
     return result;
 }

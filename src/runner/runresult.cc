@@ -90,6 +90,14 @@ RunResult::toJson() const
     spec_json.set("deadline_ms", spec.deadlineMs);
     spec_json.set("retries", static_cast<int64_t>(spec.retries));
     spec_json.set("shed", spec.shed);
+    // Kernel-fusion knobs: emitted only when the fused path is on, so
+    // a default run's record stays byte-identical to pre-solver output.
+    if (spec.fuseKernels) {
+        spec_json.set("fusion_kernels", true);
+        spec_json.set("autotune", solver::autotuneModeName(spec.autotune));
+        if (!spec.perfdb.empty())
+            spec_json.set("perfdb", spec.perfdb);
+    }
     obj.set("spec", std::move(spec_json));
 
     obj.set("latency_us", hostLatencyUs.toJson());
@@ -156,6 +164,23 @@ RunResult::toJson() const
                        static_cast<int64_t>(serve.faultsInjected));
         serve_json.set("goodput_rps", serve.goodputRps);
         obj.set("serve", std::move(serve_json));
+    }
+
+    // Solver-registry accounting (additive; only present when the
+    // fused-kernel path governed this run).
+    if (solver.active) {
+        core::JsonValue solver_json = core::JsonValue::object();
+        solver_json.set("fused_ops", solver.fusedOps);
+        solver_json.set("searches", solver.searches);
+        solver_json.set("search_ms", solver.searchMs);
+        solver_json.set("perfdb_hits", solver.perfdbHits);
+        solver_json.set("fused_groups",
+                        static_cast<int64_t>(solver.fusedGroups));
+        core::JsonValue unsupported_json = core::JsonValue::array();
+        for (const std::string &entry : solver.unsupported)
+            unsupported_json.push(entry);
+        solver_json.set("unsupported", std::move(unsupported_json));
+        obj.set("solver", std::move(solver_json));
     }
 
     core::JsonValue mem = core::JsonValue::object();

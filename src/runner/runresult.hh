@@ -118,6 +118,19 @@ struct ServeStats
     /** @} */
 };
 
+/** Solver-registry accounting (kernel fusion / autotuning runs). */
+struct SolverStats
+{
+    bool active = false;    ///< a ScopedConfig governed this run
+    uint64_t fusedOps = 0;  ///< fused-kernel invocations (act != none)
+    uint64_t searches = 0;  ///< timed autotune searches performed
+    uint64_t perfdbHits = 0;///< searches skipped via the perf-db
+    double searchMs = 0.0;  ///< total wall time spent searching
+    int fusedGroups = 0;    ///< layer pairs the planner rewrote
+    /** Combos that looked fusable but fall back per-op, with reasons. */
+    std::vector<std::string> unsupported;
+};
+
 /** Peak memory accounting of the run. */
 struct MemoryUse
 {
@@ -169,6 +182,8 @@ struct RunResult
     std::vector<NodeTime> nodes;
     /** Serve-mode aggregates (mode == Serve only). */
     ServeStats serve;
+    /** Solver-registry counters (kernel fusion runs only). */
+    SolverStats solver;
     MemoryUse memory;
 
     std::string metricName; ///< "Acc." / "F-1" / "MSE" / "DSC"

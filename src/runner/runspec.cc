@@ -1,5 +1,7 @@
 #include "runner/runspec.hh"
 
+#include <sys/stat.h>
+
 #include <cstdlib>
 
 #include "core/logging.hh"
@@ -133,13 +135,28 @@ RunSpec::toArgs() const
     args.push_back(strfmt("%d", retries));
     args.push_back("--shed");
     args.push_back(shed ? "on" : "off");
+    if (fuseKernels) {
+        // Emitted after the modality-fusion kind (if any): the parser
+        // folds "on"/"off" into fuseKernels and any other value into
+        // fusionKind, so both survive the round trip.
+        args.push_back("--fusion");
+        args.push_back("on");
+    }
+    if (autotune != solver::AutotuneMode::Off) {
+        args.push_back("--autotune");
+        args.push_back(solver::autotuneModeName(autotune));
+    }
+    if (!perfdb.empty()) {
+        args.push_back("--perfdb");
+        args.push_back(perfdb);
+    }
     return args;
 }
 
 std::string
 RunSpec::toString() const
 {
-    return strfmt(
+    std::string text = strfmt(
         "%s fusion=%s mode=%s batch=%lld threads=%d scale=%g seed=%llu "
         "warmup=%d repeat=%d device=%s sched=%s inflight=%d requests=%d "
         "arrival=%s rate=%g coalesce=%d faults=%s queue_cap=%d "
@@ -153,6 +170,12 @@ RunSpec::toString() const
         requests, pipeline::arrivalKindName(arrival), rateRps,
         coalesce, faults.empty() ? "none" : faults.c_str(), queueCap,
         deadlineMs, retries, shed ? "on" : "off");
+    if (fuseKernels)
+        text += strfmt(" fuse_kernels=on autotune=%s",
+                       solver::autotuneModeName(autotune));
+    if (!perfdb.empty())
+        text += strfmt(" perfdb=%s", perfdb.c_str());
+    return text;
 }
 
 namespace {
@@ -213,14 +236,42 @@ parseSpecFlags(const std::vector<std::string> &args, RunSpec *spec,
         if (flag == "--workload") {
             spec->workload = toLower(value);
         } else if (flag == "--fusion") {
+            // Overloaded: "on"/"off" toggle kernel fusion (the solver
+            // registry's fused Linear/Conv/norm+act path); any other
+            // value names a modality-fusion implementation.
+            const std::string f = toLower(value);
             fusion::FusionKind kind;
-            if (!fusion::tryParseFusionKind(value, &kind)) {
-                *error = strfmt("unknown fusion kind '%s'",
+            if (f == "on") {
+                spec->fuseKernels = true;
+            } else if (f == "off") {
+                spec->fuseKernels = false;
+            } else if (fusion::tryParseFusionKind(value, &kind)) {
+                spec->hasFusion = true;
+                spec->fusionKind = kind;
+            } else {
+                *error = strfmt(
+                    "unknown fusion '%s' (expected on/off for kernel "
+                    "fusion, or a modality fusion kind: zero, sum, "
+                    "concat, tensor, attention, linearglu, "
+                    "transformer, late_lstm)",
+                    value.c_str());
+                return false;
+            }
+        } else if (flag == "--autotune") {
+            solver::AutotuneMode mode;
+            if (!solver::tryParseAutotuneMode(value, &mode)) {
+                *error = strfmt("unknown --autotune value '%s' "
+                                "(expected off, on or force)",
                                 value.c_str());
                 return false;
             }
-            spec->hasFusion = true;
-            spec->fusionKind = kind;
+            spec->autotune = mode;
+        } else if (flag == "--perfdb") {
+            if (value.empty()) {
+                *error = "--perfdb expects a file path";
+                return false;
+            }
+            spec->perfdb = value;
         } else if (flag == "--mode") {
             const std::string m = toLower(value);
             if (m == "infer") {
@@ -457,6 +508,37 @@ parseSpecFlags(const std::vector<std::string> &args, RunSpec *spec,
         if (!spec->shed) {
             *error = "--shed off disables serve-mode load shedding; "
                      "add --mode serve";
+            return false;
+        }
+    }
+    if (!spec->fuseKernels) {
+        // Autotuning and the perf-db only exist on the fused path;
+        // rejecting them keeps records honest about what ran.
+        if (spec->autotune != solver::AutotuneMode::Off) {
+            *error = strfmt("--autotune %s searches over fused-kernel "
+                            "solvers; add --fusion on",
+                            solver::autotuneModeName(spec->autotune));
+            return false;
+        }
+        if (!spec->perfdb.empty()) {
+            *error = "--perfdb names the fused-kernel autotuning "
+                     "cache; add --fusion on";
+            return false;
+        }
+    }
+    if (spec->autotune == solver::AutotuneMode::Force) {
+        // Force always re-searches and re-writes the perf-db, so an
+        // unwritable existing db can only end in lost results — fail
+        // at parse time with a clear message instead. Permission bits
+        // via stat(), not access(): access(W_OK) is always 0 for root.
+        const std::string path = solver::resolvePerfDbPath(spec->perfdb);
+        struct stat st;
+        if (::stat(path.c_str(), &st) == 0 &&
+            (st.st_mode & (S_IWUSR | S_IWGRP | S_IWOTH)) == 0) {
+            *error = strfmt(
+                "--autotune force must rewrite the perf-db, but '%s' "
+                "is read-only; make it writable or pass --perfdb with "
+                "a writable path", path.c_str());
             return false;
         }
     }

@@ -21,6 +21,7 @@
 #include "pipeline/scheduler.hh"
 #include "pipeline/serve.hh"
 #include "sim/device.hh"
+#include "solver/config.hh"
 
 namespace mmbench {
 namespace runner {
@@ -81,6 +82,20 @@ struct RunSpec
     int retries = 0;
     /** Serve mode: load shedding on (default) or off (collapse baseline). */
     bool shed = true;
+
+    /**
+     * Kernel fusion (`--fusion on|off`): route inference through the
+     * solver registry, collapsing Linear/Conv/norm + activation pairs
+     * into single fused kernels. Off (the default) leaves every
+     * pre-existing code path — and its bitwise output — untouched.
+     * Note `--fusion` is overloaded: any other value selects the
+     * modality-fusion implementation (fusionKind above).
+     */
+    bool fuseKernels = false;
+    /** Solver autotuning policy; needs --fusion on when not off. */
+    solver::AutotuneMode autotune = solver::AutotuneMode::Off;
+    /** Perf-db path override; "" = $MMBENCH_PERFDB or the default. */
+    std::string perfdb;
 
     /** Total requests a serve run issues (resolves requests == 0). */
     int serveRequests() const

@@ -1,0 +1,101 @@
+#include "solver/config.hh"
+
+#include <cstdlib>
+
+#include "core/string_utils.hh"
+#include "solver/registry.hh"
+
+namespace mmbench {
+namespace solver {
+
+namespace {
+
+Config g_config;
+std::atomic<bool> g_fusion_active{false};
+Counters g_counters;
+
+void
+resetCounters()
+{
+    g_counters.fusedOps.store(0, std::memory_order_relaxed);
+    g_counters.searches.store(0, std::memory_order_relaxed);
+    g_counters.perfdbHits.store(0, std::memory_order_relaxed);
+    g_counters.searchNs.store(0, std::memory_order_relaxed);
+}
+
+} // namespace
+
+const char *
+autotuneModeName(AutotuneMode mode)
+{
+    switch (mode) {
+      case AutotuneMode::Off:   return "off";
+      case AutotuneMode::On:    return "on";
+      case AutotuneMode::Force: return "force";
+    }
+    return "off";
+}
+
+bool
+tryParseAutotuneMode(const std::string &name, AutotuneMode *mode)
+{
+    const std::string s = toLower(name);
+    if (s == "off") {
+        *mode = AutotuneMode::Off;
+    } else if (s == "on") {
+        *mode = AutotuneMode::On;
+    } else if (s == "force") {
+        *mode = AutotuneMode::Force;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+const Config &
+config()
+{
+    return g_config;
+}
+
+bool
+fusionActive()
+{
+    return g_fusion_active.load(std::memory_order_relaxed);
+}
+
+std::string
+resolvePerfDbPath(const std::string &flag_value)
+{
+    if (!flag_value.empty())
+        return flag_value;
+    if (const char *env = std::getenv("MMBENCH_PERFDB"))
+        if (env[0] != '\0')
+            return env;
+    return "mmbench_perfdb.json";
+}
+
+ScopedConfig::ScopedConfig(const Config &cfg) : prev_(g_config)
+{
+    g_config = cfg;
+    g_fusion_active.store(cfg.fusionEnabled, std::memory_order_relaxed);
+    resetCounters();
+    Registry::instance().resetRunState();
+}
+
+ScopedConfig::~ScopedConfig()
+{
+    g_config = prev_;
+    g_fusion_active.store(prev_.fusionEnabled, std::memory_order_relaxed);
+    resetCounters();
+    Registry::instance().resetRunState();
+}
+
+Counters &
+counters()
+{
+    return g_counters;
+}
+
+} // namespace solver
+} // namespace mmbench

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Process-wide solver configuration and run counters.
+ *
+ * The runner (or a test) activates the fused/solver path for the
+ * duration of one run via ScopedConfig; the default configuration is
+ * fully inert, so code that never touches the solver subsystem
+ * behaves bitwise identically to a build without it.
+ */
+
+#ifndef MMBENCH_SOLVER_CONFIG_HH
+#define MMBENCH_SOLVER_CONFIG_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace mmbench {
+namespace solver {
+
+/** Autotune policy for solver selection. */
+enum class AutotuneMode : uint8_t
+{
+    Off,   ///< deterministic: first applicable solver, no search, no db
+    On,    ///< perf-db lookup; timed search on miss, result persisted
+    Force, ///< always re-search (once per problem per run) and persist
+};
+
+/** Name for --autotune values ("off" / "on" / "force"). */
+const char *autotuneModeName(AutotuneMode mode);
+
+/** Parse an --autotune value; returns false on unknown input. */
+bool tryParseAutotuneMode(const std::string &name, AutotuneMode *mode);
+
+/** One run's solver configuration. */
+struct Config
+{
+    bool fusionEnabled = false;
+    AutotuneMode autotune = AutotuneMode::Off;
+    std::string perfdbPath; ///< resolved path; empty = no persistence
+};
+
+/** The active configuration (defaults inert). */
+const Config &config();
+
+/**
+ * Fast-path gate the nn layer checks per forward: true only while a
+ * ScopedConfig with fusionEnabled is alive.
+ */
+bool fusionActive();
+
+/**
+ * Resolve the perf-db location: explicit flag value, else the
+ * MMBENCH_PERFDB environment variable, else "mmbench_perfdb.json" in
+ * the working directory (the build dir for ctest / check.sh runs).
+ */
+std::string resolvePerfDbPath(const std::string &flag_value);
+
+/**
+ * Installs a configuration for the current run and resets the run
+ * counters and the per-run solver-choice cache; restores the previous
+ * configuration (and re-resets counters) on destruction. Not
+ * re-entrant across concurrent runs — the runner executes one
+ * RunSpec at a time.
+ */
+class ScopedConfig
+{
+  public:
+    explicit ScopedConfig(const Config &cfg);
+    ~ScopedConfig();
+
+    ScopedConfig(const ScopedConfig &) = delete;
+    ScopedConfig &operator=(const ScopedConfig &) = delete;
+
+  private:
+    Config prev_;
+};
+
+/**
+ * Counters accumulated while a configuration is active. Reset by
+ * ScopedConfig; snapshot them before it goes out of scope.
+ */
+struct Counters
+{
+    std::atomic<uint64_t> fusedOps{0};    ///< fused-kernel executions
+    std::atomic<uint64_t> searches{0};    ///< autotune searches run
+    std::atomic<uint64_t> perfdbHits{0};  ///< selections served by the db
+    std::atomic<uint64_t> searchNs{0};    ///< wall time spent searching
+};
+
+/** The live counters (mutable; owned by the config module). */
+Counters &counters();
+
+} // namespace solver
+} // namespace mmbench
+
+#endif // MMBENCH_SOLVER_CONFIG_HH

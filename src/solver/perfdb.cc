@@ -1,0 +1,108 @@
+#include "solver/perfdb.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/json.hh"
+#include "core/logging.hh"
+
+namespace mmbench {
+namespace solver {
+
+const char *const kPerfDbSchema = "mmbench-perfdb-v1";
+
+PerfDb::PerfDb(std::string path) : path_(std::move(path))
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    loadLocked();
+}
+
+bool
+PerfDb::loadLocked()
+{
+    std::ifstream in(path_);
+    if (!in.is_open())
+        return false; // no file yet: an empty (cold) db
+    std::stringstream buf;
+    buf << in.rdbuf();
+
+    std::string error;
+    core::JsonValue root = core::JsonValue::parse(buf.str(), &error);
+    if (!error.empty() || !root.has("entries")) {
+        warn("perf-db %s is not a valid %s file; starting cold",
+             path_.c_str(), kPerfDbSchema);
+        return false;
+    }
+    const core::JsonValue *entries = root.find("entries");
+    for (const auto &member : entries->members()) {
+        const core::JsonValue *solver = member.second.find("solver");
+        if (solver == nullptr)
+            continue;
+        Entry e;
+        e.solver = solver->stringValue();
+        if (const core::JsonValue *ms = member.second.find("ms"))
+            e.ms = ms->numberValue();
+        entries_[member.first] = std::move(e);
+    }
+    return true;
+}
+
+bool
+PerfDb::saveLocked()
+{
+    core::JsonValue entries = core::JsonValue::object();
+    for (const auto &kv : entries_) {
+        core::JsonValue e = core::JsonValue::object();
+        e.set("solver", kv.second.solver);
+        e.set("ms", kv.second.ms);
+        entries.set(kv.first, std::move(e));
+    }
+    core::JsonValue root = core::JsonValue::object();
+    root.set("schema", kPerfDbSchema);
+    root.set("entries", std::move(entries));
+
+    std::ofstream out(path_, std::ios::trunc);
+    if (!out.is_open()) {
+        if (!warned_) {
+            warned_ = true;
+            warn("cannot write perf-db %s; autotune results will not "
+                 "persist",
+                 path_.c_str());
+        }
+        return false;
+    }
+    out << root.dump() << "\n";
+    return out.good();
+}
+
+bool
+PerfDb::lookup(const std::string &key, std::string *solver_name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return false;
+    *solver_name = it->second.solver;
+    return true;
+}
+
+bool
+PerfDb::store(const std::string &key, const std::string &solver_name,
+              double ms)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry &e = entries_[key];
+    e.solver = solver_name;
+    e.ms = ms;
+    return saveLocked();
+}
+
+size_t
+PerfDb::size()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+} // namespace solver
+} // namespace mmbench

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The autotuning performance database.
+ *
+ * A small JSON file mapping problem keys (ProblemDesc::key()) to the
+ * winning solver name and its measured time, so repeated runs skip
+ * the timed search deterministically (MIOpen's perf-db scheme,
+ * down-scaled). Thread-safe; write-through on store so a run that is
+ * killed mid-way still leaves a warm db behind.
+ */
+
+#ifndef MMBENCH_SOLVER_PERFDB_HH
+#define MMBENCH_SOLVER_PERFDB_HH
+
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace mmbench {
+namespace solver {
+
+/** Schema tag written into every perf-db file. */
+extern const char *const kPerfDbSchema;
+
+class PerfDb
+{
+  public:
+    /** Binds to `path`; loads it if the file exists (missing is OK). */
+    explicit PerfDb(std::string path);
+
+    /** The bound file path. */
+    const std::string &path() const { return path_; }
+
+    /** Look up a problem key; fills *solver_name on a hit. */
+    bool lookup(const std::string &key, std::string *solver_name);
+
+    /**
+     * Record the winning solver for a key and write the file through.
+     * Returns false (once per db, with a warning) if the file cannot
+     * be written; the in-memory entry is kept either way.
+     */
+    bool store(const std::string &key, const std::string &solver_name,
+               double ms);
+
+    /** Number of cached entries. */
+    size_t size();
+
+  private:
+    bool loadLocked();
+    bool saveLocked();
+
+    std::mutex mu_;
+    std::string path_;
+    struct Entry
+    {
+        std::string solver;
+        double ms = 0.0;
+    };
+    std::map<std::string, Entry> entries_;
+    bool warned_ = false;
+};
+
+} // namespace solver
+} // namespace mmbench
+
+#endif // MMBENCH_SOLVER_PERFDB_HH

@@ -1,0 +1,55 @@
+#include "solver/problem.hh"
+
+#include "core/logging.hh"
+
+namespace mmbench {
+namespace solver {
+
+std::string
+ProblemDesc::key() const
+{
+    const char *act_name = tensor::actKindName(act);
+    switch (kind) {
+      case ProblemKind::Gemm:
+        return strfmt("gemm:f32:b%lld:m%lld:k%lld:n%lld:act=%s:bias=%d:t%d",
+                      static_cast<long long>(batch),
+                      static_cast<long long>(m), static_cast<long long>(k),
+                      static_cast<long long>(n), act_name, hasBias ? 1 : 0,
+                      threads);
+      case ProblemKind::Conv2d:
+        return strfmt("conv:f32:n%lld:c%lld:h%lld:w%lld:oc%lld:k%dx%d:"
+                      "s%d:p%d:act=%s:bias=%d:t%d",
+                      static_cast<long long>(batch),
+                      static_cast<long long>(c), static_cast<long long>(h),
+                      static_cast<long long>(w), static_cast<long long>(oc),
+                      kh, kw, stride, pad, act_name, hasBias ? 1 : 0,
+                      threads);
+      case ProblemKind::NormAct:
+        return strfmt("%s:f32:rows%lld:dim%lld:act=%s:t%d",
+                      norm == NormKind::LayerNorm ? "layernorm"
+                                                  : "batchnorm",
+                      static_cast<long long>(rows),
+                      static_cast<long long>(dim), act_name, threads);
+    }
+    return "unknown";
+}
+
+int64_t
+ProblemDesc::macs() const
+{
+    switch (kind) {
+      case ProblemKind::Gemm:
+        return batch * m * k * n;
+      case ProblemKind::Conv2d: {
+        const int64_t oh = (h + 2 * pad - kh) / stride + 1;
+        const int64_t ow = (w + 2 * pad - kw) / stride + 1;
+        return batch * oc * oh * ow * c * kh * kw;
+      }
+      case ProblemKind::NormAct:
+        return rows * dim;
+    }
+    return 0;
+}
+
+} // namespace solver
+} // namespace mmbench

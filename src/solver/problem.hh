@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Problem descriptors for the kernel solver registry.
+ *
+ * A ProblemDesc is the canonical description of one kernel-launch
+ * problem (shape, dtype, fused epilogue, thread count). Solvers
+ * declare applicability against it, and its key() string indexes the
+ * autotuning perf-db, so two runs with identical problems hit the
+ * same cache line (MIOpen's problem-config scheme).
+ */
+
+#ifndef MMBENCH_SOLVER_PROBLEM_HH
+#define MMBENCH_SOLVER_PROBLEM_HH
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/ops.hh"
+
+namespace mmbench {
+namespace solver {
+
+/** Problem families the registry knows how to solve. */
+enum class ProblemKind : uint8_t
+{
+    Gemm,    ///< GEMM, optionally fused with bias and/or activation
+    Conv2d,  ///< conv2d, optionally fused with activation (bias folded)
+    NormAct, ///< normalization fused with an activation
+};
+
+/** Which normalization a NormAct problem describes. */
+enum class NormKind : uint8_t
+{
+    LayerNorm,
+    BatchNormEval,
+};
+
+/**
+ * One kernel-launch problem. Only the fields relevant to `kind` are
+ * meaningful; the rest stay at their defaults (and are excluded from
+ * the perf-db key).
+ */
+struct ProblemDesc
+{
+    ProblemKind kind = ProblemKind::Gemm;
+    tensor::ActKind act = tensor::ActKind::None;
+    bool hasBias = false;
+
+    // Gemm: per-batch (m, k) x (k, n); batch-folded row count in m.
+    int64_t batch = 1;
+    int64_t m = 0, k = 0, n = 0;
+
+    // Conv2d geometry (batch = image count).
+    int64_t c = 0, h = 0, w = 0, oc = 0;
+    int kh = 0, kw = 0, stride = 1, pad = 0;
+
+    // NormAct: rows x dim (batchnorm: rows = N*C, dim = H*W).
+    NormKind norm = NormKind::LayerNorm;
+    int64_t rows = 0, dim = 0;
+
+    /** Thread count the problem runs under (part of the db key). */
+    int threads = 0;
+
+    /**
+     * Canonical perf-db key: kind, dtype (f32 today), every meaningful
+     * shape field, epilogue, and thread count.
+     */
+    std::string key() const;
+
+    /** Total multiply-accumulates (search-cost / applicability bound). */
+    int64_t macs() const;
+};
+
+} // namespace solver
+} // namespace mmbench
+
+#endif // MMBENCH_SOLVER_PROBLEM_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The kernel solver registry.
+ *
+ * Modeled on MIOpen's solver.hpp: every problem family has several
+ * candidate solvers, each declaring isApplicable(ProblemDesc) and
+ * solve(...). Selection is either deterministic (autotune off: the
+ * first applicable candidate, which is ordered to match the
+ * production heuristic bitwise) or empirical (autotune on/force: a
+ * timed search over the applicable candidates whose winner is cached
+ * in the JSON perf-db keyed on shape/epilogue/threads, so repeated
+ * runs skip the search).
+ */
+
+#ifndef MMBENCH_SOLVER_REGISTRY_HH
+#define MMBENCH_SOLVER_REGISTRY_HH
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "solver/problem.hh"
+#include "tensor/tensor.hh"
+
+namespace mmbench {
+namespace solver {
+
+class PerfDb;
+
+/**
+ * Operand pointers for one solve. Which fields are set depends on the
+ * problem kind: Gemm/Conv2d use x/w(/bias); NormAct uses x, gamma,
+ * beta (+ mean/var for BatchNormEval). Pointees must outlive the call.
+ */
+struct ProblemArgs
+{
+    const tensor::Tensor *x = nullptr;
+    const tensor::Tensor *w = nullptr;
+    const tensor::Tensor *bias = nullptr; ///< undefined Tensor = no bias
+    const tensor::Tensor *gamma = nullptr;
+    const tensor::Tensor *beta = nullptr;
+    const tensor::Tensor *mean = nullptr; ///< running mean (BN eval)
+    const tensor::Tensor *var = nullptr;  ///< running var (BN eval)
+    float eps = 1e-5f;
+};
+
+/** One candidate implementation for a problem family. */
+class Solver
+{
+  public:
+    virtual ~Solver() = default;
+
+    /** Stable name; the perf-db stores winners under it. */
+    virtual const char *name() const = 0;
+
+    /** True if this solver can handle the problem. */
+    virtual bool isApplicable(const ProblemDesc &desc) const = 0;
+
+    /** Execute the problem and return the output tensor. */
+    virtual tensor::Tensor solve(const ProblemDesc &desc,
+                                 const ProblemArgs &args) const = 0;
+};
+
+class Registry
+{
+  public:
+    static Registry &instance();
+
+    /** Applicable candidates in priority (registration) order. */
+    std::vector<const Solver *> applicable(const ProblemDesc &desc) const;
+
+    /** Look up a solver by name (nullptr if unknown). */
+    const Solver *findSolver(const std::string &name) const;
+
+    /**
+     * Select a solver per the active Config and execute it. With
+     * autotune off this is the first applicable candidate; otherwise
+     * the perf-db (or a timed search, persisted write-through) picks,
+     * and the winner is re-run so the returned tensor is always the
+     * selected solver's output. Search candidate runs are traced into
+     * a discarded sink so node timelines only see the winning kernel.
+     */
+    tensor::Tensor run(const ProblemDesc &desc, const ProblemArgs &args);
+
+    /**
+     * Drop the per-run solver-choice memo (called when a ScopedConfig
+     * is installed or torn down, so Force re-searches every run and a
+     * changed perf-db path takes effect).
+     */
+    void resetRunState();
+
+  private:
+    Registry();
+
+    const Solver *chooseLocked(const ProblemDesc &desc,
+                               const ProblemArgs &args,
+                               const std::string &key);
+    PerfDb *perfDbForPath(const std::string &path);
+
+    std::vector<std::unique_ptr<Solver>> solvers_;
+    mutable std::mutex mu_;
+    /** Per-run memo: problem key -> chosen solver. */
+    std::unordered_map<std::string, const Solver *> chosen_;
+    /** Loaded perf-dbs by path (persist across runs in one process). */
+    std::unordered_map<std::string, std::unique_ptr<PerfDb>> dbs_;
+};
+
+/** @name Problem-builder entry points used by the nn layer @{ */
+/** act(x @ w + bias) through the registry. */
+tensor::Tensor runLinear(const tensor::Tensor &x, const tensor::Tensor &w,
+                         const tensor::Tensor &bias, tensor::ActKind act);
+/** act(conv2d(x, w, bias)) through the registry. */
+tensor::Tensor runConv2d(const tensor::Tensor &x, const tensor::Tensor &w,
+                         const tensor::Tensor &bias, int stride, int pad,
+                         tensor::ActKind act);
+/** act(layernorm(x)) through the registry. */
+tensor::Tensor runLayerNorm(const tensor::Tensor &x,
+                            const tensor::Tensor &gamma,
+                            const tensor::Tensor &beta, float eps,
+                            tensor::ActKind act);
+/** act(batchnorm2d(x)) with running stats through the registry. */
+tensor::Tensor runBatchNormEval(const tensor::Tensor &x,
+                                const tensor::Tensor &gamma,
+                                const tensor::Tensor &beta,
+                                const tensor::Tensor &running_mean,
+                                const tensor::Tensor &running_var, float eps,
+                                tensor::ActKind act);
+/** @} */
+
+} // namespace solver
+} // namespace mmbench
+
+#endif // MMBENCH_SOLVER_REGISTRY_HH

@@ -20,13 +20,121 @@
 #ifndef MMBENCH_TENSOR_OPS_HH
 #define MMBENCH_TENSOR_OPS_HH
 
+#include <cmath>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "tensor/tensor.hh"
 
 namespace mmbench {
 namespace tensor {
+
+/**
+ * @name Fused-epilogue support
+ *
+ * Activation applied inside a producer kernel's write-back (the
+ * solver registry's fused GEMM/conv/norm variants). applyAct must
+ * stay expression-identical to the standalone unary kernels in
+ * ops_elementwise.cc: the fused kernels read the fully accumulated
+ * output element and apply the very same float operations, so a
+ * fused ReLU epilogue is bitwise identical to the separate pass.
+ * @{
+ */
+enum class ActKind : uint8_t
+{
+    None,
+    Relu,
+    Sigmoid,
+    Tanh,
+    Gelu,
+};
+
+/** Short name ("relu", ...); "none" for ActKind::None. */
+const char *actKindName(ActKind act);
+
+/** FLOPs per element the standalone activation kernel reports. */
+inline uint64_t
+actFlops(ActKind act)
+{
+    switch (act) {
+      case ActKind::None:    return 0;
+      case ActKind::Relu:    return 1;
+      case ActKind::Sigmoid: return 4;
+      case ActKind::Tanh:    return 4;
+      case ActKind::Gelu:    return 8;
+    }
+    return 0;
+}
+
+/** The exact per-element math of the standalone activation kernels. */
+inline float
+applyAct(ActKind act, float x)
+{
+    switch (act) {
+      case ActKind::None:
+        return x;
+      case ActKind::Relu:
+        return x > 0.0f ? x : 0.0f;
+      case ActKind::Sigmoid:
+        return 1.0f / (1.0f + std::exp(-x));
+      case ActKind::Tanh:
+        return std::tanh(x);
+      case ActKind::Gelu: {
+        // tanh approximation of GELU, as used by most frameworks.
+        const float c = 0.7978845608f; // sqrt(2/pi)
+        const float inner = c * (x + 0.044715f * x * x * x);
+        return 0.5f * x * (1.0f + std::tanh(inner));
+      }
+    }
+    return x;
+}
+
+/**
+ * Call `fn` with the activation kind lifted to a compile-time
+ * constant (a `std::integral_constant<ActKind, A>`). Epilogue loops
+ * dispatch once per row/plane so applyAct's switch constant-folds
+ * away; a runtime `act` inside the hot loop drags the transcendental
+ * branches in and defeats vectorization of the cheap activations.
+ */
+template <typename Fn>
+inline void
+dispatchAct(ActKind act, Fn &&fn)
+{
+    switch (act) {
+      case ActKind::None:
+        fn(std::integral_constant<ActKind, ActKind::None>{});
+        break;
+      case ActKind::Relu:
+        fn(std::integral_constant<ActKind, ActKind::Relu>{});
+        break;
+      case ActKind::Sigmoid:
+        fn(std::integral_constant<ActKind, ActKind::Sigmoid>{});
+        break;
+      case ActKind::Tanh:
+        fn(std::integral_constant<ActKind, ActKind::Tanh>{});
+        break;
+      case ActKind::Gelu:
+        fn(std::integral_constant<ActKind, ActKind::Gelu>{});
+        break;
+    }
+}
+
+/** GEMM implementation selector (solver-registry candidates). */
+enum class GemmAlgo : uint8_t
+{
+    Auto,   ///< production heuristic: blocked, tiny-shape direct path
+    Direct, ///< plain i-k-j loop at any size (tiny-shape candidate)
+};
+
+/** Convolution implementation selector (solver-registry candidates). */
+enum class ConvAlgo : uint8_t
+{
+    Auto,   ///< production heuristic (direct below the MAC limit)
+    Im2col, ///< force im2col + blocked GEMM
+    Direct, ///< force the direct loop
+};
+/** @} */
 
 /** @name Elementwise binary (NumPy broadcasting) @{ */
 Tensor add(const Tensor &a, const Tensor &b);
@@ -170,6 +278,41 @@ Tensor layernormBackward(const Tensor &grad_out, const Tensor &x,
                          const Tensor &gamma, const Tensor &saved_mean,
                          const Tensor &saved_invstd, Tensor &grad_gamma,
                          Tensor &grad_beta);
+/** @} */
+
+/** @name Fused kernels (solver-registry candidates) @{
+ * One pass over the output instead of two or three: bias and/or
+ * activation are applied at the producer kernel's write-back while the
+ * tile is cache-hot. Each emits a single `fused:<pattern>` KernelEvent
+ * under the producer's kernel class (Gemm / Conv / BNorm) so the
+ * Fig. 8 class breakdown stays comparable across --fusion on|off.
+ * With GemmAlgo/ConvAlgo::Auto and ActKind::Relu the results are
+ * bitwise identical to the unfused kernel sequence (the epilogue reads
+ * the fully accumulated element and applies the exact same float ops);
+ * other activations and non-default algos are epsilon-equivalent.
+ */
+/**
+ * act(x @ w + b): fused GEMM + bias + activation. b may be undefined
+ * (no bias). Same shape rules as matmul with a rank-1 (N) bias
+ * broadcast over rows.
+ */
+Tensor linearAct(const Tensor &x, const Tensor &w, const Tensor &b,
+                 ActKind act, GemmAlgo algo = GemmAlgo::Auto);
+/** act(conv2d(x, w, b)): activation fused into the conv write-back. */
+Tensor conv2dAct(const Tensor &x, const Tensor &w, const Tensor &b,
+                 int stride, int pad, ActKind act,
+                 ConvAlgo algo = ConvAlgo::Auto);
+/** act(layernorm(x)): activation fused into the normalization write. */
+Tensor layernormAct(const Tensor &x, const Tensor &gamma, const Tensor &beta,
+                    float eps, ActKind act);
+/**
+ * act(batchnorm2d(x)) using running statistics (inference mode only —
+ * the fused path never runs in training, where batch statistics and
+ * running-stat updates are required).
+ */
+Tensor batchnorm2dEvalAct(const Tensor &x, const Tensor &gamma,
+                          const Tensor &beta, const Tensor &running_mean,
+                          const Tensor &running_var, float eps, ActKind act);
 /** @} */
 
 /** @name Lookup @{ */

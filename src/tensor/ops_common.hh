@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "tensor/ops.hh"
 #include "tensor/shape.hh"
 
 namespace mmbench {
@@ -31,14 +32,33 @@ struct GemmOperand
 };
 
 /**
+ * Fused write-back applied to each output element once it is fully
+ * accumulated: c = act(c + bias[col]). bias may be null (activation
+ * only); with bias == nullptr and act == None the epilogue is a no-op
+ * and the kernel is exactly the plain GEMM.
+ */
+struct Epilogue
+{
+    const float *bias = nullptr; ///< per-column bias, or nullptr
+    ActKind act = ActKind::None;
+};
+
+/**
  * C[M,N] += A[M,K] * B[K,N] with cache blocking and packed panels;
  * C is contiguous row-major (ldc = n). Parallelizes over row blocks
  * unless called from inside a parallel region. Deterministic for any
  * thread count. Implemented in ops_matmul.cc; conv2d's im2col path
  * reuses it.
+ *
+ * When `epi` is non-null its bias/activation are applied to each
+ * output element exactly once, immediately after the element's last
+ * k-block is accumulated (while the tile is cache-hot). Because the
+ * epilogue reads the fully accumulated value, the result matches a
+ * separate bias-add + activation pass bitwise.
  */
 void gemmBlocked(const GemmOperand &a, const GemmOperand &b, float *c,
-                 int64_t m, int64_t k, int64_t n);
+                 int64_t m, int64_t k, int64_t n,
+                 const Epilogue *epi = nullptr);
 
 /**
  * Element strides for iterating tensor `in` along the axes of the

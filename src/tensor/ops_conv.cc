@@ -47,37 +47,40 @@ void
 convDirectImage(const float *xb, const float *pw, const float *pb,
                 float *ob, int64_t c, int64_t h, int64_t wd, int64_t oc,
                 int kh, int kw, int64_t oh, int64_t ow, int stride,
-                int pad)
+                int pad, ActKind act = ActKind::None)
 {
-    for (int64_t o = 0; o < oc; ++o) {
-        const float *wb = pw + o * c * kh * kw;
-        const float bias = pb ? pb[o] : 0.0f;
-        float *oplane = ob + o * oh * ow;
-        for (int64_t y = 0; y < oh; ++y) {
-            for (int64_t xo = 0; xo < ow; ++xo) {
-                float acc = bias;
-                const int64_t iy0 = y * stride - pad;
-                const int64_t ix0 = xo * stride - pad;
-                for (int64_t ci = 0; ci < c; ++ci) {
-                    const float *xplane = xb + ci * h * wd;
-                    const float *wplane = wb + ci * kh * kw;
-                    for (int ky = 0; ky < kh; ++ky) {
-                        const int64_t iy = iy0 + ky;
-                        if (iy < 0 || iy >= h)
-                            continue;
-                        for (int kx = 0; kx < kw; ++kx) {
-                            const int64_t ix = ix0 + kx;
-                            if (ix < 0 || ix >= wd)
+    dispatchAct(act, [&](auto actc) {
+        constexpr ActKind kAct = decltype(actc)::value;
+        for (int64_t o = 0; o < oc; ++o) {
+            const float *wb = pw + o * c * kh * kw;
+            const float bias = pb ? pb[o] : 0.0f;
+            float *oplane = ob + o * oh * ow;
+            for (int64_t y = 0; y < oh; ++y) {
+                for (int64_t xo = 0; xo < ow; ++xo) {
+                    float acc = bias;
+                    const int64_t iy0 = y * stride - pad;
+                    const int64_t ix0 = xo * stride - pad;
+                    for (int64_t ci = 0; ci < c; ++ci) {
+                        const float *xplane = xb + ci * h * wd;
+                        const float *wplane = wb + ci * kh * kw;
+                        for (int ky = 0; ky < kh; ++ky) {
+                            const int64_t iy = iy0 + ky;
+                            if (iy < 0 || iy >= h)
                                 continue;
-                            acc += xplane[iy * wd + ix] *
-                                   wplane[ky * kw + kx];
+                            for (int kx = 0; kx < kw; ++kx) {
+                                const int64_t ix = ix0 + kx;
+                                if (ix < 0 || ix >= wd)
+                                    continue;
+                                acc += xplane[iy * wd + ix] *
+                                       wplane[ky * kw + kx];
+                            }
                         }
                     }
+                    oplane[y * ow + xo] = applyAct(kAct, acc);
                 }
-                oplane[y * ow + xo] = acc;
             }
         }
-    }
+    });
 }
 
 /**
@@ -118,12 +121,16 @@ im2col(const float *xb, float *col, int64_t c, int64_t h, int64_t wd,
     });
 }
 
-/** im2col + blocked GEMM for one image (bias pre-filled into out). */
+/**
+ * im2col + blocked GEMM for one image (bias pre-filled into out; a
+ * fused activation rides the GEMM epilogue, reading the accumulated
+ * element — bias included — exactly as a separate pass would).
+ */
 void
 convGemmImage(const float *xb, const float *pw, const float *pb,
               float *ob, float *col, int64_t c, int64_t h, int64_t wd,
               int64_t oc, int kh, int kw, int64_t oh, int64_t ow,
-              int stride, int pad)
+              int stride, int pad, ActKind act = ActKind::None)
 {
     const int64_t kdim = c * kh * kw;
     const int64_t ohw = oh * ow;
@@ -141,15 +148,41 @@ convGemmImage(const float *xb, const float *pw, const float *pb,
     } else {
         std::fill(ob, ob + oc * ohw, 0.0f);
     }
-    detail::gemmBlocked({pw, kdim, 1}, {cols, ohw, 1}, ob, oc, kdim,
-                        ohw);
+    if (act == ActKind::None) {
+        detail::gemmBlocked({pw, kdim, 1}, {cols, ohw, 1}, ob, oc, kdim,
+                            ohw);
+    } else {
+        const detail::Epilogue epi{nullptr, act};
+        detail::gemmBlocked({pw, kdim, 1}, {cols, ohw, 1}, ob, oc, kdim,
+                            ohw, &epi);
+    }
 }
 
-} // namespace
+/** Canonical fused conv event names (static strings; see linearAct). */
+const char *
+fusedConvName(bool bias, ActKind act)
+{
+    static const char *with_bias[] = {
+        "conv2d", "fused:conv_bias_relu", "fused:conv_bias_sigmoid",
+        "fused:conv_bias_tanh", "fused:conv_bias_gelu",
+    };
+    static const char *no_bias[] = {
+        "conv2d", "fused:conv_relu", "fused:conv_sigmoid",
+        "fused:conv_tanh", "fused:conv_gelu",
+    };
+    const int i = static_cast<int>(act);
+    return bias ? with_bias[i] : no_bias[i];
+}
 
+/**
+ * Shared driver for conv2d / conv2dAct. The three-way dispatch
+ * (direct for tiny shapes, parallel-over-images, few-images) is the
+ * production heuristic; ConvAlgo::Im2col / ConvAlgo::Direct pin one
+ * lowering for the solver registry's candidates.
+ */
 Tensor
-conv2d(const Tensor &x, const Tensor &w, const Tensor &b, int stride,
-       int pad)
+conv2dImpl(const Tensor &x, const Tensor &w, const Tensor &b, int stride,
+           int pad, ActKind act, ConvAlgo algo)
 {
     MM_ASSERT(x.ndim() == 4 && w.ndim() == 4, "conv2d needs NCHW x OIHW");
     const int64_t n = x.size(0), c = x.size(1), h = x.size(2), wd = x.size(3);
@@ -169,12 +202,15 @@ conv2d(const Tensor &x, const Tensor &w, const Tensor &b, int stride,
     float *po = out.data();
 
     const int64_t macs_per_image = oc * oh * ow * c * kh * kw;
-    if (macs_per_image < kDirectConvMacLimit) {
+    const bool direct = algo == ConvAlgo::Direct ||
+                        (algo == ConvAlgo::Auto &&
+                         macs_per_image < kDirectConvMacLimit);
+    if (direct) {
         core::parallelFor(0, n, 1, [&](int64_t n0, int64_t n1) {
             for (int64_t ni = n0; ni < n1; ++ni)
                 convDirectImage(px + ni * c * h * wd, pw, pb,
                                 po + ni * oc * oh * ow, c, h, wd, oc,
-                                kh, kw, oh, ow, stride, pad);
+                                kh, kw, oh, ow, stride, pad, act);
         });
     } else if (n >= core::numThreads()) {
         // Parallel over images; per-image lowering+GEMM runs serially
@@ -185,7 +221,7 @@ conv2d(const Tensor &x, const Tensor &w, const Tensor &b, int stride,
             for (int64_t ni = n0; ni < n1; ++ni)
                 convGemmImage(px + ni * c * h * wd, pw, pb,
                               po + ni * oc * oh * ow, col.data(), c, h,
-                              wd, oc, kh, kw, oh, ow, stride, pad);
+                              wd, oc, kh, kw, oh, ow, stride, pad, act);
         });
     } else {
         // Few images: parallelize inside im2col and the GEMM instead.
@@ -194,16 +230,34 @@ conv2d(const Tensor &x, const Tensor &w, const Tensor &b, int stride,
         for (int64_t ni = 0; ni < n; ++ni)
             convGemmImage(px + ni * c * h * wd, pw, pb,
                           po + ni * oc * oh * ow, col.data(), c, h, wd,
-                          oc, kh, kw, oh, ow, stride, pad);
+                          oc, kh, kw, oh, ow, stride, pad, act);
     }
 
     const uint64_t flops = 2ULL * static_cast<uint64_t>(n * oc * oh * ow) *
-                           static_cast<uint64_t>(c * kh * kw);
-    trace::emitKernel(trace::KernelClass::Conv, "conv2d", flops,
+                           static_cast<uint64_t>(c * kh * kw) +
+                           static_cast<uint64_t>(out.numel()) * actFlops(act);
+    trace::emitKernel(trace::KernelClass::Conv,
+                      fusedConvName(pb != nullptr, act), flops,
                       x.bytes() + w.bytes() +
                           (b.defined() ? b.bytes() : 0),
                       out.bytes());
     return out;
+}
+
+} // namespace
+
+Tensor
+conv2d(const Tensor &x, const Tensor &w, const Tensor &b, int stride,
+       int pad)
+{
+    return conv2dImpl(x, w, b, stride, pad, ActKind::None, ConvAlgo::Auto);
+}
+
+Tensor
+conv2dAct(const Tensor &x, const Tensor &w, const Tensor &b, int stride,
+          int pad, ActKind act, ConvAlgo algo)
+{
+    return conv2dImpl(x, w, b, stride, pad, act, algo);
 }
 
 Tensor

@@ -164,6 +164,26 @@ microKernel(const float *ap, const float *bp, int64_t kc, float *c,
 
 namespace detail {
 
+namespace {
+
+/** c[j] = act(c[j] + bias[j]) over [j0, j1); bias indexed absolutely. */
+inline void
+applyEpilogueRow(float *crow, const Epilogue &epi, int64_t j0, int64_t j1)
+{
+    dispatchAct(epi.act, [&](auto actc) {
+        constexpr ActKind kAct = decltype(actc)::value;
+        if (epi.bias != nullptr) {
+            for (int64_t j = j0; j < j1; ++j)
+                crow[j] = applyAct(kAct, crow[j] + epi.bias[j]);
+        } else {
+            for (int64_t j = j0; j < j1; ++j)
+                crow[j] = applyAct(kAct, crow[j]);
+        }
+    });
+}
+
+} // namespace
+
 /**
  * C[M,N] += A[M,K] * B[K,N] with cache blocking and packed panels.
  * C is contiguous row-major with leading dimension n. Parallelizes
@@ -171,7 +191,7 @@ namespace detail {
  */
 void
 gemmBlocked(const GemmOperand &a, const GemmOperand &b, float *c,
-            int64_t m, int64_t k, int64_t n)
+            int64_t m, int64_t k, int64_t n, const Epilogue *epi)
 {
     if (m * n * k <= kSmallGemmMacLimit) {
         for (int64_t i = 0; i < m; ++i) {
@@ -182,6 +202,8 @@ gemmBlocked(const GemmOperand &a, const GemmOperand &b, float *c,
                 for (int64_t j = 0; j < n; ++j)
                     crow[j] += aik * brow[j * b.cs];
             }
+            if (epi != nullptr)
+                applyEpilogueRow(crow, *epi, 0, n);
         }
         return;
     }
@@ -225,6 +247,14 @@ gemmBlocked(const GemmOperand &a, const GemmOperand &b, float *c,
                                         std::min(MR, ic + mc - i0), nr);
                         }
                     }
+                    // Columns [jc, jc+nc) of rows [ic, ic+mc) are fully
+                    // accumulated once the last k-block lands: apply
+                    // the fused epilogue while the tile is cache-hot.
+                    // Rows are disjoint across workers (deterministic).
+                    if (epi != nullptr && pc + kc >= k) {
+                        for (int64_t i = ic; i < ic + mc; ++i)
+                            applyEpilogueRow(c + i * n, *epi, jc, jc + nc);
+                    }
                 }
             });
         }
@@ -238,15 +268,19 @@ namespace {
 using detail::gemmBlocked;
 
 /**
- * Shared driver for matmul / matmulNT / matmulTN: folds leading batch
- * dimensions, dispatches per-batch blocked GEMMs (parallel over the
- * batch when there are several), and emits one Gemm kernel event.
+ * Shared driver for matmul / matmulNT / matmulTN / linearAct: folds
+ * leading batch dimensions, dispatches per-batch blocked GEMMs
+ * (parallel over the batch when there are several), and emits one
+ * Gemm kernel event named `event` with `extra_flops` added for any
+ * fused epilogue work.
  *
  * ta: a holds (..., K, M) and is used transposed.
  * tb: b holds (..., N, K) and is used transposed.
  */
 Tensor
-matmulImpl(const Tensor &a, const Tensor &b, bool ta, bool tb)
+matmulImpl(const Tensor &a, const Tensor &b, bool ta, bool tb,
+           const detail::Epilogue *epi = nullptr,
+           const char *event = "gemm", uint64_t extra_flops = 0)
 {
     MM_ASSERT(a.ndim() >= 2 && b.ndim() >= 2,
               "matmul needs rank >= 2, got %s x %s",
@@ -287,7 +321,7 @@ matmulImpl(const Tensor &a, const Tensor &b, bool ta, bool tb)
                                       : GemmOperand{abase, k, 1};
             const GemmOperand ob = tb ? GemmOperand{bbase, 1, k}
                                       : GemmOperand{bbase, n, 1};
-            gemmBlocked(oa, ob, pc + bi * m * n, m, k, n);
+            gemmBlocked(oa, ob, pc + bi * m * n, m, k, n, epi);
         }
     };
     if (batch >= core::numThreads()) {
@@ -300,8 +334,8 @@ matmulImpl(const Tensor &a, const Tensor &b, bool ta, bool tb)
 
     const uint64_t flops =
         2ULL * static_cast<uint64_t>(batch) * static_cast<uint64_t>(m) *
-        static_cast<uint64_t>(k) * static_cast<uint64_t>(n);
-    trace::emitKernel(trace::KernelClass::Gemm, "gemm", flops,
+        static_cast<uint64_t>(k) * static_cast<uint64_t>(n) + extra_flops;
+    trace::emitKernel(trace::KernelClass::Gemm, event, flops,
                       a.bytes() + b.bytes(), out.bytes());
     return out;
 }
@@ -324,6 +358,100 @@ Tensor
 matmulTN(const Tensor &a, const Tensor &b)
 {
     return matmulImpl(a, b, true, false);
+}
+
+const char *
+actKindName(ActKind act)
+{
+    switch (act) {
+      case ActKind::None:    return "none";
+      case ActKind::Relu:    return "relu";
+      case ActKind::Sigmoid: return "sigmoid";
+      case ActKind::Tanh:    return "tanh";
+      case ActKind::Gelu:    return "gelu";
+    }
+    return "none";
+}
+
+namespace {
+
+/**
+ * Canonical `fused:<pattern>` event names. KernelEvent keeps a raw
+ * `const char *`, so these must be static strings. A plain GEMM with
+ * neither bias nor activation keeps the unfused "gemm" name.
+ */
+const char *
+fusedLinearName(bool bias, ActKind act)
+{
+    static const char *with_bias[] = {
+        "fused:linear_bias", "fused:linear_bias_relu",
+        "fused:linear_bias_sigmoid", "fused:linear_bias_tanh",
+        "fused:linear_bias_gelu",
+    };
+    static const char *no_bias[] = {
+        "gemm", "fused:linear_relu", "fused:linear_sigmoid",
+        "fused:linear_tanh", "fused:linear_gelu",
+    };
+    const int i = static_cast<int>(act);
+    return bias ? with_bias[i] : no_bias[i];
+}
+
+} // namespace
+
+Tensor
+linearAct(const Tensor &x, const Tensor &w, const Tensor &b, ActKind act,
+          GemmAlgo algo)
+{
+    MM_ASSERT(w.ndim() == 2, "linearAct weight must be (K,N), got %s",
+              w.shape().toString().c_str());
+    const bool has_bias = b.defined();
+    if (has_bias)
+        MM_ASSERT(b.ndim() == 1 && b.size(0) == w.size(1),
+                  "linearAct bias must be (%lld), got %s",
+                  static_cast<long long>(w.size(1)),
+                  b.shape().toString().c_str());
+
+    const detail::Epilogue epi{has_bias ? b.data() : nullptr, act};
+    const int64_t rows = x.numel() / x.size(-1);
+    const int64_t n = w.size(1);
+    const uint64_t extra =
+        static_cast<uint64_t>(rows * n) * ((has_bias ? 1 : 0) + actFlops(act));
+    const char *event = fusedLinearName(has_bias, act);
+
+    if (algo == GemmAlgo::Auto)
+        return matmulImpl(x, w, false, false, &epi, event, extra);
+
+    // Direct i-k-j loop at any size: the tiny-shape solver candidate.
+    MM_ASSERT(x.ndim() >= 2, "linearAct needs rank >= 2, got %s",
+              x.shape().toString().c_str());
+    const int64_t k = x.size(-1);
+    MM_ASSERT(k == w.size(0), "linearAct inner dims differ: %s x %s",
+              x.shape().toString().c_str(), w.shape().toString().c_str());
+    std::vector<int64_t> out_dims;
+    for (size_t i = 0; i + 1 < x.shape().ndim(); ++i)
+        out_dims.push_back(x.shape()[i]);
+    out_dims.push_back(n);
+    Tensor out = Tensor::zeros(Shape(std::move(out_dims)));
+    const float *px = x.data();
+    const float *pw = w.data();
+    float *pc = out.data();
+    for (int64_t i = 0; i < rows; ++i) {
+        float *crow = pc + i * n;
+        const float *xrow = px + i * k;
+        for (int64_t kk = 0; kk < k; ++kk) {
+            const float aik = xrow[kk];
+            const float *wrow = pw + kk * n;
+            for (int64_t j = 0; j < n; ++j)
+                crow[j] += aik * wrow[j];
+        }
+        detail::applyEpilogueRow(crow, epi, 0, n);
+    }
+    const uint64_t flops = 2ULL * static_cast<uint64_t>(rows) *
+                           static_cast<uint64_t>(k) *
+                           static_cast<uint64_t>(n) + extra;
+    trace::emitKernel(trace::KernelClass::Gemm, event, flops,
+                      x.bytes() + w.bytes(), out.bytes());
+    return out;
 }
 
 Tensor

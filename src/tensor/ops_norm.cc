@@ -164,6 +164,135 @@ layernorm(const Tensor &x, const Tensor &gamma, const Tensor &beta,
     return out;
 }
 
+namespace {
+
+/** Canonical fused norm+act event names (static strings). */
+const char *
+fusedNormName(bool batch, ActKind act)
+{
+    static const char *bn[] = {
+        "batchnorm2d", "fused:batchnorm_relu", "fused:batchnorm_sigmoid",
+        "fused:batchnorm_tanh", "fused:batchnorm_gelu",
+    };
+    static const char *ln[] = {
+        "layernorm", "fused:layernorm_relu", "fused:layernorm_sigmoid",
+        "fused:layernorm_tanh", "fused:layernorm_gelu",
+    };
+    const int i = static_cast<int>(act);
+    return batch ? bn[i] : ln[i];
+}
+
+} // namespace
+
+Tensor
+batchnorm2dEvalAct(const Tensor &x, const Tensor &gamma, const Tensor &beta,
+                   const Tensor &running_mean, const Tensor &running_var,
+                   float eps, ActKind act)
+{
+    MM_ASSERT(x.ndim() == 4, "batchnorm2dEvalAct needs NCHW, got %s",
+              x.shape().toString().c_str());
+    const int64_t n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
+    MM_ASSERT(gamma.numel() == c && beta.numel() == c &&
+                  running_mean.numel() == c && running_var.numel() == c,
+              "batchnorm2dEvalAct parameter size mismatch (C=%lld)",
+              static_cast<long long>(c));
+
+    // Inference-mode statistics, computed exactly as batchnorm2d's
+    // eval branch does; the activation rides the normalization write.
+    Tensor mean(Shape{c});
+    Tensor invstd(Shape{c});
+    for (int64_t ci = 0; ci < c; ++ci) {
+        mean.at(ci) = running_mean.at(ci);
+        invstd.at(ci) = 1.0f / std::sqrt(running_var.at(ci) + eps);
+    }
+
+    Tensor out(x.shape());
+    const float *px = x.data();
+    const float *pg = gamma.data();
+    const float *pbeta = beta.data();
+    float *po = out.data();
+    const float *pmean = mean.data();
+    const float *pinv = invstd.data();
+    dispatchAct(act, [&](auto actc) {
+        constexpr ActKind kAct = decltype(actc)::value;
+        core::parallelFor(0, n * c, 4, [&](int64_t p0, int64_t p1) {
+            for (int64_t p = p0; p < p1; ++p) {
+                const int64_t ci = p % c;
+                const float mu = pmean[ci];
+                const float is = pinv[ci];
+                const float g = pg[ci];
+                const float bt = pbeta[ci];
+                const float *plane = px + p * h * w;
+                float *oplane = po + p * h * w;
+                for (int64_t i = 0; i < h * w; ++i) {
+                    const float v = (plane[i] - mu) * is * g + bt;
+                    oplane[i] = applyAct(kAct, v);
+                }
+            }
+        });
+    });
+
+    trace::emitKernel(trace::KernelClass::BNorm, fusedNormName(true, act),
+                      static_cast<uint64_t>(x.numel()) *
+                          (4 + actFlops(act)),
+                      x.bytes() + gamma.bytes() + beta.bytes(),
+                      out.bytes());
+    return out;
+}
+
+Tensor
+layernormAct(const Tensor &x, const Tensor &gamma, const Tensor &beta,
+             float eps, ActKind act)
+{
+    MM_ASSERT(x.ndim() >= 1, "layernormAct needs rank >= 1");
+    const int64_t dim = x.size(-1);
+    MM_ASSERT(gamma.numel() == dim && beta.numel() == dim,
+              "layernormAct parameter size mismatch (D=%lld)",
+              static_cast<long long>(dim));
+    const int64_t rows = x.numel() / dim;
+
+    Tensor out(x.shape());
+    const float *px = x.data();
+    const float *pg = gamma.data();
+    const float *pb = beta.data();
+    float *po = out.data();
+
+    dispatchAct(act, [&](auto actc) {
+        constexpr ActKind kAct = decltype(actc)::value;
+        core::parallelFor(0, rows, 4, [&](int64_t r0, int64_t r1) {
+            for (int64_t r = r0; r < r1; ++r) {
+                const float *row = px + r * dim;
+                float *orow = po + r * dim;
+                double acc = 0.0;
+                for (int64_t i = 0; i < dim; ++i)
+                    acc += row[i];
+                const double mu = acc / static_cast<double>(dim);
+                double var_acc = 0.0;
+                for (int64_t i = 0; i < dim; ++i) {
+                    const double d = row[i] - mu;
+                    var_acc += d * d;
+                }
+                const double var = var_acc / static_cast<double>(dim);
+                const float is =
+                    static_cast<float>(1.0 / std::sqrt(var + eps));
+                for (int64_t i = 0; i < dim; ++i) {
+                    const float v = (row[i] - static_cast<float>(mu)) * is *
+                                        pg[i] +
+                                    pb[i];
+                    orow[i] = applyAct(kAct, v);
+                }
+            }
+        });
+    });
+
+    trace::emitKernel(trace::KernelClass::BNorm, fusedNormName(false, act),
+                      static_cast<uint64_t>(x.numel()) *
+                          (4 + actFlops(act)),
+                      x.bytes() + gamma.bytes() + beta.bytes(),
+                      out.bytes());
+    return out;
+}
+
 Tensor
 batchnorm2dBackward(const Tensor &grad_out, const Tensor &x,
                     const Tensor &gamma, const Tensor &saved_mean,

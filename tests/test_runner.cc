@@ -6,6 +6,8 @@
  * output back and check every required key).
  */
 
+#include <sys/stat.h>
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -13,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "core/json.hh"
+#include "solver/config.hh"
 #include "models/registry.hh"
 #include "runner/experiment.hh"
 #include "runner/runner.hh"
@@ -341,6 +344,95 @@ TEST(RunSpecParse, RateSweepExpandsAcrossSpecs)
         EXPECT_EQ(s.arrival, pipeline::ArrivalKind::Poisson);
 }
 
+// ------------------------------------------------- kernel-fusion flags
+
+TEST(RunSpecParse, FusionKernelFlagsParseAndRoundTrip)
+{
+    RunSpec spec;
+    std::string error;
+    // --fusion is overloaded: a kind selects modality fusion, on/off
+    // toggles kernel fusion; both can appear in one command line.
+    ASSERT_TRUE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--fusion", "concat", "--fusion",
+         "on", "--autotune", "force", "--perfdb", "/tmp/pdb.json"},
+        &spec, &error))
+        << error;
+    EXPECT_TRUE(spec.hasFusion);
+    EXPECT_EQ(spec.fusionKind, fusion::FusionKind::Concat);
+    EXPECT_TRUE(spec.fuseKernels);
+    EXPECT_EQ(spec.autotune, solver::AutotuneMode::Force);
+    EXPECT_EQ(spec.perfdb, "/tmp/pdb.json");
+
+    RunSpec reparsed;
+    ASSERT_TRUE(runner::parseRunSpec(spec.toArgs(), &reparsed, &error))
+        << error;
+    EXPECT_EQ(reparsed.hasFusion, spec.hasFusion);
+    EXPECT_EQ(reparsed.fusionKind, spec.fusionKind);
+    EXPECT_EQ(reparsed.fuseKernels, spec.fuseKernels);
+    EXPECT_EQ(reparsed.autotune, spec.autotune);
+    EXPECT_EQ(reparsed.perfdb, spec.perfdb);
+
+    // --fusion off parses and stays the default.
+    spec = RunSpec();
+    ASSERT_TRUE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--fusion", "off"}, &spec, &error))
+        << error;
+    EXPECT_FALSE(spec.fuseKernels);
+    EXPECT_FALSE(spec.hasFusion);
+    RunSpec off_reparsed;
+    ASSERT_TRUE(
+        runner::parseRunSpec(spec.toArgs(), &off_reparsed, &error));
+    EXPECT_FALSE(off_reparsed.fuseKernels);
+}
+
+TEST(RunSpecParse, FusionKernelFlagErrors)
+{
+    RunSpec spec;
+    std::string error;
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--autotune", "sideways"}, &spec,
+        &error));
+    EXPECT_NE(error.find("--autotune"), std::string::npos) << error;
+
+    spec = RunSpec();
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--autotune", "on"}, &spec, &error));
+    EXPECT_NE(error.find("--fusion on"), std::string::npos) << error;
+
+    spec = RunSpec();
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--perfdb", "/tmp/pdb.json"}, &spec,
+        &error));
+    EXPECT_NE(error.find("--fusion on"), std::string::npos) << error;
+
+    // --autotune force against a read-only perf-db fails at parse
+    // time (permission bits, so the check also holds for root).
+    const std::string ro =
+        ::testing::TempDir() + "/mmbench_ro_perfdb.json";
+    {
+        std::ofstream os(ro);
+        os << "{}";
+    }
+    ASSERT_EQ(::chmod(ro.c_str(), 0444), 0);
+    spec = RunSpec();
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--fusion", "on", "--autotune",
+         "force", "--perfdb", ro},
+        &spec, &error));
+    EXPECT_NE(error.find("read-only"), std::string::npos) << error;
+    ::chmod(ro.c_str(), 0644);
+    std::remove(ro.c_str());
+
+    // A writable db (or a missing file) is fine.
+    spec = RunSpec();
+    EXPECT_TRUE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--fusion", "on", "--autotune",
+         "force", "--perfdb",
+         ::testing::TempDir() + "/mmbench_new_perfdb.json"},
+        &spec, &error))
+        << error;
+}
+
 // --------------------------------------------------------------- registry
 
 TEST(WorkloadRegistry, AllNineRegisteredInTableOrder)
@@ -638,6 +730,45 @@ TEST(JsonSink, SchemaHasAllRequiredKeys)
     ASSERT_NE(metric, nullptr);
     EXPECT_TRUE(metric->has("name"));
     EXPECT_TRUE(metric->has("value"));
+}
+
+TEST(JsonSink, SolverBlockOnlyWhenKernelFusionActive)
+{
+    // The default record must stay byte-compatible with pre-solver
+    // output: no solver block, no kernel-fusion spec keys.
+    const JsonValue plain = smokeRecord();
+    EXPECT_FALSE(plain.has("solver"));
+    const JsonValue *plain_spec = plain.find("spec");
+    ASSERT_NE(plain_spec, nullptr);
+    EXPECT_FALSE(plain_spec->has("fusion_kernels"));
+    EXPECT_FALSE(plain_spec->has("autotune"));
+    EXPECT_FALSE(plain_spec->has("perfdb"));
+
+    RunSpec spec;
+    spec.workload = "av-mnist";
+    spec.batch = 2;
+    spec.sizeScale = 0.35f;
+    spec.warmup = 0;
+    spec.repeat = 2;
+    spec.fuseKernels = true;
+    runner::RunResult result = runner::runOne(spec);
+    const JsonValue record = result.toJson();
+    const JsonValue *solver = record.find("solver");
+    ASSERT_NE(solver, nullptr);
+    for (const char *key : {"fused_ops", "searches", "search_ms",
+                            "perfdb_hits", "fused_groups",
+                            "unsupported"}) {
+        EXPECT_TRUE(solver->has(key)) << key;
+    }
+    EXPECT_GT(solver->find("fused_ops")->intValue(), 0);
+    EXPECT_GT(solver->find("fused_groups")->intValue(), 0);
+    // Autotune off: never a search, never a db hit.
+    EXPECT_EQ(solver->find("searches")->intValue(), 0);
+    EXPECT_EQ(solver->find("perfdb_hits")->intValue(), 0);
+    const JsonValue *fused_spec = record.find("spec");
+    ASSERT_NE(fused_spec, nullptr);
+    EXPECT_TRUE(fused_spec->find("fusion_kernels")->boolValue());
+    EXPECT_EQ(fused_spec->find("autotune")->stringValue(), "off");
 }
 
 TEST(Runner, ExplicitFusionOverridesDefault)
