@@ -173,7 +173,9 @@ class Harness
     bool
     writeJsonl(const std::string &path) const
     {
-        std::ofstream os(path);
+        // Append like runner::JsonlSink: trajectory files accumulate
+        // across passes (CI starts them from rm -f, not truncation).
+        std::ofstream os(path, std::ios::app);
         if (!os) {
             warn("cannot open '%s' for writing", path.c_str());
             return false;

@@ -2,11 +2,14 @@
 
 #include "core/logging.hh"
 #include "core/string_utils.hh"
+#include "nn/fuse.hh"
 
 namespace mmbench {
 namespace models {
 
 namespace ag = mmbench::autograd;
+
+using tensor::ActKind;
 
 int64_t
 convOut(int64_t in, int kernel, int stride, int pad)
@@ -33,16 +36,19 @@ LeNetEncoder::LeNetEncoder(int64_t in_ch, int64_t h, int64_t w,
     registerChild(conv2_);
     registerChild(pool_);
     registerChild(fc_);
+    declareFusedPair(nn::fusedPairName(conv1_, ActKind::Relu));
+    declareFusedPair(nn::fusedPairName(conv2_, ActKind::Relu));
+    declareFusedPair(nn::fusedPairName(fc_, ActKind::Relu));
 }
 
 Var
 LeNetEncoder::forward(const Var &x)
 {
-    Var h = pool_.forward(ag::relu(conv1_.forward(x)));
-    h = pool_.forward(ag::relu(conv2_.forward(h)));
+    Var h = pool_.forward(nn::fusedConv2dAct(conv1_, x, ActKind::Relu));
+    h = pool_.forward(nn::fusedConv2dAct(conv2_, h, ActKind::Relu));
     const int64_t batch = h.value().size(0);
     h = ag::reshape(h, Shape{batch, flatDim_});
-    return ag::relu(fc_.forward(h));
+    return nn::fusedLinearAct(fc_, h, ActKind::Relu);
 }
 
 VggSmall::VggSmall(int64_t in_ch, int64_t h, int64_t w,
@@ -80,13 +86,16 @@ VggSmall::VggSmall(int64_t in_ch, int64_t h, int64_t w,
     registerChild(body_);
     registerChild(fc1_);
     registerChild(fc2_);
+    declareFusedPair(nn::fusedPairName(fc1_, ActKind::Relu));
+    declareFusedPair(nn::fusedPairName(fc2_, ActKind::Relu));
 }
 
 Var
 VggSmall::forward(const Var &x)
 {
     Var h = body_.forward(x);
-    return ag::relu(fc2_.forward(ag::relu(fc1_.forward(h))));
+    return nn::fusedLinearAct(
+        fc2_, nn::fusedLinearAct(fc1_, h, ActKind::Relu), ActKind::Relu);
 }
 
 TextTransformerEncoder::TextTransformerEncoder(int64_t vocab, int64_t dim,
@@ -151,12 +160,13 @@ SmallCnn::SmallCnn(int64_t in_ch, int64_t h, int64_t w,
          .emplace<nn::Flatten>();
     registerChild(body_);
     registerChild(fc_);
+    declareFusedPair(nn::fusedPairName(fc_, ActKind::Relu));
 }
 
 Var
 SmallCnn::forward(const Var &x)
 {
-    return ag::relu(fc_.forward(body_.forward(x)));
+    return nn::fusedLinearAct(fc_, body_.forward(x), ActKind::Relu);
 }
 
 MlpEncoder::MlpEncoder(int64_t in_dim, int64_t hidden, int64_t feature_dim)
@@ -165,6 +175,8 @@ MlpEncoder::MlpEncoder(int64_t in_dim, int64_t hidden, int64_t feature_dim)
 {
     registerChild(fc1_);
     registerChild(fc2_);
+    declareFusedPair(nn::fusedPairName(fc1_, ActKind::Relu));
+    declareFusedPair(nn::fusedPairName(fc2_, ActKind::Relu));
 }
 
 Var
@@ -176,7 +188,9 @@ MlpEncoder::forward(const Var &x)
               "MlpEncoder fed %s, expected flat dim %lld",
               x.value().shape().toString().c_str(),
               static_cast<long long>(inDim_));
-    return ag::relu(fc2_.forward(ag::relu(fc1_.forward(flat))));
+    return nn::fusedLinearAct(
+        fc2_, nn::fusedLinearAct(fc1_, flat, ActKind::Relu),
+        ActKind::Relu);
 }
 
 ResidualBlock::ResidualBlock(int64_t in_ch, int64_t out_ch, int stride)
@@ -192,12 +206,15 @@ ResidualBlock::ResidualBlock(int64_t in_ch, int64_t out_ch, int stride)
                                              false);
         registerChild(*proj_);
     }
+    declareFusedPair(nn::fusedPairName(bn1_, ActKind::Relu));
 }
 
 Var
 ResidualBlock::forward(const Var &x)
 {
-    Var h = ag::relu(bn1_.forward(conv1_.forward(x)));
+    // bn1+relu fuses; the post-add relu cannot (its producer is the
+    // residual add, which has no fused solver).
+    Var h = nn::fusedBatchNormAct(bn1_, conv1_.forward(x), ActKind::Relu);
     h = bn2_.forward(conv2_.forward(h));
     Var skip = proj_ ? proj_->forward(x) : x;
     return ag::relu(ag::add(h, skip));
@@ -221,12 +238,15 @@ ResNetSmall::ResNetSmall(int64_t in_ch, int64_t h, int64_t w,
     registerChild(block2_);
     registerChild(block3_);
     registerChild(fc_);
+    declareFusedPair(nn::fusedPairName(stemBn_, ActKind::Relu));
+    declareFusedPair(nn::fusedPairName(fc_, ActKind::Relu));
 }
 
 Var
 ResNetSmall::backbone(const Var &x)
 {
-    Var h = ag::relu(stemBn_.forward(stem_.forward(x)));
+    Var h = nn::fusedBatchNormAct(stemBn_, stem_.forward(x),
+                                  ActKind::Relu);
     h = block1_.forward(h);
     h = block2_.forward(h);
     return block3_.forward(h);
@@ -236,7 +256,7 @@ Var
 ResNetSmall::forward(const Var &x)
 {
     Var h = backbone(x);
-    return ag::relu(fc_.forward(ag::globalAvgPool(h)));
+    return nn::fusedLinearAct(fc_, ag::globalAvgPool(h), ActKind::Relu);
 }
 
 Var
@@ -268,6 +288,8 @@ DenseNetSmall::DenseNetSmall(int64_t in_ch, int64_t h, int64_t w,
     for (int64_t i = 0; i < layers_per_block; ++i) {
         denseBns_.push_back(std::make_unique<nn::BatchNorm2d>(channels));
         registerChild(*denseBns_.back());
+        declareFusedPair(
+            nn::fusedPairName(*denseBns_.back(), ActKind::Relu));
         denseConvs_.push_back(
             std::make_unique<nn::Conv2d>(channels, growth, 3, 1, 1));
         registerChild(*denseConvs_.back());
@@ -275,6 +297,7 @@ DenseNetSmall::DenseNetSmall(int64_t in_ch, int64_t h, int64_t w,
     }
     transition_ = std::make_unique<nn::Conv2d>(channels, channels, 1, 1, 0);
     registerChild(*transition_);
+    declareFusedPair(nn::fusedPairName(fc_, ActKind::Relu));
 }
 
 Var
@@ -282,12 +305,13 @@ DenseNetSmall::forward(const Var &x)
 {
     Var h = stem_.forward(x);
     for (int64_t i = 0; i < layersPerBlock_; ++i) {
-        Var grown = denseConvs_[static_cast<size_t>(i)]->forward(ag::relu(
-            denseBns_[static_cast<size_t>(i)]->forward(h)));
+        Var grown = denseConvs_[static_cast<size_t>(i)]->forward(
+            nn::fusedBatchNormAct(*denseBns_[static_cast<size_t>(i)], h,
+                                  ActKind::Relu));
         h = ag::concat({h, grown}, 1); // channel-wise concatenation
     }
     h = transition_->forward(h);
-    return ag::relu(fc_.forward(ag::globalAvgPool(h)));
+    return nn::fusedLinearAct(fc_, ag::globalAvgPool(h), ActKind::Relu);
 }
 
 UNetEncoder::UNetEncoder(int64_t in_ch, int64_t base_channels)
@@ -304,17 +328,23 @@ UNetEncoder::UNetEncoder(int64_t in_ch, int64_t base_channels)
     registerChild(enc3_);
     registerChild(bn3_);
     registerChild(pool_);
+    declareFusedPair(nn::fusedPairName(bn1_, ActKind::Relu));
+    declareFusedPair(nn::fusedPairName(bn2_, ActKind::Relu));
+    declareFusedPair(nn::fusedPairName(bn3_, ActKind::Relu));
 }
 
 UNetEncoder::Output
 UNetEncoder::forward(const Var &x)
 {
     Output out;
-    out.skip1 = ag::relu(bn1_.forward(enc1_.forward(x)));
+    out.skip1 = nn::fusedBatchNormAct(bn1_, enc1_.forward(x),
+                                      ActKind::Relu);
     Var h = pool_.forward(out.skip1);
-    out.skip2 = ag::relu(bn2_.forward(enc2_.forward(h)));
+    out.skip2 = nn::fusedBatchNormAct(bn2_, enc2_.forward(h),
+                                      ActKind::Relu);
     h = pool_.forward(out.skip2);
-    out.bottleneck = ag::relu(bn3_.forward(enc3_.forward(h)));
+    out.bottleneck = nn::fusedBatchNormAct(bn3_, enc3_.forward(h),
+                                           ActKind::Relu);
     return out;
 }
 
@@ -330,6 +360,8 @@ UNetDecoder::UNetDecoder(int64_t bottleneck_ch, int64_t skip2_ch,
     registerChild(dec1_);
     registerChild(bn1_);
     registerChild(outConv_);
+    declareFusedPair(nn::fusedPairName(bn2_, ActKind::Relu));
+    declareFusedPair(nn::fusedPairName(bn1_, ActKind::Relu));
 }
 
 Var
@@ -337,9 +369,11 @@ UNetDecoder::forward(const Var &bottleneck, const Var &skip2,
                      const Var &skip1)
 {
     Var h = ag::upsampleNearest2x(bottleneck);
-    h = ag::relu(bn2_.forward(dec2_.forward(ag::concat({h, skip2}, 1))));
+    h = nn::fusedBatchNormAct(
+        bn2_, dec2_.forward(ag::concat({h, skip2}, 1)), ActKind::Relu);
     h = ag::upsampleNearest2x(h);
-    h = ag::relu(bn1_.forward(dec1_.forward(ag::concat({h, skip1}, 1))));
+    h = nn::fusedBatchNormAct(
+        bn1_, dec1_.forward(ag::concat({h, skip1}, 1)), ActKind::Relu);
     return outConv_.forward(h);
 }
 

@@ -3,6 +3,7 @@
 #include "models/registry.hh"
 
 #include "core/logging.hh"
+#include "nn/fuse.hh"
 
 namespace mmbench {
 namespace models {
@@ -57,6 +58,10 @@ MedicalSeg::MedicalSeg(WorkloadConfig config)
         encoders_[0]->skip2Channels(), 1, 1, 0);
     registerChild(*skip1Select_);
     registerChild(*skip2Select_);
+    declareFusedPair(
+        nn::fusedPairName(*skip1Select_, tensor::ActKind::Relu));
+    declareFusedPair(
+        nn::fusedPairName(*skip2Select_, tensor::ActKind::Relu));
     decoder_ = std::make_unique<UNetDecoder>(
         c3, encoders_[0]->skip2Channels(), encoders_[0]->skip1Channels(),
         kClasses);
@@ -70,18 +75,37 @@ MedicalSeg::MedicalSeg(WorkloadConfig config)
 }
 
 Var
-MedicalSeg::encodeModality(size_t m, const Var &input)
+MedicalSeg::bottleneckTokens(const Var &bottleneck) const
 {
-    UNetEncoder::Output enc = encoders_[m]->forward(input);
-    lastEncodings_[m] = enc;
     // Downsample once more so fusion runs at the deepest resolution,
     // then bottleneck spatial positions become tokens: (B, T, C3).
-    Var deep = ag::avgpool2d(enc.bottleneck, 2, 2);
+    Var deep = ag::avgpool2d(bottleneck, 2, 2);
     const int64_t batch = deep.value().size(0);
     const int64_t c = deep.value().size(1);
     const int64_t t = bottleneckHw_ * bottleneckHw_;
     Var flat = ag::reshape(deep, Shape{batch, c, t});
     return ag::swapDims(flat, 1, 2);
+}
+
+Var
+MedicalSeg::encodeModality(size_t m, const Var &input)
+{
+    UNetEncoder::Output enc = encoders_[m]->forward(input);
+    lastEncodings_[m] = enc;
+    return bottleneckTokens(enc.bottleneck);
+}
+
+Var
+MedicalSeg::encodeModalityCtx(pipeline::ExecContext &ctx, size_t m,
+                              const Var &input)
+{
+    UNetEncoder::Output enc = encoders_[m]->forward(input);
+    // The decoder's skip connections bypass the fusion join; stash
+    // them in the execution context so concurrent requests (and
+    // pipelined stages) never share model state.
+    ctx.stash[2 * m] = enc.skip1;
+    ctx.stash[2 * m + 1] = enc.skip2;
+    return bottleneckTokens(enc.bottleneck);
 }
 
 Var
@@ -116,8 +140,47 @@ MedicalSeg::headForward(const Var &fused)
         skips1.push_back(lastEncodings_[static_cast<size_t>(m)].skip1);
         skips2.push_back(lastEncodings_[static_cast<size_t>(m)].skip2);
     }
-    Var skip1 = ag::relu(skip1Select_->forward(ag::concat(skips1, 1)));
-    Var skip2 = ag::relu(skip2Select_->forward(ag::concat(skips2, 1)));
+    Var skip1 = nn::fusedConv2dAct(*skip1Select_, ag::concat(skips1, 1),
+                                   tensor::ActKind::Relu);
+    Var skip2 = nn::fusedConv2dAct(*skip2Select_, ag::concat(skips2, 1),
+                                   tensor::ActKind::Relu);
+    return decoder_->forward(fused, skip2, skip1);
+}
+
+Var
+MedicalSeg::headForwardCtx(pipeline::ExecContext &ctx, const Var &fused)
+{
+    // Same decoder path as headForward, but the skips come from the
+    // execution context (stashed by encodeModalityCtx) instead of
+    // model state. A dropped modality never stashed its skips: impute
+    // zeros shaped like a live modality's (every encoder shares the
+    // same geometry), mirroring the fusion node's zero imputation.
+    const Var *live1 = nullptr;
+    const Var *live2 = nullptr;
+    for (int64_t m = 0; m < kModalities; ++m) {
+        if (ctx.stash[static_cast<size_t>(2 * m)].defined()) {
+            live1 = &ctx.stash[static_cast<size_t>(2 * m)];
+            live2 = &ctx.stash[static_cast<size_t>(2 * m + 1)];
+            break;
+        }
+    }
+    MM_ASSERT(live1 != nullptr,
+              "medical-seg request dropped every modality");
+    std::vector<Var> skips1, skips2;
+    for (int64_t m = 0; m < kModalities; ++m) {
+        const Var &s1 = ctx.stash[static_cast<size_t>(2 * m)];
+        const Var &s2 = ctx.stash[static_cast<size_t>(2 * m + 1)];
+        skips1.push_back(
+            s1.defined() ? s1
+                         : Var(Tensor::zeros(live1->value().shape())));
+        skips2.push_back(
+            s2.defined() ? s2
+                         : Var(Tensor::zeros(live2->value().shape())));
+    }
+    Var skip1 = nn::fusedConv2dAct(*skip1Select_, ag::concat(skips1, 1),
+                                   tensor::ActKind::Relu);
+    Var skip2 = nn::fusedConv2dAct(*skip2Select_, ag::concat(skips2, 1),
+                                   tensor::ActKind::Relu);
     return decoder_->forward(fused, skip2, skip1);
 }
 

@@ -22,13 +22,26 @@ class MedicalSeg : public MultiModalWorkload
   public:
     explicit MedicalSeg(WorkloadConfig config);
 
+    /** skip1 + skip2 per modality, stashed for the decoder. */
+    size_t stashSlots() const override
+    {
+        return 2 * static_cast<size_t>(kModalities);
+    }
+
   protected:
     Var encodeModality(size_t m, const Var &input) override;
     Var fuseFeatures(const std::vector<Var> &features) override;
     Var headForward(const Var &fused) override;
     Var uniHeadForward(size_t m, const Var &feature) override;
+    Var encodeModalityCtx(pipeline::ExecContext &ctx, size_t m,
+                          const Var &input) override;
+    Var headForwardCtx(pipeline::ExecContext &ctx,
+                       const Var &fused) override;
 
   private:
+    /** Bottleneck -> (B, T, C3) token sequence shared by both paths. */
+    Var bottleneckTokens(const Var &bottleneck) const;
+
     static constexpr int64_t kModalities = 4;
     static constexpr int64_t kClasses = 2; ///< background / tumor
     int64_t hw_;       ///< input spatial extent
@@ -40,7 +53,12 @@ class MedicalSeg : public MultiModalWorkload
     std::unique_ptr<nn::Conv2d> skip2Select_;
     std::unique_ptr<UNetDecoder> decoder_;
     std::unique_ptr<UNetDecoder> uniDecoder_; ///< shared by uni variants
-    /** Skip activations captured during the current forward pass. */
+    /**
+     * Skip activations of the last uni-modal forward. The multi-modal
+     * graph path keeps its skips in ExecContext::stash instead (so
+     * concurrent requests never share state); only forwardUniModal —
+     * which is single-threaded by contract — goes through this member.
+     */
     std::vector<UNetEncoder::Output> lastEncodings_;
 };
 

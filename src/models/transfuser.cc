@@ -3,6 +3,7 @@
 #include "models/registry.hh"
 
 #include "core/logging.hh"
+#include "nn/fuse.hh"
 
 namespace mmbench {
 namespace models {
@@ -61,6 +62,8 @@ TransFuser::TransFuser(WorkloadConfig config)
     registerChild(*hiddenInit_);
     registerChild(*waypointGru_);
     registerChild(*waypointOut_);
+    declareFusedPair(
+        nn::fusedPairName(*hiddenInit_, tensor::ActKind::Tanh));
 
     for (int m = 0; m < 2; ++m) {
         uniHeads_.push_back(std::make_unique<nn::Linear>(
@@ -91,7 +94,7 @@ TransFuser::headForward(const Var &fused)
     // the fused scene representation; each step consumes the previous
     // waypoint and emits a displacement.
     const int64_t batch = fused.value().size(0);
-    Var h = ag::tanhV(hiddenInit_->forward(fused));
+    Var h = nn::fusedLinearAct(*hiddenInit_, fused, tensor::ActKind::Tanh);
     Var wp(Tensor::zeros(Shape{batch, 2}));
     std::vector<Var> waypoints;
     waypoints.reserve(kWaypoints);

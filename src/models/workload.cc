@@ -71,7 +71,8 @@ MultiModalWorkload::buildStageGraph()
         enc.deps = {pre_id};
         const size_t enc_id = graph_->size();
         enc.body = [this, m, pre_id, enc_id](pipeline::ExecContext &ctx) {
-            ctx.slots[enc_id] = encodeModality(m, ctx.slots[pre_id]);
+            ctx.slots[enc_id] =
+                encodeModalityCtx(ctx, m, ctx.slots[pre_id]);
         };
         graph_->addNode(std::move(enc));
         enc_ids.push_back(enc_id);
@@ -118,7 +119,7 @@ MultiModalWorkload::buildStageGraph()
     head.deps = {fuse_id};
     const size_t head_id = graph_->size();
     head.body = [this, fuse_id, head_id](pipeline::ExecContext &ctx) {
-        Var out = headForward(ctx.slots[fuse_id]);
+        Var out = headForwardCtx(ctx, ctx.slots[fuse_id]);
         tr::emitRuntime(tr::RuntimeEvent::Kind::D2HCopy, "output",
                         out.value().bytes());
         ctx.slots[head_id] = out;
@@ -228,6 +229,7 @@ MultiModalWorkload::forwardGraph(const Batch &batch,
         primeDegraded();
     pipeline::ExecContext ctx;
     ctx.batch = &batch;
+    ctx.stash.assign(stashSlots(), Var());
 
     // Tag every event of this pass with the fusion implementation so
     // reports can compare implementations (paper Fig. 9b / Fig. 15).

@@ -174,6 +174,15 @@ class MultiModalWorkload : public nn::Module
 
     const WorkloadConfig &config() const { return config_; }
 
+    /**
+     * Number of ExecContext::stash entries this workload's node bodies
+     * use for side values that bypass the node-slot dataflow (e.g.
+     * U-Net skip connections read by the head). 0 for workloads whose
+     * hooks are pure functions of their slot inputs. Executors size
+     * ctx.stash with this before running the graph.
+     */
+    virtual size_t stashSlots() const { return 0; }
+
   protected:
     /** @name Subclass hooks @{ */
     /** Encode modality m: (B, ...) -> feature (B, D) or (B, T, D). */
@@ -184,6 +193,24 @@ class MultiModalWorkload : public nn::Module
     virtual Var headForward(const Var &fused) = 0;
     /** Produce the task output from a single modality's feature. */
     virtual Var uniHeadForward(size_t m, const Var &feature) = 0;
+    /**
+     * Context-aware variants: workloads with side values (stashSlots()
+     * > 0) override these and keep all per-execution state in
+     * ctx.stash, so one model instance can run many requests
+     * concurrently. The defaults delegate to the plain hooks.
+     */
+    virtual Var encodeModalityCtx(pipeline::ExecContext &ctx, size_t m,
+                                  const Var &input)
+    {
+        (void)ctx;
+        return encodeModality(m, input);
+    }
+    virtual Var headForwardCtx(pipeline::ExecContext &ctx,
+                               const Var &fused)
+    {
+        (void)ctx;
+        return headForward(fused);
+    }
     /** @} */
 
     /** Subclasses fill these during construction. */

@@ -6,6 +6,7 @@
 #include "nn/conv.hh"
 #include "nn/linear.hh"
 #include "nn/norm.hh"
+#include "solver/config.hh"
 #include "solver/registry.hh"
 
 namespace mmbench {
@@ -117,6 +118,90 @@ buildFusionPlan(Sequential &seq)
         plan->steps.push_back(step);
     }
     return plan;
+}
+
+namespace {
+
+/** The functional activation matching an ActKind (fallback path). */
+Var
+applyActVar(const Var &h, ActKind act)
+{
+    switch (act) {
+      case ActKind::Relu:
+        return autograd::relu(h);
+      case ActKind::Sigmoid:
+        return autograd::sigmoid(h);
+      case ActKind::Tanh:
+        return autograd::tanhV(h);
+      case ActKind::Gelu:
+        return autograd::gelu(h);
+      case ActKind::None:
+        break;
+    }
+    return h;
+}
+
+bool
+fusedPathActive()
+{
+    return solver::fusionActive() && !autograd::GradMode::enabled();
+}
+
+} // namespace
+
+Var
+fusedLinearAct(Linear &fc, const Var &x, ActKind act)
+{
+    if (!fusedPathActive())
+        return applyActVar(fc.forward(x), act);
+    static const Tensor no_bias;
+    const Var &b = fc.bias();
+    return Var(solver::runLinear(x.value(), fc.weight().value(),
+                                 b.defined() ? b.value() : no_bias, act));
+}
+
+Var
+fusedConv2dAct(Conv2d &conv, const Var &x, ActKind act)
+{
+    if (!fusedPathActive())
+        return applyActVar(conv.forward(x), act);
+    static const Tensor no_bias;
+    const Var &b = conv.bias();
+    return Var(solver::runConv2d(x.value(), conv.weight().value(),
+                                 b.defined() ? b.value() : no_bias,
+                                 conv.stride(), conv.pad(), act));
+}
+
+Var
+fusedBatchNormAct(BatchNorm2d &bn, const Var &x, ActKind act)
+{
+    // Training-mode BN computes batch statistics and updates running
+    // stats — that cannot fuse, same rule as the plan executor.
+    if (!fusedPathActive() || bn.training())
+        return applyActVar(bn.forward(x), act);
+    return Var(solver::runBatchNormEval(
+        x.value(), bn.gamma().value(), bn.beta().value(),
+        bn.runningMean(), bn.runningVar(), bn.eps(), act));
+}
+
+std::string
+fusedPairName(const Linear &fc, ActKind act)
+{
+    return std::string(fc.bias().defined() ? "linear+bias+" : "linear+") +
+           tensor::actKindName(act);
+}
+
+std::string
+fusedPairName(const Conv2d &conv, ActKind act)
+{
+    return std::string(conv.bias().defined() ? "conv+bias+" : "conv+") +
+           tensor::actKindName(act);
+}
+
+std::string
+fusedPairName(const BatchNorm2d &, ActKind act)
+{
+    return std::string("batchnorm+") + tensor::actKindName(act);
 }
 
 Var

@@ -87,6 +87,29 @@ std::shared_ptr<const FusionPlan> buildFusionPlan(Sequential &seq);
  */
 Var runFusionPlan(const FusionPlan &plan, const Var &x);
 
+/**
+ * Hand-forward fusion helpers: producer + activation as one fused
+ * solver call whenever the fused path is active (solver::fusionActive()
+ * with gradients disabled), the exact unfused pair otherwise. These
+ * cover the workloads whose forwards are hand-written expressions
+ * rather than Sequential chains (medical-seg skip selects, transfuser
+ * hidden init, the residual/UNet encoder norms) — without them those
+ * graphs plan zero fused groups and `--fusion on` is a no-op. ReLU
+ * epilogues are bitwise identical to the unfused pair; modules using
+ * these should declareFusedPair(fusedPairName(...)) at construction so
+ * the graph-level fusion report counts the site. @{
+ */
+Var fusedLinearAct(Linear &fc, const Var &x, tensor::ActKind act);
+Var fusedConv2dAct(Conv2d &conv, const Var &x, tensor::ActKind act);
+Var fusedBatchNormAct(BatchNorm2d &bn, const Var &x,
+                      tensor::ActKind act);
+
+/** Canonical pattern names for declareFusedPair(). @{ */
+std::string fusedPairName(const Linear &fc, tensor::ActKind act);
+std::string fusedPairName(const Conv2d &conv, tensor::ActKind act);
+std::string fusedPairName(const BatchNorm2d &bn, tensor::ActKind act);
+/** @} @} */
+
 } // namespace nn
 } // namespace mmbench
 

@@ -59,6 +59,12 @@ Module::registerChild(Module &child)
     children_.push_back(&child);
 }
 
+void
+Module::declareFusedPair(std::string pattern)
+{
+    fusedPairs_.push_back(std::move(pattern));
+}
+
 Sequential::Sequential(std::string name) : Layer(std::move(name))
 {
 }

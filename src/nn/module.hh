@@ -57,6 +57,18 @@ class Module
     /** Registered children (for tree walks, e.g. the fusion planner). */
     const std::vector<Module *> &children() const { return children_; }
 
+    /**
+     * Producer+activation pairs this module fuses inside its
+     * hand-written forward (via the nn::fused*Act helpers), declared at
+     * construction so the graph-level fusion report counts them
+     * alongside Sequential-chain plans. Canonical pattern names
+     * ("conv+bias+relu").
+     */
+    const std::vector<std::string> &declaredFusedPairs() const
+    {
+        return fusedPairs_;
+    }
+
   protected:
     /** Register a tensor as a trainable parameter; returns its Var. */
     Var registerParameter(Tensor value);
@@ -64,11 +76,15 @@ class Module
     /** Register a child whose lifetime this module guarantees. */
     void registerChild(Module &child);
 
+    /** Record one hand-fused pair for declaredFusedPairs(). */
+    void declareFusedPair(std::string pattern);
+
   private:
     std::string name_;
     bool training_ = true;
     std::vector<Var> params_;
     std::vector<Module *> children_;
+    std::vector<std::string> fusedPairs_;
 };
 
 /** A module with the plain x -> y calling convention. */

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Request classes for SLO-aware serving.
+ *
+ * A ClassPlan partitions an open-loop request stream into named
+ * classes, each with a relative rate share, a dequeue priority, and an
+ * optional per-class deadline overriding the stream-wide one. Class
+ * membership is a pure hash of (seed, request id) mapped through the
+ * cumulative normalized shares, so a fixed (spec, seed) pair labels
+ * every request bit-reproducibly — the same determinism contract the
+ * arrival schedule and the fault plan follow.
+ *
+ * Grammar (`--classes`):
+ *
+ *   name:share=<w>[:prio=<n>][:deadline_ms=<ms>][;...]
+ *
+ * e.g. "interactive:share=1:prio=1:deadline_ms=50;batch:share=3".
+ * Shares are relative weights (normalized over the plan); priority
+ * defaults to 0, higher dequeues first; deadline_ms defaults to the
+ * stream-wide `--deadline-ms`.
+ */
+
+#ifndef MMBENCH_PIPELINE_CLASSES_HH
+#define MMBENCH_PIPELINE_CLASSES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mmbench {
+namespace pipeline {
+
+/** One request class of a ClassPlan. */
+struct RequestClass
+{
+    std::string name;
+    double share = 1.0;     ///< relative rate share (weight, > 0)
+    int priority = 0;       ///< higher dequeues first
+    double deadlineUs = 0.0; ///< per-class deadline; 0 = stream default
+};
+
+/** The parsed `--classes` spec. */
+class ClassPlan
+{
+  public:
+    ClassPlan() = default;
+    explicit ClassPlan(std::vector<RequestClass> classes);
+
+    bool empty() const { return classes_.empty(); }
+    size_t size() const { return classes_.size(); }
+    const RequestClass &at(size_t i) const { return classes_[i]; }
+    const std::vector<RequestClass> &classes() const { return classes_; }
+
+    /**
+     * Deterministic class of request `request` under `seed`: a pure
+     * splitmix64 hash mapped through the cumulative normalized shares.
+     * Returns 0 on an empty plan.
+     */
+    int classOf(int request, uint64_t seed) const;
+
+    /** Effective deadline for class `i` (falls back to `stream_us`). */
+    double deadlineUsFor(size_t i, double stream_us) const;
+
+  private:
+    std::vector<RequestClass> classes_;
+    std::vector<double> cumulative_; ///< normalized share prefix sums
+};
+
+/**
+ * Parse a `--classes` spec. Returns true and fills `plan` on success;
+ * false with a human-readable `*error` otherwise.
+ */
+bool parseClassPlan(const std::string &spec, ClassPlan *plan,
+                    std::string *error);
+
+/** Canonical spec string round-tripping through parseClassPlan. */
+std::string classPlanToString(const ClassPlan &plan);
+
+} // namespace pipeline
+} // namespace mmbench
+
+#endif // MMBENCH_PIPELINE_CLASSES_HH

@@ -23,6 +23,16 @@ visit(nn::Module &module, GraphFusionReport &out)
                                r.unsupported.begin(),
                                r.unsupported.end());
     }
+    // Hand-fused pairs declared by modules whose forwards are written
+    // expressions rather than Sequential chains (nn::fused*Act call
+    // sites). Each pair absorbs a producer + its activation.
+    const std::vector<std::string> &pairs = module.declaredFusedPairs();
+    if (!pairs.empty()) {
+        out.fusedGroups += static_cast<int>(pairs.size());
+        out.fusedLayers += 2 * static_cast<int>(pairs.size());
+        out.patterns.insert(out.patterns.end(), pairs.begin(),
+                            pairs.end());
+    }
     for (nn::Module *child : module.children())
         visit(*child, out);
 }

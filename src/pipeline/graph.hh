@@ -42,6 +42,15 @@ struct ExecContext
 
     /** One output slot per node, indexed by node id. */
     std::vector<autograd::Var> slots;
+
+    /**
+     * Workload-private side values of this execution (e.g. U-Net skip
+     * connections that bypass the fusion join). Sized by the workload
+     * (MultiModalWorkload::stashSlots()); node bodies index it by the
+     * workload's own convention. Keeping these here rather than in the
+     * model makes concurrent executions of one graph state-free.
+     */
+    std::vector<autograd::Var> stash;
 };
 
 /** Body of one node: read dependency slots, write the node's slot. */

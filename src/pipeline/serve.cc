@@ -62,6 +62,27 @@ isOpenLoop(ArrivalKind kind)
 }
 
 const char *
+batcherKindName(BatcherKind kind)
+{
+    return kind == BatcherKind::Static ? "static" : "continuous";
+}
+
+bool
+tryParseBatcherKind(const std::string &name, BatcherKind *kind)
+{
+    const std::string n = toLower(name);
+    if (n == "static") {
+        *kind = BatcherKind::Static;
+        return true;
+    }
+    if (n == "continuous") {
+        *kind = BatcherKind::Continuous;
+        return true;
+    }
+    return false;
+}
+
+const char *
 requestOutcomeName(RequestOutcome outcome)
 {
     switch (outcome) {
@@ -81,8 +102,13 @@ validateServeOptions(int total, const ServeLoopOptions &options)
         return "request count must be >= 0";
     if (options.inflight < 1)
         return "inflight must be >= 1";
-    if (options.coalesce < 1)
-        return "coalesce must be >= 1";
+    if (options.maxBatch < 1)
+        return "max-batch must be >= 1";
+    if (options.batchWaitUs < 0.0)
+        return "batch-wait-us must be >= 0";
+    if (options.batchWaitUs > 0.0 &&
+        options.batcher != BatcherKind::Continuous)
+        return "batch-wait-us applies to the continuous batcher only";
     if (options.queueCap < 0)
         return "queue-cap must be >= 0";
     if (options.deadlineUs < 0.0)
@@ -91,9 +117,15 @@ validateServeOptions(int total, const ServeLoopOptions &options)
         if (!(options.rateRps > 0.0))
             return "open-loop arrivals need a rate > 0";
     } else {
-        if (options.coalesce != 1)
+        if (options.maxBatch != 1)
             return "closed-loop serving cannot coalesce (no queue to "
                    "batch from)";
+        if (options.batcher == BatcherKind::Continuous)
+            return "continuous batching requires open-loop arrivals "
+                   "(closed loop has no queue to re-form batches from)";
+        if (options.classes != nullptr && !options.classes->empty())
+            return "request classes require open-loop arrivals "
+                   "(priority dequeue needs a queue)";
         if (options.queueCap > 0)
             return "queue-cap applies to open-loop arrivals only "
                    "(closed loop has no queue)";
@@ -190,8 +222,12 @@ runClosedLoop(int total, const ServeLoopOptions &options,
             const int i = cursor.fetch_add(1, std::memory_order_relaxed);
             if (i >= total)
                 return;
+            ServiceCall call;
+            call.first = i;
+            call.count = 1;
+            call.ids.assign(1, i);
             const double start = nowUs() - t0;
-            const ServiceResult sr = service(ServiceCall{i, 1, false});
+            const ServiceResult sr = service(call);
             const double end = nowUs() - t0;
             RequestTiming &t = result->requests[static_cast<size_t>(i)];
             t.arrivalUs = start; // no queue in a closed loop
@@ -213,8 +249,12 @@ runClosedLoop(int total, const ServeLoopOptions &options,
 
 /**
  * Open loop: requests become available at their scheduled arrival
- * instants; slots pull the head of the FIFO queue (coalescing up to
- * `coalesce` arrived requests) or wait for the next arrival.
+ * instants and are admitted into per-class FIFO queues; slots batch
+ * up to `maxBatch` requests from the highest-priority non-empty queue
+ * (holding an under-filled batch up to `batchWaitUs` under the
+ * continuous batcher) or wait for the next arrival. Classless streams
+ * run a single queue, so dequeues stay contiguous FIFO runs — the
+ * historical dispatcher exactly.
  *
  * Waiting is handed to a single designated slot: exactly one idle slot
  * owns the next-arrival timer (sleeping on the condition variable with
@@ -225,76 +265,154 @@ runClosedLoop(int total, const ServeLoopOptions &options,
  * (inflight - 1) cores doing nothing and skewed service measurements
  * at low load. Liveness: the timer owner wakes one parked slot after
  * dequeuing, every service completion wakes one more (arrived backlog
- * may now be visible), and stream end broadcasts.
+ * may now be visible), and stream end broadcasts. A slot holding an
+ * under-filled continuous batch owns its own timed wait — the popped
+ * members are private to it, so other slots keep dispatching the rest
+ * of the queue meanwhile.
  *
- * When shedding is on, dequeue is also where requests die: heads past
- * their deadline and oldest arrivals beyond the queue cap are shed
- * before any service time is spent on them.
+ * When shedding is on, dequeue is also where requests die: queue heads
+ * past their (per-class) deadline and — when the total backlog exceeds
+ * the queue cap — the oldest requests of the lowest-priority backlog
+ * are shed before any service time is spent on them.
  */
 void
 runOpenLoop(int total, const ServeLoopOptions &options,
             const std::vector<double> &arrival, const ServiceFn &service,
             ServeLoopResult *result)
 {
+    const ClassPlan *plan = options.classes;
+    const bool classed = plan != nullptr && !plan->empty();
+    const size_t nclasses = classed ? plan->size() : 1;
+
+    // Deterministic request labels + per-class deadlines, precomputed
+    // before the clock starts (pure functions of spec + seed).
+    std::vector<int> cls(static_cast<size_t>(total), 0);
+    if (classed) {
+        for (int i = 0; i < total; ++i)
+            cls[static_cast<size_t>(i)] = plan->classOf(i, options.seed);
+        result->classIds = cls;
+    }
+    std::vector<double> deadline(nclasses, options.deadlineUs);
+    bool any_deadline = options.deadlineUs > 0.0;
+    if (classed) {
+        for (size_t c = 0; c < nclasses; ++c) {
+            deadline[c] = plan->deadlineUsFor(c, options.deadlineUs);
+            any_deadline = any_deadline || deadline[c] > 0.0;
+        }
+    }
+    // Dequeue order: priority descending, declaration order breaking
+    // ties. Shedding victimizes the reverse of this order.
+    std::vector<size_t> order(nclasses);
+    for (size_t c = 0; c < nclasses; ++c)
+        order[c] = c;
+    if (classed) {
+        std::stable_sort(order.begin(), order.end(),
+                         [&](size_t a, size_t b) {
+                             return plan->at(a).priority >
+                                    plan->at(b).priority;
+                         });
+    }
+
     std::mutex mu;
     std::condition_variable cv;
-    int next = 0;            // guarded by mu
-    bool has_waiter = false; // guarded by mu: a slot owns the timer
+    std::vector<std::vector<int>> queues(nclasses); // FIFO, guarded by mu
+    std::vector<size_t> heads(nclasses, 0); // consumed prefix per queue
+    size_t ingest = 0;       // next arrival not yet admitted
+    int queued = 0;          // total backlog across queues
+    int handed_out = 0;      // dispatched + shed
+    bool has_waiter = false; // a slot owns the next-arrival timer
     double mean_service = 0.0; // EWMA of service spans, guarded by mu
     std::atomic<int> calls{0};
     std::atomic<int> retries{0};
     std::atomic<int> faults{0};
     const double t0 = nowUs();
 
-    // Caller holds mu. Shed the queue head without servicing it; its
-    // "span" collapses to the shed instant so latencyUs() reports how
-    // long it waited before being dropped.
-    const auto shedHead = [&](double now) {
-        RequestTiming &t = result->requests[static_cast<size_t>(next)];
-        t.arrivalUs = arrival[static_cast<size_t>(next)];
+    // Caller holds mu. Admit every request due by `now` into its class
+    // queue (queues only ever grow here, so "consumed prefix" heads
+    // never invalidate).
+    const auto admit = [&](double now) {
+        while (ingest < static_cast<size_t>(total) &&
+               arrival[ingest] <= now) {
+            queues[static_cast<size_t>(cls[ingest])].push_back(
+                static_cast<int>(ingest));
+            ++queued;
+            ++ingest;
+        }
+    };
+    const auto queueSize = [&](size_t c) {
+        return queues[c].size() - heads[c];
+    };
+    const auto popFront = [&](size_t c) {
+        const int id = queues[c][heads[c]++];
+        --queued;
+        ++handed_out;
+        return id;
+    };
+    // Caller holds mu. Shed one queued request without servicing it;
+    // its "span" collapses to the shed instant so latencyUs() reports
+    // how long it waited before being dropped.
+    const auto shedOne = [&](size_t c, double now) {
+        const int id = popFront(c);
+        RequestTiming &t = result->requests[static_cast<size_t>(id)];
+        t.arrivalUs = arrival[static_cast<size_t>(id)];
         t.startUs = now;
         t.endUs = now;
-        result->outcomes[static_cast<size_t>(next)] =
-            RequestOutcome::Shed;
-        ++next;
+        result->outcomes[static_cast<size_t>(id)] = RequestOutcome::Shed;
     };
 
     core::parallelFor(0, options.inflight, 1, [&](int64_t, int64_t) {
         std::unique_lock<std::mutex> lock(mu);
         for (;;) {
-            if (next >= total) {
+            if (handed_out >= total) {
                 cv.notify_all(); // release every parked slot
                 return;
             }
             double now = nowUs() - t0;
+            admit(now);
             if (options.shedding) {
-                // Deadline-expired heads: servicing them is pure
+                // Deadline-expired queue heads: servicing them is pure
                 // waste, the answer would be late regardless.
-                if (options.deadlineUs > 0.0) {
-                    while (next < total &&
-                           arrival[static_cast<size_t>(next)] +
-                                   options.deadlineUs <
-                               now)
-                        shedHead(now);
-                }
-                // Bounded admission: drop-oldest until the arrived
-                // backlog fits the cap (oldest arrivals have burned
-                // the most deadline budget already).
-                if (options.queueCap > 0) {
-                    const auto begin = arrival.begin() + next;
-                    int backlog = static_cast<int>(
-                        std::upper_bound(begin, arrival.end(), now) -
-                        begin);
-                    while (backlog > options.queueCap) {
-                        shedHead(now);
-                        --backlog;
+                if (any_deadline) {
+                    for (size_t c = 0; c < nclasses; ++c) {
+                        if (!(deadline[c] > 0.0))
+                            continue;
+                        while (queueSize(c) > 0 &&
+                               arrival[static_cast<size_t>(
+                                   queues[c][heads[c]])] +
+                                       deadline[c] <
+                                   now)
+                            shedOne(c, now);
                     }
                 }
-                if (next >= total)
+                // Bounded admission: drop-oldest until the backlog
+                // fits the cap, victimizing the lowest-priority class
+                // with waiting requests first (its oldest arrival has
+                // burned the most deadline budget already).
+                if (options.queueCap > 0) {
+                    while (queued > options.queueCap) {
+                        for (size_t i = nclasses; i-- > 0;) {
+                            const size_t c = order[i];
+                            if (queueSize(c) > 0) {
+                                shedOne(c, now);
+                                break;
+                            }
+                        }
+                    }
+                }
+                if (handed_out >= total)
                     continue; // loop top handles termination
             }
-            const double due = arrival[static_cast<size_t>(next)];
-            if (now < due) {
+            // Highest-priority class with waiting requests.
+            size_t pick = nclasses;
+            for (size_t c : order) {
+                if (queueSize(c) > 0) {
+                    pick = c;
+                    break;
+                }
+            }
+            if (pick == nclasses) {
+                // Nothing queued: everything left is a future arrival.
+                const double due = arrival[ingest];
                 if (has_waiter) {
                     // Another slot owns the timer: park. Woken by the
                     // timer owner after its dequeue, by a completion,
@@ -324,32 +442,71 @@ runOpenLoop(int total, const ServeLoopOptions &options,
                 has_waiter = false;
                 continue;
             }
-            const int first = next;
-            int count = 1;
-            while (count < options.coalesce && first + count < total &&
-                   arrival[static_cast<size_t>(first + count)] <= now)
-                ++count;
-            next = first + count;
-            // Deadline pressure: the group's remaining budget is below
+
+            ServiceCall call;
+            call.classId = static_cast<int>(pick);
+            call.ids.push_back(popFront(pick));
+            while (static_cast<int>(call.ids.size()) < options.maxBatch &&
+                   queueSize(pick) > 0)
+                call.ids.push_back(popFront(pick));
+            if (options.batcher == BatcherKind::Continuous &&
+                static_cast<int>(call.ids.size()) < options.maxBatch &&
+                options.batchWaitUs > 0.0) {
+                // Hold the under-filled batch (its members are private
+                // to this slot) up to batchWaitUs from formation start
+                // for further same-class arrivals. Other slots keep
+                // dispatching the rest of the queue meanwhile.
+                const double formed = nowUs() - t0;
+                const double hold_until = formed + options.batchWaitUs;
+                for (;;) {
+                    now = nowUs() - t0;
+                    admit(now);
+                    while (static_cast<int>(call.ids.size()) <
+                               options.maxBatch &&
+                           queueSize(pick) > 0)
+                        call.ids.push_back(popFront(pick));
+                    if (static_cast<int>(call.ids.size()) >=
+                            options.maxBatch ||
+                        now >= hold_until ||
+                        ingest >= static_cast<size_t>(total))
+                        break;
+                    const double until =
+                        std::min(arrival[ingest], hold_until);
+                    if (until - now > 2000.0) {
+                        cv.wait_for(
+                            lock,
+                            std::chrono::duration<double, std::micro>(
+                                until - now - 1500.0));
+                    } else {
+                        lock.unlock();
+                        while (nowUs() - t0 < until)
+                            std::this_thread::yield();
+                        lock.lock();
+                    }
+                }
+                now = nowUs() - t0;
+            }
+            call.first = call.ids.front();
+            call.count = static_cast<int>(call.ids.size());
+            // Deadline pressure: the batch's remaining budget is below
             // the running mean service time, so a full-fidelity answer
             // would likely time out — hint the service fn to degrade.
-            bool pressure = false;
-            if (options.shedding && options.deadlineUs > 0.0 &&
+            const double batch_deadline = deadline[pick];
+            if (options.shedding && batch_deadline > 0.0 &&
                 mean_service > 0.0) {
                 const double remaining =
-                    arrival[static_cast<size_t>(first)] +
-                    options.deadlineUs - now;
-                pressure = remaining < mean_service;
+                    arrival[static_cast<size_t>(call.first)] +
+                    batch_deadline - now;
+                call.underPressure = remaining < mean_service;
             }
-            if (next < total)
+            if (handed_out < total)
                 cv.notify_one(); // hand the queue to a parked slot
             lock.unlock();
 
             const double start = nowUs() - t0;
-            const ServiceResult sr =
-                service(ServiceCall{first, count, pressure});
+            const ServiceResult sr = service(call);
             const double end = nowUs() - t0;
-            for (int i = first; i < first + count; ++i) {
+            for (const int i : call.ids) {
                 RequestTiming &t =
                     result->requests[static_cast<size_t>(i)];
                 t.arrivalUs = arrival[static_cast<size_t>(i)];
@@ -357,7 +514,8 @@ runOpenLoop(int total, const ServeLoopOptions &options,
                 t.endUs = end;
                 result->outcomes[static_cast<size_t>(i)] = outcomeFor(
                     sr, end - arrival[static_cast<size_t>(i)],
-                    options.deadlineUs);
+                    deadline[static_cast<size_t>(
+                        cls[static_cast<size_t>(i)])]);
             }
             calls.fetch_add(1, std::memory_order_relaxed);
             retries.fetch_add(sr.retries, std::memory_order_relaxed);

@@ -19,10 +19,11 @@
  *  - Open loop (`Poisson` / `Fixed`): requests arrive on their own
  *    schedule regardless of server progress — the measurement MLPerf
  *    Inference's server scenario makes. Arrived-but-unserved requests
- *    wait in a FIFO queue; latency = queue wait + service time. The
- *    dispatcher can optionally coalesce up to `coalesce` already-
- *    arrived requests into one service batch (the batched-serving
- *    throughput/latency trade-off).
+ *    wait in FIFO queues (one per request class); latency = queue wait
+ *    + service time. The dispatcher batches up to `maxBatch` queued
+ *    requests into one service call — immediately from the backlog
+ *    (static batcher) or holding an under-filled batch up to
+ *    `batchWaitUs` for further arrivals (continuous batcher).
  *
  * The schedule is generated from a seed before the clock starts, so a
  * fixed (kind, requests, rate, seed) tuple is bit-reproducible.
@@ -49,6 +50,8 @@
 #include <string>
 #include <vector>
 
+#include "pipeline/classes.hh"
+
 namespace mmbench {
 namespace pipeline {
 
@@ -65,6 +68,26 @@ bool tryParseArrivalKind(const std::string &name, ArrivalKind *kind);
 
 /** True for the open-loop kinds (Poisson / Fixed). */
 bool isOpenLoop(ArrivalKind kind);
+
+/**
+ * How service batches are formed from the queue (open loop only).
+ *
+ *  - Static: dequeue up to `maxBatch` *already-arrived* requests and
+ *    dispatch immediately — batch size is whatever the backlog happens
+ *    to hold (the historical `--coalesce` behaviour).
+ *  - Continuous: after draining the backlog, an under-filled batch
+ *    waits up to `batchWaitUs` for further compatible arrivals before
+ *    dispatching, re-forming the batch at the stage boundary — batch
+ *    size adapts to load instead of being fixed at parse time.
+ */
+enum class BatcherKind : uint8_t
+{
+    Static,
+    Continuous,
+};
+
+const char *batcherKindName(BatcherKind kind);
+bool tryParseBatcherKind(const std::string &name, BatcherKind *kind);
 
 /**
  * Arrival instants in microseconds from stream start, one per request,
@@ -96,12 +119,29 @@ struct ServeLoopOptions
     double rateRps = 0.0; ///< open-loop offered rate, requests/second
     uint64_t seed = 42;   ///< arrival-schedule seed (open loop only)
     int inflight = 4;     ///< concurrent request slots
+    /** Open loop only: how service batches are formed. */
+    BatcherKind batcher = BatcherKind::Static;
     /**
-     * Open loop only: dequeue up to this many already-arrived requests
-     * into one service call. 1 = no coalescing. Closed loop always
-     * serves one request per call.
+     * Open loop only: dequeue up to this many queued requests into one
+     * service call. 1 = no batching. Closed loop always serves one
+     * request per call.
      */
-    int coalesce = 1;
+    int maxBatch = 1;
+    /**
+     * Continuous batcher only: how long an under-filled batch may wait
+     * (from formation start) for further compatible arrivals before
+     * dispatching anyway. 0 = dispatch immediately (static behaviour).
+     */
+    double batchWaitUs = 0.0;
+    /**
+     * Request classes (SLO-aware scheduling), or nullptr/empty for the
+     * classless stream. Classes label requests deterministically from
+     * (seed, request id), set per-class deadlines, and make dequeue
+     * priority-aware: the highest-priority non-empty queue is served
+     * first, and queue-cap shedding victimizes the lowest-priority
+     * backlog. Batches never mix classes. Open loop only.
+     */
+    const ClassPlan *classes = nullptr;
     /**
      * Open loop only: bound on the arrived-but-unserved backlog. When
      * an arrival would leave more than `queueCap` requests waiting, the
@@ -155,7 +195,12 @@ struct ServeLoopResult
 {
     std::vector<RequestTiming> requests; ///< indexed by request id
     std::vector<RequestOutcome> outcomes; ///< indexed by request id
-    int serviceCalls = 0; ///< service invocations (< requests when coalesced)
+    /**
+     * Class index per request (options.classes), or empty when the
+     * stream ran classless.
+     */
+    std::vector<int> classIds;
+    int serviceCalls = 0; ///< service invocations (< requests when batched)
     double wallUs = 0.0;  ///< stream start to last completion
 
     /** @name Lifecycle counters (sum = total requests) @{ */
@@ -170,18 +215,22 @@ struct ServeLoopResult
 };
 
 /**
- * One dispatched coalesce group: requests [first, first + count) in
- * arrival (FIFO) order. count > 1 only when options.coalesce allows
- * it. `underPressure` is the dispatcher's hint that the group's
- * deadline budget is smaller than the running mean service time — the
- * service function should degrade (serve a cheaper variant) rather
- * than burn the full cost and time out.
+ * One dispatched service batch. `ids` lists the member request ids in
+ * dequeue (FIFO-within-class) order; `first`/`count` mirror ids[0] and
+ * ids.size() — on a classless stream ids are a contiguous run, so
+ * [first, first + count) remains an exact description. count > 1 only
+ * when options.maxBatch allows it. `underPressure` is the dispatcher's
+ * hint that the batch's deadline budget is smaller than the running
+ * mean service time — the service function should degrade (serve a
+ * cheaper variant) rather than burn the full cost and time out.
  */
 struct ServiceCall
 {
     int first = 0;
     int count = 1;
     bool underPressure = false;
+    std::vector<int> ids; ///< member request ids (size == count)
+    int classId = 0;      ///< index into options.classes (0 classless)
 };
 
 using ServiceFn = std::function<ServiceResult(const ServiceCall &)>;

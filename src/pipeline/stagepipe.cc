@@ -1,0 +1,260 @@
+#include "pipeline/stagepipe.hh"
+
+#include <chrono>
+
+#include "autograd/var.hh"
+#include "core/logging.hh"
+#include "trace/scope.hh"
+
+namespace mmbench {
+namespace pipeline {
+
+namespace {
+
+double
+nowUs()
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Same pruning rule the scheduler applies (scheduler.cc). */
+bool
+prunedByDropMask(const StageNode &node, uint32_t drop_mask)
+{
+    return drop_mask != 0 && node.modality != trace::kNoModality &&
+           node.modality < 32 &&
+           (drop_mask >> static_cast<unsigned>(node.modality)) & 1u;
+}
+
+} // namespace
+
+/**
+ * One in-flight request. Guarded by StagePipe::mu_ except where noted:
+ * `ctx` is written only by the task currently executing one of the
+ * job's nodes; the per-job wave barrier guarantees tasks of one wave
+ * never write the same slot, and cross-wave visibility rides on mu_
+ * (every task start/finish passes through the lock).
+ */
+struct StagePipe::Job
+{
+    PipeRequest req;
+    ExecContext ctx;
+    uint64_t seq = 0;   ///< submission order (FIFO within priority)
+    int wave = -1;      ///< current graph level
+    std::vector<size_t> waveIds; ///< live node ids of the current wave
+    size_t nextTask = 0; ///< next unstarted index into waveIds
+    size_t running = 0;  ///< started-but-unfinished tasks of the wave
+    bool failed = false; ///< a task hit an injected failure
+    bool done = false;   ///< job retired (owner may collect)
+    /** Captured fault identity (valid when failed). */
+    std::string faultNode;
+    int injectedSlowdowns = 0;
+    int prunedNodes = 0;
+
+    bool hasRunnable() const
+    {
+        return !done && nextTask < waveIds.size();
+    }
+};
+
+StagePipe::StagePipe(const StageGraph &graph, const MemoryPlan *plan,
+                     size_t stash_slots)
+    : graph_(graph), plan_(plan), stashSlots_(stash_slots)
+{
+    MM_ASSERT(!plan_ || plan_->releaseAfter.size() == graph_.size(),
+              "memory plan built for a different graph");
+    levels_.reserve(static_cast<size_t>(graph_.numLevels()));
+    for (int level = 0; level < graph_.numLevels(); ++level)
+        levels_.push_back(graph_.levelNodes(level));
+    const std::vector<size_t> sinks = graph_.sinks();
+    MM_ASSERT(sinks.size() == 1, "stage graph must have one sink");
+    sinkId_ = sinks[0];
+}
+
+int
+StagePipe::activeJobs() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(active_.size());
+}
+
+void
+StagePipe::advanceWave(Job *job)
+{
+    for (;;) {
+        if (job->failed ||
+            job->wave + 1 >= static_cast<int>(levels_.size())) {
+            job->done = true;
+            return;
+        }
+        ++job->wave;
+        job->waveIds.clear();
+        for (size_t id :
+             levels_[static_cast<size_t>(job->wave)]) {
+            if (prunedByDropMask(graph_.node(id), job->req.dropMask))
+                ++job->prunedNodes;
+            else
+                job->waveIds.push_back(id);
+        }
+        if (!job->waveIds.empty()) {
+            job->nextTask = 0;
+            job->running = 0;
+            return;
+        }
+        // Every node of the wave was pruned: fall through to the next.
+    }
+}
+
+StagePipe::Job *
+StagePipe::pickJob()
+{
+    Job *best = nullptr;
+    for (Job *job : active_) {
+        if (!job->hasRunnable())
+            continue;
+        if (!best || job->req.priority > best->req.priority ||
+            (job->req.priority == best->req.priority &&
+             job->seq < best->seq))
+            best = job;
+    }
+    return best;
+}
+
+void
+StagePipe::runTask(Job *job, std::unique_lock<std::mutex> &lock)
+{
+    const size_t node_id = job->waveIds[job->nextTask++];
+    ++job->running;
+    lock.unlock();
+
+    const StageNode &node = graph_.node(node_id);
+    bool faulted = false;
+    std::string fault_node;
+    int slowdowns = 0;
+    {
+        // Replicate execNode's ambient context: serving is inference-
+        // only, so grad is force-disabled on whichever slot runs the
+        // task; trace capture stays off on the serve hot path.
+        autograd::NoGradGuard no_grad;
+        trace::TagScope tag(job->req.tag);
+        trace::StageScope stage(node.stage);
+        std::unique_ptr<trace::ModalityScope> mod;
+        if (node.modality != trace::kNoModality)
+            mod = std::make_unique<trace::ModalityScope>(node.modality);
+
+        try {
+            // Fault consultation before any work, same as execNode.
+            if (job->req.faults &&
+                job->req.faults->failsAt(job->req.faultRequest,
+                                         node.name,
+                                         job->req.faultAttempt))
+                throw FaultError(node.name, job->req.faultRequest,
+                                 job->req.faultAttempt);
+
+            const double start = nowUs();
+            node.body(job->ctx);
+            double end = nowUs();
+
+            // Injected straggler: busy-extend the node's span.
+            if (job->req.faults) {
+                const double factor = job->req.faults->slowdownFor(
+                    job->req.faultRequest, node.name,
+                    job->req.faultAttempt);
+                if (factor > 1.0) {
+                    const double target =
+                        start + (end - start) * factor;
+                    while (nowUs() < target) {
+                    }
+                    ++slowdowns;
+                }
+            }
+            (void)end;
+
+            // Planned buffer releases: within-job only; the parallel-
+            // policy plan guarantees no same-wave node reads these
+            // slots, and the per-job barrier covers cross-wave reads.
+            if (plan_) {
+                for (size_t dead : plan_->releaseAfter[node_id])
+                    job->ctx.slots[dead] = autograd::Var();
+            }
+        } catch (const FaultError &e) {
+            faulted = true;
+            fault_node = e.node();
+        }
+    }
+
+    lock.lock();
+    job->injectedSlowdowns += slowdowns;
+    if (faulted) {
+        // Abort the job: no new tasks start; already-running tasks of
+        // this wave drain, then the job retires failed and the owner
+        // rethrows. First failure wins (matches sequential order only
+        // when one node of a wave faults, which is how plans are
+        // written; any failure fails the whole request regardless).
+        if (!job->failed) {
+            job->failed = true;
+            job->faultNode = fault_node;
+        }
+        job->nextTask = job->waveIds.size();
+    }
+    --job->running;
+    if (job->nextTask >= job->waveIds.size() && job->running == 0) {
+        advanceWave(job);
+        // Wave boundary: new tasks became runnable (or the job
+        // retired and its owner must wake) — either way, waiters
+        // need a fresh look.
+        cv_.notify_all();
+    }
+}
+
+PipeCompletion
+StagePipe::execute(const PipeRequest &request)
+{
+    MM_ASSERT(request.batch != nullptr, "pipe request without a batch");
+    MM_ASSERT(!autograd::GradMode::enabled(),
+              "StagePipe serves inference only (grad must be disabled)");
+
+    Job job;
+    job.req = request;
+    job.ctx.batch = request.batch;
+    job.ctx.slots.assign(graph_.size(), autograd::Var());
+    job.ctx.stash.assign(stashSlots_, autograd::Var());
+
+    std::unique_lock<std::mutex> lock(mu_);
+    job.seq = nextSeq_++;
+    advanceWave(&job);
+    active_.push_back(&job);
+    if (job.hasRunnable())
+        cv_.notify_all(); // idle slots can help immediately
+
+    while (!job.done) {
+        Job *runnable = pickJob();
+        if (runnable)
+            runTask(runnable, lock); // unlocks while the body runs
+        else
+            cv_.wait(lock);
+    }
+    for (size_t i = 0; i < active_.size(); ++i) {
+        if (active_[i] == &job) {
+            active_.erase(active_.begin() +
+                          static_cast<ptrdiff_t>(i));
+            break;
+        }
+    }
+    lock.unlock();
+
+    if (job.failed)
+        throw FaultError(job.faultNode, request.faultRequest,
+                         request.faultAttempt);
+
+    PipeCompletion completion;
+    completion.output = job.ctx.slots[sinkId_];
+    completion.injectedSlowdowns = job.injectedSlowdowns;
+    completion.prunedNodes = job.prunedNodes;
+    return completion;
+}
+
+} // namespace pipeline
+} // namespace mmbench

@@ -11,6 +11,7 @@
 #include "models/registry.hh"
 #include "pipeline/fuseplan.hh"
 #include "pipeline/serve.hh"
+#include "pipeline/stagepipe.hh"
 #include "profile/profiler.hh"
 #include "solver/config.hh"
 #include "tensor/ops.hh"
@@ -228,29 +229,31 @@ runTrain(const RunSpec &spec, models::MultiModalWorkload &workload,
 }
 
 /**
- * Concatenate the coalesced requests' pre-sampled batches into one
- * service batch (row-wise, request order). Assembly cost is part of
- * the coalesced request's service time, as it would be in a real
- * batching server.
+ * Concatenate the batched requests' pre-sampled batches into one
+ * service batch (row-wise, dequeue order). Assembly cost is part of
+ * the batched request's service time, as it would be in a real
+ * batching server. `ids` need not be contiguous: under request
+ * classes the dispatcher batches same-class requests, which are
+ * interleaved with other classes in the arrival stream.
  */
 data::Batch
-coalesceBatches(const std::vector<data::Batch> &batches, int first,
-                int count)
+coalesceBatches(const std::vector<data::Batch> &batches,
+                const std::vector<int> &ids)
 {
     data::Batch fused;
-    const size_t modalities = batches[static_cast<size_t>(first)]
-                                  .modalities.size();
+    const size_t modalities =
+        batches[static_cast<size_t>(ids.front())].modalities.size();
     for (size_t m = 0; m < modalities; ++m) {
         std::vector<tensor::Tensor> parts;
-        parts.reserve(static_cast<size_t>(count));
-        for (int i = first; i < first + count; ++i)
+        parts.reserve(ids.size());
+        for (const int i : ids)
             parts.push_back(
                 batches[static_cast<size_t>(i)].modalities[m]);
         fused.modalities.push_back(tensor::concat(parts, 0));
     }
     std::vector<tensor::Tensor> targets;
-    targets.reserve(static_cast<size_t>(count));
-    for (int i = first; i < first + count; ++i) {
+    targets.reserve(ids.size());
+    for (const int i : ids) {
         targets.push_back(batches[static_cast<size_t>(i)].targets);
         fused.size += batches[static_cast<size_t>(i)].size;
     }
@@ -321,12 +324,25 @@ runServe(const RunSpec &spec, models::MultiModalWorkload &workload,
         }
     }
 
+    // Request classes: parsed once, owned here for the stream's
+    // lifetime (the serve loop and per-class aggregation read it).
+    pipeline::ClassPlan class_plan;
+    if (!spec.classes.empty()) {
+        std::string class_error;
+        if (!pipeline::parseClassPlan(spec.classes, &class_plan,
+                                      &class_error))
+            MM_FATAL("--classes: %s", class_error.c_str());
+    }
+    bool any_deadline = spec.deadlineMs > 0.0;
+    for (const pipeline::RequestClass &c : class_plan.classes())
+        any_deadline = any_deadline || c.deadlineUs > 0.0;
+
     // Under deadline pressure a degradable workload serves only its
     // first modality (the others zero-imputed) instead of timing out
     // at full fidelity. Only meaningful with shedding on and a
-    // deadline set.
-    const bool pressure_degrade = spec.shed && spec.deadlineMs > 0.0 &&
-                                  workload.numModalities() > 1;
+    // deadline set (stream-wide or on any request class).
+    const bool pressure_degrade =
+        spec.shed && any_deadline && workload.numModalities() > 1;
     const uint32_t pressure_mask =
         pressure_degrade ? workload.dropAllExcept(0) : 0;
     if (!drop_masks.empty() || pressure_degrade)
@@ -345,8 +361,22 @@ runServe(const RunSpec &spec, models::MultiModalWorkload &workload,
 
     // Prime the lazy per-policy memory plan (the warmup above built
     // the stage graph) before concurrent requests race forwardGraph:
-    // lazy plan construction is single-threaded by contract.
+    // lazy plan construction is single-threaded by contract. The
+    // pipelined engine executes jobs wave-by-wave, so it runs the
+    // parallel-policy plan (its release rule matches wave barriers).
     workload.memoryPlan(options.policy);
+
+    // Stage-level pipelining: one shared engine; each slot submits its
+    // request and work-shares node tasks across every in-flight
+    // request, overlapping the encoder wave of one request with the
+    // fusion/head stages of another.
+    std::unique_ptr<pipeline::StagePipe> pipe;
+    if (spec.pipelineServe) {
+        pipe = std::make_unique<pipeline::StagePipe>(
+            workload.stageGraph(),
+            &workload.memoryPlan(pipeline::SchedPolicy::Parallel),
+            workload.stashSlots());
+    }
 
     // Clamp to the effective thread count so a --threads limit also
     // bounds serving concurrency (a --threads sweep in serve mode
@@ -359,7 +389,11 @@ runServe(const RunSpec &spec, models::MultiModalWorkload &workload,
     loop.rateRps = spec.rateRps;
     loop.seed = spec.seed;
     loop.inflight = inflight;
-    loop.coalesce = spec.coalesce;
+    loop.batcher = spec.batcher;
+    loop.maxBatch = spec.maxBatch;
+    loop.batchWaitUs = static_cast<double>(spec.batchWaitUs);
+    if (!class_plan.empty())
+        loop.classes = &class_plan;
     loop.queueCap = spec.queueCap;
     loop.deadlineUs = spec.deadlineMs * 1000.0;
     loop.shedding = spec.shed;
@@ -383,18 +417,17 @@ runServe(const RunSpec &spec, models::MultiModalWorkload &workload,
             pipeline::ScheduleOptions req = options;
             if (!plan.empty()) {
                 req.faults = &plan;
-                // Coalesced groups key fault decisions on the head
+                // Batched groups key fault decisions on the head
                 // request id: one dispatch, one execution, one roll.
                 req.faultRequest = call.first;
             }
             uint32_t mask = 0;
             if (!drop_masks.empty()) {
-                // A coalesced group adopts the union of its members'
+                // A batched group adopts the union of its members'
                 // dropped modalities (the group runs as one batch, so
                 // a modality missing from any member is imputed for
                 // the whole group).
-                for (int i = call.first; i < call.first + call.count;
-                     ++i) {
+                for (const int i : call.ids) {
                     const uint32_t m =
                         drop_masks[static_cast<size_t>(i)];
                     mask |= m;
@@ -405,6 +438,17 @@ runServe(const RunSpec &spec, models::MultiModalWorkload &workload,
                 mask |= pressure_mask;
             req.dropMask = mask;
 
+            // Assembly of the service batch counts toward service
+            // time, as in a real batching server.
+            data::Batch fused_batch;
+            const data::Batch *input;
+            if (call.count == 1) {
+                input = &batches[static_cast<size_t>(call.first)];
+            } else {
+                fused_batch = coalesceBatches(batches, call.ids);
+                input = &fused_batch;
+            }
+
             // Bounded retry with exponential backoff: injected
             // failures are transient per attempt (the plan re-rolls
             // with attempt+1), so a retry can succeed. Exhausting the
@@ -412,18 +456,32 @@ runServe(const RunSpec &spec, models::MultiModalWorkload &workload,
             for (int attempt = 0;; ++attempt) {
                 req.faultAttempt = attempt;
                 try {
-                    pipeline::GraphRun graph_run;
-                    if (call.count == 1) {
-                        workload.forwardGraph(
-                            batches[static_cast<size_t>(call.first)],
-                            req, &graph_run);
+                    if (pipe) {
+                        pipeline::PipeRequest preq;
+                        preq.batch = input;
+                        preq.dropMask = mask;
+                        preq.tag = fusion::fusionKindName(
+                            workload.config().fusionKind);
+                        if (!plan.empty()) {
+                            preq.faults = &plan;
+                            preq.faultRequest = call.first;
+                        }
+                        preq.faultAttempt = attempt;
+                        preq.priority =
+                            class_plan.empty()
+                                ? 0
+                                : class_plan
+                                      .at(static_cast<size_t>(
+                                          call.classId))
+                                      .priority;
+                        const pipeline::PipeCompletion done =
+                            pipe->execute(preq);
+                        sr.faultsInjected += done.injectedSlowdowns;
                     } else {
-                        workload.forwardGraph(
-                            coalesceBatches(batches, call.first,
-                                            call.count),
-                            req, &graph_run);
+                        pipeline::GraphRun graph_run;
+                        workload.forwardGraph(*input, req, &graph_run);
+                        sr.faultsInjected += graph_run.injectedSlowdowns;
                     }
-                    sr.faultsInjected += graph_run.injectedSlowdowns;
                     break;
                 } catch (const pipeline::FaultError &) {
                     ++sr.faultsInjected;
@@ -482,7 +540,9 @@ runServe(const RunSpec &spec, models::MultiModalWorkload &workload,
     result->serve.arrival = pipeline::arrivalKindName(spec.arrival);
     result->serve.offeredRps =
         pipeline::isOpenLoop(spec.arrival) ? spec.rateRps : 0.0;
-    result->serve.coalesce = spec.coalesce;
+    result->serve.coalesce = spec.maxBatch;
+    result->serve.batcher = pipeline::batcherKindName(spec.batcher);
+    result->serve.pipelined = spec.pipelineServe;
     result->serve.batches = stream.serviceCalls;
     result->serve.ok = stream.ok;
     result->serve.degraded = stream.degraded;
@@ -491,6 +551,55 @@ runServe(const RunSpec &spec, models::MultiModalWorkload &workload,
     result->serve.failed = stream.failed;
     result->serve.retries = stream.retries;
     result->serve.faultsInjected = stream.faultsInjected;
+
+    // Per-class breakdown: lifecycle counters, latency percentiles
+    // (shed excluded, same rule as the stream-wide stats) and goodput
+    // over the shared stream wall — classes run interleaved, so each
+    // class's useful completions are normalised by the same window.
+    if (!class_plan.empty() && !stream.classIds.empty()) {
+        const size_t ncls = class_plan.size();
+        result->serve.classes.resize(ncls);
+        std::vector<std::vector<double>> cls_latency(ncls);
+        for (size_t c = 0; c < ncls; ++c) {
+            ClassStats &cs = result->serve.classes[c];
+            cs.name = class_plan.at(c).name;
+            cs.priority = class_plan.at(c).priority;
+        }
+        for (size_t i = 0; i < stream.classIds.size(); ++i) {
+            const size_t c =
+                static_cast<size_t>(stream.classIds[i]);
+            ClassStats &cs = result->serve.classes[c];
+            ++cs.requests;
+            switch (stream.outcomes[i]) {
+            case pipeline::RequestOutcome::Ok:
+                ++cs.ok;
+                break;
+            case pipeline::RequestOutcome::Degraded:
+                ++cs.degraded;
+                break;
+            case pipeline::RequestOutcome::Shed:
+                ++cs.shed;
+                break;
+            case pipeline::RequestOutcome::Timeout:
+                ++cs.timeouts;
+                break;
+            case pipeline::RequestOutcome::Failed:
+                ++cs.failed;
+                break;
+            }
+            if (stream.outcomes[i] != pipeline::RequestOutcome::Shed)
+                cls_latency[c].push_back(
+                    stream.requests[i].latencyUs());
+        }
+        for (size_t c = 0; c < ncls; ++c) {
+            ClassStats &cs = result->serve.classes[c];
+            cs.latencyUs = LatencyStats::fromSamples(cls_latency[c]);
+            if (wall > 0.0)
+                cs.goodputRps =
+                    static_cast<double>(cs.ok + cs.degraded) * 1e6 /
+                    wall;
+        }
+    }
 
     result->memory.modelBytes = workload.parameterBytes();
     uint64_t dataset_bytes = 0;

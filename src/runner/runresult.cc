@@ -83,7 +83,20 @@ RunResult::toJson() const
     spec_json.set("requests", static_cast<int64_t>(spec.requests));
     spec_json.set("arrival", pipeline::arrivalKindName(spec.arrival));
     spec_json.set("rate_rps", spec.rateRps);
-    spec_json.set("coalesce", static_cast<int64_t>(spec.coalesce));
+    // Historical key: the static batch cap was `--coalesce N`; the key
+    // keeps its name (= spec.maxBatch) so existing consumers and the
+    // default record stay byte-identical.
+    spec_json.set("coalesce", static_cast<int64_t>(spec.maxBatch));
+    // Serving-scheduler knobs (additive v1 fields, non-default only).
+    if (spec.batcher != pipeline::BatcherKind::Static)
+        spec_json.set("batcher", pipeline::batcherKindName(spec.batcher));
+    if (spec.batchWaitUs > 0)
+        spec_json.set("batch_wait_us",
+                      static_cast<int64_t>(spec.batchWaitUs));
+    if (!spec.classes.empty())
+        spec_json.set("classes", spec.classes);
+    if (spec.pipelineServe)
+        spec_json.set("pipeline", true);
     // Fault-tolerance knobs (additive v1 fields).
     spec_json.set("faults", spec.faults);
     spec_json.set("queue_cap", static_cast<int64_t>(spec.queueCap));
@@ -163,6 +176,30 @@ RunResult::toJson() const
         serve_json.set("faults_injected",
                        static_cast<int64_t>(serve.faultsInjected));
         serve_json.set("goodput_rps", serve.goodputRps);
+        // Serving-scheduler accounting (additive, non-default only:
+        // the default static/unpipelined record stays byte-identical).
+        if (serve.batcher != "static")
+            serve_json.set("batcher", serve.batcher);
+        if (serve.pipelined)
+            serve_json.set("pipelined", true);
+        if (!serve.classes.empty()) {
+            core::JsonValue classes_json = core::JsonValue::array();
+            for (const ClassStats &cs : serve.classes) {
+                core::JsonValue row = core::JsonValue::object();
+                row.set("name", cs.name);
+                row.set("priority", static_cast<int64_t>(cs.priority));
+                row.set("requests", static_cast<int64_t>(cs.requests));
+                row.set("ok", static_cast<int64_t>(cs.ok));
+                row.set("degraded", static_cast<int64_t>(cs.degraded));
+                row.set("shed", static_cast<int64_t>(cs.shed));
+                row.set("timeouts", static_cast<int64_t>(cs.timeouts));
+                row.set("failed", static_cast<int64_t>(cs.failed));
+                row.set("latency_us", cs.latencyUs.toJson());
+                row.set("goodput_rps", cs.goodputRps);
+                classes_json.push(std::move(row));
+            }
+            serve_json.set("classes", std::move(classes_json));
+        }
         obj.set("serve", std::move(serve_json));
     }
 

@@ -74,6 +74,26 @@ struct NodeTime
     double cpuUs = 0.0;  ///< simulated launches + runtime ops
 };
 
+/**
+ * Per-request-class aggregates of one serve run (spec.classes).
+ * Outcome counters sum to `requests`; latency covers serviced
+ * requests (queue wait + service); goodput counts ok + degraded
+ * completions per second of serving wall clock.
+ */
+struct ClassStats
+{
+    std::string name;
+    int priority = 0;
+    int requests = 0;
+    int ok = 0;
+    int degraded = 0;
+    int shed = 0;
+    int timeouts = 0;
+    int failed = 0;
+    LatencyStats latencyUs;
+    double goodputRps = 0.0;
+};
+
 /** Serve-mode aggregates (mode == Serve only). */
 struct ServeStats
 {
@@ -87,10 +107,19 @@ struct ServeStats
     double offeredRps = 0.0;
     /** Completed requests per second of serving wall clock. */
     double achievedRps = 0.0;
-    /** Coalesce cap the dispatcher ran with (1 = no coalescing). */
+    /**
+     * Batch cap the dispatcher ran with (1 = no batching). Kept under
+     * its historical JSON name "coalesce"; mirrors spec.maxBatch.
+     */
     int coalesce = 1;
+    /** Batcher that formed service batches ("static" / "continuous"). */
+    std::string batcher = "static";
+    /** True when the stage-level pipelining engine executed requests. */
+    bool pipelined = false;
     /** Service invocations (< requests when coalescing kicked in). */
     int batches = 0;
+    /** Per-class aggregates (spec.classes); empty when classless. */
+    std::vector<ClassStats> classes;
     /** Queue wait per request (arrival -> service start). */
     LatencyStats queueUs;
     /** Service time per request (start -> completion). */

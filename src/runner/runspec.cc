@@ -121,8 +121,24 @@ RunSpec::toArgs() const
     args.push_back(pipeline::arrivalKindName(arrival));
     args.push_back("--rate");
     args.push_back(strfmt("%.17g", rateRps));
-    args.push_back("--coalesce");
-    args.push_back(strfmt("%d", coalesce));
+    if (batcher != pipeline::BatcherKind::Static) {
+        args.push_back("--batcher");
+        args.push_back(pipeline::batcherKindName(batcher));
+    }
+    args.push_back("--max-batch");
+    args.push_back(strfmt("%d", maxBatch));
+    if (batchWaitUs > 0) {
+        args.push_back("--batch-wait-us");
+        args.push_back(strfmt("%d", batchWaitUs));
+    }
+    if (!classes.empty()) {
+        args.push_back("--classes");
+        args.push_back(classes);
+    }
+    if (pipelineServe) {
+        args.push_back("--pipeline");
+        args.push_back("on");
+    }
     if (!faults.empty()) {
         args.push_back("--faults");
         args.push_back(faults);
@@ -159,8 +175,8 @@ RunSpec::toString() const
     std::string text = strfmt(
         "%s fusion=%s mode=%s batch=%lld threads=%d scale=%g seed=%llu "
         "warmup=%d repeat=%d device=%s sched=%s inflight=%d requests=%d "
-        "arrival=%s rate=%g coalesce=%d faults=%s queue_cap=%d "
-        "deadline_ms=%g retries=%d shed=%s",
+        "arrival=%s rate=%g batcher=%s max_batch=%d faults=%s "
+        "queue_cap=%d deadline_ms=%g retries=%d shed=%s",
         workload.c_str(),
         hasFusion ? fusion::fusionKindName(fusionKind) : "default",
         runModeName(mode), static_cast<long long>(batch), threads,
@@ -168,8 +184,15 @@ RunSpec::toString() const
         static_cast<unsigned long long>(seed), warmup, repeat,
         device.c_str(), pipeline::schedPolicyName(sched), inflight,
         requests, pipeline::arrivalKindName(arrival), rateRps,
-        coalesce, faults.empty() ? "none" : faults.c_str(), queueCap,
+        pipeline::batcherKindName(batcher), maxBatch,
+        faults.empty() ? "none" : faults.c_str(), queueCap,
         deadlineMs, retries, shed ? "on" : "off");
+    if (batchWaitUs > 0)
+        text += strfmt(" batch_wait_us=%d", batchWaitUs);
+    if (!classes.empty())
+        text += strfmt(" classes=%s", classes.c_str());
+    if (pipelineServe)
+        text += " pipeline=on";
     if (fuseKernels)
         text += strfmt(" fuse_kernels=on autotune=%s",
                        solver::autotuneModeName(autotune));
@@ -225,6 +248,8 @@ parseSpecFlags(const std::vector<std::string> &args, RunSpec *spec,
                std::string *error)
 {
     error->clear();
+    bool saw_coalesce = false;
+    bool saw_continuous = false;
     for (size_t i = 0; i < args.size(); ++i) {
         const std::string &flag = args[i];
         if (i + 1 >= args.size()) {
@@ -385,6 +410,49 @@ parseSpecFlags(const std::vector<std::string> &args, RunSpec *spec,
                 return false;
             }
             spec->rateRps = v;
+        } else if (flag == "--batcher") {
+            pipeline::BatcherKind kind;
+            if (!pipeline::tryParseBatcherKind(value, &kind)) {
+                *error = strfmt("unknown --batcher value '%s' "
+                                "(expected static or continuous)",
+                                value.c_str());
+                return false;
+            }
+            spec->batcher = kind;
+            if (kind == pipeline::BatcherKind::Continuous)
+                saw_continuous = true;
+        } else if (flag == "--max-batch") {
+            int64_t v;
+            if (!parseInt64(value, &v) || v <= 0) {
+                *error = strfmt("--max-batch expects a positive "
+                                "integer, got '%s'", value.c_str());
+                return false;
+            }
+            spec->maxBatch = static_cast<int>(v);
+        } else if (flag == "--batch-wait-us") {
+            int64_t v;
+            if (!parseInt64(value, &v) || v < 0) {
+                *error = strfmt("--batch-wait-us expects a non-negative "
+                                "integer (microseconds), got '%s'",
+                                value.c_str());
+                return false;
+            }
+            spec->batchWaitUs = static_cast<int>(v);
+        } else if (flag == "--classes") {
+            // Grammar-checked after the loop (seed-independent), so
+            // flag order can't change whether a spec parses.
+            spec->classes = value;
+        } else if (flag == "--pipeline") {
+            const std::string p = toLower(value);
+            if (p == "on" || p == "true" || p == "1") {
+                spec->pipelineServe = true;
+            } else if (p == "off" || p == "false" || p == "0") {
+                spec->pipelineServe = false;
+            } else {
+                *error = strfmt("--pipeline expects on or off, got "
+                                "'%s'", value.c_str());
+                return false;
+            }
         } else if (flag == "--coalesce") {
             int64_t v;
             if (!parseInt64(value, &v) || v <= 0) {
@@ -392,7 +460,11 @@ parseSpecFlags(const std::vector<std::string> &args, RunSpec *spec,
                                 "got '%s'", value.c_str());
                 return false;
             }
-            spec->coalesce = static_cast<int>(v);
+            warn("--coalesce is deprecated; use --batcher static "
+                 "--max-batch %lld", static_cast<long long>(v));
+            spec->batcher = pipeline::BatcherKind::Static;
+            spec->maxBatch = static_cast<int>(v);
+            saw_coalesce = true;
         } else if (flag == "--faults") {
             // Grammar-checked after the loop (seed-independent), so
             // flag order can't change whether a spec parses.
@@ -439,6 +511,14 @@ parseSpecFlags(const std::vector<std::string> &args, RunSpec *spec,
             return false;
         }
     }
+    if (saw_coalesce &&
+        (saw_continuous ||
+         spec->batcher == pipeline::BatcherKind::Continuous)) {
+        *error = "--coalesce is a deprecated alias for --batcher "
+                 "static --max-batch N and cannot be combined with "
+                 "--batcher continuous; pass --max-batch directly";
+        return false;
+    }
     if (spec->mode == RunMode::Serve &&
         spec->sched == pipeline::SchedPolicy::Parallel) {
         // Serve requests already occupy the worker pool, so the
@@ -465,10 +545,27 @@ parseSpecFlags(const std::vector<std::string> &args, RunSpec *spec,
             return false;
         }
     } else {
-        if (spec->coalesce > 1) {
-            *error = "--coalesce batches queued requests, which only "
+        if (spec->maxBatch > 1) {
+            *error = "--max-batch (and its deprecated alias "
+                     "--coalesce) batches queued requests, which only "
                      "exist under open-loop arrivals; add --arrival "
                      "poisson or --arrival fixed";
+            return false;
+        }
+        if (spec->batcher == pipeline::BatcherKind::Continuous) {
+            *error = "--batcher continuous re-forms batches from the "
+                     "open-loop queue; add --arrival poisson or "
+                     "--arrival fixed";
+            return false;
+        }
+        if (spec->batchWaitUs > 0) {
+            *error = "--batch-wait-us holds an under-filled open-loop "
+                     "batch; add --arrival poisson or --arrival fixed";
+            return false;
+        }
+        if (!spec->classes.empty()) {
+            *error = "--classes schedules the open-loop admission "
+                     "queue; add --arrival poisson or --arrival fixed";
             return false;
         }
         if (spec->rateRps > 0.0) {
@@ -487,9 +584,30 @@ parseSpecFlags(const std::vector<std::string> &args, RunSpec *spec,
             return false;
         }
     }
+    if (spec->batchWaitUs > 0 &&
+        spec->batcher != pipeline::BatcherKind::Continuous) {
+        *error = "--batch-wait-us holds an under-filled continuous "
+                 "batch; add --batcher continuous";
+        return false;
+    }
+    if (!spec->classes.empty()) {
+        // Grammar check at parse time, same contract as --faults.
+        pipeline::ClassPlan plan;
+        std::string class_error;
+        if (!pipeline::parseClassPlan(spec->classes, &plan,
+                                      &class_error)) {
+            *error = strfmt("--classes: %s", class_error.c_str());
+            return false;
+        }
+    }
     // Fault-tolerance flags are serve-mode features; rejecting them
     // elsewhere keeps every emitted record honest about what ran.
     if (spec->mode != RunMode::Serve) {
+        if (spec->pipelineServe) {
+            *error = "--pipeline overlaps serve-mode requests across "
+                     "pipeline stages; add --mode serve";
+            return false;
+        }
         if (!spec->faults.empty()) {
             *error = "--faults injects into serve-mode requests; add "
                      "--mode serve";

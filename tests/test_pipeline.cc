@@ -19,8 +19,10 @@
 #include "core/json.hh"
 #include "core/parallel.hh"
 #include "models/registry.hh"
+#include "pipeline/faults.hh"
 #include "pipeline/graph.hh"
 #include "pipeline/scheduler.hh"
+#include "pipeline/stagepipe.hh"
 #include "profile/profiler.hh"
 #include "runner/runner.hh"
 #include "runner/runspec.hh"
@@ -672,4 +674,126 @@ TEST(RunSpecParse, TemplateAllowsMissingWorkload)
     // Unknown workloads still fail.
     EXPECT_FALSE(runner::parseRunSpecTemplate(
         {"--workload", "nope"}, &spec, &error));
+}
+
+// ------------------------------------------------------------- StagePipe
+
+TEST(StagePipe, BitwiseMatchesUnpipelinedAcrossThreadCounts)
+{
+    // The serving pipeline work-shares node tasks across in-flight
+    // requests (one request's encoders overlap another's fusion/head).
+    // Node bodies are deterministic functions of their slot inputs, so
+    // every request's output must stay bitwise identical to the
+    // ambient unpipelined forward, whatever the slot count.
+    for (const char *name : {"transfuser", "medical-seg"}) {
+        auto w = models::WorkloadRegistry::instance().createDefault(
+            name, 0.35f);
+        w->train(false);
+        auto task = w->makeTask(11);
+        const int requests = 4;
+        std::vector<data::Batch> batches;
+        for (int r = 0; r < requests; ++r)
+            batches.push_back(task.sample(2));
+
+        std::vector<tensor::Tensor> reference;
+        for (const data::Batch &b : batches)
+            reference.push_back(
+                forwardWith(*w, b, SchedPolicy::Sequential, 1));
+
+        // Lazy graph/plan construction is single-threaded by contract:
+        // prime both before requests race into the pipe.
+        const pipeline::StageGraph &graph = w->stageGraph();
+        const pipeline::MemoryPlan &plan =
+            w->memoryPlan(SchedPolicy::Parallel);
+
+        for (int threads : {1, 4}) {
+            core::ScopedNumThreads guard(threads);
+            pipeline::StagePipe pipe(graph, &plan, w->stashSlots());
+            std::vector<tensor::Tensor> outputs(
+                static_cast<size_t>(requests));
+            core::parallelFor(
+                0, requests, 1, [&](int64_t begin, int64_t end) {
+                    autograd::NoGradGuard no_grad;
+                    for (int64_t r = begin; r < end; ++r) {
+                        pipeline::PipeRequest req;
+                        req.batch = &batches[static_cast<size_t>(r)];
+                        outputs[static_cast<size_t>(r)] =
+                            pipe.execute(req).output.value();
+                    }
+                });
+            for (int r = 0; r < requests; ++r)
+                expectBitwiseEqual(
+                    reference[static_cast<size_t>(r)],
+                    outputs[static_cast<size_t>(r)],
+                    std::string(name) + " pipelined t" +
+                        std::to_string(threads) + " r" +
+                        std::to_string(r));
+            EXPECT_EQ(pipe.activeJobs(), 0);
+        }
+    }
+}
+
+TEST(StagePipe, DropMaskPrunesAndZeroImputesLikeTheScheduler)
+{
+    // A request with dropped modalities must produce the same output
+    // through the pipe as through the (sequential) scheduler's
+    // degraded path.
+    auto w = models::WorkloadRegistry::instance().createDefault(
+        "medical-seg", 0.35f);
+    w->train(false);
+    w->primeDegraded();
+    auto task = w->makeTask(13);
+    data::Batch batch = task.sample(2);
+    const uint32_t mask = 0b0110; // drop T1c and T2
+
+    autograd::NoGradGuard no_grad;
+    pipeline::ScheduleOptions opts;
+    opts.policy = SchedPolicy::Sequential;
+    opts.dropMask = mask;
+    const tensor::Tensor reference =
+        w->forwardGraph(batch, opts).value();
+
+    pipeline::StagePipe pipe(w->stageGraph(),
+                             &w->memoryPlan(SchedPolicy::Parallel),
+                             w->stashSlots());
+    pipeline::PipeRequest req;
+    req.batch = &batch;
+    req.dropMask = mask;
+    const pipeline::PipeCompletion done = pipe.execute(req);
+    expectBitwiseEqual(reference, done.output.value(),
+                       "medical-seg degraded pipelined");
+    // Two modalities dropped: preprocess + encoder pruned for each.
+    EXPECT_EQ(done.prunedNodes, 4);
+}
+
+TEST(StagePipe, InjectedFailureRethrowsOnTheOwningRequest)
+{
+    auto w = models::WorkloadRegistry::instance().createDefault(
+        "av-mnist", 0.35f);
+    w->train(false);
+    auto task = w->makeTask(3);
+    data::Batch batch = task.sample(2);
+
+    pipeline::FaultPlan plan;
+    std::string error;
+    ASSERT_TRUE(pipeline::parseFaultPlan("fail:node=fusion:p=1", 5,
+                                         &plan, &error))
+        << error;
+
+    autograd::NoGradGuard no_grad;
+    pipeline::StagePipe pipe(w->stageGraph(),
+                             &w->memoryPlan(SchedPolicy::Parallel),
+                             w->stashSlots());
+    pipeline::PipeRequest req;
+    req.batch = &batch;
+    req.faults = &plan;
+    req.faultRequest = 0;
+    req.faultAttempt = 0;
+    EXPECT_THROW(pipe.execute(req), pipeline::FaultError);
+    // The failed job retired: the pipe is reusable and a fault-free
+    // request still completes.
+    EXPECT_EQ(pipe.activeJobs(), 0);
+    pipeline::PipeRequest clean;
+    clean.batch = &batch;
+    EXPECT_NO_THROW(pipe.execute(clean));
 }

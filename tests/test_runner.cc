@@ -146,14 +146,18 @@ TEST(RunSpecParse, ArrivalFlagsParseAndRoundTrip)
         << error;
     EXPECT_EQ(spec.arrival, pipeline::ArrivalKind::Poisson);
     EXPECT_DOUBLE_EQ(spec.rateRps, 128.5);
-    EXPECT_EQ(spec.coalesce, 4);
+    // --coalesce is a deprecated alias for --batcher static
+    // --max-batch N (warns, still parses).
+    EXPECT_EQ(spec.batcher, pipeline::BatcherKind::Static);
+    EXPECT_EQ(spec.maxBatch, 4);
 
+    // Round-trip re-emits the canonical flags, never the alias.
     RunSpec reparsed;
     ASSERT_TRUE(runner::parseRunSpec(spec.toArgs(), &reparsed, &error))
         << error;
     EXPECT_EQ(reparsed.arrival, spec.arrival);
     EXPECT_DOUBLE_EQ(reparsed.rateRps, spec.rateRps);
-    EXPECT_EQ(reparsed.coalesce, spec.coalesce);
+    EXPECT_EQ(reparsed.maxBatch, spec.maxBatch);
 
     // The closed-loop default also round-trips (rate 0 accepted).
     RunSpec closed;
@@ -165,7 +169,7 @@ TEST(RunSpecParse, ArrivalFlagsParseAndRoundTrip)
         << error;
     EXPECT_EQ(closed2.arrival, pipeline::ArrivalKind::Closed);
     EXPECT_DOUBLE_EQ(closed2.rateRps, 0.0);
-    EXPECT_EQ(closed2.coalesce, 1);
+    EXPECT_EQ(closed2.maxBatch, 1);
 }
 
 TEST(RunSpecParse, ArrivalFlagErrors)
@@ -993,4 +997,258 @@ TEST(Runner, FaultedServeIsDeterministic)
                 a.serve.failed != c.serve.failed ||
                 a.serve.retries != c.serve.retries ||
                 a.serve.faultsInjected != c.serve.faultsInjected);
+}
+
+// ------------------------------------------------ serving-scheduler flags
+
+TEST(RunSpecParse, ServingSchedulerFlagsParseAndRoundTrip)
+{
+    RunSpec spec;
+    std::string error;
+    ASSERT_TRUE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--mode", "serve", "--arrival",
+         "poisson", "--rate", "200", "--batcher", "continuous",
+         "--max-batch", "8", "--batch-wait-us", "250", "--classes",
+         "hi:share=1:prio=1;lo:share=3", "--pipeline", "on"},
+        &spec, &error))
+        << error;
+    EXPECT_EQ(spec.batcher, pipeline::BatcherKind::Continuous);
+    EXPECT_EQ(spec.maxBatch, 8);
+    EXPECT_EQ(spec.batchWaitUs, 250);
+    EXPECT_EQ(spec.classes, "hi:share=1:prio=1;lo:share=3");
+    EXPECT_TRUE(spec.pipelineServe);
+
+    RunSpec reparsed;
+    ASSERT_TRUE(runner::parseRunSpec(spec.toArgs(), &reparsed, &error))
+        << error;
+    EXPECT_EQ(reparsed.batcher, spec.batcher);
+    EXPECT_EQ(reparsed.maxBatch, spec.maxBatch);
+    EXPECT_EQ(reparsed.batchWaitUs, spec.batchWaitUs);
+    EXPECT_EQ(reparsed.classes, spec.classes);
+    EXPECT_EQ(reparsed.pipelineServe, spec.pipelineServe);
+}
+
+TEST(RunSpecParse, ServingSchedulerFlagErrors)
+{
+    RunSpec spec;
+    std::string error;
+
+    // The deprecated alias cannot combine with the continuous batcher.
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--mode", "serve", "--arrival",
+         "poisson", "--rate", "100", "--batcher", "continuous",
+         "--coalesce", "4"},
+        &spec, &error));
+    EXPECT_NE(error.find("deprecated alias"), std::string::npos);
+    EXPECT_NE(error.find("--max-batch"), std::string::npos);
+
+    // ... in either flag order.
+    spec = RunSpec();
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--mode", "serve", "--arrival",
+         "poisson", "--rate", "100", "--coalesce", "4", "--batcher",
+         "continuous"},
+        &spec, &error));
+    EXPECT_NE(error.find("deprecated alias"), std::string::npos);
+
+    // Batch-wait only means something under the continuous batcher.
+    spec = RunSpec();
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--mode", "serve", "--arrival",
+         "poisson", "--rate", "100", "--batch-wait-us", "500"},
+        &spec, &error));
+    EXPECT_NE(error.find("--batcher continuous"), std::string::npos);
+
+    // Pipelining overlaps serve-mode requests: serve mode only.
+    spec = RunSpec();
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--pipeline", "on"}, &spec, &error));
+    EXPECT_NE(error.find("--mode serve"), std::string::npos);
+
+    // The continuous batcher needs an open-loop queue.
+    spec = RunSpec();
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--mode", "serve", "--batcher",
+         "continuous"},
+        &spec, &error));
+    EXPECT_NE(error.find("--batcher continuous"), std::string::npos);
+
+    // Classes schedule the open-loop admission queue.
+    spec = RunSpec();
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--mode", "serve", "--classes",
+         "a:share=1"},
+        &spec, &error));
+    EXPECT_NE(error.find("--classes"), std::string::npos);
+
+    // Class-spec grammar errors surface at parse time.
+    spec = RunSpec();
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--mode", "serve", "--arrival",
+         "poisson", "--rate", "100", "--classes", "a:share=0"},
+        &spec, &error));
+    EXPECT_NE(error.find("--classes"), std::string::npos);
+
+    // Malformed values.
+    spec = RunSpec();
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--mode", "serve", "--arrival",
+         "poisson", "--rate", "100", "--max-batch", "0"},
+        &spec, &error));
+    EXPECT_NE(error.find("--max-batch"), std::string::npos);
+    spec = RunSpec();
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--mode", "serve", "--arrival",
+         "poisson", "--rate", "100", "--batcher", "dynamic"},
+        &spec, &error));
+    EXPECT_NE(error.find("--batcher"), std::string::npos);
+    spec = RunSpec();
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--mode", "serve", "--pipeline",
+         "maybe"},
+        &spec, &error));
+    EXPECT_NE(error.find("--pipeline"), std::string::npos);
+}
+
+// ----------------------------------------------- per-class result blocks
+
+namespace {
+
+/** Run one spec through the JSONL sink and parse the record back. */
+JsonValue
+recordFor(const RunSpec &spec, const std::string &tag)
+{
+    const std::string path =
+        ::testing::TempDir() + "/mmbench_test_runner_" + tag + ".jsonl";
+    std::remove(path.c_str());
+    {
+        runner::JsonlSink sink(path);
+        std::vector<runner::ResultSink *> sinks = {&sink};
+        runner::runOne(spec, sinks);
+        sink.flush();
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    std::remove(path.c_str());
+    std::string error;
+    JsonValue record = JsonValue::parse(line, &error);
+    EXPECT_TRUE(error.empty()) << error;
+    return record;
+}
+
+} // namespace
+
+TEST(Runner, PerClassResultBlocksAggregateTheStream)
+{
+    RunSpec spec;
+    spec.workload = "av-mnist";
+    spec.mode = RunMode::Serve;
+    spec.batch = 2;
+    spec.sizeScale = 0.35f;
+    spec.inflight = 2;
+    spec.requests = 8;
+    spec.arrival = pipeline::ArrivalKind::Fixed;
+    spec.rateRps = 400.0;
+    spec.classes = "hi:share=1:prio=1;lo:share=3";
+
+    const runner::RunResult result = runner::runOne(spec);
+    ASSERT_EQ(result.serve.classes.size(), 2u);
+    EXPECT_EQ(result.serve.classes[0].name, "hi");
+    EXPECT_EQ(result.serve.classes[0].priority, 1);
+    EXPECT_EQ(result.serve.classes[1].name, "lo");
+    int requests = 0, ok = 0;
+    for (const runner::ClassStats &cs : result.serve.classes) {
+        requests += cs.requests;
+        ok += cs.ok;
+        EXPECT_EQ(cs.requests,
+                  cs.ok + cs.degraded + cs.shed + cs.timeouts +
+                      cs.failed);
+        EXPECT_EQ(cs.latencyUs.count, cs.requests - cs.shed);
+    }
+    EXPECT_EQ(requests, 8);
+    EXPECT_EQ(ok, result.serve.ok);
+
+    // The JSON record carries one row per class.
+    const JsonValue record = recordFor(spec, "classes");
+    const JsonValue *serve = record.find("serve");
+    ASSERT_NE(serve, nullptr);
+    const JsonValue *classes = serve->find("classes");
+    ASSERT_NE(classes, nullptr);
+    ASSERT_EQ(classes->size(), 2u);
+    for (size_t i = 0; i < classes->size(); ++i) {
+        const JsonValue &row = classes->at(i);
+        for (const char *key :
+             {"name", "priority", "requests", "ok", "degraded", "shed",
+              "timeouts", "failed", "latency_us", "goodput_rps"})
+            EXPECT_TRUE(row.has(key)) << key;
+    }
+    EXPECT_EQ(classes->at(0).find("name")->stringValue(), "hi");
+    const JsonValue *spec_json = record.find("spec");
+    ASSERT_NE(spec_json, nullptr);
+    EXPECT_EQ(spec_json->find("classes")->stringValue(), spec.classes);
+}
+
+TEST(Runner, DefaultServeJsonOmitsTheNewSchedulerKeys)
+{
+    // The default path (no new flags) must keep the historical record
+    // byte-compatible: no batcher / pipelined / classes keys anywhere.
+    RunSpec spec;
+    spec.workload = "av-mnist";
+    spec.mode = RunMode::Serve;
+    spec.batch = 2;
+    spec.sizeScale = 0.35f;
+    spec.inflight = 1;
+    spec.requests = 2;
+
+    const JsonValue record = recordFor(spec, "default_keys");
+    const JsonValue *serve = record.find("serve");
+    ASSERT_NE(serve, nullptr);
+    EXPECT_TRUE(serve->has("coalesce")); // historical name, = max batch
+    EXPECT_EQ(serve->find("coalesce")->intValue(), 1);
+    for (const char *key : {"batcher", "pipelined", "classes"})
+        EXPECT_FALSE(serve->has(key)) << key;
+    const JsonValue *spec_json = record.find("spec");
+    ASSERT_NE(spec_json, nullptr);
+    EXPECT_TRUE(spec_json->has("coalesce"));
+    for (const char *key :
+         {"batcher", "batch_wait_us", "classes", "pipeline"})
+        EXPECT_FALSE(spec_json->has(key)) << key;
+}
+
+TEST(Runner, PipelinedContinuousServeMatchesUnpipelinedOutcomes)
+{
+    // The full pipelined stack end to end: continuous batcher, request
+    // classes and the stage pipeline together must still complete every
+    // request Ok, and the record must say which engine ran.
+    RunSpec spec;
+    spec.workload = "transfuser";
+    spec.mode = RunMode::Serve;
+    spec.batch = 2;
+    spec.sizeScale = 0.35f;
+    spec.inflight = 2;
+    spec.requests = 8;
+    spec.arrival = pipeline::ArrivalKind::Fixed;
+    spec.rateRps = 2000.0;
+    spec.batcher = pipeline::BatcherKind::Continuous;
+    spec.maxBatch = 4;
+    spec.batchWaitUs = 300;
+    spec.pipelineServe = true;
+
+    const runner::RunResult result = runner::runOne(spec);
+    EXPECT_EQ(result.serve.ok, 8);
+    EXPECT_EQ(result.serve.failed, 0);
+    EXPECT_EQ(result.serve.shed, 0);
+    EXPECT_LE(result.serve.batches, 8);
+
+    const JsonValue record = recordFor(spec, "pipelined");
+    const JsonValue *serve = record.find("serve");
+    ASSERT_NE(serve, nullptr);
+    EXPECT_EQ(serve->find("batcher")->stringValue(), "continuous");
+    EXPECT_TRUE(serve->find("pipelined")->boolValue());
+    EXPECT_EQ(serve->find("coalesce")->intValue(), 4);
+    const JsonValue *spec_json = record.find("spec");
+    EXPECT_EQ(spec_json->find("batcher")->stringValue(), "continuous");
+    EXPECT_EQ(spec_json->find("batch_wait_us")->intValue(), 300);
+    EXPECT_TRUE(spec_json->find("pipeline")->boolValue());
 }

@@ -535,15 +535,11 @@ TEST_P(WorkloadFusion, OffBitwiseOnClose)
         data::Batch batch = task.sample(2);
         fused = w->forward(batch).value();
     }
-    // medical-seg and transfuser hold their layers as bare members and
-    // apply activations functionally inside forward(), so the
-    // Sequential-based planner correctly finds nothing to rewrite.
-    // Every other workload builds at least one fusable chain.
-    if (GetParam() == "medical-seg" || GetParam() == "transfuser") {
-        EXPECT_EQ(fused_groups, 0) << GetParam();
-    } else {
-        EXPECT_GT(fused_groups, 0) << GetParam();
-    }
+    // Every workload now plans fused groups: Sequential chains through
+    // the planner, hand-written forwards (medical-seg skip selects,
+    // transfuser hidden init, the residual/UNet norms) through the
+    // nn::fused*Act helpers + declareFusedPair().
+    EXPECT_GT(fused_groups, 0) << GetParam();
     ASSERT_EQ(fused.shape(), before.shape());
     expectClose(fused, before, 1e-3f);
 
