@@ -54,6 +54,7 @@ struct Result
 {
     std::string kernel;
     std::string shape;
+    std::string dtype = "f32"; ///< compute dtype of the kernel
     double ms = 0.0;      ///< best-of-reps wall time
     double gflops = 0.0;  ///< 0 when the kernel is bandwidth-bound
     double gbps = 0.0;    ///< 0 when the kernel is compute-bound
@@ -102,6 +103,16 @@ class Harness
         record(kernel, shape, flops, 0.0, fn);
     }
 
+    /** Compute-bound reduced-precision kernel (dtype column). */
+    template <typename F>
+    void
+    computeDt(const std::string &kernel, const std::string &shape,
+              tensor::DType dt, double flops, F fn)
+    {
+        record(kernel, shape, flops, 0.0, fn);
+        results_.back().dtype = tensor::dtypeName(dt);
+    }
+
     /** Bandwidth-bound kernel: reported as GB/s. */
     template <typename F>
     void
@@ -142,9 +153,11 @@ class Harness
     void
     print() const
     {
-        TextTable table({"kernel", "shape", "ms", "GFLOP/s", "GB/s"});
+        TextTable table({"kernel", "shape", "dtype", "ms", "GFLOP/s",
+                         "GB/s"});
         for (const auto &r : results_) {
-            table.addRow({r.kernel, r.shape, benchutil::f3(r.ms),
+            table.addRow({r.kernel, r.shape, r.dtype,
+                          benchutil::f3(r.ms),
                           r.gflops > 0 ? benchutil::f2(r.gflops) : "-",
                           r.gbps > 0 ? benchutil::f2(r.gbps) : "-"});
         }
@@ -154,11 +167,11 @@ class Harness
     bool
     writeCsv(const std::string &path) const
     {
-        CsvWriter csv({"kernel", "shape", "threads", "time_ms",
+        CsvWriter csv({"kernel", "shape", "dtype", "threads", "time_ms",
                        "gflops", "gbps"});
         const std::string threads = strfmt("%d", core::numThreads());
         for (const auto &r : results_) {
-            csv.addRow({r.kernel, r.shape, threads,
+            csv.addRow({r.kernel, r.shape, r.dtype, threads,
                         benchutil::f3(r.ms), benchutil::f2(r.gflops),
                         benchutil::f2(r.gbps)});
         }
@@ -189,6 +202,10 @@ class Harness
             obj.set("threads",
                     static_cast<int64_t>(core::numThreads()));
             obj.set("shape", r.shape);
+            // Additive key, non-default only: f32 records stay
+            // byte-identical to pre-dtype output.
+            if (r.dtype != "f32")
+                obj.set("dtype", r.dtype);
             obj.set("latency_us", r.latencyUs.toJson());
             obj.set("gflops", r.gflops);
             obj.set("gbps", r.gbps);
@@ -266,6 +283,47 @@ opsMicroMain(int argc, char **argv)
         h.compute("gemm_batched_nt", "16x(128x64)^T",
                   2.0 * 16 * 128 * 128 * 64,
                   [&] { tensor::matmulNT(q, k); });
+    }
+
+    // --- Reduced-precision GEMM/conv (the dtype axis) ---------------
+    // Operands pre-lowered outside the timed region, so the rows
+    // measure the converting pack loops + f32-accumulating (i8 conv:
+    // i32) micro-kernel at the reduced payload width — the 2-4x
+    // traffic reduction the dtype axis claims.
+    {
+        const int64_t n = 512;
+        Tensor a = Tensor::randn(Shape{n, n}, rng);
+        Tensor b = Tensor::randn(Shape{n, n}, rng);
+        const double flops = 2.0 * n * n * n;
+        for (const tensor::DType dt :
+             {tensor::DType::BF16, tensor::DType::I8}) {
+            Tensor aq = tensor::castTo(a, dt);
+            Tensor bq = tensor::castTo(b, dt);
+            h.computeDt(strfmt("gemm_512_%s", tensor::dtypeName(dt)),
+                        "512x512x512", dt, flops, [&] {
+                            tensor::linearActDt(aq, bq, Tensor(),
+                                                tensor::ActKind::None);
+                        });
+        }
+    }
+    {
+        // Same body conv as conv3x3_56, weights pre-lowered; the input
+        // lowers inside the timed region (cast_input), as it does on
+        // the solver registry's cast-both candidate.
+        Tensor x = Tensor::randn(Shape{1, 64, 56, 56}, rng);
+        Tensor w = Tensor::randn(Shape{64, 64, 3, 3}, rng);
+        Tensor b = Tensor::zeros(Shape{64});
+        const double flops = 2.0 * 64 * 56 * 56 * 64 * 9;
+        for (const tensor::DType dt :
+             {tensor::DType::BF16, tensor::DType::I8}) {
+            Tensor wq = tensor::castTo(w, dt);
+            h.computeDt(strfmt("conv3x3_56_%s", tensor::dtypeName(dt)),
+                        "1x64x56x56 k3s1p1", dt, flops, [&] {
+                            tensor::conv2dActDt(x, wq, b, 1, 1,
+                                                tensor::ActKind::None,
+                                                /*cast_input=*/true);
+                        });
+        }
     }
 
     // --- Conv2d: im2col+GEMM vs the direct seed-era loop ------------

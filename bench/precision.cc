@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Reduced-precision sweep: latency / memory / accuracy per compute
+ * dtype across every workload (`mmbench fig --id precision`).
+ *
+ * Each workload runs identical infer specs under f32, bf16, f16 and
+ * i8 (symmetric per-tensor quantization, int32 conv accumulation) and
+ * the table reports, per dtype: p50 host latency, speedup over the f32
+ * row, peak arena bytes over the timed window, the task metric, and
+ * the output error against the identically-seeded f32 reference
+ * forward (max-abs and relative L2). The expected shape is the MIOpen
+ * support-matrix story: bf16/f16 halve and i8 quarter the weight and
+ * activation payloads, so GEMM/conv time drops with memory traffic
+ * while rel-L2 stays small (bf16 < 1e-2 on every workload — the CI
+ * smoke leg pins this from the emitted records).
+ *
+ * Every run also appends its full "mmbench-result-v1" record (the
+ * spec.dtype key and the precision.{max_abs_err,rel_l2_err} object)
+ * to the `mmbench fig --json` file for machine consumption.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "common.hh"
+#include "core/logging.hh"
+#include "core/table.hh"
+#include "models/registry.hh"
+#include "runner/experiment.hh"
+#include "runner/runner.hh"
+#include "runner/sink.hh"
+#include "tensor/dtype.hh"
+
+using namespace mmbench;
+
+namespace {
+
+int
+run()
+{
+    const bool smoke = benchutil::smokeMode();
+    benchutil::printTitle(
+        "precision",
+        "Reduced-precision sweep: per-workload latency, memory and "
+        "output error under bf16/f16/i8 vs the f32 baseline.");
+
+    std::unique_ptr<runner::JsonlSink> jsonl;
+    std::vector<runner::ResultSink *> sinks;
+    if (!benchutil::figJsonPath().empty()) {
+        jsonl = std::make_unique<runner::JsonlSink>(
+            benchutil::figJsonPath());
+        sinks.push_back(jsonl.get());
+    }
+
+    const tensor::DType dtypes[] = {tensor::DType::F32,
+                                    tensor::DType::BF16,
+                                    tensor::DType::F16, tensor::DType::I8};
+
+    TextTable table({"Workload", "DType", "p50", "Speedup", "PeakMem",
+                     "Metric", "MaxAbs", "RelL2"});
+    for (const std::string &name :
+         models::WorkloadRegistry::instance().names()) {
+        runner::RunSpec spec;
+        spec.workload = name;
+        spec.mode = runner::RunMode::Infer;
+        spec.batch = smoke ? 2 : 8;
+        spec.sizeScale = smoke ? 0.35f : 1.0f;
+        spec.warmup = 1;
+        spec.repeat = smoke ? 2 : 5;
+        spec.seed = 42;
+
+        double f32_p50 = 0.0;
+        for (const tensor::DType dt : dtypes) {
+            spec.dtype = dt;
+            const runner::RunResult r = runner::runOne(spec, sinks);
+            if (dt == tensor::DType::F32)
+                f32_p50 = r.hostLatencyUs.p50;
+            const double speedup = r.hostLatencyUs.p50 > 0.0
+                                       ? f32_p50 / r.hostLatencyUs.p50
+                                       : 0.0;
+            table.addRow(
+                {name, tensor::dtypeName(dt),
+                 numfmt::us(r.hostLatencyUs.p50),
+                 dt == tensor::DType::F32 ? std::string("1.00x")
+                                          : strfmt("%.2fx", speedup),
+                 numfmt::mb(r.memory.peakBytes),
+                 strfmt("%s %.4g", r.metricName.c_str(), r.metric),
+                 dt == tensor::DType::F32
+                     ? std::string("-")
+                     : strfmt("%.3g", r.precision.maxAbsErr),
+                 dt == tensor::DType::F32
+                     ? std::string("-")
+                     : strfmt("%.3g", r.precision.relL2Err)});
+        }
+        table.addSeparator();
+    }
+
+    if (jsonl) {
+        jsonl->flush();
+        jsonl.reset();
+    }
+    benchutil::emitTable(table, "precision");
+    benchutil::note(
+        "Speedup is f32 p50 / dtype p50 of the same spec. MaxAbs and "
+        "RelL2 compare the head output element-wise against the "
+        "identically-seeded f32 reference forward. Norms, conv stems "
+        "(<= 3 input channels) and narrow output heads stay f32 (see "
+        "the README support matrix); i8 conv accumulates in int32, "
+        "every other reduced op accumulates in f32.");
+    return 0;
+}
+
+} // namespace
+
+MMBENCH_REGISTER_EXPERIMENT(precision,
+    "Reduced-precision sweep: latency/memory/accuracy per dtype "
+    "(f32/bf16/f16/i8) across all workloads",
+    run);

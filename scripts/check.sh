@@ -12,7 +12,13 @@
 # The subset runs serially (-j1): TSan slows execution ~10x, and the
 # open-loop dispatch tests assert wall-clock dispatch latency that an
 # oversubscribed runner would violate for reasons TSan doesn't care
-# about. The CI matrix runs all three legs.
+# about.
+#
+# SANITIZE=undefined runs the UBSan leg: full ctest under
+# -fsanitize=undefined with -fno-sanitize-recover=all, pointed at the
+# bit-level dtype converters (bf16/f16 shift-and-round, i8
+# quantization) and the rest of the kernel library. The CI matrix
+# runs all four legs.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -45,6 +51,18 @@ if [[ "$SANITIZE" == "thread" ]]; then
     exit 0
 fi
 
+if [[ "$SANITIZE" == "undefined" ]]; then
+    BUILD_DIR="${BUILD_DIR:-build-ubsan}"
+    cmake -B "$BUILD_DIR" -S . \
+        -DCMAKE_BUILD_TYPE=Release \
+        -DMMBENCH_WERROR=ON \
+        -DMMBENCH_UBSAN=ON
+    cmake --build "$BUILD_DIR" -j "$JOBS"
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+    echo "ubsan leg OK"
+    exit 0
+fi
+
 BUILD_DIR="${BUILD_DIR:-build-check}"
 
 cmake -B "$BUILD_DIR" -S . \
@@ -64,6 +82,7 @@ rm -f "$BUILD_DIR"/BENCH_smoke.jsonl "$BUILD_DIR"/BENCH_smoke.csv \
       "$BUILD_DIR"/BENCH_faults.jsonl \
       "$BUILD_DIR"/BENCH_ops_micro.jsonl \
       "$BUILD_DIR"/BENCH_fusion.jsonl \
+      "$BUILD_DIR"/BENCH_precision.jsonl \
       "$BUILD_DIR"/perfdb_fusion.json
 
 # CI smoke run of the kernel microbenchmarks (also exercises the
@@ -264,6 +283,49 @@ print(f"kernel-fusion smoke OK: cold searches={cold['solver']['searches']}, "
       f"fused p50 {fused_p50:.0f} us vs unfused {base_p50:.0f} us")
 EOF
 
+# Reduced-precision leg: every workload under f32/bf16/f16/i8 via the
+# precision experiment. Validated below: all nine workloads emit a
+# bf16 record, every reduced record carries the precision error block,
+# f32 records carry neither a dtype key nor a precision block (the
+# byte-identical default-path contract), and bf16's relative L2 error
+# against the identically-seeded f32 reference stays below 1e-2
+# everywhere — the headline accuracy claim of the dtype axis.
+MMBENCH_NUM_THREADS=4 "$BUILD_DIR/mmbench" fig --id precision --smoke \
+    --json "$BUILD_DIR/BENCH_precision.jsonl"
+
+python3 - "$BUILD_DIR/BENCH_precision.jsonl" <<'EOF'
+import json, sys
+bf16_workloads = {}
+f32 = reduced = 0
+with open(sys.argv[1]) as fh:
+    for line in fh:
+        record = json.loads(line)
+        assert record["schema"] == "mmbench-result-v1"
+        if record.get("kind") == "figure":
+            continue
+        spec = record["spec"]
+        dtype = spec.get("dtype", "f32")
+        if dtype == "f32":
+            f32 += 1
+            assert "dtype" not in spec, "f32 spec must omit the dtype key"
+            assert "precision" not in record, "f32 record grew a precision block"
+            continue
+        reduced += 1
+        prec = record["precision"]
+        assert prec["dtype"] == dtype, (prec["dtype"], dtype)
+        assert prec["max_abs_err"] >= 0 and prec["rel_l2_err"] >= 0
+        if dtype == "bf16":
+            bf16_workloads[record["name"]] = prec["rel_l2_err"]
+assert f32 >= 9 and reduced >= 27, (f32, reduced)
+assert len(bf16_workloads) >= 9, (
+    f"expected bf16 records for all 9 workloads, got {sorted(bf16_workloads)}")
+worst = max(bf16_workloads, key=bf16_workloads.get)
+assert bf16_workloads[worst] < 1e-2, (
+    f"bf16 rel-L2 {bf16_workloads[worst]:.4f} on {worst} breaches 1e-2")
+print(f"precision smoke OK: {len(bf16_workloads)} workloads, "
+      f"worst bf16 rel-L2 {bf16_workloads[worst]:.2e} ({worst})")
+EOF
+
 # Every emitted line must be valid JSON with the shared schema tag;
 # serve records must carry the serve aggregates, open-loop records
 # the queue accounting, and the open-loop sweep a p99 that grows
@@ -271,7 +333,8 @@ EOF
 python3 - "$BUILD_DIR/BENCH_smoke.jsonl" "$BUILD_DIR/BENCH_serve.jsonl" \
     "$BUILD_DIR/BENCH_serve_openloop.jsonl" \
     "$BUILD_DIR/BENCH_serve_pipeline.jsonl" \
-    "$BUILD_DIR/BENCH_ops_micro.jsonl" <<'EOF'
+    "$BUILD_DIR/BENCH_ops_micro.jsonl" \
+    "$BUILD_DIR/BENCH_precision.jsonl" <<'EOF'
 import json, sys
 load_points = []
 for path in sys.argv[1:]:

@@ -32,9 +32,11 @@ Conv2d::forward(const Var &x)
     MM_ASSERT(x.value().ndim() == 4 && x.value().size(1) == inChannels_,
               "Conv2d %s fed input %s", name().c_str(),
               x.value().shape().toString().c_str());
-    // Inference with kernel fusion active routes through the solver
-    // registry (see Linear::forward).
-    if (solver::fusionActive() && !autograd::GradMode::enabled())
+    // Inference with kernel fusion active (or a reduced compute
+    // dtype installed) routes through the solver registry (see
+    // Linear::forward).
+    if ((solver::fusionActive() || tensor::dtypeActive()) &&
+        !autograd::GradMode::enabled())
         return Var(solver::runConv2d(
             x.value(), weight_.value(),
             bias_.defined() ? bias_.value() : Tensor(), stride_, pad_,

@@ -1,5 +1,7 @@
 #include "nn/fuse.hh"
 
+#include <cmath>
+
 #include "core/logging.hh"
 #include "core/string_utils.hh"
 #include "nn/activation.hh"
@@ -48,6 +50,10 @@ patternName(const FusedStep &step)
         return std::string("batchnorm+") + act;
       case FusePattern::LayerNormAct:
         return std::string("layernorm+") + act;
+      case FusePattern::ConvBnAct:
+        return step.actKind == ActKind::None
+                   ? std::string("conv+batchnorm")
+                   : std::string("conv+batchnorm+") + act;
       case FusePattern::None:
         break;
     }
@@ -93,14 +99,34 @@ buildFusionPlan(Sequential &seq)
         } else if (next != nullptr &&
                    dynamic_cast<Conv2d *>(layer) != nullptr &&
                    dynamic_cast<BatchNorm2d *>(next) != nullptr) {
-            // The classic conv+bn+act chain: MIOpen can fold the norm
-            // into the conv weights; this registry cannot (yet), so
-            // say so — the downstream bn+act pair still fuses.
-            plan->report.unsupported.push_back(
-                strfmt("%s after %s: conv+batchnorm folding not "
-                       "supported (the following norm+act pair still "
-                       "fuses)",
-                       next->name().c_str(), layer->name().c_str()));
+            // The classic conv+bn(+act) chain: fold the eval-mode
+            // norm into the conv constants (MIOpen's CBA fusion) so
+            // the whole group plans and executes as one conv solve.
+            // The fold itself is lazy — see ConvBnFold.
+            step.pattern = FusePattern::ConvBnAct;
+            step.conv = static_cast<Conv2d *>(layer);
+            step.bn = static_cast<BatchNorm2d *>(next);
+            step.fold = std::make_shared<ConvBnFold>();
+        }
+
+        if (step.pattern == FusePattern::ConvBnAct) {
+            // conv+bn absorbs two layers, plus a trailing activation
+            // when one follows the norm.
+            Layer *after = (i + 2 < count) ? &seq.layer(i + 2) : nullptr;
+            const ActKind after_act =
+                after ? actKindOf(after) : ActKind::None;
+            int absorbed = 2;
+            if (after_act != ActKind::None) {
+                step.act = after;
+                step.actKind = after_act;
+                absorbed = 3;
+            }
+            plan->report.fusedGroups += 1;
+            plan->report.fusedLayers += absorbed;
+            plan->report.patterns.push_back(patternName(step));
+            plan->steps.push_back(step);
+            i += static_cast<size_t>(absorbed) - 1;
+            continue;
         }
 
         if (step.pattern != FusePattern::None) {
@@ -145,6 +171,43 @@ bool
 fusedPathActive()
 {
     return solver::fusionActive() && !autograd::GradMode::enabled();
+}
+
+/**
+ * (Re)compute the folded conv+bn constants. Caller holds fold.mu.
+ * Per output channel c: scale = gamma/sqrt(var+eps), W' = W*scale,
+ * b' = (conv_bias - mean)*scale + beta. Epsilon-equivalent to the
+ * unfused conv->bn pair, not bitwise (one fewer rounding step).
+ */
+void
+refoldConvBn(ConvBnFold &fold, const Conv2d &conv, const BatchNorm2d &bn)
+{
+    const Tensor &w = conv.weight().value();
+    const int64_t oc = w.size(0);
+    const int64_t per_oc = w.numel() / oc;
+    Tensor wf(w.shape());
+    Tensor bf(Shape{oc});
+    const float *wp = w.data();
+    const float *gamma = bn.gamma().value().data();
+    const float *beta = bn.beta().value().data();
+    const float *mean = bn.runningMean().data();
+    const float *var = bn.runningVar().data();
+    const float *cb =
+        conv.bias().defined() ? conv.bias().value().data() : nullptr;
+    float *wfp = wf.data();
+    float *bfp = bf.data();
+    for (int64_t c = 0; c < oc; ++c) {
+        const float scale = gamma[c] / std::sqrt(var[c] + bn.eps());
+        const float *src = wp + c * per_oc;
+        float *dst = wfp + c * per_oc;
+        for (int64_t j = 0; j < per_oc; ++j)
+            dst[j] = src[j] * scale;
+        bfp[c] = ((cb ? cb[c] : 0.0f) - mean[c]) * scale + beta[c];
+    }
+    fold.weight = wf;
+    fold.bias = bf;
+    fold.statsVersion = bn.statsVersion();
+    fold.valid = true;
 }
 
 } // namespace
@@ -252,6 +315,30 @@ runFusionPlan(const FusionPlan &plan, const Var &x)
                                          step.ln->beta().value(),
                                          step.ln->eps(), step.actKind));
             break;
+          case FusePattern::ConvBnAct: {
+            if (step.bn->training()) {
+                // Batch statistics + running-stat updates can't fold;
+                // run the unfused chain.
+                h = step.conv->forward(h);
+                h = step.bn->forward(h);
+                if (step.act != nullptr)
+                    h = step.act->forward(h);
+                break;
+            }
+            Tensor wf, bf;
+            {
+                std::lock_guard<std::mutex> lock(step.fold->mu);
+                if (!step.fold->valid ||
+                    step.fold->statsVersion != step.bn->statsVersion())
+                    refoldConvBn(*step.fold, *step.conv, *step.bn);
+                wf = step.fold->weight;
+                bf = step.fold->bias;
+            }
+            h = Var(solver::runConv2d(h.value(), wf, bf,
+                                      step.conv->stride(),
+                                      step.conv->pad(), step.actKind));
+            break;
+          }
         }
     }
     return h;

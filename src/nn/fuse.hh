@@ -14,6 +14,7 @@
 #define MMBENCH_NN_FUSE_HH
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,23 @@ enum class FusePattern : uint8_t
     ConvAct,      ///< Conv2d (bias folded) + activation
     BatchNormAct, ///< eval-mode BatchNorm2d + activation
     LayerNormAct, ///< LayerNorm + activation
+    ConvBnAct,    ///< Conv2d + eval BatchNorm2d folded (+ activation)
+};
+
+/**
+ * Lazily folded conv+bn constants (MIOpen's CBA fusion): the eval-mode
+ * batchnorm is absorbed into the conv as W' = W * gamma/sqrt(var+eps)
+ * and b' = (b - mean) * scale + beta. Folded once on first eval
+ * execution and cached; a training forward bumps the BatchNorm2d
+ * stats version, which invalidates the cache on the next eval run.
+ */
+struct ConvBnFold
+{
+    std::mutex mu;
+    bool valid = false;
+    int64_t statsVersion = -1; ///< BatchNorm2d::statsVersion() at fold
+    Tensor weight;             ///< W' (OIHW, same shape as conv weight)
+    Tensor bias;               ///< b' (always defined, length OC)
 };
 
 /** One executable step of a fusion plan. */
@@ -51,6 +69,9 @@ struct FusedStep
     LayerNorm *ln = nullptr;
     Layer *act = nullptr; ///< the activation layer (fallback execution)
     tensor::ActKind actKind = tensor::ActKind::None;
+
+    /** Fold cache, allocated only for ConvBnAct steps. */
+    std::shared_ptr<ConvBnFold> fold;
 };
 
 /** What the planner found (the MIOpen-style explicit fusion report). */

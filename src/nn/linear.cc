@@ -29,10 +29,13 @@ Linear::forward(const Var &x)
     MM_ASSERT(x.value().size(-1) == inFeatures_,
               "Linear %s fed input %s", name().c_str(),
               x.value().shape().toString().c_str());
-    // Inference with kernel fusion active routes through the solver
-    // registry (single GEMM+bias pass; deterministic with autotune
-    // off, where the default candidate matches this exact dispatch).
-    if (solver::fusionActive() && !autograd::GradMode::enabled())
+    // Inference with kernel fusion active (or a reduced compute dtype
+    // installed) routes through the solver registry (single GEMM+bias
+    // pass; deterministic with autotune off, where the default
+    // candidate matches this exact dispatch — or, under a reduced
+    // dtype, the leading per-dtype candidate).
+    if ((solver::fusionActive() || tensor::dtypeActive()) &&
+        !autograd::GradMode::enabled())
         return Var(solver::runLinear(
             x.value(), weight_.value(),
             bias_.defined() ? bias_.value() : Tensor(),

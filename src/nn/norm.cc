@@ -19,6 +19,8 @@ BatchNorm2d::BatchNorm2d(int64_t channels, float momentum, float eps)
 Var
 BatchNorm2d::forward(const Var &x)
 {
+    if (training())
+        ++statsVersion_;
     return autograd::batchnorm2d(x, gamma_, beta_, runningMean_,
                                  runningVar_, training(), momentum_, eps_);
 }

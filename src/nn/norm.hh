@@ -23,6 +23,13 @@ class BatchNorm2d : public Layer
     const Tensor &runningMean() const { return runningMean_; }
     const Tensor &runningVar() const { return runningVar_; }
 
+    /**
+     * Bumped on every training-mode forward (running stats change).
+     * Lets the conv+bn fold cache detect stale folded weights after a
+     * train -> eval transition without refolding every step.
+     */
+    int64_t statsVersion() const { return statsVersion_; }
+
     /** Parameters (for the fused eval-mode solver path). @{ */
     float eps() const { return eps_; }
     const Var &gamma() const { return gamma_; }
@@ -36,6 +43,7 @@ class BatchNorm2d : public Layer
     Var beta_;
     Tensor runningMean_;
     Tensor runningVar_;
+    int64_t statsVersion_ = 0;
 };
 
 /** Layer normalization over the last dimension. */

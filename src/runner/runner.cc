@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <thread>
 
 #include "autograd/optim.hh"
@@ -166,6 +167,36 @@ runInfer(const RunSpec &spec, models::MultiModalWorkload &workload,
         autograd::Var out = workload.forward(batch);
         result->metric = workload.metric(out.value(), batch.targets);
         result->hasMetric = true;
+
+        // Reduced-precision run: compare this output element-wise
+        // against the f32 reference forward of the same weights and
+        // batch (the nested scope restores the reduced dtype on exit).
+        if (tensor::dtypeActive()) {
+            const tensor::Tensor reduced = out.value();
+            tensor::Tensor reference;
+            {
+                tensor::DTypeScope f32_scope(tensor::DType::F32);
+                reference = workload.forward(batch).value();
+            }
+            const float *r = reduced.data();
+            const float *f = reference.data();
+            const int64_t n = reference.numel();
+            double max_abs = 0.0, diff2 = 0.0, ref2 = 0.0;
+            for (int64_t i = 0; i < n; ++i) {
+                const double d = static_cast<double>(r[i]) -
+                                 static_cast<double>(f[i]);
+                max_abs = std::max(max_abs, std::fabs(d));
+                diff2 += d * d;
+                ref2 += static_cast<double>(f[i]) *
+                        static_cast<double>(f[i]);
+            }
+            result->precision.active = true;
+            result->precision.dtype =
+                tensor::dtypeName(tensor::activeDType());
+            result->precision.maxAbsErr = max_abs;
+            result->precision.relL2Err =
+                ref2 > 0.0 ? std::sqrt(diff2 / ref2) : std::sqrt(diff2);
+        }
     }
 }
 
@@ -643,6 +674,14 @@ runOne(const RunSpec &spec)
         solver_guard =
             std::make_unique<solver::ScopedConfig>(solver_config);
     }
+
+    // Reduced compute dtype: installed for the whole run, before any
+    // worker threads start (activeDType is a plain process global,
+    // same publication rule as the solver config). A default (f32)
+    // spec installs nothing.
+    std::unique_ptr<tensor::DTypeScope> dtype_guard;
+    if (spec.dtype != tensor::DType::F32)
+        dtype_guard = std::make_unique<tensor::DTypeScope>(spec.dtype);
 
     RunResult result;
     fillCommon(&result, spec, *workload);

@@ -111,6 +111,10 @@ RunResult::toJson() const
         if (!spec.perfdb.empty())
             spec_json.set("perfdb", spec.perfdb);
     }
+    // Compute dtype (additive v1 field, non-default only: the f32
+    // record stays byte-identical).
+    if (spec.dtype != tensor::DType::F32)
+        spec_json.set("dtype", tensor::dtypeName(spec.dtype));
     obj.set("spec", std::move(spec_json));
 
     obj.set("latency_us", hostLatencyUs.toJson());
@@ -218,6 +222,16 @@ RunResult::toJson() const
             unsupported_json.push(entry);
         solver_json.set("unsupported", std::move(unsupported_json));
         obj.set("solver", std::move(solver_json));
+    }
+
+    // Output-error accounting (additive; only present for reduced-
+    // precision runs, so f32 records stay byte-identical).
+    if (precision.active) {
+        core::JsonValue precision_json = core::JsonValue::object();
+        precision_json.set("dtype", precision.dtype);
+        precision_json.set("max_abs_err", precision.maxAbsErr);
+        precision_json.set("rel_l2_err", precision.relL2Err);
+        obj.set("precision", std::move(precision_json));
     }
 
     core::JsonValue mem = core::JsonValue::object();

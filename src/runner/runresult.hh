@@ -160,6 +160,20 @@ struct SolverStats
     std::vector<std::string> unsupported;
 };
 
+/**
+ * Output-error accounting of a reduced-precision run (spec.dtype !=
+ * f32, infer mode): the workload's head output under the reduced
+ * dtype compared element-wise against an identically-seeded f32
+ * reference forward. Emitted as the conditional "precision" object.
+ */
+struct PrecisionStats
+{
+    bool active = false;  ///< a non-f32 dtype governed this run
+    std::string dtype = "f32";
+    double maxAbsErr = 0.0; ///< max |reduced - f32| over the output
+    double relL2Err = 0.0;  ///< ||reduced - f32||_2 / ||f32||_2
+};
+
 /** Peak memory accounting of the run. */
 struct MemoryUse
 {
@@ -213,6 +227,8 @@ struct RunResult
     ServeStats serve;
     /** Solver-registry counters (kernel fusion runs only). */
     SolverStats solver;
+    /** Output error vs f32 (reduced-precision infer runs only). */
+    PrecisionStats precision;
     MemoryUse memory;
 
     std::string metricName; ///< "Acc." / "F-1" / "MSE" / "DSC"

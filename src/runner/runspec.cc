@@ -166,6 +166,10 @@ RunSpec::toArgs() const
         args.push_back("--perfdb");
         args.push_back(perfdb);
     }
+    if (dtype != tensor::DType::F32) {
+        args.push_back("--dtype");
+        args.push_back(tensor::dtypeName(dtype));
+    }
     return args;
 }
 
@@ -198,6 +202,8 @@ RunSpec::toString() const
                        solver::autotuneModeName(autotune));
     if (!perfdb.empty())
         text += strfmt(" perfdb=%s", perfdb.c_str());
+    if (dtype != tensor::DType::F32)
+        text += strfmt(" dtype=%s", tensor::dtypeName(dtype));
     return text;
 }
 
@@ -297,6 +303,14 @@ parseSpecFlags(const std::vector<std::string> &args, RunSpec *spec,
                 return false;
             }
             spec->perfdb = value;
+        } else if (flag == "--dtype") {
+            tensor::DType dt;
+            if (!tensor::tryParseDType(value, &dt)) {
+                *error = strfmt("unknown --dtype '%s' (expected f32, "
+                                "bf16, f16 or i8)", value.c_str());
+                return false;
+            }
+            spec->dtype = dt;
         } else if (flag == "--mode") {
             const std::string m = toLower(value);
             if (m == "infer") {
@@ -644,6 +658,19 @@ parseSpecFlags(const std::vector<std::string> &args, RunSpec *spec,
             return false;
         }
     }
+    if (spec->mode == RunMode::Train &&
+        (spec->dtype == tensor::DType::I8 ||
+         spec->dtype == tensor::DType::F16)) {
+        // i8/f16 have no backward kernels and no master-weight story;
+        // rejecting the combination keeps every emitted record honest.
+        // bf16 is allowed: training keeps f32 master weights and only
+        // the eval passes reduce.
+        *error = strfmt("--dtype %s is inference-only; use --mode "
+                        "infer/serve, or --dtype bf16 (f32 master "
+                        "weights) for reduced-precision training",
+                        tensor::dtypeName(spec->dtype));
+        return false;
+    }
     if (spec->autotune == solver::AutotuneMode::Force) {
         // Force always re-searches and re-writes the perf-db, so an
         // unwritable existing db can only end in lost results — fail
@@ -717,11 +744,13 @@ parseRunSpecs(const std::vector<std::string> &args,
     std::vector<std::string> threads = {""};
     std::vector<std::string> scales = {""};
     std::vector<std::string> rates = {""};
+    std::vector<std::string> dtypes = {""};
     std::vector<std::string> rest;
     for (size_t i = 0; i < args.size(); ++i) {
         const std::string &flag = args[i];
         const bool sweepable = flag == "--batch" || flag == "--threads" ||
-                               flag == "--scale" || flag == "--rate";
+                               flag == "--scale" || flag == "--rate" ||
+                               flag == "--dtype";
         if (!sweepable) {
             rest.push_back(flag);
             continue;
@@ -749,37 +778,47 @@ parseRunSpecs(const std::vector<std::string> &args,
             threads = values;
         else if (flag == "--scale")
             scales = values;
-        else
+        else if (flag == "--rate")
             rates = values;
+        else
+            dtypes = values;
     }
 
     // Cross-product, batch-major: every sink sees batches grouped
-    // together, then threads, then scales, then offered rates.
+    // together, then threads, then scales, then offered rates, then
+    // dtypes (innermost, so precision variants of one configuration
+    // land adjacent in the stream).
     for (const std::string &b : batches) {
         for (const std::string &t : threads) {
             for (const std::string &s : scales) {
                 for (const std::string &r : rates) {
-                    std::vector<std::string> single = rest;
-                    if (!b.empty()) {
-                        single.push_back("--batch");
-                        single.push_back(b);
+                    for (const std::string &d : dtypes) {
+                        std::vector<std::string> single = rest;
+                        if (!b.empty()) {
+                            single.push_back("--batch");
+                            single.push_back(b);
+                        }
+                        if (!t.empty()) {
+                            single.push_back("--threads");
+                            single.push_back(t);
+                        }
+                        if (!s.empty()) {
+                            single.push_back("--scale");
+                            single.push_back(s);
+                        }
+                        if (!r.empty()) {
+                            single.push_back("--rate");
+                            single.push_back(r);
+                        }
+                        if (!d.empty()) {
+                            single.push_back("--dtype");
+                            single.push_back(d);
+                        }
+                        RunSpec spec;
+                        if (!parseRunSpec(single, &spec, error))
+                            return false;
+                        specs->push_back(std::move(spec));
                     }
-                    if (!t.empty()) {
-                        single.push_back("--threads");
-                        single.push_back(t);
-                    }
-                    if (!s.empty()) {
-                        single.push_back("--scale");
-                        single.push_back(s);
-                    }
-                    if (!r.empty()) {
-                        single.push_back("--rate");
-                        single.push_back(r);
-                    }
-                    RunSpec spec;
-                    if (!parseRunSpec(single, &spec, error))
-                        return false;
-                    specs->push_back(std::move(spec));
                 }
             }
         }

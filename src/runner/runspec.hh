@@ -6,7 +6,7 @@
  * (serve mode) concurrency. One RunSpec fully determines a run; the
  * mmbench CLI parses its flags into a RunSpec and the flags round-trip
  * through toArgs(). Comma-separated sweep values on --batch/--threads/
- * --scale expand into the cross-product of RunSpecs via
+ * --scale/--rate/--dtype expand into the cross-product of RunSpecs via
  * parseRunSpecs().
  */
 
@@ -22,6 +22,7 @@
 #include "pipeline/serve.hh"
 #include "sim/device.hh"
 #include "solver/config.hh"
+#include "tensor/dtype.hh"
 
 namespace mmbench {
 namespace runner {
@@ -110,6 +111,16 @@ struct RunSpec
     /** Perf-db path override; "" = $MMBENCH_PERFDB or the default. */
     std::string perfdb;
 
+    /**
+     * Compute dtype (`--dtype f32|bf16|f16|i8`). Non-f32 routes
+     * eval-mode Linear/Conv2d through the per-dtype solver candidates
+     * and records output error vs the f32 reference. i8 and f16 are
+     * inference-only (rejected with --mode train at parse time); bf16
+     * trains with f32 master weights — only the eval passes reduce.
+     * f32 (the default) leaves every pre-existing path untouched.
+     */
+    tensor::DType dtype = tensor::DType::F32;
+
     /** Total requests a serve run issues (resolves requests == 0). */
     int serveRequests() const
     {
@@ -132,7 +143,7 @@ struct RunSpec
  * "--device", "--sched", "--inflight", "--requests", "--arrival",
  * "--rate", "--batcher", "--max-batch", "--batch-wait-us",
  * "--classes", "--pipeline", "--faults", "--queue-cap",
- * "--deadline-ms", "--retries", "--shed") into *spec. "--coalesce N"
+ * "--deadline-ms", "--retries", "--shed", "--dtype") into *spec. "--coalesce N"
  * is accepted as a deprecated alias for "--batcher static
  * --max-batch N" (a parse-time warning is printed; combining it with
  * "--batcher continuous" is rejected).
@@ -154,9 +165,9 @@ bool parseRunSpecTemplate(const std::vector<std::string> &args,
 
 /**
  * Sweep-aware parse: comma-separated lists on --batch, --threads,
- * --scale and --rate expand into the cross-product of RunSpecs
- * (batch-major, then threads, then scale, then rate). A plain spec
- * yields exactly one entry.
+ * --scale, --rate and --dtype expand into the cross-product of
+ * RunSpecs (batch-major, then threads, then scale, then rate, then
+ * dtype). A plain spec yields exactly one entry.
  */
 bool parseRunSpecs(const std::vector<std::string> &args,
                    std::vector<RunSpec> *specs, std::string *error);

@@ -9,26 +9,27 @@ std::string
 ProblemDesc::key() const
 {
     const char *act_name = tensor::actKindName(act);
+    const char *dt_name = tensor::dtypeName(dtype);
     switch (kind) {
       case ProblemKind::Gemm:
-        return strfmt("gemm:f32:b%lld:m%lld:k%lld:n%lld:act=%s:bias=%d:t%d",
-                      static_cast<long long>(batch),
+        return strfmt("gemm:%s:b%lld:m%lld:k%lld:n%lld:act=%s:bias=%d:t%d",
+                      dt_name, static_cast<long long>(batch),
                       static_cast<long long>(m), static_cast<long long>(k),
                       static_cast<long long>(n), act_name, hasBias ? 1 : 0,
                       threads);
       case ProblemKind::Conv2d:
-        return strfmt("conv:f32:n%lld:c%lld:h%lld:w%lld:oc%lld:k%dx%d:"
+        return strfmt("conv:%s:n%lld:c%lld:h%lld:w%lld:oc%lld:k%dx%d:"
                       "s%d:p%d:act=%s:bias=%d:t%d",
-                      static_cast<long long>(batch),
+                      dt_name, static_cast<long long>(batch),
                       static_cast<long long>(c), static_cast<long long>(h),
                       static_cast<long long>(w), static_cast<long long>(oc),
                       kh, kw, stride, pad, act_name, hasBias ? 1 : 0,
                       threads);
       case ProblemKind::NormAct:
-        return strfmt("%s:f32:rows%lld:dim%lld:act=%s:t%d",
+        return strfmt("%s:%s:rows%lld:dim%lld:act=%s:t%d",
                       norm == NormKind::LayerNorm ? "layernorm"
                                                   : "batchnorm",
-                      static_cast<long long>(rows),
+                      dt_name, static_cast<long long>(rows),
                       static_cast<long long>(dim), act_name, threads);
     }
     return "unknown";

@@ -46,6 +46,14 @@ struct ProblemDesc
     tensor::ActKind act = tensor::ActKind::None;
     bool hasBias = false;
 
+    /**
+     * Compute dtype of the problem. The f32 solvers only apply to F32
+     * problems; reduced problems resolve to the per-dtype candidates,
+     * and the dtype is part of the perf-db key, so a stale f32 entry
+     * is never served for a bf16 problem (or vice versa).
+     */
+    tensor::DType dtype = tensor::DType::F32;
+
     // Gemm: per-batch (m, k) x (k, n); batch-folded row count in m.
     int64_t batch = 1;
     int64_t m = 0, k = 0, n = 0;
@@ -62,8 +70,8 @@ struct ProblemDesc
     int threads = 0;
 
     /**
-     * Canonical perf-db key: kind, dtype (f32 today), every meaningful
-     * shape field, epilogue, and thread count.
+     * Canonical perf-db key: kind, dtype, every meaningful shape
+     * field, epilogue, and thread count.
      */
     std::string key() const;
 

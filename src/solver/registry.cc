@@ -27,6 +27,20 @@ using tensor::Tensor;
  */
 constexpr int64_t kDirectCandidateMacLimit = 1 << 22;
 
+/**
+ * GEMMs narrower than this many output features stay f32 even under a
+ * reduced compute dtype: they are the logits / regression heads (the
+ * "last layer stays full precision" quantization rule).
+ */
+constexpr int64_t kMinReducedHeadN = 16;
+
+/**
+ * Convs reading at most this many input channels are the stem on raw
+ * sensor data and stay f32 (the "first layer stays full precision"
+ * quantization rule).
+ */
+constexpr int64_t kMaxF32StemChannels = 3;
+
 /** Production GEMM heuristic (blocked with a tiny-shape direct path). */
 class GemmAutoSolver : public Solver
 {
@@ -34,7 +48,8 @@ class GemmAutoSolver : public Solver
     const char *name() const override { return "gemm_auto"; }
     bool isApplicable(const ProblemDesc &desc) const override
     {
-        return desc.kind == ProblemKind::Gemm && desc.m >= 1 &&
+        return desc.kind == ProblemKind::Gemm &&
+               desc.dtype == tensor::DType::F32 && desc.m >= 1 &&
                desc.k >= 1 && desc.n >= 1;
     }
     Tensor solve(const ProblemDesc &desc,
@@ -52,7 +67,8 @@ class GemmDirectSolver : public Solver
     const char *name() const override { return "gemm_direct"; }
     bool isApplicable(const ProblemDesc &desc) const override
     {
-        return desc.kind == ProblemKind::Gemm && desc.m >= 1 &&
+        return desc.kind == ProblemKind::Gemm &&
+               desc.dtype == tensor::DType::F32 && desc.m >= 1 &&
                desc.k >= 1 && desc.n >= 1 &&
                desc.macs() <= kDirectCandidateMacLimit;
     }
@@ -71,7 +87,8 @@ class ConvAutoSolver : public Solver
     const char *name() const override { return "conv_auto"; }
     bool isApplicable(const ProblemDesc &desc) const override
     {
-        return desc.kind == ProblemKind::Conv2d;
+        return desc.kind == ProblemKind::Conv2d &&
+               desc.dtype == tensor::DType::F32;
     }
     Tensor solve(const ProblemDesc &desc,
                  const ProblemArgs &args) const override
@@ -88,7 +105,8 @@ class ConvIm2colSolver : public Solver
     const char *name() const override { return "conv_im2col"; }
     bool isApplicable(const ProblemDesc &desc) const override
     {
-        return desc.kind == ProblemKind::Conv2d;
+        return desc.kind == ProblemKind::Conv2d &&
+               desc.dtype == tensor::DType::F32;
     }
     Tensor solve(const ProblemDesc &desc,
                  const ProblemArgs &args) const override
@@ -106,6 +124,7 @@ class ConvDirectSolver : public Solver
     bool isApplicable(const ProblemDesc &desc) const override
     {
         return desc.kind == ProblemKind::Conv2d &&
+               desc.dtype == tensor::DType::F32 &&
                desc.macs() <= kDirectCandidateMacLimit;
     }
     Tensor solve(const ProblemDesc &desc,
@@ -124,6 +143,7 @@ class LayerNormActSolver : public Solver
     bool isApplicable(const ProblemDesc &desc) const override
     {
         return desc.kind == ProblemKind::NormAct &&
+               desc.dtype == tensor::DType::F32 &&
                desc.norm == NormKind::LayerNorm;
     }
     Tensor solve(const ProblemDesc &desc,
@@ -142,6 +162,7 @@ class BatchNormEvalActSolver : public Solver
     bool isApplicable(const ProblemDesc &desc) const override
     {
         return desc.kind == ProblemKind::NormAct &&
+               desc.dtype == tensor::DType::F32 &&
                desc.norm == NormKind::BatchNormEval;
     }
     Tensor solve(const ProblemDesc &desc,
@@ -151,6 +172,151 @@ class BatchNormEvalActSolver : public Solver
                                           *args.mean, *args.var, args.eps,
                                           desc.act);
     }
+};
+
+using tensor::DType;
+
+/**
+ * Cast-both reduced GEMM: the activation is lowered to the problem
+ * dtype per call and the weight cast is cached, so both GEMM operands
+ * move at reduced width (the bandwidth-win flavor).
+ */
+class GemmDtSolver : public Solver
+{
+  public:
+    explicit GemmDtSolver(DType dt) : dt_(dt) {}
+    const char *name() const override
+    {
+        switch (dt_) {
+          case DType::BF16: return "gemm_bf16";
+          case DType::F16:  return "gemm_f16";
+          case DType::I8:   return "gemm_i8";
+          case DType::F32:  break;
+        }
+        return "gemm_auto";
+    }
+    bool isApplicable(const ProblemDesc &desc) const override
+    {
+        return desc.kind == ProblemKind::Gemm && desc.dtype == dt_ &&
+               desc.m >= 1 && desc.k >= 1 && desc.n >= 1;
+    }
+    Tensor solve(const ProblemDesc &desc,
+                 const ProblemArgs &args) const override
+    {
+        const Tensor xq = tensor::castTo(*args.x, dt_);
+        const Tensor wq = tensor::castWeightCached(*args.w, dt_);
+        return tensor::linearActDt(xq, wq, *args.bias, desc.act);
+    }
+
+  private:
+    DType dt_;
+};
+
+/**
+ * Mixed-input reduced GEMM: the activation stays f32 (no per-call
+ * cast) and only the cached weight is reduced. Cheaper for small
+ * batches, where the activation cast dominates.
+ */
+class GemmDtMixedSolver : public Solver
+{
+  public:
+    explicit GemmDtMixedSolver(DType dt) : dt_(dt) {}
+    const char *name() const override
+    {
+        switch (dt_) {
+          case DType::BF16: return "gemm_bf16_mixed";
+          case DType::F16:  return "gemm_f16_mixed";
+          case DType::I8:   return "gemm_i8_mixed";
+          case DType::F32:  break;
+        }
+        return "gemm_auto";
+    }
+    bool isApplicable(const ProblemDesc &desc) const override
+    {
+        return desc.kind == ProblemKind::Gemm && desc.dtype == dt_ &&
+               desc.m >= 1 && desc.k >= 1 && desc.n >= 1;
+    }
+    Tensor solve(const ProblemDesc &desc,
+                 const ProblemArgs &args) const override
+    {
+        const Tensor wq = tensor::castWeightCached(*args.w, dt_);
+        return tensor::linearActDt(*args.x, wq, *args.bias, desc.act);
+    }
+
+  private:
+    DType dt_;
+};
+
+/**
+ * Reduced conv with a lowered input: the im2col columns carry the
+ * reduced payload (i8 quantizes both sides and accumulates in i32).
+ */
+class ConvDtSolver : public Solver
+{
+  public:
+    explicit ConvDtSolver(DType dt) : dt_(dt) {}
+    const char *name() const override
+    {
+        switch (dt_) {
+          case DType::BF16: return "conv_bf16";
+          case DType::F16:  return "conv_f16";
+          case DType::I8:   return "conv_i8";
+          case DType::F32:  break;
+        }
+        return "conv_auto";
+    }
+    bool isApplicable(const ProblemDesc &desc) const override
+    {
+        return desc.kind == ProblemKind::Conv2d && desc.dtype == dt_;
+    }
+    Tensor solve(const ProblemDesc &desc,
+                 const ProblemArgs &args) const override
+    {
+        const Tensor wq = tensor::castWeightCached(*args.w, dt_);
+        return tensor::conv2dActDt(*args.x, wq, *args.bias, desc.stride,
+                                   desc.pad, desc.act,
+                                   /*cast_input=*/true);
+    }
+
+  private:
+    DType dt_;
+};
+
+/**
+ * Weights-only reduced conv: f32 im2col columns x reduced weights
+ * (skips the input cast; not available for i8, whose i32 path needs
+ * both operands quantized).
+ */
+class ConvDtMixedSolver : public Solver
+{
+  public:
+    explicit ConvDtMixedSolver(DType dt) : dt_(dt) {}
+    const char *name() const override
+    {
+        switch (dt_) {
+          case DType::BF16: return "conv_bf16_w";
+          case DType::F16:  return "conv_f16_w";
+          case DType::I8:
+          case DType::F32:  break;
+        }
+        return "conv_auto";
+    }
+    bool isApplicable(const ProblemDesc &desc) const override
+    {
+        return desc.kind == ProblemKind::Conv2d && desc.dtype == dt_ &&
+               dt_ != DType::I8;
+    }
+    Tensor solve(const ProblemDesc &desc,
+                 const ProblemArgs &args) const override
+    {
+        const Tensor wq = tensor::castWeightCached(*args.w, dt_);
+        return tensor::conv2dActDt(*args.x, wq, *args.bias, desc.stride,
+                                   desc.pad, desc.act,
+                                   /*cast_input=*/false);
+    }
+
+  private:
+    DType dt_;
 };
 
 } // namespace
@@ -167,6 +333,26 @@ Registry::Registry()
     solvers_.push_back(std::unique_ptr<Solver>(new ConvDirectSolver()));
     solvers_.push_back(std::unique_ptr<Solver>(new LayerNormActSolver()));
     solvers_.push_back(std::unique_ptr<Solver>(new BatchNormEvalActSolver()));
+    // Reduced-precision candidates. Two flavors per dtype (cast-both
+    // vs mixed/weights-only) give autotune a genuine search space; i8
+    // conv has a single lowering (i32 needs both operands quantized).
+    // For GEMM the mixed flavor leads: deep Linear chains (the MLP
+    // workloads) re-round the activations at every layer under
+    // cast-both, compounding to rel-L2 > 1e-2, while f32 activations
+    // x reduced weights stay well inside the accuracy bar and skip
+    // the per-call activation cast. For conv the cast-both flavor
+    // leads: the im2col columns dominate the GEMM-operand bandwidth
+    // (the actual speedup lever) and conv stacks are shallow enough
+    // that the extra rounding stays harmless.
+    for (DType dt : {DType::BF16, DType::F16, DType::I8}) {
+        solvers_.push_back(
+            std::unique_ptr<Solver>(new GemmDtMixedSolver(dt)));
+        solvers_.push_back(std::unique_ptr<Solver>(new GemmDtSolver(dt)));
+        solvers_.push_back(std::unique_ptr<Solver>(new ConvDtSolver(dt)));
+        if (dt != DType::I8)
+            solvers_.push_back(
+                std::unique_ptr<Solver>(new ConvDtMixedSolver(dt)));
+    }
 }
 
 Registry &
@@ -326,11 +512,19 @@ runLinear(const Tensor &x, const Tensor &w, const Tensor &bias, ActKind act)
     desc.kind = ProblemKind::Gemm;
     desc.act = act;
     desc.hasBias = bias.defined();
+    desc.dtype = tensor::activeDType();
     desc.k = x.size(-1);
     desc.n = w.size(1);
     desc.m = x.numel() / desc.k;
     desc.batch = 1;
     desc.threads = core::numThreads();
+    // Output-head exception (the standard quantization rule: first and
+    // last layers stay full precision). A narrow-N GEMM is a logits /
+    // regression head whose few output elements carry the whole task
+    // metric — reduced rounding there dominates rel-L2 while saving
+    // nothing (the weight payload is K x N-tiny). Keep it f32.
+    if (desc.n < kMinReducedHeadN)
+        desc.dtype = tensor::DType::F32;
 
     ProblemArgs args;
     args.x = &x;
@@ -347,6 +541,7 @@ runConv2d(const Tensor &x, const Tensor &w, const Tensor &bias, int stride,
     desc.kind = ProblemKind::Conv2d;
     desc.act = act;
     desc.hasBias = bias.defined();
+    desc.dtype = tensor::activeDType();
     desc.batch = x.size(0);
     desc.c = x.size(1);
     desc.h = x.size(2);
@@ -357,6 +552,14 @@ runConv2d(const Tensor &x, const Tensor &w, const Tensor &bias, int stride,
     desc.stride = stride;
     desc.pad = pad;
     desc.threads = core::numThreads();
+    // First-layer exception (the twin of runLinear's head rule): a
+    // conv reading <= 3 channels is the stem on raw sensor input.
+    // Rounding the input before any learned redundancy exists injects
+    // error that every downstream layer amplifies, and a 3-channel
+    // im2col moves too few bytes for reduced width to matter. Keep
+    // the stem f32.
+    if (desc.c <= kMaxF32StemChannels)
+        desc.dtype = tensor::DType::F32;
 
     ProblemArgs args;
     args.x = &x;

@@ -1,0 +1,69 @@
+#include "tensor/dtype.hh"
+
+namespace mmbench {
+namespace tensor {
+
+namespace {
+
+DType g_active_dtype = DType::F32;
+
+} // namespace
+
+const char *
+dtypeName(DType dt)
+{
+    switch (dt) {
+    case DType::BF16:
+        return "bf16";
+    case DType::F16:
+        return "f16";
+    case DType::I8:
+        return "i8";
+    case DType::F32:
+    default:
+        return "f32";
+    }
+}
+
+bool
+tryParseDType(const std::string &text, DType *out)
+{
+    if (text == "f32" || text == "fp32" || text == "float32") {
+        *out = DType::F32;
+        return true;
+    }
+    if (text == "bf16" || text == "bfloat16") {
+        *out = DType::BF16;
+        return true;
+    }
+    if (text == "f16" || text == "fp16" || text == "float16") {
+        *out = DType::F16;
+        return true;
+    }
+    if (text == "i8" || text == "int8") {
+        *out = DType::I8;
+        return true;
+    }
+    return false;
+}
+
+DType
+activeDType()
+{
+    return g_active_dtype;
+}
+
+DTypeScope::DTypeScope(DType dt) : prev_(g_active_dtype)
+{
+    g_active_dtype = dt;
+    clearDtypeCastCache();
+}
+
+DTypeScope::~DTypeScope()
+{
+    g_active_dtype = prev_;
+    clearDtypeCastCache();
+}
+
+} // namespace tensor
+} // namespace mmbench

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Reduced-precision element types for the tensor layer.
+ *
+ * The benchmark's default numeric type stays float32; bf16 / f16 / i8
+ * exist as an explicit opt-in axis (the runner's `--dtype` flag).
+ * Reduced-precision payloads pack into the existing float-sized arena
+ * buckets, and every compute kernel accumulates in f32 (i8 conv
+ * forward accumulates in i32 — see ops.hh), following the MIOpen
+ * support-matrix approach: a core op set is fully supported, the rest
+ * documented as f32 fallbacks.
+ *
+ * The scalar conversions below are branch-explicit and shift-safe on
+ * purpose: they are exactly the code UndefinedBehaviorSanitizer is
+ * pointed at by the CI `undefined` leg.
+ */
+
+#ifndef MMBENCH_TENSOR_DTYPE_HH
+#define MMBENCH_TENSOR_DTYPE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace mmbench {
+namespace tensor {
+
+/** Element type of a Storage buffer. F32 is the default everywhere. */
+enum class DType : uint8_t {
+    F32 = 0, ///< IEEE binary32 (the seed's only type)
+    BF16,    ///< bfloat16: f32 with the low 16 mantissa bits dropped
+    F16,     ///< IEEE binary16
+    I8,      ///< int8 with a symmetric per-tensor scale (maxAbs / 127)
+};
+
+/** Canonical lowercase name: "f32", "bf16", "f16", "i8". */
+const char *dtypeName(DType dt);
+
+/** Parse a canonical name; returns false (out untouched) on junk. */
+bool tryParseDType(const std::string &text, DType *out);
+
+/** Bytes per element. */
+inline int
+dtypeBytes(DType dt)
+{
+    switch (dt) {
+    case DType::BF16:
+    case DType::F16:
+        return 2;
+    case DType::I8:
+        return 1;
+    case DType::F32:
+    default:
+        return 4;
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Scalar conversions                                                  */
+/* ------------------------------------------------------------------ */
+
+/** f32 -> bf16 with round-to-nearest-even; NaN stays (quiet) NaN. */
+inline uint16_t
+f32ToBf16(float v)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    if ((bits & 0x7F800000u) == 0x7F800000u && (bits & 0x007FFFFFu) != 0u)
+        return static_cast<uint16_t>((bits >> 16) | 0x0040u);
+    const uint32_t rounding = 0x7FFFu + ((bits >> 16) & 1u);
+    bits += rounding;
+    return static_cast<uint16_t>(bits >> 16);
+}
+
+inline float
+bf16ToF32(uint16_t v)
+{
+    const uint32_t bits = static_cast<uint32_t>(v) << 16;
+    float out;
+    std::memcpy(&out, &bits, sizeof(out));
+    return out;
+}
+
+/**
+ * f32 -> IEEE binary16 with round-to-nearest-even. Overflow saturates
+ * to +-inf, values below the smallest subnormal round to +-0, and
+ * float subnormals (all < 2^-126) flush to +-0.
+ */
+inline uint16_t
+f32ToF16(float v)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    const uint16_t sign = static_cast<uint16_t>((bits >> 16) & 0x8000u);
+    const uint32_t abs = bits & 0x7FFFFFFFu;
+
+    if (abs >= 0x7F800000u) {
+        if (abs == 0x7F800000u)
+            return static_cast<uint16_t>(sign | 0x7C00u);
+        return static_cast<uint16_t>(sign | 0x7E00u); // quiet NaN
+    }
+    if (abs >= 0x47800000u) // >= 2^16: past the largest finite half
+        return static_cast<uint16_t>(sign | 0x7C00u);
+    if (abs >= 0x38800000u) {
+        // Normal half: rebias exponent (127 -> 15), round 23 -> 10
+        // mantissa bits. A mantissa carry walks into the exponent
+        // field, which is exactly the right encoding (including the
+        // 65504 -> inf boundary).
+        const uint32_t exp = (abs >> 23) - 112u;
+        const uint32_t mant = abs & 0x007FFFFFu;
+        uint32_t half = (exp << 10) | (mant >> 13);
+        const uint32_t rem = mant & 0x1FFFu;
+        if (rem > 0x1000u || (rem == 0x1000u && (half & 1u) != 0u))
+            ++half;
+        return static_cast<uint16_t>(sign | half);
+    }
+    if (abs < 0x33000000u) // < 2^-25: rounds to zero
+        return sign;
+    // Subnormal half: round(value / 2^-24) with the implicit bit
+    // restored. shift is in [14, 24] so the halfway constant is safe.
+    const uint32_t mant = (abs & 0x007FFFFFu) | 0x00800000u;
+    const int shift = 126 - static_cast<int>(abs >> 23);
+    uint32_t half = mant >> shift;
+    const uint32_t rem = mant & ((1u << shift) - 1u);
+    const uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half & 1u) != 0u))
+        ++half;
+    return static_cast<uint16_t>(sign | half);
+}
+
+inline float
+f16ToF32(uint16_t v)
+{
+    const uint32_t sign = static_cast<uint32_t>(v & 0x8000u) << 16;
+    const uint32_t exp = (static_cast<uint32_t>(v) >> 10) & 0x1Fu;
+    const uint32_t mant = static_cast<uint32_t>(v) & 0x3FFu;
+    uint32_t bits;
+    if (exp == 0x1Fu) {
+        bits = sign | 0x7F800000u | (mant << 13);
+    } else if (exp != 0u) {
+        bits = sign | ((exp + 112u) << 23) | (mant << 13);
+    } else if (mant != 0u) {
+        // Subnormal half: normalize into a float exponent.
+        uint32_t m = mant;
+        uint32_t e = 113u;
+        while ((m & 0x400u) == 0u) {
+            m <<= 1;
+            --e;
+        }
+        bits = sign | (e << 23) | ((m & 0x3FFu) << 13);
+    } else {
+        bits = sign;
+    }
+    float out;
+    std::memcpy(&out, &bits, sizeof(out));
+    return out;
+}
+
+/**
+ * f32 -> i8 under a symmetric per-tensor scale. Rounds half away from
+ * zero and clamps to [-127, 127] (-128 is never produced, keeping the
+ * grid symmetric). A non-positive scale maps everything to 0.
+ */
+inline int8_t
+f32ToI8(float v, float scale)
+{
+    if (scale <= 0.0f)
+        return 0;
+    float q = v / scale;
+    q = q < -127.0f ? -127.0f : (q > 127.0f ? 127.0f : q);
+    const int r = static_cast<int>(q >= 0.0f ? q + 0.5f : q - 0.5f);
+    return static_cast<int8_t>(r);
+}
+
+inline float
+i8ToF32(int8_t v, float scale)
+{
+    return static_cast<float>(v) * scale;
+}
+
+/* ------------------------------------------------------------------ */
+/* Active compute dtype                                                */
+/* ------------------------------------------------------------------ */
+
+/**
+ * The process-wide compute dtype the nn layer consults when routing
+ * Linear/Conv2d forwards. F32 (the default) means "seed behavior";
+ * anything else sends eval-mode forwards through the per-dtype solver
+ * candidates. Installed by the runner before any worker threads touch
+ * it, so a plain global (mirroring solver::config()) is sufficient.
+ */
+DType activeDType();
+
+/** True when a non-f32 compute dtype is installed. */
+inline bool
+dtypeActive()
+{
+    return activeDType() != DType::F32;
+}
+
+/** Drop all cached weight casts (defined in ops_dtype.cc). */
+void clearDtypeCastCache();
+
+/** RAII installer for the active compute dtype. */
+class DTypeScope
+{
+  public:
+    explicit DTypeScope(DType dt);
+    ~DTypeScope();
+
+    DTypeScope(const DTypeScope &) = delete;
+    DTypeScope &operator=(const DTypeScope &) = delete;
+
+  private:
+    DType prev_;
+};
+
+} // namespace tensor
+} // namespace mmbench
+
+#endif // MMBENCH_TENSOR_DTYPE_HH

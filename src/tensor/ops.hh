@@ -315,6 +315,56 @@ Tensor batchnorm2dEvalAct(const Tensor &x, const Tensor &gamma,
                           const Tensor &running_var, float eps, ActKind act);
 /** @} */
 
+/** @name Reduced precision (the dtype axis; see dtype.hh) @{
+ * Explicit cast/quantize operators plus mixed-input GEMM and conv
+ * entry points over reduced-precision operands. bf16/f16 kernels
+ * convert while packing and accumulate in f32; the i8 conv forward
+ * quantizes both operands and accumulates in i32 (the MIOpen
+ * support-matrix approach). Casts emit one Elewise-class event each;
+ * the GEMM/conv variants emit Gemm/Conv events named after the dtype
+ * so bench/ops_micro can attribute the bandwidth saving.
+ */
+/** Deterministic symmetric per-tensor i8 scale: maxAbs(a) / 127. */
+float quantScaleFor(const Tensor &a);
+/** Cast an f32 tensor to `dt` (per-tensor quantization for I8). */
+Tensor castTo(const Tensor &a, DType dt);
+/** Cast / dequantize any tensor back to f32 (f32 input: deep copy). */
+Tensor castFrom(const Tensor &a);
+/** Quantize f32 -> i8; scale <= 0 selects quantScaleFor(a). */
+Tensor quantizeI8(const Tensor &a, float scale = 0.0f);
+/**
+ * Process-wide cache of weight casts keyed by (storage, dtype). The
+ * entry pins the source storage so the key cannot be recycled, and
+ * the cache is dropped on DTypeScope install/teardown. Safe to call
+ * from concurrent serve workers.
+ */
+Tensor castWeightCached(const Tensor &w, DType dt);
+/**
+ * act(x @ w + b): mixed-input GEMM. x may be f32 or reduced, w any
+ * dtype; both are read through converting pack loops and accumulated
+ * in f32. The bias is f32 and the output is f32.
+ */
+Tensor linearActDt(const Tensor &x, const Tensor &w, const Tensor &b,
+                   ActKind act);
+/**
+ * Reduced-precision conv2d forward. x is f32, w must be reduced.
+ * `cast_input` additionally lowers the im2col operand to w's dtype
+ * (halving the dominant GEMM-operand bandwidth); otherwise the
+ * columns stay f32 (weights-only mixed input). bf16/f16 accumulate
+ * in f32; i8 always quantizes the input and accumulates in i32.
+ * Bias and output are f32.
+ */
+Tensor conv2dActDt(const Tensor &x, const Tensor &w, const Tensor &b,
+                   int stride, int pad, ActKind act, bool cast_input);
+/** Elementwise add of two same-dtype reduced tensors (f32 math). */
+Tensor addDt(const Tensor &a, const Tensor &b);
+/** ReLU on a reduced tensor (same dtype out; exact for i8). */
+Tensor reluDt(const Tensor &a);
+/** Layernorm over the last dim: f32 statistics, reduced in/out. */
+Tensor layernormDt(const Tensor &x, const Tensor &gamma,
+                   const Tensor &beta, float eps);
+/** @} */
+
 /** @name Lookup @{ */
 /** Gather rows of weight (V,D) by ids (any shape) -> ids.shape x D. */
 Tensor embedding(const Tensor &weight, const Tensor &ids);

@@ -61,6 +61,33 @@ void gemmBlocked(const GemmOperand &a, const GemmOperand &b, float *c,
                  const Epilogue *epi = nullptr);
 
 /**
+ * A dtype-tagged GEMM operand: like GemmOperand, but elements are
+ * read through a converting loader selected by `dt` (i8 elements are
+ * dequantized by `scale` while packing). With dt == F32 this
+ * degenerates to GemmOperand and `scale` is ignored.
+ */
+struct DtOperand
+{
+    const void *p;
+    int64_t rs; ///< stride between rows (in elements)
+    int64_t cs; ///< stride between columns (in elements)
+    DType dt = DType::F32;
+    float scale = 1.0f; ///< i8 dequantization scale
+};
+
+/**
+ * gemmBlocked over dtype-tagged operands: identical blocking, packing
+ * and ascending k-order (deterministic for any thread count), with
+ * f32 accumulation throughout. The element conversions run inside the
+ * pack loops, so the register micro-kernel is reused unchanged; with
+ * two F32 operands this forwards to gemmBlocked and is bitwise
+ * identical to it.
+ */
+void gemmBlockedDt(const DtOperand &a, const DtOperand &b, float *c,
+                   int64_t m, int64_t k, int64_t n,
+                   const Epilogue *epi = nullptr);
+
+/**
  * Element strides for iterating tensor `in` along the axes of the
  * broadcast output shape `out` (stride 0 on broadcast axes).
  */

@@ -158,6 +158,93 @@ convGemmImage(const float *xb, const float *pw, const float *pb,
     }
 }
 
+/**
+ * im2col over reduced-precision elements: identical layout and
+ * zero-padding rules, but the elements move untouched (the input was
+ * already cast), so the column buffer carries the reduced payload.
+ */
+template <typename T>
+void
+im2colT(const T *xb, T *col, int64_t c, int64_t h, int64_t wd, int kh,
+        int kw, int64_t oh, int64_t ow, int stride, int pad)
+{
+    core::parallelFor(0, c * kh * kw, 4, [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+            const int64_t ci = r / (kh * kw);
+            const int ky = static_cast<int>((r / kw) % kh);
+            const int kx = static_cast<int>(r % kw);
+            const T *xplane = xb + ci * h * wd;
+            T *crow = col + r * oh * ow;
+            for (int64_t y = 0; y < oh; ++y) {
+                const int64_t iy = y * stride - pad + ky;
+                T *cdst = crow + y * ow;
+                if (iy < 0 || iy >= h) {
+                    std::fill(cdst, cdst + ow, static_cast<T>(0));
+                    continue;
+                }
+                const T *xrow = xplane + iy * wd;
+                const int64_t ix0 = -pad + kx;
+                if (stride == 1 && ix0 >= 0 && ix0 + ow <= wd) {
+                    std::copy(xrow + ix0, xrow + ix0 + ow, cdst);
+                    continue;
+                }
+                for (int64_t xo = 0; xo < ow; ++xo) {
+                    const int64_t ix = xo * stride + ix0;
+                    cdst[xo] = (ix < 0 || ix >= wd) ? static_cast<T>(0)
+                                                    : xrow[ix];
+                }
+            }
+        }
+    });
+}
+
+/**
+ * i8 conv of one image in i32: out[o][j] = act(dequant * sum_k
+ * wq[o][k] * colq[k][j] + bias[o]). Parallel over output channels
+ * (disjoint rows; deterministic), nesting-safe like the GEMM.
+ */
+void
+convI8Image(const int8_t *colq, const int8_t *wq, const float *pb,
+            float *ob, int64_t oc, int64_t kdim, int64_t ohw,
+            float dequant, ActKind act)
+{
+    dispatchAct(act, [&](auto actc) {
+        constexpr ActKind kAct = decltype(actc)::value;
+        core::parallelFor(0, oc, 1, [&](int64_t o0, int64_t o1) {
+            std::vector<int32_t> acc(static_cast<size_t>(ohw));
+            for (int64_t o = o0; o < o1; ++o) {
+                std::fill(acc.begin(), acc.end(), 0);
+                const int8_t *wrow = wq + o * kdim;
+                for (int64_t kk = 0; kk < kdim; ++kk) {
+                    const int32_t wv = wrow[kk];
+                    const int8_t *crow = colq + kk * ohw;
+                    for (int64_t j = 0; j < ohw; ++j)
+                        acc[j] += wv * static_cast<int32_t>(crow[j]);
+                }
+                const float bias = pb ? pb[o] : 0.0f;
+                float *orow = ob + o * ohw;
+                for (int64_t j = 0; j < ohw; ++j)
+                    orow[j] = applyAct(
+                        kAct,
+                        static_cast<float>(acc[j]) * dequant + bias);
+            }
+        });
+    });
+}
+
+/** Static Conv event names for the reduced-precision entry points. */
+const char *
+convDtName(DType dt, bool cast_input)
+{
+    switch (dt) {
+      case DType::BF16: return cast_input ? "conv_bf16" : "conv_bf16_w";
+      case DType::F16:  return cast_input ? "conv_f16" : "conv_f16_w";
+      case DType::I8:   return "conv_i8";
+      case DType::F32:  break;
+    }
+    return "conv2d";
+}
+
 /** Canonical fused conv event names (static strings; see linearAct). */
 const char *
 fusedConvName(bool bias, ActKind act)
@@ -258,6 +345,145 @@ conv2dAct(const Tensor &x, const Tensor &w, const Tensor &b, int stride,
           int pad, ActKind act, ConvAlgo algo)
 {
     return conv2dImpl(x, w, b, stride, pad, act, algo);
+}
+
+Tensor
+conv2dActDt(const Tensor &x, const Tensor &w, const Tensor &b, int stride,
+            int pad, ActKind act, bool cast_input)
+{
+    MM_ASSERT(x.ndim() == 4 && w.ndim() == 4,
+              "conv2dActDt needs NCHW x OIHW");
+    MM_ASSERT(x.dtype() == DType::F32, "conv2dActDt input must be f32");
+    MM_ASSERT(w.dtype() != DType::F32,
+              "conv2dActDt weight must be reduced; use conv2d for f32");
+    const int64_t n = x.size(0), c = x.size(1), h = x.size(2),
+                  wd = x.size(3);
+    const int64_t oc = w.size(0);
+    const int kh = static_cast<int>(w.size(2));
+    const int kw = static_cast<int>(w.size(3));
+    MM_ASSERT(w.size(1) == c, "conv2dActDt channel mismatch");
+    MM_ASSERT(stride >= 1 && pad >= 0, "invalid conv2dActDt stride/pad");
+    const int64_t oh = outExtent(h, kh, stride, pad);
+    const int64_t ow = outExtent(wd, kw, stride, pad);
+    const int64_t kdim = c * kh * kw;
+    const int64_t ohw = oh * ow;
+    const bool gemm_direct =
+        (kh == 1 && kw == 1 && stride == 1 && pad == 0);
+
+    const DType dt = w.dtype();
+    // The i8 path needs both operands quantized (i32 accumulation);
+    // bf16/f16 cast the input only when asked (the bandwidth knob).
+    const bool lower_input = (dt == DType::I8) || cast_input;
+    const Tensor xq = lower_input ? castTo(x, dt) : Tensor();
+
+    Tensor out(Shape{n, oc, oh, ow});
+    const float *pb = b.defined() ? b.data() : nullptr;
+    float *po = out.data();
+
+    if (dt == DType::I8) {
+        const float dequant = xq.quantScale() * w.quantScale();
+        const int8_t *px = xq.i8Data();
+        const int8_t *pw = w.i8Data();
+        const auto run_image = [&](int64_t ni, int8_t *col) {
+            const int8_t *xb = px + ni * c * h * wd;
+            const int8_t *cols = xb;
+            if (!gemm_direct) {
+                im2colT<int8_t>(xb, col, c, h, wd, kh, kw, oh, ow,
+                                stride, pad);
+                cols = col;
+            }
+            convI8Image(cols, pw, pb, po + ni * oc * ohw, oc, kdim, ohw,
+                        dequant, act);
+        };
+        if (n >= core::numThreads()) {
+            core::parallelFor(0, n, 1, [&](int64_t n0, int64_t n1) {
+                std::vector<int8_t> col(
+                    gemm_direct ? 0 : static_cast<size_t>(kdim * ohw));
+                for (int64_t ni = n0; ni < n1; ++ni)
+                    run_image(ni, col.data());
+            });
+        } else {
+            std::vector<int8_t> col(
+                gemm_direct ? 0 : static_cast<size_t>(kdim * ohw));
+            for (int64_t ni = 0; ni < n; ++ni)
+                run_image(ni, col.data());
+        }
+    } else {
+        const detail::DtOperand oa{w.rawData(), kdim, 1, dt, 1.0f};
+        const uint16_t *pxq = lower_input ? xq.u16Data() : nullptr;
+        const float *pxf = lower_input ? nullptr : x.data();
+        const auto run_image = [&](int64_t ni, void *col) {
+            float *ob = po + ni * oc * ohw;
+            detail::DtOperand obp{nullptr, ohw, 1, DType::F32, 1.0f};
+            if (lower_input) {
+                const uint16_t *xb = pxq + ni * c * h * wd;
+                const uint16_t *cols = xb;
+                if (!gemm_direct) {
+                    uint16_t *c16 = static_cast<uint16_t *>(col);
+                    im2colT<uint16_t>(xb, c16, c, h, wd, kh, kw, oh, ow,
+                                      stride, pad);
+                    cols = c16;
+                }
+                obp = detail::DtOperand{cols, ohw, 1, dt, 1.0f};
+            } else {
+                const float *xb = pxf + ni * c * h * wd;
+                const float *cols = xb;
+                if (!gemm_direct) {
+                    float *cf = static_cast<float *>(col);
+                    im2col(xb, cf, c, h, wd, kh, kw, oh, ow, stride, pad);
+                    cols = cf;
+                }
+                obp = detail::DtOperand{cols, ohw, 1, DType::F32, 1.0f};
+            }
+            if (pb) {
+                core::parallelFor(0, oc, 8, [&](int64_t o0, int64_t o1) {
+                    for (int64_t o = o0; o < o1; ++o)
+                        std::fill(ob + o * ohw, ob + (o + 1) * ohw,
+                                  pb[o]);
+                });
+            } else {
+                std::fill(ob, ob + oc * ohw, 0.0f);
+            }
+            if (act == ActKind::None) {
+                detail::gemmBlockedDt(oa, obp, ob, oc, kdim, ohw);
+            } else {
+                const detail::Epilogue epi{nullptr, act};
+                detail::gemmBlockedDt(oa, obp, ob, oc, kdim, ohw, &epi);
+            }
+        };
+        const size_t col_elems =
+            gemm_direct ? 0 : static_cast<size_t>(kdim * ohw);
+        if (n >= core::numThreads()) {
+            core::parallelFor(0, n, 1, [&](int64_t n0, int64_t n1) {
+                std::vector<uint16_t> col16(lower_input ? col_elems : 0);
+                std::vector<float> colf(lower_input ? 0 : col_elems);
+                void *col = lower_input
+                                ? static_cast<void *>(col16.data())
+                                : static_cast<void *>(colf.data());
+                for (int64_t ni = n0; ni < n1; ++ni)
+                    run_image(ni, col);
+            });
+        } else {
+            std::vector<uint16_t> col16(lower_input ? col_elems : 0);
+            std::vector<float> colf(lower_input ? 0 : col_elems);
+            void *col = lower_input ? static_cast<void *>(col16.data())
+                                    : static_cast<void *>(colf.data());
+            for (int64_t ni = 0; ni < n; ++ni)
+                run_image(ni, col);
+        }
+    }
+
+    const uint64_t flops = 2ULL * static_cast<uint64_t>(n * oc * oh * ow) *
+                           static_cast<uint64_t>(kdim) +
+                           static_cast<uint64_t>(out.numel()) *
+                               actFlops(act);
+    const Tensor &xin = lower_input ? xq : x;
+    trace::emitKernel(trace::KernelClass::Conv, convDtName(dt, lower_input),
+                      flops,
+                      xin.bytes() + w.bytes() +
+                          (b.defined() ? b.bytes() : 0),
+                      out.bytes());
+    return out;
 }
 
 Tensor

@@ -1,0 +1,461 @@
+/**
+ * @file
+ * Explicit cast / quantize operators, the process-wide weight-cast
+ * cache, and the reduced-precision elementwise and norm variants.
+ *
+ * All math runs in f32 (elements are widened on load and narrowed on
+ * store); i8 uses a symmetric per-tensor scale chosen as maxAbs/127.
+ * The scale selection reduces with max — an order-independent
+ * operation — so it is bitwise deterministic for any thread count.
+ * Casts emit one Elewise-class kernel event each; the norm variant
+ * emits a BNorm-class event, mirroring the f32 operators.
+ */
+
+#include "tensor/ops.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/logging.hh"
+#include "core/parallel.hh"
+#include "trace/sink.hh"
+
+namespace mmbench {
+namespace tensor {
+
+namespace {
+
+/** Static Elewise event names for every cast direction. */
+const char *
+castEventName(DType from, DType to)
+{
+    if (from == DType::F32) {
+        switch (to) {
+          case DType::BF16: return "cast_f32_bf16";
+          case DType::F16:  return "cast_f32_f16";
+          case DType::I8:   return "quantize_i8";
+          case DType::F32:  break;
+        }
+        return "cast_f32_f32";
+    }
+    switch (from) {
+      case DType::BF16: return "cast_bf16_f32";
+      case DType::F16:  return "cast_f16_f32";
+      case DType::I8:   return "dequantize_i8";
+      case DType::F32:  break;
+    }
+    return "cast_f32_f32";
+}
+
+/** Deterministic parallel max-abs over a float buffer. */
+float
+maxAbs(const float *p, int64_t n)
+{
+    std::mutex mu;
+    float maxabs = 0.0f;
+    core::parallelFor(0, n, 4096, [&](int64_t i0, int64_t i1) {
+        float local = 0.0f;
+        for (int64_t i = i0; i < i1; ++i) {
+            const float v = std::fabs(p[i]);
+            if (v > local)
+                local = v;
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        if (local > maxabs)
+            maxabs = local;
+    });
+    return maxabs;
+}
+
+} // namespace
+
+float
+quantScaleFor(const Tensor &a)
+{
+    MM_ASSERT(a.dtype() == DType::F32, "quantScaleFor needs f32 input");
+    return maxAbs(a.data(), a.numel()) / 127.0f;
+}
+
+Tensor
+quantizeI8(const Tensor &a, float scale)
+{
+    MM_ASSERT(a.dtype() == DType::F32, "quantizeI8 needs f32 input");
+    if (scale <= 0.0f)
+        scale = quantScaleFor(a);
+    Tensor out(a.shape(), DType::I8);
+    out.setQuantScale(scale);
+    const float *p = a.data();
+    int8_t *q = out.i8Data();
+    const int64_t n = a.numel();
+    core::parallelFor(0, n, 4096, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i)
+            q[i] = f32ToI8(p[i], scale);
+    });
+    trace::emitKernel(trace::KernelClass::Elewise,
+                      castEventName(DType::F32, DType::I8),
+                      static_cast<uint64_t>(n), a.bytes(), out.bytes());
+    return out;
+}
+
+Tensor
+castTo(const Tensor &a, DType dt)
+{
+    MM_ASSERT(a.dtype() == DType::F32, "castTo needs an f32 source");
+    if (dt == DType::F32)
+        return a.clone();
+    if (dt == DType::I8)
+        return quantizeI8(a);
+    Tensor out(a.shape(), dt);
+    const float *p = a.data();
+    uint16_t *q = out.u16Data();
+    const int64_t n = a.numel();
+    if (dt == DType::BF16) {
+        core::parallelFor(0, n, 4096, [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; ++i)
+                q[i] = f32ToBf16(p[i]);
+        });
+    } else {
+        core::parallelFor(0, n, 4096, [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; ++i)
+                q[i] = f32ToF16(p[i]);
+        });
+    }
+    trace::emitKernel(trace::KernelClass::Elewise,
+                      castEventName(DType::F32, dt),
+                      static_cast<uint64_t>(n), a.bytes(), out.bytes());
+    return out;
+}
+
+Tensor
+castFrom(const Tensor &a)
+{
+    const DType dt = a.dtype();
+    if (dt == DType::F32)
+        return a.clone();
+    Tensor out(a.shape());
+    float *q = out.data();
+    const int64_t n = a.numel();
+    if (dt == DType::I8) {
+        const float scale = a.quantScale();
+        const int8_t *p = a.i8Data();
+        core::parallelFor(0, n, 4096, [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; ++i)
+                q[i] = i8ToF32(p[i], scale);
+        });
+    } else {
+        const uint16_t *p = a.u16Data();
+        if (dt == DType::BF16) {
+            core::parallelFor(0, n, 4096, [&](int64_t i0, int64_t i1) {
+                for (int64_t i = i0; i < i1; ++i)
+                    q[i] = bf16ToF32(p[i]);
+            });
+        } else {
+            core::parallelFor(0, n, 4096, [&](int64_t i0, int64_t i1) {
+                for (int64_t i = i0; i < i1; ++i)
+                    q[i] = f16ToF32(p[i]);
+            });
+        }
+    }
+    trace::emitKernel(trace::KernelClass::Elewise,
+                      castEventName(dt, DType::F32),
+                      static_cast<uint64_t>(n), a.bytes(), out.bytes());
+    return out;
+}
+
+/* ------------------------------------------------------------------ */
+/* Weight-cast cache                                                   */
+/* ------------------------------------------------------------------ */
+
+namespace {
+
+struct CastCacheKey
+{
+    const void *ptr;
+    DType dt;
+    bool operator==(const CastCacheKey &o) const
+    {
+        return ptr == o.ptr && dt == o.dt;
+    }
+};
+
+struct CastCacheKeyHash
+{
+    size_t operator()(const CastCacheKey &k) const
+    {
+        return std::hash<const void *>()(k.ptr) ^
+               (static_cast<size_t>(k.dt) * 0x9E3779B97F4A7C15ULL);
+    }
+};
+
+/** The source tensor pins its storage so the pointer key is unique. */
+struct CastCacheEntry
+{
+    Tensor source;
+    Tensor cast;
+};
+
+std::mutex g_cast_cache_mu;
+std::unordered_map<CastCacheKey, CastCacheEntry, CastCacheKeyHash>
+    g_cast_cache;
+
+} // namespace
+
+void
+clearDtypeCastCache()
+{
+    std::lock_guard<std::mutex> lock(g_cast_cache_mu);
+    g_cast_cache.clear();
+}
+
+Tensor
+castWeightCached(const Tensor &w, DType dt)
+{
+    MM_ASSERT(w.dtype() == DType::F32, "castWeightCached needs f32 weights");
+    if (dt == DType::F32)
+        return w;
+    const CastCacheKey key{w.rawData(), dt};
+    {
+        std::lock_guard<std::mutex> lock(g_cast_cache_mu);
+        auto it = g_cast_cache.find(key);
+        if (it != g_cast_cache.end())
+            return it->second.cast;
+    }
+    // Cast outside the lock (first serve workers may race; the first
+    // insert wins and the cast is deterministic either way).
+    Tensor cast = castTo(w, dt);
+    std::lock_guard<std::mutex> lock(g_cast_cache_mu);
+    auto ins = g_cast_cache.emplace(key, CastCacheEntry{w, cast});
+    return ins.first->second.cast;
+}
+
+/* ------------------------------------------------------------------ */
+/* Reduced elementwise / norm variants                                 */
+/* ------------------------------------------------------------------ */
+
+namespace {
+
+/** Widen one element of a reduced tensor (i8 via its scale). */
+inline float
+loadDt(DType dt, const void *p, int64_t i, float scale)
+{
+    switch (dt) {
+      case DType::BF16:
+        return bf16ToF32(static_cast<const uint16_t *>(p)[i]);
+      case DType::F16:
+        return f16ToF32(static_cast<const uint16_t *>(p)[i]);
+      case DType::I8:
+        return i8ToF32(static_cast<const int8_t *>(p)[i], scale);
+      case DType::F32:
+        break;
+    }
+    return static_cast<const float *>(p)[i];
+}
+
+/** Narrow one f32 value into a reduced tensor (i8 via its scale). */
+inline void
+storeDt(DType dt, void *p, int64_t i, float v, float scale)
+{
+    switch (dt) {
+      case DType::BF16:
+        static_cast<uint16_t *>(p)[i] = f32ToBf16(v);
+        return;
+      case DType::F16:
+        static_cast<uint16_t *>(p)[i] = f32ToF16(v);
+        return;
+      case DType::I8:
+        static_cast<int8_t *>(p)[i] = f32ToI8(v, scale);
+        return;
+      case DType::F32:
+        break;
+    }
+    static_cast<float *>(p)[i] = v;
+}
+
+const char *
+addDtName(DType dt)
+{
+    switch (dt) {
+      case DType::BF16: return "add_bf16";
+      case DType::F16:  return "add_f16";
+      case DType::I8:   return "add_i8";
+      case DType::F32:  break;
+    }
+    return "add";
+}
+
+const char *
+reluDtName(DType dt)
+{
+    switch (dt) {
+      case DType::BF16: return "relu_bf16";
+      case DType::F16:  return "relu_f16";
+      case DType::I8:   return "relu_i8";
+      case DType::F32:  break;
+    }
+    return "relu";
+}
+
+const char *
+layernormDtName(DType dt)
+{
+    switch (dt) {
+      case DType::BF16: return "layernorm_bf16";
+      case DType::F16:  return "layernorm_f16";
+      case DType::I8:   return "layernorm_i8";
+      case DType::F32:  break;
+    }
+    return "layernorm";
+}
+
+} // namespace
+
+Tensor
+addDt(const Tensor &a, const Tensor &b)
+{
+    MM_ASSERT(a.dtype() == b.dtype() && a.dtype() != DType::F32,
+              "addDt needs two reduced tensors of the same dtype");
+    MM_ASSERT(a.shape() == b.shape(), "addDt shape mismatch: %s vs %s",
+              a.shape().toString().c_str(), b.shape().toString().c_str());
+    const DType dt = a.dtype();
+    const int64_t n = a.numel();
+    const float sa = a.quantScale();
+    const float sb = b.quantScale();
+    const void *pa = a.rawData();
+    const void *pb = b.rawData();
+    Tensor out(a.shape(), dt);
+    if (dt == DType::I8) {
+        // Requantize: sum in f32, pick a fresh deterministic scale.
+        std::vector<float> sum(static_cast<size_t>(n));
+        core::parallelFor(0, n, 4096, [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; ++i)
+                sum[static_cast<size_t>(i)] =
+                    loadDt(dt, pa, i, sa) + loadDt(dt, pb, i, sb);
+        });
+        const float scale = maxAbs(sum.data(), n) / 127.0f;
+        out.setQuantScale(scale);
+        int8_t *q = out.i8Data();
+        core::parallelFor(0, n, 4096, [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; ++i)
+                q[i] = f32ToI8(sum[static_cast<size_t>(i)], scale);
+        });
+    } else {
+        void *q = out.rawData();
+        core::parallelFor(0, n, 4096, [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; ++i)
+                storeDt(dt, q, i,
+                        loadDt(dt, pa, i, sa) + loadDt(dt, pb, i, sb),
+                        1.0f);
+        });
+    }
+    trace::emitKernel(trace::KernelClass::Elewise, addDtName(dt),
+                      static_cast<uint64_t>(n), a.bytes() + b.bytes(),
+                      out.bytes());
+    return out;
+}
+
+Tensor
+reluDt(const Tensor &a)
+{
+    MM_ASSERT(a.dtype() != DType::F32, "reluDt needs a reduced tensor");
+    const DType dt = a.dtype();
+    const int64_t n = a.numel();
+    Tensor out(a.shape(), dt);
+    if (dt == DType::I8) {
+        // max(q, 0) under the same (symmetric) scale is exact.
+        out.setQuantScale(a.quantScale());
+        const int8_t *p = a.i8Data();
+        int8_t *q = out.i8Data();
+        core::parallelFor(0, n, 4096, [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; ++i)
+                q[i] = p[i] > 0 ? p[i] : static_cast<int8_t>(0);
+        });
+    } else {
+        const void *p = a.rawData();
+        void *q = out.rawData();
+        core::parallelFor(0, n, 4096, [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; ++i) {
+                const float v = loadDt(dt, p, i, 1.0f);
+                storeDt(dt, q, i, v > 0.0f ? v : 0.0f, 1.0f);
+            }
+        });
+    }
+    trace::emitKernel(trace::KernelClass::Relu, reluDtName(dt),
+                      static_cast<uint64_t>(n), a.bytes(), out.bytes());
+    return out;
+}
+
+Tensor
+layernormDt(const Tensor &x, const Tensor &gamma, const Tensor &beta,
+            float eps)
+{
+    MM_ASSERT(x.dtype() != DType::F32, "layernormDt needs a reduced input");
+    MM_ASSERT(gamma.dtype() == DType::F32 && beta.dtype() == DType::F32,
+              "layernormDt gamma/beta must be f32");
+    const int64_t dim = x.size(-1);
+    MM_ASSERT(gamma.numel() == dim && beta.numel() == dim,
+              "layernormDt gamma/beta must have %lld elements",
+              static_cast<long long>(dim));
+    const DType dt = x.dtype();
+    const int64_t rows = x.numel() / dim;
+    const void *px = x.rawData();
+    const float sx = x.quantScale();
+    const float *pg = gamma.data();
+    const float *pbeta = beta.data();
+
+    // Normalize into an f32 workspace (statistics and the affine
+    // transform run in f32), then narrow back to the input dtype.
+    std::vector<float> tmp(static_cast<size_t>(x.numel()));
+    core::parallelFor(0, rows, 1, [&](int64_t r0, int64_t r1) {
+        std::vector<float> row(static_cast<size_t>(dim));
+        for (int64_t r = r0; r < r1; ++r) {
+            const int64_t base = r * dim;
+            float mean = 0.0f;
+            for (int64_t i = 0; i < dim; ++i) {
+                row[static_cast<size_t>(i)] = loadDt(dt, px, base + i, sx);
+                mean += row[static_cast<size_t>(i)];
+            }
+            mean /= static_cast<float>(dim);
+            float var = 0.0f;
+            for (int64_t i = 0; i < dim; ++i) {
+                const float d = row[static_cast<size_t>(i)] - mean;
+                var += d * d;
+            }
+            var /= static_cast<float>(dim);
+            const float invstd = 1.0f / std::sqrt(var + eps);
+            for (int64_t i = 0; i < dim; ++i)
+                tmp[static_cast<size_t>(base + i)] =
+                    (row[static_cast<size_t>(i)] - mean) * invstd *
+                        pg[i] +
+                    pbeta[i];
+        }
+    });
+
+    Tensor out(x.shape(), dt);
+    const int64_t n = x.numel();
+    if (dt == DType::I8) {
+        const float scale = maxAbs(tmp.data(), n) / 127.0f;
+        out.setQuantScale(scale);
+        int8_t *q = out.i8Data();
+        core::parallelFor(0, n, 4096, [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; ++i)
+                q[i] = f32ToI8(tmp[static_cast<size_t>(i)], scale);
+        });
+    } else {
+        void *q = out.rawData();
+        core::parallelFor(0, n, 4096, [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; ++i)
+                storeDt(dt, q, i, tmp[static_cast<size_t>(i)], 1.0f);
+        });
+    }
+    trace::emitKernel(trace::KernelClass::BNorm, layernormDtName(dt),
+                      static_cast<uint64_t>(n) * 8,
+                      x.bytes() + gamma.bytes() + beta.bytes(),
+                      out.bytes());
+    return out;
+}
+
+} // namespace tensor
+} // namespace mmbench

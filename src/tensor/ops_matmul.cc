@@ -80,6 +80,112 @@ packB(const GemmOperand &b, int64_t j0, int64_t nr, int64_t p0, int64_t kc,
     }
 }
 
+/**
+ * Per-dtype element loader for the converting pack loops: reads one
+ * stored element and widens it to float (dequantizing i8 by `scale`).
+ */
+template <DType DT> struct ElemLoader;
+template <> struct ElemLoader<DType::F32>
+{
+    typedef float T;
+    static float load(const T *p, float) { return *p; }
+};
+template <> struct ElemLoader<DType::BF16>
+{
+    typedef uint16_t T;
+    static float load(const T *p, float) { return bf16ToF32(*p); }
+};
+template <> struct ElemLoader<DType::F16>
+{
+    typedef uint16_t T;
+    static float load(const T *p, float) { return f16ToF32(*p); }
+};
+template <> struct ElemLoader<DType::I8>
+{
+    typedef int8_t T;
+    static float load(const T *p, float scale)
+    {
+        return static_cast<float>(*p) * scale;
+    }
+};
+
+/** Lift a runtime DType to a compile-time constant (see dispatchAct). */
+template <typename Fn>
+inline void
+dispatchDType(DType dt, Fn &&fn)
+{
+    switch (dt) {
+      case DType::BF16:
+        fn(std::integral_constant<DType, DType::BF16>{});
+        break;
+      case DType::F16:
+        fn(std::integral_constant<DType, DType::F16>{});
+        break;
+      case DType::I8:
+        fn(std::integral_constant<DType, DType::I8>{});
+        break;
+      case DType::F32:
+        fn(std::integral_constant<DType, DType::F32>{});
+        break;
+    }
+}
+
+/** packA over a dtype-tagged operand: convert while packing. */
+template <DType DT>
+void
+packADtT(const detail::DtOperand &a, int64_t i0, int64_t mr, int64_t p0,
+         int64_t kc, float *dst)
+{
+    typedef ElemLoader<DT> L;
+    const typename L::T *base = static_cast<const typename L::T *>(a.p);
+    for (int64_t kk = 0; kk < kc; ++kk) {
+        const typename L::T *col = base + (p0 + kk) * a.cs + i0 * a.rs;
+        float *out = dst + kk * MR;
+        int64_t i = 0;
+        for (; i < mr; ++i)
+            out[i] = L::load(col + i * a.rs, a.scale);
+        for (; i < MR; ++i)
+            out[i] = 0.0f;
+    }
+}
+
+void
+packADt(const detail::DtOperand &a, int64_t i0, int64_t mr, int64_t p0,
+        int64_t kc, float *dst)
+{
+    dispatchDType(a.dt, [&](auto dtc) {
+        packADtT<decltype(dtc)::value>(a, i0, mr, p0, kc, dst);
+    });
+}
+
+/** packB over a dtype-tagged operand: convert while packing. */
+template <DType DT>
+void
+packBDtT(const detail::DtOperand &b, int64_t j0, int64_t nr, int64_t p0,
+         int64_t kc, float *dst)
+{
+    typedef ElemLoader<DT> L;
+    const typename L::T *base = static_cast<const typename L::T *>(b.p);
+    for (int64_t kk = 0; kk < kc; ++kk) {
+        const typename L::T *row = base + (p0 + kk) * b.rs + j0 * b.cs;
+        float *out = dst + kk * NR;
+        int64_t j = 0;
+        for (; j < nr; ++j)
+            out[j] = L::load(row + j * b.cs, b.scale);
+        for (; j < NR; ++j)
+            out[j] = 0.0f;
+    }
+}
+
+void
+packBDt(const detail::DtOperand &b, int64_t j0, int64_t nr, int64_t p0,
+        int64_t kc, float *dst)
+{
+    dispatchDType(b.dt, [&](auto dtc) {
+        packBDtT<decltype(dtc)::value>(b, j0, nr, p0, kc, dst);
+    });
+}
+
 #if defined(__GNUC__) || defined(__clang__)
 
 /** 8-lane float vector with relaxed alignment (unaligned loads ok). */
@@ -251,6 +357,98 @@ gemmBlocked(const GemmOperand &a, const GemmOperand &b, float *c,
                     // accumulated once the last k-block lands: apply
                     // the fused epilogue while the tile is cache-hot.
                     // Rows are disjoint across workers (deterministic).
+                    if (epi != nullptr && pc + kc >= k) {
+                        for (int64_t i = ic; i < ic + mc; ++i)
+                            applyEpilogueRow(c + i * n, *epi, jc, jc + nc);
+                    }
+                }
+            });
+        }
+    }
+}
+
+/**
+ * The dtype-tagged twin of gemmBlocked: same blocking, same packed
+ * panels, same micro-kernel, same ascending k-order — only the pack
+ * loops read through converting loaders. F32 x F32 forwards to the
+ * plain kernel (bitwise identical).
+ */
+void
+gemmBlockedDt(const DtOperand &a, const DtOperand &b, float *c, int64_t m,
+              int64_t k, int64_t n, const Epilogue *epi)
+{
+    if (a.dt == DType::F32 && b.dt == DType::F32) {
+        const GemmOperand oa{static_cast<const float *>(a.p), a.rs, a.cs};
+        const GemmOperand ob{static_cast<const float *>(b.p), b.rs, b.cs};
+        gemmBlocked(oa, ob, c, m, k, n, epi);
+        return;
+    }
+
+    if (m * n * k <= kSmallGemmMacLimit) {
+        dispatchDType(a.dt, [&](auto adtc) {
+            dispatchDType(b.dt, [&](auto bdtc) {
+                typedef ElemLoader<decltype(adtc)::value> LA;
+                typedef ElemLoader<decltype(bdtc)::value> LB;
+                const typename LA::T *pa =
+                    static_cast<const typename LA::T *>(a.p);
+                const typename LB::T *pb =
+                    static_cast<const typename LB::T *>(b.p);
+                for (int64_t i = 0; i < m; ++i) {
+                    float *crow = c + i * n;
+                    for (int64_t kk = 0; kk < k; ++kk) {
+                        const float aik = LA::load(
+                            pa + i * a.rs + kk * a.cs, a.scale);
+                        const typename LB::T *brow = pb + kk * b.rs;
+                        for (int64_t j = 0; j < n; ++j)
+                            crow[j] += aik * LB::load(brow + j * b.cs,
+                                                      b.scale);
+                    }
+                    if (epi != nullptr)
+                        applyEpilogueRow(crow, *epi, 0, n);
+                }
+            });
+        });
+        return;
+    }
+
+    const int64_t kc_max = std::min(KC, k);
+    const int64_t bpanels = (std::min(NC, n) + NR - 1) / NR;
+    const int64_t apanels = (std::min(MC, m) + MR - 1) / MR;
+    std::vector<float> bpack(static_cast<size_t>(bpanels) * kc_max * NR);
+    for (int64_t jc = 0; jc < n; jc += NC) {
+        const int64_t nc = std::min(NC, n - jc);
+        const int64_t npanels = (nc + NR - 1) / NR;
+        for (int64_t pc = 0; pc < k; pc += KC) {
+            const int64_t kc = std::min(KC, k - pc);
+            for (int64_t q = 0; q < npanels; ++q) {
+                const int64_t j0 = jc + q * NR;
+                packBDt(b, j0, std::min(NR, jc + nc - j0), pc, kc,
+                        bpack.data() + q * kc_max * NR);
+            }
+            core::parallelFor(0, (m + MC - 1) / MC, 1,
+                              [&](int64_t blk0, int64_t blk1) {
+                std::vector<float> apack(
+                    static_cast<size_t>(apanels) * kc_max * MR);
+                for (int64_t blk = blk0; blk < blk1; ++blk) {
+                    const int64_t ic = blk * MC;
+                    const int64_t mc = std::min(MC, m - ic);
+                    const int64_t mpanels = (mc + MR - 1) / MR;
+                    for (int64_t p = 0; p < mpanels; ++p) {
+                        const int64_t i0 = ic + p * MR;
+                        packADt(a, i0, std::min(MR, ic + mc - i0), pc, kc,
+                                apack.data() + p * kc_max * MR);
+                    }
+                    for (int64_t q = 0; q < npanels; ++q) {
+                        const int64_t j0 = jc + q * NR;
+                        const int64_t nr = std::min(NR, jc + nc - j0);
+                        for (int64_t p = 0; p < mpanels; ++p) {
+                            const int64_t i0 = ic + p * MR;
+                            microKernel(apack.data() + p * kc_max * MR,
+                                        bpack.data() + q * kc_max * NR,
+                                        kc, c + i0 * n + j0, n,
+                                        std::min(MR, ic + mc - i0), nr);
+                        }
+                    }
                     if (epi != nullptr && pc + kc >= k) {
                         for (int64_t i = ic; i < ic + mc; ++i)
                             applyEpilogueRow(c + i * n, *epi, jc, jc + nc);
@@ -451,6 +649,73 @@ linearAct(const Tensor &x, const Tensor &w, const Tensor &b, ActKind act,
                            static_cast<uint64_t>(n) + extra;
     trace::emitKernel(trace::KernelClass::Gemm, event, flops,
                       x.bytes() + w.bytes(), out.bytes());
+    return out;
+}
+
+namespace {
+
+/** Static Gemm event names for the reduced-precision entry points. */
+const char *
+gemmDtName(DType wdt, bool mixed)
+{
+    switch (wdt) {
+      case DType::BF16: return mixed ? "gemm_bf16_mixed" : "gemm_bf16";
+      case DType::F16:  return mixed ? "gemm_f16_mixed" : "gemm_f16";
+      case DType::I8:   return mixed ? "gemm_i8_mixed" : "gemm_i8";
+      case DType::F32:  break;
+    }
+    return "gemm";
+}
+
+} // namespace
+
+Tensor
+linearActDt(const Tensor &x, const Tensor &w, const Tensor &b, ActKind act)
+{
+    MM_ASSERT(x.ndim() >= 2 && w.ndim() == 2,
+              "linearActDt needs rank >= 2 x (K,N), got %s x %s",
+              x.shape().toString().c_str(), w.shape().toString().c_str());
+    const int64_t k = x.size(-1);
+    MM_ASSERT(k == w.size(0), "linearActDt inner dims differ: %s x %s",
+              x.shape().toString().c_str(), w.shape().toString().c_str());
+    const bool has_bias = b.defined();
+    if (has_bias)
+        MM_ASSERT(b.ndim() == 1 && b.size(0) == w.size(1) &&
+                      b.dtype() == DType::F32,
+                  "linearActDt bias must be f32 (%lld), got %s",
+                  static_cast<long long>(w.size(1)),
+                  b.shape().toString().c_str());
+
+    const int64_t rows = x.numel() / k;
+    const int64_t n = w.size(1);
+    std::vector<int64_t> out_dims;
+    for (size_t i = 0; i + 1 < x.shape().ndim(); ++i)
+        out_dims.push_back(x.shape()[i]);
+    out_dims.push_back(n);
+    Tensor out = Tensor::zeros(Shape(std::move(out_dims)));
+
+    const detail::DtOperand oa{
+        x.rawData(), k, 1, x.dtype(),
+        x.dtype() == DType::I8 ? x.quantScale() : 1.0f};
+    const detail::DtOperand ob{
+        w.rawData(), n, 1, w.dtype(),
+        w.dtype() == DType::I8 ? w.quantScale() : 1.0f};
+    const detail::Epilogue epi{has_bias ? b.data() : nullptr, act};
+    detail::gemmBlockedDt(oa, ob, out.data(), rows, k, n, &epi);
+
+    const bool mixed =
+        x.dtype() == DType::F32 && w.dtype() != DType::F32;
+    const DType event_dt =
+        w.dtype() != DType::F32 ? w.dtype() : x.dtype();
+    const uint64_t flops =
+        2ULL * static_cast<uint64_t>(rows) * static_cast<uint64_t>(k) *
+            static_cast<uint64_t>(n) +
+        static_cast<uint64_t>(rows * n) *
+            ((has_bias ? 1 : 0) + actFlops(act));
+    trace::emitKernel(trace::KernelClass::Gemm, gemmDtName(event_dt, mixed),
+                      flops,
+                      x.bytes() + w.bytes() + (has_bias ? b.bytes() : 0),
+                      out.bytes());
     return out;
 }
 

@@ -1,6 +1,7 @@
 #include "tensor/tensor.hh"
 
 #include <cmath>
+#include <cstring>
 
 #include "core/logging.hh"
 #include "trace/sink.hh"
@@ -8,21 +9,46 @@
 namespace mmbench {
 namespace tensor {
 
-Storage::Storage(int64_t numel)
-    : block_(MemoryPool::instance().acquire(numel)), numel_(numel)
+namespace {
+
+/**
+ * Reduced-precision payloads pack into the pool's float-sized slots;
+ * the f32 path requests exactly `numel` slots as before.
+ */
+int64_t
+poolSlotsFor(int64_t numel, DType dtype)
 {
-    trace::emitAlloc(numel_ * static_cast<int64_t>(sizeof(float)),
+    if (dtype == DType::F32)
+        return numel;
+    const int64_t bytes = numel * dtypeBytes(dtype);
+    return (bytes + static_cast<int64_t>(sizeof(float)) - 1) /
+           static_cast<int64_t>(sizeof(float));
+}
+
+} // namespace
+
+Storage::Storage(int64_t numel, DType dtype)
+    : block_(MemoryPool::instance().acquire(poolSlotsFor(numel, dtype))),
+      numel_(numel), dtype_(dtype)
+{
+    trace::emitAlloc(numel_ * static_cast<int64_t>(dtypeBytes(dtype_)),
                      block_.pooled);
 }
 
 Storage::~Storage()
 {
-    trace::emitAlloc(-numel_ * static_cast<int64_t>(sizeof(float)));
+    trace::emitAlloc(-numel_ * static_cast<int64_t>(dtypeBytes(dtype_)));
     MemoryPool::instance().release(block_);
 }
 
 Tensor::Tensor(const Shape &shape)
     : storage_(std::make_shared<Storage>(shape.numel())), shape_(shape)
+{
+}
+
+Tensor::Tensor(const Shape &shape, DType dtype)
+    : storage_(std::make_shared<Storage>(shape.numel(), dtype)),
+      shape_(shape)
 {
 }
 
@@ -106,6 +132,8 @@ float *
 Tensor::data()
 {
     MM_ASSERT(defined(), "access to undefined tensor");
+    MM_ASSERT(storage_->dtype() == DType::F32, "float access to %s tensor",
+              dtypeName(storage_->dtype()));
     return storage_->data();
 }
 
@@ -113,7 +141,69 @@ const float *
 Tensor::data() const
 {
     MM_ASSERT(defined(), "access to undefined tensor");
+    MM_ASSERT(storage_->dtype() == DType::F32, "float access to %s tensor",
+              dtypeName(storage_->dtype()));
     return storage_->data();
+}
+
+void *
+Tensor::rawData()
+{
+    MM_ASSERT(defined(), "access to undefined tensor");
+    return storage_->raw();
+}
+
+const void *
+Tensor::rawData() const
+{
+    MM_ASSERT(defined(), "access to undefined tensor");
+    return storage_->raw();
+}
+
+uint16_t *
+Tensor::u16Data()
+{
+    MM_ASSERT(dtype() == DType::BF16 || dtype() == DType::F16,
+              "u16 access to %s tensor", dtypeName(dtype()));
+    return static_cast<uint16_t *>(rawData());
+}
+
+const uint16_t *
+Tensor::u16Data() const
+{
+    MM_ASSERT(dtype() == DType::BF16 || dtype() == DType::F16,
+              "u16 access to %s tensor", dtypeName(dtype()));
+    return static_cast<const uint16_t *>(rawData());
+}
+
+int8_t *
+Tensor::i8Data()
+{
+    MM_ASSERT(dtype() == DType::I8, "i8 access to %s tensor",
+              dtypeName(dtype()));
+    return static_cast<int8_t *>(rawData());
+}
+
+const int8_t *
+Tensor::i8Data() const
+{
+    MM_ASSERT(dtype() == DType::I8, "i8 access to %s tensor",
+              dtypeName(dtype()));
+    return static_cast<const int8_t *>(rawData());
+}
+
+float
+Tensor::quantScale() const
+{
+    MM_ASSERT(defined(), "access to undefined tensor");
+    return storage_->quantScale();
+}
+
+void
+Tensor::setQuantScale(float scale)
+{
+    MM_ASSERT(defined(), "access to undefined tensor");
+    storage_->setQuantScale(scale);
 }
 
 float &
@@ -177,6 +267,13 @@ Tensor::flatten() const
 Tensor
 Tensor::clone() const
 {
+    if (dtype() != DType::F32) {
+        Tensor out(shape_, dtype());
+        std::memcpy(out.rawData(), rawData(),
+                    static_cast<size_t>(bytes()));
+        out.setQuantScale(quantScale());
+        return out;
+    }
     Tensor out(shape_);
     std::copy(data(), data() + numel(), out.data());
     return out;

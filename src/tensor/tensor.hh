@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/rng.hh"
+#include "tensor/dtype.hh"
 #include "tensor/pool.hh"
 #include "tensor/shape.hh"
 
@@ -32,7 +33,7 @@ namespace tensor {
 class Storage
 {
   public:
-    explicit Storage(int64_t numel);
+    explicit Storage(int64_t numel, DType dtype = DType::F32);
     ~Storage();
 
     Storage(const Storage &) = delete;
@@ -42,12 +43,25 @@ class Storage
     const float *data() const { return block_.data; }
     int64_t numel() const { return numel_; }
 
+    /** Element type of the payload (F32 unless explicitly reduced). */
+    DType dtype() const { return dtype_; }
+
+    /** Raw byte view — reduced-precision payloads live here. */
+    void *raw() { return block_.data; }
+    const void *raw() const { return block_.data; }
+
+    /** Symmetric per-tensor quantization scale (i8 payloads). */
+    float quantScale() const { return qscale_; }
+    void setQuantScale(float scale) { qscale_ = scale; }
+
     /** True when the arena recycled a free-list block for this buffer. */
     bool pooled() const { return block_.pooled; }
 
   private:
     PoolBlock block_;
     int64_t numel_ = 0;
+    DType dtype_ = DType::F32;
+    float qscale_ = 1.0f;
 };
 
 /**
@@ -62,6 +76,9 @@ class Tensor
 
     /** Allocate an uninitialized tensor of the given shape. */
     explicit Tensor(const Shape &shape);
+
+    /** Allocate an uninitialized reduced-precision tensor. */
+    Tensor(const Shape &shape, DType dtype);
 
     /** @name Factory functions @{ */
     static Tensor zeros(const Shape &shape);
@@ -90,14 +107,36 @@ class Tensor
     /** Extent of dimension i (negative counts from the end). */
     int64_t size(int i) const { return shape_.dim(i); }
 
-    /** Bytes of device memory this tensor would occupy (fp32). */
+    /** Element type (F32 for undefined tensors and the default path). */
+    DType dtype() const
+    {
+        return storage_ ? storage_->dtype() : DType::F32;
+    }
+
+    /** Bytes of device memory this tensor occupies (dtype-aware). */
     uint64_t bytes() const
     {
-        return static_cast<uint64_t>(numel()) * sizeof(float);
+        return static_cast<uint64_t>(numel()) *
+               static_cast<uint64_t>(dtypeBytes(dtype()));
     }
 
     float *data();
     const float *data() const;
+
+    /** @name Raw payload access for reduced-precision tensors @{ */
+    void *rawData();
+    const void *rawData() const;
+    /** bf16 / f16 payloads. */
+    uint16_t *u16Data();
+    const uint16_t *u16Data() const;
+    /** i8 payloads. */
+    int8_t *i8Data();
+    const int8_t *i8Data() const;
+    /** @} */
+
+    /** Symmetric per-tensor quantization scale (meaningful for i8). */
+    float quantScale() const;
+    void setQuantScale(float scale);
 
     /** Linear element access (debug/test convenience). */
     float &at(int64_t i);

@@ -1,0 +1,427 @@
+/**
+ * @file
+ * Tests for the reduced-precision dtype axis: scalar conversion
+ * semantics (bf16/f16/i8), cast round-trip error bounds, quantization
+ * scale determinism across thread counts, reduced GEMM/conv numerics
+ * against the f32 reference kernels, the weight-cast cache, and the
+ * DTypeScope plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "core/parallel.hh"
+#include "core/rng.hh"
+#include "tensor/ops.hh"
+
+namespace mmbench {
+namespace tensor {
+namespace {
+
+// maxAbsDiff comes from ops.hh (the f32 comparison helper).
+
+// ---------------------------------------------------------------------
+// Scalar conversion semantics.
+// ---------------------------------------------------------------------
+
+TEST(DTypeScalar, Bf16RoundTripErrorBound)
+{
+    // bf16 keeps 8 mantissa bits: round-to-nearest-even truncation is
+    // within 2^-8 relative error for any normal value.
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const float v = (rng.uniform() * 2.0f - 1.0f) * 100.0f;
+        const float r = bf16ToF32(f32ToBf16(v));
+        EXPECT_LE(std::fabs(r - v), std::fabs(v) * (1.0f / 256.0f) + 1e-30f)
+            << v;
+    }
+    // Exact values survive bitwise.
+    for (const float v : {0.0f, 1.0f, -2.0f, 0.5f, 256.0f}) {
+        EXPECT_EQ(bf16ToF32(f32ToBf16(v)), v);
+    }
+}
+
+TEST(DTypeScalar, Bf16SpecialValues)
+{
+    const float inf = std::numeric_limits<float>::infinity();
+    EXPECT_EQ(bf16ToF32(f32ToBf16(inf)), inf);
+    EXPECT_EQ(bf16ToF32(f32ToBf16(-inf)), -inf);
+    EXPECT_TRUE(std::isnan(bf16ToF32(f32ToBf16(NAN))));
+    // Signed zero survives.
+    EXPECT_TRUE(std::signbit(bf16ToF32(f32ToBf16(-0.0f))));
+}
+
+TEST(DTypeScalar, F16RoundTripErrorBound)
+{
+    // binary16 keeps 10 mantissa bits: within 2^-10 relative error in
+    // the normal range.
+    Rng rng(4);
+    for (int i = 0; i < 1000; ++i) {
+        const float v = (rng.uniform() * 2.0f - 1.0f) * 100.0f;
+        const float r = f16ToF32(f32ToF16(v));
+        EXPECT_LE(std::fabs(r - v), std::fabs(v) * (1.0f / 1024.0f) + 1e-30f)
+            << v;
+    }
+    for (const float v : {0.0f, 1.0f, -2.0f, 0.5f, 1024.0f}) {
+        EXPECT_EQ(f16ToF32(f32ToF16(v)), v);
+    }
+}
+
+TEST(DTypeScalar, F16OverflowSubnormalAndSpecials)
+{
+    const float inf = std::numeric_limits<float>::infinity();
+    // Values past the f16 max (65504) saturate to infinity.
+    EXPECT_EQ(f16ToF32(f32ToF16(1e6f)), inf);
+    EXPECT_EQ(f16ToF32(f32ToF16(-1e6f)), -inf);
+    EXPECT_EQ(f16ToF32(f32ToF16(inf)), inf);
+    EXPECT_TRUE(std::isnan(f16ToF32(f32ToF16(NAN))));
+    EXPECT_EQ(f16ToF32(f32ToF16(65504.0f)), 65504.0f);
+    // Subnormal range (below 2^-14) round-trips with absolute error
+    // bounded by half the smallest subnormal step (2^-25).
+    for (const float v : {3e-5f, 1e-5f, -2e-6f, 6e-8f}) {
+        EXPECT_LE(std::fabs(f16ToF32(f32ToF16(v)) - v), 1.0f / (1 << 24))
+            << v;
+    }
+    // Below half the smallest subnormal: flush to (signed) zero.
+    EXPECT_EQ(f16ToF32(f32ToF16(1e-9f)), 0.0f);
+    EXPECT_TRUE(std::signbit(f16ToF32(f32ToF16(-1e-9f))));
+}
+
+TEST(DTypeScalar, I8SymmetricQuantization)
+{
+    const float scale = 2.0f / 127.0f; // maxAbs 2.0
+    // Round half away from zero, clamp to [-127, 127].
+    EXPECT_EQ(f32ToI8(2.0f, scale), 127);
+    EXPECT_EQ(f32ToI8(-2.0f, scale), -127);
+    EXPECT_EQ(f32ToI8(10.0f, scale), 127); // clamps
+    EXPECT_EQ(f32ToI8(0.0f, scale), 0);
+    // A non-positive scale maps everything to zero.
+    EXPECT_EQ(f32ToI8(5.0f, 0.0f), 0);
+    EXPECT_EQ(f32ToI8(5.0f, -1.0f), 0);
+    // Round trip stays within half a quantization step.
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const float v = (rng.uniform() * 2.0f - 1.0f) * 2.0f;
+        const float r = i8ToF32(f32ToI8(v, scale), scale);
+        EXPECT_LE(std::fabs(r - v), scale * 0.5f + 1e-6f) << v;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tensor casts and quantization.
+// ---------------------------------------------------------------------
+
+TEST(DTypeCast, TensorRoundTripBounds)
+{
+    Rng rng(7);
+    Tensor x = Tensor::randn(Shape{64, 33}, rng);
+    const std::vector<float> ref = x.toVector();
+
+    const Tensor bf = castFrom(castTo(x, DType::BF16));
+    const Tensor hf = castFrom(castTo(x, DType::F16));
+    float worst_bf = 0.0f, worst_hf = 0.0f;
+    const std::vector<float> vbf = bf.toVector();
+    const std::vector<float> vhf = hf.toVector();
+    for (size_t i = 0; i < ref.size(); ++i) {
+        const float a = std::fabs(ref[i]);
+        worst_bf = std::max(worst_bf,
+                            std::fabs(vbf[i] - ref[i]) / (a + 1e-6f));
+        worst_hf = std::max(worst_hf,
+                            std::fabs(vhf[i] - ref[i]) / (a + 1e-6f));
+    }
+    EXPECT_LE(worst_bf, 1.0f / 256.0f);
+    EXPECT_LE(worst_hf, 1.0f / 1024.0f);
+
+    // i8: absolute error within half a step of the chosen scale.
+    Tensor q = quantizeI8(x);
+    EXPECT_EQ(q.dtype(), DType::I8);
+    EXPECT_GT(q.quantScale(), 0.0f);
+    EXPECT_LE(maxAbsDiff(castFrom(q), x), q.quantScale() * 0.5f + 1e-6f);
+}
+
+TEST(DTypeCast, ReducedStorageIsCompact)
+{
+    Rng rng(8);
+    Tensor x = Tensor::randn(Shape{10, 11}, rng);
+    EXPECT_EQ(x.bytes(), 110u * 4u);
+    EXPECT_EQ(castTo(x, DType::BF16).bytes(), 110u * 2u);
+    EXPECT_EQ(castTo(x, DType::F16).bytes(), 110u * 2u);
+    EXPECT_EQ(castTo(x, DType::I8).bytes(), 110u * 1u);
+}
+
+TEST(DTypeCast, CloneKeepsDtypeAndScale)
+{
+    Rng rng(9);
+    Tensor x = Tensor::randn(Shape{5, 7}, rng);
+    Tensor q = quantizeI8(x);
+    Tensor c = q.clone();
+    EXPECT_EQ(c.dtype(), DType::I8);
+    EXPECT_EQ(c.quantScale(), q.quantScale());
+    EXPECT_EQ(std::memcmp(c.rawData(), q.rawData(), q.bytes()), 0);
+}
+
+TEST(DTypeCast, QuantScaleDeterministicAcrossThreadCounts)
+{
+    // The scale is a parallel max-abs reduction; max is associative
+    // and commutative, so any thread count must produce the identical
+    // scale (and therefore identical quantized payloads).
+    Rng rng(11);
+    Tensor x = Tensor::randn(Shape{64 * 1024 + 17}, rng);
+    float scale1 = 0.0f, scale4 = 0.0f;
+    {
+        core::ScopedNumThreads guard(1);
+        scale1 = quantScaleFor(x);
+    }
+    {
+        core::ScopedNumThreads guard(4);
+        scale4 = quantScaleFor(x);
+    }
+    EXPECT_EQ(scale1, scale4);
+
+    Tensor q1, q4;
+    {
+        core::ScopedNumThreads guard(1);
+        q1 = quantizeI8(x);
+    }
+    {
+        core::ScopedNumThreads guard(4);
+        q4 = quantizeI8(x);
+    }
+    EXPECT_EQ(q1.quantScale(), q4.quantScale());
+    EXPECT_EQ(std::memcmp(q1.rawData(), q4.rawData(), q1.bytes()), 0);
+}
+
+TEST(DTypeCast, WeightCastCacheReturnsSameStorage)
+{
+    Rng rng(12);
+    Tensor w = Tensor::randn(Shape{16, 8}, rng);
+    clearDtypeCastCache();
+    Tensor a = castWeightCached(w, DType::BF16);
+    Tensor b = castWeightCached(w, DType::BF16);
+    // Same cache entry: the second call returns the same storage, no
+    // re-cast.
+    EXPECT_EQ(a.rawData(), b.rawData());
+    // A different dtype is a different entry.
+    Tensor c = castWeightCached(w, DType::I8);
+    EXPECT_NE(static_cast<const void *>(a.rawData()),
+              static_cast<const void *>(c.rawData()));
+    EXPECT_EQ(c.dtype(), DType::I8);
+    clearDtypeCastCache();
+    // After a clear, the cast is fresh storage.
+    Tensor d = castWeightCached(w, DType::BF16);
+    EXPECT_EQ(std::memcmp(d.rawData(), a.rawData(), a.bytes()), 0);
+}
+
+// ---------------------------------------------------------------------
+// Reduced GEMM / conv numerics vs the f32 reference.
+// ---------------------------------------------------------------------
+
+TEST(DTypeGemm, F32OperandsMatchF32KernelBitwise)
+{
+    // The dtype-generic entry with f32 operands must forward to the
+    // exact f32 kernel: identical bits, no epsilon.
+    Rng rng(13);
+    Tensor x = Tensor::randn(Shape{33, 47}, rng);
+    Tensor w = Tensor::randn(Shape{47, 29}, rng);
+    Tensor b = Tensor::randn(Shape{29}, rng);
+    Tensor a = linearAct(x, w, b, ActKind::Relu);
+    Tensor d = linearActDt(x, w, b, ActKind::Relu);
+    ASSERT_EQ(a.shape(), d.shape());
+    const std::vector<float> va = a.toVector();
+    const std::vector<float> vd = d.toVector();
+    EXPECT_EQ(std::memcmp(va.data(), vd.data(),
+                          va.size() * sizeof(float)),
+              0);
+}
+
+TEST(DTypeGemm, ReducedGemmTracksF32Reference)
+{
+    Rng rng(14);
+    // Large enough K to cross the blocked path's KC panel boundary.
+    Tensor x = Tensor::randn(Shape{48, 300}, rng);
+    Tensor w = Tensor::randn(Shape{300, 56}, rng);
+    Tensor b = Tensor::randn(Shape{56}, rng);
+    Tensor ref = linearAct(x, w, b, ActKind::None);
+
+    // Cast-both flavor. Error scales with sqrt(K) * input rounding.
+    for (const DType dt : {DType::BF16, DType::F16}) {
+        Tensor out = linearActDt(castTo(x, dt), castTo(w, dt), b,
+                                 ActKind::None);
+        const float tol = dt == DType::BF16 ? 0.8f : 0.2f;
+        EXPECT_LE(maxAbsDiff(out, ref), tol) << dtypeName(dt);
+    }
+    // Mixed flavor: f32 activations, reduced weights — tighter.
+    for (const DType dt : {DType::BF16, DType::F16}) {
+        Tensor out = linearActDt(x, castTo(w, dt), b, ActKind::None);
+        const float tol = dt == DType::BF16 ? 0.5f : 0.15f;
+        EXPECT_LE(maxAbsDiff(out, ref), tol) << dtypeName(dt);
+    }
+    // i8: symmetric per-tensor quantization of both operands.
+    Tensor out = linearActDt(quantizeI8(x), quantizeI8(w), b,
+                             ActKind::None);
+    EXPECT_LE(maxAbsDiff(out, ref), 3.0f);
+    // And it must still be a meaningful product, not noise.
+    EXPECT_LE(maxAbsDiff(out, ref) / maxAbsDiff(ref, Tensor::zeros(
+                  ref.shape())), 0.2f);
+}
+
+TEST(DTypeGemm, SmallPathMatchesLargePathSemantics)
+{
+    // Tiny problem takes the unblocked path; it must obey the same
+    // bound as the blocked one.
+    Rng rng(15);
+    Tensor x = Tensor::randn(Shape{3, 17}, rng);
+    Tensor w = Tensor::randn(Shape{17, 5}, rng);
+    Tensor ref = linearAct(x, w, Tensor(), ActKind::None);
+    Tensor out = linearActDt(castTo(x, DType::BF16),
+                             castTo(w, DType::BF16), Tensor(),
+                             ActKind::None);
+    EXPECT_LE(maxAbsDiff(out, ref), 0.2f);
+}
+
+TEST(DTypeConv, ReducedConvTracksF32Reference)
+{
+    Rng rng(16);
+    Tensor x = Tensor::randn(Shape{2, 6, 13, 13}, rng);
+    Tensor w = Tensor::randn(Shape{8, 6, 3, 3}, rng);
+    Tensor b = Tensor::randn(Shape{8}, rng);
+    Tensor ref = conv2dAct(x, w, b, 1, 1, ActKind::Relu);
+
+    for (const DType dt : {DType::BF16, DType::F16}) {
+        // Cast-input and weights-only flavors both track f32.
+        Tensor both = conv2dActDt(x, castTo(w, dt), b, 1, 1,
+                                  ActKind::Relu, /*cast_input=*/true);
+        Tensor wonly = conv2dActDt(x, castTo(w, dt), b, 1, 1,
+                                   ActKind::Relu, /*cast_input=*/false);
+        const float tol = dt == DType::BF16 ? 0.5f : 0.1f;
+        EXPECT_LE(maxAbsDiff(both, ref), tol) << dtypeName(dt);
+        EXPECT_LE(maxAbsDiff(wonly, ref), tol) << dtypeName(dt);
+    }
+}
+
+TEST(DTypeConv, I8ConvInt32Accumulation)
+{
+    // i8 conv forward accumulates in int32 (the MIOpen support-matrix
+    // rule): products of clamped [-127, 127] values cannot overflow
+    // the accumulator, and the dequantized output tracks f32.
+    Rng rng(17);
+    Tensor x = Tensor::randn(Shape{2, 4, 9, 9}, rng);
+    Tensor w = Tensor::randn(Shape{6, 4, 3, 3}, rng);
+    Tensor b = Tensor::randn(Shape{6}, rng);
+    Tensor ref = conv2dAct(x, w, b, 1, 1, ActKind::None);
+    Tensor out = conv2dActDt(x, quantizeI8(w), b, 1, 1, ActKind::None,
+                             /*cast_input=*/true);
+    EXPECT_LE(maxAbsDiff(out, ref), 1.0f);
+    // Deterministic across thread counts (per-oc parallel, i32 acc).
+    Tensor out1, out4;
+    {
+        core::ScopedNumThreads guard(1);
+        out1 = conv2dActDt(x, quantizeI8(w), b, 1, 1, ActKind::None,
+                           true);
+    }
+    {
+        core::ScopedNumThreads guard(4);
+        out4 = conv2dActDt(x, quantizeI8(w), b, 1, 1, ActKind::None,
+                           true);
+    }
+    const std::vector<float> v1 = out1.toVector();
+    const std::vector<float> v4 = out4.toVector();
+    EXPECT_EQ(std::memcmp(v1.data(), v4.data(),
+                          v1.size() * sizeof(float)),
+              0);
+}
+
+TEST(DTypeConv, OneByOneGemmFastPath)
+{
+    // 1x1/s1/p0 takes the im2col-skip fast path in every flavor.
+    Rng rng(18);
+    Tensor x = Tensor::randn(Shape{1, 8, 7, 7}, rng);
+    Tensor w = Tensor::randn(Shape{4, 8, 1, 1}, rng);
+    Tensor ref = conv2dAct(x, w, Tensor(), 1, 0, ActKind::None);
+    Tensor bf = conv2dActDt(x, castTo(w, DType::BF16), Tensor(), 1, 0,
+                            ActKind::None, true);
+    Tensor i8 = conv2dActDt(x, quantizeI8(w), Tensor(), 1, 0,
+                            ActKind::None, true);
+    EXPECT_LE(maxAbsDiff(bf, ref), 0.2f);
+    EXPECT_LE(maxAbsDiff(i8, ref), 0.5f);
+}
+
+// ---------------------------------------------------------------------
+// Reduced elementwise / norm entries.
+// ---------------------------------------------------------------------
+
+TEST(DTypeElementwise, AddReluLayernormTrackF32)
+{
+    Rng rng(19);
+    Tensor a = Tensor::randn(Shape{16, 32}, rng);
+    Tensor b = Tensor::randn(Shape{16, 32}, rng);
+
+    Tensor add_ref = add(a, b);
+    Tensor add_bf = castFrom(
+        addDt(castTo(a, DType::BF16), castTo(b, DType::BF16)));
+    EXPECT_LE(maxAbsDiff(add_bf, add_ref), 0.1f);
+
+    Tensor relu_ref = reluF(a);
+    Tensor relu_bf = castFrom(reluDt(castTo(a, DType::BF16)));
+    EXPECT_LE(maxAbsDiff(relu_bf, relu_ref), 0.05f);
+    // i8 relu is exact in the quantized domain: same scale, negatives
+    // clamped to zero.
+    Tensor qa = quantizeI8(a);
+    Tensor relu_q = reluDt(qa);
+    EXPECT_EQ(relu_q.quantScale(), qa.quantScale());
+    EXPECT_LE(maxAbsDiff(castFrom(relu_q), relu_ref),
+              qa.quantScale() * 0.5f + 1e-6f);
+
+    Tensor g = Tensor::ones(Shape{32});
+    Tensor beta = Tensor::zeros(Shape{32});
+    Tensor ln_ref = layernorm(a, g, beta, 1e-5f);
+    Tensor ln_bf = castFrom(
+        layernormDt(castTo(a, DType::BF16), g, beta, 1e-5f));
+    EXPECT_LE(maxAbsDiff(ln_bf, ln_ref), 0.1f);
+}
+
+// ---------------------------------------------------------------------
+// The active-dtype scope.
+// ---------------------------------------------------------------------
+
+TEST(DTypeScope, InstallsAndRestores)
+{
+    EXPECT_EQ(activeDType(), DType::F32);
+    EXPECT_FALSE(dtypeActive());
+    {
+        DTypeScope scope(DType::BF16);
+        EXPECT_EQ(activeDType(), DType::BF16);
+        EXPECT_TRUE(dtypeActive());
+        {
+            DTypeScope nested(DType::F32);
+            EXPECT_EQ(activeDType(), DType::F32);
+            EXPECT_FALSE(dtypeActive());
+        }
+        EXPECT_EQ(activeDType(), DType::BF16);
+    }
+    EXPECT_EQ(activeDType(), DType::F32);
+}
+
+TEST(DTypeScope, ParseNames)
+{
+    DType dt;
+    EXPECT_TRUE(tryParseDType("bf16", &dt));
+    EXPECT_EQ(dt, DType::BF16);
+    EXPECT_TRUE(tryParseDType("bfloat16", &dt));
+    EXPECT_EQ(dt, DType::BF16);
+    EXPECT_TRUE(tryParseDType("fp16", &dt));
+    EXPECT_EQ(dt, DType::F16);
+    EXPECT_TRUE(tryParseDType("int8", &dt));
+    EXPECT_EQ(dt, DType::I8);
+    EXPECT_TRUE(tryParseDType("f32", &dt));
+    EXPECT_EQ(dt, DType::F32);
+    EXPECT_FALSE(tryParseDType("f64", &dt));
+    EXPECT_FALSE(tryParseDType("", &dt));
+}
+
+} // namespace
+} // namespace tensor
+} // namespace mmbench

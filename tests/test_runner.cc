@@ -437,6 +437,94 @@ TEST(RunSpecParse, FusionKernelFlagErrors)
         << error;
 }
 
+// ---------------------------------------------------- reduced-precision
+
+TEST(RunSpecParse, DtypeFlagParsesAndRoundTrips)
+{
+    RunSpec spec;
+    std::string error;
+    ASSERT_TRUE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--dtype", "bf16"}, &spec, &error))
+        << error;
+    EXPECT_EQ(spec.dtype, tensor::DType::BF16);
+
+    RunSpec reparsed;
+    ASSERT_TRUE(runner::parseRunSpec(spec.toArgs(), &reparsed, &error))
+        << error;
+    EXPECT_EQ(reparsed.dtype, tensor::DType::BF16);
+
+    // The default spec never emits --dtype: f32 command lines (and
+    // their JSONL records) stay byte-identical to the pre-dtype era.
+    RunSpec plain;
+    ASSERT_TRUE(runner::parseRunSpec({"--workload", "av-mnist"}, &plain,
+                                     &error));
+    for (const std::string &arg : plain.toArgs())
+        EXPECT_NE(arg, "--dtype");
+
+    // Explicit f32 parses and round-trips to the flag-free form.
+    RunSpec f32;
+    ASSERT_TRUE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--dtype", "f32"}, &f32, &error));
+    EXPECT_EQ(f32.dtype, tensor::DType::F32);
+    for (const std::string &arg : f32.toArgs())
+        EXPECT_NE(arg, "--dtype");
+}
+
+TEST(RunSpecParse, DtypeFlagErrors)
+{
+    RunSpec spec;
+    std::string error;
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--dtype", "f64"}, &spec, &error));
+    EXPECT_NE(error.find("--dtype"), std::string::npos) << error;
+
+    // i8 and f16 are inference-only: training rejects at parse time.
+    for (const char *dt : {"i8", "f16"}) {
+        spec = RunSpec();
+        EXPECT_FALSE(runner::parseRunSpec(
+            {"--workload", "av-mnist", "--mode", "train", "--dtype", dt},
+            &spec, &error))
+            << dt;
+        EXPECT_NE(error.find("inference-only"), std::string::npos)
+            << error;
+    }
+
+    // bf16 trains (f32 master weights), and i8 serves/infers.
+    spec = RunSpec();
+    EXPECT_TRUE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--mode", "train", "--dtype", "bf16"},
+        &spec, &error))
+        << error;
+    spec = RunSpec();
+    EXPECT_TRUE(runner::parseRunSpec(
+        {"--workload", "av-mnist", "--mode", "serve", "--dtype", "i8"},
+        &spec, &error))
+        << error;
+}
+
+TEST(RunSpecParse, DtypeSweepExpandsInnermost)
+{
+    std::vector<RunSpec> specs;
+    std::string error;
+    ASSERT_TRUE(runner::parseRunSpecs(
+        {"--workload", "av-mnist", "--batch", "2,4", "--dtype",
+         "f32,bf16"},
+        &specs, &error))
+        << error;
+    ASSERT_EQ(specs.size(), 4u);
+    // dtype is the innermost axis: each batch's f32 row is immediately
+    // followed by its reduced sibling, so precision pairs sit adjacent
+    // in the emitted stream.
+    EXPECT_EQ(specs[0].batch, 2);
+    EXPECT_EQ(specs[0].dtype, tensor::DType::F32);
+    EXPECT_EQ(specs[1].batch, 2);
+    EXPECT_EQ(specs[1].dtype, tensor::DType::BF16);
+    EXPECT_EQ(specs[2].batch, 4);
+    EXPECT_EQ(specs[2].dtype, tensor::DType::F32);
+    EXPECT_EQ(specs[3].batch, 4);
+    EXPECT_EQ(specs[3].dtype, tensor::DType::BF16);
+}
+
 // --------------------------------------------------------------- registry
 
 TEST(WorkloadRegistry, AllNineRegisteredInTableOrder)

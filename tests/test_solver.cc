@@ -384,6 +384,82 @@ TEST(Autotune, SingleCandidateProblemsNeverSearch)
 }
 
 // ---------------------------------------------------------------------
+// Dtype-aware problem keys: a perf-db warmed under one dtype must
+// never answer for another.
+// ---------------------------------------------------------------------
+
+TEST(DtypeKeys, ProblemKeyEncodesDtype)
+{
+    ProblemDesc desc;
+    desc.kind = ProblemKind::Gemm;
+    desc.m = 8;
+    desc.k = 16;
+    desc.n = 4;
+    const std::string f32_key = desc.key();
+    EXPECT_NE(f32_key.find("f32"), std::string::npos);
+
+    std::vector<std::string> keys{f32_key};
+    for (const tensor::DType dt :
+         {tensor::DType::BF16, tensor::DType::F16, tensor::DType::I8}) {
+        desc.dtype = dt;
+        const std::string key = desc.key();
+        EXPECT_NE(key.find(tensor::dtypeName(dt)), std::string::npos);
+        for (const std::string &prev : keys)
+            EXPECT_NE(key, prev);
+        keys.push_back(key);
+    }
+}
+
+TEST(DtypeKeys, NoStaleF32EntryServedForReducedProblem)
+{
+    const std::string path = tmpPath("/tmp/mmbench_perfdb_dtype");
+    std::remove(path.c_str());
+
+    Rng rng(17);
+    Tensor x = Tensor::randn(Shape{32, 32}, rng);
+    Tensor w = Tensor::randn(Shape{32, 32}, rng);
+    Tensor b = Tensor::randn(Shape{32}, rng);
+
+    Config cfg;
+    cfg.fusionEnabled = true;
+    cfg.autotune = AutotuneMode::On;
+    cfg.perfdbPath = path;
+
+    {
+        // Warm the db with the f32 flavor of this exact shape.
+        ScopedConfig guard(cfg);
+        runLinear(x, w, b, ActKind::Relu);
+        EXPECT_EQ(counters().searches.load(), 1u);
+    }
+    {
+        // Same shape under bf16: different key, so the f32 entry must
+        // not answer — a fresh search runs for the reduced problem.
+        ScopedConfig guard(cfg);
+        tensor::DTypeScope dt(tensor::DType::BF16);
+        runLinear(x, w, b, ActKind::Relu);
+        EXPECT_EQ(counters().perfdbHits.load(), 0u);
+        EXPECT_EQ(counters().searches.load(), 1u);
+    }
+    {
+        // And the bf16 entry persisted: a second bf16 run is warm.
+        ScopedConfig guard(cfg);
+        tensor::DTypeScope dt(tensor::DType::BF16);
+        runLinear(x, w, b, ActKind::Relu);
+        EXPECT_EQ(counters().perfdbHits.load(), 1u);
+        EXPECT_EQ(counters().searches.load(), 0u);
+    }
+    {
+        // The f32 entry is still warm too — the dtype axis widened the
+        // key space without invalidating existing rows.
+        ScopedConfig guard(cfg);
+        runLinear(x, w, b, ActKind::Relu);
+        EXPECT_EQ(counters().perfdbHits.load(), 1u);
+        EXPECT_EQ(counters().searches.load(), 0u);
+    }
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
 // The fusion pass.
 // ---------------------------------------------------------------------
 
@@ -403,14 +479,28 @@ TEST(FusionPass, PlansLinearConvAndNormPatterns)
     const nn::FusionPlan &plan = seq.fusionPlan();
     EXPECT_EQ(plan.report.totalLayers, 8);
     EXPECT_EQ(plan.report.fusedGroups, 2);
-    EXPECT_EQ(plan.report.fusedLayers, 4);
+    // conv+bn+relu folds as one three-layer group (eval-time constant
+    // folding of the BN affine into the conv weights).
+    EXPECT_EQ(plan.report.fusedLayers, 5);
     ASSERT_EQ(plan.report.patterns.size(), 2u);
-    EXPECT_EQ(plan.report.patterns[0], "batchnorm+relu");
+    EXPECT_EQ(plan.report.patterns[0], "conv+batchnorm+relu");
     EXPECT_EQ(plan.report.patterns[1], "linear+bias+relu");
-    // The conv -> batchnorm adjacency is explicitly unsupported.
-    ASSERT_EQ(plan.report.unsupported.size(), 1u);
-    EXPECT_NE(plan.report.unsupported[0].find("folding not supported"),
-              std::string::npos);
+    EXPECT_TRUE(plan.report.unsupported.empty());
+}
+
+TEST(FusionPass, ConvBnWithoutActAlsoFolds)
+{
+    nn::seedAll(21);
+    nn::Sequential seq("chain");
+    seq.emplace<nn::Conv2d>(3, 8, 3, 1, 1, true);
+    seq.emplace<nn::BatchNorm2d>(8);
+    seq.emplace<nn::MaxPool2d>(2, 2);
+
+    const nn::FusionPlan &plan = seq.fusionPlan();
+    EXPECT_EQ(plan.report.fusedGroups, 1);
+    EXPECT_EQ(plan.report.fusedLayers, 2);
+    ASSERT_EQ(plan.report.patterns.size(), 1u);
+    EXPECT_EQ(plan.report.patterns[0], "conv+batchnorm");
 }
 
 TEST(FusionPass, ActAfterUnfusableProducerIsReported)
@@ -464,13 +554,50 @@ TEST(FusionPass, FusedForwardMatchesUnfused)
         fused = seq.forward(x).value();
         EXPECT_GT(counters().fusedOps.load(), 0u);
     }
-    // Every fused pattern in this chain has a ReLU epilogue, and the
-    // no-epilogue Linear/Conv registry dispatch replays the production
-    // heuristic: identical bits.
-    expectBitwise(fused, baseline);
+    // The conv+bn fold rewrites the conv weights by the BN affine
+    // (epsilon-equivalent algebra, not bitwise); the linear groups
+    // replay the production heuristic exactly. Close, tight tolerance.
+    expectClose(fused, baseline, 1e-4f);
 
     // With the scope gone, forward takes the historical path again.
     expectBitwise(seq.forward(x).value(), baseline);
+}
+
+TEST(FusionPass, TrainThenEvalRefoldsConvBn)
+{
+    // The folded conv+bn weights cache against the BN stats version; a
+    // training forward moves the running stats, so the next eval
+    // forward must re-fold instead of serving the stale constants.
+    nn::seedAll(26);
+    nn::Sequential seq("chain");
+    seq.emplace<nn::Conv2d>(3, 4, 3, 1, 1, true);
+    seq.emplace<nn::BatchNorm2d>(4);
+    seq.emplace<nn::ReLU>();
+
+    Rng rng(26);
+    Var x(Tensor::randn(Shape{2, 3, 6, 6}, rng));
+    Config cfg;
+    cfg.fusionEnabled = true;
+
+    seq.train(false);
+    {
+        ag::NoGradGuard ng;
+        ScopedConfig guard(cfg);
+        seq.forward(x).value(); // primes the fold cache
+    }
+
+    // A training-mode forward updates the BN running stats.
+    seq.train(true);
+    Var y(Tensor::randn(Shape{2, 3, 6, 6}, rng));
+    seq.forward(y);
+
+    // Back to eval: the fused forward must match the unfused forward
+    // under the *new* stats, not the primed fold.
+    seq.train(false);
+    ag::NoGradGuard ng;
+    Tensor baseline = seq.forward(x).value();
+    ScopedConfig guard(cfg);
+    expectClose(seq.forward(x).value(), baseline, 1e-4f);
 }
 
 TEST(FusionPass, TrainingModeBatchNormFallsBack)
