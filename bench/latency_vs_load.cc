@@ -146,23 +146,29 @@ run()
                     numfmt::f1(r.throughputSps)});
     }
 
-    // Serving-engine comparison on the multi-encoder workloads: the
+    // Serving-engine ladder on the multi-encoder workloads: the
     // static batch-and-hold engine vs continuous batching with
-    // stage-level pipelining, swept over the same offered-load ladder.
-    // The continuous engine re-forms batches from whatever is queued
+    // stage-level pipelining vs the same plus in-flight wave-boundary
+    // re-merge, swept over the same offered-load ladder. The
+    // continuous engine re-forms batches from whatever is queued
     // (amortising per-request graph overhead under load) and overlaps
-    // one request's encoder wave with another's fusion/head stages, so
-    // past the knee it should hold a lower p99 at the same rate — and
+    // one request's encoder wave with another's fusion/head stages;
+    // re-merge additionally lets a batch absorb a compatible batch at
+    // a shared wave frontier, so the wide fusion/head waves run at a
+    // larger batch than the queue happened to form. Past the knee the
+    // later engines should hold a lower p99 at the same rate — and
     // therefore a higher max rate under a fixed p99 SLO. Runs here,
     // before the JSONL sink closes, so the raw records land in the
     // shared file.
+    static const char *const kEngines[] = {
+        "static", "continuous+pipe", "continuous+pipe+remerge"};
     TextTable pipe_table({"Workload", "Engine", "Offered rps",
                           "Achieved rps", "p99", "Goodput rps",
-                          "Batches"});
+                          "Batches", "Merged waves"});
     struct EnginePoint
     {
         std::string workload;
-        bool pipelined;
+        std::string engine;
         runner::RunResult result;
     };
     std::vector<EnginePoint> engine_points;
@@ -179,26 +185,31 @@ run()
         anchor.requests = smoke ? 24 : 96;
         const double wl_capacity =
             runner::runOne(anchor, sinks).serve.achievedRps;
-        for (const bool pipelined : {false, true}) {
+        for (const char *const engine_name : kEngines) {
             runner::RunSpec engine = anchor;
             engine.arrival = pipeline::ArrivalKind::Poisson;
-            if (pipelined) {
+            if (engine_name != kEngines[0]) {
                 engine.batcher = pipeline::BatcherKind::Continuous;
                 engine.maxBatch = 8;
                 engine.pipelineServe = true;
+                engine.remerge = engine_name == kEngines[2];
             }
             for (double f : pipe_fractions) {
                 engine.rateRps = f * wl_capacity;
                 runner::RunResult r = runner::runOne(engine, sinks);
                 pipe_table.addRow(
-                    {name,
-                     pipelined ? "continuous+pipe" : "static",
+                    {name, engine_name,
                      numfmt::f1(r.serve.offeredRps),
                      numfmt::f1(r.serve.achievedRps),
                      numfmt::f1(r.hostLatencyUs.p99),
                      numfmt::f1(r.serve.goodputRps),
-                     strfmt("%d", r.serve.batches)});
-                engine_points.push_back({name, pipelined,
+                     strfmt("%d", r.serve.batches),
+                     engine.remerge
+                         ? strfmt("%llu",
+                                  static_cast<unsigned long long>(
+                                      r.serve.remergedWaves))
+                         : "-"});
+                engine_points.push_back({name, engine_name,
                                          std::move(r)});
             }
         }
@@ -226,9 +237,10 @@ run()
     benchutil::note(
         "serving-engine ladder on the multi-encoder workloads: "
         "continuous batching + stage-level pipelining (--batcher "
-        "continuous --max-batch 8 --pipeline on) vs the static "
-        "engine at the same offered rates; per-request outputs are "
-        "bitwise identical between the engines.");
+        "continuous --max-batch 8 --pipeline on), with and without "
+        "in-flight wave-boundary re-merge (--remerge on), vs the "
+        "static engine at the same offered rates; per-request outputs "
+        "are bitwise identical across all three engines.");
 
     // Per-engine SLO metric: the max swept rate whose p99 held the
     // target, side by side — the serving-scheduler win condition.
@@ -237,11 +249,11 @@ run()
         TextTable pipe_slo({"Workload", "Engine", "Max offered rps",
                             "p99 at max (us)"});
         for (const char *name : {"transfuser", "medical-seg"}) {
-            for (const bool pipelined : {false, true}) {
+            for (const char *const engine_name : kEngines) {
                 const runner::RunResult *best_pt = nullptr;
                 for (const EnginePoint &pt : engine_points) {
                     if (pt.workload != name ||
-                        pt.pipelined != pipelined)
+                        pt.engine != engine_name)
                         continue;
                     if (pt.result.hostLatencyUs.p99 <= slo_us &&
                         (!best_pt || pt.result.serve.offeredRps >
@@ -249,7 +261,7 @@ run()
                         best_pt = &pt.result;
                 }
                 pipe_slo.addRow(
-                    {name, pipelined ? "continuous+pipe" : "static",
+                    {name, engine_name,
                      best_pt ? numfmt::f1(best_pt->serve.offeredRps)
                              : "none",
                      best_pt ? numfmt::f1(best_pt->hostLatencyUs.p99)

@@ -58,6 +58,16 @@ enum class FaultKind
 
 const char *faultKindName(FaultKind kind);
 
+/**
+ * Upper bound on one node's injected busy-extension, in microseconds.
+ * Slow faults stretch the node's *measured* span by x, so on an
+ * oversubscribed host a span inflated by preemption would otherwise
+ * amplify scheduler noise by the same factor (a 20 ms steal burst
+ * times x=2000 is a minute of spinning). The cap bounds any single
+ * injected stall; realistic spans and factors never reach it.
+ */
+constexpr double kMaxInjectedStallUs = 50000.0;
+
 /** One parsed `--faults` rule. */
 struct FaultRule
 {

@@ -1,5 +1,6 @@
 #include "pipeline/scheduler.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 
@@ -67,8 +68,10 @@ execNode(size_t node_id, const StageNode &node, ExecContext &ctx,
         const double factor = options.faults->slowdownFor(
             options.faultRequest, node.name, options.faultAttempt);
         if (factor > 1.0) {
-            const double target =
-                out.startUs + (out.endUs - out.startUs) * factor;
+            const double extension =
+                std::min((out.endUs - out.startUs) * (factor - 1.0),
+                         kMaxInjectedStallUs);
+            const double target = out.endUs + extension;
             while (nowUs() < target) {
             }
             out.endUs = nowUs();

@@ -259,17 +259,11 @@ runTrain(const RunSpec &spec, models::MultiModalWorkload &workload,
     result->hasMetric = true;
 }
 
-/**
- * Concatenate the batched requests' pre-sampled batches into one
- * service batch (row-wise, dequeue order). Assembly cost is part of
- * the batched request's service time, as it would be in a real
- * batching server. `ids` need not be contiguous: under request
- * classes the dispatcher batches same-class requests, which are
- * interleaved with other classes in the arrival stream.
- */
+} // namespace
+
 data::Batch
 coalesceBatches(const std::vector<data::Batch> &batches,
-                const std::vector<int> &ids)
+                const std::vector<int> &ids, bool include_targets)
 {
     data::Batch fused;
     const size_t modalities =
@@ -282,15 +276,19 @@ coalesceBatches(const std::vector<data::Batch> &batches,
                 batches[static_cast<size_t>(i)].modalities[m]);
         fused.modalities.push_back(tensor::concat(parts, 0));
     }
-    std::vector<tensor::Tensor> targets;
-    targets.reserve(ids.size());
-    for (const int i : ids) {
-        targets.push_back(batches[static_cast<size_t>(i)].targets);
+    for (const int i : ids)
         fused.size += batches[static_cast<size_t>(i)].size;
+    if (include_targets) {
+        std::vector<tensor::Tensor> targets;
+        targets.reserve(ids.size());
+        for (const int i : ids)
+            targets.push_back(batches[static_cast<size_t>(i)].targets);
+        fused.targets = tensor::concat(targets, 0);
     }
-    fused.targets = tensor::concat(targets, 0);
     return fused;
 }
+
+namespace {
 
 /** Set bits in a drop mask (fault-dropped modalities per request). */
 int
@@ -476,7 +474,10 @@ runServe(const RunSpec &spec, models::MultiModalWorkload &workload,
             if (call.count == 1) {
                 input = &batches[static_cast<size_t>(call.first)];
             } else {
-                fused_batch = coalesceBatches(batches, call.ids);
+                // Serve mode is inference-only: targets are never
+                // read downstream, so the fan-in skips their concat.
+                fused_batch = coalesceBatches(batches, call.ids,
+                                              /*include_targets=*/false);
                 input = &fused_batch;
             }
 
@@ -505,6 +506,10 @@ runServe(const RunSpec &spec, models::MultiModalWorkload &workload,
                                       .at(static_cast<size_t>(
                                           call.classId))
                                       .priority;
+                        preq.classId = call.classId;
+                        preq.remerge = spec.remerge;
+                        preq.requestCount = call.count;
+                        preq.mergeCap = spec.maxBatch;
                         const pipeline::PipeCompletion done =
                             pipe->execute(preq);
                         sr.faultsInjected += done.injectedSlowdowns;
@@ -575,6 +580,10 @@ runServe(const RunSpec &spec, models::MultiModalWorkload &workload,
     result->serve.batcher = pipeline::batcherKindName(spec.batcher);
     result->serve.pipelined = spec.pipelineServe;
     result->serve.batches = stream.serviceCalls;
+    if (pipe) {
+        result->serve.remergedWaves = pipe->remergedWaves();
+        result->serve.remergedRequests = pipe->remergedRequests();
+    }
     result->serve.ok = stream.ok;
     result->serve.degraded = stream.degraded;
     result->serve.shed = stream.shed;

@@ -11,12 +11,27 @@
 
 #include <vector>
 
+#include "data/synthetic.hh"
 #include "runner/runresult.hh"
 #include "runner/runspec.hh"
 #include "runner/sink.hh"
 
 namespace mmbench {
 namespace runner {
+
+/**
+ * Concatenate the batched requests' pre-sampled batches into one
+ * service batch (row-wise, dequeue order). Assembly cost is part of
+ * the batched request's service time, as it would be in a real
+ * batching server. `ids` need not be contiguous: under request
+ * classes the dispatcher batches same-class requests, which are
+ * interleaved with other classes in the arrival stream. Serve mode
+ * passes include_targets=false — targets are never read on the
+ * inference hot path, so their concat is skipped.
+ */
+data::Batch coalesceBatches(const std::vector<data::Batch> &batches,
+                            const std::vector<int> &ids,
+                            bool include_targets);
 
 /**
  * Execute one spec. Fatal on unknown workload/device names (callers

@@ -139,6 +139,10 @@ RunSpec::toArgs() const
         args.push_back("--pipeline");
         args.push_back("on");
     }
+    if (remerge) {
+        args.push_back("--remerge");
+        args.push_back("on");
+    }
     if (!faults.empty()) {
         args.push_back("--faults");
         args.push_back(faults);
@@ -197,6 +201,8 @@ RunSpec::toString() const
         text += strfmt(" classes=%s", classes.c_str());
     if (pipelineServe)
         text += " pipeline=on";
+    if (remerge)
+        text += " remerge=on";
     if (fuseKernels)
         text += strfmt(" fuse_kernels=on autotune=%s",
                        solver::autotuneModeName(autotune));
@@ -467,6 +473,17 @@ parseSpecFlags(const std::vector<std::string> &args, RunSpec *spec,
                                 "'%s'", value.c_str());
                 return false;
             }
+        } else if (flag == "--remerge") {
+            const std::string p = toLower(value);
+            if (p == "on" || p == "true" || p == "1") {
+                spec->remerge = true;
+            } else if (p == "off" || p == "false" || p == "0") {
+                spec->remerge = false;
+            } else {
+                *error = strfmt("--remerge expects on or off, got "
+                                "'%s'", value.c_str());
+                return false;
+            }
         } else if (flag == "--coalesce") {
             int64_t v;
             if (!parseInt64(value, &v) || v <= 0) {
@@ -640,6 +657,22 @@ parseSpecFlags(const std::vector<std::string> &args, RunSpec *spec,
         if (!spec->shed) {
             *error = "--shed off disables serve-mode load shedding; "
                      "add --mode serve";
+            return false;
+        }
+    }
+    if (spec->remerge) {
+        // Re-merge happens at wave boundaries inside the stage
+        // pipeline, and with --max-batch 1 a merge could never fire;
+        // rejecting both keeps emitted records honest about what ran.
+        if (!spec->pipelineServe) {
+            *error = "--remerge re-merges in-flight batches at wave "
+                     "boundaries inside the stage pipeline; add "
+                     "--pipeline on";
+            return false;
+        }
+        if (spec->maxBatch < 2) {
+            *error = "--remerge merges up to --max-batch requests "
+                     "into one batch; pass --max-batch 2 or higher";
             return false;
         }
     }

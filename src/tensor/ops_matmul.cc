@@ -300,13 +300,30 @@ gemmBlocked(const GemmOperand &a, const GemmOperand &b, float *c,
             int64_t m, int64_t k, int64_t n, const Epilogue *epi)
 {
     if (m * n * k <= kSmallGemmMacLimit) {
+        // The k loop is chunked by KC with a per-chunk accumulator
+        // flushed into C, mirroring the blocked path's k-grouping:
+        // each output row is then bitwise identical whichever side of
+        // the (m-dependent) size cutoff a problem lands on, so growing
+        // a batch mid-flight cannot perturb the surviving rows.
+        constexpr int64_t JB = 512;
+        float acc[JB];
         for (int64_t i = 0; i < m; ++i) {
             float *crow = c + i * n;
-            for (int64_t kk = 0; kk < k; ++kk) {
-                const float aik = a.p[i * a.rs + kk * a.cs];
-                const float *brow = b.p + kk * b.rs;
-                for (int64_t j = 0; j < n; ++j)
-                    crow[j] += aik * brow[j * b.cs];
+            for (int64_t jb = 0; jb < n; jb += JB) {
+                const int64_t jn = std::min(JB, n - jb);
+                for (int64_t pc = 0; pc < k; pc += KC) {
+                    const int64_t kc = std::min(KC, k - pc);
+                    for (int64_t j = 0; j < jn; ++j)
+                        acc[j] = 0.0f;
+                    for (int64_t kk = pc; kk < pc + kc; ++kk) {
+                        const float aik = a.p[i * a.rs + kk * a.cs];
+                        const float *brow = b.p + kk * b.rs;
+                        for (int64_t j = 0; j < jn; ++j)
+                            acc[j] += aik * brow[(jb + j) * b.cs];
+                    }
+                    for (int64_t j = 0; j < jn; ++j)
+                        crow[jb + j] += acc[j];
+                }
             }
             if (epi != nullptr)
                 applyEpilogueRow(crow, *epi, 0, n);
@@ -393,15 +410,29 @@ gemmBlockedDt(const DtOperand &a, const DtOperand &b, float *c, int64_t m,
                     static_cast<const typename LA::T *>(a.p);
                 const typename LB::T *pb =
                     static_cast<const typename LB::T *>(b.p);
+                // Same KC-chunked accumulation as the f32 small path:
+                // keeps rows bitwise stable across the size cutoff.
+                constexpr int64_t JB = 512;
+                float acc[JB];
                 for (int64_t i = 0; i < m; ++i) {
                     float *crow = c + i * n;
-                    for (int64_t kk = 0; kk < k; ++kk) {
-                        const float aik = LA::load(
-                            pa + i * a.rs + kk * a.cs, a.scale);
-                        const typename LB::T *brow = pb + kk * b.rs;
-                        for (int64_t j = 0; j < n; ++j)
-                            crow[j] += aik * LB::load(brow + j * b.cs,
-                                                      b.scale);
+                    for (int64_t jb = 0; jb < n; jb += JB) {
+                        const int64_t jn = std::min(JB, n - jb);
+                        for (int64_t pc = 0; pc < k; pc += KC) {
+                            const int64_t kc = std::min(KC, k - pc);
+                            for (int64_t j = 0; j < jn; ++j)
+                                acc[j] = 0.0f;
+                            for (int64_t kk = pc; kk < pc + kc; ++kk) {
+                                const float aik = LA::load(
+                                    pa + i * a.rs + kk * a.cs, a.scale);
+                                const typename LB::T *brow = pb + kk * b.rs;
+                                for (int64_t j = 0; j < jn; ++j)
+                                    acc[j] += aik * LB::load(
+                                        brow + (jb + j) * b.cs, b.scale);
+                            }
+                            for (int64_t j = 0; j < jn; ++j)
+                                crow[jb + j] += acc[j];
+                        }
                     }
                     if (epi != nullptr)
                         applyEpilogueRow(crow, *epi, 0, n);

@@ -1340,3 +1340,141 @@ TEST(Runner, PipelinedContinuousServeMatchesUnpipelinedOutcomes)
     EXPECT_EQ(spec_json->find("batch_wait_us")->intValue(), 300);
     EXPECT_TRUE(spec_json->find("pipeline")->boolValue());
 }
+
+// -------------------------------------------------- in-flight re-merge
+
+TEST(RunSpecParse, RemergeFlagParsesAndRoundTrips)
+{
+    RunSpec spec;
+    std::string error;
+    ASSERT_TRUE(runner::parseRunSpec(
+        {"--workload", "transfuser", "--mode", "serve", "--arrival",
+         "poisson", "--rate", "200", "--batcher", "continuous",
+         "--max-batch", "8", "--pipeline", "on", "--remerge", "on"},
+        &spec, &error))
+        << error;
+    EXPECT_TRUE(spec.remerge);
+
+    RunSpec reparsed;
+    ASSERT_TRUE(runner::parseRunSpec(spec.toArgs(), &reparsed, &error))
+        << error;
+    EXPECT_TRUE(reparsed.remerge);
+    EXPECT_TRUE(reparsed.pipelineServe);
+    EXPECT_EQ(reparsed.maxBatch, 8);
+
+    // Explicit off parses, and off is the default.
+    spec = RunSpec();
+    ASSERT_TRUE(runner::parseRunSpec(
+        {"--workload", "transfuser", "--mode", "serve", "--arrival",
+         "poisson", "--rate", "200", "--batcher", "continuous",
+         "--max-batch", "8", "--pipeline", "on", "--remerge", "off"},
+        &spec, &error))
+        << error;
+    EXPECT_FALSE(spec.remerge);
+    EXPECT_FALSE(RunSpec().remerge);
+}
+
+TEST(RunSpecParse, RemergeFlagErrors)
+{
+    RunSpec spec;
+    std::string error;
+
+    // Re-merge lives inside the stage pipeline.
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "transfuser", "--mode", "serve", "--arrival",
+         "poisson", "--rate", "200", "--batcher", "continuous",
+         "--max-batch", "8", "--remerge", "on"},
+        &spec, &error));
+    EXPECT_NE(error.find("--pipeline"), std::string::npos) << error;
+
+    // A merge can never fire when one request already fills the cap.
+    spec = RunSpec();
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "transfuser", "--mode", "serve", "--arrival",
+         "poisson", "--rate", "200", "--pipeline", "on", "--remerge",
+         "on"},
+        &spec, &error));
+    EXPECT_NE(error.find("--max-batch"), std::string::npos) << error;
+
+    // Only on/off are accepted.
+    spec = RunSpec();
+    EXPECT_FALSE(runner::parseRunSpec(
+        {"--workload", "transfuser", "--mode", "serve", "--arrival",
+         "poisson", "--rate", "200", "--batcher", "continuous",
+         "--max-batch", "8", "--pipeline", "on", "--remerge", "maybe"},
+        &spec, &error));
+    EXPECT_NE(error.find("--remerge"), std::string::npos) << error;
+}
+
+TEST(Runner, RemergeServeJsonCarriesCountersOnlyWhenOn)
+{
+    RunSpec spec;
+    spec.workload = "transfuser";
+    spec.mode = RunMode::Serve;
+    spec.batch = 2;
+    spec.sizeScale = 0.35f;
+    spec.inflight = 2;
+    spec.requests = 8;
+    spec.arrival = pipeline::ArrivalKind::Fixed;
+    spec.rateRps = 2000.0;
+    spec.batcher = pipeline::BatcherKind::Continuous;
+    spec.maxBatch = 4;
+    spec.batchWaitUs = 300;
+    spec.pipelineServe = true;
+    spec.remerge = true;
+
+    const JsonValue on = recordFor(spec, "remerge_on");
+    const JsonValue *spec_json = on.find("spec");
+    ASSERT_NE(spec_json, nullptr);
+    EXPECT_TRUE(spec_json->find("remerge")->boolValue());
+    const JsonValue *serve = on.find("serve");
+    ASSERT_NE(serve, nullptr);
+    ASSERT_TRUE(serve->has("remerged_waves"));
+    ASSERT_TRUE(serve->has("remerged_requests"));
+    EXPECT_GE(serve->find("remerged_waves")->intValue(), 0);
+    EXPECT_GE(serve->find("remerged_requests")->intValue(),
+              serve->find("remerged_waves")->intValue());
+
+    // Off-path records must stay byte-compatible: no re-merge keys.
+    spec.remerge = false;
+    const JsonValue off = recordFor(spec, "remerge_off");
+    const JsonValue *off_spec = off.find("spec");
+    ASSERT_NE(off_spec, nullptr);
+    EXPECT_FALSE(off_spec->has("remerge"));
+    const JsonValue *off_serve = off.find("serve");
+    ASSERT_NE(off_serve, nullptr);
+    EXPECT_FALSE(off_serve->has("remerged_waves"));
+    EXPECT_FALSE(off_serve->has("remerged_requests"));
+}
+
+TEST(Runner, CoalesceBatchesSkipsTargetsOnTheServePath)
+{
+    Rng rng(5);
+    std::vector<data::Batch> batches(3);
+    for (size_t i = 0; i < batches.size(); ++i) {
+        const int64_t rows = static_cast<int64_t>(i) + 1;
+        batches[i].modalities.push_back(
+            tensor::Tensor::randn({rows, 6}, rng));
+        batches[i].modalities.push_back(
+            tensor::Tensor::randn({rows, 3}, rng));
+        batches[i].targets = tensor::Tensor::randn({rows, 2}, rng);
+        batches[i].size = rows;
+    }
+
+    // Serve mode: targets are never read, so their concat is skipped.
+    const data::Batch lean =
+        runner::coalesceBatches(batches, {0, 2}, false);
+    EXPECT_FALSE(lean.targets.defined());
+    ASSERT_EQ(lean.modalities.size(), 2u);
+    EXPECT_EQ(lean.modalities[0].shape()[0], 4);
+    EXPECT_EQ(lean.modalities[1].shape()[0], 4);
+    EXPECT_EQ(lean.size, 4);
+
+    // Train/eval callers still get the concatenated targets.
+    const data::Batch full =
+        runner::coalesceBatches(batches, {0, 1, 2}, true);
+    ASSERT_TRUE(full.targets.defined());
+    EXPECT_EQ(full.targets.shape()[0], 6);
+    EXPECT_EQ(full.modalities[0].shape()[0], 6);
+    EXPECT_EQ(full.size, 6);
+}

@@ -194,6 +194,39 @@ TEST(Matmul, EmitsGemmEventWithCorrectFlops)
     EXPECT_EQ(sink.kernels[0].flops, 2u * 4 * 8 * 2);
 }
 
+TEST(Matmul, RowsBitwiseStableAcrossSizeCutoff)
+{
+    // 2*64*512 = 65536 macs sits exactly at the small-GEMM cutoff, so
+    // m=2 takes the small path while m=4 takes the blocked path. Serve
+    // re-merge grows the batch dim mid-flight, so a row's result must
+    // not depend on which side of the cutoff its batch landed.
+    Rng rng(11);
+    Tensor a4 = Tensor::randn(Shape{4, 512}, rng);
+    Tensor b = Tensor::randn(Shape{512, 64}, rng);
+    Tensor a2 = narrow(a4, 0, 0, 2);
+    Tensor c4 = matmul(a4, b);
+    Tensor c2 = matmul(a2, b);
+    ASSERT_EQ(c2.numel(), 2 * 64);
+    for (int64_t i = 0; i < c2.numel(); ++i)
+        ASSERT_EQ(c2.data()[i], c4.data()[i]) << "element " << i;
+}
+
+TEST(Matmul, DtypeRowsBitwiseStableAcrossSizeCutoff)
+{
+    // Same cutoff-crossing shapes through the reduced-precision GEMM.
+    Rng rng(12);
+    Tensor a4f = Tensor::randn(Shape{4, 512}, rng);
+    Tensor a2f = narrow(a4f, 0, 0, 2);
+    Tensor w = castTo(Tensor::randn(Shape{512, 64}, rng), DType::BF16);
+    Tensor c4 = linearActDt(castTo(a4f, DType::BF16), w, Tensor(),
+                            ActKind::None);
+    Tensor c2 = linearActDt(castTo(a2f, DType::BF16), w, Tensor(),
+                            ActKind::None);
+    ASSERT_EQ(c2.numel(), 2 * 64);
+    for (int64_t i = 0; i < c2.numel(); ++i)
+        ASSERT_EQ(c2.data()[i], c4.data()[i]) << "element " << i;
+}
+
 TEST(Matmul, OuterBatch)
 {
     Tensor a = t2({1, 2, 3, 4}, 2, 2);
